@@ -1,0 +1,129 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4.
+//!
+//! * `memoization` — the O(n²) claim of §3.3: parse the PDF subset (whose
+//!   two-pass pattern re-reads object headers) with the memo table on and
+//!   off.
+//! * `btoi` — §7's specialized integer parsing: decode a 16-bit number via
+//!   the recursive bit-level `Int` grammar of Fig. 3 vs the `u16le`
+//!   builtin.
+//! * `recursion_vs_array` — the Fig. 13d discussion: a chunk list parsed
+//!   with the recursive `Blocks` idiom vs a counted `for` array (the
+//!   shape a Kleene-star operator would compile to).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipg_core::frontend::parse_grammar;
+use ipg_core::interp::Parser;
+use std::hint::black_box;
+
+fn memoization(c: &mut Criterion) {
+    let g = ipg_formats::pdf::grammar();
+    let mut group = c.benchmark_group("ablation_memoization");
+    for n in [8usize, 32] {
+        let doc = bench::pdf_with_objects(n);
+        group.bench_with_input(BenchmarkId::new("memo_on", n), &doc, |b, d| {
+            b.iter(|| Parser::new(g).memoize(true).parse(black_box(d)).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("memo_off", n), &doc, |b, d| {
+            b.iter(|| Parser::new(g).memoize(false).parse(black_box(d)).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn btoi(c: &mut Criterion) {
+    // Fig. 3: bit-by-bit binary number grammar.
+    let slow = parse_grammar(
+        r#"
+        start Int;
+        Int -> Int[0, EOI - 1] Digit[EOI - 1, EOI] {val = 2 * Int.val + Digit.val}
+             / Digit[0, 1] {val = Digit.val};
+        Digit -> "0"[0, 1] {val = 0} / "1"[0, 1] {val = 1};
+        "#,
+    )
+    .expect("valid grammar");
+    // The specialized builtin (§7's btoi).
+    let fast = parse_grammar("Int := u16le;").expect("valid grammar");
+
+    let ascii: Vec<u8> = (0..16).map(|i| if 0xbeef >> i & 1 == 1 { b'1' } else { b'0' }).collect();
+    let binary = 0xbeefu16.to_le_bytes().to_vec();
+
+    let mut group = c.benchmark_group("ablation_btoi");
+    group.bench_function("grammar_int_16bit", |b| {
+        let p = Parser::new(&slow);
+        b.iter(|| p.parse(black_box(&ascii)).expect("valid"));
+    });
+    group.bench_function("builtin_u16le", |b| {
+        let p = Parser::new(&fast);
+        b.iter(|| p.parse(black_box(&binary)).expect("valid"));
+    });
+    group.finish();
+}
+
+fn recursion_vs_array(c: &mut Criterion) {
+    // A file of N fixed 8-byte records, parsed three ways: the recursive
+    // chunk idiom, a counted `for` array, and the Kleene-star extension
+    // (the paper's proposed fix for the Fig. 13d recursion cliff).
+    let recursive = parse_grammar(
+        r#"
+        S -> Items[0, EOI];
+        Items -> Item[0, EOI] Items[Item.end, EOI] / Item[0, EOI];
+        Item -> "R"[0, 1] Payload[1, 8];
+        Payload := bytes;
+        "#,
+    )
+    .expect("valid grammar");
+    let array = parse_grammar(
+        r#"
+        S -> assert(EOI % 8 = 0) {n = EOI / 8}
+             for i = 0 to n do Item[8 * i, 8 * (i + 1)];
+        Item -> "R"[0, 1] Payload[1, 8];
+        Payload := bytes;
+        "#,
+    )
+    .expect("valid grammar");
+    let star = parse_grammar(
+        r#"
+        S -> star Item;
+        Item -> "R"[0, 1] Payload[1, 8];
+        Payload := bytes;
+        "#,
+    )
+    .expect("valid grammar");
+
+    let mut group = c.benchmark_group("ablation_recursion_vs_array");
+    for n in [64usize, 512] {
+        let mut data = Vec::with_capacity(n * 8);
+        for i in 0..n {
+            data.push(b'R');
+            data.extend_from_slice(&(i as u32).to_le_bytes());
+            data.extend_from_slice(&[0, 0, 0]);
+        }
+        group.bench_with_input(BenchmarkId::new("recursive_list", n), &data, |b, d| {
+            let p = Parser::new(&recursive);
+            b.iter(|| p.parse(black_box(d)).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("for_array", n), &data, |b, d| {
+            let p = Parser::new(&array);
+            b.iter(|| p.parse(black_box(d)).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("kleene_star", n), &data, |b, d| {
+            let p = Parser::new(&star);
+            b.iter(|| p.parse(black_box(d)).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = memoization, btoi, recursion_vs_array
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Fig. 12c/d — `readelf -h -S --dyn-syms` comparison: IPG-based parsing
+//! vs the hand-written (GNU-readelf-style) baseline.
+//!
+//! * *end-to-end* (Fig. 12c): parse, resolve names, and format the
+//!   human-readable listing.
+//! * *parsing only* (Fig. 12d): structure recognition alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn ipg_readelf_end_to_end(data: &[u8]) -> String {
+    use std::fmt::Write;
+    let parsed = ipg_formats::elf::parse(data).expect("valid ELF");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ELF Header: shoff={} shnum={} shstrndx={}",
+        parsed.shoff, parsed.shnum, parsed.shstrndx
+    );
+    for (i, s) in parsed.sections.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  [{i:2}] {:<20} type={:<2} off={:#x} size={:#x}",
+            s.name.as_deref().unwrap_or(""),
+            s.sh_type,
+            s.offset,
+            s.size
+        );
+    }
+    let symbols: Vec<_> = parsed
+        .sections
+        .iter()
+        .filter_map(|s| match &s.kind {
+            ipg_formats::elf::SectionKind::Symbols(v) => Some(v),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let _ = writeln!(out, "Symbols: {}", symbols.len());
+    for sym in symbols {
+        let _ = writeln!(
+            out,
+            "  {:#010x} {:5} {}",
+            sym.value,
+            sym.size,
+            sym.name.as_deref().unwrap_or("")
+        );
+    }
+    out
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12c_readelf_end_to_end");
+    for n in bench::SECTION_SIZES {
+        let file = bench::elf_with_sections(n);
+        group.throughput(Throughput::Bytes(file.len() as u64));
+        group.bench_with_input(BenchmarkId::new("ipg", n), &file, |b, f| {
+            b.iter(|| ipg_readelf_end_to_end(black_box(f)));
+        });
+        group.bench_with_input(BenchmarkId::new("handwritten", n), &file, |b, f| {
+            b.iter(|| {
+                let parsed =
+                    ipg_baselines::handwritten::parse_elf(black_box(f)).expect("valid ELF");
+                ipg_baselines::handwritten::format_elf(&parsed, f)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn parsing_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12d_readelf_parsing");
+    for n in bench::SECTION_SIZES {
+        let file = bench::elf_with_sections(n);
+        group.throughput(Throughput::Bytes(file.len() as u64));
+        group.bench_with_input(BenchmarkId::new("ipg", n), &file, |b, f| {
+            b.iter(|| ipg_formats::elf::parse(black_box(f)).expect("valid ELF"));
+        });
+        group.bench_with_input(BenchmarkId::new("handwritten", n), &file, |b, f| {
+            b.iter(|| ipg_baselines::handwritten::parse_elf(black_box(f)).expect("valid ELF"));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = end_to_end, parsing_only
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 12a/b — `unzip` comparison: IPG-based extraction vs the
+//! hand-written (Info-ZIP-style) baseline.
+//!
+//! * *end-to-end* (Fig. 12a): parse + decompress + CRC-check every entry.
+//! * *parsing only* (Fig. 12b): structure recognition without touching
+//!   entry bodies.
+//!
+//! Expected shape (paper): hand-written parsing is much faster at pure
+//! parsing, but end-to-end times are close because decompression
+//! dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_unzip_end_to_end");
+    for n in bench::ZIP_SIZES {
+        let archive = bench::zip_with_entries(n);
+        group.throughput(Throughput::Bytes(archive.len() as u64));
+        group.bench_with_input(BenchmarkId::new("ipg", n), &archive, |b, a| {
+            b.iter(|| ipg_formats::zip::extract(black_box(a)).expect("valid archive"));
+        });
+        group.bench_with_input(BenchmarkId::new("handwritten", n), &archive, |b, a| {
+            b.iter(|| ipg_baselines::handwritten::unzip(black_box(a)).expect("valid archive"));
+        });
+    }
+    group.finish();
+}
+
+fn parsing_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12b_unzip_parsing");
+    for n in bench::ZIP_SIZES {
+        let archive = bench::zip_with_entries(n);
+        group.throughput(Throughput::Bytes(archive.len() as u64));
+        group.bench_with_input(BenchmarkId::new("ipg", n), &archive, |b, a| {
+            b.iter(|| ipg_formats::zip::parse(black_box(a)).expect("valid archive"));
+        });
+        group.bench_with_input(BenchmarkId::new("handwritten", n), &archive, |b, a| {
+            b.iter(|| {
+                ipg_baselines::handwritten::parse_zip(black_box(a)).expect("valid archive")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = end_to_end, parsing_only
+}
+criterion_main!(benches);

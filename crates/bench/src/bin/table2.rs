@@ -1,0 +1,55 @@
+//! Table 2 — number of intervals and implicit intervals per specification.
+//!
+//! Runs the frontend's auto-completion over every embedded spec and counts
+//! how many intervals were (a) fully inferred, (b) written as a length
+//! only, (c) written out explicitly — the measurement behind the paper's
+//! "27.0% fully eliminated, 52.9% length-only" claim.
+
+use ipg_core::frontend::{interval_stats, parse_surface};
+
+fn main() {
+    println!("Table 2: Number of intervals and implicit intervals");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>18}",
+        "Format", "intervals", "inferred", "length-only", "explicit", "paper (a+b of N)"
+    );
+    // Paper values: total intervals and "a+b" (fully eliminated + length
+    // only).
+    let paper: &[(&str, usize, &str)] = &[
+        ("ZIP", 87, "14+55"),
+        ("GIF", 55, "20+26"),
+        ("PE", 97, "4+81"),
+        ("ELF", 82, "5+48"),
+        ("PDF", 241, "116+83"),
+        ("IPv4+UDP", 17, "1+14"),
+        ("DNS", 28, "4+14"),
+    ];
+
+    let mut total = 0usize;
+    let mut inferred = 0usize;
+    let mut length_only = 0usize;
+    for (name, spec) in ipg_formats::all_specs() {
+        let g = parse_surface(spec).expect("embedded specs are valid");
+        let stats = interval_stats(&g);
+        let row = paper.iter().find(|r| r.0 == name).expect("every format in the table");
+        println!(
+            "{:<10} {:>10} {:>10} {:>12} {:>10} {:>12} of {:>3}",
+            name,
+            stats.total,
+            stats.fully_inferred,
+            stats.length_only,
+            stats.explicit(),
+            row.2,
+            row.1,
+        );
+        total += stats.total;
+        inferred += stats.fully_inferred;
+        length_only += stats.length_only;
+    }
+    println!();
+    println!(
+        "ours: {:.1}% fully inferred, {:.1}% length-only (paper: 27.0% and 52.9%)",
+        100.0 * inferred as f64 / total as f64,
+        100.0 * length_only as f64 / total as f64,
+    );
+}

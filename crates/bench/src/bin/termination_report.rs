@@ -1,0 +1,31 @@
+//! §7 termination-checking report: every format grammar must pass, with a
+//! handful of elementary cycles and well under the paper's 20 ms budget.
+
+use std::time::Instant;
+
+fn main() {
+    println!("Termination checking of all format grammars (§5, §7)");
+    println!("{:<10} {:>8} {:>12} {:>10}", "Format", "cycles", "time", "verdict");
+    for (name, spec) in ipg_formats::all_specs() {
+        let parse_start = Instant::now();
+        let g = ipg_core::frontend::parse_grammar(spec).expect("embedded specs are valid");
+        let _parse_time = parse_start.elapsed();
+        let report = ipg_core::termination::check_termination(&g);
+        println!(
+            "{:<10} {:>8} {:>10.2?} {:>10}",
+            name,
+            report.cycle_count(),
+            report.elapsed,
+            if report.ok { "terminates" } else { "UNKNOWN" },
+        );
+        for cycle in &report.cycles {
+            println!(
+                "             cycle {} ({})",
+                cycle.nonterminals.join(" → "),
+                if cycle.decreasing { "decreasing" } else { "NOT refuted" }
+            );
+        }
+    }
+    println!();
+    println!("(paper: all grammars pass, < 20 ms each, ≤ 5 elementary cycles)");
+}

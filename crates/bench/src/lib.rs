@@ -1,0 +1,174 @@
+//! Shared workloads for the benchmark harness.
+//!
+//! The per-table/per-figure entry points are:
+//!
+//! | Paper artifact | Regenerate with |
+//! |---|---|
+//! | Table 1 (spec line counts)        | `cargo run -p bench --bin table1` |
+//! | Table 2 (implicit intervals)      | `cargo run -p bench --bin table2` |
+//! | Fig. 12a/b (`unzip`)              | `cargo bench -p bench --bench fig12_unzip` |
+//! | Fig. 12c/d (`readelf`)            | `cargo bench -p bench --bench fig12_readelf` |
+//! | Fig. 13a–f (per-format timing)    | `cargo bench -p bench --bench fig13_formats` |
+//! | Fig. 14a/b (heap consumption)     | `cargo run -p bench --bin fig14_memory --release` |
+//! | §7 termination timing             | `cargo run -p bench --bin termination_report` |
+//! | Design-choice ablations           | `cargo bench -p bench --bench ablations` |
+
+use ipg_corpus::{dns, elf, gif, ipv4udp, pdf, pe, zip};
+
+/// Compiled recursive-descent parsers emitted by `build.rs` through
+/// `ipg-core::codegen` — the paper's generated-C++ analogue. Each module
+/// exposes `parse(input) -> Option<Node>`.
+pub mod generated {
+    /// Generated ZIP parser (zero-copy variant).
+    #[allow(dead_code, unused_variables, unused_mut, unused_parens, clippy::all)]
+    pub mod zip {
+        include!(concat!(env!("OUT_DIR"), "/gen_zip.rs"));
+    }
+    /// Generated GIF parser.
+    #[allow(dead_code, unused_variables, unused_mut, unused_parens, clippy::all)]
+    pub mod gif {
+        include!(concat!(env!("OUT_DIR"), "/gen_gif.rs"));
+    }
+    /// Generated PE parser.
+    #[allow(dead_code, unused_variables, unused_mut, unused_parens, clippy::all)]
+    pub mod pe {
+        include!(concat!(env!("OUT_DIR"), "/gen_pe.rs"));
+    }
+    /// Generated IPv4+UDP parser.
+    #[allow(dead_code, unused_variables, unused_mut, unused_parens, clippy::all)]
+    pub mod ipv4udp {
+        include!(concat!(env!("OUT_DIR"), "/gen_ipv4udp.rs"));
+    }
+    /// Generated PNG parser (exercises the compiled `star` term).
+    #[allow(dead_code, unused_variables, unused_mut, unused_parens, clippy::all)]
+    pub mod png {
+        include!(concat!(env!("OUT_DIR"), "/gen_png.rs"));
+    }
+}
+
+/// Entry-count sweep for the ZIP workloads (the paper archives 1..K
+/// copies of the same file).
+pub const ZIP_SIZES: [usize; 4] = [1, 4, 16, 64];
+
+/// Section-count sweep for ELF/PE.
+pub const SECTION_SIZES: [usize; 4] = [2, 8, 32, 128];
+
+/// Frame-count sweep for GIF.
+pub const GIF_FRAMES: [usize; 4] = [1, 4, 16, 64];
+
+/// Answer-count sweep for DNS.
+pub const DNS_ANSWERS: [usize; 4] = [1, 4, 16, 64];
+
+/// Payload sweep for IPv4+UDP.
+pub const UDP_PAYLOADS: [usize; 4] = [64, 256, 1024, 8192];
+
+/// A ZIP archive with `n` deflated entries.
+pub fn zip_with_entries(n: usize) -> Vec<u8> {
+    zip::generate(&zip::Config { n_entries: n, payload_len: 4096, ..Default::default() }).bytes
+}
+
+/// An ELF file with `n` progbits sections and `4 * n` symbols.
+pub fn elf_with_sections(n: usize) -> Vec<u8> {
+    elf::generate(&elf::Config {
+        n_sections: n,
+        section_size: 512,
+        n_symbols: 4 * n,
+        n_dyn: 16,
+        seed: 7,
+    })
+    .bytes
+}
+
+/// A PE file with `n` sections.
+pub fn pe_with_sections(n: usize) -> Vec<u8> {
+    pe::generate(&pe::Config { n_sections: n, section_size: 2048, seed: 7 }).bytes
+}
+
+/// A GIF with `n` frames.
+pub fn gif_with_frames(n: usize) -> Vec<u8> {
+    gif::generate(&gif::Config { n_frames: n, data_per_frame: 2048, ..Default::default() }).bytes
+}
+
+/// A DNS response with one question and `n` answers.
+pub fn dns_with_answers(n: usize) -> Vec<u8> {
+    dns::generate(&dns::Config { n_questions: 1, n_answers: n, compress: true, seed: 7 }).bytes
+}
+
+/// An IPv4+UDP datagram with an `n`-byte payload.
+pub fn udp_with_payload(n: usize) -> Vec<u8> {
+    ipv4udp::generate(&ipv4udp::Config { payload_len: n, options_words: 0, seed: 7 }).bytes
+}
+
+/// A PDF with `n` objects (for the memoization ablation: its two-pass
+/// pattern re-reads object headers).
+pub fn pdf_with_objects(n: usize) -> Vec<u8> {
+    pdf::generate(&pdf::Config { n_objects: n, stream_len: 1024, seed: 7 }).bytes
+}
+
+/// A ZIP archive of `n` large *stored* entries — the workload where the
+/// zero-copy property dominates (archived data is skipped, not copied).
+pub fn zip_with_large_stored_entries(n: usize) -> Vec<u8> {
+    ipg_corpus::zip::generate(&ipg_corpus::zip::Config {
+        n_entries: n,
+        payload_len: 64 * 1024,
+        method: ipg_corpus::zip::Method::Stored,
+        seed: 7,
+    })
+    .bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_parse_with_the_ipg_grammars() {
+        assert!(ipg_formats::zip::parse(&zip_with_entries(2)).is_ok());
+        assert!(ipg_formats::elf::parse(&elf_with_sections(2)).is_ok());
+        assert!(ipg_formats::pe::parse(&pe_with_sections(2)).is_ok());
+        assert!(ipg_formats::gif::parse(&gif_with_frames(2)).is_ok());
+        assert!(ipg_formats::dns::parse(&dns_with_answers(2)).is_ok());
+        assert!(ipg_formats::ipv4udp::parse(&udp_with_payload(64)).is_ok());
+        assert!(ipg_formats::pdf::parse(&pdf_with_objects(2)).is_ok());
+    }
+
+    #[test]
+    fn generated_parsers_accept_the_workloads() {
+        assert!(generated::zip::parse(&zip_with_entries(2)).is_some());
+        assert!(generated::gif::parse(&gif_with_frames(2)).is_some());
+        assert!(generated::pe::parse(&pe_with_sections(2)).is_some());
+        assert!(generated::ipv4udp::parse(&udp_with_payload(64)).is_some());
+        assert!(generated::zip::parse(b"not a zip").is_none());
+    }
+
+    #[test]
+    fn generated_star_term_parses_png_chunk_lists() {
+        let f = ipg_corpus::png::generate(&ipg_corpus::png::Config {
+            n_idat: 5,
+            ..Default::default()
+        });
+        let node = generated::png::parse(&f.bytes).expect("valid PNG");
+        let chunks = node.child_array("Chunk").expect("chunk array");
+        // tEXt + 5 IDAT (IHDR and IEND are separate).
+        assert_eq!(chunks.len(), 6);
+        let interp = ipg_formats::png::parse(&f.bytes).expect("valid PNG");
+        assert_eq!(chunks.len(), interp.chunks.len());
+        assert!(generated::png::parse(&f.bytes[..f.bytes.len() - 4]).is_none());
+    }
+
+    #[test]
+    fn generated_parsers_agree_with_the_interpreter_on_attributes() {
+        let data = udp_with_payload(256);
+        let gen = generated::ipv4udp::parse(&data).expect("valid packet");
+        let interp = ipg_formats::ipv4udp::parse(&data).expect("valid packet");
+        assert_eq!(gen.attr("ihl"), Some(interp.ihl as i64));
+        assert_eq!(gen.attr("tot"), Some(interp.total_len as i64));
+
+        let data = zip_with_entries(3);
+        let gen = generated::zip::parse(&data).expect("valid archive");
+        let interp = ipg_formats::zip::parse(&data).expect("valid archive");
+        let eocd = gen.child_node("EOCD").expect("EOCD child");
+        assert_eq!(eocd.attr("cdofs"), Some(interp.cd_offset as i64));
+        assert_eq!(eocd.attr("n"), Some(interp.entry_count as i64));
+    }
+}

@@ -1,0 +1,297 @@
+//! Hand-written, direct struct-mapping parsers — the Fig. 12 baselines.
+//!
+//! These play the role of GNU `readelf` and Info-ZIP `unzip` in the
+//! paper's comparison: they read fields straight into structs with a
+//! cursor, build no parse tree, and never copy bulk data (entry bodies and
+//! section contents stay borrowed spans).
+
+use crate::Cur;
+
+/// Errors from the hand-written parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineError(pub &'static str);
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline parser: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+type Result<T> = std::result::Result<T, BaselineError>;
+
+fn err<T>(msg: &'static str) -> Result<T> {
+    Err(BaselineError(msg))
+}
+
+// ---------------------------------------------------------------- ELF --
+
+/// readelf-style view of an ELF file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElfQuick<'a> {
+    /// `e_shoff`.
+    pub shoff: u64,
+    /// `e_shnum`.
+    pub shnum: u16,
+    /// `e_shstrndx`.
+    pub shstrndx: u16,
+    /// Section headers `(name_off, type, offset, size, link)`.
+    pub sections: Vec<ElfQuickSection>,
+    /// Symbols from every SYMTAB section: `(name, value, size)`.
+    pub symbols: Vec<(&'a str, u64, u64)>,
+}
+
+/// One section header, directly mapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElfQuickSection {
+    /// `sh_name`.
+    pub name_off: u32,
+    /// `sh_type`.
+    pub sh_type: u32,
+    /// `sh_offset`.
+    pub offset: u64,
+    /// `sh_size`.
+    pub size: u64,
+    /// `sh_link`.
+    pub link: u32,
+}
+
+/// Parses an ELF64-LE file the way `readelf -h -S --dyn-syms` would:
+/// header, section table, symbol tables with names.
+///
+/// # Errors
+///
+/// [`BaselineError`] on structural problems.
+pub fn parse_elf(data: &[u8]) -> Result<ElfQuick<'_>> {
+    if data.len() < 64 || &data[..4] != b"\x7fELF" {
+        return err("not an ELF file");
+    }
+    let mut c = Cur::at(data, 0x28);
+    let shoff = c.u64le().ok_or(BaselineError("truncated header"))?;
+    let mut c = Cur::at(data, 0x3a);
+    let shentsize = c.u16le().ok_or(BaselineError("truncated header"))?;
+    let shnum = c.u16le().ok_or(BaselineError("truncated header"))?;
+    let shstrndx = c.u16le().ok_or(BaselineError("truncated header"))?;
+    if shentsize != 64 {
+        return err("unexpected e_shentsize");
+    }
+
+    let mut sections = Vec::with_capacity(shnum as usize);
+    for i in 0..shnum as usize {
+        let mut c = Cur::at(data, shoff as usize + i * 64);
+        let name_off = c.u32le().ok_or(BaselineError("truncated section header"))?;
+        let sh_type = c.u32le().ok_or(BaselineError("truncated section header"))?;
+        c.skip(16).ok_or(BaselineError("truncated section header"))?;
+        let offset = c.u64le().ok_or(BaselineError("truncated section header"))?;
+        let size = c.u64le().ok_or(BaselineError("truncated section header"))?;
+        let link = c.u32le().ok_or(BaselineError("truncated section header"))?;
+        if sh_type != 0 && offset.saturating_add(size) > data.len() as u64 {
+            return err("section out of bounds");
+        }
+        sections.push(ElfQuickSection { name_off, sh_type, offset, size, link });
+    }
+
+    // Symbol tables (type 2), with names out of the linked string table.
+    let mut symbols = Vec::new();
+    for s in &sections {
+        if s.sh_type != 2 {
+            continue;
+        }
+        let strtab = sections
+            .get(s.link as usize)
+            .ok_or(BaselineError("bad symtab link"))?;
+        let str_bytes = &data[strtab.offset as usize..(strtab.offset + strtab.size) as usize];
+        let n = (s.size / 24) as usize;
+        for k in 0..n {
+            let mut c = Cur::at(data, s.offset as usize + k * 24);
+            let name_off = c.u32le().ok_or(BaselineError("truncated symbol"))? as usize;
+            c.skip(4).ok_or(BaselineError("truncated symbol"))?;
+            let value = c.u64le().ok_or(BaselineError("truncated symbol"))?;
+            let size = c.u64le().ok_or(BaselineError("truncated symbol"))?;
+            let rest = str_bytes.get(name_off..).ok_or(BaselineError("bad name offset"))?;
+            let len = rest.iter().position(|&b| b == 0).ok_or(BaselineError("unterminated name"))?;
+            let name = std::str::from_utf8(&rest[..len]).map_err(|_| BaselineError("non-utf8 name"))?;
+            symbols.push((name, value, size));
+        }
+    }
+
+    Ok(ElfQuick { shoff, shnum, shstrndx, sections, symbols })
+}
+
+/// Formats an [`ElfQuick`] roughly like `readelf -h -S --dyn-syms` — the
+/// "following processing" half of the Fig. 12 end-to-end measurement.
+pub fn format_elf(elf: &ElfQuick<'_>, data: &[u8]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "ELF Header: shoff={} shnum={} shstrndx={}", elf.shoff, elf.shnum, elf.shstrndx);
+    let shstr = elf.sections.get(elf.shstrndx as usize);
+    for (i, s) in elf.sections.iter().enumerate() {
+        let name = shstr
+            .and_then(|t| data.get(t.offset as usize + s.name_off as usize..))
+            .and_then(|r| r.iter().position(|&b| b == 0).map(|l| &r[..l]))
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  [{i:2}] {name:<20} type={:<2} off={:#x} size={:#x}",
+            s.sh_type, s.offset, s.size
+        );
+    }
+    let _ = writeln!(out, "Symbols: {}", elf.symbols.len());
+    for (name, value, size) in &elf.symbols {
+        let _ = writeln!(out, "  {value:#010x} {size:5} {name}");
+    }
+    out
+}
+
+// ---------------------------------------------------------------- ZIP --
+
+/// One extracted archive entry (unzip-style).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnzippedFile {
+    /// Stored name.
+    pub name: String,
+    /// Decompressed contents.
+    pub data: Vec<u8>,
+}
+
+/// A parsed (not yet decompressed) archive, zero-copy like unzip's
+/// central-directory walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZipQuick<'a> {
+    /// Entries: `(name, method, crc, body)`.
+    pub entries: Vec<(&'a str, u16, u32, &'a [u8])>,
+}
+
+/// Parses local file headers sequentially, borrowing bodies.
+///
+/// # Errors
+///
+/// [`BaselineError`] on structural problems.
+pub fn parse_zip(data: &[u8]) -> Result<ZipQuick<'_>> {
+    if data.len() < 22 {
+        return err("too short for an archive");
+    }
+    let mut c = Cur::at(data, data.len() - 22);
+    if c.u32le() != Some(0x0605_4b50) {
+        return err("missing end record");
+    }
+    c.skip(4).ok_or(BaselineError("truncated end record"))?;
+    let n = c.u16le().ok_or(BaselineError("truncated end record"))? as usize;
+
+    let mut entries = Vec::with_capacity(n);
+    let mut c = Cur::new(data);
+    for _ in 0..n {
+        if c.u32le() != Some(0x0403_4b50) {
+            return err("missing local header");
+        }
+        c.skip(4).ok_or(BaselineError("truncated local header"))?;
+        let method = c.u16le().ok_or(BaselineError("truncated local header"))?;
+        c.skip(4).ok_or(BaselineError("truncated local header"))?;
+        let crc = c.u32le().ok_or(BaselineError("truncated local header"))?;
+        let csize = c.u32le().ok_or(BaselineError("truncated local header"))? as usize;
+        c.skip(4).ok_or(BaselineError("truncated local header"))?;
+        let namelen = c.u16le().ok_or(BaselineError("truncated local header"))? as usize;
+        let extralen = c.u16le().ok_or(BaselineError("truncated local header"))? as usize;
+        let name = std::str::from_utf8(c.take(namelen).ok_or(BaselineError("truncated name"))?)
+            .map_err(|_| BaselineError("non-utf8 name"))?;
+        c.skip(extralen).ok_or(BaselineError("truncated extra"))?;
+        let body = c.take(csize).ok_or(BaselineError("truncated body"))?;
+        entries.push((name, method, crc, body));
+    }
+    Ok(ZipQuick { entries })
+}
+
+/// Parses *and* extracts, like `unzip`: inflate each body and verify its
+/// CRC — the end-to-end half of Fig. 12a.
+///
+/// # Errors
+///
+/// [`BaselineError`] on structural problems, decompression failures, or
+/// CRC mismatches.
+pub fn unzip(data: &[u8]) -> Result<Vec<UnzippedFile>> {
+    let archive = parse_zip(data)?;
+    let mut out = Vec::with_capacity(archive.entries.len());
+    for (name, method, crc, body) in archive.entries {
+        let data = match method {
+            0 => body.to_vec(),
+            8 => ipg_flate::inflate(body).map_err(|_| BaselineError("bad deflate stream"))?,
+            _ => return err("unsupported method"),
+        };
+        if ipg_flate::crc32(&data) != crc {
+            return err("crc mismatch");
+        }
+        out.push(UnzippedFile { name: name.to_owned(), data });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::{elf, zip};
+
+    #[test]
+    fn elf_matches_ground_truth() {
+        let f = elf::generate(&elf::Config::default());
+        let parsed = parse_elf(&f.bytes).unwrap();
+        assert_eq!(parsed.shoff, f.summary.shoff);
+        assert_eq!(parsed.shnum, f.summary.shnum);
+        assert_eq!(parsed.sections.len(), f.summary.sections.len());
+        for (s, &(ty, ofs, sz)) in parsed.sections.iter().zip(&f.summary.sections) {
+            assert_eq!(s.sh_type, ty);
+            assert_eq!(s.offset, ofs);
+            assert_eq!(s.size, sz);
+        }
+        let names: Vec<&str> = parsed.symbols.iter().map(|&(n, _, _)| n).collect();
+        let expected: Vec<&str> = f.summary.symbol_names.iter().map(String::as_str).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn elf_rejects_garbage() {
+        assert!(parse_elf(b"not elf").is_err());
+        let f = elf::generate(&elf::Config::default());
+        assert!(parse_elf(&f.bytes[..100]).is_err());
+    }
+
+    #[test]
+    fn format_elf_mentions_sections_and_symbols() {
+        let f = elf::generate(&elf::Config { n_symbols: 2, ..Default::default() });
+        let parsed = parse_elf(&f.bytes).unwrap();
+        let text = format_elf(&parsed, &f.bytes);
+        assert!(text.contains(".dynamic"));
+        assert!(text.contains(&f.summary.symbol_names[0]));
+    }
+
+    #[test]
+    fn unzip_roundtrips_the_corpus() {
+        let a = zip::generate(&zip::Config { n_entries: 3, ..Default::default() });
+        let files = unzip(&a.bytes).unwrap();
+        assert_eq!(files.len(), 3);
+        for f in &files {
+            assert_eq!(f.data, a.payload);
+        }
+    }
+
+    #[test]
+    fn unzip_detects_corruption() {
+        let mut a = zip::generate(&zip::Config { n_entries: 1, ..Default::default() }).bytes;
+        // Damage a byte in the middle of the first body.
+        let idx = 60;
+        a[idx] ^= 0x55;
+        assert!(unzip(&a).is_err());
+    }
+
+    #[test]
+    fn zip_parse_is_zero_copy() {
+        let a = zip::generate(&zip::Config::default());
+        let parsed = parse_zip(&a.bytes).unwrap();
+        // Bodies are borrowed from the input buffer.
+        let (_, _, _, body) = parsed.entries[0];
+        let base = a.bytes.as_ptr() as usize;
+        let ptr = body.as_ptr() as usize;
+        assert!(ptr >= base && ptr < base + a.bytes.len());
+    }
+}

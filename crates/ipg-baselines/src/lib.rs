@@ -1,0 +1,119 @@
+//! Baseline parsers for the paper's performance comparisons (§7).
+//!
+//! * [`handwritten`] — direct struct-mapping parsers in the style of GNU
+//!   `readelf` and Info-ZIP `unzip` (Fig. 12): sequential field reads, no
+//!   parse-tree construction.
+//! * [`kaitai_style`] — behaviourally-faithful ports of what Kaitai Struct
+//!   generates (Fig. 13a–d): eager stream reads that *copy* consumed data
+//!   (most importantly ZIP entry bodies), and seek-based `instances`.
+//! * [`nail_style`] — arena-allocating packet parsers in the style of
+//!   Nail's generated C (Fig. 13e–f, Fig. 14).
+//! * [`alloc_meter`] — a counting global allocator replacing the paper's
+//!   Valgrind heap measurements (Fig. 14).
+//!
+//! All baselines are cross-validated against `ipg-corpus` ground truth and
+//! against the IPG parsers in the workspace integration tests.
+
+pub mod alloc_meter;
+pub mod handwritten;
+pub mod kaitai_style;
+pub mod nail_style;
+
+/// A tiny cursor over a byte slice shared by the hand-written parsers.
+/// Unlike [`kaitai_style::Stream`], reads of bulk data return *borrowed*
+/// slices (the zero-copy discipline of hand-written C parsers that map
+/// file data directly onto structs).
+#[derive(Clone, Copy, Debug)]
+pub struct Cur<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cur { data, pos: 0 }
+    }
+
+    /// A cursor at an absolute position.
+    pub fn at(data: &'a [u8], pos: usize) -> Self {
+        Cur { data, pos }
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// Takes `n` bytes as a borrowed slice.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.data.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16le(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32le(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64le(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16be(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_be_bytes(s.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32be(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Option<()> {
+        self.take(n).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_reads_and_positions() {
+        let data = [1u8, 0, 2, 0, 0, 0, 0xaa, 0xbb];
+        let mut c = Cur::new(&data);
+        assert_eq!(c.u16le(), Some(1));
+        assert_eq!(c.u32le(), Some(2));
+        assert_eq!(c.u16be(), Some(0xaabb));
+        assert_eq!(c.remaining(), 0);
+        assert_eq!(c.u8(), None);
+    }
+
+    #[test]
+    fn cursor_take_borrows() {
+        let data = b"abcdef";
+        let mut c = Cur::at(data, 2);
+        let s = c.take(3).unwrap();
+        assert_eq!(s, b"cde");
+        assert_eq!(c.pos(), 5);
+    }
+}

@@ -1,0 +1,310 @@
+//! Nail-style packet parsers — the Fig. 13e/f and Fig. 14 baselines.
+//!
+//! Nail's generated C parsers allocate every parsed structure out of a
+//! bump **arena** ("arena-based memory management to avoid performance
+//! impact from calling malloc", §7). The ports here keep that discipline:
+//! all variable-length data (names, rdata, payloads) is copied into one
+//! arena and referenced by offset, so a whole parse costs a handful of
+//! large allocations rather than many small ones.
+
+/// Errors from the Nail-style parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NailError(pub &'static str);
+
+impl std::fmt::Display for NailError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nail-style parser: {}", self.0)
+    }
+}
+
+impl std::error::Error for NailError {}
+
+type Result<T> = std::result::Result<T, NailError>;
+
+/// A bump arena for parsed byte data.
+#[derive(Clone, Debug)]
+pub struct Arena {
+    buf: Vec<u8>,
+}
+
+/// A span into an [`Arena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaRef {
+    /// Offset into the arena buffer.
+    pub off: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl Arena {
+    /// An arena pre-sized for a message of `capacity` bytes (Nail sizes
+    /// its arena from the input length).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Copies `data` into the arena.
+    pub fn push(&mut self, data: &[u8]) -> ArenaRef {
+        let off = self.buf.len() as u32;
+        self.buf.extend_from_slice(data);
+        ArenaRef { off, len: data.len() as u32 }
+    }
+
+    /// Resolves a reference.
+    pub fn get(&self, r: ArenaRef) -> &[u8] {
+        &self.buf[r.off as usize..(r.off + r.len) as usize]
+    }
+
+    /// Bytes used.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------- DNS --
+
+/// A Nail-style parsed DNS message; all strings live in the arena.
+#[derive(Clone, Debug)]
+pub struct NailDns {
+    /// Backing storage.
+    pub arena: Arena,
+    /// Transaction id.
+    pub id: u16,
+    /// Questions: `(name, qtype, qclass)`.
+    pub questions: Vec<(ArenaRef, u16, u16)>,
+    /// Answers: `(name, rtype, ttl, rdata)`.
+    pub answers: Vec<(ArenaRef, u16, u32, ArenaRef)>,
+}
+
+impl NailDns {
+    /// A question's dotted name.
+    pub fn question_name(&self, i: usize) -> &str {
+        std::str::from_utf8(self.arena.get(self.questions[i].0)).expect("names are ASCII")
+    }
+
+    /// An answer's dotted name.
+    pub fn answer_name(&self, i: usize) -> &str {
+        std::str::from_utf8(self.arena.get(self.answers[i].0)).expect("names are ASCII")
+    }
+}
+
+fn be16(data: &[u8], pos: usize) -> Result<u16> {
+    data.get(pos..pos + 2)
+        .map(|s| u16::from_be_bytes(s.try_into().expect("2 bytes")))
+        .ok_or(NailError("truncated"))
+}
+
+fn be32(data: &[u8], pos: usize) -> Result<u32> {
+    data.get(pos..pos + 4)
+        .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+        .ok_or(NailError("truncated"))
+}
+
+/// Reads a (possibly compressed) name starting at `pos` into the arena as
+/// a dotted string; returns the reference and the new position.
+fn read_name(data: &[u8], mut pos: usize, arena: &mut Arena) -> Result<(ArenaRef, usize)> {
+    let mut name = Vec::new();
+    let mut end_pos = None;
+    let mut hops = 0;
+    loop {
+        let &len = data.get(pos).ok_or(NailError("truncated name"))?;
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len & 0xc0 == 0xc0 {
+            let lo = *data.get(pos + 1).ok_or(NailError("truncated pointer"))?;
+            if end_pos.is_none() {
+                end_pos = Some(pos + 2);
+            }
+            pos = ((len as usize & 0x3f) << 8) | lo as usize;
+            hops += 1;
+            if hops > 64 {
+                return Err(NailError("pointer loop"));
+            }
+            continue;
+        }
+        let label = data
+            .get(pos + 1..pos + 1 + len as usize)
+            .ok_or(NailError("truncated label"))?;
+        if !name.is_empty() {
+            name.push(b'.');
+        }
+        name.extend_from_slice(label);
+        pos += 1 + len as usize;
+    }
+    Ok((arena.push(&name), end_pos.unwrap_or(pos)))
+}
+
+/// Parses a DNS message, Nail style.
+///
+/// # Errors
+///
+/// [`NailError`] on malformed messages.
+pub fn parse_dns(data: &[u8]) -> Result<NailDns> {
+    if data.len() < 12 {
+        return Err(NailError("truncated header"));
+    }
+    let mut arena = Arena::with_capacity(data.len());
+    let id = be16(data, 0)?;
+    let qd = be16(data, 4)? as usize;
+    let an = be16(data, 6)? as usize;
+
+    let mut pos = 12;
+    let mut questions = Vec::with_capacity(qd);
+    for _ in 0..qd {
+        let (name, p) = read_name(data, pos, &mut arena)?;
+        let qtype = be16(data, p)?;
+        let qclass = be16(data, p + 2)?;
+        pos = p + 4;
+        questions.push((name, qtype, qclass));
+    }
+    let mut answers = Vec::with_capacity(an);
+    for _ in 0..an {
+        let (name, p) = read_name(data, pos, &mut arena)?;
+        let rtype = be16(data, p)?;
+        let ttl = be32(data, p + 4)?;
+        let rdlen = be16(data, p + 8)? as usize;
+        let rdata = data
+            .get(p + 10..p + 10 + rdlen)
+            .ok_or(NailError("truncated rdata"))?;
+        let rdata = arena.push(rdata);
+        pos = p + 10 + rdlen;
+        answers.push((name, rtype, ttl, rdata));
+    }
+    Ok(NailDns { arena, id, questions, answers })
+}
+
+// ----------------------------------------------------------- IPv4+UDP --
+
+/// A Nail-style parsed datagram.
+#[derive(Clone, Debug)]
+pub struct NailIpv4Udp {
+    /// Backing storage.
+    pub arena: Arena,
+    /// IHL in bytes.
+    pub ihl: usize,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// UDP ports.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+    /// Payload (copied into the arena, as Nail materializes fields).
+    pub payload: ArenaRef,
+}
+
+/// Parses an IPv4+UDP datagram, Nail style.
+///
+/// # Errors
+///
+/// [`NailError`] on malformed datagrams.
+pub fn parse_ipv4_udp(data: &[u8]) -> Result<NailIpv4Udp> {
+    if data.len() < 28 {
+        return Err(NailError("truncated"));
+    }
+    let vihl = data[0];
+    if vihl >> 4 != 4 {
+        return Err(NailError("not IPv4"));
+    }
+    let ihl = (vihl & 0x0f) as usize * 4;
+    if ihl < 20 || ihl + 8 > data.len() {
+        return Err(NailError("bad IHL"));
+    }
+    let total = be16(data, 2)? as usize;
+    if total > data.len() || total < ihl + 8 {
+        return Err(NailError("bad total length"));
+    }
+    if data[9] != 17 {
+        return Err(NailError("not UDP"));
+    }
+    let mut arena = Arena::with_capacity(total);
+    let src: [u8; 4] = data[12..16].try_into().expect("4 bytes");
+    let dst: [u8; 4] = data[16..20].try_into().expect("4 bytes");
+    let sport = be16(data, ihl)?;
+    let dport = be16(data, ihl + 2)?;
+    let udp_len = be16(data, ihl + 4)? as usize;
+    if udp_len < 8 || ihl + udp_len > total {
+        return Err(NailError("bad UDP length"));
+    }
+    let payload = arena.push(&data[ihl + 8..ihl + udp_len]);
+    Ok(NailIpv4Udp { arena, ihl, src, dst, sport, dport, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::{dns, ipv4udp};
+
+    #[test]
+    fn dns_matches_ground_truth() {
+        let m = dns::generate(&dns::Config::default());
+        let parsed = parse_dns(&m.bytes).unwrap();
+        assert_eq!(parsed.id, m.summary.id);
+        assert_eq!(parsed.questions.len(), m.summary.questions.len());
+        for (i, expected) in m.summary.questions.iter().enumerate() {
+            assert_eq!(parsed.question_name(i), expected);
+        }
+        for (i, (name, ip)) in m.summary.answers.iter().enumerate() {
+            assert_eq!(parsed.answer_name(i), name, "compression pointers resolve");
+            assert_eq!(parsed.arena.get(parsed.answers[i].3), ip);
+        }
+    }
+
+    #[test]
+    fn dns_uncompressed() {
+        let m = dns::generate(&dns::Config { compress: false, ..Default::default() });
+        let parsed = parse_dns(&m.bytes).unwrap();
+        for (i, (name, _)) in m.summary.answers.iter().enumerate() {
+            assert_eq!(parsed.answer_name(i), name);
+        }
+    }
+
+    #[test]
+    fn arena_keeps_allocation_count_low() {
+        let m = dns::generate(&dns::Config { n_answers: 50, ..Default::default() });
+        let parsed = parse_dns(&m.bytes).unwrap();
+        // All names and rdata share one buffer.
+        assert!(parsed.arena.len() > 0);
+        assert_eq!(parsed.answers.len(), 50);
+    }
+
+    #[test]
+    fn ipv4_udp_matches_ground_truth() {
+        let p = ipv4udp::generate(&ipv4udp::Config { options_words: 2, ..Default::default() });
+        let parsed = parse_ipv4_udp(&p.bytes).unwrap();
+        assert_eq!(parsed.ihl, p.summary.ihl_bytes);
+        assert_eq!(parsed.src, p.summary.src);
+        assert_eq!(parsed.dst, p.summary.dst);
+        assert_eq!(parsed.sport, p.summary.sport);
+        assert_eq!(parsed.arena.get(parsed.payload).len(), p.summary.payload_len);
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        let p = ipv4udp::generate(&ipv4udp::Config::default());
+        let mut bad = p.bytes.clone();
+        bad[0] = 0x63; // IPv6, IHL 3
+        assert!(parse_ipv4_udp(&bad).is_err());
+        assert!(parse_ipv4_udp(&p.bytes[..20]).is_err());
+        let m = dns::generate(&dns::Config::default());
+        assert!(parse_dns(&m.bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn dns_pointer_loop_detected() {
+        // Header claiming one question whose name is a pointer to itself.
+        let mut msg = vec![0u8; 12];
+        msg[5] = 1; // qdcount = 1
+        msg.extend_from_slice(&[0xc0, 12]); // pointer to offset 12 (itself)
+        msg.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(parse_dns(&msg).is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Streamability analysis — the future-work direction sketched in §8 of
+//! the paper:
+//!
+//! > "We can first have an analysis that determines if it is possible to
+//! > generate a stream parser from an IPG: within each production rule, it
+//! > checks if the attribute dependency is only from left to right."
+//!
+//! A grammar is *streamable* when a parser could consume the input
+//! strictly left to right without random access or knowledge of the total
+//! input length. Concretely, a rule is streamable when every alternative
+//! satisfies:
+//!
+//! 1. **no reordering was needed** — the written term order already
+//!    respects attribute dependencies (dependencies flow left to right);
+//! 2. **no interval mentions `EOI`** — a stream parser does not know the
+//!    input length (`EOI` in predicates/attributes is also flagged, since
+//!    it is equally unavailable);
+//! 3. **every interval is sequential** — each positional term starts
+//!    exactly where the previous one ended (left endpoint `0` for the
+//!    first term, `prev.end` or the previous terminal's right endpoint
+//!    afterwards) and right endpoints are either a fixed offset or a
+//!    length added to the left endpoint. Anything else (offsets computed
+//!    from parsed data, backward references) requires seeking.
+//!
+//! The analysis is conservative: `streamable = true` means a left-to-right
+//! single-pass parser exists for the rule shape; `false` means this
+//! analysis could not prove it, with [`RuleStreamability::blockers`]
+//! explaining why. The whole grammar is streamable when every rule
+//! reachable from the start symbol is.
+
+use crate::check::{CAlt, CExpr, CInterval, CRuleBody, CTermKind, Grammar, NtId};
+use crate::syntax::BinOp;
+use crate::env::wellknown;
+use std::collections::HashSet;
+
+/// Streamability verdict for a whole grammar.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Whether every rule reachable from the start symbol is streamable.
+    pub streamable: bool,
+    /// Per-rule verdicts (reachable rules only), in nonterminal order.
+    pub rules: Vec<RuleStreamability>,
+}
+
+/// Streamability verdict for one rule.
+#[derive(Clone, Debug)]
+pub struct RuleStreamability {
+    /// The nonterminal.
+    pub name: String,
+    /// Whether this rule's shape admits single-pass parsing.
+    pub streamable: bool,
+    /// Human-readable reasons when not streamable.
+    pub blockers: Vec<String>,
+}
+
+/// Analyzes `grammar` for streamability (see the module docs).
+pub fn stream_analysis(grammar: &Grammar) -> StreamReport {
+    // Reachable rules from the start symbol.
+    let mut reachable: HashSet<u32> = HashSet::new();
+    let mut stack = vec![grammar.start_nt()];
+    while let Some(nt) = stack.pop() {
+        if !reachable.insert(nt.0) {
+            continue;
+        }
+        if let CRuleBody::Alts(alts) = &grammar.rule(nt).body {
+            for alt in alts {
+                for term in &alt.terms {
+                    match &term.kind {
+                        CTermKind::Symbol { nt, .. }
+                        | CTermKind::Array { nt, .. }
+                        | CTermKind::Star { nt, .. } => stack.push(*nt),
+                        CTermKind::Switch { cases } => {
+                            stack.extend(cases.iter().map(|c| c.nt));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    let mut rules = Vec::new();
+    let mut all_ok = true;
+    for nt in 0..grammar.nt_count() as u32 {
+        if !reachable.contains(&nt) {
+            continue;
+        }
+        let verdict = analyze_rule(grammar, NtId(nt));
+        all_ok &= verdict.streamable;
+        rules.push(verdict);
+    }
+    StreamReport { streamable: all_ok, rules }
+}
+
+fn analyze_rule(grammar: &Grammar, nt: NtId) -> RuleStreamability {
+    let rule = grammar.rule(nt);
+    let mut blockers = Vec::new();
+    match &rule.body {
+        CRuleBody::Builtin(b) => {
+            // Fixed-width and digit-prefix builtins stream; `bytes`
+            // consumes "the rest of the interval", which needs the length.
+            if matches!(b, crate::syntax::Builtin::Bytes) {
+                blockers.push("`bytes` consumes up to the interval end (needs length)".into());
+            }
+        }
+        CRuleBody::Blackbox(_) => {
+            blockers.push("blackbox parsers receive a length-bounded buffer".into())
+        }
+        CRuleBody::Alts(alts) => {
+            for (i, alt) in alts.iter().enumerate() {
+                analyze_alt(grammar, alt, i, &mut blockers);
+            }
+            // Biased choice with more than one alternative needs input
+            // backtracking buffers; that is still streamable with a
+            // bounded buffer, so it is reported but not a blocker.
+        }
+    }
+    RuleStreamability {
+        name: grammar.nt_name(nt).to_owned(),
+        streamable: blockers.is_empty(),
+        blockers,
+    }
+}
+
+fn analyze_alt(grammar: &Grammar, alt: &CAlt, alt_index: usize, blockers: &mut Vec<String>) {
+    // 1. Written order must equal evaluation order.
+    let mut last = None;
+    for term in &alt.terms {
+        if let Some(prev) = last {
+            if term.orig_index < prev {
+                blockers.push(format!(
+                    "alternative {alt_index}: terms were reordered (right-to-left \
+                     attribute dependency)"
+                ));
+                break;
+            }
+        }
+        last = Some(term.orig_index);
+    }
+
+    // 2./3. Interval shapes.
+    //
+    // We track the expected "current position" expression: position 0 at
+    // the start; after a streamable term, the position is that term's
+    // right end. A left endpoint must syntactically match the tracked
+    // position; EOI anywhere is a blocker.
+    let mut pos = PosShape::Zero;
+    let mut ordered: Vec<&crate::check::CTerm> = alt.terms.iter().collect();
+    ordered.sort_by_key(|t| t.orig_index);
+    for term in ordered {
+        match &term.kind {
+            CTermKind::AttrDef { expr, .. } | CTermKind::Predicate { expr } => {
+                if mentions_eoi(expr) {
+                    blockers.push(format!(
+                        "alternative {alt_index}: expression uses EOI (input length \
+                         unknown to a stream parser)"
+                    ));
+                }
+            }
+            CTermKind::Symbol { nt, interval } | CTermKind::Star { nt, interval } => {
+                check_interval(grammar, *nt, interval, &mut pos, alt_index, blockers);
+            }
+            CTermKind::Terminal { interval, .. } => {
+                check_terminal_interval(interval, &mut pos, alt_index, blockers);
+            }
+            CTermKind::Array { interval, .. } => {
+                // Arrays index by loop variable: streamable only when the
+                // element interval is contiguous, which we conservatively
+                // do not try to prove.
+                if mentions_eoi(&interval.lo) || mentions_eoi(&interval.hi) {
+                    blockers.push(format!(
+                        "alternative {alt_index}: array interval uses EOI"
+                    ));
+                }
+                blockers.push(format!(
+                    "alternative {alt_index}: array terms index by position (seek)"
+                ));
+                pos = PosShape::Unknown;
+            }
+            CTermKind::Switch { cases } => {
+                for case in cases {
+                    let mut case_pos = pos.clone();
+                    check_interval(
+                        grammar,
+                        case.nt,
+                        &case.interval,
+                        &mut case_pos,
+                        alt_index,
+                        blockers,
+                    );
+                }
+                pos = PosShape::Unknown;
+            }
+        }
+    }
+}
+
+/// The shape of "where the stream head is" after the terms seen so far.
+#[derive(Clone, Debug, PartialEq)]
+enum PosShape {
+    /// At offset 0 (start of the rule's input).
+    Zero,
+    /// At a constant offset.
+    Const(i64),
+    /// Not tracked precisely; the next term must chain via `B.end`.
+    Unknown,
+}
+
+fn check_interval(
+    grammar: &Grammar,
+    _nt: NtId,
+    interval: &CInterval,
+    pos: &mut PosShape,
+    alt_index: usize,
+    blockers: &mut Vec<String>,
+) {
+    let _ = grammar;
+    // A right endpoint of *exactly* EOI means "the rest of the input" —
+    // perfectly streamable (the callee decides how much to consume).
+    // Arithmetic on EOI (EOI - 5, EOI / 3) needs the input length.
+    let hi_is_plain_eoi = matches!(interval.hi, CExpr::Eoi);
+    if mentions_eoi(&interval.lo) || (!hi_is_plain_eoi && mentions_eoi(&interval.hi)) {
+        blockers.push(format!("alternative {alt_index}: interval uses EOI"));
+        *pos = PosShape::Unknown;
+        return;
+    }
+    if !lo_matches(&interval.lo, pos) {
+        blockers.push(format!(
+            "alternative {alt_index}: interval does not start at the stream position \
+             (random access)"
+        ));
+        *pos = PosShape::Unknown;
+        return;
+    }
+    // The right end becomes the new position when it is a constant;
+    // otherwise the next term must continue via `B.end`, which
+    // `lo_matches` accepts for any tracked position.
+    *pos = match &interval.hi {
+        CExpr::Num(n) => PosShape::Const(*n),
+        _ => PosShape::Unknown,
+    };
+}
+
+fn check_terminal_interval(
+    interval: &CInterval,
+    pos: &mut PosShape,
+    alt_index: usize,
+    blockers: &mut Vec<String>,
+) {
+    let hi_is_plain_eoi = matches!(interval.hi, CExpr::Eoi);
+    if mentions_eoi(&interval.lo) || (!hi_is_plain_eoi && mentions_eoi(&interval.hi)) {
+        blockers.push(format!("alternative {alt_index}: terminal interval uses EOI"));
+        *pos = PosShape::Unknown;
+        return;
+    }
+    if !lo_matches(&interval.lo, pos) {
+        blockers.push(format!(
+            "alternative {alt_index}: terminal does not start at the stream position"
+        ));
+        *pos = PosShape::Unknown;
+        return;
+    }
+    *pos = match const_fold(&interval.hi) {
+        Some(n) => PosShape::Const(n),
+        None => PosShape::Unknown,
+    };
+}
+
+/// Does the left endpoint syntactically continue from the tracked
+/// position?
+fn lo_matches(lo: &CExpr, pos: &PosShape) -> bool {
+    // `B.end` continues from wherever B finished.
+    if let CExpr::NtAttr { attr, .. } = lo {
+        if *attr == wellknown::END {
+            return true;
+        }
+    }
+    match (const_fold(lo), pos) {
+        (Some(0), PosShape::Zero) => true,
+        (Some(n), PosShape::Const(c)) => n == *c,
+        _ => false,
+    }
+}
+
+/// Folds constant expressions (auto-completion produces shapes like
+/// `0 + 6`, which must still read as sequential).
+fn const_fold(e: &CExpr) -> Option<i64> {
+    match e {
+        CExpr::Num(n) => Some(*n),
+        CExpr::Bin(op, a, b) => {
+            let a = const_fold(a)?;
+            let b = const_fold(b)?;
+            match op {
+                BinOp::Add => Some(a.wrapping_add(b)),
+                BinOp::Sub => Some(a.wrapping_sub(b)),
+                BinOp::Mul => Some(a.wrapping_mul(b)),
+                BinOp::Div if b != 0 => Some(a.wrapping_div(b)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn mentions_eoi(e: &CExpr) -> bool {
+    match e {
+        CExpr::Eoi => true,
+        CExpr::Num(_) | CExpr::Local(_) => false,
+        CExpr::Bin(_, a, b) => mentions_eoi(a) || mentions_eoi(b),
+        CExpr::Cond(a, b, c) => mentions_eoi(a) || mentions_eoi(b) || mentions_eoi(c),
+        CExpr::NtAttr { .. } | CExpr::OuterAttr { .. } => false,
+        CExpr::ElemAttr { index, .. } | CExpr::OuterElem { index, .. } => mentions_eoi(index),
+        CExpr::Exists { cond, then, els, .. } => {
+            mentions_eoi(cond) || mentions_eoi(then) || mentions_eoi(els)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::parse_grammar;
+
+    #[test]
+    fn sequential_tlv_grammar_is_streamable() {
+        let g = parse_grammar(
+            r#"
+            S -> Tag {t = Tag.val} Len {n = Len.val} Body[n] "!"[Body.end, Body.end + 1];
+            Tag := u8;
+            Len := u16be;
+            Body := bytes;
+            "#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        // Body is `bytes` (length-bounded) — flagged on the Body rule, but
+        // S itself is sequential.
+        let s = report.rules.iter().find(|r| r.name == "S").unwrap();
+        assert!(s.streamable, "blockers: {:?}", s.blockers);
+    }
+
+    #[test]
+    fn random_access_grammar_is_not_streamable() {
+        let g = parse_grammar(
+            r#"
+            S -> H[0, 8] Data[H.offset, H.offset + H.length];
+            H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+            Int := u32le;
+            Data := bytes;
+            "#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        assert!(!report.streamable);
+        let s = report.rules.iter().find(|r| r.name == "S").unwrap();
+        assert!(!s.streamable);
+        assert!(s.blockers.iter().any(|b| b.contains("random access")), "{:?}", s.blockers);
+    }
+
+    #[test]
+    fn plain_eoi_right_endpoint_is_streamable() {
+        // `A[0, EOI]` just means "the rest of the input" — a stream parser
+        // can hand that over without knowing the length.
+        let g = parse_grammar(r#"S -> A[0, EOI]; A -> "x"[0, 1];"#).unwrap();
+        let report = stream_analysis(&g);
+        assert!(report.streamable, "{report:?}");
+    }
+
+    #[test]
+    fn eoi_arithmetic_blocks_streaming() {
+        // The a^n b^n c^n grammar needs the total length up front.
+        let g = parse_grammar(
+            r#"S -> {n = EOI / 3} A[0, n]; A -> "a"[0, 1];"#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        let s = report.rules.iter().find(|r| r.name == "S").unwrap();
+        assert!(!s.streamable);
+        assert!(s.blockers.iter().any(|b| b.contains("EOI")), "{:?}", s.blockers);
+    }
+
+    #[test]
+    fn backward_parsing_is_not_streamable() {
+        let g = ipg_formats_pdf_like();
+        let report = stream_analysis(&g);
+        assert!(!report.streamable);
+    }
+
+    fn ipg_formats_pdf_like() -> Grammar {
+        parse_grammar(
+            r#"
+            S -> "%%EOF"[EOI - 5, EOI] Head[0, 5];
+            Head := bytes;
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn completion_artifacts_are_const_folded() {
+        // Auto-completion writes shapes like `0 + 6`; the analysis must
+        // still read the sequence "magic"[0, 0+6] A[0+6+…] as sequential.
+        let g = parse_grammar(
+            r#"S -> "magic" "!" Tail; Tail -> "t"[0, 1];"#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        assert!(report.streamable, "{report:?}");
+    }
+
+    #[test]
+    fn star_terms_participate_in_the_analysis() {
+        let g = parse_grammar(
+            r#"
+            S -> star Item;
+            Item -> "R"[0, 1] Len[1, 2] {n = Len.val} Body[2, 2 + n];
+            Len := u8;
+            Body := bytes;
+            "#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        let s = report.rules.iter().find(|r| r.name == "S").unwrap();
+        assert!(s.streamable, "star over sequential items streams: {:?}", s.blockers);
+    }
+
+    #[test]
+    fn unreachable_rules_are_ignored() {
+        let g = parse_grammar(
+            r#"
+            S -> "x"[0, 1];
+            Dead -> A[0, EOI];
+            A -> "y"[0, 1];
+            "#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        assert!(report.streamable, "Dead is unreachable from S");
+        assert!(report.rules.iter().all(|r| r.name != "Dead"));
+    }
+
+    #[test]
+    fn reordered_dependencies_block_streaming() {
+        // Forward reference forces reordering → right-to-left dependency.
+        let g = parse_grammar(
+            r#"
+            S -> B1[0, B2.a] B2[2, 4] / "x"[0, 1];
+            B1 := bytes;
+            B2 -> Int[0, 2] {a = Int.val};
+            Int := u16le;
+            "#,
+        )
+        .unwrap();
+        let report = stream_analysis(&g);
+        let s = report.rules.iter().find(|r| r.name == "S").unwrap();
+        assert!(!s.streamable);
+        assert!(s.blockers.iter().any(|b| b.contains("reordered")), "{:?}", s.blockers);
+    }
+}

@@ -1,0 +1,122 @@
+//! Blackbox parsers (§3.4 of the paper).
+//!
+//! IPGs are *modular*: an interval confines exactly what part of the input
+//! an external, opaque parser may see. The canonical example — used by the
+//! ZIP case study in §7 — hands the compressed bytes of an archive entry to
+//! a DEFLATE decompressor.
+//!
+//! A blackbox parser receives the local input slice and reports how many
+//! bytes it consumed, the decoded payload, and the values of the integer
+//! attributes it declared up front (so attribute checking can treat a
+//! blackbox rule like any other rule with a known `def` set).
+
+/// The result of running a blackbox parser on a local input slice.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlackboxResult {
+    /// Number of input bytes consumed (sets the node's `end` attribute so
+    /// implicit intervals after the blackbox work).
+    pub consumed: usize,
+    /// Decoded output bytes (e.g. decompressed data). May be empty.
+    pub data: Vec<u8>,
+    /// Values of the attributes declared in [`Blackbox::attrs`], in the
+    /// same order.
+    pub attr_values: Vec<i64>,
+}
+
+/// The function type of a blackbox parser.
+///
+/// The argument is the interval-confined local input. Errors are reported
+/// as strings and surface as parse failures (the enclosing biased choice
+/// may still recover).
+pub type BlackboxFn = dyn Fn(&[u8]) -> Result<BlackboxResult, String> + Send + Sync;
+
+/// A named blackbox parser together with its declared attribute names.
+#[derive(Clone)]
+pub struct Blackbox {
+    /// Name under which the grammar references this parser.
+    pub name: String,
+    /// Attribute names this parser defines (its `def` set).
+    pub attrs: Vec<String>,
+    /// The implementation.
+    pub run: std::sync::Arc<BlackboxFn>,
+}
+
+impl std::fmt::Debug for Blackbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blackbox")
+            .field("name", &self.name)
+            .field("attrs", &self.attrs)
+            .field("run", &"<fn>")
+            .finish()
+    }
+}
+
+impl Blackbox {
+    /// Wraps `f` as a blackbox named `name` declaring no attributes beyond
+    /// the implicit `start`/`end`.
+    pub fn new<F>(name: &str, f: F) -> Self
+    where
+        F: Fn(&[u8]) -> Result<BlackboxResult, String> + Send + Sync + 'static,
+    {
+        Blackbox { name: name.to_owned(), attrs: Vec::new(), run: std::sync::Arc::new(f) }
+    }
+
+    /// Wraps `f` as a blackbox that declares the given attributes; `f` must
+    /// return exactly `attrs.len()` values in [`BlackboxResult::attr_values`].
+    pub fn with_attrs<F>(name: &str, attrs: &[&str], f: F) -> Self
+    where
+        F: Fn(&[u8]) -> Result<BlackboxResult, String> + Send + Sync + 'static,
+    {
+        Blackbox {
+            name: name.to_owned(),
+            attrs: attrs.iter().map(|s| (*s).to_owned()).collect(),
+            run: std::sync::Arc::new(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackbox_runs_on_confined_slice() {
+        let bb = Blackbox::new("upper", |input| {
+            Ok(BlackboxResult {
+                consumed: input.len(),
+                data: input.to_ascii_uppercase(),
+                attr_values: vec![],
+            })
+        });
+        let out = (bb.run)(b"zip").unwrap();
+        assert_eq!(out.data, b"ZIP");
+        assert_eq!(out.consumed, 3);
+    }
+
+    #[test]
+    fn blackbox_errors_are_strings() {
+        let bb = Blackbox::new("never", |_| Err("nope".to_owned()));
+        assert_eq!((bb.run)(b"x").unwrap_err(), "nope");
+    }
+
+    #[test]
+    fn with_attrs_declares_def_set() {
+        let bb = Blackbox::with_attrs("len", &["n"], |input| {
+            Ok(BlackboxResult {
+                consumed: input.len(),
+                data: Vec::new(),
+                attr_values: vec![input.len() as i64],
+            })
+        });
+        assert_eq!(bb.attrs, vec!["n".to_owned()]);
+        assert_eq!((bb.run)(b"abcd").unwrap().attr_values, vec![4]);
+    }
+
+    #[test]
+    fn debug_does_not_print_the_closure() {
+        let bb = Blackbox::new("x", |_| Ok(BlackboxResult::default()));
+        let dbg = format!("{bb:?}");
+        assert!(dbg.contains("\"x\""));
+        assert!(dbg.contains("<fn>"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-alternative term dependency graphs (§3.2 of the paper).
+//!
+//! A term `t1` depends on term `t2` when `t1` contains a reference to an
+//! attribute of `t2` (or to an attribute *defined by* `t2`, for attribute
+//! definition terms). The paper requires the graph to be a DAG and then
+//! reorders terms topologically so the parser can evaluate them left to
+//! right. We use a *stable* topological order — among ready terms the one
+//! earliest in written order goes first — so that rules without forward
+//! references keep exactly their written order.
+
+/// A dependency graph over the `n` terms of one alternative.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    /// Number of terms.
+    pub n: usize,
+    /// `deps[i]` = written indices of the terms that term `i` depends on.
+    pub deps: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DepGraph { n, deps: vec![Vec::new(); n] }
+    }
+
+    /// Records that term `from` depends on term `to`. Self-edges are
+    /// recorded too and will be reported as cycles.
+    pub fn add_dep(&mut self, from: usize, to: usize) {
+        if !self.deps[from].contains(&to) {
+            self.deps[from].push(to);
+        }
+    }
+
+    /// Returns a stable topological order of the terms (dependencies before
+    /// dependents; ties broken by written order), or the written indices of
+    /// the terms involved in a dependency cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>, Vec<usize>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // rdeps[j] = terms that depend on j.
+        let mut indegree = vec![0usize; self.n];
+        let mut rdeps = vec![Vec::new(); self.n];
+        for (i, deps) in self.deps.iter().enumerate() {
+            indegree[i] = deps.len();
+            for &j in deps {
+                rdeps[j].push(i);
+            }
+        }
+
+        let mut ready: BinaryHeap<Reverse<usize>> = (0..self.n)
+            .filter(|&i| indegree[i] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(Reverse(i)) = ready.pop() {
+            order.push(i);
+            for &d in &rdeps[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(Reverse(d));
+                }
+            }
+        }
+
+        if order.len() == self.n {
+            Ok(order)
+        } else {
+            let mut cycle: Vec<usize> = (0..self.n).filter(|&i| indegree[i] > 0).collect();
+            cycle.sort_unstable();
+            Err(cycle)
+        }
+    }
+}
+
+/// Convenience constructor used by tests: builds a graph from explicit
+/// `(from, to)` dependency pairs.
+pub fn build_dep_graph(n: usize, edges: &[(usize, usize)]) -> DepGraph {
+    let mut g = DepGraph::new(n);
+    for &(from, to) in edges {
+        g.add_dep(from, to);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deps_preserves_written_order() {
+        let g = build_dep_graph(4, &[]);
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn forward_reference_reorders() {
+        // Paper example: B1[0, B2.a] B2[a1, EOI] {a1 = 2}
+        // Term 0 (B1) depends on term 1 (B2); term 1 depends on term 2 (a1).
+        let g = build_dep_graph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.topo_order().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn stability_keeps_duplicate_nonterminal_pattern_in_order() {
+        // H -> Int[0,4] {offset=Int.val} Int[4,8] {length=Int.val}
+        // Term 1 depends on 0, term 3 depends on 2.
+        let g = build_dep_graph(4, &[(1, 0), (3, 2)]);
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_is_reported_with_members() {
+        let g = build_dep_graph(3, &[(0, 1), (1, 0)]);
+        assert_eq!(g.topo_order().unwrap_err(), vec![0, 1]);
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let g = build_dep_graph(2, &[(1, 1)]);
+        assert_eq!(g.topo_order().unwrap_err(), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = DepGraph::new(2);
+        g.add_dep(1, 0);
+        g.add_dep(1, 0);
+        assert_eq!(g.deps[1], vec![0]);
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = DepGraph::new(0);
+        assert_eq!(g.topo_order().unwrap(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,463 @@
+//! Interval parser combinators — the Rust port of the monadic OCaml
+//! library from the paper's appendix (A.2).
+//!
+//! A [`P<T>`] is a parser producing a `T`. Its internal state is the
+//! triple `(l, r, c)`: the *interval* `[l, r)` currently assigned to the
+//! parser (absolute offsets into the global input) and the current parsing
+//! position `c`. The key combinator is [`P::local`] (the appendix's `%`
+//! operator): it runs a parser inside a sub-interval given in *relative*
+//! offsets, then restores the enclosing interval — exactly matching the
+//! IPG semantics of `A[el, er]`.
+//!
+//! ```
+//! use ipg_core::combinators::{byte, eoi, fix, P};
+//!
+//! // The binary number parser of Fig. 3, as combinators (appendix A.2).
+//! fn digit() -> P<i64> {
+//!     byte(b'0').map(|_| 0).or(byte(b'1').map(|_| 1))
+//! }
+//! let int_p = fix(|intp| {
+//!     eoi()
+//!         .and_then(move |n| {
+//!             let intp = intp.clone();
+//!             intp.local_dyn(move |_| (0, n - 1))
+//!                 .and_then(move |hi| {
+//!                     digit().local_dyn(move |eoi| (eoi - 1, eoi)).map(move |d| hi * 2 + d)
+//!                 })
+//!         })
+//!         .or(digit().local(0, 1))
+//! });
+//! assert_eq!(int_p.run(b"101"), Some(5));
+//! assert_eq!(int_p.run(b"2"), None);
+//! ```
+
+use std::rc::Rc;
+
+/// The monad state of the appendix: assigned interval `[l, r)` and current
+/// position `c`, all absolute offsets into the global input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct State {
+    /// Left endpoint of the assigned interval.
+    pub l: usize,
+    /// Right endpoint of the assigned interval.
+    pub r: usize,
+    /// Current parsing position (`l ≤ c ≤ r`).
+    pub c: usize,
+}
+
+/// An interval parser producing values of type `T`.
+///
+/// Cloning is cheap (reference-counted closure).
+pub struct P<T>(Rc<dyn Fn(&[u8], State) -> Option<(T, State)>>);
+
+impl<T> Clone for P<T> {
+    fn clone(&self) -> Self {
+        P(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> P<T> {
+    /// Wraps a raw state-transition function.
+    pub fn from_fn(f: impl Fn(&[u8], State) -> Option<(T, State)> + 'static) -> Self {
+        P(Rc::new(f))
+    }
+
+    /// Runs the parser on the whole input.
+    pub fn run(&self, input: &[u8]) -> Option<T> {
+        self.run_state(input, State { l: 0, r: input.len(), c: 0 }).map(|(v, _)| v)
+    }
+
+    /// Runs the parser from an explicit state (exposed for composing with
+    /// hand-written parsers).
+    pub fn run_state(&self, input: &[u8], st: State) -> Option<(T, State)> {
+        (self.0)(input, st)
+    }
+
+    /// Monadic bind (`>>=`).
+    pub fn and_then<U: 'static>(self, f: impl Fn(T) -> P<U> + 'static) -> P<U> {
+        P(Rc::new(move |inp, st| {
+            let (v, st1) = (self.0)(inp, st)?;
+            (f(v).0)(inp, st1)
+        }))
+    }
+
+    /// Functorial map.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> P<U> {
+        P(Rc::new(move |inp, st| {
+            let (v, st1) = (self.0)(inp, st)?;
+            Some((f(v), st1))
+        }))
+    }
+
+    /// Biased choice (the paper's `/`): `other` runs only if `self` fails,
+    /// from the same state.
+    pub fn or(self, other: P<T>) -> P<T> {
+        P(Rc::new(move |inp, st| (self.0)(inp, st).or_else(|| (other.0)(inp, st))))
+    }
+
+    /// Sequencing that keeps the second value (the appendix's `$$`).
+    pub fn then<U: 'static>(self, next: P<U>) -> P<U> {
+        P(Rc::new(move |inp, st| {
+            let (_, st1) = (self.0)(inp, st)?;
+            (next.0)(inp, st1)
+        }))
+    }
+
+    /// Sequencing that keeps both values.
+    pub fn pair<U: 'static>(self, next: P<U>) -> P<(T, U)> {
+        P(Rc::new(move |inp, st| {
+            let (a, st1) = (self.0)(inp, st)?;
+            let (b, st2) = (next.0)(inp, st1)?;
+            Some(((a, b), st2))
+        }))
+    }
+
+    /// The appendix's `%` combinator: run `self` confined to the interval
+    /// `[lo, hi)` given in offsets *relative* to the current interval, then
+    /// restore the interval and set the position to the sub-interval's
+    /// (relative) right end.
+    ///
+    /// Fails when the relative interval does not satisfy
+    /// `0 ≤ lo ≤ hi ≤ EOI` (note: the OCaml appendix requires `lo < hi`;
+    /// we allow the empty interval to match the core IPG semantics, where
+    /// `[0, 0]` is valid).
+    pub fn local(self, lo: i64, hi: i64) -> P<T> {
+        self.local_dyn(move |_| (lo, hi))
+    }
+
+    /// Like [`P::local`], but the relative interval may depend on the
+    /// current `EOI` (length of the enclosing interval).
+    pub fn local_dyn(self, f: impl Fn(i64) -> (i64, i64) + 'static) -> P<T> {
+        P(Rc::new(move |inp, st| {
+            let eoi = (st.r - st.l) as i64;
+            let (lo, hi) = f(eoi);
+            if !(0 <= lo && lo <= hi && hi <= eoi) {
+                return None;
+            }
+            let inner = State {
+                l: st.l + lo as usize,
+                r: st.l + hi as usize,
+                c: st.l + lo as usize,
+            };
+            let (v, _) = (self.0)(inp, inner)?;
+            // Restore the enclosing interval; position moves to the end of
+            // the sub-interval (as in the appendix's definition of `%`).
+            Some((v, State { l: st.l, r: st.r, c: st.l + hi as usize }))
+        }))
+    }
+
+    /// Runs `self` on `[lo, lo + len)` where `lo` is the current *position*
+    /// relative to the interval — the combinator analogue of implicit
+    /// length intervals (`A[10]`).
+    pub fn here(self, len: i64) -> P<T> {
+        P(Rc::new(move |inp, st| {
+            let rel = (st.c - st.l) as i64;
+            (self.clone().local_dyn(move |_| (rel, rel + len)).0)(inp, st)
+        }))
+    }
+}
+
+/// Always succeeds with `v`, consuming nothing (monadic `return`).
+pub fn ret<T: Clone + 'static>(v: T) -> P<T> {
+    P(Rc::new(move |_, st| Some((v.clone(), st))))
+}
+
+/// Always fails.
+pub fn fail<T: 'static>() -> P<T> {
+    P(Rc::new(|_, _| None))
+}
+
+/// The length of the current interval (`EOI`).
+pub fn eoi() -> P<i64> {
+    P(Rc::new(|_, st| Some((((st.r - st.l) as i64), st))))
+}
+
+/// The current position, relative to the current interval.
+pub fn pos() -> P<i64> {
+    P(Rc::new(|_, st| Some(((st.c - st.l) as i64, st))))
+}
+
+/// Succeeds iff `cond` is true (predicate `⟨e⟩`).
+pub fn guard(cond: bool) -> P<()> {
+    P(Rc::new(move |_, st| if cond { Some(((), st)) } else { None }))
+}
+
+/// Matches a single byte equal to `ch` at the current position (the
+/// appendix's `charP`).
+pub fn byte(ch: u8) -> P<u8> {
+    P(Rc::new(move |inp, st| {
+        if st.c < st.r && inp[st.c] == ch {
+            Some((ch, State { c: st.c + 1, ..st }))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Matches any single byte.
+pub fn any_byte() -> P<u8> {
+    P(Rc::new(|inp, st| {
+        if st.c < st.r {
+            Some((inp[st.c], State { c: st.c + 1, ..st }))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Matches the literal byte string `s` at the current position.
+pub fn literal(s: &[u8]) -> P<()> {
+    let s = s.to_vec();
+    P(Rc::new(move |inp, st| {
+        if st.c + s.len() <= st.r && &inp[st.c..st.c + s.len()] == s.as_slice() {
+            Some(((), State { c: st.c + s.len(), ..st }))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Reads a fixed-width little-endian unsigned integer (the `btoi`
+/// specialization of §7).
+pub fn uint_le(width: usize) -> P<i64> {
+    uint(width, false)
+}
+
+/// Reads a fixed-width big-endian unsigned integer.
+pub fn uint_be(width: usize) -> P<i64> {
+    uint(width, true)
+}
+
+fn uint(width: usize, big_endian: bool) -> P<i64> {
+    assert!(width <= 8, "width above 8 bytes would overflow i64");
+    P(Rc::new(move |inp, st| {
+        if st.c + width > st.r {
+            return None;
+        }
+        let slice = &inp[st.c..st.c + width];
+        let mut v: i64 = 0;
+        if big_endian {
+            for &b in slice {
+                v = (v << 8) | b as i64;
+            }
+        } else {
+            for &b in slice.iter().rev() {
+                v = (v << 8) | b as i64;
+            }
+        }
+        Some((v, State { c: st.c + width, ..st }))
+    }))
+}
+
+/// The remaining bytes of the current interval, as an owned vector.
+pub fn rest() -> P<Vec<u8>> {
+    P(Rc::new(|inp, st| {
+        Some((inp[st.c..st.r].to_vec(), State { c: st.r, ..st }))
+    }))
+}
+
+/// Runs `p` exactly `n` times, collecting the results (array terms).
+pub fn count<T: 'static>(n: usize, p: P<T>) -> P<Vec<T>> {
+    P(Rc::new(move |inp, mut st| {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (v, st1) = (p.0)(inp, st)?;
+            out.push(v);
+            st = st1;
+        }
+        Some((out, st))
+    }))
+}
+
+/// Runs `p` zero or more times until it fails, collecting the results.
+pub fn many<T: 'static>(p: P<T>) -> P<Vec<T>> {
+    P(Rc::new(move |inp, mut st| {
+        let mut out = Vec::new();
+        while let Some((v, st1)) = (p.0)(inp, st) {
+            // Refuse to loop on non-advancing parsers.
+            if st1 == st {
+                break;
+            }
+            out.push(v);
+            st = st1;
+        }
+        Some((out, st))
+    }))
+}
+
+/// Ties the recursive knot: `fix(f)` behaves as `f(fix(f))`, evaluated
+/// lazily so recursive grammars (like Fig. 3's `Int`) can be expressed.
+pub fn fix<T: 'static>(f: impl Fn(P<T>) -> P<T> + 'static) -> P<T> {
+    let f = Rc::new(f);
+    fix_rc(f)
+}
+
+fn fix_rc<T: 'static>(f: Rc<dyn Fn(P<T>) -> P<T>>) -> P<T> {
+    let g = Rc::clone(&f);
+    P(Rc::new(move |inp, st| {
+        let p = g(fix_rc(Rc::clone(&g)));
+        (p.0)(inp, st)
+    }))
+}
+
+impl<T> std::fmt::Debug for P<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("P(<parser>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digit() -> P<i64> {
+        byte(b'0').map(|_| 0).or(byte(b'1').map(|_| 1))
+    }
+
+    /// The appendix's `intP` example.
+    fn int_p() -> P<i64> {
+        fix(|intp| {
+            eoi()
+                .and_then(move |n| {
+                    let intp = intp.clone();
+                    intp.local_dyn(move |_| (0, n - 1)).and_then(move |hi| {
+                        digit()
+                            .local_dyn(move |e| (e - 1, e))
+                            .map(move |d| hi * 2 + d)
+                    })
+                })
+                .or(digit().local(0, 1))
+        })
+    }
+
+    #[test]
+    fn binary_number_matches_fig3() {
+        let p = int_p();
+        assert_eq!(p.run(b"0"), Some(0));
+        assert_eq!(p.run(b"1"), Some(1));
+        assert_eq!(p.run(b"101"), Some(5));
+        assert_eq!(p.run(b"1111"), Some(15));
+        assert_eq!(p.run(b""), None);
+        assert_eq!(p.run(b"2"), None);
+    }
+
+    #[test]
+    fn combinators_agree_with_interpreter_on_binary_numbers() {
+        use crate::frontend::parse_grammar;
+        use crate::interp::Parser;
+        let g = parse_grammar(
+            r#"
+            start Int;
+            Int -> Int[0, EOI - 1] Digit[EOI - 1, EOI] {val = 2 * Int.val + Digit.val}
+                 / Digit[0, 1] {val = Digit.val};
+            Digit -> "0"[0, 1] {val = 0} / "1"[0, 1] {val = 1};
+            "#,
+        )
+        .unwrap();
+        let interp = Parser::new(&g);
+        let comb = int_p();
+        // Exhaustive over all strings of length ≤ 6 over {0, 1, x}.
+        let alphabet = [b'0', b'1', b'x'];
+        let mut inputs: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for s in &inputs {
+                for &a in &alphabet {
+                    let mut t = s.clone();
+                    t.push(a);
+                    next.push(t);
+                }
+            }
+            for s in &next {
+                let lhs = interp
+                    .parse(s)
+                    .ok()
+                    .map(|t| t.as_node().unwrap().attr(&g, "val").unwrap());
+                let rhs = comb.run(s);
+                assert_eq!(lhs, rhs, "disagreement on {s:?}");
+            }
+            inputs = next;
+        }
+    }
+
+    #[test]
+    fn local_confines_the_view() {
+        // rest() inside a local interval sees only that slice.
+        let p = rest().local(2, 5);
+        assert_eq!(p.run(b"abcdefg"), Some(b"cde".to_vec()));
+        // Out-of-range interval fails.
+        assert_eq!(rest().local(2, 99).run(b"abc"), None);
+        // Negative left endpoint fails.
+        assert_eq!(rest().local(-1, 2).run(b"abc"), None);
+    }
+
+    #[test]
+    fn empty_local_interval_is_valid() {
+        assert_eq!(rest().local(1, 1).run(b"ab"), Some(Vec::new()));
+    }
+
+    #[test]
+    fn random_access_pattern() {
+        // Fig. 2 via combinators: header holds offset and length.
+        let p = uint_le(4).pair(uint_le(4)).local(0, 8).and_then(|(ofs, len)| {
+            rest().local_dyn(move |_| (ofs, ofs + len))
+        });
+        let mut input = Vec::new();
+        input.extend_from_slice(&10u32.to_le_bytes());
+        input.extend_from_slice(&3u32.to_le_bytes());
+        input.extend_from_slice(b"..ABCxx");
+        assert_eq!(p.run(&input), Some(b"ABC".to_vec()));
+    }
+
+    #[test]
+    fn sequencing_moves_the_position() {
+        let p = literal(b"PK").then(uint_le(2));
+        assert_eq!(p.run(&[b'P', b'K', 0x34, 0x12]), Some(0x1234));
+        assert_eq!(p.run(b"XX\x01\x02"), None);
+    }
+
+    #[test]
+    fn count_and_many() {
+        let p = count(3, any_byte());
+        assert_eq!(p.run(b"abc"), Some(b"abc".to_vec()));
+        assert_eq!(p.run(b"ab"), None);
+        let p = many(byte(b'a'));
+        assert_eq!(p.run(b"aaab"), Some(b"aaa".to_vec()));
+        assert_eq!(p.run(b""), Some(Vec::new()));
+    }
+
+    #[test]
+    fn many_does_not_loop_on_empty_success() {
+        let p = many(ret(1));
+        assert_eq!(p.run(b"x"), Some(Vec::new()));
+    }
+
+    #[test]
+    fn biased_choice_is_ordered() {
+        let p = byte(b'a').map(|_| 1).or(any_byte().map(|_| 2));
+        assert_eq!(p.run(b"a"), Some(1));
+        assert_eq!(p.run(b"z"), Some(2));
+    }
+
+    #[test]
+    fn guard_implements_predicates() {
+        let p = eoi().and_then(|n| guard(n % 3 == 0).map(move |_| n));
+        assert_eq!(p.run(b"abcdef"), Some(6));
+        assert_eq!(p.run(b"abcd"), None);
+    }
+
+    #[test]
+    fn uint_endianness() {
+        assert_eq!(uint_le(2).run(&[0x01, 0x02]), Some(0x0201));
+        assert_eq!(uint_be(2).run(&[0x01, 0x02]), Some(0x0102));
+        assert_eq!(uint_be(4).run(&[0, 0, 0, 5]), Some(5));
+        assert_eq!(uint_le(4).run(&[1, 2]), None, "short input");
+    }
+
+    #[test]
+    fn here_parses_at_the_current_position() {
+        // "magic" then a 2-byte length-prefixed region at the position.
+        let p = literal(b"hd").then(rest().here(3));
+        assert_eq!(p.run(b"hdABCtail"), Some(b"ABC".to_vec()));
+    }
+}

@@ -1,0 +1,185 @@
+//! Attribute environments.
+//!
+//! The parsing semantics (Fig. 8) threads an environment `E` mapping
+//! attribute ids to integer values through every alternative. Environments
+//! are small (a handful of attributes per rule), so they are flat vectors
+//! with linear lookup, which is faster than hashing at these sizes and keeps
+//! parse trees compact.
+
+use crate::intern::Sym;
+
+/// Well-known symbols. [`crate::check::check`] interns these first, in this
+/// exact order, so the constants below are valid in every checked grammar.
+pub mod wellknown {
+    use crate::intern::{Interner, Sym};
+
+    /// `start` — left-most input offset touched by a nonterminal.
+    pub const START: Sym = Sym(0);
+    /// `end` — one plus the right-most input offset touched.
+    pub const END: Sym = Sym(1);
+    /// `EOI` — length of the current rule's input.
+    pub const EOI: Sym = Sym(2);
+    /// `val` — the value attribute defined by every builtin parser.
+    pub const VAL: Sym = Sym(3);
+
+    /// Creates an interner pre-seeded with the well-known symbols.
+    pub fn seeded_interner() -> Interner {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("start"), START);
+        assert_eq!(i.intern("end"), END);
+        assert_eq!(i.intern("EOI"), EOI);
+        assert_eq!(i.intern("val"), VAL);
+        i
+    }
+}
+
+/// An attribute environment: a map from [`Sym`] to `i64`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    entries: Vec<(Sym, i64)>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The initial environment of an alternative parsing an input of length
+    /// `len`: `{EOI ↦ len, start ↦ len, end ↦ 0}` (rule R-AltSucc).
+    pub fn initial(len: usize) -> Self {
+        Env {
+            entries: vec![
+                (wellknown::EOI, len as i64),
+                (wellknown::START, len as i64),
+                (wellknown::END, 0),
+            ],
+        }
+    }
+
+    /// Looks up `sym`.
+    pub fn get(&self, sym: Sym) -> Option<i64> {
+        self.entries.iter().rev().find(|(s, _)| *s == sym).map(|&(_, v)| v)
+    }
+
+    /// Binds `sym` to `v`, overwriting any previous binding.
+    pub fn set(&mut self, sym: Sym, v: i64) {
+        if let Some(entry) = self.entries.iter_mut().find(|(s, _)| *s == sym) {
+            entry.1 = v;
+        } else {
+            self.entries.push((sym, v));
+        }
+    }
+
+    /// Pushes a binding without removing a previous one; paired with
+    /// [`Env::pop_scope`] for loop variables.
+    pub fn push_scope(&mut self, sym: Sym, v: i64) {
+        self.entries.push((sym, v));
+    }
+
+    /// Removes the most recent binding (added by [`Env::push_scope`]).
+    pub fn pop_scope(&mut self) {
+        self.entries.pop();
+    }
+
+    /// Updates the most recent binding for `sym` in place (used to advance a
+    /// loop variable without push/pop churn).
+    pub fn set_top(&mut self, sym: Sym, v: i64) {
+        if let Some(entry) = self.entries.iter_mut().rev().find(|(s, _)| *s == sym) {
+            entry.1 = v;
+        } else {
+            self.entries.push((sym, v));
+        }
+    }
+
+    /// The `start` value (panics if absent — environments built with
+    /// [`Env::initial`] always have it).
+    pub fn start(&self) -> i64 {
+        self.get(wellknown::START).expect("env has start")
+    }
+
+    /// The `end` value.
+    pub fn end(&self) -> i64 {
+        self.get(wellknown::END).expect("env has end")
+    }
+
+    /// Implements `updStartEnd(E, l, r, b)` from the paper: when `b` holds,
+    /// widen the touched region to include `[l, r)`.
+    pub fn upd_start_end(&mut self, l: i64, r: i64, b: bool) {
+        if b {
+            let s = self.start().min(l);
+            let e = self.end().max(r);
+            self.set(wellknown::START, s);
+            self.set(wellknown::END, e);
+        }
+    }
+
+    /// Iterates over `(sym, value)` bindings in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, i64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_env_matches_r_altsucc() {
+        let e = Env::initial(10);
+        assert_eq!(e.get(wellknown::EOI), Some(10));
+        assert_eq!(e.get(wellknown::START), Some(10));
+        assert_eq!(e.get(wellknown::END), Some(0));
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut e = Env::new();
+        let s = Sym(7);
+        e.set(s, 1);
+        e.set(s, 2);
+        assert_eq!(e.get(s), Some(2));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn scoped_bindings_shadow_and_restore() {
+        let mut e = Env::new();
+        let s = Sym(7);
+        e.set(s, 1);
+        e.push_scope(s, 99);
+        assert_eq!(e.get(s), Some(99));
+        e.pop_scope();
+        assert_eq!(e.get(s), Some(1));
+    }
+
+    #[test]
+    fn upd_start_end_widens_only_when_flag_holds() {
+        let mut e = Env::initial(10);
+        e.upd_start_end(3, 5, false);
+        assert_eq!((e.start(), e.end()), (10, 0));
+        e.upd_start_end(3, 5, true);
+        assert_eq!((e.start(), e.end()), (3, 5));
+        e.upd_start_end(1, 4, true);
+        assert_eq!((e.start(), e.end()), (1, 5));
+    }
+
+    #[test]
+    fn seeded_interner_matches_constants() {
+        let i = wellknown::seeded_interner();
+        assert_eq!(i.get("start"), Some(wellknown::START));
+        assert_eq!(i.get("end"), Some(wellknown::END));
+        assert_eq!(i.get("EOI"), Some(wellknown::EOI));
+        assert_eq!(i.get("val"), Some(wellknown::VAL));
+    }
+}

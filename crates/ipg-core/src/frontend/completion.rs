@@ -1,0 +1,260 @@
+//! Implicit-interval auto-completion (§3.4 of the paper).
+//!
+//! Scanning each alternative left to right:
+//!
+//! * a missing left endpoint becomes `0` for the left-most positional term,
+//!   `P.end` when the previous positional term is a nonterminal `P`, and
+//!   the previous term's right endpoint when it is a terminal string;
+//! * a missing right endpoint becomes `EOI` for nonterminals and
+//!   `lo + |s|` for terminal strings;
+//! * a single bracketed expression `[e]` is a *length*: the left endpoint
+//!   is inferred as above and the right endpoint is `lo + e`.
+//!
+//! Attribute definitions and predicates are transparent to the scan. Terms
+//! following an array or switch term must carry explicit intervals (the
+//! paper's examples always do); we report an error otherwise. Every
+//! completed interval records its [`IntervalOrigin`] so the Table 2
+//! statistics can be regenerated.
+
+use super::parser::{PendingTerm, RawInterval};
+use crate::error::{Error, Result};
+use crate::syntax::{Expr, Grammar, Interval, IntervalOrigin, RuleBody, Term};
+
+/// What the previous positional term contributes to inference.
+#[derive(Clone, Debug)]
+enum Prev {
+    /// No positional term yet: left endpoint is 0.
+    None,
+    /// Previous was nonterminal `name`: left endpoint is `name.end`.
+    Symbol(String),
+    /// Previous was a terminal with this right endpoint.
+    Terminal(Expr),
+    /// Previous was an array or switch: inference impossible.
+    Opaque(&'static str),
+}
+
+/// Fills in all pending intervals in `grammar`.
+///
+/// # Errors
+///
+/// Returns [`Error::Grammar`] when an interval cannot be inferred (e.g.
+/// directly after an array term).
+pub(super) fn complete_intervals(grammar: &mut Grammar, pending: &[PendingTerm]) -> Result<()> {
+    for p in pending {
+        let rule_name = grammar.rules[p.rule].name.clone();
+        let RuleBody::Alts(alts) = &mut grammar.rules[p.rule].body else {
+            unreachable!("pending terms only come from alternatives")
+        };
+        let alt = &mut alts[p.alt];
+
+        let prev = prev_of(&alt.terms, p.term);
+        let lo = infer_lo(&prev, &rule_name, p.term)?;
+
+        match &mut alt.terms[p.term] {
+            Term::Symbol { interval, .. } | Term::Star { interval, .. } => {
+                *interval = complete_one(&p.raw[0], &lo, None)?;
+            }
+            Term::Terminal { bytes, interval } => {
+                let len = bytes.len() as i64;
+                *interval = complete_one(&p.raw[0], &lo, Some(len))?;
+            }
+            Term::Switch { cases, default } => {
+                for (case, raw) in cases
+                    .iter_mut()
+                    .chain(std::iter::once(default.as_mut()))
+                    .zip(&p.raw)
+                {
+                    if !matches!(raw, RawInterval::Full(..)) {
+                        case.interval = complete_one(raw, &lo, None)?;
+                    }
+                }
+            }
+            other => {
+                return Err(Error::Grammar(format!(
+                    "rule `{rule_name}`: cannot auto-complete interval of {other}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The inference contribution of the positional term nearest before
+/// `index`.
+fn prev_of(terms: &[Term], index: usize) -> Prev {
+    for term in terms[..index].iter().rev() {
+        match term {
+            Term::Symbol { name, .. } => return Prev::Symbol(name.clone()),
+            Term::Terminal { interval, .. } => return Prev::Terminal(interval.hi.clone()),
+            Term::Array { .. } => return Prev::Opaque("an array term"),
+            Term::Star { .. } => return Prev::Opaque("a star term"),
+            Term::Switch { .. } => return Prev::Opaque("a switch term"),
+            Term::AttrDef { .. } | Term::Predicate { .. } => continue,
+        }
+    }
+    Prev::None
+}
+
+fn infer_lo(prev: &Prev, rule_name: &str, term_index: usize) -> Result<Expr> {
+    match prev {
+        Prev::None => Ok(Expr::Num(0)),
+        Prev::Symbol(name) => Ok(Expr::attr(name, "end")),
+        Prev::Terminal(hi) => Ok(hi.clone()),
+        Prev::Opaque(what) => Err(Error::Grammar(format!(
+            "rule `{rule_name}`: term #{term_index} needs an explicit interval \
+             (cannot infer a left endpoint after {what})"
+        ))),
+    }
+}
+
+/// Completes one raw interval given the inferred left endpoint; for
+/// terminal strings `terminal_len` is the literal's length.
+fn complete_one(raw: &RawInterval, lo: &Expr, terminal_len: Option<i64>) -> Result<Interval> {
+    Ok(match raw {
+        RawInterval::Full(l, h) => Interval::new(l.clone(), h.clone()),
+        RawInterval::Length(len) => Interval {
+            lo: lo.clone(),
+            hi: lo.clone() + len.clone(),
+            origin: IntervalOrigin::InferredLength,
+        },
+        RawInterval::Missing => Interval {
+            lo: lo.clone(),
+            hi: match terminal_len {
+                Some(n) => lo.clone() + Expr::Num(n),
+                None => Expr::eoi(),
+            },
+            origin: IntervalOrigin::InferredFull,
+        },
+    })
+}
+
+/// Statistics about interval annotations for Table 2 of the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Total number of intervals in the grammar.
+    pub total: usize,
+    /// Intervals fully inferred by auto-completion.
+    pub fully_inferred: usize,
+    /// Intervals written with only a length.
+    pub length_only: usize,
+}
+
+impl IntervalStats {
+    /// Intervals written out in full by the user.
+    pub fn explicit(&self) -> usize {
+        self.total - self.fully_inferred - self.length_only
+    }
+}
+
+/// Computes the Table 2 statistics for a surface grammar.
+pub fn interval_stats(grammar: &Grammar) -> IntervalStats {
+    let mut stats = IntervalStats::default();
+    for interval in grammar.intervals() {
+        stats.total += 1;
+        match interval.origin {
+            IntervalOrigin::Explicit => {}
+            IntervalOrigin::InferredFull => stats.fully_inferred += 1,
+            IntervalOrigin::InferredLength => stats.length_only += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_surface;
+    use super::*;
+
+    #[test]
+    fn paper_completion_example() {
+        // §3.4: S -> "magic" A B[10]
+        // completes to S -> "magic"[0,5] A[5,EOI] B[A.end, A.end+10].
+        let g = parse_surface(
+            "S -> \"magic\" A B[10]; A -> \"\"[0, 0]; B -> \"\"[0, 0];",
+        )
+        .unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let ivs: Vec<String> = alts[0]
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Symbol { interval, .. } | Term::Terminal { interval, .. } => {
+                    interval.to_string()
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ivs, vec!["[0, 0 + 5]", "[0 + 5, EOI]", "[A.end, A.end + 10]"]);
+    }
+
+    #[test]
+    fn first_symbol_starts_at_zero_ends_at_eoi() {
+        let g = parse_surface("S -> A; A -> \"\"[0, 0];").unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let Term::Symbol { interval, .. } = &alts[0].terms[0] else { panic!() };
+        assert_eq!(interval.to_string(), "[0, EOI]");
+        assert_eq!(interval.origin, IntervalOrigin::InferredFull);
+    }
+
+    #[test]
+    fn attr_defs_are_transparent_to_the_scan() {
+        let g = parse_surface("S -> A {x = A.end} B; A -> \"a\"[0,1]; B -> \"b\"[0,1];").unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let Term::Symbol { interval, .. } = &alts[0].terms[2] else { panic!() };
+        assert_eq!(interval.to_string(), "[A.end, EOI]");
+    }
+
+    #[test]
+    fn gif_style_chunk_sequence() {
+        // GIF -> Header[6] LSD Blocks Trailer (§4.2).
+        let g = parse_surface(
+            "GIF -> Header[6] LSD Blocks Trailer;
+             Header -> \"GIF89a\"[0, 6];
+             LSD -> \"\"[0, 0]; Blocks -> \"\"[0, 0]; Trailer -> \"\"[0, 0];",
+        )
+        .unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let texts: Vec<String> = alts[0]
+            .terms
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        assert_eq!(texts[0], "Header[0, 0 + 6]");
+        assert_eq!(texts[1], "LSD[Header.end, EOI]");
+        assert_eq!(texts[2], "Blocks[LSD.end, EOI]");
+        assert_eq!(texts[3], "Trailer[Blocks.end, EOI]");
+    }
+
+    #[test]
+    fn implicit_after_array_is_an_error() {
+        let err = parse_surface(
+            "S -> for i = 0 to 2 do A[i, i + 1] B; A -> \"\"[0,0]; B -> \"\"[0,0];",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("explicit interval"), "got: {err}");
+    }
+
+    #[test]
+    fn switch_cases_inherit_the_left_endpoint() {
+        let g = parse_surface(
+            "S -> T[0, 1] switch(T.val = 1 : A[4] / B); T := u8; A -> \"\"[0,0]; B -> \"\"[0,0];",
+        )
+        .unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let Term::Switch { cases, default } = &alts[0].terms[1] else { panic!() };
+        assert_eq!(cases[0].interval.to_string(), "[T.end, T.end + 4]");
+        assert_eq!(default.interval.to_string(), "[T.end, EOI]");
+    }
+
+    #[test]
+    fn stats_count_origins() {
+        let g = parse_surface("S -> \"magic\" A B[10] C[0, EOI]; A -> \"\"[0,0]; B -> \"\"[0,0]; C -> \"\"[0,0];")
+            .unwrap();
+        let stats = interval_stats(&g);
+        // magic, A, B, C in rule S + three explicit [0,0] in A/B/C.
+        assert_eq!(stats.total, 7);
+        assert_eq!(stats.fully_inferred, 2);
+        assert_eq!(stats.length_only, 1);
+        assert_eq!(stats.explicit(), 4);
+    }
+}

@@ -1,0 +1,413 @@
+//! Lexer for the textual IPG notation.
+
+use crate::error::{Error, Result};
+
+/// A token of the `.ipg` notation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Name(String),
+    /// Integer literal.
+    Num(i64),
+    /// String literal (already unescaped).
+    Str(Vec<u8>),
+    /// `->`
+    Arrow,
+    /// `:=`
+    ColonEq,
+    /// `;`
+    Semi,
+    /// `/`
+    Slash,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes `src`. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns [`Error::Syntax`] on malformed literals or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(Error::Syntax { line, col, msg: format!($($arg)*) })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |tok: Tok| out.push(Spanned { tok, line: tline, col: tcol });
+
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let (s, consumed, lines) = lex_string(&src[i..], line, col)?;
+                push(Tok::Str(s));
+                i += consumed;
+                if lines > 0 {
+                    line += lines;
+                    col = 1;
+                } else {
+                    col += consumed;
+                }
+            }
+            b'x' if bytes.get(i + 1) == Some(&b'"') => {
+                let (s, consumed) = lex_hex_string(&src[i..], line, col)?;
+                push(Tok::Str(s));
+                i += consumed;
+                col += consumed;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                match text.parse::<i64>() {
+                    Ok(n) => push(Tok::Num(n)),
+                    Err(_) => err!("integer literal `{text}` out of range"),
+                }
+                col += i - start;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push(Tok::Name(src[start..i].to_owned()));
+                col += i - start;
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+                let (tok, width) = match two {
+                    b"->" => (Tok::Arrow, 2),
+                    b":=" => (Tok::ColonEq, 2),
+                    b"!=" => (Tok::Ne, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"<<" => (Tok::Shl, 2),
+                    b">>" => (Tok::Shr, 2),
+                    b"&&" => (Tok::AndAnd, 2),
+                    b"||" => (Tok::OrOr, 2),
+                    _ => match c {
+                        b';' => (Tok::Semi, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'[' => (Tok::LBrack, 1),
+                        b']' => (Tok::RBrack, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b',' => (Tok::Comma, 1),
+                        b'.' => (Tok::Dot, 1),
+                        b'?' => (Tok::Question, 1),
+                        b':' => (Tok::Colon, 1),
+                        b'=' => (Tok::Eq, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'|' => (Tok::Pipe, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'%' => (Tok::Percent, 1),
+                        other => err!("unexpected character `{}`", other as char),
+                    },
+                };
+                push(tok);
+                i += width;
+                col += width;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+/// Lexes a quoted string starting at `src[0] == '"'`. Returns the bytes,
+/// the number of source bytes consumed, and the number of newlines crossed.
+fn lex_string(src: &str, line: usize, col: usize) -> Result<(Vec<u8>, usize, usize)> {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut out = Vec::new();
+    let mut i = 1;
+    let mut lines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1, lines)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).copied();
+                match esc {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'0') => out.push(0),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'x') => {
+                        let hex = src.get(i + 2..i + 4).ok_or(Error::Syntax {
+                            line,
+                            col,
+                            msg: "truncated \\x escape".into(),
+                        })?;
+                        let v = u8::from_str_radix(hex, 16).map_err(|_| Error::Syntax {
+                            line,
+                            col,
+                            msg: format!("invalid \\x escape `\\x{hex}`"),
+                        })?;
+                        out.push(v);
+                        i += 2;
+                    }
+                    _ => {
+                        return Err(Error::Syntax {
+                            line,
+                            col,
+                            msg: "invalid escape in string literal".into(),
+                        })
+                    }
+                }
+                i += 2;
+            }
+            b'\n' => {
+                lines += 1;
+                out.push(b'\n');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Err(Error::Syntax { line, col, msg: "unterminated string literal".into() })
+}
+
+/// Lexes a hex string `x"7f454c46"` starting at `src[0] == 'x'`.
+fn lex_hex_string(src: &str, line: usize, col: usize) -> Result<(Vec<u8>, usize)> {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(&bytes[..2], b"x\"");
+    let mut out = Vec::new();
+    let mut i = 2;
+    let mut nibble: Option<u8> = None;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'"' => {
+                if nibble.is_some() {
+                    return Err(Error::Syntax {
+                        line,
+                        col,
+                        msg: "hex string has an odd number of digits".into(),
+                    });
+                }
+                return Ok((out, i + 1));
+            }
+            b' ' | b'_' => i += 1,
+            _ => {
+                let v = (c as char).to_digit(16).ok_or_else(|| Error::Syntax {
+                    line,
+                    col,
+                    msg: format!("invalid hex digit `{}`", c as char),
+                })? as u8;
+                match nibble.take() {
+                    Some(hi) => out.push(hi << 4 | v),
+                    None => nibble = Some(v),
+                }
+                i += 1;
+            }
+        }
+    }
+    Err(Error::Syntax { line, col, msg: "unterminated hex string".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        assert_eq!(
+            toks("S -> A[0, 2];"),
+            vec![
+                Tok::Name("S".into()),
+                Tok::Arrow,
+                Tok::Name("A".into()),
+                Tok::LBrack,
+                Tok::Num(0),
+                Tok::Comma,
+                Tok::Num(2),
+                Tok::RBrack,
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(
+            toks("-> := != <= >= << >> && ||"),
+            vec![
+                Tok::Arrow,
+                Tok::ColonEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a // comment ; -> \nb"), vec![
+            Tok::Name("a".into()),
+            Tok::Name("b".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\x00b\n\"q\\""#), vec![
+            Tok::Str(vec![b'a', 0, b'b', b'\n', b'"', b'q', b'\\']),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn hex_strings() {
+        assert_eq!(toks(r#"x"7f454c46""#), vec![
+            Tok::Str(vec![0x7f, 0x45, 0x4c, 0x46]),
+            Tok::Eof
+        ]);
+        assert_eq!(toks(r#"x"7f 45_4c 46""#), vec![
+            Tok::Str(vec![0x7f, 0x45, 0x4c, 0x46]),
+            Tok::Eof
+        ]);
+        assert!(lex(r#"x"7f4""#).is_err(), "odd digit count");
+    }
+
+    #[test]
+    fn identifier_starting_with_x_is_not_a_hex_string() {
+        assert_eq!(toks("xyz x2"), vec![
+            Tok::Name("xyz".into()),
+            Tok::Name("x2".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("x\"ab").is_err());
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("S -> @;").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,637 @@
+//! Recursive-descent parser for the textual IPG notation.
+//!
+//! Grammar of the notation (informally):
+//!
+//! ```text
+//! grammar   := item*
+//! item      := "start" NAME ";"
+//!            | "local"? rule
+//! rule      := NAME "->" alts where? ";"
+//!            | NAME ":=" NAME ";"              // builtin
+//!            | NAME ":=" "blackbox" NAME ";"   // blackbox
+//! where     := "where" "{" rule* "}"
+//! alts      := terms ("/" terms)*
+//! terms     := term*
+//! term      := NAME interval?                  // nonterminal
+//!            | STRING interval?                // terminal
+//!            | "{" NAME "=" expr "}"           // attribute definition
+//!            | "assert" "(" expr ")"           // predicate
+//!            | "for" NAME "=" expr "to" expr "do" NAME interval
+//!            | "switch" "(" case ("/" case)* ")"
+//!            | "star" NAME interval?             // one-or-more repetition
+//! case      := (expr ":")? NAME interval?
+//! interval  := "[" expr "]"                    // length only
+//!            | "[" expr "," expr "]"
+//! expr      := ternary with the usual precedence; references are
+//!              NAME | NAME "." NAME | NAME "(" expr ")" "." NAME | EOI |
+//!              "exists" NAME "in" NAME "." expr "?" expr ":" expr
+//! ```
+//!
+//! Missing intervals are filled in afterwards by
+//! [`super::completion::complete_intervals`].
+
+use super::lexer::{lex, Spanned, Tok};
+use crate::error::{Error, Result};
+use crate::syntax::{
+    Alternative, BinOp, Builtin, Expr, Grammar, Interval, IntervalOrigin, Reference, Rule,
+    RuleBody, SwitchCase, Term,
+};
+
+/// An interval as written: possibly absent or length-only.
+#[derive(Clone, Debug)]
+pub(super) enum RawInterval {
+    /// No interval written.
+    Missing,
+    /// `[len]`.
+    Length(Expr),
+    /// `[lo, hi]`.
+    Full(Expr, Expr),
+}
+
+/// Parses the textual notation into a surface grammar with *raw* intervals
+/// encoded as follows: missing and length-only intervals are temporarily
+/// represented with placeholder expressions and fixed by the completion
+/// pass. Callers should use [`super::parse_surface`] instead.
+pub(super) fn parse_items(src: &str) -> Result<(Grammar, Vec<PendingTerm>)> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0, expr_depth: 0 };
+    let mut grammar = Grammar::default();
+    let mut pending = Vec::new();
+
+    while !p.at(Tok::Eof) {
+        if p.eat_name_kw("start") {
+            let name = p.expect_name("start nonterminal")?;
+            p.expect(Tok::Semi)?;
+            grammar.start = Some(name);
+            continue;
+        }
+        let is_local = p.eat_name_kw("local");
+        p.parse_rule(is_local, &mut grammar, &mut pending)?;
+    }
+    Ok((grammar, pending))
+}
+
+/// Location of a term whose interval needs completion: rule index,
+/// alternative index, term index, plus the raw interval and (for switch
+/// terms) per-case raw intervals.
+#[derive(Clone, Debug)]
+pub(super) struct PendingTerm {
+    /// Index into [`Grammar::rules`].
+    pub rule: usize,
+    /// Alternative index within the rule.
+    pub alt: usize,
+    /// Term index within the alternative.
+    pub term: usize,
+    /// Raw interval(s): one for plain terms, one per case for switches.
+    pub raw: Vec<RawInterval>,
+}
+
+/// Maximum expression nesting depth. Deeper expressions are rejected with
+/// a clean error instead of risking stack exhaustion in this parser and in
+/// every later pass that recurses over the expression tree.
+const MAX_EXPR_DEPTH: u32 = 128;
+
+struct P {
+    toks: Vec<Spanned>,
+    pos: usize,
+    expr_depth: u32,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.toks[self.pos];
+        (s.line, s.col)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        let (line, col) = self.here();
+        Err(Error::Syntax { line, col, msg: msg.into() })
+    }
+
+    fn at(&self, t: Tok) -> bool {
+        *self.peek() == t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if self.at(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        if self.eat(t.clone()) {
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    /// Consumes a NAME token equal to `kw`.
+    fn eat_name_kw(&mut self, kw: &str) -> bool {
+        if let Tok::Name(n) = self.peek() {
+            if n == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_name(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Name(n) => {
+                self.pos += 1;
+                Ok(n)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn parse_rule(
+        &mut self,
+        is_local: bool,
+        grammar: &mut Grammar,
+        pending: &mut Vec<PendingTerm>,
+    ) -> Result<()> {
+        let name = self.expect_name("rule name")?;
+        if self.eat(Tok::ColonEq) {
+            // Builtin or blackbox rule.
+            let kind = self.expect_name("builtin name or `blackbox`")?;
+            let body = if kind == "blackbox" {
+                let bb = self.expect_name("blackbox name")?;
+                RuleBody::Blackbox(bb)
+            } else {
+                match Builtin::from_name(&kind) {
+                    Some(b) => RuleBody::Builtin(b),
+                    None => return self.err(format!("unknown builtin `{kind}`")),
+                }
+            };
+            self.expect(Tok::Semi)?;
+            grammar.rules.push(Rule { name, body, is_local });
+            return Ok(());
+        }
+        self.expect(Tok::Arrow)?;
+        let rule_index = grammar.rules.len();
+        // Reserve the slot so nested `where` rules come after their parent.
+        grammar.rules.push(Rule {
+            name: name.clone(),
+            body: RuleBody::Alts(Vec::new()),
+            is_local,
+        });
+
+        let mut alts = vec![self.parse_alt(rule_index, grammar.rules.len(), pending, 0)?];
+        while self.eat(Tok::Slash) {
+            let alt_idx = alts.len();
+            alts.push(self.parse_alt(rule_index, grammar.rules.len(), pending, alt_idx)?);
+        }
+        grammar.rules[rule_index].body = RuleBody::Alts(alts);
+
+        if self.eat_name_kw("where") {
+            self.expect(Tok::LBrace)?;
+            while !self.eat(Tok::RBrace) {
+                if self.at(Tok::Eof) {
+                    return self.err("unterminated `where` block");
+                }
+                self.parse_rule(true, grammar, pending)?;
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(())
+    }
+
+    fn parse_alt(
+        &mut self,
+        rule: usize,
+        _rules_len: usize,
+        pending: &mut Vec<PendingTerm>,
+        alt: usize,
+    ) -> Result<Alternative> {
+        let mut terms = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::Name(n)
+                    if n != "where"
+                        && n != "for"
+                        && n != "switch"
+                        && n != "assert"
+                        && n != "local"
+                        && n != "star"
+                        && n != "start" =>
+                {
+                    self.pos += 1;
+                    let raw = self.parse_raw_interval()?;
+                    let term_idx = terms.len();
+                    let interval = placeholder_interval(&raw);
+                    if !matches!(raw, RawInterval::Full(..)) {
+                        pending.push(PendingTerm { rule, alt, term: term_idx, raw: vec![raw] });
+                    }
+                    terms.push(Term::Symbol { name: n, interval });
+                }
+                Tok::Str(bytes) => {
+                    self.pos += 1;
+                    let raw = self.parse_raw_interval()?;
+                    let term_idx = terms.len();
+                    let interval = placeholder_interval(&raw);
+                    if !matches!(raw, RawInterval::Full(..)) {
+                        pending.push(PendingTerm { rule, alt, term: term_idx, raw: vec![raw] });
+                    }
+                    terms.push(Term::Terminal { bytes, interval });
+                }
+                Tok::LBrace => {
+                    self.pos += 1;
+                    let name = self.expect_name("attribute name")?;
+                    self.expect(Tok::Eq)?;
+                    let expr = self.parse_expr()?;
+                    self.expect(Tok::RBrace)?;
+                    terms.push(Term::AttrDef { name, expr });
+                }
+                Tok::Name(n) if n == "assert" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen)?;
+                    let expr = self.parse_expr()?;
+                    self.expect(Tok::RParen)?;
+                    terms.push(Term::Predicate { expr });
+                }
+                Tok::Name(n) if n == "for" => {
+                    self.pos += 1;
+                    let var = self.expect_name("loop variable")?;
+                    self.expect(Tok::Eq)?;
+                    let from = self.parse_expr()?;
+                    if !self.eat_name_kw("to") {
+                        return self.err("expected `to` in for-term");
+                    }
+                    let to = self.parse_expr()?;
+                    if !self.eat_name_kw("do") {
+                        return self.err("expected `do` in for-term");
+                    }
+                    let name = self.expect_name("array element nonterminal")?;
+                    let raw = self.parse_raw_interval()?;
+                    let interval = match raw {
+                        RawInterval::Full(lo, hi) => Interval::new(lo, hi),
+                        _ => {
+                            return self.err(
+                                "array terms need an explicit `[lo, hi]` interval \
+                                 (per-element intervals cannot be inferred)",
+                            )
+                        }
+                    };
+                    terms.push(Term::Array { var, from, to, name, interval });
+                }
+                Tok::Name(n) if n == "star" => {
+                    self.pos += 1;
+                    let name = self.expect_name("star element nonterminal")?;
+                    let raw = self.parse_raw_interval()?;
+                    let term_idx = terms.len();
+                    let interval = placeholder_interval(&raw);
+                    if !matches!(raw, RawInterval::Full(..)) {
+                        pending.push(PendingTerm { rule, alt, term: term_idx, raw: vec![raw] });
+                    }
+                    terms.push(Term::Star { name, interval });
+                }
+                Tok::Name(n) if n == "switch" => {
+                    self.pos += 1;
+                    self.expect(Tok::LParen)?;
+                    let mut cases = Vec::new();
+                    let mut raws = Vec::new();
+                    loop {
+                        let (case, raw) = self.parse_switch_case()?;
+                        cases.push(case);
+                        raws.push(raw);
+                        if self.eat(Tok::Slash) {
+                            continue;
+                        }
+                        self.expect(Tok::RParen)?;
+                        break;
+                    }
+                    let default = cases.pop().expect("at least one case parsed");
+                    if default.cond.is_some() {
+                        return self.err("the last switch case is the default and takes no guard");
+                    }
+                    let term_idx = terms.len();
+                    if raws.iter().any(|r| !matches!(r, RawInterval::Full(..))) {
+                        pending.push(PendingTerm { rule, alt, term: term_idx, raw: raws });
+                    }
+                    terms.push(Term::Switch { cases, default: Box::new(default) });
+                }
+                _ => break,
+            }
+        }
+        Ok(Alternative { terms })
+    }
+
+    /// One switch case: `expr : NAME interval?` or `NAME interval?`
+    /// (default). Distinguished by trying the expression and checking for a
+    /// `:`; positions are restored on the other path.
+    fn parse_switch_case(&mut self) -> Result<(SwitchCase, RawInterval)> {
+        let save = self.pos;
+        // Try `expr : NAME ...` first.
+        if let Ok(cond) = self.parse_expr() {
+            if self.eat(Tok::Colon) {
+                let name = self.expect_name("switch case nonterminal")?;
+                let raw = self.parse_raw_interval()?;
+                let interval = placeholder_interval(&raw);
+                return Ok((SwitchCase { cond: Some(cond), name, interval }, raw));
+            }
+        }
+        // Default case: plain `NAME interval?`.
+        self.pos = save;
+        let name = self.expect_name("switch case nonterminal")?;
+        let raw = self.parse_raw_interval()?;
+        let interval = placeholder_interval(&raw);
+        Ok((SwitchCase { cond: None, name, interval }, raw))
+    }
+
+    fn parse_raw_interval(&mut self) -> Result<RawInterval> {
+        if !self.eat(Tok::LBrack) {
+            return Ok(RawInterval::Missing);
+        }
+        let first = self.parse_expr()?;
+        if self.eat(Tok::Comma) {
+            let second = self.parse_expr()?;
+            self.expect(Tok::RBrack)?;
+            Ok(RawInterval::Full(first, second))
+        } else {
+            self.expect(Tok::RBrack)?;
+            Ok(RawInterval::Length(first))
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            self.expr_depth -= 1;
+            return self.err(format!(
+                "expression nesting deeper than {MAX_EXPR_DEPTH} levels"
+            ));
+        }
+        let result = self.parse_ternary();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr> {
+        let cond = self.parse_bin(1)?;
+        if self.eat(Tok::Question) {
+            let then = self.parse_expr()?;
+            self.expect(Tok::Colon)?;
+            let els = self.parse_expr()?;
+            Ok(Expr::Cond(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some(op) = self.peek_binop() else { break };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<BinOp> {
+        Some(match self.peek() {
+            Tok::Plus => BinOp::Add,
+            Tok::Minus => BinOp::Sub,
+            Tok::Star => BinOp::Mul,
+            Tok::Slash => BinOp::Div,
+            Tok::Percent => BinOp::Mod,
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Gt => BinOp::Gt,
+            Tok::Le => BinOp::Le,
+            Tok::Ge => BinOp::Ge,
+            Tok::AndAnd => BinOp::And,
+            Tok::OrOr => BinOp::Or,
+            Tok::Shl => BinOp::Shl,
+            Tok::Shr => BinOp::Shr,
+            Tok::Amp => BinOp::BitAnd,
+            Tok::Pipe => BinOp::BitOr,
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(Tok::Minus) {
+            let e = self.parse_unary()?;
+            return Ok(match e {
+                Expr::Num(n) => Expr::Num(-n),
+                other => Expr::Bin(BinOp::Sub, Box::new(Expr::Num(0)), Box::new(other)),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.pos += 1;
+                Ok(Expr::Num(n))
+            }
+            Tok::LParen => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Name(n) if n == "EOI" => {
+                self.pos += 1;
+                Ok(Expr::Ref(Reference::Eoi))
+            }
+            Tok::Name(n) if n == "exists" => {
+                self.pos += 1;
+                let var = self.expect_name("existential variable")?;
+                if !self.eat_name_kw("in") {
+                    return self.err("expected `in` after existential variable");
+                }
+                let array = self.expect_name("array nonterminal")?;
+                self.expect(Tok::Dot)?;
+                let cond = self.parse_bin(1)?;
+                self.expect(Tok::Question)?;
+                let then = self.parse_expr()?;
+                self.expect(Tok::Colon)?;
+                let els = self.parse_expr()?;
+                Ok(Expr::Exists {
+                    var,
+                    array,
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                })
+            }
+            Tok::Name(n) => {
+                self.pos += 1;
+                if self.eat(Tok::Dot) {
+                    let attr = self.expect_name("attribute name")?;
+                    Ok(Expr::Ref(Reference::Attr { nt: n, attr }))
+                } else if self.at(Tok::LParen) {
+                    // `A(e).attr` — element reference.
+                    self.pos += 1;
+                    let index = self.parse_expr()?;
+                    self.expect(Tok::RParen)?;
+                    self.expect(Tok::Dot)?;
+                    let attr = self.expect_name("attribute name")?;
+                    Ok(Expr::Ref(Reference::Elem { nt: n, index: Box::new(index), attr }))
+                } else {
+                    Ok(Expr::Ref(Reference::Local(n)))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// A stand-in interval while completion is pending; never observed by
+/// users because completion replaces it (or parsing fails).
+fn placeholder_interval(raw: &RawInterval) -> Interval {
+    match raw {
+        RawInterval::Full(lo, hi) => Interval::new(lo.clone(), hi.clone()),
+        RawInterval::Length(len) => Interval {
+            lo: Expr::Num(0),
+            hi: len.clone(),
+            origin: IntervalOrigin::InferredLength,
+        },
+        RawInterval::Missing => Interval {
+            lo: Expr::Num(0),
+            hi: Expr::Ref(Reference::Eoi),
+            origin: IntervalOrigin::InferredFull,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig2() {
+        let (g, pending) = parse_items(
+            r#"
+            S -> H[0, 8] Data[H.offset, H.offset + H.length];
+            H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+            Int := u32le;
+            Data := bytes;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.rules.len(), 4);
+        assert!(pending.is_empty(), "all intervals explicit");
+        let s = &g.rules[0];
+        let RuleBody::Alts(alts) = &s.body else { panic!() };
+        assert_eq!(alts[0].terms.len(), 2);
+    }
+
+    #[test]
+    fn parses_alternatives_and_division() {
+        let (g, _) = parse_items("S -> {n = EOI / 3} A[0, n] / B[0, EOI]; A -> \"a\"[0,1]; B -> \"b\"[0,1];").unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        assert_eq!(alts.len(), 2, "the / inside braces is division, outside separates alts");
+    }
+
+    #[test]
+    fn parses_for_and_exists() {
+        let (g, _) = parse_items(
+            "S -> H[0,8] for i = 0 to H.num do SH[8 + 8*i, 16 + 8*i] \
+             {x = exists j in SH . SH(j).ofs = 0 ? j : -1}; H -> {num = 1} \"\"[0,0]; SH -> {ofs = EOI} \"\"[0,0];",
+        )
+        .unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        assert!(matches!(alts[0].terms[1], Term::Array { .. }));
+        let Term::AttrDef { expr: Expr::Exists { .. }, .. } = &alts[0].terms[2] else {
+            panic!("expected exists in attr def");
+        };
+    }
+
+    #[test]
+    fn parses_switch_with_default() {
+        let (g, _) = parse_items(
+            "S -> T[0,1] switch(T.val = 1 : A[1, EOI] / T.val >= 1536 : B[1, EOI] / C[1, EOI]); \
+             T := u8; A := bytes; B := bytes; C := bytes;",
+        )
+        .unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let Term::Switch { cases, default } = &alts[0].terms[1] else { panic!() };
+        assert_eq!(cases.len(), 2);
+        assert!(default.cond.is_none());
+        assert_eq!(default.name, "C");
+    }
+
+    #[test]
+    fn where_rules_are_local_and_hoisted() {
+        let (g, _) = parse_items(
+            "S -> A[0,1] D[0, EOI] where { D -> B[A.val, EOI]; }; A := u8; B := bytes;",
+        )
+        .unwrap();
+        assert_eq!(g.rules.len(), 4);
+        let d = g.rule("D").unwrap();
+        assert!(d.is_local);
+        assert!(!g.rule("S").unwrap().is_local);
+    }
+
+    #[test]
+    fn pending_terms_record_missing_and_length_intervals() {
+        let (_, pending) = parse_items(
+            "S -> \"magic\" A B[10]; A -> \"\"[0,0]; B -> \"\"[0,0];",
+        )
+        .unwrap();
+        // "magic" missing, A missing, B length-only.
+        assert_eq!(pending.len(), 3);
+        assert!(matches!(pending[0].raw[0], RawInterval::Missing));
+        assert!(matches!(pending[1].raw[0], RawInterval::Missing));
+        assert!(matches!(pending[2].raw[0], RawInterval::Length(_)));
+    }
+
+    #[test]
+    fn ternary_and_precedence() {
+        let (g, _) = parse_items("S -> {x = 1 + 2 * 3 = 7 ? 10 : 20} \"\"[0,0];").unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let Term::AttrDef { expr, .. } = &alts[0].terms[0] else { panic!() };
+        assert_eq!(expr.to_string(), "1 + 2 * 3 = 7 ? 10 : 20");
+    }
+
+    #[test]
+    fn unary_minus() {
+        let (g, _) = parse_items("S -> {x = -5} {y = 0 - EOI} \"\"[0,0];").unwrap();
+        let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
+        let Term::AttrDef { expr, .. } = &alts[0].terms[0] else { panic!() };
+        assert_eq!(*expr, Expr::Num(-5));
+    }
+
+    #[test]
+    fn start_directive() {
+        let (g, _) = parse_items("start B; A -> \"\"[0,0]; B -> \"\"[0,0];").unwrap();
+        assert_eq!(g.start.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_items("S -> [0, 1];").unwrap_err();
+        let Error::Syntax { line, .. } = err else { panic!("expected syntax error") };
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn rejects_guard_on_last_switch_case() {
+        let err =
+            parse_items("S -> switch(x = 1 : A[0,1] / x = 2 : B[0,1]); A := u8; B := u8;")
+                .unwrap_err();
+        assert!(err.to_string().contains("default"));
+    }
+}

@@ -1,0 +1,400 @@
+//! A small linear-arithmetic satisfiability checker.
+//!
+//! The termination checker of §5 asks, per elementary cycle of the
+//! nonterminal dependency graph, whether
+//! `el₀ = 0 ∧ er₀ = EOI ∧ … ∧ elₙ = 0 ∧ erₙ = EOI`
+//! is satisfiable. The paper discharges these queries with Z3; this module
+//! is the offline substitute (see DESIGN.md): interval expressions are
+//! normalized to linear forms over free variables and the conjunction of
+//! (in)equalities is decided by **Fourier–Motzkin elimination over the
+//! rationals**.
+//!
+//! Soundness direction: if this solver reports UNSAT, the system has no
+//! rational solution, hence no integer solution, hence the cycle cannot
+//! keep re-parsing the full `[0, EOI]` interval — the same conclusion the
+//! paper draws from Z3's `unsat`. If the solver reports SAT (or a
+//! non-linear subterm forced a fresh unconstrained variable), termination
+//! checking conservatively fails, exactly like the paper's algorithm.
+
+mod rational;
+
+pub use rational::Rat;
+
+use std::collections::BTreeMap;
+
+/// A variable of a linear system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A linear expression `Σ cᵢ·xᵢ + k`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Coefficients per variable (no zero entries).
+    coeffs: BTreeMap<Var, Rat>,
+    /// Constant term.
+    constant: Rat,
+}
+
+impl LinExpr {
+    /// The constant expression `k`.
+    pub fn constant(k: impl Into<Rat>) -> Self {
+        LinExpr { coeffs: BTreeMap::new(), constant: k.into() }
+    }
+
+    /// The variable expression `x`.
+    pub fn var(x: Var) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(x, Rat::from(1));
+        LinExpr { coeffs, constant: Rat::from(0) }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (&v, &c) in &other.coeffs {
+            out.add_term(v, c);
+        }
+        out.constant = out.constant + other.constant;
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(Rat::from(-1)))
+    }
+
+    /// `c · self`.
+    pub fn scale(&self, c: Rat) -> LinExpr {
+        if c.is_zero() {
+            return LinExpr::default();
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(&v, &k)| (v, k * c)).collect(),
+            constant: self.constant * c,
+        }
+    }
+
+    fn add_term(&mut self, v: Var, c: Rat) {
+        let entry = self.coeffs.entry(v).or_insert_with(|| Rat::from(0));
+        *entry = *entry + c;
+        if entry.is_zero() {
+            self.coeffs.remove(&v);
+        }
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: Var) -> Rat {
+        self.coeffs.get(&v).copied().unwrap_or_else(|| Rat::from(0))
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> Rat {
+        self.constant
+    }
+
+    /// Whether the expression mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.coeffs.keys().copied()
+    }
+}
+
+/// A conjunction of linear constraints, each of the form `e ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    /// Constraints `e ≥ 0`.
+    constraints: Vec<LinExpr>,
+}
+
+impl System {
+    /// An empty (trivially satisfiable) system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts `e ≥ 0`.
+    pub fn assert_ge0(&mut self, e: LinExpr) {
+        self.constraints.push(e);
+    }
+
+    /// Asserts `a ≥ b`.
+    pub fn assert_ge(&mut self, a: LinExpr, b: LinExpr) {
+        self.assert_ge0(a.sub(&b));
+    }
+
+    /// Asserts `a = b`.
+    pub fn assert_eq(&mut self, a: LinExpr, b: LinExpr) {
+        self.assert_ge0(a.sub(&b));
+        self.assert_ge0(b.sub(&a));
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the system has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Decides rational satisfiability by Fourier–Motzkin elimination.
+    ///
+    /// Exponential in the worst case, but termination queries are tiny
+    /// (the paper reports at most five elementary cycles per format, each
+    /// contributing a handful of constraints).
+    pub fn is_satisfiable(&self) -> bool {
+        let mut constraints = self.constraints.clone();
+        loop {
+            // Constant constraints decide immediately; drop satisfied ones.
+            let mut next = Vec::with_capacity(constraints.len());
+            for c in constraints {
+                if c.is_constant() {
+                    if c.constant_term() < Rat::from(0) {
+                        return false;
+                    }
+                } else {
+                    next.push(c);
+                }
+            }
+            constraints = next;
+            let Some(v) = pick_variable(&constraints) else {
+                return true; // no variables left, no violated constants
+            };
+
+            // Partition on the sign of v's coefficient.
+            let mut lowers: Vec<LinExpr> = Vec::new(); // coeff > 0: v ≥ -(rest)
+            let mut uppers: Vec<LinExpr> = Vec::new(); // coeff < 0: v ≤ rest
+            let mut rest: Vec<LinExpr> = Vec::new();
+            for c in constraints {
+                let k = c.coeff(v);
+                if k.is_zero() {
+                    rest.push(c);
+                } else if k > Rat::from(0) {
+                    lowers.push(c.scale(k.recip()));
+                } else {
+                    uppers.push(c.scale(k.neg().recip()));
+                }
+            }
+            // lowers: v + L ≥ 0 → v ≥ -L; uppers: -v + U ≥ 0 → v ≤ U.
+            // Combine every pair: U + L ≥ 0 (v cancels exactly).
+            for lo in &lowers {
+                for up in &uppers {
+                    let mut combined = lo.add(up);
+                    debug_assert!(combined.coeff(v).is_zero());
+                    combined.coeffs.remove(&v);
+                    rest.push(combined);
+                }
+            }
+            constraints = rest;
+        }
+    }
+}
+
+/// Chooses the variable whose elimination produces the fewest new
+/// constraints (a standard FM heuristic).
+fn pick_variable(constraints: &[LinExpr]) -> Option<Var> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<Var, (usize, usize)> = HashMap::new();
+    for c in constraints {
+        for v in c.vars() {
+            let e = counts.entry(v).or_default();
+            if c.coeff(v) > Rat::from(0) {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .min_by_key(|&(v, (lo, up))| (lo * up, v))
+        .map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Var {
+        Var(0)
+    }
+    fn y() -> Var {
+        Var(1)
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert!(System::new().is_satisfiable());
+    }
+
+    #[test]
+    fn constant_contradiction_is_unsat() {
+        let mut s = System::new();
+        s.assert_ge0(LinExpr::constant(-1));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn single_variable_bounds() {
+        // x ≥ 2 ∧ x ≤ 5 — SAT.
+        let mut s = System::new();
+        s.assert_ge(LinExpr::var(x()), LinExpr::constant(2));
+        s.assert_ge(LinExpr::constant(5), LinExpr::var(x()));
+        assert!(s.is_satisfiable());
+
+        // x ≥ 5 ∧ x ≤ 2 — UNSAT.
+        let mut s = System::new();
+        s.assert_ge(LinExpr::var(x()), LinExpr::constant(5));
+        s.assert_ge(LinExpr::constant(2), LinExpr::var(x()));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn equalities() {
+        // x = 3 ∧ x = 4 — UNSAT.
+        let mut s = System::new();
+        s.assert_eq(LinExpr::var(x()), LinExpr::constant(3));
+        s.assert_eq(LinExpr::var(x()), LinExpr::constant(4));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn termination_query_shape_decreasing() {
+        // Fig. 3's recursion Int → Int[0, EOI-1]: el = 0, er = EOI - 1.
+        // Query: 0 = 0 ∧ EOI - 1 = EOI — UNSAT (the interval strictly
+        // shrinks), so the cycle terminates.
+        let eoi = Var(7);
+        let mut s = System::new();
+        s.assert_eq(LinExpr::constant(0), LinExpr::constant(0));
+        s.assert_eq(
+            LinExpr::var(eoi).sub(&LinExpr::constant(1)),
+            LinExpr::var(eoi),
+        );
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn termination_query_shape_nondecreasing() {
+        // §5's diverging example A → B[0, EOI], B → A[0, EOI]:
+        // 0 = 0 ∧ EOI = EOI ∧ 0 = 0 ∧ EOI = EOI — SAT.
+        let eoi = Var(7);
+        let mut s = System::new();
+        for _ in 0..2 {
+            s.assert_eq(LinExpr::constant(0), LinExpr::constant(0));
+            s.assert_eq(LinExpr::var(eoi), LinExpr::var(eoi));
+        }
+        assert!(s.is_satisfiable());
+    }
+
+    #[test]
+    fn end_gt_zero_extension_shape() {
+        // GIF Blocks → Block[0,EOI] Blocks[Block.end, EOI]:
+        // el = Block.end, er = EOI, with Block.end ≥ 1 (Block consumes a
+        // terminal). Query: Block.end = 0 ∧ end ≥ 1 — UNSAT.
+        let end = Var(3);
+        let mut s = System::new();
+        s.assert_eq(LinExpr::var(end), LinExpr::constant(0));
+        s.assert_ge(LinExpr::var(end), LinExpr::constant(1));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn two_variable_chain() {
+        // x ≥ y + 1 ∧ y ≥ x → UNSAT.
+        let mut s = System::new();
+        s.assert_ge(LinExpr::var(x()), LinExpr::var(y()).add(&LinExpr::constant(1)));
+        s.assert_ge(LinExpr::var(y()), LinExpr::var(x()));
+        assert!(!s.is_satisfiable());
+
+        // x ≥ y ∧ y ≥ x (x = y) → SAT.
+        let mut s = System::new();
+        s.assert_ge(LinExpr::var(x()), LinExpr::var(y()));
+        s.assert_ge(LinExpr::var(y()), LinExpr::var(x()));
+        assert!(s.is_satisfiable());
+    }
+
+    #[test]
+    fn rational_coefficients_survive_elimination() {
+        // 2x + 3y ≥ 6 ∧ x ≤ 0 ∧ y ≤ 0 → UNSAT.
+        let mut s = System::new();
+        let e = LinExpr::var(x())
+            .scale(Rat::from(2))
+            .add(&LinExpr::var(y()).scale(Rat::from(3)));
+        s.assert_ge(e, LinExpr::constant(6));
+        s.assert_ge(LinExpr::constant(0), LinExpr::var(x()));
+        s.assert_ge(LinExpr::constant(0), LinExpr::var(y()));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn linexpr_algebra() {
+        let e = LinExpr::var(x()).add(&LinExpr::var(x())); // 2x
+        assert_eq!(e.coeff(x()), Rat::from(2));
+        let z = e.sub(&e);
+        assert!(z.is_constant());
+        assert!(z.constant_term().is_zero());
+    }
+
+    /// Brute-force cross-check: random small integer systems; whenever
+    /// exhaustive search over a box finds a witness, FM must agree
+    /// (FM = UNSAT ⇒ no witness anywhere, in particular in the box).
+    #[test]
+    fn fm_never_refutes_a_witnessed_system() {
+        let mut seed = 0xdead_beefu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..200 {
+            let n_vars = 2 + (rng() % 2) as usize;
+            let n_cons = 1 + (rng() % 4) as usize;
+            let mut sys = System::new();
+            let mut rows = Vec::new();
+            for _ in 0..n_cons {
+                let k = (rng() % 7) as i64 - 3;
+                let mut e = LinExpr::constant(k);
+                let mut row = vec![k];
+                for v in 0..n_vars {
+                    let c = (rng() % 5) as i64 - 2;
+                    row.push(c);
+                    e = e.add(&LinExpr::var(Var(v as u32)).scale(Rat::from(c)));
+                }
+                sys.assert_ge0(e);
+                rows.push(row);
+            }
+            // Exhaustive search over [-4, 4]^n.
+            let mut witness = false;
+            let mut assign = vec![-4i64; n_vars];
+            'outer: loop {
+                if rows.iter().all(|row| {
+                    let mut acc = row[0];
+                    for (v, &a) in assign.iter().enumerate() {
+                        acc += row[v + 1] * a;
+                    }
+                    acc >= 0
+                }) {
+                    witness = true;
+                    break;
+                }
+                for v in 0..n_vars {
+                    assign[v] += 1;
+                    if assign[v] <= 4 {
+                        continue 'outer;
+                    }
+                    assign[v] = -4;
+                }
+                break;
+            }
+            if witness {
+                assert!(sys.is_satisfiable(), "FM refuted a witnessed system");
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Programmatic construction of surface grammars.
+//!
+//! The textual frontend ([`crate::frontend`]) is the main way to write IPGs,
+//! but tests, generators, and embedders often want to assemble a grammar in
+//! Rust directly. [`GrammarBuilder`] collects rules; [`AltBuilder`] collects
+//! the terms of one alternative.
+//!
+//! ```
+//! use ipg_core::syntax::{AltBuilder, Expr, GrammarBuilder};
+//!
+//! // Fig. 1 of the paper: S -> A[0,2] B[EOI-2, EOI]; accepts "aa…bb".
+//! let g = GrammarBuilder::new()
+//!     .rule(
+//!         "S",
+//!         vec![AltBuilder::new()
+//!             .symbol("A", Expr::num(0), Expr::num(2))
+//!             .symbol("B", Expr::eoi() - Expr::num(2), Expr::eoi())
+//!             .build()],
+//!     )
+//!     .rule(
+//!         "A",
+//!         vec![AltBuilder::new().terminal(b"aa", Expr::num(0), Expr::num(2)).build()],
+//!     )
+//!     .rule(
+//!         "B",
+//!         vec![AltBuilder::new().terminal(b"bb", Expr::num(0), Expr::num(2)).build()],
+//!     )
+//!     .build()?;
+//! assert_eq!(g.start_nt_name(), "S");
+//! # Ok::<(), ipg_core::Error>(())
+//! ```
+
+use super::{
+    Alternative, Builtin, Expr, Grammar, Interval, Rule, RuleBody, SwitchCase, Term,
+};
+use crate::blackbox::Blackbox;
+
+/// Builds a surface [`Grammar`] rule by rule.
+#[derive(Clone, Debug, Default)]
+pub struct GrammarBuilder {
+    grammar: Grammar,
+}
+
+impl GrammarBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the start nonterminal (defaults to the first rule added).
+    pub fn start(mut self, name: &str) -> Self {
+        self.grammar.start = Some(name.to_owned());
+        self
+    }
+
+    /// Adds a rule `name -> alts[0] / alts[1] / …`.
+    pub fn rule(mut self, name: &str, alts: Vec<Alternative>) -> Self {
+        self.grammar.rules.push(Rule {
+            name: name.to_owned(),
+            body: RuleBody::Alts(alts),
+            is_local: false,
+        });
+        self
+    }
+
+    /// Adds a *local* rule: one that inherits the attribute environment of
+    /// the alternative invoking it (the paper's `where` clauses).
+    pub fn local_rule(mut self, name: &str, alts: Vec<Alternative>) -> Self {
+        self.grammar.rules.push(Rule {
+            name: name.to_owned(),
+            body: RuleBody::Alts(alts),
+            is_local: true,
+        });
+        self
+    }
+
+    /// Adds a builtin leaf rule, e.g. `Int := u32le`.
+    pub fn builtin(mut self, name: &str, builtin: Builtin) -> Self {
+        self.grammar.rules.push(Rule {
+            name: name.to_owned(),
+            body: RuleBody::Builtin(builtin),
+            is_local: false,
+        });
+        self
+    }
+
+    /// Adds a rule delegating to the blackbox parser registered under
+    /// `blackbox_name` (see [`GrammarBuilder::register_blackbox`]).
+    pub fn blackbox_rule(mut self, name: &str, blackbox_name: &str) -> Self {
+        self.grammar.rules.push(Rule {
+            name: name.to_owned(),
+            body: RuleBody::Blackbox(blackbox_name.to_owned()),
+            is_local: false,
+        });
+        self
+    }
+
+    /// Registers a blackbox parser implementation.
+    pub fn register_blackbox(mut self, bb: Blackbox) -> Self {
+        self.grammar.register_blackbox(bb);
+        self
+    }
+
+    /// Finishes building, returning the raw surface grammar without
+    /// checking it. Prefer [`GrammarBuilder::build`].
+    pub fn build_unchecked(self) -> Grammar {
+        self.grammar
+    }
+
+    /// Finishes building and runs attribute checking + lowering, yielding a
+    /// parse-ready grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Check`] or [`crate::Error::Grammar`] when the
+    /// grammar is malformed (undefined references, cyclic attribute
+    /// dependencies, duplicate or missing rules).
+    pub fn build(self) -> crate::Result<crate::check::Grammar> {
+        crate::check::check(self.grammar)
+    }
+}
+
+/// Builds one [`Alternative`] term by term. All methods are consuming so
+/// alternatives can be assembled in a single expression.
+#[derive(Clone, Debug, Default)]
+pub struct AltBuilder {
+    terms: Vec<Term>,
+}
+
+impl AltBuilder {
+    /// Creates an empty alternative (which accepts any input and defines no
+    /// attributes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `name[lo, hi]`.
+    pub fn symbol(mut self, name: &str, lo: Expr, hi: Expr) -> Self {
+        self.terms.push(Term::Symbol {
+            name: name.to_owned(),
+            interval: Interval::new(lo, hi),
+        });
+        self
+    }
+
+    /// Appends `"bytes"[lo, hi]`.
+    pub fn terminal(mut self, bytes: &[u8], lo: Expr, hi: Expr) -> Self {
+        self.terms.push(Term::Terminal {
+            bytes: bytes.to_vec(),
+            interval: Interval::new(lo, hi),
+        });
+        self
+    }
+
+    /// Appends an attribute definition `{name = expr}`.
+    pub fn attr(mut self, name: &str, expr: Expr) -> Self {
+        self.terms.push(Term::AttrDef { name: name.to_owned(), expr });
+        self
+    }
+
+    /// Appends a predicate `⟨expr⟩`.
+    pub fn pred(mut self, expr: Expr) -> Self {
+        self.terms.push(Term::Predicate { expr });
+        self
+    }
+
+    /// Appends `for var = from to to do name[lo, hi]`.
+    pub fn array(mut self, var: &str, from: Expr, to: Expr, name: &str, lo: Expr, hi: Expr) -> Self {
+        self.terms.push(Term::Array {
+            var: var.to_owned(),
+            from,
+            to,
+            name: name.to_owned(),
+            interval: Interval::new(lo, hi),
+        });
+        self
+    }
+
+    /// Appends a switch term. `cases` are `(guard, nonterminal, lo, hi)`
+    /// tried in order; `default` is `(nonterminal, lo, hi)`.
+    pub fn switch(
+        mut self,
+        cases: Vec<(Expr, &str, Expr, Expr)>,
+        default: (&str, Expr, Expr),
+    ) -> Self {
+        self.terms.push(Term::Switch {
+            cases: cases
+                .into_iter()
+                .map(|(cond, name, lo, hi)| SwitchCase {
+                    cond: Some(cond),
+                    name: name.to_owned(),
+                    interval: Interval::new(lo, hi),
+                })
+                .collect(),
+            default: Box::new(SwitchCase {
+                cond: None,
+                name: default.0.to_owned(),
+                interval: Interval::new(default.1, default.2),
+            }),
+        });
+        self
+    }
+
+    /// Appends `star name[lo, hi]` — one-or-more repetition.
+    pub fn star(mut self, name: &str, lo: Expr, hi: Expr) -> Self {
+        self.terms.push(Term::Star {
+            name: name.to_owned(),
+            interval: Interval::new(lo, hi),
+        });
+        self
+    }
+
+    /// Appends an already-constructed term.
+    pub fn term(mut self, term: Term) -> Self {
+        self.terms.push(term);
+        self
+    }
+
+    /// Finishes the alternative.
+    pub fn build(self) -> Alternative {
+        Alternative { terms: self.terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_rules_in_order() {
+        let g = GrammarBuilder::new()
+            .rule("S", vec![AltBuilder::new().terminal(b"x", Expr::num(0), Expr::num(1)).build()])
+            .builtin("Int", Builtin::U32Le)
+            .build_unchecked();
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.rules[0].name, "S");
+        assert!(matches!(g.rules[1].body, RuleBody::Builtin(Builtin::U32Le)));
+        assert_eq!(g.start_name(), Some("S"));
+    }
+
+    #[test]
+    fn local_rules_are_flagged() {
+        let g = GrammarBuilder::new()
+            .rule("S", vec![AltBuilder::new().symbol("D", Expr::num(0), Expr::eoi()).build()])
+            .local_rule("D", vec![AltBuilder::new().build()])
+            .build_unchecked();
+        assert!(!g.rules[0].is_local);
+        assert!(g.rules[1].is_local);
+    }
+
+    #[test]
+    fn switch_builder_orders_cases() {
+        let alt = AltBuilder::new()
+            .switch(
+                vec![(Expr::local("flag").eq(Expr::num(1)), "A", Expr::num(0), Expr::eoi())],
+                ("B", Expr::num(0), Expr::num(0)),
+            )
+            .build();
+        match &alt.terms[0] {
+            Term::Switch { cases, default } => {
+                assert_eq!(cases.len(), 1);
+                assert_eq!(cases[0].name, "A");
+                assert!(cases[0].cond.is_some());
+                assert_eq!(default.name, "B");
+                assert!(default.cond.is_none());
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Surface expressions and attribute references (Fig. 5 of the paper).
+//!
+//! All expressions evaluate to `i64`. Booleans are encoded as integers:
+//! zero is false, anything else is true — exactly as in the paper, where a
+//! predicate `⟨e⟩` fails iff `e` evaluates to 0.
+//!
+//! The arithmetic operators `+ - * /` are overloaded on [`Expr`] so that
+//! grammar-building code reads naturally:
+//!
+//! ```
+//! use ipg_core::syntax::Expr;
+//! let e = Expr::attr("H", "offset") + Expr::attr("H", "length");
+//! assert_eq!(e.to_string(), "H.offset + H.length");
+//! ```
+
+use std::fmt;
+use std::ops;
+
+/// A surface expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Ternary conditional `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Attribute reference.
+    Ref(Reference),
+    /// Existential `∃var. cond ? then : els` (§3.4): scans the array of
+    /// nonterminal `array` for the first index (bound to `var`) at which
+    /// `cond` is non-zero; evaluates `then` with `var` bound if found,
+    /// `els` otherwise.
+    Exists {
+        /// The bound index variable.
+        var: String,
+        /// Name of the array nonterminal scanned.
+        array: String,
+        /// Per-element condition (may mention `var`).
+        cond: Box<Expr>,
+        /// Result when some element satisfies `cond`.
+        then: Box<Expr>,
+        /// Result when no element satisfies `cond`.
+        els: Box<Expr>,
+    },
+}
+
+/// Binary operators. The comparison and logical operators return 0 or 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; evaluation fails on division by zero)
+    Div,
+    /// `%` (evaluation fails on modulo by zero)
+    Mod,
+    /// `=` equality
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// logical and `∧`
+    And,
+    /// logical or `∨`
+    Or,
+    /// bitwise shift left `<<`
+    Shl,
+    /// bitwise shift right `>>`
+    Shr,
+    /// bitwise and `&`
+    BitAnd,
+    /// bitwise or `|`
+    BitOr,
+}
+
+/// An attribute reference (the `ref` production of Fig. 5).
+///
+/// The special attributes `start` and `end` of a sibling nonterminal are
+/// ordinary [`Reference::Attr`] references with those names; `EOI` has its
+/// own variant because it refers to the *current* rule's input length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reference {
+    /// `id` — an attribute of the current alternative, or an enclosing loop
+    /// or existential variable.
+    Local(String),
+    /// `A.id` — attribute `id` of sibling nonterminal `A` (includes
+    /// `A.start` and `A.end`).
+    Attr {
+        /// Sibling nonterminal name.
+        nt: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `A(e).id` — attribute `id` of element `e` of the sibling array of
+    /// `A`s.
+    Elem {
+        /// Array element nonterminal name.
+        nt: String,
+        /// Element index expression.
+        index: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `EOI` — the length of the current rule's input.
+    Eoi,
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn num(n: i64) -> Expr {
+        Expr::Num(n)
+    }
+
+    /// `EOI`.
+    pub fn eoi() -> Expr {
+        Expr::Ref(Reference::Eoi)
+    }
+
+    /// A local attribute or loop-variable reference.
+    pub fn local(name: &str) -> Expr {
+        Expr::Ref(Reference::Local(name.to_owned()))
+    }
+
+    /// `nt.attr`.
+    pub fn attr(nt: &str, attr: &str) -> Expr {
+        Expr::Ref(Reference::Attr { nt: nt.to_owned(), attr: attr.to_owned() })
+    }
+
+    /// `nt(index).attr`.
+    pub fn elem(nt: &str, index: Expr, attr: &str) -> Expr {
+        Expr::Ref(Reference::Elem {
+            nt: nt.to_owned(),
+            index: Box::new(index),
+            attr: attr.to_owned(),
+        })
+    }
+
+    /// `nt.end` — one past the right-most input offset touched by `nt`.
+    pub fn end_of(nt: &str) -> Expr {
+        Expr::attr(nt, "end")
+    }
+
+    /// `nt.start` — the left-most input offset touched by `nt`.
+    pub fn start_of(nt: &str) -> Expr {
+        Expr::attr(nt, "start")
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `self = rhs` (equality, returning 0 or 1).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, rhs)
+    }
+
+    /// Logical conjunction.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+
+    /// Logical disjunction.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+
+    /// `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mod, self, rhs)
+    }
+
+    /// `self << rhs`.
+    pub fn shl(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Shl, self, rhs)
+    }
+
+    /// `self >> rhs`.
+    pub fn shr(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Shr, self, rhs)
+    }
+
+    /// Bitwise and.
+    pub fn bitand(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::BitAnd, self, rhs)
+    }
+
+    /// Bitwise or.
+    pub fn bitor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::BitOr, self, rhs)
+    }
+
+    /// Ternary conditional `self ? then : els`.
+    pub fn cond(self, then: Expr, els: Expr) -> Expr {
+        Expr::Cond(Box::new(self), Box::new(then), Box::new(els))
+    }
+
+    /// Existential scan over the array of `array_nt` (see [`Expr::Exists`]).
+    pub fn exists(var: &str, array_nt: &str, cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::Exists {
+            var: var.to_owned(),
+            array: array_nt.to_owned(),
+            cond: Box::new(cond),
+            then: Box::new(then),
+            els: Box::new(els),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(n: i64) -> Expr {
+        Expr::Num(n)
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl BinOp {
+    /// The token used in the textual notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+        }
+    }
+
+    /// Binding strength for the pretty printer and the frontend parser
+    /// (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => 3,
+            BinOp::BitOr => 4,
+            BinOp::BitAnd => 5,
+            BinOp::Shl | BinOp::Shr => 6,
+            BinOp::Add | BinOp::Sub => 7,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 8,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, outer: u8) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Bin(op, a, b) => {
+                let p = op.precedence();
+                let need = p < outer;
+                if need {
+                    f.write_str("(")?;
+                }
+                a.fmt_prec(f, p)?;
+                write!(f, " {op} ")?;
+                // Left-associative: the right operand needs one more level.
+                b.fmt_prec(f, p + 1)?;
+                if need {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Expr::Cond(c, t, e) => {
+                let need = outer > 0;
+                if need {
+                    f.write_str("(")?;
+                }
+                c.fmt_prec(f, 1)?;
+                f.write_str(" ? ")?;
+                t.fmt_prec(f, 0)?;
+                f.write_str(" : ")?;
+                e.fmt_prec(f, 0)?;
+                if need {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Expr::Ref(r) => write!(f, "{r}"),
+            Expr::Exists { var, array, cond, then, els } => {
+                if outer > 0 {
+                    f.write_str("(")?;
+                }
+                write!(f, "exists {var} in {array} . ")?;
+                cond.fmt_prec(f, 1)?;
+                f.write_str(" ? ")?;
+                then.fmt_prec(f, 0)?;
+                f.write_str(" : ")?;
+                els.fmt_prec(f, 0)?;
+                if outer > 0 {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl fmt::Display for Reference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reference::Local(id) => f.write_str(id),
+            Reference::Attr { nt, attr } => write!(f, "{nt}.{attr}"),
+            Reference::Elem { nt, index, attr } => write!(f, "{nt}({index}).{attr}"),
+            Reference::Eoi => f.write_str("EOI"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_overloads_build_the_expected_tree() {
+        let e = Expr::num(1) + Expr::num(2) * Expr::num(3);
+        assert_eq!(
+            e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Num(1)),
+                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Num(2)), Box::new(Expr::Num(3)))),
+            )
+        );
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let e = (Expr::num(1) + Expr::num(2)) * Expr::num(3);
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = Expr::num(1) + Expr::num(2) * Expr::num(3);
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn display_is_left_associative() {
+        let e = Expr::num(1) - Expr::num(2) - Expr::num(3);
+        assert_eq!(e.to_string(), "1 - 2 - 3");
+        let e = Expr::num(1) - (Expr::num(2) - Expr::num(3));
+        assert_eq!(e.to_string(), "1 - (2 - 3)");
+    }
+
+    #[test]
+    fn display_references() {
+        assert_eq!(Expr::eoi().to_string(), "EOI");
+        assert_eq!(Expr::attr("H", "ofs").to_string(), "H.ofs");
+        assert_eq!(Expr::elem("SH", Expr::local("i"), "sz").to_string(), "SH(i).sz");
+        assert_eq!(Expr::end_of("A").to_string(), "A.end");
+    }
+
+    #[test]
+    fn display_conditional_and_exists() {
+        let e = Expr::local("x").gt(Expr::num(0)).cond(Expr::num(1), Expr::num(2));
+        assert_eq!(e.to_string(), "x > 0 ? 1 : 2");
+        let e = Expr::exists(
+            "j",
+            "OH",
+            Expr::elem("OH", Expr::local("j"), "link").eq(Expr::local("i")),
+            Expr::elem("OH", Expr::local("j"), "len"),
+            Expr::num(-1),
+        );
+        assert_eq!(e.to_string(), "exists j in OH . OH(j).link = i ? OH(j).len : -1");
+    }
+
+    #[test]
+    fn comparisons_display_with_paper_spelling() {
+        let e = Expr::eoi().rem(Expr::num(3)).eq(Expr::num(0));
+        assert_eq!(e.to_string(), "EOI % 3 = 0");
+    }
+}

@@ -1,0 +1,142 @@
+//! Johnson's algorithm for enumerating all elementary cycles of a directed
+//! graph (D. B. Johnson, *Finding All the Elementary Circuits of a Directed
+//! Graph*, SIAM J. Comput. 4(1), 1975) — the enumeration step of the
+//! paper's termination checker (§5).
+
+use std::collections::HashSet;
+
+/// Enumerates all elementary cycles of the graph given by adjacency lists
+/// (`adj[v]` = successors of `v`). Each cycle is returned as the list of
+/// its vertices in order, starting from its smallest vertex; self-loops
+/// come out as single-vertex cycles.
+pub fn elementary_cycles(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut cycles = Vec::new();
+    let mut blocked = vec![false; n];
+    let mut b_lists: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let mut stack = Vec::new();
+
+    // Process vertices in increasing order; within each round only
+    // consider the subgraph induced by vertices ≥ s.
+    for s in 0..n {
+        for v in s..n {
+            blocked[v] = false;
+            b_lists[v].clear();
+        }
+        circuit(s, s, adj, &mut blocked, &mut b_lists, &mut stack, &mut cycles);
+    }
+    cycles
+}
+
+fn circuit(
+    v: usize,
+    s: usize,
+    adj: &[Vec<usize>],
+    blocked: &mut [bool],
+    b_lists: &mut [HashSet<usize>],
+    stack: &mut Vec<usize>,
+    cycles: &mut Vec<Vec<usize>>,
+) -> bool {
+    let mut found = false;
+    stack.push(v);
+    blocked[v] = true;
+    for &w in &adj[v] {
+        if w < s {
+            continue; // restricted to the subgraph on vertices ≥ s
+        }
+        if w == s {
+            cycles.push(stack.clone());
+            found = true;
+        } else if !blocked[w] && circuit(w, s, adj, blocked, b_lists, stack, cycles) {
+            found = true;
+        }
+    }
+    if found {
+        unblock(v, blocked, b_lists);
+    } else {
+        for &w in &adj[v] {
+            if w >= s {
+                b_lists[w].insert(v);
+            }
+        }
+    }
+    stack.pop();
+    found
+}
+
+fn unblock(v: usize, blocked: &mut [bool], b_lists: &mut [HashSet<usize>]) {
+    blocked[v] = false;
+    let waiting: Vec<usize> = b_lists[v].drain().collect();
+    for w in waiting {
+        if blocked[w] {
+            unblock(w, blocked, b_lists);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut cycles: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        cycles.sort();
+        cycles
+    }
+
+    #[test]
+    fn empty_and_acyclic_graphs_have_no_cycles() {
+        assert!(elementary_cycles(&[]).is_empty());
+        assert!(elementary_cycles(&[vec![1], vec![2], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn self_loop() {
+        assert_eq!(elementary_cycles(&[vec![0]]), vec![vec![0]]);
+    }
+
+    #[test]
+    fn two_cycle() {
+        assert_eq!(sorted(elementary_cycles(&[vec![1], vec![0]])), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn two_overlapping_cycles() {
+        // 0→1→0 and 0→1→2→0.
+        let adj = vec![vec![1], vec![0, 2], vec![0]];
+        assert_eq!(sorted(elementary_cycles(&adj)), vec![vec![0, 1], vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn complete_graph_k3_has_five_cycles() {
+        // K3 with all directed edges: three 2-cycles and two 3-cycles.
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let cycles = elementary_cycles(&adj);
+        assert_eq!(cycles.len(), 5);
+        let mut two = 0;
+        let mut three = 0;
+        for c in &cycles {
+            match c.len() {
+                2 => two += 1,
+                3 => three += 1,
+                other => panic!("unexpected cycle length {other}"),
+            }
+        }
+        assert_eq!((two, three), (3, 2));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        // 0→1→0 and 2→2.
+        let adj = vec![vec![1], vec![0], vec![2]];
+        assert_eq!(sorted(elementary_cycles(&adj)), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn cycles_are_elementary() {
+        // Figure-eight through vertex 1: cycles 1→0→1 and 1→2→1, but no
+        // cycle may visit 1 twice.
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        let cycles = sorted(elementary_cycles(&adj));
+        assert_eq!(cycles, vec![vec![0, 1], vec![1, 2]]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Static termination checking (§5 of the paper).
+//!
+//! The algorithm:
+//!
+//! 1. build the *nonterminal dependency graph*: an edge `A → B` labeled
+//!    `[el, er]` for every occurrence `B[el, er]` in `A`'s rule (including
+//!    array elements and switch cases);
+//! 2. enumerate all elementary cycles ([`elementary_cycles`]);
+//! 3. for each cycle, check with the linear solver whether
+//!    `el₀ = 0 ∧ er₀ = EOI ∧ … ∧ elₙ = 0 ∧ erₙ = EOI` is satisfiable —
+//!    i.e. whether the cycle could keep re-parsing the *same* full
+//!    interval. UNSAT means intervals strictly shrink along the cycle, so
+//!    parsing terminates (Theorem 5.1).
+//!
+//! The `A.end > 0` extension is implemented: when a cycle's interval
+//! mentions `B.end` and `B`'s rule provably consumes at least one terminal
+//! byte (a syntactic fixpoint computed during checking), the constraint
+//! `B.end ≥ 1` is added — this is what lets the GIF `Blocks` recursion
+//! pass.
+//!
+//! Blackbox parsers are assumed to terminate, as in the paper.
+
+mod johnson;
+
+pub use johnson::elementary_cycles;
+
+use crate::check::{CExpr, CInterval, CRuleBody, CTermKind, Grammar, NtId};
+use crate::env::wellknown;
+use crate::error::{Error, Result};
+use crate::solver::{LinExpr, System, Var};
+use crate::syntax::BinOp;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The outcome of termination checking.
+#[derive(Clone, Debug)]
+pub struct TerminationReport {
+    /// Whether every elementary cycle was proved decreasing.
+    pub ok: bool,
+    /// Per-cycle details.
+    pub cycles: Vec<CycleReport>,
+    /// Wall-clock time spent (the paper reports < 20 ms per format).
+    pub elapsed: Duration,
+}
+
+/// One elementary cycle of the nonterminal dependency graph.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Nonterminal names along the cycle.
+    pub nonterminals: Vec<String>,
+    /// Whether the solver refuted every interval labeling of the cycle
+    /// (i.e. the cycle provably shrinks its interval).
+    pub decreasing: bool,
+}
+
+impl TerminationReport {
+    /// Number of elementary cycles found.
+    pub fn cycle_count(&self) -> usize {
+        self.cycles.len()
+    }
+}
+
+/// Runs the termination checking algorithm of §5.
+pub fn check_termination(grammar: &Grammar) -> TerminationReport {
+    let start = Instant::now();
+
+    // Step 1: the labeled nonterminal dependency graph.
+    let n = grammar.nt_count();
+    let mut labels: HashMap<(usize, usize), Vec<&CInterval>> = HashMap::new();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    fn add_edge<'g>(
+        labels: &mut HashMap<(usize, usize), Vec<&'g CInterval>>,
+        adj: &mut [Vec<usize>],
+        from: usize,
+        to: NtId,
+        interval: &'g CInterval,
+    ) {
+        let to = to.0 as usize;
+        let entry = labels.entry((from, to)).or_default();
+        if entry.is_empty() {
+            adj[from].push(to);
+        }
+        entry.push(interval);
+    }
+    for (from, rule) in grammar.rules().iter().enumerate() {
+        let CRuleBody::Alts(alts) = &rule.body else { continue };
+        for alt in alts {
+            for term in &alt.terms {
+                match &term.kind {
+                    CTermKind::Symbol { nt, interval } => {
+                        add_edge(&mut labels, &mut adj, from, *nt, interval)
+                    }
+                    CTermKind::Array { nt, interval, .. }
+                    | CTermKind::Star { nt, interval } => {
+                        add_edge(&mut labels, &mut adj, from, *nt, interval)
+                    }
+                    CTermKind::Switch { cases } => {
+                        for case in cases {
+                            add_edge(&mut labels, &mut adj, from, case.nt, &case.interval);
+                        }
+                    }
+                    CTermKind::Terminal { .. }
+                    | CTermKind::AttrDef { .. }
+                    | CTermKind::Predicate { .. } => {}
+                }
+            }
+        }
+    }
+
+    // Step 2: elementary cycles of the node graph.
+    let node_cycles = elementary_cycles(&adj);
+
+    // Step 3: refute each labeling of each cycle.
+    let mut cycles = Vec::with_capacity(node_cycles.len());
+    let mut ok = true;
+    for cycle in node_cycles {
+        let k = cycle.len();
+        let hop_labels: Vec<&Vec<&CInterval>> = (0..k)
+            .map(|i| &labels[&(cycle[i], cycle[(i + 1) % k])])
+            .collect();
+        // Cartesian product over parallel edges; the cycle is decreasing
+        // only if *every* labeling is refuted.
+        let mut decreasing = true;
+        let mut choice = vec![0usize; k];
+        'labelings: loop {
+            let intervals: Vec<&CInterval> =
+                (0..k).map(|i| hop_labels[i][choice[i]]).collect();
+            if !refute_cycle(grammar, &intervals) {
+                decreasing = false;
+                break;
+            }
+            // Advance the mixed-radix counter.
+            for i in 0..k {
+                choice[i] += 1;
+                if choice[i] < hop_labels[i].len() {
+                    continue 'labelings;
+                }
+                choice[i] = 0;
+            }
+            break;
+        }
+        ok &= decreasing;
+        cycles.push(CycleReport {
+            nonterminals: cycle.iter().map(|&v| grammar.nt_name(NtId(v as u32)).to_owned()).collect(),
+            decreasing,
+        });
+    }
+
+    TerminationReport { ok, cycles, elapsed: start.elapsed() }
+}
+
+/// Like [`check_termination`], but returns an error when a cycle could not
+/// be proved decreasing.
+///
+/// # Errors
+///
+/// [`Error::Termination`] naming the offending cycles.
+pub fn ensure_terminating(grammar: &Grammar) -> Result<TerminationReport> {
+    let report = check_termination(grammar);
+    if report.ok {
+        Ok(report)
+    } else {
+        let bad: Vec<String> = report
+            .cycles
+            .iter()
+            .filter(|c| !c.decreasing)
+            .map(|c| c.nonterminals.join(" → "))
+            .collect();
+        Err(Error::Termination(format!(
+            "possibly non-terminating cycle(s): {}",
+            bad.join("; ")
+        )))
+    }
+}
+
+/// Returns `true` when the solver proves the cycle cannot keep the full
+/// `[0, EOI]` interval (UNSAT ⇒ decreasing ⇒ terminating).
+fn refute_cycle(grammar: &Grammar, intervals: &[&CInterval]) -> bool {
+    let mut sys = System::new();
+    let mut alloc = VarAlloc::new(grammar);
+    let eoi = alloc.global_eoi(&mut sys);
+    for (edge, interval) in intervals.iter().enumerate() {
+        let lo = alloc.linearize(&interval.lo, edge, &mut sys);
+        let hi = alloc.linearize(&interval.hi, edge, &mut sys);
+        sys.assert_eq(lo, LinExpr::constant(0));
+        sys.assert_eq(hi, LinExpr::var(eoi));
+    }
+    !sys.is_satisfiable()
+}
+
+/// Allocates solver variables for expression atoms. Atoms are keyed per
+/// edge (each cycle position is a distinct rule instantiation) except for
+/// `EOI`, which the paper's formula shares across the whole cycle (a
+/// non-decreasing cycle keeps the same input).
+struct VarAlloc<'g> {
+    grammar: &'g Grammar,
+    map: HashMap<String, Var>,
+    next: u32,
+}
+
+impl<'g> VarAlloc<'g> {
+    fn new(grammar: &'g Grammar) -> Self {
+        VarAlloc { grammar, map: HashMap::new(), next: 0 }
+    }
+
+    fn global_eoi(&mut self, sys: &mut System) -> Var {
+        self.named("EOI".to_owned(), Some(0), sys)
+    }
+
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// Returns the variable for `key`, creating it with an optional lower
+    /// bound on first use.
+    fn named(&mut self, key: String, lower_bound: Option<i64>, sys: &mut System) -> Var {
+        if let Some(&v) = self.map.get(&key) {
+            return v;
+        }
+        let v = self.fresh();
+        self.map.insert(key, v);
+        if let Some(lb) = lower_bound {
+            sys.assert_ge(LinExpr::var(v), LinExpr::constant(lb));
+        }
+        v
+    }
+
+    /// Normalizes `e` (evaluated in cycle position `edge`) to a linear
+    /// form. Non-linear or data-dependent subterms become shared free
+    /// variables — conservative in the sound direction.
+    fn linearize(&mut self, e: &CExpr, edge: usize, sys: &mut System) -> LinExpr {
+        match e {
+            CExpr::Num(n) => LinExpr::constant(*n),
+            CExpr::Eoi => LinExpr::var(self.global_eoi(sys)),
+            CExpr::Bin(BinOp::Add, a, b) => {
+                self.linearize(a, edge, sys).add(&self.linearize(b, edge, sys))
+            }
+            CExpr::Bin(BinOp::Sub, a, b) => {
+                self.linearize(a, edge, sys).sub(&self.linearize(b, edge, sys))
+            }
+            CExpr::Bin(BinOp::Mul, a, b) => {
+                let la = self.linearize(a, edge, sys);
+                let lb = self.linearize(b, edge, sys);
+                if la.is_constant() {
+                    lb.scale(la.constant_term())
+                } else if lb.is_constant() {
+                    la.scale(lb.constant_term())
+                } else {
+                    LinExpr::var(self.atom(e, edge, sys))
+                }
+            }
+            _ => LinExpr::var(self.atom(e, edge, sys)),
+        }
+    }
+
+    /// A shared variable for a non-linear/atomic subexpression, with sound
+    /// bounds where we have them.
+    fn atom(&mut self, e: &CExpr, edge: usize, sys: &mut System) -> Var {
+        let lower = match e {
+            // start/end special attributes are offsets: always ≥ 0. The
+            // §5 extension: B.end ≥ 1 when B always consumes a byte.
+            CExpr::NtAttr { nt, attr, .. } | CExpr::OuterAttr { nt, attr } => {
+                if *attr == wellknown::END {
+                    if self.grammar.rule(*nt).consumes_terminal {
+                        Some(1)
+                    } else {
+                        Some(0)
+                    }
+                } else if *attr == wellknown::START {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let key = format!("e{edge}:{e:?}");
+        self.named(key, lower, sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::parse_grammar;
+
+    #[test]
+    fn acyclic_grammar_trivially_terminates() {
+        let g = parse_grammar(
+            "S -> H[0, 8] D[8, EOI]; H -> \"h\"[0, 1]; D -> \"d\"[0, 1];",
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(report.ok);
+        assert_eq!(report.cycle_count(), 0);
+    }
+
+    #[test]
+    fn fig3_binary_number_terminates() {
+        let g = parse_grammar(
+            r#"
+            start Int;
+            Int -> Int[0, EOI - 1] Digit[EOI - 1, EOI] {val = 2 * Int.val + Digit.val}
+                 / Digit[0, 1] {val = Digit.val};
+            Digit -> "0"[0, 1] {val = 0} / "1"[0, 1] {val = 1};
+            "#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(report.ok, "report: {report:?}");
+        assert_eq!(report.cycle_count(), 1, "the Int self-loop");
+    }
+
+    #[test]
+    fn section5_example_is_flagged() {
+        // A → B[0, EOI] / "s"[0,1]; B → A[0, EOI] / "s"[0,1].
+        let g = parse_grammar(
+            r#"A -> B[0, EOI] / "s"[0, 1]; B -> A[0, EOI] / "s"[0, 1];"#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(!report.ok);
+        assert_eq!(report.cycle_count(), 1);
+        assert!(!report.cycles[0].decreasing);
+        assert!(ensure_terminating(&g).is_err());
+    }
+
+    #[test]
+    fn kaitai_repeat_epsilon_equivalent_is_flagged() {
+        // Fig. 11d: S → ""[0,0] S[0, EOI].
+        let g = parse_grammar(r#"S -> ""[0, 0] S[0, EOI] / ""[0, 0];"#).unwrap();
+        let report = check_termination(&g);
+        assert!(!report.ok, "the [0, EOI] self-loop never shrinks");
+    }
+
+    #[test]
+    fn kaitai_seek_equivalent_is_flagged() {
+        // Fig. 11b: S → num[0,1] S[num.val, EOI]; num.val can be 0.
+        let g = parse_grammar(
+            r#"S -> Num[0, 1] S[Num.val, EOI] / ""[0, 0]; Num := u8;"#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(!report.ok, "num.val = 0 keeps the interval at [0, EOI]");
+    }
+
+    #[test]
+    fn gif_blocks_pass_with_the_end_extension() {
+        // Blocks → Block Blocks[Block.end, EOI] / Block, where Block
+        // consumes at least one terminal byte.
+        let g = parse_grammar(
+            r#"
+            start Blocks;
+            Blocks -> Block[0, EOI] Blocks[Block.end, EOI] / Block[0, EOI];
+            Block -> "B"[0, 1] Len[1, 2] where { Len := u8; };
+            "#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(report.ok, "Block.end ≥ 1 refutes the Blocks self-loop: {report:?}");
+    }
+
+    #[test]
+    fn blocks_without_consuming_block_are_flagged() {
+        // Same shape, but Block can succeed consuming nothing.
+        let g = parse_grammar(
+            r#"
+            start Blocks;
+            Blocks -> Block[0, EOI] Blocks[Block.end, EOI] / Block[0, EOI];
+            Block -> ""[0, 0];
+            "#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(!report.ok, "Block.end can be 0, so Blocks may not shrink");
+    }
+
+    #[test]
+    fn anbncn_terminates() {
+        let g = parse_grammar(
+            r#"
+            S -> assert(EOI % 3 = 0) {n = EOI / 3} A[0, n] B[n, 2*n] C[2*n, 3*n];
+            A -> "a"[0, 1] A[1, EOI] / "a"[0, 1];
+            B -> "b"[0, 1] B[1, EOI] / "b"[0, 1];
+            C -> "c"[0, 1] C[1, EOI] / "c"[0, 1];
+            "#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(report.ok, "report: {report:?}");
+        assert_eq!(report.cycle_count(), 3, "three self-loops with [1, EOI]");
+    }
+
+    #[test]
+    fn parallel_edges_all_checked() {
+        // Two edges S→S: a shrinking one and a non-shrinking one. The
+        // non-shrinking labeling must be found.
+        let g = parse_grammar(
+            r#"S -> S[1, EOI] / S[0, EOI] / "x"[0, 1];"#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(!report.ok);
+    }
+
+    #[test]
+    fn mutual_recursion_through_three_rules() {
+        // A → B[1, EOI], B → C[0, EOI], C → A[0, EOI]: the cycle strictly
+        // shrinks at the A→B hop.
+        let g = parse_grammar(
+            r#"
+            A -> B[1, EOI] / "x"[0, 1];
+            B -> C[0, EOI] / "x"[0, 1];
+            C -> A[0, EOI] / "x"[0, 1];
+            "#,
+        )
+        .unwrap();
+        let report = check_termination(&g);
+        assert!(report.ok, "report: {report:?}");
+        assert_eq!(report.cycle_count(), 1);
+    }
+
+    #[test]
+    fn report_timing_is_recorded() {
+        let g = parse_grammar(r#"S -> "x"[0, 1];"#).unwrap();
+        let report = check_termination(&g);
+        assert!(report.elapsed < Duration::from_secs(1));
+    }
+}

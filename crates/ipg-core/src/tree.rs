@@ -1,0 +1,327 @@
+//! Parse trees.
+//!
+//! `Tr ::= Node(A, E, Tr…) | Array(Tr…) | Leaf(s)` from §3.3 of the paper,
+//! extended with a `Blackbox` leaf carrying the decoded output of an opaque
+//! external parser.
+//!
+//! Subtrees are reference-counted so that the memoizing interpreter can
+//! reuse a cached result in several places without deep copies (the paper's
+//! O(n²) memoization argument relies on exactly this sharing).
+
+use crate::check::NtId;
+use crate::env::Env;
+use crate::intern::Sym;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A parse tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tree {
+    /// A nonterminal node: root `nt`, attribute environment, children in
+    /// (reordered) term order.
+    Node(Node),
+    /// The result of an array term: one child per loop iteration.
+    Array(ArrayNode),
+    /// A matched terminal string, identified by its absolute input span.
+    Leaf(Leaf),
+    /// The result of a blackbox rule.
+    Blackbox(BlackboxNode),
+}
+
+/// A nonterminal parse-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// The nonterminal this node was parsed with.
+    pub nt: NtId,
+    /// The nonterminal's name (kept on the node so extractors need not
+    /// carry the grammar around).
+    pub name: Arc<str>,
+    /// Attribute environment: user attributes plus `start`/`end`/`EOI`.
+    /// `start`/`end` are relative to the node's *parent* input after the
+    /// caller-side adjustment of rule T-NTSucc.
+    pub env: Env,
+    /// Children, one per terminal/nonterminal/array/switch/blackbox term of
+    /// the successful alternative (attribute definitions and predicates
+    /// produce no child).
+    pub children: Vec<Rc<Tree>>,
+    /// Absolute input offset of this node's local input slice.
+    pub base: usize,
+    /// Length of this node's local input slice (`EOI`).
+    pub input_len: usize,
+    /// Index of the alternative that succeeded (0-based).
+    pub alt_index: usize,
+}
+
+/// The result of an array term.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayNode {
+    /// Element nonterminal.
+    pub nt: NtId,
+    /// Element nonterminal name.
+    pub name: Arc<str>,
+    /// One element per iteration, each a [`Tree::Node`].
+    pub elems: Vec<Rc<Tree>>,
+}
+
+/// A matched terminal string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Leaf {
+    /// Absolute offset of the first matched byte.
+    pub start: usize,
+    /// Absolute offset one past the last matched byte (equal to `start`
+    /// for ε).
+    pub end: usize,
+}
+
+/// The result of a blackbox rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlackboxNode {
+    /// The nonterminal whose rule is the blackbox.
+    pub nt: NtId,
+    /// Its name.
+    pub name: Arc<str>,
+    /// Attribute environment (declared attributes plus `start`/`end`/`EOI`).
+    pub env: Env,
+    /// Decoded output (e.g. decompressed bytes).
+    pub data: Arc<[u8]>,
+    /// Absolute offset of the blackbox's local input slice.
+    pub base: usize,
+    /// Length of the local input slice.
+    pub input_len: usize,
+}
+
+impl Tree {
+    /// This tree as a nonterminal node, if it is one.
+    pub fn as_node(&self) -> Option<&Node> {
+        match self {
+            Tree::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// This tree as an array, if it is one.
+    pub fn as_array(&self) -> Option<&ArrayNode> {
+        match self {
+            Tree::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// This tree as a terminal leaf, if it is one.
+    pub fn as_leaf(&self) -> Option<&Leaf> {
+        match self {
+            Tree::Leaf(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// This tree as a blackbox node, if it is one.
+    pub fn as_blackbox(&self) -> Option<&BlackboxNode> {
+        match self {
+            Tree::Blackbox(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The first direct child of this node named `name` (searching
+    /// [`Tree::Node`] and [`Tree::Blackbox`] children).
+    pub fn child_node(&self, name: &str) -> Option<&Node> {
+        let Tree::Node(n) = self else { return None };
+        n.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Node(child) if &*child.name == name => Some(child),
+            _ => None,
+        })
+    }
+
+    /// The first direct child array of `name` elements.
+    pub fn child_array(&self, name: &str) -> Option<&ArrayNode> {
+        let Tree::Node(n) = self else { return None };
+        n.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Array(a) if &*a.name == name => Some(a),
+            _ => None,
+        })
+    }
+
+    /// The first direct blackbox child named `name`.
+    pub fn child_blackbox(&self, name: &str) -> Option<&BlackboxNode> {
+        let Tree::Node(n) = self else { return None };
+        n.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Blackbox(b) if &*b.name == name => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Total number of tree nodes (for tests and statistics).
+    pub fn size(&self) -> usize {
+        match self {
+            Tree::Node(n) => 1 + n.children.iter().map(|c| c.size()).sum::<usize>(),
+            Tree::Array(a) => 1 + a.elems.iter().map(|c| c.size()).sum::<usize>(),
+            Tree::Leaf(_) | Tree::Blackbox(_) => 1,
+        }
+    }
+}
+
+impl Node {
+    /// Looks up a user attribute by name (requires the grammar for symbol
+    /// resolution).
+    pub fn attr(&self, grammar: &crate::check::Grammar, name: &str) -> Option<i64> {
+        let sym = grammar.attr_sym(name)?;
+        self.env.get(sym)
+    }
+
+    /// Looks up an attribute by pre-resolved symbol (fast path for
+    /// extractors in hot loops).
+    pub fn attr_by_sym(&self, sym: Sym) -> Option<i64> {
+        self.env.get(sym)
+    }
+
+    /// The node's `start` special attribute (relative to the parent's
+    /// input), i.e. the left-most offset its parsing touched.
+    pub fn touched_start(&self) -> i64 {
+        self.env.start()
+    }
+
+    /// The node's `end` special attribute.
+    pub fn touched_end(&self) -> i64 {
+        self.env.end()
+    }
+
+    /// The first direct child of this node named `name`.
+    pub fn child_node(&self, name: &str) -> Option<&Node> {
+        self.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Node(child) if &*child.name == name => Some(child),
+            _ => None,
+        })
+    }
+
+    /// The first direct child array of `name` elements.
+    pub fn child_array(&self, name: &str) -> Option<&ArrayNode> {
+        self.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Array(a) if &*a.name == name => Some(a),
+            _ => None,
+        })
+    }
+
+    /// The first direct blackbox child named `name`.
+    pub fn child_blackbox(&self, name: &str) -> Option<&BlackboxNode> {
+        self.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Blackbox(b) if &*b.name == name => Some(b),
+            _ => None,
+        })
+    }
+
+    /// The absolute input span `[base, base + input_len)` this node was
+    /// asked to describe.
+    pub fn span(&self) -> (usize, usize) {
+        (self.base, self.base + self.input_len)
+    }
+}
+
+impl ArrayNode {
+    /// Element `i` as a node.
+    pub fn node(&self, i: usize) -> Option<&Node> {
+        self.elems.get(i).and_then(|t| t.as_node())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Iterates over elements as nodes (skipping nothing: array elements
+    /// are always nodes).
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.elems.iter().filter_map(|t| t.as_node())
+    }
+}
+
+impl Leaf {
+    /// The matched bytes within `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not the buffer this leaf was parsed from (span
+    /// out of bounds).
+    pub fn bytes<'a>(&self, input: &'a [u8]) -> &'a [u8] {
+        &input[self.start..self.end]
+    }
+
+    /// Length of the matched terminal.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the match was the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(start: usize, end: usize) -> Rc<Tree> {
+        Rc::new(Tree::Leaf(Leaf { start, end }))
+    }
+
+    #[test]
+    fn leaf_bytes_slice_the_input() {
+        let l = Leaf { start: 2, end: 5 };
+        assert_eq!(l.bytes(b"..abc.."), b"abc");
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert!(Leaf { start: 4, end: 4 }.is_empty());
+    }
+
+    #[test]
+    fn tree_size_counts_all_nodes() {
+        let node = Tree::Node(Node {
+            nt: NtId(0),
+            name: "S".into(),
+            env: Env::new(),
+            children: vec![
+                leaf(0, 1),
+                Rc::new(Tree::Array(ArrayNode {
+                    nt: NtId(1),
+                    name: "A".into(),
+                    elems: vec![],
+                })),
+            ],
+            base: 0,
+            input_len: 1,
+            alt_index: 0,
+        });
+        assert_eq!(node.size(), 3);
+    }
+
+    #[test]
+    fn child_lookup_by_name() {
+        let child = Node {
+            nt: NtId(1),
+            name: "H".into(),
+            env: Env::new(),
+            children: vec![],
+            base: 0,
+            input_len: 8,
+            alt_index: 0,
+        };
+        let root = Tree::Node(Node {
+            nt: NtId(0),
+            name: "S".into(),
+            env: Env::new(),
+            children: vec![Rc::new(Tree::Node(child))],
+            base: 0,
+            input_len: 12,
+            alt_index: 0,
+        });
+        assert!(root.child_node("H").is_some());
+        assert!(root.child_node("X").is_none());
+        assert!(root.child_array("H").is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! The frontend must reject, never panic on, malformed grammar text — the
+//! same robustness the generated parsers must show on malformed input.
+
+use ipg_core::frontend::{parse_grammar, parse_surface};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(src in "\\PC{0,200}") {
+        let _ = parse_surface(&src);
+        let _ = parse_grammar(&src);
+    }
+
+    #[test]
+    fn arbitrary_bytes_as_latin1_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src: String = bytes.iter().map(|&b| b as char).collect();
+        let _ = parse_grammar(&src);
+    }
+
+    /// Mutating a valid grammar's text produces either a valid grammar or a
+    /// clean error — never a panic.
+    #[test]
+    fn mutated_valid_grammar_never_panics(idx_frac in 0.0f64..1.0, ch in any::<char>()) {
+        let base = r#"
+            S -> H[0, 8] Data[H.offset, H.offset + H.length] assert(H.offset > 0);
+            H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+            Int := u32le;
+            Data := bytes;
+        "#;
+        let mut chars: Vec<char> = base.chars().collect();
+        let idx = ((chars.len() - 1) as f64 * idx_frac) as usize;
+        chars[idx] = ch;
+        let mutated: String = chars.into_iter().collect();
+        let _ = parse_grammar(&mutated);
+    }
+}
+
+#[test]
+fn error_messages_carry_positions() {
+    let cases = [
+        ("S -> [0, 1];", "expected"),
+        ("S -> A[0 1];", "expected"),
+        ("S -> A[0, 1]", "expected"),        // missing semicolon
+        ("S := not_a_builtin;", "unknown builtin"),
+        ("S -> \"unterminated", "unterminated"),
+        ("S -> A[0, (1];", "expected"),
+        ("-> A;", "expected"),
+        ("S -> {x = };", "expected expression"),
+        ("S -> for i = 0 do A[0, 1];", "expected `to`"),
+        ("S -> switch();", "expected"),
+    ];
+    for (src, needle) in cases {
+        let err = parse_surface(src).expect_err(src).to_string();
+        assert!(
+            err.to_lowercase().contains(needle),
+            "source {src:?} produced error {err:?}, expected to contain {needle:?}"
+        );
+        assert!(err.contains("syntax error at") || err.contains("grammar"), "{err}");
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_are_bounded() {
+    // Moderate nesting parses fine…
+    let mut expr = String::from("1");
+    for _ in 0..100 {
+        expr = format!("({expr})");
+    }
+    let src = format!("S -> {{x = {expr}}} \"\"[0, 0];");
+    assert!(parse_grammar(&src).is_ok());
+
+    // …but pathological nesting is rejected with a clean error (instead of
+    // exhausting the stack somewhere in a later recursive pass).
+    let mut expr = String::from("1");
+    for _ in 0..10_000 {
+        expr = format!("({expr})");
+    }
+    let src = format!("S -> {{x = {expr}}} \"\"[0, 0];");
+    let err = parse_grammar(&src).unwrap_err().to_string();
+    assert!(err.contains("nesting"), "got: {err}");
+}
+
+#[test]
+fn duplicate_and_missing_rules_are_clean_errors() {
+    assert!(parse_grammar("S -> A[0, 1]; S -> \"x\"[0, 1]; A := u8;")
+        .unwrap_err()
+        .to_string()
+        .contains("duplicate"));
+    assert!(parse_grammar("S -> Ghost[0, 1];")
+        .unwrap_err()
+        .to_string()
+        .contains("Ghost"));
+    assert!(parse_grammar("start Nope; S -> \"x\"[0, 1];")
+        .unwrap_err()
+        .to_string()
+        .contains("Nope"));
+}

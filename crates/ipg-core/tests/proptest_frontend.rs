@@ -1,0 +1,153 @@
+//! Property tests for the textual frontend: pretty-printing a random
+//! surface grammar and reparsing it must be a fixpoint (`print ∘ parse ∘
+//! print = print`), and checked grammars must re-check after a roundtrip.
+
+use ipg_core::frontend::parse_surface;
+use ipg_core::syntax::{
+    Alternative, Builtin, Expr, Grammar, Interval, Rule, RuleBody, SwitchCase, Term,
+};
+use proptest::prelude::*;
+
+const NT_POOL: [&str; 4] = ["Aa", "Bb", "Cc", "Dd"];
+const ATTR_POOL: [&str; 3] = ["x1", "y2", "z3"];
+
+fn nt_name() -> impl Strategy<Value = String> {
+    prop::sample::select(NT_POOL.to_vec()).prop_map(str::to_owned)
+}
+
+fn attr_name() -> impl Strategy<Value = String> {
+    prop::sample::select(ATTR_POOL.to_vec()).prop_map(str::to_owned)
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::Num),
+        Just(Expr::eoi()),
+        attr_name().prop_map(|a| Expr::local(&a)),
+        (nt_name(), attr_name()).prop_map(|(n, a)| Expr::attr(&n, &a)),
+        (nt_name(), attr_name()).prop_map(|(n, a)| Expr::elem(&n, Expr::local("i"), &a)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.rem(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.shl(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.bitand(b)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| c.cond(t, e)),
+        ]
+    })
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (expr(), expr()).prop_map(|(lo, hi)| Interval::new(lo, hi))
+}
+
+fn terminal_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..6),
+        "[a-zA-Z0-9 .!-]{0,8}".prop_map(|s| s.into_bytes()),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (nt_name(), interval()).prop_map(|(name, interval)| Term::Symbol { name, interval }),
+        (terminal_bytes(), interval())
+            .prop_map(|(bytes, interval)| Term::Terminal { bytes, interval }),
+        (attr_name(), expr()).prop_map(|(name, expr)| Term::AttrDef { name, expr }),
+        expr().prop_map(|expr| Term::Predicate { expr }),
+        (expr(), expr(), nt_name(), interval()).prop_map(|(from, to, name, interval)| {
+            Term::Array { var: "i".to_owned(), from, to, name, interval }
+        }),
+        (nt_name(), interval()).prop_map(|(name, interval)| Term::Star { name, interval }),
+        (
+            prop::collection::vec((expr(), nt_name(), interval()), 1..3),
+            nt_name(),
+            interval()
+        )
+            .prop_map(|(cases, dname, dinterval)| Term::Switch {
+                cases: cases
+                    .into_iter()
+                    .map(|(cond, name, interval)| SwitchCase {
+                        cond: Some(cond),
+                        name,
+                        interval,
+                    })
+                    .collect(),
+                default: Box::new(SwitchCase { cond: None, name: dname, interval: dinterval }),
+            }),
+    ]
+}
+
+fn grammar() -> impl Strategy<Value = Grammar> {
+    // One rule per pool nonterminal so every reference has a target; the
+    // last two become builtins for variety.
+    (
+        prop::collection::vec(prop::collection::vec(term(), 0..4), 1..3),
+        prop::collection::vec(prop::collection::vec(term(), 0..4), 1..3),
+        prop::sample::select(vec![Builtin::U8, Builtin::U32Le, Builtin::AsciiInt, Builtin::Bytes]),
+    )
+        .prop_map(|(alts_a, alts_b, b)| Grammar {
+            rules: vec![
+                Rule {
+                    name: "Aa".into(),
+                    body: RuleBody::Alts(
+                        alts_a.into_iter().map(|terms| Alternative { terms }).collect(),
+                    ),
+                    is_local: false,
+                },
+                Rule {
+                    name: "Bb".into(),
+                    body: RuleBody::Alts(
+                        alts_b.into_iter().map(|terms| Alternative { terms }).collect(),
+                    ),
+                    is_local: true,
+                },
+                Rule { name: "Cc".into(), body: RuleBody::Builtin(b), is_local: false },
+                Rule { name: "Dd".into(), body: RuleBody::Builtin(Builtin::U16Be), is_local: false },
+            ],
+            start: Some("Aa".into()),
+            blackboxes: vec![],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `print ∘ parse ∘ print = print` on arbitrary surface grammars.
+    #[test]
+    fn display_reparse_is_a_fixpoint(g in grammar()) {
+        let printed = g.to_string();
+        let reparsed = parse_surface(&printed)
+            .unwrap_or_else(|e| panic!("own output failed to reparse: {e}\n{printed}"));
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    /// Expressions alone roundtrip through the notation.
+    #[test]
+    fn expr_display_reparses(e in expr()) {
+        let src = format!("Aa -> {{x1 = {e}}} \"\"[0, 0];");
+        let g = parse_surface(&src)
+            .unwrap_or_else(|err| panic!("expr failed to reparse: {err}\n{src}"));
+        let printed = g.to_string();
+        let again = parse_surface(&printed).expect("second parse");
+        prop_assert_eq!(printed, again.to_string());
+    }
+
+    /// Checked grammars survive the textual roundtrip: if a random grammar
+    /// happens to pass attribute checking, its printed form must pass too.
+    #[test]
+    fn checking_is_stable_under_roundtrip(g in grammar()) {
+        let printed = g.to_string();
+        let first = ipg_core::check::check(g);
+        let reparsed = parse_surface(&printed).expect("own output reparses");
+        let second = ipg_core::check::check(reparsed);
+        prop_assert_eq!(first.is_ok(), second.is_ok(), "checking verdict changed:\n{}", printed);
+    }
+}

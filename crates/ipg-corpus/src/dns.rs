@@ -1,0 +1,163 @@
+//! Synthetic DNS messages (RFC 1035), in the style of the packets the
+//! paper captured for the Fig. 13e/14a experiments.
+//!
+//! DNS is the recursion-heavy network format: names are label sequences,
+//! and answers typically *compress* names with pointers back into the
+//! question section — a random-access pattern inside a packet.
+
+use crate::put::{u16be, u32be};
+use crate::rng;
+use rand::Rng;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of questions.
+    pub n_questions: usize,
+    /// Number of answer records (type A).
+    pub n_answers: usize,
+    /// Use compression pointers in answer names (real resolvers do).
+    pub compress: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n_questions: 1, n_answers: 4, compress: true, seed: 42 }
+    }
+}
+
+/// Ground truth about a generated message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Transaction id.
+    pub id: u16,
+    /// Question names (dotted form).
+    pub questions: Vec<String>,
+    /// Answer `(name, ipv4)` pairs; compressed names resolve to the
+    /// question they point at.
+    pub answers: Vec<(String, [u8; 4])>,
+}
+
+/// A generated message plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// Message bytes.
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+fn random_name(rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    let n_labels = rng.random_range(2..=4);
+    (0..n_labels)
+        .map(|_| {
+            let len = rng.random_range(3..=10);
+            (0..len).map(|_| (b'a' + rng.random_range(0..26u8)) as char).collect()
+        })
+        .collect()
+}
+
+fn write_name(out: &mut Vec<u8>, labels: &[String]) {
+    for label in labels {
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    out.push(0);
+}
+
+/// Generates one DNS response message.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let mut bytes = Vec::new();
+
+    let id: u16 = rng.random();
+    u16be(&mut bytes, id);
+    u16be(&mut bytes, 0x8180); // response, recursion desired+available
+    u16be(&mut bytes, config.n_questions as u16);
+    u16be(&mut bytes, config.n_answers as u16);
+    u16be(&mut bytes, 0); // nscount
+    u16be(&mut bytes, 0); // arcount
+
+    let mut questions = Vec::with_capacity(config.n_questions);
+    let mut question_offsets = Vec::with_capacity(config.n_questions);
+    for _ in 0..config.n_questions {
+        let labels = random_name(&mut rng);
+        question_offsets.push(bytes.len() as u16);
+        write_name(&mut bytes, &labels);
+        u16be(&mut bytes, 1); // QTYPE = A
+        u16be(&mut bytes, 1); // QCLASS = IN
+        questions.push(labels.join("."));
+    }
+
+    let mut answers = Vec::with_capacity(config.n_answers);
+    for i in 0..config.n_answers {
+        let name = if config.compress && !questions.is_empty() {
+            let q = i % questions.len();
+            u16be(&mut bytes, 0xc000 | question_offsets[q]);
+            questions[q].clone()
+        } else {
+            let labels = random_name(&mut rng);
+            write_name(&mut bytes, &labels);
+            labels.join(".")
+        };
+        u16be(&mut bytes, 1); // TYPE = A
+        u16be(&mut bytes, 1); // CLASS = IN
+        u32be(&mut bytes, 300); // TTL
+        u16be(&mut bytes, 4); // RDLENGTH
+        let ip: [u8; 4] = [10, rng.random(), rng.random(), rng.random()];
+        bytes.extend_from_slice(&ip);
+        answers.push((name, ip));
+    }
+
+    Generated { bytes, summary: Summary { id, questions, answers } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_counts_match_config() {
+        let g = generate(&Config { n_questions: 2, n_answers: 5, ..Default::default() });
+        let b = &g.bytes;
+        assert_eq!(u16::from_be_bytes([b[4], b[5]]), 2);
+        assert_eq!(u16::from_be_bytes([b[6], b[7]]), 5);
+        assert_eq!(g.summary.questions.len(), 2);
+        assert_eq!(g.summary.answers.len(), 5);
+    }
+
+    #[test]
+    fn compressed_answers_point_into_questions() {
+        let g = generate(&Config { compress: true, ..Default::default() });
+        // First answer name starts right after the question section with a
+        // 0xc0-prefixed pointer.
+        let q_end = {
+            // Walk the single question: labels then 0, then 4 bytes.
+            let mut i = 12;
+            while g.bytes[i] != 0 {
+                i += 1 + g.bytes[i] as usize;
+            }
+            i + 1 + 4
+        };
+        assert_eq!(g.bytes[q_end] & 0xc0, 0xc0);
+        assert_eq!(g.summary.answers[0].0, g.summary.questions[0]);
+    }
+
+    #[test]
+    fn uncompressed_answers_spell_names_out() {
+        let g = generate(&Config { compress: false, n_answers: 1, ..Default::default() });
+        // Message must be longer than the compressed equivalent.
+        let c = generate(&Config { compress: true, n_answers: 1, ..Default::default() });
+        assert!(g.bytes.len() > c.bytes.len());
+    }
+
+    #[test]
+    fn answer_rdata_is_four_bytes() {
+        let g = generate(&Config::default());
+        for (_, ip) in &g.summary.answers {
+            assert_eq!(ip[0], 10);
+        }
+    }
+}

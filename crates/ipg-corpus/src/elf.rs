@@ -1,0 +1,341 @@
+//! Synthetic ELF64 (little-endian) object files, section view.
+//!
+//! Structure mirrors Fig. 9a of the paper: a fixed header whose `e_shoff`
+//! points at the section header table, whose entries point at the
+//! sections. Includes a `.dynamic` section (type 6, the paper's `DynSec`
+//! case), a symbol table plus string table (the deep-name-parsing workload
+//! behind the Fig. 13d discussion), and a configurable number of progbits
+//! sections.
+
+use crate::put::{u16le, u32le, u64le};
+use crate::{random_bytes, rng};
+use rand::Rng;
+
+/// ELF header size (ELF64).
+pub const EHDR_SIZE: usize = 64;
+/// Section header entry size (ELF64).
+pub const SHDR_SIZE: usize = 64;
+/// Symbol entry size (ELF64).
+pub const SYM_SIZE: usize = 24;
+/// `.dynamic` entry size (ELF64).
+pub const DYN_SIZE: usize = 16;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of progbits (data) sections.
+    pub n_sections: usize,
+    /// Bytes per progbits section.
+    pub section_size: usize,
+    /// Number of symbols in `.symtab`.
+    pub n_symbols: usize,
+    /// Number of `.dynamic` entries.
+    pub n_dyn: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n_sections: 4, section_size: 256, n_symbols: 16, n_dyn: 8, seed: 42 }
+    }
+}
+
+/// Ground truth about a generated file, for cross-validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Value of `e_shoff`.
+    pub shoff: u64,
+    /// Value of `e_shnum`.
+    pub shnum: u16,
+    /// Index of `.shstrtab` (`e_shstrndx`).
+    pub shstrndx: u16,
+    /// Per-section `(type, offset, size)` in table order.
+    pub sections: Vec<(u32, u64, u64)>,
+    /// Section names in table order.
+    pub section_names: Vec<String>,
+    /// Symbol names in `.symtab` order.
+    pub symbol_names: Vec<String>,
+    /// Number of `.dynamic` entries.
+    pub n_dyn: usize,
+}
+
+/// A generated file plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The file bytes.
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+/// Section types used.
+pub mod sh_type {
+    /// Inactive entry.
+    pub const NULL: u32 = 0;
+    /// Program data.
+    pub const PROGBITS: u32 = 1;
+    /// Symbol table.
+    pub const SYMTAB: u32 = 2;
+    /// String table.
+    pub const STRTAB: u32 = 3;
+    /// Dynamic linking info (the paper's `DynSec`).
+    pub const DYNAMIC: u32 = 6;
+}
+
+struct Section {
+    name: String,
+    ty: u32,
+    data: Vec<u8>,
+    link: u32,
+    entsize: u64,
+}
+
+/// Generates one ELF file.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+
+    // Build section payloads first.
+    let mut sections: Vec<Section> = vec![Section {
+        name: String::new(),
+        ty: sh_type::NULL,
+        data: Vec::new(),
+        link: 0,
+        entsize: 0,
+    }];
+    for i in 0..config.n_sections {
+        sections.push(Section {
+            name: format!(".data{i}"),
+            ty: sh_type::PROGBITS,
+            data: random_bytes(&mut rng, config.section_size),
+            link: 0,
+            entsize: 0,
+        });
+    }
+    // .dynamic
+    let mut dynamic = Vec::with_capacity(config.n_dyn * DYN_SIZE);
+    for i in 0..config.n_dyn {
+        u64le(&mut dynamic, (i % 30) as u64); // d_tag
+        u64le(&mut dynamic, rng.random::<u32>() as u64); // d_val
+    }
+    sections.push(Section {
+        name: ".dynamic".into(),
+        ty: sh_type::DYNAMIC,
+        data: dynamic,
+        link: 0,
+        entsize: DYN_SIZE as u64,
+    });
+
+    // .strtab: symbol names, NUL-separated, first byte NUL.
+    let mut symbol_names = Vec::with_capacity(config.n_symbols);
+    let mut strtab = vec![0u8];
+    let mut name_offsets = Vec::with_capacity(config.n_symbols);
+    for i in 0..config.n_symbols {
+        let len = rng.random_range(4..24);
+        let name: String = (0..len)
+            .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+            .collect();
+        let name = format!("sym_{i}_{name}");
+        name_offsets.push(strtab.len() as u32);
+        strtab.extend_from_slice(name.as_bytes());
+        strtab.push(0);
+        symbol_names.push(name);
+    }
+
+    // .symtab
+    let strtab_index = (sections.len() + 1) as u32; // symtab goes first
+    let mut symtab = Vec::with_capacity(config.n_symbols * SYM_SIZE);
+    for (i, &name_off) in name_offsets.iter().enumerate() {
+        u32le(&mut symtab, name_off); // st_name
+        symtab.push(1); // st_info (OBJECT)
+        symtab.push(0); // st_other
+        u16le(&mut symtab, 1); // st_shndx
+        u64le(&mut symtab, 0x1000 + (i as u64) * 8); // st_value
+        u64le(&mut symtab, 8); // st_size
+    }
+    sections.push(Section {
+        name: ".symtab".into(),
+        ty: sh_type::SYMTAB,
+        data: symtab,
+        link: strtab_index,
+        entsize: SYM_SIZE as u64,
+    });
+    sections.push(Section {
+        name: ".strtab".into(),
+        ty: sh_type::STRTAB,
+        data: strtab,
+        link: 0,
+        entsize: 0,
+    });
+
+    // .shstrtab: section names.
+    let mut shstrtab = vec![0u8];
+    let mut shname_offsets = vec![0u32; 1];
+    for s in sections.iter().skip(1) {
+        shname_offsets.push(shstrtab.len() as u32);
+        shstrtab.extend_from_slice(s.name.as_bytes());
+        shstrtab.push(0);
+    }
+    shname_offsets.push(shstrtab.len() as u32);
+    shstrtab.extend_from_slice(b".shstrtab");
+    shstrtab.push(0);
+    sections.push(Section {
+        name: ".shstrtab".into(),
+        ty: sh_type::STRTAB,
+        data: shstrtab,
+        link: 0,
+        entsize: 0,
+    });
+
+    // Lay out: header | section datas | section header table.
+    let shnum = sections.len() as u16;
+    let shstrndx = (sections.len() - 1) as u16;
+    let mut offsets = Vec::with_capacity(sections.len());
+    let mut pos = EHDR_SIZE as u64;
+    for s in &sections {
+        offsets.push(pos);
+        pos += s.data.len() as u64;
+    }
+    let shoff = pos;
+
+    let mut bytes = Vec::with_capacity(shoff as usize + sections.len() * SHDR_SIZE);
+    // ELF header.
+    bytes.extend_from_slice(&[0x7f, b'E', b'L', b'F', 2, 1, 1, 0]);
+    bytes.extend_from_slice(&[0u8; 8]); // ABI version + padding
+    u16le(&mut bytes, 2); // e_type = EXEC
+    u16le(&mut bytes, 0x3e); // e_machine = x86-64
+    u32le(&mut bytes, 1); // e_version
+    u64le(&mut bytes, 0x40_1000); // e_entry
+    u64le(&mut bytes, 0); // e_phoff
+    u64le(&mut bytes, shoff); // e_shoff
+    u32le(&mut bytes, 0); // e_flags
+    u16le(&mut bytes, EHDR_SIZE as u16); // e_ehsize
+    u16le(&mut bytes, 56); // e_phentsize
+    u16le(&mut bytes, 0); // e_phnum
+    u16le(&mut bytes, SHDR_SIZE as u16); // e_shentsize
+    u16le(&mut bytes, shnum); // e_shnum
+    u16le(&mut bytes, shstrndx); // e_shstrndx
+    debug_assert_eq!(bytes.len(), EHDR_SIZE);
+
+    // Section payloads.
+    for s in &sections {
+        bytes.extend_from_slice(&s.data);
+    }
+
+    // Section header table.
+    let mut summary_sections = Vec::with_capacity(sections.len());
+    for (i, s) in sections.iter().enumerate() {
+        let (offset, size) = if s.ty == sh_type::NULL {
+            (0, 0)
+        } else {
+            (offsets[i], s.data.len() as u64)
+        };
+        u32le(&mut bytes, shname_offsets[i]); // sh_name
+        u32le(&mut bytes, s.ty); // sh_type
+        u64le(&mut bytes, 0); // sh_flags
+        u64le(&mut bytes, 0); // sh_addr
+        u64le(&mut bytes, offset); // sh_offset
+        u64le(&mut bytes, size); // sh_size
+        u32le(&mut bytes, s.link); // sh_link
+        u32le(&mut bytes, 0); // sh_info
+        u64le(&mut bytes, 1); // sh_addralign
+        u64le(&mut bytes, s.entsize); // sh_entsize
+        summary_sections.push((s.ty, offset, size));
+    }
+
+    Generated {
+        bytes,
+        summary: Summary {
+            shoff,
+            shnum,
+            shstrndx,
+            sections: summary_sections,
+            section_names: sections.iter().map(|s| s.name.clone()).collect(),
+            symbol_names,
+            n_dyn: config.n_dyn,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fields_are_consistent() {
+        let g = generate(&Config::default());
+        let b = &g.bytes;
+        assert_eq!(&b[..4], &[0x7f, b'E', b'L', b'F']);
+        let shoff = u64::from_le_bytes(b[0x28..0x30].try_into().unwrap());
+        let shnum = u16::from_le_bytes(b[0x3c..0x3e].try_into().unwrap());
+        assert_eq!(shoff, g.summary.shoff);
+        assert_eq!(shnum, g.summary.shnum);
+        assert_eq!(b.len(), shoff as usize + shnum as usize * SHDR_SIZE);
+    }
+
+    #[test]
+    fn section_table_entries_point_into_the_file() {
+        let g = generate(&Config::default());
+        for &(ty, offset, size) in &g.summary.sections {
+            if ty != sh_type::NULL {
+                assert!(offset as usize + size as usize <= g.bytes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_section_present_with_entries() {
+        let cfg = Config { n_dyn: 5, ..Default::default() };
+        let g = generate(&cfg);
+        let dynamic = g
+            .summary
+            .sections
+            .iter()
+            .find(|&&(ty, _, _)| ty == sh_type::DYNAMIC)
+            .copied()
+            .unwrap();
+        assert_eq!(dynamic.2 as usize, 5 * DYN_SIZE);
+    }
+
+    #[test]
+    fn symtab_matches_symbol_count() {
+        let cfg = Config { n_symbols: 9, ..Default::default() };
+        let g = generate(&cfg);
+        let symtab = g
+            .summary
+            .sections
+            .iter()
+            .find(|&&(ty, _, _)| ty == sh_type::SYMTAB)
+            .copied()
+            .unwrap();
+        assert_eq!(symtab.2 as usize, 9 * SYM_SIZE);
+        assert_eq!(g.summary.symbol_names.len(), 9);
+    }
+
+    #[test]
+    fn strtab_contains_symbol_names() {
+        let g = generate(&Config::default());
+        let strtab_idx = g
+            .summary
+            .section_names
+            .iter()
+            .position(|n| n == ".strtab")
+            .unwrap();
+        let (_, off, size) = g.summary.sections[strtab_idx];
+        let strtab = &g.bytes[off as usize..(off + size) as usize];
+        for name in &g.summary.symbol_names {
+            let needle = name.as_bytes();
+            assert!(
+                strtab.windows(needle.len()).any(|w| w == needle),
+                "{name} not found in .strtab"
+            );
+        }
+    }
+
+    #[test]
+    fn scales_with_config() {
+        let small = generate(&Config { n_sections: 1, section_size: 64, ..Default::default() });
+        let big = generate(&Config { n_sections: 32, section_size: 4096, ..Default::default() });
+        assert!(big.bytes.len() > 16 * small.bytes.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic GIF89a images.
+//!
+//! The chunk-based case study of §4.2: signature, Logical Screen
+//! Descriptor with optional global color table, a list of blocks (graphic
+//! control extensions + image descriptors with sub-block-coded data,
+//! plus comment extensions), and the trailer. Image data is opaque to the
+//! parser (the paper delegates LZW decoding to a blackbox), so sub-blocks
+//! carry pseudo-random bytes.
+
+use crate::put::u16le;
+use crate::{random_bytes, rng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of frames (image descriptor blocks).
+    pub n_frames: usize,
+    /// Logical screen width.
+    pub width: u16,
+    /// Logical screen height.
+    pub height: u16,
+    /// Global color table size exponent (0..=7; table has 2^(n+1)
+    /// entries); `None` for no global color table.
+    pub gct_bits: Option<u8>,
+    /// Bytes of LZW data per frame (split into ≤255-byte sub-blocks).
+    pub data_per_frame: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n_frames: 3,
+            width: 320,
+            height: 200,
+            gct_bits: Some(7),
+            data_per_frame: 4096,
+            seed: 42,
+        }
+    }
+}
+
+/// Ground truth about a generated image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of image frames.
+    pub n_frames: usize,
+    /// Logical screen size.
+    pub width: u16,
+    /// Logical screen height.
+    pub height: u16,
+    /// Whether a global color table is present.
+    pub has_gct: bool,
+    /// Size of the global color table in bytes (0 when absent).
+    pub gct_len: usize,
+    /// Total number of top-level blocks before the trailer (extensions +
+    /// image descriptors).
+    pub n_blocks: usize,
+}
+
+/// A generated image plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// File bytes.
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+/// Generates one GIF.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"GIF89a");
+
+    // Logical Screen Descriptor.
+    u16le(&mut bytes, config.width);
+    u16le(&mut bytes, config.height);
+    let (packed, gct_len) = match config.gct_bits {
+        Some(bits) => {
+            let bits = bits.min(7);
+            (0x80 | bits, 3usize * (2 << bits))
+        }
+        None => (0u8, 0usize),
+    };
+    bytes.push(packed);
+    bytes.push(0); // background color index
+    bytes.push(0); // pixel aspect ratio
+    bytes.extend_from_slice(&random_bytes(&mut rng, gct_len));
+
+    let mut n_blocks = 0;
+    for frame in 0..config.n_frames {
+        // Graphic Control Extension.
+        bytes.extend_from_slice(&[0x21, 0xf9, 0x04]);
+        bytes.push(0x04); // packed (no transparency)
+        u16le(&mut bytes, 10); // delay
+        bytes.push(0); // transparent color index
+        bytes.push(0); // block terminator
+        n_blocks += 1;
+
+        // Image Descriptor.
+        bytes.push(0x2c);
+        u16le(&mut bytes, 0); // left
+        u16le(&mut bytes, 0); // top
+        u16le(&mut bytes, config.width);
+        u16le(&mut bytes, config.height);
+        bytes.push(0); // packed: no local color table
+        bytes.push(8); // LZW minimum code size
+        let mut remaining = config.data_per_frame;
+        while remaining > 0 {
+            let n = remaining.min(255);
+            bytes.push(n as u8);
+            bytes.extend_from_slice(&random_bytes(&mut rng, n));
+            remaining -= n;
+        }
+        bytes.push(0); // sub-block terminator
+        n_blocks += 1;
+
+        // Every other frame gets a comment extension, for block variety.
+        if frame % 2 == 1 {
+            bytes.extend_from_slice(&[0x21, 0xfe]);
+            let comment = format!("frame {frame}");
+            bytes.push(comment.len() as u8);
+            bytes.extend_from_slice(comment.as_bytes());
+            bytes.push(0);
+            n_blocks += 1;
+        }
+    }
+    bytes.push(0x3b); // trailer
+
+    let has_gct = config.gct_bits.is_some();
+    Generated {
+        bytes,
+        summary: Summary {
+            n_frames: config.n_frames,
+            width: config.width,
+            height: config.height,
+            has_gct,
+            gct_len,
+            n_blocks,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_and_trailer() {
+        let g = generate(&Config::default());
+        assert_eq!(&g.bytes[..6], b"GIF89a");
+        assert_eq!(*g.bytes.last().unwrap(), 0x3b);
+    }
+
+    #[test]
+    fn lsd_flags_match_config() {
+        let with = generate(&Config { gct_bits: Some(3), ..Default::default() });
+        assert_eq!(with.bytes[10] & 0x80, 0x80);
+        assert_eq!(with.summary.gct_len, 3 * (2 << 3));
+        let without = generate(&Config { gct_bits: None, ..Default::default() });
+        assert_eq!(without.bytes[10] & 0x80, 0);
+        assert_eq!(without.summary.gct_len, 0);
+    }
+
+    #[test]
+    fn frame_count_scales_file_size() {
+        let one = generate(&Config { n_frames: 1, ..Default::default() });
+        let ten = generate(&Config { n_frames: 10, ..Default::default() });
+        assert!(ten.bytes.len() > 5 * one.bytes.len());
+        assert_eq!(ten.summary.n_frames, 10);
+    }
+
+    #[test]
+    fn sub_blocks_cover_requested_data() {
+        let g = generate(&Config { n_frames: 1, data_per_frame: 700, ..Default::default() });
+        // 700 bytes → sub-blocks 255+255+190 plus length bytes and the
+        // zero terminator.
+        let body = 700 + 3 /* length bytes */ + 1 /* terminator */;
+        assert!(g.bytes.len() > body);
+    }
+
+    #[test]
+    fn zero_frames_is_just_header_and_trailer() {
+        let g = generate(&Config { n_frames: 0, gct_bits: None, ..Default::default() });
+        assert_eq!(g.bytes.len(), 6 + 7 + 1);
+        assert_eq!(g.summary.n_blocks, 0);
+    }
+}

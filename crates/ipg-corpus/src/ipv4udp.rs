@@ -1,0 +1,161 @@
+//! Synthetic IPv4+UDP datagrams (the Fig. 13f/14b workload).
+
+use crate::put::u16be;
+use crate::{random_bytes, rng};
+use rand::Rng;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// UDP payload length.
+    pub payload_len: usize,
+    /// IPv4 options length in 32-bit words (0..=10).
+    pub options_words: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { payload_len: 512, options_words: 0, seed: 42 }
+    }
+}
+
+/// Ground truth about a generated datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// IPv4 header length in bytes (IHL × 4).
+    pub ihl_bytes: usize,
+    /// Total IPv4 length.
+    pub total_len: u16,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// UDP source port.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+    /// UDP payload length.
+    pub payload_len: usize,
+}
+
+/// A generated datagram plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// Packet bytes (IPv4 header onward).
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+/// RFC 1071 Internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let Some(&b) = chunks.remainder().first() {
+        sum += (b as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Generates one datagram.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let options_words = config.options_words.min(10);
+    let ihl_words = 5 + options_words;
+    let ihl_bytes = ihl_words * 4;
+    let udp_len = 8 + config.payload_len;
+    let total_len = (ihl_bytes + udp_len) as u16;
+
+    let src = [192, 168, rng.random(), rng.random()];
+    let dst = [10, 0, rng.random(), rng.random()];
+    let sport: u16 = rng.random_range(1024..=u16::MAX);
+    let dport: u16 = 53;
+
+    let mut bytes = Vec::with_capacity(total_len as usize);
+    bytes.push(0x40 | ihl_words as u8); // version 4 + IHL
+    bytes.push(0); // DSCP/ECN
+    u16be(&mut bytes, total_len);
+    u16be(&mut bytes, rng.random()); // identification
+    u16be(&mut bytes, 0x4000); // flags: don't fragment
+    bytes.push(64); // TTL
+    bytes.push(17); // protocol = UDP
+    u16be(&mut bytes, 0); // checksum placeholder
+    bytes.extend_from_slice(&src);
+    bytes.extend_from_slice(&dst);
+    for w in 0..options_words {
+        // NOP options padded into full words keep parsing simple and real.
+        bytes.extend_from_slice(&[1, 1, 1, if w + 1 == options_words { 0 } else { 1 }]);
+    }
+    let csum = internet_checksum(&bytes[..ihl_bytes]);
+    bytes[10..12].copy_from_slice(&csum.to_be_bytes());
+
+    u16be(&mut bytes, sport);
+    u16be(&mut bytes, dport);
+    u16be(&mut bytes, udp_len as u16);
+    u16be(&mut bytes, 0); // UDP checksum: 0 = not computed (legal for IPv4)
+    bytes.extend_from_slice(&random_bytes(&mut rng, config.payload_len));
+
+    Generated {
+        bytes,
+        summary: Summary {
+            ihl_bytes,
+            total_len,
+            src,
+            dst,
+            sport,
+            dport,
+            payload_len: config.payload_len,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_are_consistent() {
+        let g = generate(&Config::default());
+        assert_eq!(g.bytes.len(), g.summary.total_len as usize);
+        let ihl = (g.bytes[0] & 0x0f) as usize * 4;
+        assert_eq!(ihl, g.summary.ihl_bytes);
+    }
+
+    #[test]
+    fn header_checksum_validates() {
+        let g = generate(&Config { options_words: 2, ..Default::default() });
+        let ihl = g.summary.ihl_bytes;
+        assert_eq!(internet_checksum(&g.bytes[..ihl]), 0, "checksum over header incl. field is 0");
+    }
+
+    #[test]
+    fn udp_length_covers_payload() {
+        let g = generate(&Config { payload_len: 100, ..Default::default() });
+        let ihl = g.summary.ihl_bytes;
+        let udp_len = u16::from_be_bytes([g.bytes[ihl + 4], g.bytes[ihl + 5]]);
+        assert_eq!(udp_len as usize, 8 + 100);
+    }
+
+    #[test]
+    fn options_extend_the_header() {
+        let without = generate(&Config { options_words: 0, ..Default::default() });
+        let with = generate(&Config { options_words: 3, ..Default::default() });
+        assert_eq!(with.summary.ihl_bytes - without.summary.ihl_bytes, 12);
+    }
+
+    #[test]
+    fn checksum_function_known_vector() {
+        // From RFC 1071-style examples.
+        let data = [0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                    0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7];
+        assert_eq!(internet_checksum(&data), 0xb861);
+    }
+}

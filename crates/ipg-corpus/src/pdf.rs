@@ -1,0 +1,144 @@
+//! Synthetic PDF files (a functional subset, like the paper's §4.3 case
+//! study).
+//!
+//! The subset keeps exactly the features that make PDF interesting for
+//! interval parsing:
+//!
+//! * **backward parsing** — the byte offset of the xref table sits between
+//!   `startxref` and `%%EOF` at the end of the file, so a parser must scan
+//!   backward for a number whose *end* is known but whose start is not;
+//! * **random access** — the xref table lists the absolute offset of every
+//!   object (fixed 20-byte entries);
+//! * **type-length-value** — each object carries a `/Length n` key
+//!   describing its stream payload.
+
+use crate::{random_bytes, rng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of indirect objects.
+    pub n_objects: usize,
+    /// Stream payload bytes per object.
+    pub stream_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n_objects: 8, stream_len: 512, seed: 42 }
+    }
+}
+
+/// Ground truth about a generated file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Absolute offset of the `xref` keyword.
+    pub xref_offset: usize,
+    /// Per-object `(id, offset, stream_len)`.
+    pub objects: Vec<(usize, usize, usize)>,
+}
+
+/// A generated file plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// File bytes.
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+/// Generates one PDF file.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"%PDF-1.4\n");
+
+    let mut objects = Vec::with_capacity(config.n_objects);
+    for i in 1..=config.n_objects {
+        let offset = bytes.len();
+        let data = random_bytes(&mut rng, config.stream_len);
+        bytes.extend_from_slice(
+            format!("{i} 0 obj\n<< /Kind /Blob /Length {} >>\nstream\n", data.len()).as_bytes(),
+        );
+        bytes.extend_from_slice(&data);
+        bytes.extend_from_slice(b"\nendstream\nendobj\n");
+        objects.push((i, offset, data.len()));
+    }
+
+    let xref_offset = bytes.len();
+    bytes.extend_from_slice(format!("xref\n0 {}\n", config.n_objects + 1).as_bytes());
+    bytes.extend_from_slice(b"0000000000 65535 f \n");
+    for &(_, offset, _) in &objects {
+        bytes.extend_from_slice(format!("{offset:010} 00000 n \n").as_bytes());
+    }
+    bytes.extend_from_slice(
+        format!(
+            "trailer\n<< /Size {} /Root 1 0 R >>\nstartxref\n{xref_offset}\n%%EOF",
+            config.n_objects + 1
+        )
+        .as_bytes(),
+    );
+
+    Generated { bytes, summary: Summary { xref_offset, objects } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailer_points_at_xref() {
+        let g = generate(&Config::default());
+        let text = &g.bytes;
+        assert!(text.starts_with(b"%PDF-1.4\n"));
+        assert!(text.ends_with(b"%%EOF"));
+        assert_eq!(
+            &text[g.summary.xref_offset..g.summary.xref_offset + 4],
+            b"xref"
+        );
+    }
+
+    #[test]
+    fn xref_entries_are_twenty_bytes() {
+        let g = generate(&Config { n_objects: 3, ..Default::default() });
+        let xref = g.summary.xref_offset;
+        // "xref\n0 4\n" then 4 × 20-byte entries.
+        let header_len = b"xref\n0 4\n".len();
+        let entries = &g.bytes[xref + header_len..xref + header_len + 4 * 20];
+        for entry in entries.chunks(20) {
+            assert_eq!(entry.len(), 20);
+            assert_eq!(entry[19], b'\n');
+        }
+    }
+
+    #[test]
+    fn object_offsets_point_at_object_headers() {
+        let g = generate(&Config::default());
+        for &(id, offset, _) in &g.summary.objects {
+            let expected = format!("{id} 0 obj");
+            assert_eq!(
+                &g.bytes[offset..offset + expected.len()],
+                expected.as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn startxref_number_matches_summary() {
+        let g = generate(&Config::default());
+        let text = String::from_utf8_lossy(&g.bytes);
+        let idx = text.rfind("startxref\n").unwrap();
+        let num: usize = text[idx + 10..].lines().next().unwrap().parse().unwrap();
+        assert_eq!(num, g.summary.xref_offset);
+    }
+
+    #[test]
+    fn stream_lengths_recorded() {
+        let g = generate(&Config { n_objects: 2, stream_len: 77, ..Default::default() });
+        for &(_, _, len) in &g.summary.objects {
+            assert_eq!(len, 77);
+        }
+    }
+}

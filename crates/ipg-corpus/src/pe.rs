@@ -1,0 +1,194 @@
+//! Synthetic PE (Portable Executable) files, PE32+ flavour.
+//!
+//! Directory-based like ELF: a DOS header whose `e_lfanew` field points at
+//! the PE signature, followed by the COFF header, the optional header, the
+//! section table, and the sections' raw data.
+
+use crate::put::{u16le, u32le, u64le};
+use crate::{random_bytes, rng};
+
+/// Offset of `e_lfanew` within the DOS header.
+pub const E_LFANEW_OFFSET: usize = 0x3c;
+/// Where the PE signature lives in generated files.
+pub const PE_SIG_OFFSET: u32 = 0x80;
+/// COFF header size.
+pub const COFF_SIZE: usize = 20;
+/// PE32+ optional header size (with 16 data directories).
+pub const OPT_SIZE: usize = 240;
+/// Section table entry size.
+pub const SECTION_SIZE: usize = 40;
+/// File alignment of raw section data.
+pub const FILE_ALIGN: u32 = 0x200;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of sections.
+    pub n_sections: usize,
+    /// Raw bytes per section (rounded up to [`FILE_ALIGN`]).
+    pub section_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n_sections: 4, section_size: 1024, seed: 42 }
+    }
+}
+
+/// Ground truth about a generated file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// `e_lfanew` (offset of the PE signature).
+    pub pe_offset: u32,
+    /// Number of sections in the COFF header.
+    pub n_sections: u16,
+    /// Per-section `(name, raw_offset, raw_size)`.
+    pub sections: Vec<(String, u32, u32)>,
+}
+
+/// A generated file plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// File bytes.
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+/// Generates one PE file.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let mut bytes = Vec::new();
+
+    // DOS header: "MZ", zeros, e_lfanew at 0x3c; stub padding to 0x80.
+    bytes.extend_from_slice(b"MZ");
+    bytes.resize(E_LFANEW_OFFSET, 0);
+    u32le(&mut bytes, PE_SIG_OFFSET);
+    bytes.resize(PE_SIG_OFFSET as usize, 0);
+
+    // PE signature + COFF header.
+    bytes.extend_from_slice(b"PE\0\0");
+    u16le(&mut bytes, 0x8664); // machine = x86-64
+    u16le(&mut bytes, config.n_sections as u16);
+    u32le(&mut bytes, 0x6650_0000); // timestamp
+    u32le(&mut bytes, 0); // symbol table ptr
+    u32le(&mut bytes, 0); // symbol count
+    u16le(&mut bytes, OPT_SIZE as u16);
+    u16le(&mut bytes, 0x0022); // characteristics: EXECUTABLE | LARGE_ADDRESS
+
+    // Optional header (PE32+).
+    let opt_start = bytes.len();
+    u16le(&mut bytes, 0x20b); // magic PE32+
+    bytes.push(14); // linker major
+    bytes.push(0); // linker minor
+    u32le(&mut bytes, 0x1000); // size of code
+    u32le(&mut bytes, 0x1000); // size of initialized data
+    u32le(&mut bytes, 0); // size of uninitialized data
+    u32le(&mut bytes, 0x1000); // entry point
+    u32le(&mut bytes, 0x1000); // base of code
+    u64le(&mut bytes, 0x1_4000_0000); // image base
+    u32le(&mut bytes, 0x1000); // section alignment
+    u32le(&mut bytes, FILE_ALIGN); // file alignment
+    for _ in 0..6 {
+        u16le(&mut bytes, 6); // OS/image/subsystem versions
+    }
+    u32le(&mut bytes, 0); // win32 version
+    u32le(&mut bytes, 0x1000 * (config.n_sections as u32 + 1)); // size of image
+    u32le(&mut bytes, 0x400); // size of headers
+    u32le(&mut bytes, 0); // checksum
+    u16le(&mut bytes, 3); // subsystem = console
+    u16le(&mut bytes, 0x8160); // dll characteristics
+    u64le(&mut bytes, 0x10_0000); // stack reserve
+    u64le(&mut bytes, 0x1000); // stack commit
+    u64le(&mut bytes, 0x10_0000); // heap reserve
+    u64le(&mut bytes, 0x1000); // heap commit
+    u32le(&mut bytes, 0); // loader flags
+    u32le(&mut bytes, 16); // number of RVA-and-sizes
+    for _ in 0..16 {
+        u32le(&mut bytes, 0); // directory RVA
+        u32le(&mut bytes, 0); // directory size
+    }
+    debug_assert_eq!(bytes.len() - opt_start, OPT_SIZE);
+
+    // Section table; raw data starts aligned after the headers.
+    let raw_size = (config.section_size as u32).div_ceil(FILE_ALIGN) * FILE_ALIGN;
+    let headers_end = bytes.len() + config.n_sections * SECTION_SIZE;
+    let raw_base = (headers_end as u32).div_ceil(FILE_ALIGN) * FILE_ALIGN;
+    let mut sections = Vec::with_capacity(config.n_sections);
+    for i in 0..config.n_sections {
+        let name = format!(".sec{i:03}");
+        let raw_ptr = raw_base + i as u32 * raw_size;
+        let mut name8 = [0u8; 8];
+        name8[..name.len().min(8)].copy_from_slice(&name.as_bytes()[..name.len().min(8)]);
+        bytes.extend_from_slice(&name8);
+        u32le(&mut bytes, config.section_size as u32); // virtual size
+        u32le(&mut bytes, 0x1000 * (i as u32 + 1)); // virtual address
+        u32le(&mut bytes, raw_size); // size of raw data
+        u32le(&mut bytes, raw_ptr); // pointer to raw data
+        u32le(&mut bytes, 0); // relocations ptr
+        u32le(&mut bytes, 0); // line numbers ptr
+        u16le(&mut bytes, 0); // n relocations
+        u16le(&mut bytes, 0); // n line numbers
+        u32le(&mut bytes, 0x6000_0020); // characteristics: CODE|EXECUTE|READ
+        sections.push((name, raw_ptr, raw_size));
+    }
+
+    // Raw section data.
+    bytes.resize(raw_base as usize, 0);
+    for i in 0..config.n_sections {
+        let mut data = random_bytes(&mut rng, config.section_size);
+        data.resize(raw_size as usize, 0);
+        bytes.extend_from_slice(&data);
+        let _ = i;
+    }
+
+    Generated {
+        bytes,
+        summary: Summary {
+            pe_offset: PE_SIG_OFFSET,
+            n_sections: config.n_sections as u16,
+            sections,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dos_header_points_at_pe_signature() {
+        let g = generate(&Config::default());
+        assert_eq!(&g.bytes[..2], b"MZ");
+        let lfanew =
+            u32::from_le_bytes(g.bytes[E_LFANEW_OFFSET..E_LFANEW_OFFSET + 4].try_into().unwrap());
+        assert_eq!(&g.bytes[lfanew as usize..lfanew as usize + 4], b"PE\0\0");
+    }
+
+    #[test]
+    fn coff_section_count_matches() {
+        let g = generate(&Config { n_sections: 7, ..Default::default() });
+        let coff = PE_SIG_OFFSET as usize + 4;
+        let n = u16::from_le_bytes(g.bytes[coff + 2..coff + 4].try_into().unwrap());
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn sections_are_file_aligned_and_in_bounds() {
+        let g = generate(&Config::default());
+        for (_, ptr, size) in &g.summary.sections {
+            assert_eq!(ptr % FILE_ALIGN, 0);
+            assert!((ptr + size) as usize <= g.bytes.len());
+        }
+    }
+
+    #[test]
+    fn optional_header_magic_is_pe32_plus() {
+        let g = generate(&Config::default());
+        let opt = PE_SIG_OFFSET as usize + 4 + COFF_SIZE;
+        let magic = u16::from_le_bytes(g.bytes[opt..opt + 2].try_into().unwrap());
+        assert_eq!(magic, 0x20b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic PNG files.
+//!
+//! PNG is the paper's third chunk-based example (§4: "Typically image
+//! formats adopt this design, including PNG, JPG and GIF"). Every chunk is
+//! `length(4, BE) type(4) data(length) crc32(4)`; the file is the 8-byte
+//! signature, an IHDR chunk, data chunks, and an IEND chunk — a perfect
+//! fit for the `star` repetition extension.
+
+use crate::put::u32be;
+use crate::{random_bytes, rng};
+use ipg_flate::crc32;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of IDAT chunks.
+    pub n_idat: usize,
+    /// Bytes per IDAT chunk.
+    pub idat_len: usize,
+    /// Image width/height for IHDR.
+    pub width: u32,
+    /// Image height.
+    pub height: u32,
+    /// Include a tEXt chunk.
+    pub with_text: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n_idat: 3, idat_len: 2048, width: 640, height: 480, with_text: true, seed: 42 }
+    }
+}
+
+/// Ground truth about a generated file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Chunk types in order (e.g. `["IHDR", "IDAT", …, "IEND"]`).
+    pub chunk_types: Vec<String>,
+    /// Per-chunk data lengths.
+    pub chunk_lens: Vec<u32>,
+    /// IHDR dimensions.
+    pub width: u32,
+    /// IHDR height.
+    pub height: u32,
+}
+
+/// A generated file plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// File bytes.
+    pub bytes: Vec<u8>,
+    /// Ground truth.
+    pub summary: Summary,
+}
+
+/// The 8-byte PNG signature.
+pub const SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n'];
+
+fn push_chunk(out: &mut Vec<u8>, ty: &[u8; 4], data: &[u8]) {
+    u32be(out, data.len() as u32);
+    out.extend_from_slice(ty);
+    out.extend_from_slice(data);
+    let mut crc_input = Vec::with_capacity(4 + data.len());
+    crc_input.extend_from_slice(ty);
+    crc_input.extend_from_slice(data);
+    u32be(out, crc32(&crc_input));
+}
+
+/// Generates one PNG file.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SIGNATURE);
+
+    let mut chunk_types = Vec::new();
+    let mut chunk_lens = Vec::new();
+
+    // IHDR: width, height, bit depth, color type, compression, filter,
+    // interlace.
+    let mut ihdr = Vec::with_capacity(13);
+    u32be(&mut ihdr, config.width);
+    u32be(&mut ihdr, config.height);
+    ihdr.extend_from_slice(&[8, 6, 0, 0, 0]);
+    push_chunk(&mut bytes, b"IHDR", &ihdr);
+    chunk_types.push("IHDR".to_owned());
+    chunk_lens.push(13);
+
+    if config.with_text {
+        let text = b"Comment\0synthetic corpus for ipg benchmarks";
+        push_chunk(&mut bytes, b"tEXt", text);
+        chunk_types.push("tEXt".to_owned());
+        chunk_lens.push(text.len() as u32);
+    }
+
+    for _ in 0..config.n_idat {
+        let data = random_bytes(&mut rng, config.idat_len);
+        push_chunk(&mut bytes, b"IDAT", &data);
+        chunk_types.push("IDAT".to_owned());
+        chunk_lens.push(data.len() as u32);
+    }
+
+    push_chunk(&mut bytes, b"IEND", &[]);
+    chunk_types.push("IEND".to_owned());
+    chunk_lens.push(0);
+
+    Generated {
+        bytes,
+        summary: Summary {
+            chunk_types,
+            chunk_lens,
+            width: config.width,
+            height: config.height,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_and_iend() {
+        let g = generate(&Config::default());
+        assert_eq!(&g.bytes[..8], &SIGNATURE);
+        // IEND chunk: 00000000 IEND crc.
+        let tail = &g.bytes[g.bytes.len() - 12..];
+        assert_eq!(&tail[4..8], b"IEND");
+    }
+
+    #[test]
+    fn chunk_crcs_validate() {
+        let g = generate(&Config::default());
+        let mut pos = 8;
+        let mut seen = Vec::new();
+        while pos < g.bytes.len() {
+            let len = u32::from_be_bytes(g.bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let ty = &g.bytes[pos + 4..pos + 8];
+            let data = &g.bytes[pos + 8..pos + 8 + len];
+            let crc = u32::from_be_bytes(
+                g.bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap(),
+            );
+            let mut crc_input = ty.to_vec();
+            crc_input.extend_from_slice(data);
+            assert_eq!(crc, crc32(&crc_input), "chunk {}", String::from_utf8_lossy(ty));
+            seen.push(String::from_utf8_lossy(ty).into_owned());
+            pos += 12 + len;
+        }
+        assert_eq!(seen, g.summary.chunk_types);
+    }
+
+    #[test]
+    fn idat_count_scales() {
+        let g = generate(&Config { n_idat: 7, ..Default::default() });
+        let idats = g.summary.chunk_types.iter().filter(|t| *t == "IDAT").count();
+        assert_eq!(idats, 7);
+    }
+
+    #[test]
+    fn ihdr_dimensions() {
+        let g = generate(&Config { width: 31, height: 77, ..Default::default() });
+        // IHDR data starts at 8 (sig) + 8 (len+type).
+        let w = u32::from_be_bytes(g.bytes[16..20].try_into().unwrap());
+        let h = u32::from_be_bytes(g.bytes[20..24].try_into().unwrap());
+        assert_eq!((w, h), (31, 77));
+    }
+}

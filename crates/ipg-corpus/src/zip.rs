@@ -1,0 +1,208 @@
+//! Synthetic ZIP archives.
+//!
+//! Mirrors the paper's ZIP workload: archives holding K copies of the same
+//! payload file (§7, "ZIP samples archive different numbers of copies of
+//! the same file"). The directory-based structure — local file headers,
+//! central directory, end-of-central-directory with its backward-located
+//! offsets — is exactly what the IPG ZIP grammar exercises.
+
+use crate::put::{u16le, u32le};
+use crate::{rng, text_bytes};
+use ipg_flate::{compress, crc32};
+
+/// Compression method for entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Method {
+    /// Method 0: stored.
+    Stored,
+    /// Method 8: DEFLATE (via `ipg-flate`).
+    #[default]
+    Deflate,
+}
+
+impl Method {
+    /// The ZIP method id.
+    pub fn id(self) -> u16 {
+        match self {
+            Method::Stored => 0,
+            Method::Deflate => 8,
+        }
+    }
+}
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of entries (copies of the payload).
+    pub n_entries: usize,
+    /// Uncompressed payload size per entry.
+    pub payload_len: usize,
+    /// Compression method.
+    pub method: Method,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { n_entries: 4, payload_len: 2048, method: Method::Deflate, seed: 42 }
+    }
+}
+
+/// Ground truth about one entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntrySummary {
+    /// File name stored in the archive.
+    pub name: String,
+    /// Offset of the entry's local file header.
+    pub local_header_offset: u32,
+    /// CRC-32 of the uncompressed payload.
+    pub crc32: u32,
+    /// Compressed size.
+    pub compressed_size: u32,
+    /// Uncompressed size.
+    pub uncompressed_size: u32,
+}
+
+/// A generated archive plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// Archive bytes.
+    pub bytes: Vec<u8>,
+    /// Per-entry ground truth.
+    pub entries: Vec<EntrySummary>,
+    /// The shared uncompressed payload.
+    pub payload: Vec<u8>,
+    /// Offset of the central directory.
+    pub cd_offset: u32,
+    /// Size in bytes of the central directory.
+    pub cd_size: u32,
+}
+
+/// Generates one archive.
+pub fn generate(config: &Config) -> Generated {
+    let mut rng = rng(config.seed);
+    let payload = text_bytes(&mut rng, config.payload_len);
+    let crc = crc32(&payload);
+    let packed = match config.method {
+        Method::Stored => payload.clone(),
+        Method::Deflate => compress(&payload),
+    };
+
+    let mut bytes = Vec::new();
+    let mut entries = Vec::with_capacity(config.n_entries);
+
+    for i in 0..config.n_entries {
+        let name = format!("file_{i:04}.txt");
+        let offset = bytes.len() as u32;
+        // Local file header.
+        u32le(&mut bytes, 0x0403_4b50); // PK\x03\x04
+        u16le(&mut bytes, 20); // version needed
+        u16le(&mut bytes, 0); // flags
+        u16le(&mut bytes, config.method.id());
+        u16le(&mut bytes, 0x6000); // mod time
+        u16le(&mut bytes, 0x58c5); // mod date
+        u32le(&mut bytes, crc);
+        u32le(&mut bytes, packed.len() as u32);
+        u32le(&mut bytes, payload.len() as u32);
+        u16le(&mut bytes, name.len() as u16);
+        u16le(&mut bytes, 0); // extra len
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.extend_from_slice(&packed);
+        entries.push(EntrySummary {
+            name,
+            local_header_offset: offset,
+            crc32: crc,
+            compressed_size: packed.len() as u32,
+            uncompressed_size: payload.len() as u32,
+        });
+    }
+
+    // Central directory.
+    let cd_offset = bytes.len() as u32;
+    for e in &entries {
+        u32le(&mut bytes, 0x0201_4b50); // PK\x01\x02
+        u16le(&mut bytes, 20); // version made by
+        u16le(&mut bytes, 20); // version needed
+        u16le(&mut bytes, 0); // flags
+        u16le(&mut bytes, config.method.id());
+        u16le(&mut bytes, 0x6000);
+        u16le(&mut bytes, 0x58c5);
+        u32le(&mut bytes, e.crc32);
+        u32le(&mut bytes, e.compressed_size);
+        u32le(&mut bytes, e.uncompressed_size);
+        u16le(&mut bytes, e.name.len() as u16);
+        u16le(&mut bytes, 0); // extra
+        u16le(&mut bytes, 0); // comment
+        u16le(&mut bytes, 0); // disk number
+        u16le(&mut bytes, 0); // internal attrs
+        u32le(&mut bytes, 0); // external attrs
+        u32le(&mut bytes, e.local_header_offset);
+        bytes.extend_from_slice(e.name.as_bytes());
+    }
+    let cd_size = bytes.len() as u32 - cd_offset;
+
+    // End of central directory.
+    u32le(&mut bytes, 0x0605_4b50); // PK\x05\x06
+    u16le(&mut bytes, 0); // disk
+    u16le(&mut bytes, 0); // cd start disk
+    u16le(&mut bytes, entries.len() as u16);
+    u16le(&mut bytes, entries.len() as u16);
+    u32le(&mut bytes, cd_size);
+    u32le(&mut bytes, cd_offset);
+    u16le(&mut bytes, 0); // comment len
+
+    Generated { bytes, entries, payload, cd_offset, cd_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eocd_points_at_central_directory() {
+        let g = generate(&Config::default());
+        let b = &g.bytes;
+        let eocd = b.len() - 22;
+        assert_eq!(&b[eocd..eocd + 4], &0x0605_4b50u32.to_le_bytes());
+        let cd_off = u32::from_le_bytes(b[eocd + 16..eocd + 20].try_into().unwrap());
+        assert_eq!(cd_off, g.cd_offset);
+        assert_eq!(&b[cd_off as usize..cd_off as usize + 4], &0x0201_4b50u32.to_le_bytes());
+    }
+
+    #[test]
+    fn entries_decompress_to_the_payload() {
+        let g = generate(&Config { n_entries: 2, ..Default::default() });
+        for e in &g.entries {
+            let off = e.local_header_offset as usize;
+            let name_len =
+                u16::from_le_bytes(g.bytes[off + 26..off + 28].try_into().unwrap()) as usize;
+            let data_off = off + 30 + name_len;
+            let data = &g.bytes[data_off..data_off + e.compressed_size as usize];
+            let unpacked = ipg_flate::inflate(data).unwrap();
+            assert_eq!(unpacked, g.payload);
+            assert_eq!(ipg_flate::crc32(&unpacked), e.crc32);
+        }
+    }
+
+    #[test]
+    fn stored_entries_hold_raw_payload() {
+        let g = generate(&Config { method: Method::Stored, n_entries: 1, ..Default::default() });
+        let e = &g.entries[0];
+        assert_eq!(e.compressed_size, e.uncompressed_size);
+    }
+
+    #[test]
+    fn entry_count_scales() {
+        for n in [1, 8, 64] {
+            let g = generate(&Config { n_entries: n, ..Default::default() });
+            assert_eq!(g.entries.len(), n);
+        }
+    }
+
+    #[test]
+    fn deflate_compresses_the_text_payload() {
+        let g = generate(&Config::default());
+        assert!(g.entries[0].compressed_size < g.entries[0].uncompressed_size);
+    }
+}

@@ -1,0 +1,202 @@
+//! LSB-first bit I/O as DEFLATE requires.
+
+/// Reads bits least-significant-bit first from a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bit buffer (bits not yet consumed, LSB first).
+    buf: u64,
+    /// Number of valid bits in `buf`.
+    n: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, buf: 0, n: 0 }
+    }
+
+    fn refill(&mut self) {
+        while self.n <= 56 && self.pos < self.data.len() {
+            self.buf |= (self.data[self.pos] as u64) << self.n;
+            self.pos += 1;
+            self.n += 8;
+        }
+    }
+
+    /// Reads `count` bits (0 ≤ count ≤ 32); `None` at end of input.
+    pub fn bits(&mut self, count: u32) -> Option<u32> {
+        debug_assert!(count <= 32);
+        if self.n < count {
+            self.refill();
+            if self.n < count {
+                return None;
+            }
+        }
+        let v = (self.buf & ((1u64 << count) - 1).max(0)) as u32;
+        let v = if count == 0 { 0 } else { v };
+        self.buf >>= count;
+        self.n -= count;
+        Some(v)
+    }
+
+    /// Reads one bit.
+    pub fn bit(&mut self) -> Option<u32> {
+        self.bits(1)
+    }
+
+    /// Discards buffered bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.n % 8;
+        self.buf >>= drop;
+        self.n -= drop;
+    }
+
+    /// Reads `count` whole bytes after aligning (used by stored blocks).
+    pub fn bytes(&mut self, count: usize) -> Option<Vec<u8>> {
+        self.align_byte();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.bits(8)? as u8);
+        }
+        Some(out)
+    }
+
+    /// Number of whole input bytes consumed so far (counting buffered but
+    /// unread bits as consumed input).
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos - (self.n / 8) as usize
+    }
+}
+
+/// Writes bits least-significant-bit first.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    buf: u64,
+    n: u32,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `count` bits of `v`.
+    pub fn bits(&mut self, v: u32, count: u32) {
+        debug_assert!(count <= 32);
+        self.buf |= (v as u64 & ((1u64 << count) - 1)) << self.n;
+        self.n += count;
+        while self.n >= 8 {
+            self.out.push((self.buf & 0xff) as u8);
+            self.buf >>= 8;
+            self.n -= 8;
+        }
+    }
+
+    /// Writes a Huffman code, which DEFLATE stores most-significant-bit
+    /// first within the LSB-first stream.
+    pub fn huffman_code(&mut self, code: u32, len: u32) {
+        let mut rev = 0u32;
+        for i in 0..len {
+            rev |= ((code >> i) & 1) << (len - 1 - i);
+        }
+        self.bits(rev, len);
+    }
+
+    /// Pads with zero bits to a byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.n > 0 {
+            self.out.push((self.buf & 0xff) as u8);
+            self.buf = 0;
+            self.n = 0;
+        }
+    }
+
+    /// Appends raw bytes (caller must be byte-aligned).
+    pub fn raw_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.n, 0, "raw bytes require byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Finishes writing, returning the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_lsb_first() {
+        // 0b1101_0010 = 0xd2: bits come out 0,1,0,0,1,0,1,1.
+        let mut r = BitReader::new(&[0xd2]);
+        let seq: Vec<u32> = (0..8).map(|_| r.bit().unwrap()).collect();
+        assert_eq!(seq, vec![0, 1, 0, 0, 1, 0, 1, 1]);
+        assert_eq!(r.bit(), None);
+    }
+
+    #[test]
+    fn read_multibit_values() {
+        let mut r = BitReader::new(&[0xab, 0xcd]);
+        assert_eq!(r.bits(4), Some(0xb));
+        assert_eq!(r.bits(4), Some(0xa));
+        assert_eq!(r.bits(8), Some(0xcd));
+    }
+
+    #[test]
+    fn zero_bit_read() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.bits(0), Some(0));
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut r = BitReader::new(&[0b0000_0001, 0xaa, 0xbb]);
+        assert_eq!(r.bit(), Some(1));
+        assert_eq!(r.bytes(2), Some(vec![0xaa, 0xbb]));
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.bits(0b101, 3);
+        w.bits(0xff, 8);
+        w.bits(0, 2);
+        w.bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(3), Some(0b101));
+        assert_eq!(r.bits(8), Some(0xff));
+        assert_eq!(r.bits(2), Some(0));
+        assert_eq!(r.bits(2), Some(0b11));
+    }
+
+    #[test]
+    fn huffman_codes_are_msb_first() {
+        // Code 0b011 of length 3 must appear reversed (110) in the stream.
+        let mut w = BitWriter::new();
+        w.huffman_code(0b011, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bit(), Some(0));
+        assert_eq!(r.bit(), Some(1));
+        assert_eq!(r.bit(), Some(1));
+    }
+
+    #[test]
+    fn bytes_consumed_tracks_position() {
+        let mut r = BitReader::new(&[0xff, 0xff, 0xff]);
+        assert_eq!(r.bytes_consumed(), 0);
+        r.bits(8).unwrap();
+        assert_eq!(r.bytes_consumed(), 1);
+        r.bits(4).unwrap();
+        assert_eq!(r.bytes_consumed(), 2, "partial byte counts as consumed");
+    }
+}

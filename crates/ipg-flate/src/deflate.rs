@@ -1,0 +1,204 @@
+//! DEFLATE encoding: stored blocks and fixed-Huffman blocks with a greedy
+//! hash-chain LZ77 matcher.
+
+use crate::bits::BitWriter;
+use crate::huffman::{codes_from_lengths, fixed_distance_lengths, fixed_literal_lengths};
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 32 * 1024;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+/// Compresses `data` as a single stored (uncompressed) DEFLATE stream.
+/// Stored blocks hold at most 65535 bytes, so large inputs become several
+/// blocks.
+pub fn compress_stored(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        emit_stored_block(&mut w, &[], true);
+    }
+    while let Some(chunk) = chunks.next() {
+        emit_stored_block(&mut w, chunk, chunks.peek().is_none());
+    }
+    w.finish()
+}
+
+fn emit_stored_block(w: &mut BitWriter, chunk: &[u8], last: bool) {
+    w.bits(last as u32, 1);
+    w.bits(0, 2);
+    w.align_byte();
+    let len = chunk.len() as u32;
+    w.bits(len, 16);
+    w.bits(!len, 16);
+    w.raw_bytes(chunk);
+}
+
+/// Compresses `data` as one fixed-Huffman DEFLATE block with greedy LZ77.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let lit_codes = codes_from_lengths(&fixed_literal_lengths());
+    let dist_codes = codes_from_lengths(&fixed_distance_lengths());
+    let mut w = BitWriter::new();
+    w.bits(1, 1); // BFINAL
+    w.bits(1, 2); // fixed Huffman
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len().max(1)];
+    let mut i = 0;
+    while i < data.len() {
+        let (len, dist) = best_match(data, i, &head, &prev);
+        if len >= MIN_MATCH {
+            emit_length(&mut w, &lit_codes, len);
+            emit_distance(&mut w, &dist_codes, dist);
+            for j in i..(i + len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
+                insert_hash(data, j, &mut head, &mut prev);
+            }
+            i += len;
+        } else {
+            let (c, l) = lit_codes[data[i] as usize];
+            w.huffman_code(c, l as u32);
+            insert_hash(data, i, &mut head, &mut prev);
+            i += 1;
+        }
+    }
+    let (c, l) = lit_codes[256];
+    w.huffman_code(c, l as u32); // end of block
+    w.finish()
+}
+
+fn hash_at(data: &[u8], i: usize) -> Option<usize> {
+    if i + MIN_MATCH > data.len() {
+        return None;
+    }
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9e37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79b9))
+        .wrapping_add(data[i + 2] as u32);
+    Some((h as usize) & ((1 << HASH_BITS) - 1))
+}
+
+fn insert_hash(data: &[u8], i: usize, head: &mut [usize], prev: &mut [usize]) {
+    if let Some(h) = hash_at(data, i) {
+        prev[i] = head[h];
+        head[h] = i;
+    }
+}
+
+fn best_match(data: &[u8], i: usize, head: &[usize], prev: &[usize]) -> (usize, usize) {
+    let Some(h) = hash_at(data, i) else { return (0, 0) };
+    let mut cand = head[h];
+    let mut best_len = 0;
+    let mut best_dist = 0;
+    let mut chain = 0;
+    let max_len = MAX_MATCH.min(data.len() - i);
+    while cand != usize::MAX && chain < MAX_CHAIN {
+        let dist = i - cand;
+        if dist > WINDOW {
+            break;
+        }
+        let mut l = 0;
+        while l < max_len && data[cand + l] == data[i + l] {
+            l += 1;
+        }
+        if l > best_len {
+            best_len = l;
+            best_dist = dist;
+            if l == max_len {
+                break;
+            }
+        }
+        cand = prev[cand];
+        chain += 1;
+    }
+    (best_len, best_dist)
+}
+
+fn emit_length(w: &mut BitWriter, lit_codes: &[(u32, u8)], len: usize) {
+    // Length codes 257..=285 (RFC 1951 §3.2.5).
+    const BASE: [usize; 29] = [
+        3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99,
+        115, 131, 163, 195, 227, 258,
+    ];
+    const EXTRA: [u32; 29] = [
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+    ];
+    let idx = BASE.iter().rposition(|&b| b <= len).expect("len ≥ 3");
+    let (c, l) = lit_codes[257 + idx];
+    w.huffman_code(c, l as u32);
+    w.bits((len - BASE[idx]) as u32, EXTRA[idx]);
+}
+
+fn emit_distance(w: &mut BitWriter, dist_codes: &[(u32, u8)], dist: usize) {
+    const BASE: [usize; 30] = [
+        1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025,
+        1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+    ];
+    const EXTRA: [u32; 30] = [
+        0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12,
+        12, 13, 13,
+    ];
+    let idx = BASE.iter().rposition(|&b| b <= dist).expect("dist ≥ 1");
+    let (c, l) = dist_codes[idx];
+    w.huffman_code(c, l as u32);
+    w.bits((dist - BASE[idx]) as u32, EXTRA[idx]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    #[test]
+    fn stored_empty() {
+        let packed = compress_stored(b"");
+        assert_eq!(inflate(&packed).unwrap(), b"");
+    }
+
+    #[test]
+    fn stored_beyond_one_block() {
+        let data = vec![0x5a; 100_000];
+        let packed = compress_stored(&data);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_literals_only() {
+        let packed = compress(b"abcdefg");
+        assert_eq!(inflate(&packed).unwrap(), b"abcdefg");
+    }
+
+    #[test]
+    fn fixed_with_matches() {
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+        let packed = compress(data);
+        assert!(packed.len() < data.len());
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn long_matches_capped_at_258() {
+        let data = vec![7u8; 2000];
+        let packed = compress(&data);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn text_like_data() {
+        let data: Vec<u8> = "the quick brown fox jumps over the lazy dog. "
+            .bytes()
+            .cycle()
+            .take(5000)
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 2, "got {}", packed.len());
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_still_roundtrips() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
+        let packed = compress(&data);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+}

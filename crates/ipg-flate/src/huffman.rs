@@ -1,0 +1,203 @@
+//! Canonical Huffman codes as used by DEFLATE (RFC 1951 §3.2.2).
+
+use crate::bits::BitReader;
+
+/// A canonical Huffman decoder built from code lengths.
+#[derive(Clone, Debug)]
+pub struct Decoder {
+    /// `first_code[len]` — the first canonical code of each length.
+    first_code: [u32; 16],
+    /// `first_index[len]` — index into `symbols` of that code.
+    first_index: [u32; 16],
+    /// `count[len]` — number of codes of each length.
+    count: [u32; 16],
+    /// Symbols ordered by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    /// Builds a decoder from per-symbol code lengths (0 = unused).
+    ///
+    /// Returns `None` for over-subscribed length profiles (more codes of
+    /// some length than the prefix space allows). Incomplete codes are
+    /// accepted, matching zlib's behaviour for the degenerate one-symbol
+    /// distance trees real encoders emit.
+    pub fn from_lengths(lengths: &[u8]) -> Option<Decoder> {
+        let mut count = [0u32; 16];
+        for &l in lengths {
+            if l > 15 {
+                return None;
+            }
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+
+        // Over-subscription check.
+        let mut available = 1u32;
+        for len in 1..16 {
+            available = available.checked_mul(2)?;
+            if count[len] > available {
+                return None;
+            }
+            available -= count[len];
+        }
+
+        let mut first_code = [0u32; 16];
+        let mut first_index = [0u32; 16];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..16 {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += count[len];
+        }
+
+        let mut symbols = vec![0u16; index as usize];
+        let mut next = first_index;
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next[l as usize] as usize] = sym as u16;
+                next[l as usize] += 1;
+            }
+        }
+        Some(Decoder { first_code, first_index, count, symbols })
+    }
+
+    /// Decodes one symbol from the bit stream (`None` on exhausted input
+    /// or invalid code).
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u16> {
+        let mut code = 0u32;
+        for len in 1..16usize {
+            code = (code << 1) | r.bit()?;
+            let rel = code.wrapping_sub(self.first_code[len]);
+            if rel < self.count[len] {
+                return Some(self.symbols[(self.first_index[len] + rel) as usize]);
+            }
+        }
+        None
+    }
+}
+
+/// The canonical (code, length) for each symbol — the encoder-side view.
+pub fn codes_from_lengths(lengths: &[u8]) -> Vec<(u32, u8)> {
+    let mut count = [0u32; 16];
+    for &l in lengths {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next_code = [0u32; 16];
+    let mut code = 0u32;
+    for len in 1..16 {
+        code = (code + count[len - 1]) << 1;
+        next_code[len] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                (0, 0)
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                (c, l)
+            }
+        })
+        .collect()
+}
+
+/// The fixed literal/length code lengths of RFC 1951 §3.2.6.
+pub fn fixed_literal_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    for l in lengths.iter_mut().take(256).skip(144) {
+        *l = 9;
+    }
+    for l in lengths.iter_mut().take(280).skip(256) {
+        *l = 7;
+    }
+    lengths
+}
+
+/// The fixed distance code lengths (all 5 bits).
+pub fn fixed_distance_lengths() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    #[test]
+    fn canonical_assignment_matches_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) for A..H.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = codes_from_lengths(&lengths);
+        let expected = [
+            (0b010, 3),
+            (0b011, 3),
+            (0b100, 3),
+            (0b101, 3),
+            (0b110, 3),
+            (0b00, 2),
+            (0b1110, 4),
+            (0b1111, 4),
+        ];
+        for (i, &(c, l)) in expected.iter().enumerate() {
+            assert_eq!(codes[i], (c, l as u8), "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn decoder_roundtrips_all_symbols() {
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let codes = codes_from_lengths(&lengths);
+        for sym in 0..8u16 {
+            let (c, l) = codes[sym as usize];
+            let mut w = BitWriter::new();
+            w.huffman_code(c, l as u32);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(dec.decode(&mut r), Some(sym));
+        }
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        // Three codes of length 1 cannot exist.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_none());
+        assert!(Decoder::from_lengths(&[16]).is_none());
+    }
+
+    #[test]
+    fn incomplete_code_accepted() {
+        // A single 1-bit code (zlib accepts this for distance trees).
+        let dec = Decoder::from_lengths(&[1]).unwrap();
+        let mut w = BitWriter::new();
+        w.huffman_code(0, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r), Some(0));
+    }
+
+    #[test]
+    fn fixed_tables_have_rfc_shape() {
+        let lit = fixed_literal_lengths();
+        assert_eq!(lit.len(), 288);
+        assert_eq!(lit[0], 8);
+        assert_eq!(lit[144], 9);
+        assert_eq!(lit[255], 9);
+        assert_eq!(lit[256], 7);
+        assert_eq!(lit[279], 7);
+        assert_eq!(lit[280], 8);
+        assert_eq!(fixed_distance_lengths(), vec![5u8; 30]);
+    }
+
+    #[test]
+    fn decode_fails_on_truncated_input() {
+        let dec = Decoder::from_lengths(&[2, 2, 2, 2]).unwrap();
+        let mut r = BitReader::new(&[]);
+        assert_eq!(dec.decode(&mut r), None);
+    }
+}

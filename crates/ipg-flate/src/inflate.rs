@@ -1,0 +1,299 @@
+//! DEFLATE decoding (RFC 1951).
+
+use crate::bits::BitReader;
+use crate::huffman::{fixed_distance_lengths, fixed_literal_lengths, Decoder};
+use std::fmt;
+
+/// Errors produced by [`inflate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InflateError {
+    /// The bit stream ended prematurely.
+    UnexpectedEof,
+    /// Reserved block type 3.
+    BadBlockType,
+    /// Stored block length check (`LEN != !NLEN`).
+    BadStoredLength,
+    /// Invalid Huffman table description.
+    BadHuffmanTable,
+    /// A back-reference pointed before the start of output.
+    BadDistance,
+    /// Invalid literal/length or distance symbol.
+    BadSymbol,
+    /// Output exceeded the caller's limit.
+    TooLarge,
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            InflateError::UnexpectedEof => "unexpected end of deflate stream",
+            InflateError::BadBlockType => "reserved deflate block type",
+            InflateError::BadStoredLength => "stored block length mismatch",
+            InflateError::BadHuffmanTable => "invalid huffman table",
+            InflateError::BadDistance => "back-reference before output start",
+            InflateError::BadSymbol => "invalid symbol",
+            InflateError::TooLarge => "output exceeds size limit",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// Length-code base values and extra bits (codes 257..=285).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Distance-code base values and extra bits (codes 0..=29).
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Order in which code-length code lengths are stored (RFC 1951 §3.2.7).
+const CLCL_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Decompresses a complete raw DEFLATE stream.
+///
+/// # Errors
+///
+/// See [`InflateError`].
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    inflate_with_limit(data, usize::MAX).map(|(out, _)| out)
+}
+
+/// Decompresses with an output size limit; returns the output and the
+/// number of *input* bytes consumed (so ZIP entries without a trailing
+/// marker can locate the next header).
+///
+/// # Errors
+///
+/// See [`InflateError`]; [`InflateError::TooLarge`] when the output would
+/// exceed `limit`.
+pub fn inflate_with_limit(data: &[u8], limit: usize) -> Result<(Vec<u8>, usize), InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = r.bit().ok_or(InflateError::UnexpectedEof)?;
+        let btype = r.bits(2).ok_or(InflateError::UnexpectedEof)?;
+        match btype {
+            0 => {
+                let len = {
+                    r.align_byte();
+                    let len = r.bits(16).ok_or(InflateError::UnexpectedEof)?;
+                    let nlen = r.bits(16).ok_or(InflateError::UnexpectedEof)?;
+                    if len != !nlen & 0xffff {
+                        return Err(InflateError::BadStoredLength);
+                    }
+                    len as usize
+                };
+                if out.len() + len > limit {
+                    return Err(InflateError::TooLarge);
+                }
+                let bytes = r.bytes(len).ok_or(InflateError::UnexpectedEof)?;
+                out.extend_from_slice(&bytes);
+            }
+            1 => {
+                let lit = Decoder::from_lengths(&fixed_literal_lengths())
+                    .expect("fixed table is well-formed");
+                let dist = Decoder::from_lengths(&fixed_distance_lengths())
+                    .expect("fixed table is well-formed");
+                inflate_block(&mut r, &lit, &dist, &mut out, limit)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, limit)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    Ok((out, r.bytes_consumed().min(data.len())))
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder), InflateError> {
+    let hlit = r.bits(5).ok_or(InflateError::UnexpectedEof)? as usize + 257;
+    let hdist = r.bits(5).ok_or(InflateError::UnexpectedEof)? as usize + 1;
+    let hclen = r.bits(4).ok_or(InflateError::UnexpectedEof)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::BadHuffmanTable);
+    }
+
+    let mut clcl = [0u8; 19];
+    for &idx in CLCL_ORDER.iter().take(hclen) {
+        clcl[idx] = r.bits(3).ok_or(InflateError::UnexpectedEof)? as u8;
+    }
+    let cl_dec = Decoder::from_lengths(&clcl).ok_or(InflateError::BadHuffmanTable)?;
+
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = cl_dec.decode(r).ok_or(InflateError::UnexpectedEof)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let &prev = lengths.last().ok_or(InflateError::BadHuffmanTable)?;
+                let n = 3 + r.bits(2).ok_or(InflateError::UnexpectedEof)?;
+                lengths.extend(std::iter::repeat_n(prev, n as usize));
+            }
+            17 => {
+                let n = 3 + r.bits(3).ok_or(InflateError::UnexpectedEof)?;
+                lengths.extend(std::iter::repeat_n(0u8, n as usize));
+            }
+            18 => {
+                let n = 11 + r.bits(7).ok_or(InflateError::UnexpectedEof)?;
+                lengths.extend(std::iter::repeat_n(0u8, n as usize));
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(InflateError::BadHuffmanTable);
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit]).ok_or(InflateError::BadHuffmanTable)?;
+    let dist = Decoder::from_lengths(&lengths[hlit..]).ok_or(InflateError::BadHuffmanTable)?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+    limit: usize,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r).ok_or(InflateError::UnexpectedEof)?;
+        match sym {
+            0..=255 => {
+                if out.len() >= limit {
+                    return Err(InflateError::TooLarge);
+                }
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let extra = LENGTH_EXTRA[idx] as u32;
+                let len = LENGTH_BASE[idx] as usize
+                    + r.bits(extra).ok_or(InflateError::UnexpectedEof)? as usize;
+                let dsym = dist.decode(r).ok_or(InflateError::UnexpectedEof)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::BadSymbol);
+                }
+                let dextra = DIST_EXTRA[dsym] as u32;
+                let distance = DIST_BASE[dsym] as usize
+                    + r.bits(dextra).ok_or(InflateError::UnexpectedEof)? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::BadDistance);
+                }
+                if out.len() + len > limit {
+                    return Err(InflateError::TooLarge);
+                }
+                let start = out.len() - distance;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadSymbol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stored block of "abc" assembled by hand:
+    /// BFINAL=1, BTYPE=00, align, LEN=3, NLEN=!3, bytes.
+    #[test]
+    fn stored_block_by_hand() {
+        let data = [0x01, 0x03, 0x00, 0xfc, 0xff, b'a', b'b', b'c'];
+        assert_eq!(inflate(&data).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn stored_length_check_detects_corruption() {
+        let data = [0x01, 0x03, 0x00, 0xfd, 0xff, b'a', b'b', b'c'];
+        assert_eq!(inflate(&data).unwrap_err(), InflateError::BadStoredLength);
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1, BTYPE=11.
+        let data = [0b0000_0111];
+        assert_eq!(inflate(&data).unwrap_err(), InflateError::BadBlockType);
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert_eq!(inflate(&[]).unwrap_err(), InflateError::UnexpectedEof);
+    }
+
+    #[test]
+    fn fixed_block_empty_stream() {
+        // BFINAL=1, BTYPE=01, end-of-block (code 256 = 7 zero bits).
+        use crate::bits::BitWriter;
+        let mut w = BitWriter::new();
+        w.bits(1, 1);
+        w.bits(1, 2);
+        w.huffman_code(0, 7); // symbol 256 in the fixed table
+        let data = w.finish();
+        assert_eq!(inflate(&data).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn back_reference_before_start_rejected() {
+        use crate::bits::BitWriter;
+        use crate::huffman::codes_from_lengths;
+        let codes = codes_from_lengths(&crate::huffman::fixed_literal_lengths());
+        let mut w = BitWriter::new();
+        w.bits(1, 1);
+        w.bits(1, 2);
+        // length code 257 (len 3) with distance 1 — but output is empty.
+        let (c, l) = codes[257];
+        w.huffman_code(c, l as u32);
+        w.huffman_code(0, 5); // distance code 0 = distance 1
+        let data = w.finish();
+        assert_eq!(inflate(&data).unwrap_err(), InflateError::BadDistance);
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let data = [0x01, 0x03, 0x00, 0xfc, 0xff, b'a', b'b', b'c'];
+        assert_eq!(
+            inflate_with_limit(&data, 2).unwrap_err(),
+            InflateError::TooLarge
+        );
+    }
+
+    #[test]
+    fn consumed_bytes_reported() {
+        let mut data = vec![0x01, 0x03, 0x00, 0xfc, 0xff, b'a', b'b', b'c'];
+        data.extend_from_slice(b"TRAILING");
+        let (out, consumed) = inflate_with_limit(&data, usize::MAX).unwrap();
+        assert_eq!(out, b"abc");
+        assert_eq!(consumed, 8);
+    }
+
+    #[test]
+    fn multiple_blocks() {
+        // Two stored blocks: "ab" (not final) then "c" (final).
+        let data = [
+            0x00, 0x02, 0x00, 0xfd, 0xff, b'a', b'b', // BFINAL=0
+            0x01, 0x01, 0x00, 0xfe, 0xff, b'c', // BFINAL=1
+        ];
+        assert_eq!(inflate(&data).unwrap(), b"abc");
+    }
+}

@@ -1,0 +1,204 @@
+//! Case studies written against the *interval parser combinator* library
+//! (the paper's appendix A.2 states "we have implemented all case studies
+//! in section 4 through our parser combinator library"). This module
+//! reproduces that claim for two representatives — the packet format
+//! (IPv4+UDP) and the chunk format (GIF's block structure) — and the
+//! workspace tests cross-validate them against the grammar-driven parsers.
+
+use ipg_core::combinators::{eoi, fix, guard, uint_be, uint_le, P};
+
+/// The facts the combinator IPv4+UDP parser extracts (mirrors
+/// [`crate::ipv4udp::Ipv4UdpPacket`] minus the spans, which combinators
+/// return as owned data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CombPacket {
+    /// IPv4 header length in bytes.
+    pub ihl: usize,
+    /// Total length field.
+    pub total_len: u16,
+    /// UDP source port.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+    /// UDP payload length.
+    pub payload_len: usize,
+}
+
+/// IPv4+UDP via combinators: the `%`-style [`P::local`] confinement plays
+/// the role of every interval in `ipv4udp.ipg`.
+pub fn ipv4_udp() -> P<CombPacket> {
+    uint_be(1)
+        .local(0, 1)
+        .and_then(|vihl| {
+            guard(vihl >> 4 == 4 && (vihl & 15) * 4 >= 20).map(move |_| ((vihl & 15) * 4) as i64)
+        })
+        .and_then(|ihl| {
+            eoi().and_then(move |len| {
+                uint_be(2).local(2, 4).and_then(move |tot| {
+                    guard(tot <= len && tot >= ihl + 8).and_then(move |_| {
+                        uint_be(1).local(9, 10).and_then(move |proto| {
+                            guard(proto == 17).and_then(move |_| {
+                                // The UDP header, confined to [ihl, tot].
+                                uint_be(2)
+                                    .pair(uint_be(2))
+                                    .pair(uint_be(2))
+                                    .and_then(move |((sport, dport), udp_len)| {
+                                        eoi().and_then(move |udp_eoi| {
+                                            guard(udp_len == udp_eoi).map(move |_| CombPacket {
+                                                ihl: ihl as usize,
+                                                total_len: tot as u16,
+                                                sport: sport as u16,
+                                                dport: dport as u16,
+                                                payload_len: (udp_len - 8) as usize,
+                                            })
+                                        })
+                                    })
+                                    .local_dyn(move |_| (ihl, tot))
+                            })
+                        })
+                    })
+                })
+            })
+        })
+}
+
+/// GIF block summary from the combinator parser: `(introducer, data
+/// bytes)` per top-level block — comparable with
+/// [`crate::gif::GifBlock`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CombGif {
+    /// Logical screen width.
+    pub width: u16,
+    /// Logical screen height.
+    pub height: u16,
+    /// `(introducer, total sub-block data length)` per block.
+    pub blocks: Vec<(u8, usize)>,
+}
+
+fn sub_blocks() -> P<usize> {
+    fix(|rest| {
+        uint_le(1).and_then(move |n| {
+            let rest = rest.clone();
+            if_zero_end(n, rest)
+        })
+    })
+}
+
+fn if_zero_end(n: i64, rest: P<usize>) -> P<usize> {
+    use ipg_core::combinators::{any_byte, count, ret};
+    if n == 0 {
+        ret(0usize)
+    } else {
+        count(n as usize, any_byte())
+            .and_then(move |_| rest.clone().map(move |tail| n as usize + tail))
+    }
+}
+
+/// GIF structure via combinators (signature, LSD + optional color table,
+/// block list, trailer).
+pub fn gif() -> P<CombGif> {
+    use ipg_core::combinators::{any_byte, byte, count, literal, many};
+    literal(b"GIF89a")
+        .or(literal(b"GIF87a"))
+        .then(uint_le(2))
+        .pair(uint_le(2))
+        .pair(uint_le(1))
+        .and_then(|((w, h), flags)| {
+            // bg + aspect, then the optional global color table.
+            let gct = if flags & 0x80 != 0 { 3 * (2usize << (flags & 7)) } else { 0 };
+            count(2 + gct, any_byte()).map(move |_| (w as u16, h as u16))
+        })
+        .and_then(|(w, h)| {
+            let block = uint_le(1).and_then(|introducer| match introducer {
+                0x21 => uint_le(1)
+                    .then(sub_blocks())
+                    .map(|len| (0x21u8, len)),
+                0x2c => count(8, any_byte())
+                    .then(uint_le(1))
+                    .and_then(|iflags| {
+                        let lct = if iflags & 0x80 != 0 { 3 * (2usize << (iflags & 7)) } else { 0 };
+                        count(lct + 1, any_byte()) // LCT + LZW min code size
+                            .then(sub_blocks())
+                            .map(|len| (0x2cu8, len))
+                    }),
+                _ => ipg_core::combinators::fail(),
+            });
+            many(block).and_then(move |blocks| {
+                byte(0x3b).map(move |_| CombGif { width: w, height: h, blocks: blocks.clone() })
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinator_ipv4udp_agrees_with_the_grammar_parser() {
+        for (payload, options) in [(0usize, 0usize), (128, 0), (700, 4)] {
+            let p = ipg_corpus::ipv4udp::generate(&ipg_corpus::ipv4udp::Config {
+                payload_len: payload,
+                options_words: options,
+                seed: 3,
+            });
+            let comb = ipv4_udp().run(&p.bytes).expect("combinator parser accepts");
+            let gram = crate::ipv4udp::parse(&p.bytes).expect("grammar parser accepts");
+            assert_eq!(comb.ihl, gram.ihl);
+            assert_eq!(comb.total_len, gram.total_len);
+            assert_eq!(comb.sport, gram.sport);
+            assert_eq!(comb.dport, gram.dport);
+            assert_eq!(comb.payload_len, gram.payload.1 - gram.payload.0);
+        }
+    }
+
+    #[test]
+    fn combinator_ipv4udp_rejects_what_the_grammar_rejects() {
+        let p = ipg_corpus::ipv4udp::generate(&ipg_corpus::ipv4udp::Config::default());
+        let mut tcp = p.bytes.clone();
+        tcp[9] = 6;
+        assert!(ipv4_udp().run(&tcp).is_none());
+        assert!(crate::ipv4udp::parse(&tcp).is_err());
+        let mut v6 = p.bytes.clone();
+        v6[0] = 0x65;
+        assert!(ipv4_udp().run(&v6).is_none());
+        assert!(ipv4_udp().run(&p.bytes[..20]).is_none());
+    }
+
+    #[test]
+    fn combinator_gif_agrees_with_the_grammar_parser() {
+        for frames in [1usize, 4] {
+            let img = ipg_corpus::gif::generate(&ipg_corpus::gif::Config {
+                n_frames: frames,
+                data_per_frame: 600,
+                seed: frames as u64,
+                ..Default::default()
+            });
+            let comb = gif().run(&img.bytes).expect("combinator parser accepts");
+            let gram = crate::gif::parse(&img.bytes).expect("grammar parser accepts");
+            assert_eq!(comb.width, gram.width);
+            assert_eq!(comb.height, gram.height);
+            assert_eq!(comb.blocks.len(), gram.blocks.len());
+            for (c, g) in comb.blocks.iter().zip(&gram.blocks) {
+                match g {
+                    crate::gif::GifBlock::Extension { data_len, .. } => {
+                        assert_eq!(c.0, 0x21);
+                        assert_eq!(c.1, *data_len);
+                    }
+                    crate::gif::GifBlock::Image { data_len, .. } => {
+                        assert_eq!(c.0, 0x2c);
+                        assert_eq!(c.1, *data_len);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combinator_gif_rejects_corruption() {
+        let img = ipg_corpus::gif::generate(&ipg_corpus::gif::Config::default());
+        assert!(gif().run(&img.bytes[..img.bytes.len() - 1]).is_none());
+        let mut bad = img.bytes.clone();
+        bad[0] = b'J';
+        assert!(gif().run(&bad).is_none());
+    }
+}

@@ -1,0 +1,313 @@
+//! ELF: grammar access and typed extraction (§4.1 case study).
+
+use crate::{cstr_at, need};
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::Parser;
+use ipg_core::tree::Node;
+use std::sync::OnceLock;
+
+/// The embedded `.ipg` specification.
+pub const SPEC: &str = include_str!("../specs/elf.ipg");
+
+/// The checked ELF grammar.
+pub fn grammar() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| {
+        ipg_core::frontend::parse_grammar(SPEC).expect("elf.ipg is a valid IPG")
+    })
+}
+
+/// A parsed ELF file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElfFile {
+    /// Section header table offset (`e_shoff`).
+    pub shoff: u64,
+    /// Number of section headers.
+    pub shnum: u64,
+    /// Index of the section-name string table.
+    pub shstrndx: u64,
+    /// All sections, in section-header-table order (index 0 is the null
+    /// section).
+    pub sections: Vec<ElfSection>,
+}
+
+/// One section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElfSection {
+    /// Name, resolved through `.shstrtab`.
+    pub name: Option<String>,
+    /// `sh_type`.
+    pub sh_type: u32,
+    /// `sh_offset`.
+    pub offset: u64,
+    /// `sh_size`.
+    pub size: u64,
+    /// `sh_link`.
+    pub link: u32,
+    /// Typed content.
+    pub kind: SectionKind,
+}
+
+/// Typed section content, per the grammar's switch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SectionKind {
+    /// The null section (index 0).
+    Null,
+    /// `.dynamic` entries `(d_tag, d_val)`.
+    Dynamic(Vec<(u64, u64)>),
+    /// Symbol table entries.
+    Symbols(Vec<ElfSymbol>),
+    /// A string table's strings, in order.
+    Strings(Vec<String>),
+    /// Anything else: raw byte span `(offset, len)` into the file.
+    Other(u64, u64),
+}
+
+/// One symbol-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElfSymbol {
+    /// Offset of the name in the linked string table.
+    pub name_offset: u32,
+    /// Resolved name (via the linked string table).
+    pub name: Option<String>,
+    /// `st_value`.
+    pub value: u64,
+    /// `st_size`.
+    pub size: u64,
+}
+
+/// Parses an ELF file with the IPG grammar and extracts a typed view.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the input is not valid ELF per the grammar.
+pub fn parse(input: &[u8]) -> Result<ElfFile> {
+    let g = grammar();
+    let tree = Parser::new(g).parse(input)?;
+    extract(g, input, tree.as_node().expect("root is a node"))
+}
+
+fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
+    let h = root
+        .child_node("H")
+        .ok_or_else(|| Error::Grammar("extractor: missing ELF header".into()))?;
+    let shoff = need(g, h, "shoff")? as u64;
+    let shnum = need(g, h, "shnum")? as u64;
+    let shstrndx = need(g, h, "shstrndx")? as u64;
+
+    let sh = root
+        .child_array("SH")
+        .ok_or_else(|| Error::Grammar("extractor: missing section header table".into()))?;
+    let secs = root
+        .child_array("Sec")
+        .ok_or_else(|| Error::Grammar("extractor: missing sections".into()))?;
+
+    // Locate .shstrtab to resolve section names.
+    let shstr = sh.node(shstrndx as usize).map(|n| {
+        (need(g, n, "ofs").unwrap_or(0) as usize, need(g, n, "sz").unwrap_or(0) as usize)
+    });
+
+    let mut sections = Vec::with_capacity(sh.len());
+    for (i, hdr) in sh.nodes().enumerate() {
+        let sh_type = need(g, hdr, "type")? as u32;
+        let offset = need(g, hdr, "ofs")? as u64;
+        let size = need(g, hdr, "sz")? as u64;
+        let link = need(g, hdr, "link")? as u32;
+        let name_off = need(g, hdr, "name")? as usize;
+        let name = shstr.and_then(|(ofs, sz)| {
+            if name_off < sz {
+                cstr_at(input, ofs + name_off)
+            } else {
+                None
+            }
+        });
+        // Sec array index i-1 corresponds to SH index i (the grammar skips
+        // the null section).
+        let kind = if i == 0 {
+            SectionKind::Null
+        } else {
+            let sec = secs.node(i - 1).ok_or_else(|| {
+                Error::Grammar(format!("extractor: missing Sec node for section {i}"))
+            })?;
+            extract_section_kind(g, input, sh, sec, link, offset, size)?
+        };
+        sections.push(ElfSection { name, sh_type, offset, size, link, kind });
+    }
+
+    Ok(ElfFile { shoff, shnum, shstrndx, sections })
+}
+
+fn extract_section_kind(
+    g: &Grammar,
+    input: &[u8],
+    sh: &ipg_core::tree::ArrayNode,
+    sec: &Node,
+    link: u32,
+    offset: u64,
+    size: u64,
+) -> Result<SectionKind> {
+    if let Some(dyn_sec) = sec.child_node("DynSec") {
+        let entries = dyn_sec
+            .child_array("DynEntry")
+            .map(|arr| {
+                arr.nodes()
+                    .map(|e| {
+                        (
+                            need(g, e, "tag").unwrap_or(0) as u64,
+                            need(g, e, "value").unwrap_or(0) as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        return Ok(SectionKind::Dynamic(entries));
+    }
+    if let Some(sym_sec) = sec.child_node("SymSec") {
+        // The linked string table resolves symbol names.
+        let strtab = sh.node(link as usize).map(|n| {
+            (need(g, n, "ofs").unwrap_or(0) as usize, need(g, n, "sz").unwrap_or(0) as usize)
+        });
+        let symbols = sym_sec
+            .child_array("Sym")
+            .map(|arr| {
+                arr.nodes()
+                    .map(|s| {
+                        let name_offset = need(g, s, "name").unwrap_or(0) as u32;
+                        let name = strtab.and_then(|(ofs, sz)| {
+                            if (name_offset as usize) < sz {
+                                cstr_at(input, ofs + name_offset as usize)
+                            } else {
+                                None
+                            }
+                        });
+                        ElfSymbol {
+                            name_offset,
+                            name,
+                            value: need(g, s, "value").unwrap_or(0) as u64,
+                            size: need(g, s, "size").unwrap_or(0) as u64,
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        return Ok(SectionKind::Symbols(symbols));
+    }
+    if let Some(str_sec) = sec.child_node("StrSec") {
+        // Collect Str nodes from the recursive Strings chain.
+        let mut strings = Vec::new();
+        if let Some(top) = str_sec.child_node("Strings") {
+            for s in crate::flatten_chain(top, "Strings", "Str") {
+                let (lo, _) = s.span();
+                let len = need(g, s, "len")? as usize;
+                strings.push(String::from_utf8_lossy(&input[lo..lo + len]).into_owned());
+            }
+        }
+        return Ok(SectionKind::Strings(strings));
+    }
+    Ok(SectionKind::Other(offset, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::elf as gen;
+
+    #[test]
+    fn parses_default_corpus_file() {
+        let file = gen::generate(&gen::Config::default());
+        let parsed = parse(&file.bytes).unwrap();
+        assert_eq!(parsed.shoff, file.summary.shoff);
+        assert_eq!(parsed.shnum, file.summary.shnum as u64);
+        assert_eq!(parsed.shstrndx, file.summary.shstrndx as u64);
+        assert_eq!(parsed.sections.len(), file.summary.sections.len());
+    }
+
+    #[test]
+    fn section_types_offsets_sizes_match_ground_truth() {
+        let file = gen::generate(&gen::Config::default());
+        let parsed = parse(&file.bytes).unwrap();
+        for (sec, &(ty, ofs, sz)) in parsed.sections.iter().zip(&file.summary.sections) {
+            assert_eq!(sec.sh_type, ty);
+            assert_eq!(sec.offset, ofs);
+            assert_eq!(sec.size, sz);
+        }
+    }
+
+    #[test]
+    fn section_names_resolve_via_shstrtab() {
+        let file = gen::generate(&gen::Config::default());
+        let parsed = parse(&file.bytes).unwrap();
+        let names: Vec<Option<String>> =
+            parsed.sections.iter().map(|s| s.name.clone()).collect();
+        for (i, expected) in file.summary.section_names.iter().enumerate().skip(1) {
+            assert_eq!(names[i].as_deref(), Some(expected.as_str()), "section {i}");
+        }
+    }
+
+    #[test]
+    fn symbols_and_names_match() {
+        let file = gen::generate(&gen::Config { n_symbols: 5, ..Default::default() });
+        let parsed = parse(&file.bytes).unwrap();
+        let syms = parsed
+            .sections
+            .iter()
+            .find_map(|s| match &s.kind {
+                SectionKind::Symbols(v) => Some(v),
+                _ => None,
+            })
+            .expect("symtab present");
+        assert_eq!(syms.len(), 5);
+        for (sym, expected) in syms.iter().zip(&file.summary.symbol_names) {
+            assert_eq!(sym.name.as_deref(), Some(expected.as_str()));
+        }
+    }
+
+    #[test]
+    fn dynamic_entries_match() {
+        let file = gen::generate(&gen::Config { n_dyn: 6, ..Default::default() });
+        let parsed = parse(&file.bytes).unwrap();
+        let dynamic = parsed
+            .sections
+            .iter()
+            .find_map(|s| match &s.kind {
+                SectionKind::Dynamic(v) => Some(v),
+                _ => None,
+            })
+            .expect("dynamic present");
+        assert_eq!(dynamic.len(), 6);
+        assert_eq!(dynamic[3].0, 3, "d_tag cycles 0..30 in the corpus");
+    }
+
+    #[test]
+    fn string_table_contents_match() {
+        let file = gen::generate(&gen::Config { n_symbols: 4, ..Default::default() });
+        let parsed = parse(&file.bytes).unwrap();
+        // .strtab: leading empty string then the four names.
+        let strtabs: Vec<&Vec<String>> = parsed
+            .sections
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SectionKind::Strings(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert!(strtabs.iter().any(|strings| {
+            file.summary.symbol_names.iter().all(|n| strings.contains(n))
+        }));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let file = gen::generate(&gen::Config::default());
+        let cut = &file.bytes[..file.bytes.len() - 7];
+        assert!(parse(cut).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut file = gen::generate(&gen::Config::default()).bytes;
+        file[1] = b'X';
+        assert!(parse(&file).is_err());
+    }
+}

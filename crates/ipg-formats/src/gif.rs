@@ -1,0 +1,168 @@
+//! GIF: grammar access and typed extraction (§4.2 case study).
+
+use crate::{flatten_chain, need};
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::Parser;
+use std::sync::OnceLock;
+
+/// The embedded `.ipg` specification.
+pub const SPEC: &str = include_str!("../specs/gif.ipg");
+
+/// The checked GIF grammar.
+pub fn grammar() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("gif.ipg is a valid IPG"))
+}
+
+/// A parsed image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GifImage {
+    /// Logical screen width.
+    pub width: u16,
+    /// Logical screen height.
+    pub height: u16,
+    /// Whether a global color table is present.
+    pub has_gct: bool,
+    /// Global color table length in bytes (0 when absent).
+    pub gct_len: usize,
+    /// Top-level blocks, in order.
+    pub blocks: Vec<GifBlock>,
+}
+
+impl GifImage {
+    /// Number of image frames.
+    pub fn n_frames(&self) -> usize {
+        self.blocks.iter().filter(|b| matches!(b, GifBlock::Image { .. })).count()
+    }
+}
+
+/// One top-level block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GifBlock {
+    /// An extension block with its label and total data length.
+    Extension {
+        /// The extension label (0xf9 graphic control, 0xfe comment, …).
+        label: u8,
+        /// Total bytes across its data sub-blocks.
+        data_len: usize,
+    },
+    /// An image descriptor.
+    Image {
+        /// Frame width.
+        width: u16,
+        /// Frame height.
+        height: u16,
+        /// Total bytes of LZW-coded data across sub-blocks.
+        data_len: usize,
+    },
+}
+
+/// Parses a GIF with the IPG grammar and extracts a typed view.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the input is not valid GIF per the grammar.
+pub fn parse(input: &[u8]) -> Result<GifImage> {
+    let g = grammar();
+    let tree = Parser::new(g).parse(input)?;
+    let root = tree.as_node().expect("root is a node");
+    let lsd = root
+        .child_node("LSD")
+        .ok_or_else(|| Error::Grammar("extractor: missing LSD".into()))?;
+    let width = need(g, lsd, "w")? as u16;
+    let height = need(g, lsd, "h")? as u16;
+    let has_gct = need(g, lsd, "gctflag")? == 1;
+    let gct_len = if has_gct { need(g, lsd, "gctsize")? as usize } else { 0 };
+
+    let mut blocks = Vec::new();
+    if let Some(chain) = root.child_node("Blocks") {
+        for block in flatten_chain(chain, "Blocks", "Block") {
+            if let Some(ext) = block.child_node("Ext") {
+                blocks.push(GifBlock::Extension {
+                    label: need(g, ext, "label")? as u8,
+                    data_len: sub_blocks_len(g, ext)?,
+                });
+            } else if let Some(img) = block.child_node("Image") {
+                blocks.push(GifBlock::Image {
+                    width: need(g, img, "w")? as u16,
+                    height: need(g, img, "h")? as u16,
+                    data_len: sub_blocks_len(g, img)?,
+                });
+            }
+        }
+    }
+    Ok(GifImage { width, height, has_gct, gct_len, blocks })
+}
+
+/// Sums the data lengths over a `SubBlocks` chain.
+fn sub_blocks_len(g: &Grammar, parent: &ipg_core::tree::Node) -> Result<usize> {
+    let mut total = 0;
+    if let Some(top) = parent.child_node("SubBlocks") {
+        for sb in flatten_chain(top, "SubBlocks", "SB") {
+            total += need(g, sb, "len")? as usize;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::gif as gen;
+
+    #[test]
+    fn parses_default_corpus_image() {
+        let img = gen::generate(&gen::Config::default());
+        let parsed = parse(&img.bytes).unwrap();
+        assert_eq!(parsed.width, img.summary.width);
+        assert_eq!(parsed.height, img.summary.height);
+        assert_eq!(parsed.has_gct, img.summary.has_gct);
+        assert_eq!(parsed.gct_len, img.summary.gct_len);
+        assert_eq!(parsed.blocks.len(), img.summary.n_blocks);
+        assert_eq!(parsed.n_frames(), img.summary.n_frames);
+    }
+
+    #[test]
+    fn no_gct_image_parses() {
+        let img = gen::generate(&gen::Config { gct_bits: None, ..Default::default() });
+        let parsed = parse(&img.bytes).unwrap();
+        assert!(!parsed.has_gct);
+        assert_eq!(parsed.gct_len, 0);
+    }
+
+    #[test]
+    fn zero_frame_image_parses_via_second_alternative() {
+        let img = gen::generate(&gen::Config { n_frames: 0, ..Default::default() });
+        let parsed = parse(&img.bytes).unwrap();
+        assert_eq!(parsed.blocks.len(), 0);
+    }
+
+    #[test]
+    fn frame_data_lengths_are_summed() {
+        let img = gen::generate(&gen::Config {
+            n_frames: 1,
+            data_per_frame: 600,
+            ..Default::default()
+        });
+        let parsed = parse(&img.bytes).unwrap();
+        let GifBlock::Image { data_len, .. } = parsed.blocks[1] else {
+            panic!("expected image block after GCE");
+        };
+        assert_eq!(data_len, 600);
+    }
+
+    #[test]
+    fn truncated_image_is_rejected() {
+        let img = gen::generate(&gen::Config::default());
+        assert!(parse(&img.bytes[..img.bytes.len() - 1]).is_err());
+        assert!(parse(b"GIF89a").is_err());
+    }
+
+    #[test]
+    fn wrong_signature_is_rejected() {
+        let mut img = gen::generate(&gen::Config::default()).bytes;
+        img[0] = b'J';
+        assert!(parse(&img).is_err());
+    }
+}

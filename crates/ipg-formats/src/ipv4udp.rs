@@ -1,0 +1,123 @@
+//! IPv4+UDP: grammar access and typed extraction.
+
+use crate::need;
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::Parser;
+use std::sync::OnceLock;
+
+/// The embedded `.ipg` specification.
+pub const SPEC: &str = include_str!("../specs/ipv4udp.ipg");
+
+/// The checked IPv4+UDP grammar.
+pub fn grammar() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| {
+        ipg_core::frontend::parse_grammar(SPEC).expect("ipv4udp.ipg is a valid IPG")
+    })
+}
+
+/// A parsed datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ipv4UdpPacket {
+    /// IPv4 header length in bytes.
+    pub ihl: usize,
+    /// IPv4 total length.
+    pub total_len: u16,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// UDP source port.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+    /// UDP length field.
+    pub udp_len: u16,
+    /// Absolute span of the UDP payload.
+    pub payload: (usize, usize),
+}
+
+/// Parses a datagram with the IPG grammar and extracts a typed view.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the input is not an IPv4+UDP datagram per the
+/// grammar (wrong version, non-UDP protocol, inconsistent lengths).
+pub fn parse(input: &[u8]) -> Result<Ipv4UdpPacket> {
+    let g = grammar();
+    let tree = Parser::new(g).parse(input)?;
+    let root = tree.as_node().expect("root is a node");
+    let udp = root
+        .child_node("UDP")
+        .ok_or_else(|| Error::Grammar("extractor: missing UDP header".into()))?;
+    let payload = udp
+        .child_node("Payload")
+        .ok_or_else(|| Error::Grammar("extractor: missing payload".into()))?;
+    let src_node = root
+        .child_node("Src")
+        .ok_or_else(|| Error::Grammar("extractor: missing source address".into()))?;
+    let dst_node = root
+        .child_node("Dst")
+        .ok_or_else(|| Error::Grammar("extractor: missing destination address".into()))?;
+    let src: [u8; 4] =
+        input[src_node.span().0..src_node.span().1].try_into().expect("4 bytes");
+    let dst: [u8; 4] =
+        input[dst_node.span().0..dst_node.span().1].try_into().expect("4 bytes");
+    Ok(Ipv4UdpPacket {
+        ihl: need(g, root, "ihl")? as usize,
+        total_len: need(g, root, "tot")? as u16,
+        src,
+        dst,
+        sport: need(g, udp, "sport")? as u16,
+        dport: need(g, udp, "dport")? as u16,
+        udp_len: need(g, udp, "len")? as u16,
+        payload: payload.span(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::ipv4udp as gen;
+
+    #[test]
+    fn parses_default_packet() {
+        let p = gen::generate(&gen::Config::default());
+        let parsed = parse(&p.bytes).unwrap();
+        assert_eq!(parsed.ihl, p.summary.ihl_bytes);
+        assert_eq!(parsed.total_len, p.summary.total_len);
+        assert_eq!(parsed.src, p.summary.src);
+        assert_eq!(parsed.dst, p.summary.dst);
+        assert_eq!(parsed.sport, p.summary.sport);
+        assert_eq!(parsed.dport, p.summary.dport);
+        assert_eq!(parsed.payload.1 - parsed.payload.0, p.summary.payload_len);
+    }
+
+    #[test]
+    fn options_shift_the_udp_header() {
+        let p = gen::generate(&gen::Config { options_words: 4, ..Default::default() });
+        let parsed = parse(&p.bytes).unwrap();
+        assert_eq!(parsed.ihl, 20 + 16);
+    }
+
+    #[test]
+    fn non_udp_protocol_rejected() {
+        let mut p = gen::generate(&gen::Config::default()).bytes;
+        p[9] = 6; // TCP
+        assert!(parse(&p).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut p = gen::generate(&gen::Config::default()).bytes;
+        p[0] = 0x65; // version 6
+        assert!(parse(&p).is_err());
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let p = gen::generate(&gen::Config::default());
+        assert!(parse(&p.bytes[..20]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! PE: grammar access and typed extraction.
+
+use crate::need;
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::Parser;
+use std::sync::OnceLock;
+
+/// The embedded `.ipg` specification.
+pub const SPEC: &str = include_str!("../specs/pe.ipg");
+
+/// The checked PE grammar.
+pub fn grammar() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("pe.ipg is a valid IPG"))
+}
+
+/// A parsed PE file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeFile {
+    /// Offset of the PE signature (`e_lfanew`).
+    pub pe_offset: u32,
+    /// COFF machine id.
+    pub machine: u16,
+    /// Optional header magic (0x20b for PE32+).
+    pub opt_magic: u16,
+    /// Sections: `(virtual address, raw offset, raw size)`.
+    pub sections: Vec<(u32, u32, u32)>,
+}
+
+/// Parses a PE file with the IPG grammar and extracts a typed view.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the input is not valid PE per the grammar.
+pub fn parse(input: &[u8]) -> Result<PeFile> {
+    let g = grammar();
+    let tree = Parser::new(g).parse(input)?;
+    let root = tree.as_node().expect("root is a node");
+    let dos = root
+        .child_node("DOS")
+        .ok_or_else(|| Error::Grammar("extractor: missing DOS header".into()))?;
+    let coff = root
+        .child_node("COFF")
+        .ok_or_else(|| Error::Grammar("extractor: missing COFF header".into()))?;
+    let opt = root
+        .child_node("OPT")
+        .ok_or_else(|| Error::Grammar("extractor: missing optional header".into()))?;
+    let hdrs = root
+        .child_array("SecHdr")
+        .ok_or_else(|| Error::Grammar("extractor: missing section table".into()))?;
+    let sections = hdrs
+        .nodes()
+        .map(|h| {
+            Ok((
+                need(g, h, "vaddr")? as u32,
+                need(g, h, "rawptr")? as u32,
+                need(g, h, "rawsize")? as u32,
+            ))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(PeFile {
+        pe_offset: need(g, dos, "lfanew")? as u32,
+        machine: need(g, coff, "machine")? as u16,
+        opt_magic: need(g, opt, "magic")? as u16,
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::pe as gen;
+
+    #[test]
+    fn parses_default_corpus_file() {
+        let f = gen::generate(&gen::Config::default());
+        let parsed = parse(&f.bytes).unwrap();
+        assert_eq!(parsed.pe_offset, f.summary.pe_offset);
+        assert_eq!(parsed.machine, 0x8664);
+        assert_eq!(parsed.opt_magic, 0x20b);
+        assert_eq!(parsed.sections.len(), f.summary.n_sections as usize);
+    }
+
+    #[test]
+    fn section_pointers_match_ground_truth() {
+        let f = gen::generate(&gen::Config { n_sections: 6, ..Default::default() });
+        let parsed = parse(&f.bytes).unwrap();
+        for (p, (_, ptr, size)) in parsed.sections.iter().zip(&f.summary.sections) {
+            assert_eq!(p.1, *ptr);
+            assert_eq!(p.2, *size);
+        }
+    }
+
+    #[test]
+    fn missing_mz_rejected() {
+        let mut f = gen::generate(&gen::Config::default()).bytes;
+        f[0] = b'N';
+        assert!(parse(&f).is_err());
+    }
+
+    #[test]
+    fn bad_optional_magic_rejected() {
+        let mut f = gen::generate(&gen::Config::default()).bytes;
+        let opt = gen::PE_SIG_OFFSET as usize + 4 + gen::COFF_SIZE;
+        f[opt] = 0x0c; // 0x20c is neither PE32 nor PE32+
+        assert!(parse(&f).is_err());
+    }
+
+    #[test]
+    fn truncated_section_data_rejected() {
+        let f = gen::generate(&gen::Config::default());
+        assert!(parse(&f.bytes[..f.bytes.len() - 100]).is_err());
+    }
+}

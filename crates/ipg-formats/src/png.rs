@@ -1,0 +1,131 @@
+//! PNG: grammar access and typed extraction. An extra chunk-based case
+//! study (the paper names PNG alongside GIF in §4) whose chunk list uses
+//! the `star` repetition extension instead of the recursive list idiom.
+
+use crate::need;
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::Parser;
+use std::sync::OnceLock;
+
+/// The embedded `.ipg` specification.
+pub const SPEC: &str = include_str!("../specs/png.ipg");
+
+/// The checked PNG grammar.
+pub fn grammar() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("png.ipg is a valid IPG"))
+}
+
+/// A parsed image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PngImage {
+    /// IHDR width.
+    pub width: u32,
+    /// IHDR height.
+    pub height: u32,
+    /// IHDR bit depth.
+    pub bit_depth: u8,
+    /// Chunks between IHDR and IEND: `(type fourcc, data span)`.
+    pub chunks: Vec<(String, (usize, usize))>,
+}
+
+/// Parses a PNG with the IPG grammar and extracts a typed view.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the input is not valid PNG per the grammar.
+pub fn parse(input: &[u8]) -> Result<PngImage> {
+    let g = grammar();
+    let tree = Parser::new(g).parse(input)?;
+    let root = tree.as_node().expect("root is a node");
+    let ihdr = root
+        .child_node("IHDR")
+        .ok_or_else(|| Error::Grammar("extractor: missing IHDR".into()))?;
+
+    let mut chunks = Vec::new();
+    if let Some(arr) = root.child_array("Chunk") {
+        for chunk in arr.nodes() {
+            let ty = chunk
+                .child_node("Type")
+                .ok_or_else(|| Error::Grammar("extractor: chunk without type".into()))?;
+            let fourcc = String::from_utf8_lossy(&input[ty.span().0..ty.span().1]).into_owned();
+            let data = chunk
+                .child_node("Data")
+                .ok_or_else(|| Error::Grammar("extractor: chunk without data".into()))?;
+            chunks.push((fourcc, data.span()));
+        }
+    }
+
+    Ok(PngImage {
+        width: need(g, ihdr, "w")? as u32,
+        height: need(g, ihdr, "h")? as u32,
+        bit_depth: need(g, ihdr, "depth")? as u8,
+        chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::png as gen;
+
+    #[test]
+    fn parses_default_corpus_image() {
+        let f = gen::generate(&gen::Config::default());
+        let parsed = parse(&f.bytes).unwrap();
+        assert_eq!(parsed.width, f.summary.width);
+        assert_eq!(parsed.height, f.summary.height);
+        assert_eq!(parsed.bit_depth, 8);
+        // Chunks exclude IHDR and IEND.
+        let expected: Vec<&String> = f
+            .summary
+            .chunk_types
+            .iter()
+            .filter(|t| *t != "IHDR" && *t != "IEND")
+            .collect();
+        let got: Vec<&String> = parsed.chunks.iter().map(|(t, _)| t).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn chunk_data_spans_match_lengths() {
+        let f = gen::generate(&gen::Config { n_idat: 2, idat_len: 333, ..Default::default() });
+        let parsed = parse(&f.bytes).unwrap();
+        for (ty, (lo, hi)) in &parsed.chunks {
+            if ty == "IDAT" {
+                assert_eq!(hi - lo, 333);
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_image_without_middle_chunks() {
+        let f = gen::generate(&gen::Config {
+            n_idat: 0,
+            with_text: false,
+            ..Default::default()
+        });
+        let parsed = parse(&f.bytes).unwrap();
+        assert!(parsed.chunks.is_empty());
+    }
+
+    #[test]
+    fn corrupt_signature_rejected() {
+        let mut f = gen::generate(&gen::Config::default()).bytes;
+        f[1] = b'Q';
+        assert!(parse(&f).is_err());
+    }
+
+    #[test]
+    fn missing_iend_rejected() {
+        let f = gen::generate(&gen::Config::default());
+        assert!(parse(&f.bytes[..f.bytes.len() - 12]).is_err());
+    }
+
+    #[test]
+    fn grammar_passes_termination_checking() {
+        let report = ipg_core::termination::check_termination(grammar());
+        assert!(report.ok, "{report:?}");
+    }
+}

@@ -1,0 +1,242 @@
+//! ZIP: grammar access, typed extraction, and blackbox-driven extraction
+//! (the paper's zlib-as-blackbox pattern, §3.4/§7).
+
+use crate::{flatten_chain, need};
+use ipg_core::blackbox::{Blackbox, BlackboxResult};
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::Parser;
+use std::sync::OnceLock;
+
+/// The zero-copy ZIP specification (entry bodies stay raw byte spans).
+pub const SPEC: &str = include_str!("../specs/zip.ipg");
+
+/// The decompressing variant: bodies go through a DEFLATE blackbox.
+pub const SPEC_INFLATE: &str = include_str!("../specs/zip_inflate.ipg");
+
+/// The checked zero-copy grammar.
+pub fn grammar() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("zip.ipg is a valid IPG"))
+}
+
+/// The checked decompressing grammar, with `ipg-flate` registered as the
+/// `inflate` blackbox.
+pub fn grammar_inflate() -> &'static Grammar {
+    static G: OnceLock<Grammar> = OnceLock::new();
+    G.get_or_init(|| {
+        let bb = Blackbox::new("inflate", |input| {
+            let (data, consumed) = ipg_flate::inflate_with_limit(input, 1 << 30)
+                .map_err(|e| e.to_string())?;
+            Ok(BlackboxResult { consumed, data, attr_values: vec![] })
+        });
+        ipg_core::frontend::parse_grammar_with(SPEC_INFLATE, vec![bb])
+            .expect("zip_inflate.ipg is a valid IPG")
+    })
+}
+
+/// A parsed archive (zero-copy: bodies are spans into the input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZipArchive {
+    /// Entries in local-file-header order.
+    pub entries: Vec<ZipEntry>,
+    /// Central directory offset (from the end record).
+    pub cd_offset: u32,
+    /// Entry count (from the end record).
+    pub entry_count: u16,
+}
+
+/// One archive entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZipEntry {
+    /// Stored file name.
+    pub name: String,
+    /// Compression method (0 stored, 8 DEFLATE).
+    pub method: u16,
+    /// CRC-32 of the uncompressed data.
+    pub crc32: u32,
+    /// Compressed size.
+    pub compressed_size: u32,
+    /// Uncompressed size.
+    pub uncompressed_size: u32,
+    /// Absolute span of the (compressed) body in the input.
+    pub body: (usize, usize),
+}
+
+/// Parses an archive zero-copy.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the input is not a valid archive per the grammar.
+pub fn parse(input: &[u8]) -> Result<ZipArchive> {
+    let g = grammar();
+    let tree = Parser::new(g).parse(input)?;
+    let root = tree.as_node().expect("root is a node");
+    let eocd = root
+        .child_node("EOCD")
+        .ok_or_else(|| Error::Grammar("extractor: missing end record".into()))?;
+    let cd_offset = need(g, eocd, "cdofs")? as u32;
+    let entry_count = need(g, eocd, "n")? as u16;
+
+    let mut entries = Vec::new();
+    if let Some(lfhs) = root.child_node("LFHs") {
+        for lfh in flatten_chain(lfhs, "LFHs", "LFH") {
+            let name_node = lfh
+                .child_node("Name")
+                .ok_or_else(|| Error::Grammar("extractor: missing entry name".into()))?;
+            let name = String::from_utf8_lossy(&input[name_node.span().0..name_node.span().1])
+                .into_owned();
+            let body = lfh
+                .child_node("Body")
+                .ok_or_else(|| Error::Grammar("extractor: missing entry body".into()))?;
+            entries.push(ZipEntry {
+                name,
+                method: need(g, lfh, "method")? as u16,
+                crc32: need(g, lfh, "crc")? as u32,
+                compressed_size: need(g, lfh, "csize")? as u32,
+                uncompressed_size: need(g, lfh, "usize")? as u32,
+                body: body.span(),
+            });
+        }
+    }
+    Ok(ZipArchive { entries, cd_offset, entry_count })
+}
+
+/// Extracts all entries, decompressing DEFLATE bodies through the
+/// blackbox grammar — the `unzip` replacement of Fig. 12a/b.
+///
+/// # Errors
+///
+/// [`Error::Parse`] on malformed archives; [`Error::Blackbox`] when a
+/// body fails to decompress; [`Error::Grammar`] on CRC mismatch.
+pub fn extract(input: &[u8]) -> Result<Vec<(String, Vec<u8>)>> {
+    let g = grammar_inflate();
+    let tree = Parser::new(g).parse(input)?;
+    let root = tree.as_node().expect("root is a node");
+    let mut out = Vec::new();
+    if let Some(lfhs) = root.child_node("LFHs") {
+        for lfh in flatten_chain(lfhs, "LFHs", "LFH") {
+            let name_node = lfh
+                .child_node("Name")
+                .ok_or_else(|| Error::Grammar("extractor: missing entry name".into()))?;
+            let name = String::from_utf8_lossy(&input[name_node.span().0..name_node.span().1])
+                .into_owned();
+            let data: Vec<u8> = if let Some(bb) = lfh.child_blackbox("Deflated") {
+                bb.data.to_vec()
+            } else if let Some(stored) = lfh.child_node("Stored") {
+                let (lo, hi) = stored.span();
+                input[lo..hi].to_vec()
+            } else {
+                return Err(Error::Grammar("extractor: entry has no body".into()));
+            };
+            let expected = need(g, lfh, "crc")? as u32;
+            if ipg_flate::crc32(&data) != expected {
+                return Err(Error::Grammar(format!("crc mismatch for `{name}`")));
+            }
+            out.push((name, data));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_corpus::zip as gen;
+
+    #[test]
+    fn parses_deflated_archive() {
+        let a = gen::generate(&gen::Config::default());
+        let parsed = parse(&a.bytes).unwrap();
+        assert_eq!(parsed.entries.len(), a.entries.len());
+        assert_eq!(parsed.cd_offset, a.cd_offset);
+        for (p, e) in parsed.entries.iter().zip(&a.entries) {
+            assert_eq!(p.name, e.name);
+            assert_eq!(p.crc32, e.crc32);
+            assert_eq!(p.compressed_size, e.compressed_size);
+            assert_eq!(p.uncompressed_size, e.uncompressed_size);
+            assert_eq!(p.method, 8);
+        }
+    }
+
+    #[test]
+    fn body_spans_are_zero_copy_and_correct() {
+        let a = gen::generate(&gen::Config { n_entries: 3, ..Default::default() });
+        let parsed = parse(&a.bytes).unwrap();
+        for p in &parsed.entries {
+            let body = &a.bytes[p.body.0..p.body.1];
+            assert_eq!(ipg_flate::inflate(body).unwrap(), a.payload);
+        }
+    }
+
+    #[test]
+    fn extract_decompresses_and_checks_crc() {
+        let a = gen::generate(&gen::Config { n_entries: 2, ..Default::default() });
+        let files = extract(&a.bytes).unwrap();
+        assert_eq!(files.len(), 2);
+        for (name, data) in &files {
+            assert!(name.starts_with("file_"));
+            assert_eq!(data, &a.payload);
+        }
+    }
+
+    #[test]
+    fn extract_handles_stored_entries() {
+        let a = gen::generate(&gen::Config {
+            method: gen::Method::Stored,
+            n_entries: 2,
+            ..Default::default()
+        });
+        let files = extract(&a.bytes).unwrap();
+        assert_eq!(files[0].1, a.payload);
+    }
+
+    #[test]
+    fn corrupted_body_fails_crc() {
+        let mut a = gen::generate(&gen::Config {
+            method: gen::Method::Stored,
+            n_entries: 1,
+            payload_len: 64,
+            ..Default::default()
+        });
+        // Flip a byte inside the stored body.
+        let body_start = 30 + a.entries[0].name.len();
+        a.bytes[body_start + 5] ^= 0xff;
+        assert!(extract(&a.bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse(b"this is not a zip file at all.........").is_err());
+        assert!(parse(b"").is_err());
+    }
+
+    #[test]
+    fn unsupported_method_fails_via_invalid_default_interval() {
+        // The inflate grammar's switch default is `Unsupported[1, 0]` —
+        // the paper's always-invalid-interval idiom. Patch an entry's
+        // method to 99 (both LFH and CD copies) and extraction must fail
+        // while the zero-copy grammar (which doesn't dispatch) still
+        // parses.
+        let mut a = gen::generate(&gen::Config {
+            method: gen::Method::Stored,
+            n_entries: 1,
+            payload_len: 10,
+            ..Default::default()
+        });
+        // LFH method at offset 8; CD method at cd_offset + 10.
+        a.bytes[8] = 99;
+        let cd = a.cd_offset as usize;
+        a.bytes[cd + 10] = 99;
+        assert!(parse(&a.bytes).is_ok(), "structure is still valid");
+        assert!(extract(&a.bytes).is_err(), "method 99 must not extract");
+    }
+
+    #[test]
+    fn crc_is_validated_for_deflated_entries_too() {
+        let mut a = gen::generate(&gen::Config { n_entries: 1, ..Default::default() });
+        // Corrupt the stored CRC in the local header (offset 14).
+        a.bytes[14] ^= 0xff;
+        assert!(extract(&a.bytes).is_err());
+    }
+}

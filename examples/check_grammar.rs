@@ -1,0 +1,66 @@
+//! Grammar toolchain driver: parse a `.ipg` file, run attribute checking
+//! and the §5 termination checker, and optionally emit a standalone Rust
+//! parser (the §7 parser generator).
+//!
+//! ```sh
+//! cargo run --example check_grammar -- crates/ipg-formats/specs/gif.ipg
+//! cargo run --example check_grammar -- crates/ipg-formats/specs/gif.ipg --emit-rust out.rs
+//! ```
+
+use ipg_core::frontend::{interval_stats, parse_grammar, parse_surface};
+use ipg_core::termination::check_termination;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: check_grammar <spec.ipg> [--emit-rust <out.rs>]");
+        std::process::exit(2);
+    };
+    let src = std::fs::read_to_string(&path)?;
+
+    let surface = parse_surface(&src)?;
+    let stats = interval_stats(&surface);
+    println!(
+        "{path}: {} rules, {} intervals ({} fully inferred, {} length-only, {} explicit)",
+        surface.rules.len(),
+        stats.total,
+        stats.fully_inferred,
+        stats.length_only,
+        stats.explicit()
+    );
+
+    let grammar = parse_grammar(&src)?;
+    println!("attribute checking: ok (start nonterminal `{}`)", grammar.start_nt_name());
+
+    let report = check_termination(&grammar);
+    println!(
+        "termination: {} — {} elementary cycle(s) in {:.2?}",
+        if report.ok { "proved" } else { "NOT proved" },
+        report.cycle_count(),
+        report.elapsed
+    );
+    for cycle in &report.cycles {
+        println!(
+            "  cycle {}: {}",
+            cycle.nonterminals.join(" → "),
+            if cycle.decreasing { "decreasing" } else { "not refuted" }
+        );
+    }
+
+    let stream = ipg_core::analysis::stream_analysis(&grammar);
+    println!(
+        "streamability: {}",
+        if stream.streamable { "single-pass parser possible" } else { "needs random access" }
+    );
+    for rule in stream.rules.iter().filter(|r| !r.streamable).take(5) {
+        println!("  {} blocked: {}", rule.name, rule.blockers.join("; "));
+    }
+
+    if args.next().as_deref() == Some("--emit-rust") {
+        let out = args.next().unwrap_or_else(|| "generated_parser.rs".to_owned());
+        let code = ipg_core::codegen::generate_rust(&grammar)?;
+        std::fs::write(&out, &code)?;
+        println!("wrote generated recursive-descent parser to {out} ({} lines)", code.lines().count());
+    }
+    Ok(())
+}

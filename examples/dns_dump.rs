@@ -1,0 +1,41 @@
+//! DNS message dumper built on the IPG DNS grammar — shows the counted
+//! sections (recursive local rules) and compression-pointer handling.
+//!
+//! ```sh
+//! cargo run --example dns_dump                # dumps a synthetic response
+//! cargo run --example dns_dump -- packet.bin  # dumps a raw DNS message
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = match std::env::args().nth(1) {
+        Some(path) => std::fs::read(path)?,
+        None => {
+            println!("(no packet given — using a generated sample)\n");
+            ipg_corpus::dns::generate(&ipg_corpus::dns::Config {
+                n_questions: 1,
+                n_answers: 3,
+                compress: true,
+                seed: 11,
+            })
+            .bytes
+        }
+    };
+
+    let msg = ipg_formats::dns::parse(&bytes)?;
+    println!("id {:#06x}, flags {:#06x}", msg.id, msg.flags);
+    println!("questions:");
+    for q in &msg.questions {
+        println!("  {} (type {}, class {})", q.name, q.qtype, q.qclass);
+    }
+    println!("answers:");
+    for a in &msg.answers {
+        let rdata = &bytes[a.rdata.0..a.rdata.1];
+        let value = if a.rtype == 1 && rdata.len() == 4 {
+            format!("{}.{}.{}.{}", rdata[0], rdata[1], rdata[2], rdata[3])
+        } else {
+            format!("{rdata:02x?}")
+        };
+        println!("  {} → {} (ttl {})", a.name, value, a.ttl);
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! `readelf`-style inspector built on the IPG ELF grammar (§4.1).
+//!
+//! ```sh
+//! cargo run --example elf_inspect            # inspects a synthetic file
+//! cargo run --example elf_inspect -- a.elf   # inspects a real ELF64-LE file
+//! ```
+
+use ipg_formats::elf::{parse, SectionKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = match std::env::args().nth(1) {
+        Some(path) => std::fs::read(path)?,
+        None => {
+            let file = ipg_corpus::elf::generate(&ipg_corpus::elf::Config {
+                n_sections: 3,
+                n_symbols: 6,
+                ..Default::default()
+            });
+            println!("(no file given — inspecting a generated sample)\n");
+            file.bytes
+        }
+    };
+
+    let elf = parse(&bytes)?;
+    println!("Section header table at {:#x}, {} entries", elf.shoff, elf.shnum);
+    println!("{:<4} {:<20} {:>6} {:>10} {:>8}", "idx", "name", "type", "offset", "size");
+    for (i, s) in elf.sections.iter().enumerate() {
+        println!(
+            "{:<4} {:<20} {:>6} {:>10} {:>8}",
+            i,
+            s.name.as_deref().unwrap_or("<none>"),
+            s.sh_type,
+            s.offset,
+            s.size
+        );
+    }
+    for s in &elf.sections {
+        match &s.kind {
+            SectionKind::Symbols(symbols) => {
+                println!("\nSymbol table `{}`:", s.name.as_deref().unwrap_or("?"));
+                for sym in symbols {
+                    println!(
+                        "  {:#010x} {:>5} {}",
+                        sym.value,
+                        sym.size,
+                        sym.name.as_deref().unwrap_or("<noname>")
+                    );
+                }
+            }
+            SectionKind::Dynamic(entries) => {
+                println!("\nDynamic section `{}`:", s.name.as_deref().unwrap_or("?"));
+                for (tag, value) in entries {
+                    println!("  tag {tag:#06x} value {value:#x}");
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}

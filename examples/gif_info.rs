@@ -1,0 +1,50 @@
+//! GIF metadata dumper built on the IPG GIF grammar (§4.2).
+//!
+//! ```sh
+//! cargo run --example gif_info                 # inspects a synthetic image
+//! cargo run --example gif_info -- picture.gif  # inspects a real image
+//! ```
+
+use ipg_formats::gif::{parse, GifBlock};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = match std::env::args().nth(1) {
+        Some(path) => std::fs::read(path)?,
+        None => {
+            println!("(no image given — using a generated sample)\n");
+            ipg_corpus::gif::generate(&ipg_corpus::gif::Config {
+                n_frames: 2,
+                width: 64,
+                height: 48,
+                ..Default::default()
+            })
+            .bytes
+        }
+    };
+
+    let gif = parse(&bytes)?;
+    println!("logical screen: {}x{}", gif.width, gif.height);
+    println!(
+        "global color table: {}",
+        if gif.has_gct { format!("{} bytes", gif.gct_len) } else { "none".into() }
+    );
+    println!("{} top-level blocks, {} frames:", gif.blocks.len(), gif.n_frames());
+    for (i, block) in gif.blocks.iter().enumerate() {
+        match block {
+            GifBlock::Extension { label, data_len } => {
+                let kind = match label {
+                    0xf9 => "graphic control",
+                    0xfe => "comment",
+                    0x01 => "plain text",
+                    0xff => "application",
+                    _ => "unknown",
+                };
+                println!("  [{i}] extension {kind} (label {label:#04x}, {data_len} data bytes)");
+            }
+            GifBlock::Image { width, height, data_len } => {
+                println!("  [{i}] image {width}x{height}, {data_len} bytes of LZW data");
+            }
+        }
+    }
+    Ok(())
+}

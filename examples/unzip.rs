@@ -1,0 +1,62 @@
+//! `unzip` built on the IPG ZIP grammar with the DEFLATE blackbox (the
+//! §3.4/§7 zlib-as-blackbox pattern, zlib replaced by `ipg-flate`).
+//!
+//! ```sh
+//! cargo run --example unzip                     # lists a synthetic archive
+//! cargo run --example unzip -- archive.zip      # lists a real archive
+//! cargo run --example unzip -- archive.zip out/ # extracts it
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bytes = match args.next() {
+        Some(path) => std::fs::read(path)?,
+        None => {
+            println!("(no archive given — using a generated sample)\n");
+            ipg_corpus::zip::generate(&ipg_corpus::zip::Config {
+                n_entries: 3,
+                payload_len: 600,
+                ..Default::default()
+            })
+            .bytes
+        }
+    };
+    let out_dir = args.next();
+
+    // Structure first (zero-copy), like `unzip -l`.
+    let archive = ipg_formats::zip::parse(&bytes)?;
+    println!("{:>10} {:>10} {:>10}  name", "method", "packed", "size");
+    for e in &archive.entries {
+        println!(
+            "{:>10} {:>10} {:>10}  {}",
+            if e.method == 8 { "deflate" } else { "stored" },
+            e.compressed_size,
+            e.uncompressed_size,
+            e.name
+        );
+    }
+
+    // Then contents, through the blackbox grammar (CRC-checked).
+    let files = ipg_formats::zip::extract(&bytes)?;
+    match out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(&dir)?;
+            for (name, data) in &files {
+                let path = std::path::Path::new(&dir).join(name);
+                std::fs::write(&path, data)?;
+                println!("extracted {} ({} bytes)", path.display(), data.len());
+            }
+        }
+        None => {
+            for (name, data) in &files {
+                println!(
+                    "{}: {} bytes, starts {:?}",
+                    name,
+                    data.len(),
+                    String::from_utf8_lossy(&data[..data.len().min(24)])
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the IPG reproduction workspace.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library code lives
+//! in the workspace crates:
+//!
+//! * [`ipg_core`] — the IPG language: syntax, checking, interpretation,
+//!   code generation, termination checking, and interval combinators.
+//! * [`ipg_formats`] — IPG specifications and typed extractors for ZIP, GIF,
+//!   ELF, PE, PDF (subset), IPv4+UDP and DNS.
+//! * [`ipg_flate`] — a from-scratch DEFLATE codec used as the blackbox
+//!   decompressor for ZIP.
+//! * [`ipg_baselines`] — hand-written, Kaitai-style and Nail-style baseline
+//!   parsers plus the counting allocator used for memory experiments.
+//! * [`ipg_corpus`] — deterministic synthetic file/packet generators.
+
+pub use ipg_baselines;
+pub use ipg_core;
+pub use ipg_corpus;
+pub use ipg_flate;
+pub use ipg_formats;

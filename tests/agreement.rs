@@ -1,0 +1,204 @@
+//! Cross-implementation agreement tests — the paper's own validation
+//! method (§7): "the output parse tree was compared with Kaitai Struct's",
+//! "the output of the modified readelf … was compared with the output of
+//! the original readelf".
+//!
+//! For every format we sweep workload sizes and require the IPG parser,
+//! the hand-written baseline, the Kaitai-style baseline, and the
+//! Nail-style baseline (where each applies) to extract identical facts.
+
+use ipg_baselines::{handwritten, kaitai_style, nail_style};
+use ipg_corpus::{dns, elf, gif, ipv4udp, pe, zip};
+
+#[test]
+fn zip_three_way_agreement() {
+    for n in [1usize, 3, 17] {
+        for method in [zip::Method::Stored, zip::Method::Deflate] {
+            let a = zip::generate(&zip::Config {
+                n_entries: n,
+                payload_len: 1500,
+                method,
+                seed: n as u64,
+            });
+            let ipg = ipg_formats::zip::parse(&a.bytes).expect("ipg parses");
+            let hand = handwritten::parse_zip(&a.bytes).expect("handwritten parses");
+            let kaitai = kaitai_style::parse_zip(&a.bytes).expect("kaitai parses");
+            assert_eq!(ipg.entries.len(), n);
+            assert_eq!(hand.entries.len(), n);
+            assert_eq!(kaitai.entries.len(), n);
+            for i in 0..n {
+                let e = &ipg.entries[i];
+                let (hname, hmethod, hcrc, hbody) = &hand.entries[i];
+                let k = &kaitai.entries[i];
+                assert_eq!(&e.name, hname);
+                assert_eq!(&e.name, &k.name);
+                assert_eq!(e.method, *hmethod);
+                assert_eq!(e.crc32, *hcrc);
+                assert_eq!(e.crc32, k.crc);
+                // IPG body span == handwritten borrowed body == kaitai copy.
+                assert_eq!(&a.bytes[e.body.0..e.body.1], *hbody);
+                assert_eq!(&a.bytes[e.body.0..e.body.1], k.body.as_slice());
+            }
+        }
+    }
+}
+
+#[test]
+fn unzip_extraction_agreement() {
+    for n in [1usize, 5] {
+        let a = zip::generate(&zip::Config { n_entries: n, payload_len: 3000, ..Default::default() });
+        let ipg = ipg_formats::zip::extract(&a.bytes).expect("ipg extracts");
+        let hand = handwritten::unzip(&a.bytes).expect("handwritten extracts");
+        assert_eq!(ipg.len(), hand.len());
+        for ((iname, idata), hfile) in ipg.iter().zip(&hand) {
+            assert_eq!(iname, &hfile.name);
+            assert_eq!(idata, &hfile.data);
+            assert_eq!(idata, &a.payload);
+        }
+    }
+}
+
+#[test]
+fn elf_three_way_agreement() {
+    for (secs, syms) in [(1usize, 0usize), (4, 8), (16, 64)] {
+        let f = elf::generate(&elf::Config {
+            n_sections: secs,
+            n_symbols: syms,
+            n_dyn: 4,
+            section_size: 128,
+            seed: (secs + syms) as u64,
+        });
+        let ipg = ipg_formats::elf::parse(&f.bytes).expect("ipg parses");
+        let hand = handwritten::parse_elf(&f.bytes).expect("handwritten parses");
+        let kaitai = kaitai_style::parse_elf(&f.bytes).expect("kaitai parses");
+
+        assert_eq!(ipg.shnum as usize, hand.sections.len());
+        assert_eq!(ipg.shnum, kaitai.shnum as u64);
+        for (is, hs) in ipg.sections.iter().zip(&hand.sections) {
+            assert_eq!(is.sh_type, hs.sh_type);
+            assert_eq!(is.offset, hs.offset);
+            assert_eq!(is.size, hs.size);
+        }
+        // Symbol names across all three.
+        let ipg_names: Vec<String> = ipg
+            .sections
+            .iter()
+            .filter_map(|s| match &s.kind {
+                ipg_formats::elf::SectionKind::Symbols(v) => Some(v),
+                _ => None,
+            })
+            .flatten()
+            .map(|s| s.name.clone().unwrap_or_default())
+            .collect();
+        let hand_names: Vec<String> =
+            hand.symbols.iter().map(|&(n, _, _)| n.to_owned()).collect();
+        assert_eq!(ipg_names, hand_names);
+        assert_eq!(ipg_names, kaitai.symbol_names);
+    }
+}
+
+#[test]
+fn gif_agreement_with_kaitai_style() {
+    for frames in [0usize, 1, 7] {
+        let img = gif::generate(&gif::Config { n_frames: frames, seed: frames as u64 + 1, ..Default::default() });
+        let ipg = ipg_formats::gif::parse(&img.bytes).expect("ipg parses");
+        let kaitai = kaitai_style::parse_gif(&img.bytes).expect("kaitai parses");
+        assert_eq!(ipg.width, kaitai.width);
+        assert_eq!(ipg.height, kaitai.height);
+        assert_eq!(ipg.gct_len, kaitai.gct.len());
+        assert_eq!(ipg.blocks.len(), kaitai.blocks.len());
+        for (ib, (intro, len)) in ipg.blocks.iter().zip(&kaitai.blocks) {
+            match ib {
+                ipg_formats::gif::GifBlock::Extension { data_len, .. } => {
+                    assert_eq!(*intro, 0x21);
+                    assert_eq!(data_len, len);
+                }
+                ipg_formats::gif::GifBlock::Image { data_len, .. } => {
+                    assert_eq!(*intro, 0x2c);
+                    assert_eq!(data_len, len);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pe_agreement_with_kaitai_style() {
+    for secs in [1usize, 5, 12] {
+        let f = pe::generate(&pe::Config { n_sections: secs, seed: secs as u64, ..Default::default() });
+        let ipg = ipg_formats::pe::parse(&f.bytes).expect("ipg parses");
+        let kaitai = kaitai_style::parse_pe(&f.bytes).expect("kaitai parses");
+        assert_eq!(ipg.sections.len(), kaitai.sections.len());
+        for ((_, iptr, isize), (kptr, kbody)) in ipg.sections.iter().zip(&kaitai.sections) {
+            assert_eq!(iptr, kptr);
+            assert_eq!(*isize as usize, kbody.len());
+        }
+    }
+}
+
+#[test]
+fn dns_agreement_with_nail_style() {
+    for (q, a, compress) in [(1usize, 0usize, true), (1, 4, true), (2, 6, false), (3, 3, true)] {
+        let m = dns::generate(&dns::Config {
+            n_questions: q,
+            n_answers: a,
+            compress,
+            seed: (q * 10 + a) as u64,
+        });
+        let ipg = ipg_formats::dns::parse(&m.bytes).expect("ipg parses");
+        let nail = nail_style::parse_dns(&m.bytes).expect("nail parses");
+        assert_eq!(ipg.id, nail.id);
+        assert_eq!(ipg.questions.len(), nail.questions.len());
+        assert_eq!(ipg.answers.len(), nail.answers.len());
+        for i in 0..ipg.questions.len() {
+            assert_eq!(ipg.questions[i].name, nail.question_name(i));
+        }
+        for i in 0..ipg.answers.len() {
+            assert_eq!(ipg.answers[i].name, nail.answer_name(i));
+            assert_eq!(
+                &m.bytes[ipg.answers[i].rdata.0..ipg.answers[i].rdata.1],
+                nail.arena.get(nail.answers[i].3)
+            );
+        }
+    }
+}
+
+#[test]
+fn ipv4udp_agreement_with_nail_style() {
+    for (payload, options) in [(0usize, 0usize), (64, 0), (512, 3), (4096, 10)] {
+        let p = ipv4udp::generate(&ipv4udp::Config {
+            payload_len: payload,
+            options_words: options,
+            seed: payload as u64 + 1,
+        });
+        let ipg = ipg_formats::ipv4udp::parse(&p.bytes).expect("ipg parses");
+        let nail = nail_style::parse_ipv4_udp(&p.bytes).expect("nail parses");
+        assert_eq!(ipg.ihl, nail.ihl);
+        assert_eq!(ipg.src, nail.src);
+        assert_eq!(ipg.dst, nail.dst);
+        assert_eq!(ipg.sport, nail.sport);
+        assert_eq!(ipg.dport, nail.dport);
+        assert_eq!(
+            &p.bytes[ipg.payload.0..ipg.payload.1],
+            nail.arena.get(nail.payload)
+        );
+    }
+}
+
+#[test]
+fn rejections_agree_on_corrupted_inputs() {
+    // All implementations must reject the same corruptions (no silent
+    // divergence — the motivating security property of the paper's intro).
+    let mut z = zip::generate(&zip::Config::default()).bytes;
+    z[0] = b'Q'; // first local header magic
+    assert!(ipg_formats::zip::parse(&z).is_err());
+    assert!(handwritten::parse_zip(&z).is_err());
+    assert!(kaitai_style::parse_zip(&z).is_err());
+
+    let mut e = elf::generate(&elf::Config::default()).bytes;
+    e[0x28] = 0xff; // shoff low byte → table out of bounds
+    e[0x2f] = 0xff; // shoff high byte
+    assert!(ipg_formats::elf::parse(&e).is_err());
+    assert!(handwritten::parse_elf(&e).is_err());
+    assert!(kaitai_style::parse_elf(&e).is_err());
+}

@@ -1,0 +1,167 @@
+//! Cross-crate property tests: for randomized generator configurations,
+//! every IPG parser accepts its corpus and agrees with the baselines; and
+//! no parser panics on mutated (corrupted) inputs — they must *fail*, not
+//! crash (the paper's security motivation).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zip_parses_for_any_config(
+        n_entries in 1usize..12,
+        payload_len in 1usize..3000,
+        deflate in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = ipg_corpus::zip::Config {
+            n_entries,
+            payload_len,
+            method: if deflate { ipg_corpus::zip::Method::Deflate } else { ipg_corpus::zip::Method::Stored },
+            seed,
+        };
+        let a = ipg_corpus::zip::generate(&cfg);
+        let parsed = ipg_formats::zip::parse(&a.bytes).expect("generated archives parse");
+        prop_assert_eq!(parsed.entries.len(), n_entries);
+        let files = ipg_formats::zip::extract(&a.bytes).expect("generated archives extract");
+        for (_, data) in files {
+            prop_assert_eq!(&data, &a.payload);
+        }
+    }
+
+    #[test]
+    fn elf_parses_for_any_config(
+        n_sections in 0usize..10,
+        n_symbols in 0usize..40,
+        n_dyn in 0usize..10,
+        section_size in 1usize..600,
+        seed in 0u64..1000,
+    ) {
+        let f = ipg_corpus::elf::generate(&ipg_corpus::elf::Config {
+            n_sections, n_symbols, n_dyn, section_size, seed,
+        });
+        let parsed = ipg_formats::elf::parse(&f.bytes).expect("generated files parse");
+        prop_assert_eq!(parsed.shnum, f.summary.shnum as u64);
+        let hand = ipg_baselines::handwritten::parse_elf(&f.bytes).expect("baseline parses");
+        prop_assert_eq!(parsed.sections.len(), hand.sections.len());
+    }
+
+    #[test]
+    fn gif_parses_for_any_config(
+        n_frames in 0usize..8,
+        gct in proptest::option::of(0u8..8),
+        data_per_frame in 1usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let img = ipg_corpus::gif::generate(&ipg_corpus::gif::Config {
+            n_frames,
+            gct_bits: gct,
+            data_per_frame,
+            width: 100,
+            height: 80,
+            seed,
+        });
+        let parsed = ipg_formats::gif::parse(&img.bytes).expect("generated images parse");
+        prop_assert_eq!(parsed.n_frames(), n_frames);
+    }
+
+    #[test]
+    fn dns_parses_for_any_config(
+        q in 1usize..4,
+        a in 0usize..10,
+        compress in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let m = ipg_corpus::dns::generate(&ipg_corpus::dns::Config {
+            n_questions: q, n_answers: a, compress, seed,
+        });
+        let parsed = ipg_formats::dns::parse(&m.bytes).expect("generated messages parse");
+        prop_assert_eq!(parsed.questions.len(), q);
+        prop_assert_eq!(parsed.answers.len(), a);
+    }
+
+    #[test]
+    fn pdf_parses_for_any_config(
+        n_objects in 1usize..12,
+        stream_len in 0usize..1500,
+        seed in 0u64..1000,
+    ) {
+        let f = ipg_corpus::pdf::generate(&ipg_corpus::pdf::Config { n_objects, stream_len, seed });
+        let parsed = ipg_formats::pdf::parse(&f.bytes).expect("generated documents parse");
+        prop_assert_eq!(parsed.objects.len(), n_objects);
+        prop_assert_eq!(parsed.xref_offset, f.summary.xref_offset);
+    }
+
+    #[test]
+    fn mutated_zip_never_panics(
+        idx_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+        seed in 0u64..50,
+    ) {
+        let mut a = ipg_corpus::zip::generate(&ipg_corpus::zip::Config {
+            n_entries: 2, payload_len: 400, seed, ..Default::default()
+        }).bytes;
+        let idx = ((a.len() - 1) as f64 * idx_frac) as usize;
+        a[idx] = byte;
+        // Any of Ok/Err is fine; panicking or hanging is not. A fuel bound
+        // guards against pathological loops.
+        let g = ipg_formats::zip::grammar();
+        let _ = ipg_core::interp::Parser::new(g).max_steps(2_000_000).parse(&a);
+        let _ = ipg_baselines::handwritten::parse_zip(&a);
+        let _ = ipg_baselines::kaitai_style::parse_zip(&a);
+    }
+
+    #[test]
+    fn mutated_dns_never_panics(
+        idx_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+        seed in 0u64..50,
+    ) {
+        let mut m = ipg_corpus::dns::generate(&ipg_corpus::dns::Config {
+            n_questions: 1, n_answers: 3, compress: true, seed,
+        }).bytes;
+        let idx = ((m.len() - 1) as f64 * idx_frac) as usize;
+        m[idx] = byte;
+        let g = ipg_formats::dns::grammar();
+        let _ = ipg_core::interp::Parser::new(g).max_steps(2_000_000).parse(&m);
+        let _ = ipg_baselines::nail_style::parse_dns(&m);
+    }
+
+    #[test]
+    fn mutated_elf_never_panics(
+        idx_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+        seed in 0u64..50,
+    ) {
+        let mut f = ipg_corpus::elf::generate(&ipg_corpus::elf::Config {
+            n_sections: 2, n_symbols: 4, section_size: 64, n_dyn: 2, seed,
+        }).bytes;
+        let idx = ((f.len() - 1) as f64 * idx_frac) as usize;
+        f[idx] = byte;
+        let g = ipg_formats::elf::grammar();
+        let _ = ipg_core::interp::Parser::new(g).max_steps(2_000_000).parse(&f);
+        let _ = ipg_baselines::handwritten::parse_elf(&f);
+        let _ = ipg_baselines::kaitai_style::parse_elf(&f);
+    }
+
+    #[test]
+    fn deflate_roundtrips_arbitrary_data(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let packed = ipg_flate::compress(&data);
+        prop_assert_eq!(ipg_flate::inflate(&packed).expect("own output inflates"), data.clone());
+        let stored = ipg_flate::compress_stored(&data);
+        prop_assert_eq!(ipg_flate::inflate(&stored).expect("stored inflates"), data);
+    }
+
+    #[test]
+    fn mutated_deflate_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        idx_frac in 0.0f64..1.0,
+        byte in any::<u8>(),
+    ) {
+        let mut packed = ipg_flate::compress(&data);
+        let idx = ((packed.len() - 1) as f64 * idx_frac) as usize;
+        packed[idx] = byte;
+        let _ = ipg_flate::inflate_with_limit(&packed, 1 << 22);
+    }
+}

@@ -1,0 +1,82 @@
+//! Round-trip the real format specifications through the pretty-printer:
+//! `parse_surface(spec).to_string()` must itself check, pass termination
+//! checking, and parse the corpus to the *same trees* as the original —
+//! i.e. the printer loses nothing that matters on production grammars
+//! (the random-grammar property test covers the notation; this covers the
+//! real thing).
+
+use ipg_core::frontend::{parse_grammar, parse_surface};
+use ipg_core::interp::Parser;
+
+fn roundtrip_and_compare(name: &str, spec: &str, sample: &[u8]) {
+    let original = parse_grammar(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let printed = parse_surface(spec)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .to_string();
+    let reparsed =
+        parse_grammar(&printed).unwrap_or_else(|e| panic!("{name} (printed): {e}\n{printed}"));
+
+    let report = ipg_core::termination::check_termination(&reparsed);
+    assert!(report.ok, "{name}: printed grammar fails termination: {report:?}");
+
+    let t1 = Parser::new(&original).parse(sample);
+    let t2 = Parser::new(&reparsed).parse(sample);
+    match (t1, t2) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{name}: trees differ after roundtrip"),
+        (Err(_), Err(_)) => {}
+        (a, b) => panic!("{name}: outcome changed after roundtrip: {a:?} vs {b:?}"),
+    }
+
+    // And on garbage, both must reject identically.
+    let garbage = b"\x00\x01garbage that is no format at all\xff\xfe";
+    assert_eq!(
+        Parser::new(&original).parse(garbage).is_ok(),
+        Parser::new(&reparsed).parse(garbage).is_ok(),
+        "{name}: rejection behaviour changed"
+    );
+}
+
+#[test]
+fn all_specs_roundtrip_through_the_pretty_printer() {
+    let elf = ipg_corpus::elf::generate(&ipg_corpus::elf::Config::default()).bytes;
+    let zip = ipg_corpus::zip::generate(&ipg_corpus::zip::Config::default()).bytes;
+    let gif = ipg_corpus::gif::generate(&ipg_corpus::gif::Config::default()).bytes;
+    let pe = ipg_corpus::pe::generate(&ipg_corpus::pe::Config::default()).bytes;
+    let pdf = ipg_corpus::pdf::generate(&ipg_corpus::pdf::Config::default()).bytes;
+    let dns = ipg_corpus::dns::generate(&ipg_corpus::dns::Config::default()).bytes;
+    let udp = ipg_corpus::ipv4udp::generate(&ipg_corpus::ipv4udp::Config::default()).bytes;
+    let png = ipg_corpus::png::generate(&ipg_corpus::png::Config::default()).bytes;
+
+    roundtrip_and_compare("ELF", ipg_formats::elf::SPEC, &elf);
+    roundtrip_and_compare("ZIP", ipg_formats::zip::SPEC, &zip);
+    roundtrip_and_compare("GIF", ipg_formats::gif::SPEC, &gif);
+    roundtrip_and_compare("PE", ipg_formats::pe::SPEC, &pe);
+    roundtrip_and_compare("PDF", ipg_formats::pdf::SPEC, &pdf);
+    roundtrip_and_compare("DNS", ipg_formats::dns::SPEC, &dns);
+    roundtrip_and_compare("IPv4+UDP", ipg_formats::ipv4udp::SPEC, &udp);
+    roundtrip_and_compare("PNG", ipg_formats::png::SPEC, &png);
+}
+
+#[test]
+fn star_self_application_is_flagged_by_termination_checking() {
+    // `S -> star S` would recurse on the same interval; the checker must
+    // catch it (the star's runtime progress requirement is per-repetition,
+    // not per-recursive-call).
+    let g = parse_grammar("S -> star S;").unwrap();
+    let report = ipg_core::termination::check_termination(&g);
+    assert!(!report.ok, "star self-loop on [0, EOI] must be flagged");
+}
+
+#[test]
+fn printed_specs_preserve_interval_statistics_totals() {
+    // Pretty-printing makes every interval explicit, so the *counts* move
+    // to the explicit column but the totals must be stable.
+    for (name, spec) in ipg_formats::all_specs() {
+        let g1 = parse_surface(spec).unwrap();
+        let s1 = ipg_core::frontend::interval_stats(&g1);
+        let g2 = parse_surface(&g1.to_string()).unwrap();
+        let s2 = ipg_core::frontend::interval_stats(&g2);
+        assert_eq!(s1.total, s2.total, "{name}: interval count changed in print");
+        assert_eq!(s2.fully_inferred, 0, "{name}: printed specs are fully explicit");
+    }
+}

@@ -1,0 +1,71 @@
+//! The §8 streamability analysis applied to the real format grammars:
+//! file formats built around random access must be flagged, and the
+//! blockers must name the right causes.
+
+use ipg_core::analysis::stream_analysis;
+
+#[test]
+fn directory_based_formats_are_not_streamable() {
+    // ZIP starts at the *end* of the file; ELF and PE jump through offset
+    // tables — all need random access.
+    for grammar in [
+        ipg_formats::zip::grammar(),
+        ipg_formats::elf::grammar(),
+        ipg_formats::pe::grammar(),
+        ipg_formats::pdf::grammar(),
+    ] {
+        let report = stream_analysis(grammar);
+        assert!(!report.streamable, "directory-based format wrongly deemed streamable");
+    }
+}
+
+#[test]
+fn zip_blockers_mention_the_eocd_random_access() {
+    let report = stream_analysis(ipg_formats::zip::grammar());
+    let zip_rule = report.rules.iter().find(|r| r.name == "ZIP").expect("ZIP analyzed");
+    assert!(!zip_rule.streamable);
+    // EOCD[EOI - 22, EOI] needs the input length.
+    assert!(
+        zip_rule.blockers.iter().any(|b| b.contains("EOI")),
+        "blockers: {:?}",
+        zip_rule.blockers
+    );
+}
+
+#[test]
+fn chunk_based_grammars_block_only_on_length_bounded_leaves() {
+    // GIF's *structure* is sequential; what blocks pure streaming is that
+    // leaf rules like `GCT := bytes` take a length-bounded buffer, plus
+    // the switch over the color-table flag.
+    let report = stream_analysis(ipg_formats::gif::grammar());
+    let gif_rule = report.rules.iter().find(|r| r.name == "GIF").expect("GIF analyzed");
+    assert!(gif_rule.streamable, "top-level GIF is sequential: {:?}", gif_rule.blockers);
+
+    let blocks = report.rules.iter().find(|r| r.name == "Blocks").expect("Blocks analyzed");
+    assert!(blocks.streamable, "chunk list is sequential: {:?}", blocks.blockers);
+}
+
+#[test]
+fn packet_headers_are_sequential_except_length_checks() {
+    // IPv4+UDP reads fields in order, but validates `tot <= EOI` — a check
+    // that needs the datagram length (which a UDP stack does know, but a
+    // pure byte stream does not).
+    let report = stream_analysis(ipg_formats::ipv4udp::grammar());
+    let pkt = report.rules.iter().find(|r| r.name == "Pkt").expect("Pkt analyzed");
+    assert!(!pkt.streamable);
+    assert!(pkt.blockers.iter().any(|b| b.contains("EOI")), "{:?}", pkt.blockers);
+}
+
+#[test]
+fn dns_structure_is_left_to_right() {
+    // DNS reads strictly left to right (counted sections, names, rdata);
+    // only the `bytes` leaves need their length — which *is* available
+    // from rdlen, so the structural rules must all pass.
+    let report = stream_analysis(ipg_formats::dns::grammar());
+    for name in ["DNS", "Hdr", "Q", "A", "Name", "Label", "Qs", "As"] {
+        let rule = report.rules.iter().find(|r| r.name == name).unwrap_or_else(|| {
+            panic!("rule {name} missing from report")
+        });
+        assert!(rule.streamable, "{name} blocked: {:?}", rule.blockers);
+    }
+}
