@@ -36,9 +36,7 @@ fn parsing_only(c: &mut Criterion) {
             b.iter(|| ipg_formats::zip::parse(black_box(a)).expect("valid archive"));
         });
         group.bench_with_input(BenchmarkId::new("handwritten", n), &archive, |b, a| {
-            b.iter(|| {
-                ipg_baselines::handwritten::parse_zip(black_box(a)).expect("valid archive")
-            });
+            b.iter(|| ipg_baselines::handwritten::parse_zip(black_box(a)).expect("valid archive"));
         });
     }
     group.finish();

@@ -21,10 +21,8 @@ fn main() {
         ("gen_png", ipg_formats::png::SPEC),
     ];
     for (name, spec) in targets {
-        let grammar =
-            ipg_core::frontend::parse_grammar(spec).expect("embedded specs are valid");
-        let code = ipg_core::codegen::generate_rust(&grammar)
-            .expect("spec is codegen-compatible");
+        let grammar = ipg_core::frontend::parse_grammar(spec).expect("embedded specs are valid");
+        let code = ipg_core::codegen::generate_rust(&grammar).expect("spec is codegen-compatible");
         std::fs::write(Path::new(&out_dir).join(format!("{name}.rs")), code)
             .expect("write generated parser");
     }

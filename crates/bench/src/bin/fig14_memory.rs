@@ -42,8 +42,7 @@ fn main() {
         println!("payload = {n} ({} bytes)", pkt.len());
         let (_, ipg) = measure(|| ipg_formats::ipv4udp::parse(&pkt).expect("valid packet"));
         report("IPG (interpreter)", &ipg);
-        let (_, gen) =
-            measure(|| bench::generated::ipv4udp::parse(&pkt).expect("valid packet"));
+        let (_, gen) = measure(|| bench::generated::ipv4udp::parse(&pkt).expect("valid packet"));
         report("IPG (generated)", &gen);
         let (_, nail) =
             measure(|| ipg_baselines::nail_style::parse_ipv4_udp(&pkt).expect("valid packet"));

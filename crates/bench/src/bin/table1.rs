@@ -7,10 +7,7 @@
 //! *relative compactness*: IPG specs are severalfold smaller than Kaitai's.
 
 fn spec_loc(spec: &str) -> usize {
-    spec.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//"))
-        .count()
+    spec.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count()
 }
 
 fn main() {

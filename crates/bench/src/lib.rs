@@ -143,10 +143,8 @@ mod tests {
 
     #[test]
     fn generated_star_term_parses_png_chunk_lists() {
-        let f = ipg_corpus::png::generate(&ipg_corpus::png::Config {
-            n_idat: 5,
-            ..Default::default()
-        });
+        let f =
+            ipg_corpus::png::generate(&ipg_corpus::png::Config { n_idat: 5, ..Default::default() });
         let node = generated::png::parse(&f.bytes).expect("valid PNG");
         let chunks = node.child_array("Chunk").expect("chunk array");
         // tEXt + 5 IDAT (IHDR and IEND are separate).

@@ -98,10 +98,16 @@ pub fn parse_elf(data: &[u8]) -> Result<ElfQuick<'_>> {
         if s.sh_type != 2 {
             continue;
         }
-        let strtab = sections
-            .get(s.link as usize)
-            .ok_or(BaselineError("bad symtab link"))?;
-        let str_bytes = &data[strtab.offset as usize..(strtab.offset + strtab.size) as usize];
+        let strtab = sections.get(s.link as usize).ok_or(BaselineError("bad symtab link"))?;
+        // The per-section bounds check above skips NULL sections, so a
+        // crafted symtab may link to one with garbage offset/size — slice
+        // checked, not assumed.
+        let str_bytes = strtab
+            .offset
+            .checked_add(strtab.size)
+            .filter(|&end| end <= data.len() as u64)
+            .and_then(|end| data.get(strtab.offset as usize..end as usize))
+            .ok_or(BaselineError("string table out of bounds"))?;
         let n = (s.size / 24) as usize;
         for k in 0..n {
             let mut c = Cur::at(data, s.offset as usize + k * 24);
@@ -110,8 +116,10 @@ pub fn parse_elf(data: &[u8]) -> Result<ElfQuick<'_>> {
             let value = c.u64le().ok_or(BaselineError("truncated symbol"))?;
             let size = c.u64le().ok_or(BaselineError("truncated symbol"))?;
             let rest = str_bytes.get(name_off..).ok_or(BaselineError("bad name offset"))?;
-            let len = rest.iter().position(|&b| b == 0).ok_or(BaselineError("unterminated name"))?;
-            let name = std::str::from_utf8(&rest[..len]).map_err(|_| BaselineError("non-utf8 name"))?;
+            let len =
+                rest.iter().position(|&b| b == 0).ok_or(BaselineError("unterminated name"))?;
+            let name =
+                std::str::from_utf8(&rest[..len]).map_err(|_| BaselineError("non-utf8 name"))?;
             symbols.push((name, value, size));
         }
     }
@@ -124,7 +132,11 @@ pub fn parse_elf(data: &[u8]) -> Result<ElfQuick<'_>> {
 pub fn format_elf(elf: &ElfQuick<'_>, data: &[u8]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "ELF Header: shoff={} shnum={} shstrndx={}", elf.shoff, elf.shnum, elf.shstrndx);
+    let _ = writeln!(
+        out,
+        "ELF Header: shoff={} shnum={} shstrndx={}",
+        elf.shoff, elf.shnum, elf.shstrndx
+    );
     let shstr = elf.sections.get(elf.shstrndx as usize);
     for (i, s) in elf.sections.iter().enumerate() {
         let name = shstr

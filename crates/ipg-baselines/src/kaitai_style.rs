@@ -63,10 +63,7 @@ impl<'a> Stream<'a> {
 
     /// `read_bytes(n)` — returns an **owned copy**, as Kaitai's C++ does.
     pub fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>> {
-        let s = self
-            .data
-            .get(self.pos..self.pos + n)
-            .ok_or(KaitaiError("read past end"))?;
+        let s = self.data.get(self.pos..self.pos + n).ok_or(KaitaiError("read past end"))?;
         self.pos += n;
         Ok(s.to_vec())
     }
@@ -94,10 +91,7 @@ impl<'a> Stream<'a> {
     }
 
     fn read_fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
-        let s = self
-            .data
-            .get(self.pos..self.pos + N)
-            .ok_or(KaitaiError("read past end"))?;
+        let s = self.data.get(self.pos..self.pos + N).ok_or(KaitaiError("read past end"))?;
         self.pos += N;
         Ok(s.try_into().expect("length checked"))
     }
@@ -207,11 +201,8 @@ pub fn parse_gif(data: &[u8]) -> Result<KaitaiGif> {
     let height = io.read_u2le()?;
     let flags = io.read_u1()?;
     io.read_bytes(2)?; // bg + aspect
-    let gct = if flags & 0x80 != 0 {
-        io.read_bytes(3 * (2usize << (flags & 7)))?
-    } else {
-        Vec::new()
-    };
+    let gct =
+        if flags & 0x80 != 0 { io.read_bytes(3 * (2usize << (flags & 7)))? } else { Vec::new() };
 
     let mut blocks = Vec::new();
     loop {

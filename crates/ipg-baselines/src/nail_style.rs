@@ -129,9 +129,8 @@ fn read_name(data: &[u8], mut pos: usize, arena: &mut Arena) -> Result<(ArenaRef
             }
             continue;
         }
-        let label = data
-            .get(pos + 1..pos + 1 + len as usize)
-            .ok_or(NailError("truncated label"))?;
+        let label =
+            data.get(pos + 1..pos + 1 + len as usize).ok_or(NailError("truncated label"))?;
         if !name.is_empty() {
             name.push(b'.');
         }
@@ -170,9 +169,7 @@ pub fn parse_dns(data: &[u8]) -> Result<NailDns> {
         let rtype = be16(data, p)?;
         let ttl = be32(data, p + 4)?;
         let rdlen = be16(data, p + 8)? as usize;
-        let rdata = data
-            .get(p + 10..p + 10 + rdlen)
-            .ok_or(NailError("truncated rdata"))?;
+        let rdata = data.get(p + 10..p + 10 + rdlen).ok_or(NailError("truncated rdata"))?;
         let rdata = arena.push(rdata);
         pos = p + 10 + rdlen;
         answers.push((name, rtype, ttl, rdata));
@@ -272,7 +269,7 @@ mod tests {
         let m = dns::generate(&dns::Config { n_answers: 50, ..Default::default() });
         let parsed = parse_dns(&m.bytes).unwrap();
         // All names and rdata share one buffer.
-        assert!(parsed.arena.len() > 0);
+        assert!(!parsed.arena.is_empty());
         assert_eq!(parsed.answers.len(), 50);
     }
 

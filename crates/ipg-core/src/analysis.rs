@@ -29,8 +29,8 @@
 //! reachable from the start symbol is.
 
 use crate::check::{CAlt, CExpr, CInterval, CRuleBody, CTermKind, Grammar, NtId};
-use crate::syntax::BinOp;
 use crate::env::wellknown;
+use crate::syntax::BinOp;
 use std::collections::HashSet;
 
 /// Streamability verdict for a whole grammar.
@@ -168,13 +168,10 @@ fn analyze_alt(grammar: &Grammar, alt: &CAlt, alt_index: usize, blockers: &mut V
                 // element interval is contiguous, which we conservatively
                 // do not try to prove.
                 if mentions_eoi(&interval.lo) || mentions_eoi(&interval.hi) {
-                    blockers.push(format!(
-                        "alternative {alt_index}: array interval uses EOI"
-                    ));
+                    blockers.push(format!("alternative {alt_index}: array interval uses EOI"));
                 }
-                blockers.push(format!(
-                    "alternative {alt_index}: array terms index by position (seek)"
-                ));
+                blockers
+                    .push(format!("alternative {alt_index}: array terms index by position (seek)"));
                 pos = PosShape::Unknown;
             }
             CTermKind::Switch { cases } => {
@@ -369,10 +366,7 @@ mod tests {
     #[test]
     fn eoi_arithmetic_blocks_streaming() {
         // The a^n b^n c^n grammar needs the total length up front.
-        let g = parse_grammar(
-            r#"S -> {n = EOI / 3} A[0, n]; A -> "a"[0, 1];"#,
-        )
-        .unwrap();
+        let g = parse_grammar(r#"S -> {n = EOI / 3} A[0, n]; A -> "a"[0, 1];"#).unwrap();
         let report = stream_analysis(&g);
         let s = report.rules.iter().find(|r| r.name == "S").unwrap();
         assert!(!s.streamable);
@@ -400,10 +394,7 @@ mod tests {
     fn completion_artifacts_are_const_folded() {
         // Auto-completion writes shapes like `0 + 6`; the analysis must
         // still read the sequence "magic"[0, 0+6] A[0+6+…] as sequential.
-        let g = parse_grammar(
-            r#"S -> "magic" "!" Tail; Tail -> "t"[0, 1];"#,
-        )
-        .unwrap();
+        let g = parse_grammar(r#"S -> "magic" "!" Tail; Tail -> "t"[0, 1];"#).unwrap();
         let report = stream_analysis(&g);
         assert!(report.streamable, "{report:?}");
     }

@@ -48,10 +48,8 @@ impl DepGraph {
             }
         }
 
-        let mut ready: BinaryHeap<Reverse<usize>> = (0..self.n)
-            .filter(|&i| indegree[i] == 0)
-            .map(Reverse)
-            .collect();
+        let mut ready: BinaryHeap<Reverse<usize>> =
+            (0..self.n).filter(|&i| indegree[i] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(Reverse(i)) = ready.pop() {
             order.push(i);

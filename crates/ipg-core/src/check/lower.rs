@@ -108,11 +108,8 @@ impl Checker {
     fn run(mut self) -> Result<Grammar> {
         self.compute_def_sets()?;
 
-        let start_name = self
-            .surface
-            .start_name()
-            .expect("non-empty grammar has a start")
-            .to_owned();
+        let start_name =
+            self.surface.start_name().expect("non-empty grammar has a start").to_owned();
         let start = *self.nt_by_name.get(&start_name).ok_or_else(|| {
             Error::Grammar(format!("start nonterminal `{start_name}` has no rule"))
         })?;
@@ -141,17 +138,14 @@ impl Checker {
             let defs: HashSet<String> = match &rule.body {
                 RuleBody::Builtin(_) => ["val".to_owned()].into(),
                 RuleBody::Blackbox(name) => {
-                    let bb = self
-                        .surface
-                        .blackboxes
-                        .iter()
-                        .find(|b| &b.name == name)
-                        .ok_or_else(|| {
+                    let bb = self.surface.blackboxes.iter().find(|b| &b.name == name).ok_or_else(
+                        || {
                             Error::Grammar(format!(
                                 "rule `{}` references unregistered blackbox `{name}`",
                                 rule.name
                             ))
-                        })?;
+                        },
+                    )?;
                     bb.attrs.iter().cloned().collect()
                 }
                 RuleBody::Alts(alts) => {
@@ -181,8 +175,7 @@ impl Checker {
 
     fn lower_rule(&mut self, rule: &syntax::Rule) -> Result<CRule> {
         let def_attrs: Vec<Sym> = {
-            let mut names: Vec<&String> =
-                self.def_by_name[&rule.name].iter().collect();
+            let mut names: Vec<&String> = self.def_by_name[&rule.name].iter().collect();
             names.sort();
             names.iter().map(|n| self.interner.intern(n)).collect()
         };
@@ -246,13 +239,9 @@ impl Checker {
                     name: name.clone(),
                     kind: OccKind::Symbol,
                 }),
-                Term::Array { name, .. } | Term::Star { name, .. } => {
-                    state.occurrences.push(Occurrence {
-                        term: i,
-                        name: name.clone(),
-                        kind: OccKind::Array,
-                    })
-                }
+                Term::Array { name, .. } | Term::Star { name, .. } => state
+                    .occurrences
+                    .push(Occurrence { term: i, name: name.clone(), kind: OccKind::Array }),
                 Term::Switch { cases, default } => {
                     for case in cases.iter().chain(std::iter::once(default.as_ref())) {
                         state.occurrences.push(Occurrence {
@@ -276,10 +265,8 @@ impl Checker {
 
         // Pass 3: the dependency graph must be a DAG; reorder terms.
         let order = state.deps.topo_order().map_err(|cycle| {
-            let members: Vec<String> = cycle
-                .iter()
-                .map(|&i| format!("term #{i} ({})", alt.terms[i]))
-                .collect();
+            let members: Vec<String> =
+                cycle.iter().map(|&i| format!("term #{i} ({})", alt.terms[i])).collect();
             Error::Check(format!(
                 "rule `{}`: cyclic attribute dependencies among {}",
                 rule.name,
@@ -434,7 +421,12 @@ impl Checker {
         }
     }
 
-    fn lower_expr(&mut self, rule: &syntax::Rule, expr: &Expr, state: &mut AltState) -> Result<CExpr> {
+    fn lower_expr(
+        &mut self,
+        rule: &syntax::Rule,
+        expr: &Expr,
+        state: &mut AltState,
+    ) -> Result<CExpr> {
         Ok(match expr {
             Expr::Num(n) => CExpr::Num(*n),
             Expr::Bin(op, a, b) => CExpr::Bin(
@@ -518,7 +510,8 @@ impl Checker {
                     return Err(Error::Check(format!(
                         "rule `{}`: reference to `{nt}({}).{attr}` but no array of `{nt}` \
                          occurs in the same alternative",
-                        rule.name, index_display(&index),
+                        rule.name,
+                        index_display(&index),
                     )));
                 }
             }
@@ -689,10 +682,7 @@ mod tests {
                     .attr("a1", Expr::num(2))
                     .build()],
             )
-            .rule(
-                "B2",
-                vec![AltBuilder::new().attr("a", Expr::num(1)).build()],
-            )
+            .rule("B2", vec![AltBuilder::new().attr("a", Expr::num(1)).build()])
             .rule("B1", vec![AltBuilder::new().build()])
             .build_unchecked();
         let g = check(g).unwrap();
@@ -743,10 +733,7 @@ mod tests {
             .rule(
                 "A",
                 vec![
-                    AltBuilder::new()
-                        .attr("x", Expr::num(1))
-                        .attr("y", Expr::num(2))
-                        .build(),
+                    AltBuilder::new().attr("x", Expr::num(1)).attr("y", Expr::num(2)).build(),
                     AltBuilder::new().attr("x", Expr::num(3)).build(),
                 ],
             )
@@ -768,10 +755,7 @@ mod tests {
             .rule(
                 "A",
                 vec![
-                    AltBuilder::new()
-                        .attr("x", Expr::num(1))
-                        .attr("y", Expr::num(2))
-                        .build(),
+                    AltBuilder::new().attr("x", Expr::num(1)).attr("y", Expr::num(2)).build(),
                     AltBuilder::new().attr("x", Expr::num(3)).build(),
                 ],
             )
@@ -815,10 +799,7 @@ mod tests {
     #[test]
     fn unknown_nonterminal_rejected() {
         let g = GrammarBuilder::new()
-            .rule(
-                "S",
-                vec![AltBuilder::new().symbol("Ghost", Expr::num(0), Expr::eoi()).build()],
-            )
+            .rule("S", vec![AltBuilder::new().symbol("Ghost", Expr::num(0), Expr::eoi()).build()])
             .build_unchecked();
         let err = check(g).unwrap_err();
         assert!(err.to_string().contains("Ghost"));
@@ -882,10 +863,7 @@ mod tests {
                     .attr("num", Expr::attr("Int", "val"))
                     .build()],
             )
-            .rule(
-                "A",
-                vec![AltBuilder::new().symbol("Int", Expr::num(0), Expr::num(4)).build()],
-            )
+            .rule("A", vec![AltBuilder::new().symbol("Int", Expr::num(0), Expr::num(4)).build()])
             .builtin("Int", Builtin::U32Le)
             .build_unchecked();
         check(g).unwrap();

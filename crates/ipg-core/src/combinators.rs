@@ -45,10 +45,13 @@ pub struct State {
     pub c: usize,
 }
 
+/// The function type backing an interval parser.
+type ParseFn<T> = dyn Fn(&[u8], State) -> Option<(T, State)>;
+
 /// An interval parser producing values of type `T`.
 ///
 /// Cloning is cheap (reference-counted closure).
-pub struct P<T>(Rc<dyn Fn(&[u8], State) -> Option<(T, State)>>);
+pub struct P<T>(Rc<ParseFn<T>>);
 
 impl<T> Clone for P<T> {
     fn clone(&self) -> Self {
@@ -134,11 +137,8 @@ impl<T: 'static> P<T> {
             if !(0 <= lo && lo <= hi && hi <= eoi) {
                 return None;
             }
-            let inner = State {
-                l: st.l + lo as usize,
-                r: st.l + hi as usize,
-                c: st.l + lo as usize,
-            };
+            let inner =
+                State { l: st.l + lo as usize, r: st.l + hi as usize, c: st.l + lo as usize };
             let (v, _) = (self.0)(inp, inner)?;
             // Restore the enclosing interval; position moves to the end of
             // the sub-interval (as in the appendix's definition of `%`).
@@ -196,13 +196,15 @@ pub fn byte(ch: u8) -> P<u8> {
 
 /// Matches any single byte.
 pub fn any_byte() -> P<u8> {
-    P(Rc::new(|inp, st| {
-        if st.c < st.r {
-            Some((inp[st.c], State { c: st.c + 1, ..st }))
-        } else {
-            None
-        }
-    }))
+    P(Rc::new(
+        |inp, st| {
+            if st.c < st.r {
+                Some((inp[st.c], State { c: st.c + 1, ..st }))
+            } else {
+                None
+            }
+        },
+    ))
 }
 
 /// Matches the literal byte string `s` at the current position.
@@ -251,9 +253,7 @@ fn uint(width: usize, big_endian: bool) -> P<i64> {
 
 /// The remaining bytes of the current interval, as an owned vector.
 pub fn rest() -> P<Vec<u8>> {
-    P(Rc::new(|inp, st| {
-        Some((inp[st.c..st.r].to_vec(), State { c: st.r, ..st }))
-    }))
+    P(Rc::new(|inp, st| Some((inp[st.c..st.r].to_vec(), State { c: st.r, ..st }))))
 }
 
 /// Runs `p` exactly `n` times, collecting the results (array terms).
@@ -321,9 +321,7 @@ mod tests {
                 .and_then(move |n| {
                     let intp = intp.clone();
                     intp.local_dyn(move |_| (0, n - 1)).and_then(move |hi| {
-                        digit()
-                            .local_dyn(move |e| (e - 1, e))
-                            .map(move |d| hi * 2 + d)
+                        digit().local_dyn(move |e| (e - 1, e)).map(move |d| hi * 2 + d)
                     })
                 })
                 .or(digit().local(0, 1))
@@ -369,10 +367,8 @@ mod tests {
                 }
             }
             for s in &next {
-                let lhs = interp
-                    .parse(s)
-                    .ok()
-                    .map(|t| t.as_node().unwrap().attr(&g, "val").unwrap());
+                let lhs =
+                    interp.parse(s).ok().map(|t| t.as_node().unwrap().attr(&g, "val").unwrap());
                 let rhs = comb.run(s);
                 assert_eq!(lhs, rhs, "disagreement on {s:?}");
             }
@@ -399,9 +395,10 @@ mod tests {
     #[test]
     fn random_access_pattern() {
         // Fig. 2 via combinators: header holds offset and length.
-        let p = uint_le(4).pair(uint_le(4)).local(0, 8).and_then(|(ofs, len)| {
-            rest().local_dyn(move |_| (ofs, ofs + len))
-        });
+        let p = uint_le(4)
+            .pair(uint_le(4))
+            .local(0, 8)
+            .and_then(|(ofs, len)| rest().local_dyn(move |_| (ofs, ofs + len)));
         let mut input = Vec::new();
         input.extend_from_slice(&10u32.to_le_bytes());
         input.extend_from_slice(&3u32.to_le_bytes());

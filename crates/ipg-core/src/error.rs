@@ -93,10 +93,7 @@ mod tests {
             nonterminal: Some("Header".into()),
             msg: "terminal mismatch".into(),
         });
-        assert_eq!(
-            e.to_string(),
-            "parse failed at offset 42 in Header: terminal mismatch"
-        );
+        assert_eq!(e.to_string(), "parse failed at offset 42 in Header: terminal mismatch");
     }
 
     #[test]

@@ -59,10 +59,8 @@ pub(super) fn complete_intervals(grammar: &mut Grammar, pending: &[PendingTerm])
                 *interval = complete_one(&p.raw[0], &lo, Some(len))?;
             }
             Term::Switch { cases, default } => {
-                for (case, raw) in cases
-                    .iter_mut()
-                    .chain(std::iter::once(default.as_mut()))
-                    .zip(&p.raw)
+                for (case, raw) in
+                    cases.iter_mut().chain(std::iter::once(default.as_mut())).zip(&p.raw)
                 {
                     if !matches!(raw, RawInterval::Full(..)) {
                         case.interval = complete_one(raw, &lo, None)?;
@@ -169,10 +167,7 @@ mod tests {
     fn paper_completion_example() {
         // §3.4: S -> "magic" A B[10]
         // completes to S -> "magic"[0,5] A[5,EOI] B[A.end, A.end+10].
-        let g = parse_surface(
-            "S -> \"magic\" A B[10]; A -> \"\"[0, 0]; B -> \"\"[0, 0];",
-        )
-        .unwrap();
+        let g = parse_surface("S -> \"magic\" A B[10]; A -> \"\"[0, 0]; B -> \"\"[0, 0];").unwrap();
         let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
         let ivs: Vec<String> = alts[0]
             .terms
@@ -214,11 +209,7 @@ mod tests {
         )
         .unwrap();
         let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
-        let texts: Vec<String> = alts[0]
-            .terms
-            .iter()
-            .map(|t| t.to_string())
-            .collect();
+        let texts: Vec<String> = alts[0].terms.iter().map(|t| t.to_string()).collect();
         assert_eq!(texts[0], "Header[0, 0 + 6]");
         assert_eq!(texts[1], "LSD[Header.end, EOI]");
         assert_eq!(texts[2], "Blocks[LSD.end, EOI]");
@@ -227,10 +218,9 @@ mod tests {
 
     #[test]
     fn implicit_after_array_is_an_error() {
-        let err = parse_surface(
-            "S -> for i = 0 to 2 do A[i, i + 1] B; A -> \"\"[0,0]; B -> \"\"[0,0];",
-        )
-        .unwrap_err();
+        let err =
+            parse_surface("S -> for i = 0 to 2 do A[i, i + 1] B; A -> \"\"[0,0]; B -> \"\"[0,0];")
+                .unwrap_err();
         assert!(err.to_string().contains("explicit interval"), "got: {err}");
     }
 
@@ -248,8 +238,10 @@ mod tests {
 
     #[test]
     fn stats_count_origins() {
-        let g = parse_surface("S -> \"magic\" A B[10] C[0, EOI]; A -> \"\"[0,0]; B -> \"\"[0,0]; C -> \"\"[0,0];")
-            .unwrap();
+        let g = parse_surface(
+            "S -> \"magic\" A B[10] C[0, EOI]; A -> \"\"[0,0]; B -> \"\"[0,0]; C -> \"\"[0,0];",
+        )
+        .unwrap();
         let stats = interval_stats(&g);
         // magic, A, B, C in rule S + three explicit [0,0] in A/B/C.
         assert_eq!(stats.total, 7);

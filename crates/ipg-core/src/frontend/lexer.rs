@@ -156,9 +156,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 push(Tok::Name(src[start..i].to_owned()));
@@ -355,41 +353,33 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a // comment ; -> \nb"), vec![
-            Tok::Name("a".into()),
-            Tok::Name("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a // comment ; -> \nb"),
+            vec![Tok::Name("a".into()), Tok::Name("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\x00b\n\"q\\""#), vec![
-            Tok::Str(vec![b'a', 0, b'b', b'\n', b'"', b'q', b'\\']),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks(r#""a\x00b\n\"q\\""#),
+            vec![Tok::Str(vec![b'a', 0, b'b', b'\n', b'"', b'q', b'\\']), Tok::Eof]
+        );
     }
 
     #[test]
     fn hex_strings() {
-        assert_eq!(toks(r#"x"7f454c46""#), vec![
-            Tok::Str(vec![0x7f, 0x45, 0x4c, 0x46]),
-            Tok::Eof
-        ]);
-        assert_eq!(toks(r#"x"7f 45_4c 46""#), vec![
-            Tok::Str(vec![0x7f, 0x45, 0x4c, 0x46]),
-            Tok::Eof
-        ]);
+        assert_eq!(toks(r#"x"7f454c46""#), vec![Tok::Str(vec![0x7f, 0x45, 0x4c, 0x46]), Tok::Eof]);
+        assert_eq!(
+            toks(r#"x"7f 45_4c 46""#),
+            vec![Tok::Str(vec![0x7f, 0x45, 0x4c, 0x46]), Tok::Eof]
+        );
         assert!(lex(r#"x"7f4""#).is_err(), "odd digit count");
     }
 
     #[test]
     fn identifier_starting_with_x_is_not_a_hex_string() {
-        assert_eq!(toks("xyz x2"), vec![
-            Tok::Name("xyz".into()),
-            Tok::Name("x2".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(toks("xyz x2"), vec![Tok::Name("xyz".into()), Tok::Name("x2".into()), Tok::Eof]);
     }
 
     #[test]

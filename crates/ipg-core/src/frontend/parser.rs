@@ -180,11 +180,7 @@ impl P {
         self.expect(Tok::Arrow)?;
         let rule_index = grammar.rules.len();
         // Reserve the slot so nested `where` rules come after their parent.
-        grammar.rules.push(Rule {
-            name: name.clone(),
-            body: RuleBody::Alts(Vec::new()),
-            is_local,
-        });
+        grammar.rules.push(Rule { name: name.clone(), body: RuleBody::Alts(Vec::new()), is_local });
 
         let mut alts = vec![self.parse_alt(rule_index, grammar.rules.len(), pending, 0)?];
         while self.eat(Tok::Slash) {
@@ -369,9 +365,7 @@ impl P {
         self.expr_depth += 1;
         if self.expr_depth > MAX_EXPR_DEPTH {
             self.expr_depth -= 1;
-            return self.err(format!(
-                "expression nesting deeper than {MAX_EXPR_DEPTH} levels"
-            ));
+            return self.err(format!("expression nesting deeper than {MAX_EXPR_DEPTH} levels"));
         }
         let result = self.parse_ternary();
         self.expr_depth -= 1;
@@ -392,8 +386,7 @@ impl P {
 
     fn parse_bin(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some(op) = self.peek_binop() else { break };
+        while let Some(op) = self.peek_binop() {
             let prec = op.precedence();
             if prec < min_prec {
                 break;
@@ -503,11 +496,9 @@ impl P {
 fn placeholder_interval(raw: &RawInterval) -> Interval {
     match raw {
         RawInterval::Full(lo, hi) => Interval::new(lo.clone(), hi.clone()),
-        RawInterval::Length(len) => Interval {
-            lo: Expr::Num(0),
-            hi: len.clone(),
-            origin: IntervalOrigin::InferredLength,
-        },
+        RawInterval::Length(len) => {
+            Interval { lo: Expr::Num(0), hi: len.clone(), origin: IntervalOrigin::InferredLength }
+        }
         RawInterval::Missing => Interval {
             lo: Expr::Num(0),
             hi: Expr::Ref(Reference::Eoi),
@@ -540,7 +531,10 @@ mod tests {
 
     #[test]
     fn parses_alternatives_and_division() {
-        let (g, _) = parse_items("S -> {n = EOI / 3} A[0, n] / B[0, EOI]; A -> \"a\"[0,1]; B -> \"b\"[0,1];").unwrap();
+        let (g, _) = parse_items(
+            "S -> {n = EOI / 3} A[0, n] / B[0, EOI]; A -> \"a\"[0,1]; B -> \"b\"[0,1];",
+        )
+        .unwrap();
         let RuleBody::Alts(alts) = &g.rules[0].body else { panic!() };
         assert_eq!(alts.len(), 2, "the / inside braces is division, outside separates alts");
     }
@@ -587,10 +581,8 @@ mod tests {
 
     #[test]
     fn pending_terms_record_missing_and_length_intervals() {
-        let (_, pending) = parse_items(
-            "S -> \"magic\" A B[10]; A -> \"\"[0,0]; B -> \"\"[0,0];",
-        )
-        .unwrap();
+        let (_, pending) =
+            parse_items("S -> \"magic\" A B[10]; A -> \"\"[0,0]; B -> \"\"[0,0];").unwrap();
         // "magic" missing, A missing, B length-only.
         assert_eq!(pending.len(), 3);
         assert!(matches!(pending[0].raw[0], RawInterval::Missing));
@@ -629,9 +621,8 @@ mod tests {
 
     #[test]
     fn rejects_guard_on_last_switch_case() {
-        let err =
-            parse_items("S -> switch(x = 1 : A[0,1] / x = 2 : B[0,1]); A := u8; B := u8;")
-                .unwrap_err();
+        let err = parse_items("S -> switch(x = 1 : A[0,1] / x = 2 : B[0,1]); A := u8; B := u8;")
+            .unwrap_err();
         assert!(err.to_string().contains("default"));
     }
 }

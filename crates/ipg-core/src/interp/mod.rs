@@ -21,9 +21,7 @@
 //!   a fallback for attribute lookups (§3.4).
 
 use crate::builtin::run_builtin;
-use crate::check::{
-    CAlt, CExpr, CInterval, CRuleBody, CSwitchCase, CTermKind, Grammar, NtId,
-};
+use crate::check::{CAlt, CExpr, CInterval, CRuleBody, CSwitchCase, CTermKind, Grammar, NtId};
 use crate::env::{wellknown, Env};
 use crate::error::{Error, ParseError, Result};
 use crate::syntax::BinOp;
@@ -254,11 +252,8 @@ impl Session<'_, '_> {
     fn record_failure(&mut self, offset: usize, nt: NtId, msg: impl FnOnce(&Grammar) -> String) {
         if offset >= self.deepest.offset {
             let g = self.g;
-            self.deepest = ParseError {
-                offset,
-                nonterminal: Some(g.nt_name(nt).to_owned()),
-                msg: msg(g),
-            };
+            self.deepest =
+                ParseError { offset, nonterminal: Some(g.nt_name(nt).to_owned()), msg: msg(g) };
         }
     }
 
@@ -293,7 +288,13 @@ impl Session<'_, '_> {
         Ok(result)
     }
 
-    fn parse_builtin(&mut self, nt: NtId, b: crate::syntax::Builtin, base: usize, len: usize) -> Option<Rc<Tree>> {
+    fn parse_builtin(
+        &mut self,
+        nt: NtId,
+        b: crate::syntax::Builtin,
+        base: usize,
+        len: usize,
+    ) -> Option<Rc<Tree>> {
         let local = &self.input[base..base + len];
         match run_builtin(b, local) {
             Some((val, consumed)) => {
@@ -304,10 +305,7 @@ impl Session<'_, '_> {
                     nt,
                     name: rc_name(self.g, nt),
                     env,
-                    children: vec![Rc::new(Tree::Leaf(Leaf {
-                        start: base,
-                        end: base + consumed,
-                    }))],
+                    children: vec![Rc::new(Tree::Leaf(Leaf { start: base, end: base + consumed }))],
                     base,
                     input_len: len,
                     alt_index: 0,
@@ -382,11 +380,7 @@ impl Session<'_, '_> {
         len: usize,
         parent: Option<&AltCtx<'_>>,
     ) -> PResult<Option<Rc<Tree>>> {
-        let mut ctx = AltCtx {
-            env: Env::initial(len),
-            results: vec![None; alt.n_terms],
-            parent,
-        };
+        let mut ctx = AltCtx { env: Env::initial(len), results: vec![None; alt.n_terms], parent };
         for term in &alt.terms {
             self.tick()?;
             let ok = self.eval_term(nt, &term.kind, term.orig_index, base, len, &mut ctx)?;
@@ -432,17 +426,15 @@ impl Session<'_, '_> {
                     return Ok(false);
                 }
                 let al = base + l as usize;
-                if &self.input[al..al + bytes.len()] != &bytes[..] {
+                if self.input[al..al + bytes.len()] != bytes[..] {
                     self.record_failure(al, nt, |_| {
                         format!("terminal mismatch (expected {})", preview(bytes))
                     });
                     return Ok(false);
                 }
                 ctx.env.upd_start_end(l, r, !bytes.is_empty());
-                ctx.results[orig_index] = Some(Rc::new(Tree::Leaf(Leaf {
-                    start: al,
-                    end: al + bytes.len(),
-                })));
+                ctx.results[orig_index] =
+                    Some(Rc::new(Tree::Leaf(Leaf { start: al, end: al + bytes.len() })));
                 Ok(true)
             }
             CTermKind::Symbol { nt: callee, interval } => {
@@ -534,8 +526,7 @@ impl Session<'_, '_> {
                     }
                     let parent: Option<&AltCtx<'_>> =
                         if callee_rule.is_local { Some(ctx) } else { None };
-                    let sub =
-                        self.parse_nt(*elem_nt, star_base + pos, star_len - pos, parent)?;
+                    let sub = self.parse_nt(*elem_nt, star_base + pos, star_len - pos, parent)?;
                     let Some(sub) = sub else { break };
                     let (_, ce) = tree_start_end(&sub);
                     let adjusted = adjust_tree(&sub, (pos as i64) + l);
@@ -626,7 +617,12 @@ impl Session<'_, '_> {
 
     /// Evaluates an interval, returning `Some((l, r))` only when
     /// `0 ≤ l ≤ r ≤ len`.
-    fn eval_interval(&mut self, interval: &CInterval, ctx: &mut AltCtx<'_>, len: usize) -> Option<(i64, i64)> {
+    fn eval_interval(
+        &mut self,
+        interval: &CInterval,
+        ctx: &mut AltCtx<'_>,
+        len: usize,
+    ) -> Option<(i64, i64)> {
         let l = self.eval(&interval.lo, ctx)?;
         let r = self.eval(&interval.hi, ctx)?;
         if 0 <= l && l <= r && r <= len as i64 {
@@ -820,7 +816,6 @@ fn adjust_tree(tree: &Rc<Tree>, l: i64) -> Rc<Tree> {
 fn rc_name(g: &Grammar, nt: NtId) -> std::sync::Arc<str> {
     g.rule(nt).name.clone()
 }
-
 
 fn preview(bytes: &[u8]) -> String {
     crate::syntax::format_bytes(bytes)

@@ -114,10 +114,7 @@ fn fig3() -> Grammar {
                 AltBuilder::new()
                     .symbol("Int", num(0), eoi() - num(1))
                     .symbol("Digit", eoi() - num(1), eoi())
-                    .attr(
-                        "val",
-                        num(2) * Expr::attr("Int", "val") + Expr::attr("Digit", "val"),
-                    )
+                    .attr("val", num(2) * Expr::attr("Int", "val") + Expr::attr("Digit", "val"))
                     .build(),
                 AltBuilder::new()
                     .symbol("Digit", num(0), num(1))
@@ -128,14 +125,8 @@ fn fig3() -> Grammar {
         .rule(
             "Digit",
             vec![
-                AltBuilder::new()
-                    .terminal(b"0", num(0), num(1))
-                    .attr("val", num(0))
-                    .build(),
-                AltBuilder::new()
-                    .terminal(b"1", num(0), num(1))
-                    .attr("val", num(1))
-                    .build(),
+                AltBuilder::new().terminal(b"0", num(0), num(1)).attr("val", num(0)).build(),
+                AltBuilder::new().terminal(b"1", num(0), num(1)).attr("val", num(1)).build(),
             ],
         )
         .build()
@@ -185,10 +176,7 @@ fn fig4() -> Grammar {
         .rule(
             "O",
             vec![
-                AltBuilder::new()
-                    .terminal(b"0", num(0), num(1))
-                    .symbol("O", num(1), eoi())
-                    .build(),
+                AltBuilder::new().terminal(b"0", num(0), num(1)).symbol("O", num(1), eoi()).build(),
                 AltBuilder::new().terminal(b"0", num(0), num(1)).build(),
             ],
         )
@@ -228,11 +216,7 @@ fn fig6() -> Grammar {
                     num(4) + Expr::local("size") * (Expr::local("i") + num(1)),
                 )
                 .attr("a0", Expr::elem("A", num(0), "val"))
-                .pred(
-                    Expr::local("a0")
-                        .gt(num(0))
-                        .and(Expr::local("a0").lt(num(10))),
-                )
+                .pred(Expr::local("a0").gt(num(0)).and(Expr::local("a0").lt(num(10))))
                 .build()],
         )
         .rule(
@@ -295,10 +279,7 @@ fn fig6_empty_array_when_count_is_zero() {
 fn anbncn() -> Grammar {
     let letter_rule = |name: &str, ch: &[u8]| {
         vec![
-            AltBuilder::new()
-                .terminal(ch, num(0), num(1))
-                .symbol(name, num(1), eoi())
-                .build(),
+            AltBuilder::new().terminal(ch, num(0), num(1)).symbol(name, num(1), eoi()).build(),
             AltBuilder::new().terminal(ch, num(0), num(1)).build(),
         ]
     };
@@ -349,14 +330,8 @@ fn biased_choice_takes_first_matching_alternative() {
         .rule(
             "S",
             vec![
-                AltBuilder::new()
-                    .terminal(b"a", num(0), num(1))
-                    .attr("which", num(1))
-                    .build(),
-                AltBuilder::new()
-                    .terminal(b"a", num(0), num(1))
-                    .attr("which", num(2))
-                    .build(),
+                AltBuilder::new().terminal(b"a", num(0), num(1)).attr("which", num(1)).build(),
+                AltBuilder::new().terminal(b"a", num(0), num(1)).attr("which", num(2)).build(),
             ],
         )
         .build()
@@ -385,15 +360,9 @@ fn switch_selects_by_guard_with_default() {
                 .build()],
         )
         .builtin("Tag", Builtin::U8)
-        .rule(
-            "Ints",
-            vec![AltBuilder::new().symbol("Int", num(0), num(4)).build()],
-        )
+        .rule("Ints", vec![AltBuilder::new().symbol("Int", num(0), num(4)).build()])
         .builtin("Int", Builtin::U32Le)
-        .rule(
-            "Text",
-            vec![AltBuilder::new().terminal(b"hi", num(0), num(2)).build()],
-        )
+        .rule("Text", vec![AltBuilder::new().terminal(b"hi", num(0), num(2)).build()])
         .builtin("Raw", Builtin::Bytes)
         .build()
         .unwrap();
@@ -416,17 +385,11 @@ fn local_rule_sees_invoking_alternative_attributes() {
     let g = GrammarBuilder::new()
         .rule(
             "S",
-            vec![AltBuilder::new()
-                .symbol("A", num(0), num(1))
-                .symbol("D", num(0), eoi())
-                .build()],
+            vec![AltBuilder::new().symbol("A", num(0), num(1)).symbol("D", num(0), eoi()).build()],
         )
         .rule(
             "A",
-            vec![AltBuilder::new()
-                .terminal(b"x", num(0), num(1))
-                .attr("val", num(2))
-                .build()],
+            vec![AltBuilder::new().terminal(b"x", num(0), num(1)).attr("val", num(2)).build()],
         )
         .local_rule(
             "D",
@@ -435,14 +398,8 @@ fn local_rule_sees_invoking_alternative_attributes() {
                 .symbol("C", Expr::attr("B", "end"), eoi())
                 .build()],
         )
-        .rule(
-            "B",
-            vec![AltBuilder::new().terminal(b"b", num(0), num(1)).build()],
-        )
-        .rule(
-            "C",
-            vec![AltBuilder::new().terminal(b"c", num(0), num(1)).build()],
-        )
+        .rule("B", vec![AltBuilder::new().terminal(b"b", num(0), num(1)).build()])
+        .rule("C", vec![AltBuilder::new().terminal(b"c", num(0), num(1)).build()])
         .build()
         .unwrap();
     let p = Parser::new(&g);
@@ -456,10 +413,7 @@ fn backward_parsing_bnum() {
     // §4.3: parse a decimal number that *ends* at EOI, scanning backward.
     let digit_alts = (0..=9u8)
         .map(|d| {
-            AltBuilder::new()
-                .terminal(&[b'0' + d], num(0), num(1))
-                .attr("v", num(d as i64))
-                .build()
+            AltBuilder::new().terminal(&[b'0' + d], num(0), num(1)).attr("v", num(d as i64)).build()
         })
         .collect();
     let g = GrammarBuilder::new()
@@ -470,10 +424,7 @@ fn backward_parsing_bnum() {
                 AltBuilder::new()
                     .symbol("BNum", num(0), eoi() - num(1))
                     .symbol("Digit", eoi() - num(1), eoi())
-                    .attr(
-                        "v",
-                        Expr::attr("BNum", "v") * num(10) + Expr::attr("Digit", "v"),
-                    )
+                    .attr("v", Expr::attr("BNum", "v") * num(10) + Expr::attr("Digit", "v"))
                     .build(),
                 AltBuilder::new()
                     .symbol("Digit", eoi() - num(1), eoi())
@@ -709,10 +660,7 @@ fn empty_interval_zero_zero_is_valid() {
 fn invalid_interval_fails_cleanly() {
     // [0, EOI+1] is always invalid.
     let g = GrammarBuilder::new()
-        .rule(
-            "S",
-            vec![AltBuilder::new().symbol("A", num(0), eoi() + num(1)).build()],
-        )
+        .rule("S", vec![AltBuilder::new().symbol("A", num(0), eoi() + num(1)).build()])
         .rule("A", vec![AltBuilder::new().build()])
         .build()
         .unwrap();
@@ -732,10 +680,7 @@ fn deepest_failure_is_reported() {
 fn terminal_prefix_matching_per_t_ter() {
     // T-Ter only requires r - l ≥ |s1| and a prefix match.
     let g = GrammarBuilder::new()
-        .rule(
-            "S",
-            vec![AltBuilder::new().terminal(b"ab", num(0), eoi()).build()],
-        )
+        .rule("S", vec![AltBuilder::new().terminal(b"ab", num(0), eoi()).build()])
         .build()
         .unwrap();
     let p = Parser::new(&g);
@@ -864,10 +809,7 @@ fn all_builtin_kinds_parse_through_grammars() {
     assert_eq!(tree.child_node("A").unwrap().attr(&g, "val"), Some(1));
     assert_eq!(tree.child_node("B").unwrap().attr(&g, "val"), Some(0x0203));
     assert_eq!(tree.child_node("C").unwrap().attr(&g, "val"), Some(0x0607_0809));
-    assert_eq!(
-        tree.child_node("D").unwrap().attr(&g, "val"),
-        Some(0x1122_3344_5566_7788)
-    );
+    assert_eq!(tree.child_node("D").unwrap().attr(&g, "val"), Some(0x1122_3344_5566_7788));
 }
 
 #[test]
@@ -943,11 +885,7 @@ fn star_agrees_with_recursive_chunk_idiom() {
         b"y\x00",
         b"x\x05ab", // truncated payload
     ] {
-        assert_eq!(
-            ps.parse(input).is_ok(),
-            pr.parse(input).is_ok(),
-            "disagreement on {input:?}"
-        );
+        assert_eq!(ps.parse(input).is_ok(), pr.parse(input).is_ok(), "disagreement on {input:?}");
     }
     // Element count agreement on a valid input.
     let input = b"x\x01ax\x02bcx\x00";

@@ -210,10 +210,7 @@ fn pick_variable(constraints: &[LinExpr]) -> Option<Var> {
             }
         }
     }
-    counts
-        .into_iter()
-        .min_by_key(|&(v, (lo, up))| (lo * up, v))
-        .map(|(v, _)| v)
+    counts.into_iter().min_by_key(|&(v, (lo, up))| (lo * up, v)).map(|(v, _)| v)
 }
 
 #[cfg(test)]
@@ -271,10 +268,7 @@ mod tests {
         let eoi = Var(7);
         let mut s = System::new();
         s.assert_eq(LinExpr::constant(0), LinExpr::constant(0));
-        s.assert_eq(
-            LinExpr::var(eoi).sub(&LinExpr::constant(1)),
-            LinExpr::var(eoi),
-        );
+        s.assert_eq(LinExpr::var(eoi).sub(&LinExpr::constant(1)), LinExpr::var(eoi));
         assert!(!s.is_satisfiable());
     }
 
@@ -322,9 +316,7 @@ mod tests {
     fn rational_coefficients_survive_elimination() {
         // 2x + 3y ≥ 6 ∧ x ≤ 0 ∧ y ≤ 0 → UNSAT.
         let mut s = System::new();
-        let e = LinExpr::var(x())
-            .scale(Rat::from(2))
-            .add(&LinExpr::var(y()).scale(Rat::from(3)));
+        let e = LinExpr::var(x()).scale(Rat::from(2)).add(&LinExpr::var(y()).scale(Rat::from(3)));
         s.assert_ge(e, LinExpr::constant(6));
         s.assert_ge(LinExpr::constant(0), LinExpr::var(x()));
         s.assert_ge(LinExpr::constant(0), LinExpr::var(y()));
@@ -383,12 +375,12 @@ mod tests {
                     witness = true;
                     break;
                 }
-                for v in 0..n_vars {
-                    assign[v] += 1;
-                    if assign[v] <= 4 {
+                for a in assign.iter_mut() {
+                    *a += 1;
+                    if *a <= 4 {
                         continue 'outer;
                     }
-                    assign[v] = -4;
+                    *a = -4;
                 }
                 break;
             }

@@ -43,6 +43,7 @@ impl Rat {
     }
 
     /// Additive inverse.
+    #[allow(clippy::should_implement_trait)] // consistent with `recip` as a plain method
     pub fn neg(self) -> Rat {
         Rat { num: -self.num, den: self.den }
     }
@@ -80,6 +81,7 @@ impl Add for Rat {
 
 impl Sub for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a - b = a + (-b)
     fn sub(self, rhs: Rat) -> Rat {
         self + rhs.neg()
     }

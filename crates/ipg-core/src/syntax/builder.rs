@@ -30,9 +30,7 @@
 //! # Ok::<(), ipg_core::Error>(())
 //! ```
 
-use super::{
-    Alternative, Builtin, Expr, Grammar, Interval, Rule, RuleBody, SwitchCase, Term,
-};
+use super::{Alternative, Builtin, Expr, Grammar, Interval, Rule, RuleBody, SwitchCase, Term};
 use crate::blackbox::Blackbox;
 
 /// Builds a surface [`Grammar`] rule by rule.
@@ -136,19 +134,13 @@ impl AltBuilder {
 
     /// Appends `name[lo, hi]`.
     pub fn symbol(mut self, name: &str, lo: Expr, hi: Expr) -> Self {
-        self.terms.push(Term::Symbol {
-            name: name.to_owned(),
-            interval: Interval::new(lo, hi),
-        });
+        self.terms.push(Term::Symbol { name: name.to_owned(), interval: Interval::new(lo, hi) });
         self
     }
 
     /// Appends `"bytes"[lo, hi]`.
     pub fn terminal(mut self, bytes: &[u8], lo: Expr, hi: Expr) -> Self {
-        self.terms.push(Term::Terminal {
-            bytes: bytes.to_vec(),
-            interval: Interval::new(lo, hi),
-        });
+        self.terms.push(Term::Terminal { bytes: bytes.to_vec(), interval: Interval::new(lo, hi) });
         self
     }
 
@@ -165,7 +157,15 @@ impl AltBuilder {
     }
 
     /// Appends `for var = from to to do name[lo, hi]`.
-    pub fn array(mut self, var: &str, from: Expr, to: Expr, name: &str, lo: Expr, hi: Expr) -> Self {
+    pub fn array(
+        mut self,
+        var: &str,
+        from: Expr,
+        to: Expr,
+        name: &str,
+        lo: Expr,
+        hi: Expr,
+    ) -> Self {
         self.terms.push(Term::Array {
             var: var.to_owned(),
             from,
@@ -203,10 +203,7 @@ impl AltBuilder {
 
     /// Appends `star name[lo, hi]` — one-or-more repetition.
     pub fn star(mut self, name: &str, lo: Expr, hi: Expr) -> Self {
-        self.terms.push(Term::Star {
-            name: name.to_owned(),
-            interval: Interval::new(lo, hi),
-        });
+        self.terms.push(Term::Star { name: name.to_owned(), interval: Interval::new(lo, hi) });
         self
     }
 

@@ -9,9 +9,7 @@ use std::fmt;
 /// Renders literal bytes either as a quoted string (when all printable
 /// ASCII) or as a hex string `x"…"`.
 pub(crate) fn format_bytes(bytes: &[u8]) -> String {
-    let printable = bytes
-        .iter()
-        .all(|&b| (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\');
+    let printable = bytes.iter().all(|&b| (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\');
     if printable {
         format!("\"{}\"", std::str::from_utf8(bytes).expect("checked printable ASCII"))
     } else {
@@ -143,9 +141,7 @@ mod tests {
 
     #[test]
     fn empty_alternative_prints_epsilon() {
-        let g = GrammarBuilder::new()
-            .rule("E", vec![AltBuilder::new().build()])
-            .build_unchecked();
+        let g = GrammarBuilder::new().rule("E", vec![AltBuilder::new().build()]).build_unchecked();
         assert!(g.to_string().contains("E -> \"\"[0, 0];"));
     }
 

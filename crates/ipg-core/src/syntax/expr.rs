@@ -201,26 +201,31 @@ impl Expr {
     }
 
     /// `self % rhs`.
+    #[allow(clippy::should_implement_trait)] // named like `eq`/`lt` above, by value
     pub fn rem(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Mod, self, rhs)
     }
 
     /// `self << rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Shl, self, rhs)
     }
 
     /// `self >> rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Shr, self, rhs)
     }
 
     /// Bitwise and.
+    #[allow(clippy::should_implement_trait)]
     pub fn bitand(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::BitAnd, self, rhs)
     }
 
     /// Bitwise or.
+    #[allow(clippy::should_implement_trait)]
     pub fn bitor(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::BitOr, self, rhs)
     }

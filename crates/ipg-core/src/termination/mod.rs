@@ -90,8 +90,7 @@ pub fn check_termination(grammar: &Grammar) -> TerminationReport {
                     CTermKind::Symbol { nt, interval } => {
                         add_edge(&mut labels, &mut adj, from, *nt, interval)
                     }
-                    CTermKind::Array { nt, interval, .. }
-                    | CTermKind::Star { nt, interval } => {
+                    CTermKind::Array { nt, interval, .. } | CTermKind::Star { nt, interval } => {
                         add_edge(&mut labels, &mut adj, from, *nt, interval)
                     }
                     CTermKind::Switch { cases } => {
@@ -115,16 +114,14 @@ pub fn check_termination(grammar: &Grammar) -> TerminationReport {
     let mut ok = true;
     for cycle in node_cycles {
         let k = cycle.len();
-        let hop_labels: Vec<&Vec<&CInterval>> = (0..k)
-            .map(|i| &labels[&(cycle[i], cycle[(i + 1) % k])])
-            .collect();
+        let hop_labels: Vec<&Vec<&CInterval>> =
+            (0..k).map(|i| &labels[&(cycle[i], cycle[(i + 1) % k])]).collect();
         // Cartesian product over parallel edges; the cycle is decreasing
         // only if *every* labeling is refuted.
         let mut decreasing = true;
         let mut choice = vec![0usize; k];
         'labelings: loop {
-            let intervals: Vec<&CInterval> =
-                (0..k).map(|i| hop_labels[i][choice[i]]).collect();
+            let intervals: Vec<&CInterval> = (0..k).map(|i| hop_labels[i][choice[i]]).collect();
             if !refute_cycle(grammar, &intervals) {
                 decreasing = false;
                 break;
@@ -141,7 +138,10 @@ pub fn check_termination(grammar: &Grammar) -> TerminationReport {
         }
         ok &= decreasing;
         cycles.push(CycleReport {
-            nonterminals: cycle.iter().map(|&v| grammar.nt_name(NtId(v as u32)).to_owned()).collect(),
+            nonterminals: cycle
+                .iter()
+                .map(|&v| grammar.nt_name(NtId(v as u32)).to_owned())
+                .collect(),
             decreasing,
         });
     }
@@ -166,10 +166,7 @@ pub fn ensure_terminating(grammar: &Grammar) -> Result<TerminationReport> {
             .filter(|c| !c.decreasing)
             .map(|c| c.nonterminals.join(" → "))
             .collect();
-        Err(Error::Termination(format!(
-            "possibly non-terminating cycle(s): {}",
-            bad.join("; ")
-        )))
+        Err(Error::Termination(format!("possibly non-terminating cycle(s): {}", bad.join("; "))))
     }
 }
 
@@ -288,10 +285,8 @@ mod tests {
 
     #[test]
     fn acyclic_grammar_trivially_terminates() {
-        let g = parse_grammar(
-            "S -> H[0, 8] D[8, EOI]; H -> \"h\"[0, 1]; D -> \"d\"[0, 1];",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("S -> H[0, 8] D[8, EOI]; H -> \"h\"[0, 1]; D -> \"d\"[0, 1];").unwrap();
         let report = check_termination(&g);
         assert!(report.ok);
         assert_eq!(report.cycle_count(), 0);
@@ -316,10 +311,8 @@ mod tests {
     #[test]
     fn section5_example_is_flagged() {
         // A → B[0, EOI] / "s"[0,1]; B → A[0, EOI] / "s"[0,1].
-        let g = parse_grammar(
-            r#"A -> B[0, EOI] / "s"[0, 1]; B -> A[0, EOI] / "s"[0, 1];"#,
-        )
-        .unwrap();
+        let g =
+            parse_grammar(r#"A -> B[0, EOI] / "s"[0, 1]; B -> A[0, EOI] / "s"[0, 1];"#).unwrap();
         let report = check_termination(&g);
         assert!(!report.ok);
         assert_eq!(report.cycle_count(), 1);
@@ -338,10 +331,7 @@ mod tests {
     #[test]
     fn kaitai_seek_equivalent_is_flagged() {
         // Fig. 11b: S → num[0,1] S[num.val, EOI]; num.val can be 0.
-        let g = parse_grammar(
-            r#"S -> Num[0, 1] S[Num.val, EOI] / ""[0, 0]; Num := u8;"#,
-        )
-        .unwrap();
+        let g = parse_grammar(r#"S -> Num[0, 1] S[Num.val, EOI] / ""[0, 0]; Num := u8;"#).unwrap();
         let report = check_termination(&g);
         assert!(!report.ok, "num.val = 0 keeps the interval at [0, EOI]");
     }
@@ -397,10 +387,7 @@ mod tests {
     fn parallel_edges_all_checked() {
         // Two edges S→S: a shrinking one and a non-shrinking one. The
         // non-shrinking labeling must be found.
-        let g = parse_grammar(
-            r#"S -> S[1, EOI] / S[0, EOI] / "x"[0, 1];"#,
-        )
-        .unwrap();
+        let g = parse_grammar(r#"S -> S[1, EOI] / S[0, EOI] / "x"[0, 1];"#).unwrap();
         let report = check_termination(&g);
         assert!(!report.ok);
     }

@@ -287,11 +287,7 @@ mod tests {
             env: Env::new(),
             children: vec![
                 leaf(0, 1),
-                Rc::new(Tree::Array(ArrayNode {
-                    nt: NtId(1),
-                    name: "A".into(),
-                    elems: vec![],
-                })),
+                Rc::new(Tree::Array(ArrayNode { nt: NtId(1), name: "A".into(), elems: vec![] })),
             ],
             base: 0,
             input_len: 1,

@@ -42,7 +42,7 @@ fn error_messages_carry_positions() {
     let cases = [
         ("S -> [0, 1];", "expected"),
         ("S -> A[0 1];", "expected"),
-        ("S -> A[0, 1]", "expected"),        // missing semicolon
+        ("S -> A[0, 1]", "expected"), // missing semicolon
         ("S := not_a_builtin;", "unknown builtin"),
         ("S -> \"unterminated", "unterminated"),
         ("S -> A[0, (1];", "expected"),
@@ -88,10 +88,7 @@ fn duplicate_and_missing_rules_are_clean_errors() {
         .unwrap_err()
         .to_string()
         .contains("duplicate"));
-    assert!(parse_grammar("S -> Ghost[0, 1];")
-        .unwrap_err()
-        .to_string()
-        .contains("Ghost"));
+    assert!(parse_grammar("S -> Ghost[0, 1];").unwrap_err().to_string().contains("Ghost"));
     assert!(parse_grammar("start Nope; S -> \"x\"[0, 1];")
         .unwrap_err()
         .to_string()

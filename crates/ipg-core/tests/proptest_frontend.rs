@@ -66,19 +66,11 @@ fn term() -> impl Strategy<Value = Term> {
             Term::Array { var: "i".to_owned(), from, to, name, interval }
         }),
         (nt_name(), interval()).prop_map(|(name, interval)| Term::Star { name, interval }),
-        (
-            prop::collection::vec((expr(), nt_name(), interval()), 1..3),
-            nt_name(),
-            interval()
-        )
+        (prop::collection::vec((expr(), nt_name(), interval()), 1..3), nt_name(), interval())
             .prop_map(|(cases, dname, dinterval)| Term::Switch {
                 cases: cases
                     .into_iter()
-                    .map(|(cond, name, interval)| SwitchCase {
-                        cond: Some(cond),
-                        name,
-                        interval,
-                    })
+                    .map(|(cond, name, interval)| SwitchCase { cond: Some(cond), name, interval })
                     .collect(),
                 default: Box::new(SwitchCase { cond: None, name: dname, interval: dinterval }),
             }),
@@ -110,7 +102,11 @@ fn grammar() -> impl Strategy<Value = Grammar> {
                     is_local: true,
                 },
                 Rule { name: "Cc".into(), body: RuleBody::Builtin(b), is_local: false },
-                Rule { name: "Dd".into(), body: RuleBody::Builtin(Builtin::U16Be), is_local: false },
+                Rule {
+                    name: "Dd".into(),
+                    body: RuleBody::Builtin(Builtin::U16Be),
+                    is_local: false,
+                },
             ],
             start: Some("Aa".into()),
             blackboxes: vec![],

@@ -132,9 +132,7 @@ pub fn generate(config: &Config) -> Generated {
     let mut name_offsets = Vec::with_capacity(config.n_symbols);
     for i in 0..config.n_symbols {
         let len = rng.random_range(4..24);
-        let name: String = (0..len)
-            .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
-            .collect();
+        let name: String = (0..len).map(|_| (b'a' + rng.random_range(0..26u8)) as char).collect();
         let name = format!("sym_{i}_{name}");
         name_offsets.push(strtab.len() as u32);
         strtab.extend_from_slice(name.as_bytes());
@@ -225,11 +223,8 @@ pub fn generate(config: &Config) -> Generated {
     // Section header table.
     let mut summary_sections = Vec::with_capacity(sections.len());
     for (i, s) in sections.iter().enumerate() {
-        let (offset, size) = if s.ty == sh_type::NULL {
-            (0, 0)
-        } else {
-            (offsets[i], s.data.len() as u64)
-        };
+        let (offset, size) =
+            if s.ty == sh_type::NULL { (0, 0) } else { (offsets[i], s.data.len() as u64) };
         u32le(&mut bytes, shname_offsets[i]); // sh_name
         u32le(&mut bytes, s.ty); // sh_type
         u64le(&mut bytes, 0); // sh_flags
@@ -287,13 +282,8 @@ mod tests {
     fn dynamic_section_present_with_entries() {
         let cfg = Config { n_dyn: 5, ..Default::default() };
         let g = generate(&cfg);
-        let dynamic = g
-            .summary
-            .sections
-            .iter()
-            .find(|&&(ty, _, _)| ty == sh_type::DYNAMIC)
-            .copied()
-            .unwrap();
+        let dynamic =
+            g.summary.sections.iter().find(|&&(ty, _, _)| ty == sh_type::DYNAMIC).copied().unwrap();
         assert_eq!(dynamic.2 as usize, 5 * DYN_SIZE);
     }
 
@@ -301,13 +291,8 @@ mod tests {
     fn symtab_matches_symbol_count() {
         let cfg = Config { n_symbols: 9, ..Default::default() };
         let g = generate(&cfg);
-        let symtab = g
-            .summary
-            .sections
-            .iter()
-            .find(|&&(ty, _, _)| ty == sh_type::SYMTAB)
-            .copied()
-            .unwrap();
+        let symtab =
+            g.summary.sections.iter().find(|&&(ty, _, _)| ty == sh_type::SYMTAB).copied().unwrap();
         assert_eq!(symtab.2 as usize, 9 * SYM_SIZE);
         assert_eq!(g.summary.symbol_names.len(), 9);
     }
@@ -315,12 +300,7 @@ mod tests {
     #[test]
     fn strtab_contains_symbol_names() {
         let g = generate(&Config::default());
-        let strtab_idx = g
-            .summary
-            .section_names
-            .iter()
-            .position(|n| n == ".strtab")
-            .unwrap();
+        let strtab_idx = g.summary.section_names.iter().position(|n| n == ".strtab").unwrap();
         let (_, off, size) = g.summary.sections[strtab_idx];
         let strtab = &g.bytes[off as usize..(off + size) as usize];
         for name in &g.summary.symbol_names {

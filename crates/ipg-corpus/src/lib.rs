@@ -40,7 +40,13 @@ pub(crate) fn random_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
 /// DEFLATE has realistic matches to find.
 pub(crate) fn text_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
     const WORDS: [&str; 8] = [
-        "interval ", "parsing ", "grammar ", "format ", "header ", "offset ", "section ",
+        "interval ",
+        "parsing ",
+        "grammar ",
+        "format ",
+        "header ",
+        "offset ",
+        "section ",
         "attribute ",
     ];
     let mut out = Vec::with_capacity(len + 16);

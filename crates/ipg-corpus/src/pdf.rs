@@ -94,10 +94,7 @@ mod tests {
         let text = &g.bytes;
         assert!(text.starts_with(b"%PDF-1.4\n"));
         assert!(text.ends_with(b"%%EOF"));
-        assert_eq!(
-            &text[g.summary.xref_offset..g.summary.xref_offset + 4],
-            b"xref"
-        );
+        assert_eq!(&text[g.summary.xref_offset..g.summary.xref_offset + 4], b"xref");
     }
 
     #[test]
@@ -118,10 +115,7 @@ mod tests {
         let g = generate(&Config::default());
         for &(id, offset, _) in &g.summary.objects {
             let expected = format!("{id} 0 obj");
-            assert_eq!(
-                &g.bytes[offset..offset + expected.len()],
-                expected.as_bytes()
-            );
+            assert_eq!(&g.bytes[offset..offset + expected.len()], expected.as_bytes());
         }
     }
 

@@ -107,12 +107,7 @@ pub fn generate(config: &Config) -> Generated {
 
     Generated {
         bytes,
-        summary: Summary {
-            chunk_types,
-            chunk_lens,
-            width: config.width,
-            height: config.height,
-        },
+        summary: Summary { chunk_types, chunk_lens, width: config.width, height: config.height },
     }
 }
 
@@ -138,9 +133,8 @@ mod tests {
             let len = u32::from_be_bytes(g.bytes[pos..pos + 4].try_into().unwrap()) as usize;
             let ty = &g.bytes[pos + 4..pos + 8];
             let data = &g.bytes[pos + 8..pos + 8 + len];
-            let crc = u32::from_be_bytes(
-                g.bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap(),
-            );
+            let crc =
+                u32::from_be_bytes(g.bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
             let mut crc_input = ty.to_vec();
             crc_input.extend_from_slice(data);
             assert_eq!(crc, crc32(&crc_input), "chunk {}", String::from_utf8_lossy(ty));

@@ -35,7 +35,7 @@ impl<'a> BitReader<'a> {
                 return None;
             }
         }
-        let v = (self.buf & ((1u64 << count) - 1).max(0)) as u32;
+        let v = (self.buf & ((1u64 << count) - 1)) as u32;
         let v = if count == 0 { 0 } else { v };
         self.buf >>= count;
         self.n -= count;

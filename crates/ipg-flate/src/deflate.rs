@@ -117,12 +117,11 @@ fn best_match(data: &[u8], i: usize, head: &[usize], prev: &[usize]) -> (usize, 
 fn emit_length(w: &mut BitWriter, lit_codes: &[(u32, u8)], len: usize) {
     // Length codes 257..=285 (RFC 1951 §3.2.5).
     const BASE: [usize; 29] = [
-        3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99,
-        115, 131, 163, 195, 227, 258,
+        3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+        131, 163, 195, 227, 258,
     ];
-    const EXTRA: [u32; 29] = [
-        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
-    ];
+    const EXTRA: [u32; 29] =
+        [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0];
     let idx = BASE.iter().rposition(|&b| b <= len).expect("len ≥ 3");
     let (c, l) = lit_codes[257 + idx];
     w.huffman_code(c, l as u32);
@@ -131,12 +130,12 @@ fn emit_length(w: &mut BitWriter, lit_codes: &[(u32, u8)], len: usize) {
 
 fn emit_distance(w: &mut BitWriter, dist_codes: &[(u32, u8)], dist: usize) {
     const BASE: [usize; 30] = [
-        1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025,
-        1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+        1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+        2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
     ];
     const EXTRA: [u32; 30] = [
-        0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12,
-        12, 13, 13,
+        0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+        13, 13,
     ];
     let idx = BASE.iter().rposition(|&b| b <= dist).expect("dist ≥ 1");
     let (c, l) = dist_codes[idx];
@@ -185,11 +184,8 @@ mod tests {
 
     #[test]
     fn text_like_data() {
-        let data: Vec<u8> = "the quick brown fox jumps over the lazy dog. "
-            .bytes()
-            .cycle()
-            .take(5000)
-            .collect();
+        let data: Vec<u8> =
+            "the quick brown fox jumps over the lazy dog. ".bytes().cycle().take(5000).collect();
         let packed = compress(&data);
         assert!(packed.len() < data.len() / 2, "got {}", packed.len());
         assert_eq!(inflate(&packed).unwrap(), data);
@@ -197,7 +193,8 @@ mod tests {
 
     #[test]
     fn incompressible_data_still_roundtrips() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
+        let data: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
         let packed = compress(&data);
         assert_eq!(inflate(&packed).unwrap(), data);
     }

@@ -34,12 +34,12 @@ impl Decoder {
 
         // Over-subscription check.
         let mut available = 1u32;
-        for len in 1..16 {
+        for &n in &count[1..16] {
             available = available.checked_mul(2)?;
-            if count[len] > available {
+            if n > available {
                 return None;
             }
-            available -= count[len];
+            available -= n;
         }
 
         let mut first_code = [0u32; 16];

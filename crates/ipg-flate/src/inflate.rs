@@ -42,12 +42,11 @@ impl std::error::Error for InflateError {}
 
 /// Length-code base values and extra bits (codes 257..=285).
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
-const LENGTH_EXTRA: [u8; 29] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
-];
+const LENGTH_EXTRA: [u8; 29] =
+    [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0];
 
 /// Distance-code base values and extra bits (codes 0..=29).
 const DIST_BASE: [u16; 30] = [
@@ -55,8 +54,8 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Order in which code-length code lengths are stored (RFC 1951 §3.2.7).
@@ -272,10 +271,7 @@ mod tests {
     #[test]
     fn output_limit_enforced() {
         let data = [0x01, 0x03, 0x00, 0xfc, 0xff, b'a', b'b', b'c'];
-        assert_eq!(
-            inflate_with_limit(&data, 2).unwrap_err(),
-            InflateError::TooLarge
-        );
+        assert_eq!(inflate_with_limit(&data, 2).unwrap_err(), InflateError::TooLarge);
     }
 
     #[test]

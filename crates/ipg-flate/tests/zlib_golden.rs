@@ -19,17 +19,20 @@ fn zlib_small_text() {
 
 #[test]
 fn zlib_all_bytes_dynamic_huffman() {
-    // 256 distinct symbols repeated: zlib emits a dynamic-Huffman block.
+    // All 256 byte values once, then LCG-generated lowercase letters: the
+    // skewed, match-free tail makes zlib emit a dynamic-Huffman block
+    // (BTYPE=2 — check the fixture's first byte), while the prefix keeps
+    // every literal symbol in play.
     let out = inflate(&golden("golden_2048.bin")).expect("valid zlib output");
-    let expected: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
-    // The corpus repeats bytes 0..=255 eight times in order.
-    let mut want = Vec::new();
-    for _ in 0..8 {
-        want.extend(0..=255u8);
+    let mut want: Vec<u8> = (0..=255u8).collect();
+    let mut x: u64 = 1;
+    while want.len() < 2048 {
+        x = (x * 1103515245 + 12345) & 0x7fff_ffff;
+        want.push(b'a' + (x % 26) as u8);
     }
+    assert_eq!(golden("golden_2048.bin")[0] >> 1 & 3, 2, "fixture must be a dynamic block");
     assert_eq!(out.len(), 2048);
     assert_eq!(out, want);
-    let _ = expected;
 }
 
 #[test]

@@ -30,7 +30,7 @@ pub fn ipv4_udp() -> P<CombPacket> {
     uint_be(1)
         .local(0, 1)
         .and_then(|vihl| {
-            guard(vihl >> 4 == 4 && (vihl & 15) * 4 >= 20).map(move |_| ((vihl & 15) * 4) as i64)
+            guard(vihl >> 4 == 4 && (vihl & 15) * 4 >= 20).map(move |_| (vihl & 15) * 4)
         })
         .and_then(|ihl| {
             eoi().and_then(move |len| {
@@ -110,17 +110,13 @@ pub fn gif() -> P<CombGif> {
         })
         .and_then(|(w, h)| {
             let block = uint_le(1).and_then(|introducer| match introducer {
-                0x21 => uint_le(1)
-                    .then(sub_blocks())
-                    .map(|len| (0x21u8, len)),
-                0x2c => count(8, any_byte())
-                    .then(uint_le(1))
-                    .and_then(|iflags| {
-                        let lct = if iflags & 0x80 != 0 { 3 * (2usize << (iflags & 7)) } else { 0 };
-                        count(lct + 1, any_byte()) // LCT + LZW min code size
-                            .then(sub_blocks())
-                            .map(|len| (0x2cu8, len))
-                    }),
+                0x21 => uint_le(1).then(sub_blocks()).map(|len| (0x21u8, len)),
+                0x2c => count(8, any_byte()).then(uint_le(1)).and_then(|iflags| {
+                    let lct = if iflags & 0x80 != 0 { 3 * (2usize << (iflags & 7)) } else { 0 };
+                    count(lct + 1, any_byte()) // LCT + LZW min code size
+                        .then(sub_blocks())
+                        .map(|len| (0x2cu8, len))
+                }),
                 _ => ipg_core::combinators::fail(),
             });
             many(block).and_then(move |blocks| {

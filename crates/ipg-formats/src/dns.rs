@@ -65,9 +65,8 @@ pub fn parse(input: &[u8]) -> Result<DnsMessage> {
     let g = grammar();
     let tree = Parser::new(g).parse(input)?;
     let root = tree.as_node().expect("root is a node");
-    let hdr = root
-        .child_node("Hdr")
-        .ok_or_else(|| Error::Grammar("extractor: missing header".into()))?;
+    let hdr =
+        root.child_node("Hdr").ok_or_else(|| Error::Grammar("extractor: missing header".into()))?;
 
     let mut questions = Vec::new();
     if let Some(qs) = root.child_node("Qs") {

@@ -13,9 +13,7 @@ pub const SPEC: &str = include_str!("../specs/elf.ipg");
 /// The checked ELF grammar.
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| {
-        ipg_core::frontend::parse_grammar(SPEC).expect("elf.ipg is a valid IPG")
-    })
+    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("elf.ipg is a valid IPG"))
 }
 
 /// A parsed ELF file.
@@ -104,9 +102,9 @@ fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
         .ok_or_else(|| Error::Grammar("extractor: missing sections".into()))?;
 
     // Locate .shstrtab to resolve section names.
-    let shstr = sh.node(shstrndx as usize).map(|n| {
-        (need(g, n, "ofs").unwrap_or(0) as usize, need(g, n, "sz").unwrap_or(0) as usize)
-    });
+    let shstr = sh
+        .node(shstrndx as usize)
+        .map(|n| (need(g, n, "ofs").unwrap_or(0) as usize, need(g, n, "sz").unwrap_or(0) as usize));
 
     let mut sections = Vec::with_capacity(sh.len());
     for (i, hdr) in sh.nodes().enumerate() {
@@ -115,13 +113,16 @@ fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
         let size = need(g, hdr, "sz")? as u64;
         let link = need(g, hdr, "link")? as u32;
         let name_off = need(g, hdr, "name")? as usize;
-        let name = shstr.and_then(|(ofs, sz)| {
-            if name_off < sz {
-                cstr_at(input, ofs + name_off)
-            } else {
-                None
-            }
-        });
+        let name =
+            shstr.and_then(
+                |(ofs, sz)| {
+                    if name_off < sz {
+                        cstr_at(input, ofs + name_off)
+                    } else {
+                        None
+                    }
+                },
+            );
         // Sec array index i-1 corresponds to SH index i (the grammar skips
         // the null section).
         let kind = if i == 0 {
@@ -238,8 +239,7 @@ mod tests {
     fn section_names_resolve_via_shstrtab() {
         let file = gen::generate(&gen::Config::default());
         let parsed = parse(&file.bytes).unwrap();
-        let names: Vec<Option<String>> =
-            parsed.sections.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<Option<String>> = parsed.sections.iter().map(|s| s.name.clone()).collect();
         for (i, expected) in file.summary.section_names.iter().enumerate().skip(1) {
             assert_eq!(names[i].as_deref(), Some(expected.as_str()), "section {i}");
         }
@@ -292,9 +292,9 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(strtabs.iter().any(|strings| {
-            file.summary.symbol_names.iter().all(|n| strings.contains(n))
-        }));
+        assert!(strtabs
+            .iter()
+            .any(|strings| { file.summary.symbol_names.iter().all(|n| strings.contains(n)) }));
     }
 
     #[test]

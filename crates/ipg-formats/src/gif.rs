@@ -67,9 +67,8 @@ pub fn parse(input: &[u8]) -> Result<GifImage> {
     let g = grammar();
     let tree = Parser::new(g).parse(input)?;
     let root = tree.as_node().expect("root is a node");
-    let lsd = root
-        .child_node("LSD")
-        .ok_or_else(|| Error::Grammar("extractor: missing LSD".into()))?;
+    let lsd =
+        root.child_node("LSD").ok_or_else(|| Error::Grammar("extractor: missing LSD".into()))?;
     let width = need(g, lsd, "w")? as u16;
     let height = need(g, lsd, "h")? as u16;
     let has_gct = need(g, lsd, "gctflag")? == 1;
@@ -140,11 +139,8 @@ mod tests {
 
     #[test]
     fn frame_data_lengths_are_summed() {
-        let img = gen::generate(&gen::Config {
-            n_frames: 1,
-            data_per_frame: 600,
-            ..Default::default()
-        });
+        let img =
+            gen::generate(&gen::Config { n_frames: 1, data_per_frame: 600, ..Default::default() });
         let parsed = parse(&img.bytes).unwrap();
         let GifBlock::Image { data_len, .. } = parsed.blocks[1] else {
             panic!("expected image block after GCE");

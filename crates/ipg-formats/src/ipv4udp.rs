@@ -12,9 +12,7 @@ pub const SPEC: &str = include_str!("../specs/ipv4udp.ipg");
 /// The checked IPv4+UDP grammar.
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| {
-        ipg_core::frontend::parse_grammar(SPEC).expect("ipv4udp.ipg is a valid IPG")
-    })
+    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("ipv4udp.ipg is a valid IPG"))
 }
 
 /// A parsed datagram.
@@ -60,10 +58,8 @@ pub fn parse(input: &[u8]) -> Result<Ipv4UdpPacket> {
     let dst_node = root
         .child_node("Dst")
         .ok_or_else(|| Error::Grammar("extractor: missing destination address".into()))?;
-    let src: [u8; 4] =
-        input[src_node.span().0..src_node.span().1].try_into().expect("4 bytes");
-    let dst: [u8; 4] =
-        input[dst_node.span().0..dst_node.span().1].try_into().expect("4 bytes");
+    let src: [u8; 4] = input[src_node.span().0..src_node.span().1].try_into().expect("4 bytes");
+    let dst: [u8; 4] = input[dst_node.span().0..dst_node.span().1].try_into().expect("4 bytes");
     Ok(Ipv4UdpPacket {
         ihl: need(g, root, "ihl")? as usize,
         total_len: need(g, root, "tot")? as u16,

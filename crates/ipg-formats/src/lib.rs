@@ -86,8 +86,8 @@ mod tests {
         // The §7 claim: every format grammar passes termination checking
         // with at most a handful of elementary cycles.
         for (name, spec) in super::all_specs() {
-            let g = ipg_core::frontend::parse_grammar(spec)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let g =
+                ipg_core::frontend::parse_grammar(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
             let report = ipg_core::termination::check_termination(&g);
             assert!(report.ok, "{name} failed termination: {report:?}");
             assert!(

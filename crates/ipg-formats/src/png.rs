@@ -39,9 +39,8 @@ pub fn parse(input: &[u8]) -> Result<PngImage> {
     let g = grammar();
     let tree = Parser::new(g).parse(input)?;
     let root = tree.as_node().expect("root is a node");
-    let ihdr = root
-        .child_node("IHDR")
-        .ok_or_else(|| Error::Grammar("extractor: missing IHDR".into()))?;
+    let ihdr =
+        root.child_node("IHDR").ok_or_else(|| Error::Grammar("extractor: missing IHDR".into()))?;
 
     let mut chunks = Vec::new();
     if let Some(arr) = root.child_array("Chunk") {
@@ -78,12 +77,8 @@ mod tests {
         assert_eq!(parsed.height, f.summary.height);
         assert_eq!(parsed.bit_depth, 8);
         // Chunks exclude IHDR and IEND.
-        let expected: Vec<&String> = f
-            .summary
-            .chunk_types
-            .iter()
-            .filter(|t| *t != "IHDR" && *t != "IEND")
-            .collect();
+        let expected: Vec<&String> =
+            f.summary.chunk_types.iter().filter(|t| *t != "IHDR" && *t != "IEND").collect();
         let got: Vec<&String> = parsed.chunks.iter().map(|(t, _)| t).collect();
         assert_eq!(got, expected);
     }
@@ -101,11 +96,7 @@ mod tests {
 
     #[test]
     fn minimal_image_without_middle_chunks() {
-        let f = gen::generate(&gen::Config {
-            n_idat: 0,
-            with_text: false,
-            ..Default::default()
-        });
+        let f = gen::generate(&gen::Config { n_idat: 0, with_text: false, ..Default::default() });
         let parsed = parse(&f.bytes).unwrap();
         assert!(parsed.chunks.is_empty());
     }

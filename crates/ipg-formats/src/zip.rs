@@ -26,8 +26,8 @@ pub fn grammar_inflate() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| {
         let bb = Blackbox::new("inflate", |input| {
-            let (data, consumed) = ipg_flate::inflate_with_limit(input, 1 << 30)
-                .map_err(|e| e.to_string())?;
+            let (data, consumed) =
+                ipg_flate::inflate_with_limit(input, 1 << 30).map_err(|e| e.to_string())?;
             Ok(BlackboxResult { consumed, data, attr_values: vec![] })
         });
         ipg_core::frontend::parse_grammar_with(SPEC_INFLATE, vec![bb])

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = args.next().unwrap_or_else(|| "generated_parser.rs".to_owned());
         let code = ipg_core::codegen::generate_rust(&grammar)?;
         std::fs::write(&out, &code)?;
-        println!("wrote generated recursive-descent parser to {out} ({} lines)", code.lines().count());
+        println!(
+            "wrote generated recursive-descent parser to {out} ({} lines)",
+            code.lines().count()
+        );
     }
     Ok(())
 }

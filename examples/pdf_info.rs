@@ -22,11 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let doc = ipg_formats::pdf::parse(&bytes)?;
+    println!("xref table at offset {} (found by scanning backward from %%EOF)", doc.xref_offset);
     println!(
-        "xref table at offset {} (found by scanning backward from %%EOF)",
-        doc.xref_offset
+        "{} xref entries (incl. the free entry), {} objects:",
+        doc.xref_count,
+        doc.objects.len()
     );
-    println!("{} xref entries (incl. the free entry), {} objects:", doc.xref_count, doc.objects.len());
     for obj in &doc.objects {
         println!(
             "  obj {:>3} at {:>6}: /Length {:>5}, stream at {}..{}",

@@ -32,10 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("H.offset = {:?}", header.attr(&grammar, "offset"));
     println!("H.length = {:?}", header.attr(&grammar, "length"));
     println!("Data spans input[{}..{}]", data.span().0, data.span().1);
-    println!(
-        "Data bytes = {:?}",
-        String::from_utf8_lossy(&input[data.span().0..data.span().1])
-    );
+    println!("Data bytes = {:?}", String::from_utf8_lossy(&input[data.span().0..data.span().1]));
 
     // Fig. 3: the binary number parser — left recursion bounded by
     // shrinking intervals, so plain recursive descent terminates.
@@ -48,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
     let tree = Parser::new(&binary).parse(b"101101")?;
-    println!(
-        "binary 101101 = {:?}",
-        tree.as_node().expect("node").attr(&binary, "val")
-    );
+    println!("binary 101101 = {:?}", tree.as_node().expect("node").attr(&binary, "val"));
 
     // And the static termination check of §5.
     let report = check_termination(&binary);

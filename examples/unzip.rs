@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::fs::create_dir_all(&dir)?;
             for (name, data) in &files {
                 let path = std::path::Path::new(&dir).join(name);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
                 std::fs::write(&path, data)?;
                 println!("extracted {} ({} bytes)", path.display(), data.len());
             }

@@ -46,7 +46,8 @@ fn zip_three_way_agreement() {
 #[test]
 fn unzip_extraction_agreement() {
     for n in [1usize, 5] {
-        let a = zip::generate(&zip::Config { n_entries: n, payload_len: 3000, ..Default::default() });
+        let a =
+            zip::generate(&zip::Config { n_entries: n, payload_len: 3000, ..Default::default() });
         let ipg = ipg_formats::zip::extract(&a.bytes).expect("ipg extracts");
         let hand = handwritten::unzip(&a.bytes).expect("handwritten extracts");
         assert_eq!(ipg.len(), hand.len());
@@ -90,8 +91,7 @@ fn elf_three_way_agreement() {
             .flatten()
             .map(|s| s.name.clone().unwrap_or_default())
             .collect();
-        let hand_names: Vec<String> =
-            hand.symbols.iter().map(|&(n, _, _)| n.to_owned()).collect();
+        let hand_names: Vec<String> = hand.symbols.iter().map(|&(n, _, _)| n.to_owned()).collect();
         assert_eq!(ipg_names, hand_names);
         assert_eq!(ipg_names, kaitai.symbol_names);
     }
@@ -100,7 +100,11 @@ fn elf_three_way_agreement() {
 #[test]
 fn gif_agreement_with_kaitai_style() {
     for frames in [0usize, 1, 7] {
-        let img = gif::generate(&gif::Config { n_frames: frames, seed: frames as u64 + 1, ..Default::default() });
+        let img = gif::generate(&gif::Config {
+            n_frames: frames,
+            seed: frames as u64 + 1,
+            ..Default::default()
+        });
         let ipg = ipg_formats::gif::parse(&img.bytes).expect("ipg parses");
         let kaitai = kaitai_style::parse_gif(&img.bytes).expect("kaitai parses");
         assert_eq!(ipg.width, kaitai.width);
@@ -125,7 +129,8 @@ fn gif_agreement_with_kaitai_style() {
 #[test]
 fn pe_agreement_with_kaitai_style() {
     for secs in [1usize, 5, 12] {
-        let f = pe::generate(&pe::Config { n_sections: secs, seed: secs as u64, ..Default::default() });
+        let f =
+            pe::generate(&pe::Config { n_sections: secs, seed: secs as u64, ..Default::default() });
         let ipg = ipg_formats::pe::parse(&f.bytes).expect("ipg parses");
         let kaitai = kaitai_style::parse_pe(&f.bytes).expect("kaitai parses");
         assert_eq!(ipg.sections.len(), kaitai.sections.len());
@@ -178,10 +183,7 @@ fn ipv4udp_agreement_with_nail_style() {
         assert_eq!(ipg.dst, nail.dst);
         assert_eq!(ipg.sport, nail.sport);
         assert_eq!(ipg.dport, nail.dport);
-        assert_eq!(
-            &p.bytes[ipg.payload.0..ipg.payload.1],
-            nail.arena.get(nail.payload)
-        );
+        assert_eq!(&p.bytes[ipg.payload.0..ipg.payload.1], nail.arena.get(nail.payload));
     }
 }
 

@@ -33,9 +33,7 @@ fn main() {{
 "#,
         prints = attrs
             .iter()
-            .map(|a| format!(
-                "println!(\"{a}={{}}\", node.attr({a:?}).unwrap_or(-1));"
-            ))
+            .map(|a| format!("println!(\"{a}={{}}\", node.attr({a:?}).unwrap_or(-1));"))
             .collect::<Vec<_>>()
             .join("\n            ")
     );
@@ -117,8 +115,7 @@ fn generated_gif_parser_agrees_with_interpreter() {
     let last = bad.len() - 1;
     bad[last] = 0x00; // clobber the trailer
 
-    let results =
-        compile_and_run("gif", &src, &[], &[("good", good.bytes.clone()), ("bad", bad)]);
+    let results = compile_and_run("gif", &src, &[], &[("good", good.bytes.clone()), ("bad", bad)]);
     assert!(results[0].0, "generated parser rejected a valid GIF");
     assert!(!results[1].0, "generated parser accepted a GIF without trailer");
 }

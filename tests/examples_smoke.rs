@@ -1,0 +1,59 @@
+//! Smoke test: every example must run cleanly end to end. The examples
+//! generate their own tiny corpus inputs when invoked without a path, so
+//! each invocation exercises generator → grammar → extractor in one go;
+//! `check_grammar` is pointed at an embedded `.ipg` spec.
+
+use std::process::Command;
+
+fn run_example(name: &str, args: &[&str]) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let out = Command::new(cargo)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["run", "--quiet", "--example", name, "--"])
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        out.status.success(),
+        "example `{name}` exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(!out.stdout.is_empty(), "example `{name}` printed nothing");
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart", &[]);
+}
+
+#[test]
+fn unzip_runs() {
+    run_example("unzip", &[]);
+}
+
+#[test]
+fn elf_inspect_runs() {
+    run_example("elf_inspect", &[]);
+}
+
+#[test]
+fn gif_info_runs() {
+    run_example("gif_info", &[]);
+}
+
+#[test]
+fn dns_dump_runs() {
+    run_example("dns_dump", &[]);
+}
+
+#[test]
+fn pdf_info_runs() {
+    run_example("pdf_info", &[]);
+}
+
+#[test]
+fn check_grammar_runs_on_an_embedded_spec() {
+    run_example("check_grammar", &["crates/ipg-formats/specs/gif.ipg"]);
+}

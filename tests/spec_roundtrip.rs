@@ -10,9 +10,7 @@ use ipg_core::interp::Parser;
 
 fn roundtrip_and_compare(name: &str, spec: &str, sample: &[u8]) {
     let original = parse_grammar(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let printed = parse_surface(spec)
-        .unwrap_or_else(|e| panic!("{name}: {e}"))
-        .to_string();
+    let printed = parse_surface(spec).unwrap_or_else(|e| panic!("{name}: {e}")).to_string();
     let reparsed =
         parse_grammar(&printed).unwrap_or_else(|e| panic!("{name} (printed): {e}\n{printed}"));
 

@@ -63,9 +63,11 @@ fn dns_structure_is_left_to_right() {
     // from rdlen, so the structural rules must all pass.
     let report = stream_analysis(ipg_formats::dns::grammar());
     for name in ["DNS", "Hdr", "Q", "A", "Name", "Label", "Qs", "As"] {
-        let rule = report.rules.iter().find(|r| r.name == name).unwrap_or_else(|| {
-            panic!("rule {name} missing from report")
-        });
+        let rule = report
+            .rules
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("rule {name} missing from report"));
         assert!(rule.streamable, "{name} blocked: {:?}", rule.blockers);
     }
 }

@@ -1,0 +1,274 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal harness implementing the criterion API surface the `bench` crate
+//! uses: [`Criterion`] with `benchmark_group`, groups with
+//! `throughput`/`bench_function`/`bench_with_input`/`finish`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: per benchmark it warms up for the
+//! configured warm-up time, then runs timed batches until the measurement
+//! time elapses, and reports the mean wall-clock time per iteration (plus
+//! throughput when configured). There is no statistical analysis, HTML
+//! report, or baseline comparison — the point is that `cargo bench` compiles,
+//! runs, and prints comparable numbers without external dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_millis(1500),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up time.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the per-benchmark measurement time.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = size;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Identifies one benchmark within a group (`<function>/<parameter>`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size.max(1),
+            mean: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let mean = bencher.mean;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                let gib_per_s = n as f64 / mean.as_secs_f64() / (1u64 << 30) as f64;
+                format!(" thrpt: {gib_per_s:>9.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                let elem_per_s = n as f64 / mean.as_secs_f64();
+                format!(" thrpt: {elem_per_s:>12.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<40} time: {}{}", self.name, self.id_suffix(&id), format_time(mean), rate);
+    }
+
+    fn id_suffix(&self, id: &BenchmarkId) -> String {
+        id.id.clone()
+    }
+}
+
+/// Timing loop handle passed to benchmark routines.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates the per-iteration cost so the measurement
+        // phase can pick a batch size with low timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let batch = (budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean = if iters == 0 { Duration::ZERO } else { total / iters as u32 };
+    }
+}
+
+/// Prevents the compiler from optimizing a value away (re-export shim).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn format_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:>9.3} s ", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:>9.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:>9.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos:>9} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the listed groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags such as `--bench`; this
+            // harness has no modes, so flags are accepted and ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_mean() {
+        let mut criterion = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut group = criterion.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("work", 1), &vec![1u8; 1024], |b, input| {
+            b.iter(|| input.iter().map(|&x| x as u64).sum::<u64>());
+            ran = true;
+        });
+        group.bench_function("fn_form", |b| b.iter(|| 2 + 2));
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,30 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.max_exclusive - self.min;
+        let len = self.min + if span == 0 { 0 } else { rng.below(span) };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector strategy with length in `size` (half-open), mirroring
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "cannot sample empty size range");
+    VecStrategy { element, min: size.start, max_exclusive: size.end }
+}

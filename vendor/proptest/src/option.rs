@@ -1,0 +1,27 @@
+//! Option strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<S::Value>` (`None` half the time).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Mirrors `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing one element of a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// Mirrors `proptest::sample::select`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}

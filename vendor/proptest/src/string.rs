@@ -1,0 +1,139 @@
+//! String generation from the regex-like patterns proptest accepts as
+//! strategies.
+//!
+//! Supported subset (everything the workspace's test suites use):
+//!
+//! * `[<class>]{m,n}` — a character class of literals and `a-z` ranges,
+//!   repeated between `m` and `n` times.
+//! * `\PC{m,n}` — any non-control character, repeated between `m` and `n`
+//!   times.
+//!
+//! Unrecognized patterns fall back to being emitted literally, which keeps
+//! the harness total (a property test would then fail loudly rather than
+//! generate confusing data silently).
+
+use crate::test_runner::TestRng;
+
+enum CharClass {
+    /// Explicit candidate set from a `[...]` class.
+    Set(Vec<char>),
+    /// `\PC`: any non-control scalar value.
+    Printable,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Set(chars) => chars[rng.below(chars.len())],
+            CharClass::Printable => loop {
+                // Bias toward ASCII so generated text exercises ordinary
+                // grammar syntax, while still covering wider Unicode.
+                let c = if rng.next_u64() & 3 != 0 {
+                    (0x20u8 + rng.below(0x5f) as u8) as char
+                } else {
+                    match char::from_u32(rng.below(0x11_0000) as u32) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                };
+                if !c.is_control() {
+                    return c;
+                }
+            },
+        }
+    }
+}
+
+fn parse_class(pattern: &str) -> Option<(CharClass, &str)> {
+    if let Some(rest) = pattern.strip_prefix("\\PC") {
+        return Some((CharClass::Printable, rest));
+    }
+    let rest = pattern.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let (body, rest) = (&rest[..end], &rest[end + 1..]);
+    let mut chars = Vec::new();
+    let body: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            for code in lo as u32..=hi as u32 {
+                chars.extend(char::from_u32(code));
+            }
+            i += 3;
+        } else {
+            chars.push(body[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((CharClass::Set(chars), rest))
+}
+
+fn parse_repeat(pattern: &str) -> Option<(usize, usize, &str)> {
+    let rest = pattern.strip_prefix('{')?;
+    let end = rest.find('}')?;
+    let (body, rest) = (&rest[..end], &rest[end + 1..]);
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((min, max, rest))
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let Some((class, rest)) = parse_class(pattern) else {
+        return pattern.to_owned();
+    };
+    let (min, max, rest) = match parse_repeat(rest) {
+        Some((min, max, rest)) => (min, max, rest),
+        None => (1, 1, rest),
+    };
+    if !rest.is_empty() || min > max {
+        return pattern.to_owned();
+    }
+    let len = min + if max == min { 0 } else { rng.below(max - min + 1) };
+    (0..len).map(|_| class.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charset_pattern_respects_class_and_length() {
+        let mut rng = TestRng::deterministic("charset", 0);
+        for case in 0..200 {
+            let mut rng2 = TestRng::deterministic("charset", case);
+            let s = generate_from_pattern("[a-zA-Z0-9 .!-]{0,8}", &mut rng2);
+            assert!(s.chars().count() <= 8, "{s:?}");
+            for c in s.chars() {
+                assert!(c.is_ascii_alphanumeric() || " .!-".contains(c), "unexpected char {c:?}");
+            }
+        }
+        let s = generate_from_pattern("[abc]{3}", &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn printable_pattern_never_emits_control_chars() {
+        for case in 0..200 {
+            let mut rng = TestRng::deterministic("printable", case);
+            let s = generate_from_pattern("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_patterns_fall_back_to_literal() {
+        let mut rng = TestRng::deterministic("literal", 0);
+        assert_eq!(generate_from_pattern("plain", &mut rng), "plain");
+    }
+}
