@@ -1,0 +1,61 @@
+//! DEFLATE decode throughput: the table-driven fast path vs the seed
+//! per-bit canonical decoder, over stored, fixed-Huffman, and
+//! dynamic-Huffman (zlib golden fixture) streams, plus the end-to-end
+//! `zip_inflate` grammar whose blackbox carries the decoder.
+//!
+//! Quick mode for CI smoke runs: set `IPG_BENCH_QUICK=1` to shrink warm-up
+//! and measurement times. `cargo run -p bench --bin bench_inflate` emits
+//! the machine-readable `BENCH_inflate.json` version of these numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn inflate_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inflate_throughput");
+    let workloads: Vec<(String, Vec<u8>)> = vec![
+        ("stored/64k".into(), bench::deflate_stored_stream(64 * 1024)),
+        ("fixed/64k".into(), bench::deflate_fixed_stream(64 * 1024)),
+        ("dynamic/golden_2048".into(), bench::golden_fixture("golden_2048.bin")),
+        ("dynamic/golden_100000".into(), bench::golden_fixture("golden_100000.bin")),
+    ];
+    for (name, stream) in &workloads {
+        let out_len = ipg_flate::inflate(stream).expect("workload inflates").len();
+        group.throughput(Throughput::Bytes(out_len as u64));
+        group.bench_with_input(BenchmarkId::new("fast", name), stream, |b, s| {
+            b.iter(|| ipg_flate::inflate(black_box(s)).expect("valid stream"));
+        });
+        group.bench_with_input(BenchmarkId::new("seed", name), stream, |b, s| {
+            b.iter(|| ipg_flate::inflate_slow(black_box(s)).expect("valid stream"));
+        });
+    }
+    group.finish();
+}
+
+fn zip_inflate_grammar(c: &mut Criterion) {
+    use ipg_core::interp::Parser;
+
+    let mut group = c.benchmark_group("zip_inflate_grammar");
+    let archive = bench::zip_with_entries(4);
+    let grammar = ipg_formats::zip::grammar_inflate();
+    group.throughput(Throughput::Bytes(archive.len() as u64));
+    group.bench_with_input(BenchmarkId::new("interp", 4), &archive, |b, a| {
+        b.iter(|| Parser::new(grammar).parse(black_box(a)).expect("valid archive"));
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    let quick = std::env::var_os("IPG_BENCH_QUICK").is_some();
+    let (warm, measure) = if quick { (50, 150) } else { (300, 800) };
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(warm))
+        .measurement_time(std::time::Duration::from_millis(measure))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = inflate_streams, zip_inflate_grammar
+}
+criterion_main!(benches);

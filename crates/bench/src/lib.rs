@@ -12,6 +12,8 @@
 //! | Fig. 14a/b (heap consumption)     | `cargo run -p bench --bin fig14_memory --release` |
 //! | §7 termination timing             | `cargo run -p bench --bin termination_report` |
 //! | Design-choice ablations           | `cargo bench -p bench --bench ablations` |
+//! | Inflate fast-path throughput      | `cargo bench -p bench --bench inflate_throughput` |
+//! | `BENCH_inflate.json` perf record  | `cargo run --release -p bench --bin bench_inflate` |
 
 use ipg_corpus::{dns, elf, gif, ipv4udp, pdf, pe, zip};
 
@@ -103,6 +105,39 @@ pub fn udp_with_payload(n: usize) -> Vec<u8> {
 /// pattern re-reads object headers).
 pub fn pdf_with_objects(n: usize) -> Vec<u8> {
     pdf::generate(&pdf::Config { n_objects: n, stream_len: 1024, seed: 7 }).bytes
+}
+
+/// Names of the zlib-produced golden DEFLATE fixtures shipped with
+/// `ipg-flate` (the dynamic-Huffman cross-implementation vectors).
+pub const GOLDEN_FIXTURES: [&str; 5] =
+    ["golden_0.bin", "golden_23.bin", "golden_1800.bin", "golden_2048.bin", "golden_100000.bin"];
+
+/// Loads one of `ipg-flate`'s golden DEFLATE fixtures by name.
+///
+/// # Panics
+///
+/// If the fixture is missing (the repo checkout is incomplete).
+pub fn golden_fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/../ipg-flate/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"))
+}
+
+/// A stored-block DEFLATE stream over `len` incompressible bytes.
+pub fn deflate_stored_stream(len: usize) -> Vec<u8> {
+    let data: Vec<u8> = (0..len as u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+    ipg_flate::compress_stored(&data)
+}
+
+/// A fixed-Huffman DEFLATE stream over `len` bytes of English-like text
+/// (our own encoder only emits fixed-Huffman blocks).
+pub fn deflate_fixed_stream(len: usize) -> Vec<u8> {
+    let data: Vec<u8> = b"The quick brown fox jumps over the lazy dog. "
+        .iter()
+        .copied()
+        .cycle()
+        .take(len)
+        .collect();
+    ipg_flate::compress(&data)
 }
 
 /// A ZIP archive of `n` large *stored* entries — the workload where the

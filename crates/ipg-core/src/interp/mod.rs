@@ -26,7 +26,7 @@ use crate::env::{wellknown, Env};
 use crate::error::{Error, ParseError, Result};
 use crate::syntax::BinOp;
 use crate::tree::{ArrayNode, BlackboxNode, Leaf, Node, Tree};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::rc::Rc;
 
 /// A configured IPG parser for one grammar.
@@ -131,10 +131,17 @@ impl<'g> Parser<'g> {
     }
 
     fn session<'i>(&self, input: &'i [u8]) -> Session<'g, 'i> {
+        // Pre-size the memo from grammar size: each non-local nonterminal
+        // tends to be invoked at a handful of distinct (base, len) slices,
+        // so this avoids the rehash-and-move churn of growing from empty.
+        // FxHash (vs the default SipHash) makes the short tuple keys cheap.
+        // With memoization off the map is never written, so skip the
+        // allocation entirely.
+        let memo_capacity = if self.memoize { 8 * self.grammar.nt_count() } else { 0 };
         Session {
             g: self.grammar,
             input,
-            memo: HashMap::new(),
+            memo: FxHashMap::with_capacity_and_hasher(memo_capacity, Default::default()),
             memoize: self.memoize,
             steps: 0,
             memo_hits: 0,
@@ -231,7 +238,7 @@ impl AltCtx<'_> {
 struct Session<'g, 'i> {
     g: &'g Grammar,
     input: &'i [u8],
-    memo: HashMap<(NtId, usize, usize), Option<Rc<Tree>>>,
+    memo: FxHashMap<(NtId, usize, usize), Option<Rc<Tree>>>,
     memoize: bool,
     steps: u64,
     memo_hits: u64,
@@ -655,12 +662,12 @@ impl Session<'_, '_> {
                 node_attr(tree, *nt, *attr)
             }
             CExpr::OuterAttr { nt, attr } => {
-                let tree = ctx.lookup_outer_node(*nt)?.clone();
-                node_attr(&tree, *nt, *attr)
+                let tree = ctx.lookup_outer_node(*nt)?;
+                node_attr(tree, *nt, *attr)
             }
             CExpr::ElemAttr { term, nt, index, attr } => {
                 let k = self.eval(index, ctx)?;
-                let tree = ctx.results[*term].as_ref()?.clone();
+                let tree = ctx.results[*term].as_ref()?;
                 let Tree::Array(arr) = tree.as_ref() else { return None };
                 if arr.nt != *nt || k < 0 {
                     return None;
@@ -680,14 +687,16 @@ impl Session<'_, '_> {
                 node_attr(&elem, *nt, *attr)
             }
             CExpr::Exists { var, term, nt, cond, then, els } => {
-                let arr: Vec<Rc<Tree>> = match term {
+                // Only the element *count* is needed up front (the body
+                // reaches elements through `ElemAttr`/`OuterElem`), so no
+                // clone of the element vector is taken.
+                let n = match term {
                     Some(t) => match ctx.results[*t].as_ref()?.as_ref() {
-                        Tree::Array(a) if a.nt == *nt => a.elems.clone(),
+                        Tree::Array(a) if a.nt == *nt => a.elems.len(),
                         _ => return None,
                     },
-                    None => ctx.lookup_outer_array(*nt)?.elems.clone(),
+                    None => ctx.lookup_outer_array(*nt)?.elems.len(),
                 };
-                let n = arr.len();
                 let mut found: Option<i64> = None;
                 ctx.env.push_scope(*var, 0);
                 for k in 0..n {
@@ -795,18 +804,12 @@ fn adjust_tree(tree: &Rc<Tree>, l: i64) -> Rc<Tree> {
     match tree.as_ref() {
         Tree::Node(n) => {
             let mut node = n.clone();
-            let s = node.env.start();
-            let e = node.env.end();
-            node.env.set(wellknown::START, s + l);
-            node.env.set(wellknown::END, e + l);
+            node.env.shift_start_end(l);
             Rc::new(Tree::Node(node))
         }
         Tree::Blackbox(b) => {
             let mut bb = b.clone();
-            let s = bb.env.start();
-            let e = bb.env.end();
-            bb.env.set(wellknown::START, s + l);
-            bb.env.set(wellknown::END, e + l);
+            bb.env.shift_start_end(l);
             Rc::new(Tree::Blackbox(bb))
         }
         _ => Rc::clone(tree),

@@ -14,40 +14,95 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     /// Starts reading at the beginning of `data`.
+    #[inline]
     pub fn new(data: &'a [u8]) -> Self {
         BitReader { data, pos: 0, buf: 0, n: 0 }
     }
 
-    fn refill(&mut self) {
-        while self.n <= 56 && self.pos < self.data.len() {
-            self.buf |= (self.data[self.pos] as u64) << self.n;
-            self.pos += 1;
-            self.n += 8;
+    /// Tops the buffer up to at least 56 valid bits (fewer near end of
+    /// input). One unaligned 64-bit load covers the common case, so several
+    /// Huffman code words can be decoded per refill; bits above `n` stay
+    /// zero so [`BitReader::peek`] pads truncated streams with zeros.
+    ///
+    /// The inflate hot loop calls this once per iteration and then decodes
+    /// with [`BitReader::peek_raw`]: 56 bits cover a worst-case
+    /// literal/length code, its extra bits, a distance code, and its extra
+    /// bits without intermediate refill branches.
+    #[inline]
+    pub fn refill(&mut self) {
+        if self.pos + 8 <= self.data.len() {
+            let chunk = u64::from_le_bytes(
+                self.data[self.pos..self.pos + 8].try_into().expect("8-byte chunk"),
+            );
+            // Whole bytes that still fit: with n ≤ 63 this is 0..=7, so the
+            // mask shift below never reaches 64.
+            let take = (63 - self.n) >> 3;
+            self.buf |= (chunk & ((1u64 << (take * 8)) - 1)) << self.n;
+            self.pos += take as usize;
+            self.n += take * 8;
+        } else {
+            while self.n <= 56 && self.pos < self.data.len() {
+                self.buf |= (self.data[self.pos] as u64) << self.n;
+                self.pos += 1;
+                self.n += 8;
+            }
         }
     }
 
-    /// Reads `count` bits (0 ≤ count ≤ 32); `None` at end of input.
-    pub fn bits(&mut self, count: u32) -> Option<u32> {
+    /// Returns the next `count` bits (0 ≤ count ≤ 32) *without* consuming
+    /// them, refilling as needed. Past end of input the result is
+    /// zero-padded; pair with [`BitReader::consume`], which checks that the
+    /// consumed bits actually existed.
+    #[inline]
+    pub fn peek(&mut self, count: u32) -> u32 {
         debug_assert!(count <= 32);
         if self.n < count {
             self.refill();
-            if self.n < count {
-                return None;
-            }
         }
-        let v = (self.buf & ((1u64 << count) - 1)) as u32;
-        let v = if count == 0 { 0 } else { v };
+        self.peek_raw(count)
+    }
+
+    /// [`BitReader::peek`] without the refill check: the caller must have
+    /// called [`BitReader::refill`] recently enough that `count` bits are
+    /// buffered (or the input is exhausted, in which case the padding zeros
+    /// are harmless because [`BitReader::consume`] will refuse them).
+    #[inline]
+    pub fn peek_raw(&self, count: u32) -> u32 {
+        debug_assert!(count <= 32);
+        (self.buf & ((1u64 << count) - 1)) as u32
+    }
+
+    /// Consumes `count` previously peeked bits; `false` (consuming nothing)
+    /// if fewer than `count` bits of input remain.
+    #[inline]
+    pub fn consume(&mut self, count: u32) -> bool {
+        if count > self.n {
+            return false;
+        }
         self.buf >>= count;
         self.n -= count;
-        Some(v)
+        true
+    }
+
+    /// Reads `count` bits (0 ≤ count ≤ 32); `None` at end of input.
+    #[inline]
+    pub fn bits(&mut self, count: u32) -> Option<u32> {
+        let v = self.peek(count);
+        if self.consume(count) {
+            Some(v)
+        } else {
+            None
+        }
     }
 
     /// Reads one bit.
+    #[inline]
     pub fn bit(&mut self) -> Option<u32> {
         self.bits(1)
     }
 
     /// Discards buffered bits to the next byte boundary.
+    #[inline]
     pub fn align_byte(&mut self) {
         let drop = self.n % 8;
         self.buf >>= drop;
@@ -56,16 +111,38 @@ impl<'a> BitReader<'a> {
 
     /// Reads `count` whole bytes after aligning (used by stored blocks).
     pub fn bytes(&mut self, count: usize) -> Option<Vec<u8>> {
-        self.align_byte();
         let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            out.push(self.bits(8)? as u8);
+        if self.copy_aligned_bytes(count, &mut out) {
+            Some(out)
+        } else {
+            None
         }
-        Some(out)
+    }
+
+    /// After aligning, appends `count` input bytes to `out` with a bulk
+    /// copy; `false` if the input ends first (some bytes may already have
+    /// been appended).
+    pub fn copy_aligned_bytes(&mut self, count: usize, out: &mut Vec<u8>) -> bool {
+        self.align_byte();
+        let mut remaining = count;
+        // Drain whole bytes still sitting in the bit buffer.
+        while remaining > 0 && self.n >= 8 {
+            out.push((self.buf & 0xff) as u8);
+            self.buf >>= 8;
+            self.n -= 8;
+            remaining -= 1;
+        }
+        if remaining > self.data.len() - self.pos {
+            return false;
+        }
+        out.extend_from_slice(&self.data[self.pos..self.pos + remaining]);
+        self.pos += remaining;
+        true
     }
 
     /// Number of whole input bytes consumed so far (counting buffered but
     /// unread bits as consumed input).
+    #[inline]
     pub fn bytes_consumed(&self) -> usize {
         self.pos - (self.n / 8) as usize
     }
@@ -188,6 +265,47 @@ mod tests {
         assert_eq!(r.bit(), Some(0));
         assert_eq!(r.bit(), Some(1));
         assert_eq!(r.bit(), Some(1));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = BitReader::new(&[0xab, 0xcd]);
+        assert_eq!(r.peek(8), 0xab);
+        assert_eq!(r.peek(16), 0xcdab);
+        assert!(r.consume(4));
+        assert_eq!(r.peek(8), 0xda, "high nibble of 0xab then low nibble of 0xcd");
+    }
+
+    #[test]
+    fn peek_zero_pads_past_eof_and_consume_refuses() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.peek(16), 0x00ff, "bits past the end read as zero");
+        assert!(!r.consume(9), "cannot consume bits that do not exist");
+        assert!(r.consume(8));
+        assert!(!r.consume(1));
+    }
+
+    #[test]
+    fn refill_handles_long_inputs() {
+        // > 8 bytes exercises the unaligned 64-bit refill path.
+        let data: Vec<u8> = (0..32).collect();
+        let mut r = BitReader::new(&data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(r.bits(8), Some(b as u32), "byte {i}");
+        }
+        assert_eq!(r.bits(1), None);
+    }
+
+    #[test]
+    fn copy_aligned_bytes_drains_buffer_then_bulk_copies() {
+        let mut data = vec![0b0000_0001];
+        data.extend(0u8..20);
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.bit(), Some(1));
+        let mut out = Vec::new();
+        assert!(r.copy_aligned_bytes(20, &mut out));
+        assert_eq!(out, (0u8..20).collect::<Vec<_>>());
+        assert!(!r.copy_aligned_bytes(1, &mut out), "input exhausted");
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! Canonical Huffman codes as used by DEFLATE (RFC 1951 §3.2.2).
+//!
+//! Two decoders are provided: [`Decoder`], the per-bit canonical walk kept
+//! as the slow/validation path, and [`TableDecoder`], a libdeflate-style
+//! table decoder (a root table sized to the profile's longest code, capped
+//! at 11 bits, plus overflow subtables for deeper codes) used by the fast
+//! inflate path. Both are built from the same validated length profiles
+//! and must agree symbol-for-symbol; `tests/differential.rs` checks this
+//! on randomized profiles.
 
 use crate::bits::BitReader;
 
@@ -23,24 +31,7 @@ impl Decoder {
     /// accepted, matching zlib's behaviour for the degenerate one-symbol
     /// distance trees real encoders emit.
     pub fn from_lengths(lengths: &[u8]) -> Option<Decoder> {
-        let mut count = [0u32; 16];
-        for &l in lengths {
-            if l > 15 {
-                return None;
-            }
-            count[l as usize] += 1;
-        }
-        count[0] = 0;
-
-        // Over-subscription check.
-        let mut available = 1u32;
-        for &n in &count[1..16] {
-            available = available.checked_mul(2)?;
-            if n > available {
-                return None;
-            }
-            available -= n;
-        }
+        let count = validated_length_counts(lengths)?;
 
         let mut first_code = [0u32; 16];
         let mut first_index = [0u32; 16];
@@ -77,6 +68,241 @@ impl Decoder {
         }
         None
     }
+}
+
+/// Per-length code counts, validated: no length above 15, no
+/// over-subscribed prefix space. Incomplete codes are accepted (see
+/// [`Decoder::from_lengths`]). Shared by both decoder builders so they
+/// accept exactly the same profiles.
+fn validated_length_counts(lengths: &[u8]) -> Option<[u32; 16]> {
+    let mut count = [0u32; 16];
+    for &l in lengths {
+        if l > 15 {
+            return None;
+        }
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+
+    // Over-subscription check.
+    let mut available = 1u32;
+    for &n in &count[1..16] {
+        available = available.checked_mul(2)?;
+        if n > available {
+            return None;
+        }
+        available -= n;
+    }
+    Some(count)
+}
+
+/// Reverses the low `len` bits of `code` (DEFLATE stores Huffman codes
+/// MSB-first within the LSB-first bit stream).
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// A packed decode table: a root table indexed by the next `root_bits`
+/// input bits, with codes longer than that spilling into per-prefix
+/// subtables appended after the root. `root_bits` adapts to the profile
+/// (the longest code, capped at [`TableDecoder::MAX_ROOT_BITS`]), so
+/// typical dynamic blocks decode every symbol with a *single* table load
+/// and no subtable branch.
+///
+/// Entry layout (`u32`):
+///
+/// * bits 0–4 — bits to consume: the full code length for symbol entries,
+///   the subtable's index width for pointer entries. `0` marks an entry no
+///   code maps to (invalid / incomplete-code hole).
+/// * bits 5–8 — the symbol's DEFLATE *extra bits* count, pre-resolved at
+///   build time so the hot loop never touches the length/distance
+///   extra-bits tables.
+/// * bit 15 — set on root entries that point at a subtable.
+/// * bits 16–31 — the decoded symbol, or the subtable's start index for
+///   pointer entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDecoder {
+    table: Vec<u32>,
+    root_bits: u32,
+    max_len: u32,
+}
+
+const ENTRY_CONSUME_MASK: u32 = 0x1f;
+const ENTRY_EXTRA_SHIFT: u32 = 5;
+const ENTRY_EXTRA_MASK: u32 = 0xf;
+const ENTRY_SUBTABLE: u32 = 1 << 15;
+
+#[inline]
+fn pack_entry(sym: u16, consume: u32, extra: u8) -> u32 {
+    debug_assert!((1..=15).contains(&consume));
+    debug_assert!(extra <= 13);
+    ((sym as u32) << 16) | ((extra as u32) << ENTRY_EXTRA_SHIFT) | consume
+}
+
+impl TableDecoder {
+    /// Upper bound on the root index width. 11 bits keeps the root table
+    /// at 8 KiB while covering the longest codes zlib emits in practice,
+    /// so subtables only appear for unusually deep dynamic profiles.
+    pub const MAX_ROOT_BITS: u32 = 11;
+
+    /// Builds a table decoder from per-symbol code lengths, accepting and
+    /// rejecting exactly the profiles [`Decoder::from_lengths`] does.
+    /// `extra_bits(sym)` supplies the pre-resolved extra-bits count packed
+    /// into each entry (zero for tables without extra bits).
+    ///
+    /// The build is allocation-lean — one table allocation, canonical
+    /// codes computed in-place from the length histogram — because dynamic
+    /// blocks pay it per block.
+    pub fn from_lengths(lengths: &[u8], extra_bits: impl Fn(u16) -> u8) -> Option<TableDecoder> {
+        let count = validated_length_counts(lengths)?;
+        let max_len = (1..16).rev().find(|&l| count[l] > 0).unwrap_or(0) as u32;
+        let root_bits = max_len.clamp(1, Self::MAX_ROOT_BITS);
+        let root_size = 1usize << root_bits;
+
+        let mut next_code = [0u32; 16];
+        let mut code = 0u32;
+        for len in 1..16 {
+            code = (code + count[len - 1]) << 1;
+            next_code[len] = code;
+        }
+
+        if max_len <= root_bits {
+            // Single-level table (the common case): one pass, replicating
+            // each code across all root indices sharing its low bits.
+            let mut table = vec![0u32; root_size];
+            let mut nc = next_code;
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == 0 {
+                    continue;
+                }
+                let len = l as u32;
+                let c = nc[l as usize];
+                nc[l as usize] += 1;
+                let entry = pack_entry(sym as u16, len, extra_bits(sym as u16));
+                let mut i = reverse_bits(c, len) as usize;
+                let step = 1usize << len;
+                while i < root_size {
+                    table[i] = entry;
+                    i += step;
+                }
+            }
+            return Some(TableDecoder { table, root_bits, max_len });
+        }
+
+        // Deep profiles: size every subtable first (one per root prefix in
+        // use, sized for the longest code sharing that prefix), then fill
+        // into a single allocation.
+        let mut sub_bits_of = vec![0u8; root_size];
+        let mut nc = next_code;
+        for &l in lengths {
+            if l == 0 {
+                continue;
+            }
+            let len = l as u32;
+            let c = nc[l as usize];
+            nc[l as usize] += 1;
+            if len > root_bits {
+                let prefix = (reverse_bits(c, len) as usize) & (root_size - 1);
+                sub_bits_of[prefix] = sub_bits_of[prefix].max((len - root_bits) as u8);
+            }
+        }
+        let total: usize = sub_bits_of.iter().map(|&b| if b > 0 { 1usize << b } else { 0 }).sum();
+        let mut table = vec![0u32; root_size + total];
+        let mut offset = root_size;
+        for (prefix, &sub_bits) in sub_bits_of.iter().enumerate() {
+            if sub_bits > 0 {
+                debug_assert!(offset < (1 << 16), "deflate tables stay well under 2^16 entries");
+                table[prefix] = ((offset as u32) << 16) | ENTRY_SUBTABLE | sub_bits as u32;
+                offset += 1 << sub_bits;
+            }
+        }
+        let mut nc = next_code;
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let len = l as u32;
+            let c = nc[l as usize];
+            nc[l as usize] += 1;
+            let entry = pack_entry(sym as u16, len, extra_bits(sym as u16));
+            let rev = reverse_bits(c, len);
+            if len <= root_bits {
+                let mut i = rev as usize;
+                let step = 1usize << len;
+                while i < root_size {
+                    table[i] = entry;
+                    i += step;
+                }
+            } else {
+                let prefix = (rev as usize) & (root_size - 1);
+                let sub_bits = sub_bits_of[prefix] as u32;
+                let sub_offset = (table[prefix] >> 16) as usize;
+                let mut i = (rev >> root_bits) as usize;
+                let step = 1usize << (len - root_bits);
+                while i < (1 << sub_bits) {
+                    table[sub_offset + i] = entry;
+                    i += step;
+                }
+            }
+        }
+
+        Some(TableDecoder { table, root_bits, max_len })
+    }
+
+    /// Decodes one code word, returning its packed entry with the code's
+    /// bits consumed; `None` on exhausted input or a code no symbol maps
+    /// to. Extract fields with [`entry_symbol`] and [`entry_extra_bits`].
+    ///
+    /// Refill contract: the caller must [`BitReader::refill`] beforehand
+    /// (code words are at most 15 bits); this keeps the refill branch out
+    /// of the decode itself so the hot loop refills once per iteration.
+    #[inline]
+    pub fn decode_entry(&self, r: &mut BitReader<'_>) -> Option<u32> {
+        let root_bits = self.root_bits;
+        let root = &self.table[..1usize << root_bits];
+        // `idx & (len - 1)` is never ≥ len, so the indexing below is
+        // bounds-check-free in the common single-level case.
+        let mut entry = root[(r.peek_raw(root_bits) as usize) & (root.len() - 1)];
+        if entry & ENTRY_SUBTABLE != 0 {
+            let sub_bits = entry & ENTRY_CONSUME_MASK;
+            let offset = (entry >> 16) as usize;
+            let idx = (r.peek_raw(root_bits + sub_bits) >> root_bits) as usize;
+            entry = self.table[offset + idx];
+        }
+        let consume = entry & ENTRY_CONSUME_MASK;
+        if consume == 0 || !r.consume(consume) {
+            return None;
+        }
+        Some(entry)
+    }
+
+    /// The longest code in the table (0 for an empty table); callers use
+    /// it to bound how many code words one refill can cover.
+    #[inline]
+    pub fn max_code_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// Decodes one symbol (the table-driven equivalent of
+    /// [`Decoder::decode`]); refills internally.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u16> {
+        r.refill();
+        self.decode_entry(r).map(entry_symbol)
+    }
+}
+
+/// The symbol of a packed entry returned by [`TableDecoder::decode_entry`].
+#[inline]
+pub fn entry_symbol(entry: u32) -> u16 {
+    (entry >> 16) as u16
+}
+
+/// The pre-resolved extra-bits count of a packed entry.
+#[inline]
+pub fn entry_extra_bits(entry: u32) -> u32 {
+    (entry >> ENTRY_EXTRA_SHIFT) & ENTRY_EXTRA_MASK
 }
 
 /// The canonical (code, length) for each symbol — the encoder-side view.
@@ -199,5 +425,73 @@ mod tests {
         let dec = Decoder::from_lengths(&[2, 2, 2, 2]).unwrap();
         let mut r = BitReader::new(&[]);
         assert_eq!(dec.decode(&mut r), None);
+    }
+
+    fn table(lengths: &[u8]) -> Option<TableDecoder> {
+        TableDecoder::from_lengths(lengths, |_| 0)
+    }
+
+    #[test]
+    fn table_decoder_roundtrips_all_symbols() {
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let dec = table(&lengths).unwrap();
+        let codes = codes_from_lengths(&lengths);
+        for sym in 0..8u16 {
+            let (c, l) = codes[sym as usize];
+            let mut w = BitWriter::new();
+            w.huffman_code(c, l as u32);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(dec.decode(&mut r), Some(sym));
+        }
+    }
+
+    #[test]
+    fn table_decoder_uses_subtables_for_long_codes() {
+        // A skewed profile with codes longer than the 9-bit root.
+        let mut lengths = vec![1u8];
+        for l in 2..=12u8 {
+            lengths.push(l);
+        }
+        lengths.push(12); // complete the code space
+        let dec = table(&lengths).unwrap();
+        let codes = codes_from_lengths(&lengths);
+        for (sym, &(c, l)) in codes.iter().enumerate() {
+            let mut w = BitWriter::new();
+            w.huffman_code(c, l as u32);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(dec.decode(&mut r), Some(sym as u16), "symbol {sym} (len {l})");
+        }
+    }
+
+    #[test]
+    fn table_decoder_rejects_what_canonical_rejects() {
+        assert!(table(&[1, 1, 1]).is_none());
+        assert!(table(&[16]).is_none());
+        // …and accepts the degenerate one-symbol code, like zlib.
+        let dec = table(&[1]).unwrap();
+        let mut r = BitReader::new(&[0b0]);
+        assert_eq!(dec.decode(&mut r), Some(0));
+        // The unassigned half of the code space is an invalid code.
+        let mut r = BitReader::new(&[0b1]);
+        assert_eq!(dec.decode(&mut r), None);
+    }
+
+    #[test]
+    fn table_entries_carry_extra_bits() {
+        let dec = TableDecoder::from_lengths(&[2, 2, 2, 2], |sym| sym as u8).unwrap();
+        let codes = codes_from_lengths(&[2, 2, 2, 2]);
+        for sym in 0..4u16 {
+            let (c, l) = codes[sym as usize];
+            let mut w = BitWriter::new();
+            w.huffman_code(c, l as u32);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            r.refill();
+            let entry = dec.decode_entry(&mut r).unwrap();
+            assert_eq!(entry_symbol(entry), sym);
+            assert_eq!(entry_extra_bits(entry), sym as u32);
+        }
     }
 }

@@ -6,9 +6,13 @@
 //! which here is [`fn@inflate`].
 //!
 //! Decoding supports all three DEFLATE block types (stored, fixed
-//! Huffman, dynamic Huffman). Encoding supports stored blocks and fixed
-//! Huffman with a greedy hash-chain LZ77 matcher — enough to produce
-//! realistic compressed archives for the synthetic corpus.
+//! Huffman, dynamic Huffman). The default path is table-driven
+//! (libdeflate-style two-level Huffman tables over a 64-bit bit-buffer
+//! refill); the original per-bit canonical decoder survives as
+//! [`inflate_slow`] for validation and benchmarking. Encoding supports
+//! stored blocks and fixed Huffman with a greedy hash-chain LZ77 matcher —
+//! enough to produce realistic compressed archives for the synthetic
+//! corpus.
 //!
 //! CRC-32 is provided in [`mod@crc32`] since both the corpus generator and
 //! the `unzip` baselines need it for ZIP.
@@ -18,11 +22,14 @@ pub mod crc32;
 pub mod deflate;
 pub mod huffman;
 pub mod inflate;
+mod seed;
 
 #[doc(inline)]
 pub use crc32::crc32;
 pub use deflate::{compress, compress_stored};
-pub use inflate::{inflate, inflate_with_limit, InflateError};
+pub use inflate::{
+    inflate, inflate_slow, inflate_with_limit, inflate_with_limit_slow, InflateError,
+};
 
 #[cfg(test)]
 mod roundtrip_tests {

@@ -1,0 +1,108 @@
+//! Fast-path / slow-path parity on the zlib golden fixtures: the
+//! table-driven decoder must produce byte-identical output *and* identical
+//! `consumed` counts on every `golden_*.bin`, and must fail with the same
+//! error on truncated and corrupted variants (error parity, not just
+//! success parity).
+
+use ipg_flate::{inflate_with_limit, inflate_with_limit_slow};
+
+const GOLDEN: [&str; 5] =
+    ["golden_0.bin", "golden_23.bin", "golden_1800.bin", "golden_2048.bin", "golden_100000.bin"];
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden vector {path}: {e}"))
+}
+
+fn assert_parity(data: &[u8], what: &str) {
+    let fast = inflate_with_limit(data, usize::MAX);
+    let slow = inflate_with_limit_slow(data, usize::MAX);
+    match (&fast, &slow) {
+        (Ok((fo, fc)), Ok((so, sc))) => {
+            assert_eq!(fo, so, "output differs: {what}");
+            assert_eq!(fc, sc, "consumed differs: {what}");
+        }
+        (Err(fe), Err(se)) => assert_eq!(fe, se, "error differs: {what}"),
+        _ => panic!(
+            "one path succeeded, one failed: {what} (fast ok={}, slow ok={})",
+            fast.is_ok(),
+            slow.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn golden_fixtures_decode_identically() {
+    for name in GOLDEN {
+        let data = golden(name);
+        let (out, consumed) = inflate_with_limit(&data, usize::MAX)
+            .unwrap_or_else(|e| panic!("{name} must inflate on the fast path: {e}"));
+        let (slow_out, slow_consumed) = inflate_with_limit_slow(&data, usize::MAX)
+            .unwrap_or_else(|e| panic!("{name} must inflate on the slow path: {e}"));
+        assert_eq!(out, slow_out, "{name}: outputs must be byte-identical");
+        assert_eq!(consumed, slow_consumed, "{name}: consumed counts must match");
+        assert_eq!(consumed, data.len(), "{name}: whole fixture is one stream");
+    }
+}
+
+#[test]
+fn truncated_fixtures_fail_identically() {
+    for name in GOLDEN {
+        let data = golden(name);
+        // Every prefix of the small fixtures; sampled prefixes of the rest.
+        let step = (data.len() / 97).max(1);
+        for cut in (0..data.len()).step_by(step) {
+            assert_parity(&data[..cut], &format!("{name} truncated to {cut} bytes"));
+        }
+    }
+}
+
+#[test]
+fn corrupted_fixtures_fail_or_succeed_identically() {
+    // Single-byte corruption at every offset of the small fixtures: most
+    // flips produce invalid streams (bad tables, bad symbols, bad
+    // distances); some still decode — both paths must agree either way.
+    for name in ["golden_23.bin", "golden_1800.bin", "golden_2048.bin"] {
+        let data = golden(name);
+        for i in 0..data.len() {
+            for flip in [0xff, 0x01, 0x80] {
+                let mut bad = data.clone();
+                bad[i] ^= flip;
+                assert_parity(&bad, &format!("{name} byte {i} xor {flip:#x}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_level_corruption_parity_on_dynamic_fixture() {
+    // Single-bit flips hit Huffman code boundaries more precisely than
+    // byte flips; the dynamic fixture exercises table construction too.
+    let data = golden("golden_2048.bin");
+    for bit in 0..(8 * data.len().min(256)) {
+        let mut bad = data.clone();
+        bad[bit / 8] ^= 1 << (bit % 8);
+        assert_parity(&bad, &format!("golden_2048.bin bit {bit}"));
+    }
+}
+
+#[test]
+fn limit_parity_on_golden_fixtures() {
+    // TooLarge must trip identically at every interesting limit.
+    for name in GOLDEN {
+        let data = golden(name);
+        let full = match inflate_with_limit(&data, usize::MAX) {
+            Ok((out, _)) => out.len(),
+            Err(_) => continue,
+        };
+        for limit in [0, 1, full.saturating_sub(1), full, full + 1] {
+            assert_parity_with_limit(&data, limit, name);
+        }
+    }
+}
+
+fn assert_parity_with_limit(data: &[u8], limit: usize, what: &str) {
+    let fast = inflate_with_limit(data, limit);
+    let slow = inflate_with_limit_slow(data, limit);
+    assert_eq!(fast, slow, "limit {limit} parity: {what}");
+}

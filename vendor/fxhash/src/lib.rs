@@ -1,0 +1,140 @@
+//! Offline stand-in for the [`rustc-hash`](https://crates.io/crates/rustc-hash)
+//! / `fxhash` crates.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! Firefox hash function ("FxHash"): a non-cryptographic, multiply-and-rotate
+//! hash that is much cheaper than SipHash for the short structured keys the
+//! interpreter's memo table uses (`(NtId, usize, usize)` triples). It provides
+//! the subset of the real crates' API the workspace needs: [`FxHasher`],
+//! [`FxBuildHasher`], and the [`FxHashMap`] / [`FxHashSet`] aliases.
+//!
+//! FxHash is *not* DoS-resistant; it is only appropriate for keys an attacker
+//! does not control, which holds for memo keys (nonterminal ids and input
+//! offsets are bounded by grammar and input size).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the Firefox/rustc implementation (a 64-bit constant
+/// derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A [`Hasher`] implementing the Firefox hash.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(chunk.try_into().expect("4 bytes"))));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(hash_of(b"hello"), hash_of(b"hello"));
+        assert_ne!(hash_of(b"hello"), hash_of(b"hellp"));
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+    }
+
+    #[test]
+    fn mixed_width_writes_do_not_collide_trivially() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        a.write_usize(13);
+        a.write_usize(64);
+        let mut b = FxHasher::default();
+        b.write_u32(7);
+        b.write_usize(64);
+        b.write_usize(13);
+        assert_ne!(a.finish(), b.finish(), "order must matter");
+    }
+
+    #[test]
+    fn map_alias_works_with_tuple_keys() {
+        let mut m: FxHashMap<(u32, usize, usize), i64> = FxHashMap::default();
+        m.insert((1, 2, 3), 42);
+        m.insert((1, 3, 2), 43);
+        assert_eq!(m.get(&(1, 2, 3)), Some(&42));
+        assert_eq!(m.get(&(1, 3, 2)), Some(&43));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn set_alias_works() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}
