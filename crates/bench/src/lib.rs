@@ -14,6 +14,7 @@
 //! | Design-choice ablations           | `cargo bench -p bench --bench ablations` |
 //! | Inflate fast-path throughput      | `cargo bench -p bench --bench inflate_throughput` |
 //! | `BENCH_inflate.json` perf record  | `cargo run --release -p bench --bin bench_inflate` |
+//! | `BENCH_interp.json` perf record   | `cargo run --release -p bench --bin bench_interp` |
 
 use ipg_corpus::{dns, elf, gif, ipv4udp, pdf, pe, zip};
 
@@ -105,6 +106,19 @@ pub fn udp_with_payload(n: usize) -> Vec<u8> {
 /// pattern re-reads object headers).
 pub fn pdf_with_objects(n: usize) -> Vec<u8> {
     pdf::generate(&pdf::Config { n_objects: n, stream_len: 1024, seed: 7 }).bytes
+}
+
+/// A PNG with `n` IDAT chunks (the `star`-repetition workload).
+pub fn png_with_chunks(n: usize) -> Vec<u8> {
+    ipg_corpus::png::generate(&ipg_corpus::png::Config { n_idat: n, ..Default::default() }).bytes
+}
+
+/// A ZIP archive of many small deflated entries — the interpreter-bound
+/// `zip_inflate` workload for `bench_interp`: grammar evaluation (headers,
+/// chains, attribute arithmetic) dominates and the DEFLATE blackbox is a
+/// small fixed cost per entry.
+pub fn zip_many_small_entries(n: usize) -> Vec<u8> {
+    zip::generate(&zip::Config { n_entries: n, payload_len: 128, ..Default::default() }).bytes
 }
 
 /// Names of the zlib-produced golden DEFLATE fixtures shipped with

@@ -200,6 +200,7 @@ impl Checker {
         };
         Ok(CRule {
             name: Arc::from(rule.name.as_str()),
+            name_sym: self.interner.intern(&rule.name),
             body,
             is_local: rule.is_local,
             def_attrs,
@@ -313,6 +314,7 @@ impl Checker {
                 Ok(CTermKind::Predicate { expr })
             }
             Term::Array { var, from, to, name, interval } => {
+                check_var_not_reserved(rule, var)?;
                 let nt = self.resolve_nt(rule, name)?;
                 let from = self.lower_expr(rule, from, state)?;
                 let to = self.lower_expr(rule, to, state)?;
@@ -516,6 +518,7 @@ impl Checker {
                 }
             }
             Expr::Exists { var, array, cond, then, els } => {
+                check_var_not_reserved(rule, var)?;
                 let nt_id = self.resolve_nt(rule, array)?;
                 let var_sym = self.interner.intern(var);
                 let term = match self.resolve_occurrence(state, array, OccKind::Array) {
@@ -548,6 +551,21 @@ impl Checker {
             }
         })
     }
+}
+
+/// Loop and existential variables may not shadow the special attributes:
+/// the shadowing would interact inconsistently with `updStartEnd` (reads
+/// see the innermost binding, widening writes the outermost), and the VM's
+/// O(1) environment layout relies on the first three slots staying
+/// `EOI`/`start`/`end`.
+fn check_var_not_reserved(rule: &syntax::Rule, var: &str) -> Result<()> {
+    if ["start", "end", "EOI"].contains(&var) {
+        return Err(Error::Grammar(format!(
+            "rule `{}` binds reserved attribute `{var}` as a loop variable",
+            rule.name
+        )));
+    }
+    Ok(())
 }
 
 fn index_display(e: &CExpr) -> String {
@@ -785,6 +803,31 @@ mod tests {
             .rule("O", vec![AltBuilder::new().terminal(b"0", Expr::num(0), Expr::num(1)).build()])
             .build_unchecked();
         check(g).unwrap();
+    }
+
+    #[test]
+    fn reserved_loop_variable_rejected() {
+        // `for end = …` would shadow the special attribute: reads would
+        // see the loop binding while `updStartEnd` writes the outer slot.
+        let g = GrammarBuilder::new()
+            .rule(
+                "S",
+                vec![AltBuilder::new()
+                    .array("end", Expr::num(0), Expr::num(2), "A", Expr::num(0), Expr::eoi())
+                    .build()],
+            )
+            .rule("A", vec![AltBuilder::new().build()])
+            .build_unchecked();
+        let err = check(g).unwrap_err();
+        assert!(err.to_string().contains("reserved"), "got: {err}");
+    }
+
+    #[test]
+    fn nt_names_are_interned() {
+        let g = check(fig2_grammar()).unwrap();
+        let h = g.nt_id("H").unwrap();
+        assert_eq!(g.nt_sym("H"), Some(g.nt_name_sym(h)));
+        assert!(g.nt_sym("Nope").is_none());
     }
 
     #[test]

@@ -169,6 +169,57 @@ impl Env {
         self.set(wellknown::END, e + delta);
     }
 
+    /// O(1) accessors for the three well-known bindings, used by the
+    /// bytecode VM. Environments built with [`Env::initial`] keep
+    /// `EOI`/`start`/`end` at inline slots 0/1/2 forever: `set` updates in
+    /// place, scoped pushes and pops are balanced on top of them, and the
+    /// checker rejects loop variables named after reserved attributes, so
+    /// nothing can shadow or displace the first three slots. The
+    /// tree-walking interpreter deliberately keeps using the generic
+    /// scanning accessors — it is the frozen reference implementation.
+    #[inline]
+    pub(crate) fn fast_eoi(&self) -> i64 {
+        debug_assert_eq!(self.inline[0].0, wellknown::EOI);
+        self.inline[0].1
+    }
+
+    /// O(1) `start` (see [`Env::fast_eoi`] for the layout invariant).
+    #[inline]
+    pub(crate) fn fast_start(&self) -> i64 {
+        debug_assert_eq!(self.inline[1].0, wellknown::START);
+        self.inline[1].1
+    }
+
+    /// O(1) `end`.
+    #[inline]
+    pub(crate) fn fast_end(&self) -> i64 {
+        debug_assert_eq!(self.inline[2].0, wellknown::END);
+        self.inline[2].1
+    }
+
+    /// O(1) `updStartEnd` (identical observable effect to
+    /// [`Env::upd_start_end`] under the [`Env::fast_eoi`] invariant).
+    #[inline]
+    pub(crate) fn fast_upd_start_end(&mut self, l: i64, r: i64, b: bool) {
+        debug_assert_eq!(self.inline[1].0, wellknown::START);
+        debug_assert_eq!(self.inline[2].0, wellknown::END);
+        if b {
+            let s = &mut self.inline[1].1;
+            *s = (*s).min(l);
+            let e = &mut self.inline[2].1;
+            *e = (*e).max(r);
+        }
+    }
+
+    /// O(1) `shift_start_end`.
+    #[inline]
+    pub(crate) fn fast_shift_start_end(&mut self, delta: i64) {
+        debug_assert_eq!(self.inline[1].0, wellknown::START);
+        debug_assert_eq!(self.inline[2].0, wellknown::END);
+        self.inline[1].1 += delta;
+        self.inline[2].1 += delta;
+    }
+
     /// Iterates over `(sym, value)` bindings in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, i64)> + '_ {
         self.inline_entries().iter().chain(self.spill.iter()).copied()

@@ -311,6 +311,7 @@ impl Session<'_, '_> {
                 Some(Rc::new(Tree::Node(Node {
                     nt,
                     name: rc_name(self.g, nt),
+                    name_sym: self.g.nt_name_sym(nt),
                     env,
                     children: vec![Rc::new(Tree::Leaf(Leaf { start: base, end: base + consumed }))],
                     base,
@@ -347,6 +348,7 @@ impl Session<'_, '_> {
                 Ok(Some(Rc::new(Tree::Blackbox(BlackboxNode {
                     nt,
                     name: rc_name(self.g, nt),
+                    name_sym: self.g.nt_name_sym(nt),
                     env,
                     data: res.data.into(),
                     base,
@@ -401,6 +403,7 @@ impl Session<'_, '_> {
         Ok(Some(Rc::new(Tree::Node(Node {
             nt,
             name: rc_name(self.g, nt),
+            name_sym: self.g.nt_name_sym(nt),
             env: ctx.env,
             children,
             base,
@@ -508,6 +511,7 @@ impl Session<'_, '_> {
                 ctx.results[orig_index] = Some(Rc::new(Tree::Array(ArrayNode {
                     nt: *elem_nt,
                     name: rc_name(self.g, *elem_nt),
+                    name_sym: self.g.nt_name_sym(*elem_nt),
                     elems,
                 })));
                 Ok(true)
@@ -553,6 +557,7 @@ impl Session<'_, '_> {
                 ctx.results[orig_index] = Some(Rc::new(Tree::Array(ArrayNode {
                     nt: *elem_nt,
                     name: rc_name(self.g, *elem_nt),
+                    name_sym: self.g.nt_name_sym(*elem_nt),
                     elems,
                 })));
                 Ok(true)
@@ -730,7 +735,7 @@ impl Session<'_, '_> {
     }
 }
 
-fn eval_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+pub(crate) fn eval_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -820,9 +825,11 @@ fn rc_name(g: &Grammar, nt: NtId) -> std::sync::Arc<str> {
     g.rule(nt).name.clone()
 }
 
-fn preview(bytes: &[u8]) -> String {
+pub(crate) fn preview(bytes: &[u8]) -> String {
     crate::syntax::format_bytes(bytes)
 }
+
+pub mod vm;
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,1271 @@
+//! The bytecode VM: IPG parsing over a compiled [`Program`] with an
+//! explicit work stack and arena-allocated parse trees.
+//!
+//! This engine implements exactly the parsing semantics of the
+//! tree-walking interpreter in [`crate::interp`] (Fig. 8 and Fig. 15 of
+//! the paper) — biased choice, `start`/`end` bookkeeping, per-`(A, base,
+//! len)` memoization, local-rule environment inheritance — but differs in
+//! *how* it runs:
+//!
+//! * **check → lower → bytecode**: [`crate::bytecode::compile`] flattens
+//!   the checked grammar into dense instruction/expression pools once per
+//!   grammar, so the parse loop follows `u32` ids instead of chasing
+//!   `Rc<Expr>` pointers and never hashes a name.
+//! * **Explicit work stack**: nonterminal calls push [`Frame`]s onto a
+//!   `Vec` instead of recursing, so deeply nested inputs cannot overflow
+//!   the native stack and frame storage (environments, result slots) is
+//!   recycled across calls.
+//! * **Arena trees**: results go into a [`TreeArena`] — one bump
+//!   allocation per node, children as contiguous `u32` ranges, memoized
+//!   subtrees shared by id (see [`crate::arena`]).
+//!
+//! The two engines are kept observably identical — same trees (node for
+//! node, attribute for attribute), same deepest-failure errors, same
+//! [`ParseStats`] step counts — and the repository's differential tests
+//! enforce it. (Memo statistics are engine policy: the VM re-executes
+//! builtin leaf rules instead of caching them, which never changes steps,
+//! trees, or errors.)
+//! The interpreter stays as the executable reference semantics; this VM is
+//! the production path (`ipg-formats` parses through it).
+//!
+//! ```
+//! use ipg_core::frontend::parse_grammar;
+//! use ipg_core::interp::vm::VmParser;
+//!
+//! let g = parse_grammar(
+//!     r#"
+//!     S -> H[0, 8] Data[H.offset, H.offset + H.length];
+//!     H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+//!     Int := u32le;
+//!     Data := bytes;
+//!     "#,
+//! )?;
+//! let parser = VmParser::new(&g);
+//! let mut input = vec![8u8, 0, 0, 0, 4, 0, 0, 0];
+//! input.extend_from_slice(b"DATA");
+//! let tree = parser.parse(&input)?;
+//! let h = tree.root().child_node("H").expect("header parsed");
+//! assert_eq!(h.attr(&g, "offset"), Some(8));
+//! assert_eq!(h.attr(&g, "length"), Some(4));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use super::{eval_binop, ParseStats};
+use crate::arena::{Entry, TreeArena, TreeId, TreeRef};
+use crate::builtin::run_builtin;
+use crate::bytecode::{compile, BExpr, ExprId, Instr, LitSpan, PRuleKind, Program};
+use crate::check::{Grammar, NtId};
+use crate::env::{wellknown, Env};
+use crate::error::{Error, ParseError, Result};
+use crate::intern::Sym;
+use crate::syntax::Builtin;
+use fxhash::{FxHashMap, FxHashSet};
+
+/// A configured bytecode parser for one grammar. The API mirrors
+/// [`crate::interp::Parser`]; results come back as arena-backed
+/// [`ParseTree`]s instead of `Rc<Tree>`.
+#[derive(Debug)]
+pub struct VmParser<'g> {
+    grammar: &'g Grammar,
+    program: Program,
+    memoize: bool,
+    max_steps: Option<u64>,
+}
+
+/// The result of a successful VM parse: the arena plus the root id.
+#[derive(Debug)]
+pub struct ParseTree {
+    arena: TreeArena,
+    root: TreeId,
+}
+
+impl ParseTree {
+    /// A view of the root (always a node for grammars whose start rule has
+    /// alternatives).
+    pub fn root(&self) -> TreeRef<'_> {
+        self.arena.view(self.root)
+    }
+
+    /// The arena holding every node of this parse.
+    pub fn arena(&self) -> &TreeArena {
+        &self.arena
+    }
+
+    /// The root's arena id.
+    pub fn root_id(&self) -> TreeId {
+        self.root
+    }
+}
+
+impl<'g> VmParser<'g> {
+    /// Compiles `grammar` and creates a parser with memoization enabled
+    /// and no step limit.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        VmParser { program: compile(grammar), grammar, memoize: true, max_steps: None }
+    }
+
+    /// The compiled program (e.g. for [`Program::disassemble`]).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Enables or disables memoization (mirror of
+    /// [`crate::interp::Parser::memoize`]).
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Limits the number of term evaluations (mirror of
+    /// [`crate::interp::Parser::max_steps`]).
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Parses `input` from the grammar's start nonterminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] with the deepest failure observed when the
+    /// input does not match — the same error the reference interpreter
+    /// reports.
+    pub fn parse(&self, input: &[u8]) -> Result<ParseTree> {
+        self.parse_from(self.program.start_nt(), input)
+    }
+
+    /// Parses `input` from an explicit start nonterminal.
+    ///
+    /// # Errors
+    ///
+    /// As [`VmParser::parse`]; additionally [`Error::Grammar`] if `name`
+    /// is not a nonterminal of the grammar.
+    pub fn parse_from_name(&self, name: &str, input: &[u8]) -> Result<ParseTree> {
+        let nt = self
+            .grammar
+            .nt_id(name)
+            .ok_or_else(|| Error::Grammar(format!("unknown nonterminal `{name}`")))?;
+        self.parse_from(nt, input)
+    }
+
+    /// Parses `input` from nonterminal `nt`.
+    ///
+    /// # Errors
+    ///
+    /// As [`VmParser::parse`].
+    pub fn parse_from(&self, nt: NtId, input: &[u8]) -> Result<ParseTree> {
+        let mut sess = self.session(input);
+        match sess.run_root(nt) {
+            Ok(Some(root)) => Ok(ParseTree { arena: sess.arena, root }),
+            Ok(None) => Err(Error::Parse(sess.deepest)),
+            Err(Abort::FuelExhausted) => Err(Error::Parse(ParseError {
+                offset: sess.deepest.offset,
+                nonterminal: sess.deepest.nonterminal,
+                msg: format!(
+                    "step limit of {} exhausted (possible non-terminating grammar)",
+                    self.max_steps.unwrap_or(u64::MAX)
+                ),
+            })),
+        }
+    }
+
+    /// Like [`VmParser::parse`], but also reports [`ParseStats`]. The
+    /// `steps` count matches [`crate::interp::Parser::parse_with_stats`]
+    /// exactly (both engines tick at the same evaluation points, which is
+    /// what makes steps/s comparisons apples-to-apples); the memo fields
+    /// reflect each engine's own policy — the VM does not memoize builtin
+    /// leaf rules.
+    pub fn parse_with_stats(&self, input: &[u8]) -> (Result<ParseTree>, ParseStats) {
+        let mut sess = self.session(input);
+        let result = match sess.run_root(self.program.start_nt()) {
+            Ok(Some(root)) => {
+                let stats = sess.stats();
+                return (Ok(ParseTree { arena: sess.arena, root }), stats);
+            }
+            Ok(None) => Err(Error::Parse(sess.deepest.clone())),
+            Err(Abort::FuelExhausted) => Err(Error::Parse(ParseError {
+                offset: sess.deepest.offset,
+                nonterminal: sess.deepest.nonterminal.clone(),
+                msg: "step limit exhausted".into(),
+            })),
+        };
+        let stats = sess.stats();
+        (result, stats)
+    }
+
+    fn session<'i>(&self, input: &'i [u8]) -> VmSession<'_, 'i> {
+        // Mirror of the interpreter's memo pre-sizing heuristic.
+        let memo_capacity = if self.memoize { 8 * self.grammar.nt_count() } else { 0 };
+        VmSession {
+            g: self.grammar,
+            p: &self.program,
+            input,
+            arena: TreeArena::new(self.program.nt_table()),
+            memo: FxHashMap::with_capacity_and_hasher(memo_capacity, Default::default()),
+            builtin_failures: FxHashSet::default(),
+            memoize: self.memoize,
+            steps: 0,
+            memo_hits: 0,
+            max_steps: self.max_steps.unwrap_or(u64::MAX),
+            deepest: ParseError { offset: 0, nonterminal: None, msg: "no progress".into() },
+            frames: Vec::with_capacity(16),
+            depth: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Hard abort of the whole parse (mirror of the interpreter's `Abort`).
+#[derive(Clone, Copy, Debug)]
+enum Abort {
+    FuelExhausted,
+}
+
+type PResult<T> = std::result::Result<T, Abort>;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// What the main loop does next.
+enum Flow {
+    /// Execute instructions of the top frame.
+    Exec,
+    /// A call completed; deliver its result to the top frame's pending
+    /// term.
+    Deliver(Option<TreeId>),
+    /// The stack is empty; the parse is finished.
+    Done(Option<TreeId>),
+}
+
+/// Outcome of [`VmSession::begin_call`].
+enum CallOutcome {
+    /// The result is already available (memo hit, builtin, or blackbox).
+    Done(Option<TreeId>),
+    /// A frame was pushed; the result will arrive via [`Flow::Deliver`].
+    Pushed,
+}
+
+/// In-flight state of a `for` term (the VM analogue of the interpreter's
+/// array loop locals).
+struct LoopSt {
+    slot: u16,
+    var: Sym,
+    k: i64,
+    j: i64,
+    nt: NtId,
+    lo: ExprId,
+    hi: ExprId,
+    /// Left endpoint of the *current* iteration's interval.
+    l: i64,
+    elems: Vec<TreeId>,
+}
+
+/// In-flight state of a `star` term.
+struct StarSt {
+    slot: u16,
+    nt: NtId,
+    l: i64,
+    star_base: usize,
+    star_len: usize,
+    pos: usize,
+    elems: Vec<TreeId>,
+}
+
+/// A term whose nonterminal call is waiting for a child frame.
+enum Pending {
+    None,
+    /// A `B[..]` symbol term or a selected switch case.
+    Call {
+        slot: u16,
+        l: i64,
+    },
+    Loop(LoopSt),
+    Star(StarSt),
+}
+
+/// One activation of a rule: the VM analogue of the interpreter's
+/// `parse_alt` stack frame plus its `AltCtx`.
+struct Frame {
+    nt: NtId,
+    base: usize,
+    len: usize,
+    /// Index of the rule's first alternative in the program's alt array.
+    alts_first: u32,
+    /// One past the rule's last alternative.
+    alts_end: u32,
+    /// The alternative currently being tried.
+    alt_cursor: u32,
+    /// Next instruction, and one past the current alternative's last.
+    ip: u32,
+    ip_end: u32,
+    env: Env,
+    /// Result slots, indexed by written term position.
+    results: Vec<Option<TreeId>>,
+    /// Frame index of the invoking alternative (local rules only);
+    /// [`NO_PARENT`] otherwise.
+    parent: u32,
+    memoizable: bool,
+    pending: Pending,
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame {
+            nt: NtId(0),
+            base: 0,
+            len: 0,
+            alts_first: 0,
+            alts_end: 0,
+            alt_cursor: 0,
+            ip: 0,
+            ip_end: 0,
+            env: Env::default(),
+            results: Vec::new(),
+            parent: NO_PARENT,
+            memoizable: false,
+            pending: Pending::None,
+        }
+    }
+}
+
+struct VmSession<'p, 'i> {
+    g: &'p Grammar,
+    p: &'p Program,
+    input: &'i [u8],
+    arena: TreeArena,
+    memo: FxHashMap<(NtId, usize, usize), Option<TreeId>>,
+    /// Builtin invocations that already recorded their failure. The VM
+    /// re-executes builtins instead of memoizing them; this set keeps the
+    /// *deepest-failure* bookkeeping identical to the interpreter, where a
+    /// repeated failing builtin is a silent memo hit. Touched only on the
+    /// (rare) builtin failure path.
+    builtin_failures: FxHashSet<(NtId, usize, usize)>,
+    memoize: bool,
+    steps: u64,
+    memo_hits: u64,
+    max_steps: u64,
+    deepest: ParseError,
+    /// The frame stack: `frames[..depth]` are live. Slots above `depth`
+    /// are dead but keep their allocations (result vectors, environment
+    /// spill) for reuse, so pushing a frame never moves one by value.
+    frames: Vec<Frame>,
+    depth: usize,
+    /// Scratch buffer for collecting a completing frame's children.
+    scratch: Vec<TreeId>,
+}
+
+impl VmSession<'_, '_> {
+    fn stats(&self) -> ParseStats {
+        ParseStats { steps: self.steps, memo_hits: self.memo_hits, memo_entries: self.memo.len() }
+    }
+
+    #[inline]
+    fn tick(&mut self) -> PResult<()> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            Err(Abort::FuelExhausted)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn record_failure(&mut self, offset: usize, nt: NtId, msg: impl FnOnce(&Grammar) -> String) {
+        if offset >= self.deepest.offset {
+            let g = self.g;
+            self.deepest =
+                ParseError { offset, nonterminal: Some(g.nt_name(nt).to_owned()), msg: msg(g) };
+        }
+    }
+
+    /// Drives the machine from a root invocation of `nt` to completion.
+    fn run_root(&mut self, nt: NtId) -> PResult<Option<TreeId>> {
+        let len = self.input.len();
+        let mut flow = match self.begin_call(nt, 0, len, NO_PARENT)? {
+            CallOutcome::Done(r) => return Ok(r),
+            CallOutcome::Pushed => Flow::Exec,
+        };
+        loop {
+            flow = match flow {
+                Flow::Exec => self.exec_top()?,
+                Flow::Deliver(r) => self.resolve_top(r)?,
+                Flow::Done(r) => return Ok(r),
+            };
+        }
+    }
+
+    /// `s ⊢ A ⇓ R` at `(base, len)`: memo lookup, then direct evaluation
+    /// (builtin/blackbox) or a frame push (rules with alternatives).
+    fn begin_call(
+        &mut self,
+        nt: NtId,
+        base: usize,
+        len: usize,
+        parent: u32,
+    ) -> PResult<CallOutcome> {
+        self.tick()?;
+        let p = self.p;
+        let rule = &p.rules[nt.0 as usize];
+        // Builtins are never memoized by the VM: re-decoding a fixed-width
+        // integer costs less than a memo insert, hits are rare, and the
+        // step count is identical either way (a builtin has no internal
+        // ticks). The interpreter memoizes them; only the two engines'
+        // memo statistics differ, never steps, trees, or errors.
+        if let PRuleKind::Builtin(b) = rule.kind {
+            let memoizable = self.memoize && !rule.is_local;
+            return Ok(CallOutcome::Done(self.builtin_result(nt, b, base, len, memoizable)));
+        }
+        let memoizable = self.memoize && !rule.is_local;
+        if memoizable {
+            if let Some(cached) = self.memo.get(&(nt, base, len)) {
+                self.memo_hits += 1;
+                return Ok(CallOutcome::Done(*cached));
+            }
+        }
+        match rule.kind {
+            PRuleKind::Builtin(_) => unreachable!("handled above"),
+            PRuleKind::Blackbox(idx) => {
+                let r = self.blackbox_result(nt, idx as usize, base, len);
+                if memoizable {
+                    self.memo.insert((nt, base, len), r);
+                }
+                Ok(CallOutcome::Done(r))
+            }
+            PRuleKind::Alts { first, count } => {
+                if count == 0 {
+                    if memoizable {
+                        self.memo.insert((nt, base, len), None);
+                    }
+                    return Ok(CallOutcome::Done(None));
+                }
+                let alt = p.alts[first as usize];
+                if self.depth == self.frames.len() {
+                    self.frames.push(Frame::default());
+                }
+                let f = &mut self.frames[self.depth];
+                f.nt = nt;
+                f.base = base;
+                f.len = len;
+                f.alts_first = first;
+                f.alts_end = first + count;
+                f.alt_cursor = first;
+                f.ip = alt.first;
+                f.ip_end = alt.first + alt.count;
+                f.env = Env::initial(len);
+                f.results.clear();
+                f.results.resize(alt.n_slots as usize, None);
+                f.parent = parent;
+                f.memoizable = memoizable;
+                f.pending = Pending::None;
+                self.depth += 1;
+                Ok(CallOutcome::Pushed)
+            }
+        }
+    }
+
+    fn builtin_result(
+        &mut self,
+        nt: NtId,
+        b: Builtin,
+        base: usize,
+        len: usize,
+        memoizable: bool,
+    ) -> Option<TreeId> {
+        let local = &self.input[base..base + len];
+        match run_builtin(b, local) {
+            Some((val, consumed)) => {
+                let mut env = Env::initial(len);
+                env.fast_upd_start_end(0, consumed as i64, consumed > 0);
+                // `val` is absent from the fresh environment; append it
+                // without the membership scan `set` would do.
+                env.push_scope(wellknown::VAL, val);
+                let leaf = self.arena.alloc_leaf(base, base + consumed);
+                Some(self.arena.alloc_node(nt, env, &[leaf], base, len, 0))
+            }
+            None => {
+                // Where the interpreter's memo would make a repeated
+                // failure a silent hit, suppress the duplicate recording
+                // so the deepest-failure error stays identical.
+                if !memoizable || self.builtin_failures.insert((nt, base, len)) {
+                    self.record_failure(base, nt, |_| format!("builtin `{b}` failed"));
+                }
+                None
+            }
+        }
+    }
+
+    fn blackbox_result(&mut self, nt: NtId, idx: usize, base: usize, len: usize) -> Option<TreeId> {
+        let g = self.g;
+        let bb = &g.blackboxes()[idx];
+        let local = &self.input[base..base + len];
+        match (bb.run)(local) {
+            Ok(res) => {
+                let mut env = Env::initial(len);
+                let consumed = res.consumed.min(len);
+                env.fast_upd_start_end(0, consumed as i64, consumed > 0);
+                for (name, value) in bb.attrs.iter().zip(&res.attr_values) {
+                    if let Some(sym) = g.attr_sym(name) {
+                        env.set(sym, *value);
+                    }
+                }
+                Some(self.arena.alloc_blackbox(nt, env, res.data.into(), base, len))
+            }
+            Err(msg) => {
+                self.record_failure(base, nt, |_| format!("blackbox failed: {msg}"));
+                None
+            }
+        }
+    }
+
+    /// Executes instructions of the top frame until it blocks on a child
+    /// call, completes, or fails.
+    fn exec_top(&mut self) -> PResult<Flow> {
+        loop {
+            let fi = self.depth - 1;
+            let (ip, ip_end) = {
+                let f = &self.frames[fi];
+                (f.ip, f.ip_end)
+            };
+            let flow = if ip == ip_end {
+                self.complete_top()
+            } else {
+                self.tick()?;
+                match self.p.code[ip as usize] {
+                    Instr::Match { lit, lo, hi, slot } => self.exec_match(fi, lit, lo, hi, slot),
+                    Instr::Call { nt, lo, hi, slot } => self.dispatch_call(fi, nt, lo, hi, slot)?,
+                    Instr::Set { attr, expr } => self.exec_set(fi, attr, expr),
+                    Instr::Guard { expr } => self.exec_guard(fi, expr),
+                    Instr::Loop { var, from, to, nt, lo, hi, slot } => {
+                        self.exec_loop(fi, var, from, to, nt, lo, hi, slot)?
+                    }
+                    Instr::Star { nt, lo, hi, slot } => self.exec_star(fi, nt, lo, hi, slot)?,
+                    Instr::Switch { first, count, slot } => {
+                        self.exec_switch(fi, first, count, slot)?
+                    }
+                }
+            };
+            match flow {
+                // Either the same frame continues (next instruction or
+                // next alternative) or a child frame was pushed — both
+                // mean "execute the current top frame".
+                Flow::Exec => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// The current alternative failed: try the next one, or fail the rule.
+    fn fail_alt(&mut self, fi: usize) -> Flow {
+        let p = self.p;
+        let f = &mut self.frames[fi];
+        f.alt_cursor += 1;
+        if f.alt_cursor < f.alts_end {
+            let alt = p.alts[f.alt_cursor as usize];
+            f.ip = alt.first;
+            f.ip_end = alt.first + alt.count;
+            f.env = Env::initial(f.len);
+            f.results.clear();
+            f.results.resize(alt.n_slots as usize, None);
+            f.pending = Pending::None;
+            Flow::Exec
+        } else {
+            self.depth -= 1;
+            let f = &mut self.frames[self.depth];
+            f.pending = Pending::None;
+            if f.memoizable {
+                let key = (f.nt, f.base, f.len);
+                self.memo.insert(key, None);
+            }
+            if self.depth == 0 {
+                Flow::Done(None)
+            } else {
+                Flow::Deliver(None)
+            }
+        }
+    }
+
+    /// All terms of the current alternative succeeded: build the node.
+    fn complete_top(&mut self) -> Flow {
+        self.depth -= 1;
+        let f = &mut self.frames[self.depth];
+        let env = std::mem::take(&mut f.env);
+        let (nt, base, len) = (f.nt, f.base, f.len);
+        let alt_index = f.alt_cursor - f.alts_first;
+        let memoizable = f.memoizable;
+        f.pending = Pending::None;
+        self.scratch.clear();
+        let f = &self.frames[self.depth];
+        self.scratch.extend(f.results.iter().flatten().copied());
+        let id = self.arena.alloc_node(nt, env, &self.scratch, base, len, alt_index);
+        if memoizable {
+            self.memo.insert((nt, base, len), Some(id));
+        }
+        if self.depth == 0 {
+            Flow::Done(Some(id))
+        } else {
+            Flow::Deliver(Some(id))
+        }
+    }
+
+    /// A child call finished; resume the pending term of the top frame.
+    fn resolve_top(&mut self, ret: Option<TreeId>) -> PResult<Flow> {
+        let fi = self.depth - 1;
+        match std::mem::replace(&mut self.frames[fi].pending, Pending::None) {
+            Pending::Call { slot, l } => self.finish_call(fi, slot, l, ret),
+            Pending::Loop(mut st) => match ret {
+                Some(sub) => {
+                    self.loop_push(fi, &mut st, sub);
+                    self.loop_next(fi, st)
+                }
+                None => {
+                    self.frames[fi].env.pop_scope();
+                    Ok(self.fail_alt(fi))
+                }
+            },
+            Pending::Star(mut st) => match ret {
+                Some(sub) => {
+                    if self.star_push(&mut st, sub) {
+                        self.star_next(fi, st)
+                    } else {
+                        Ok(self.finish_star(fi, st))
+                    }
+                }
+                None => Ok(self.finish_star(fi, st)),
+            },
+            Pending::None => unreachable!("result delivered with no pending term"),
+        }
+    }
+
+    fn exec_match(&mut self, fi: usize, lit: LitSpan, lo: ExprId, hi: ExprId, slot: u16) -> Flow {
+        let (base, nt) = {
+            let f = &self.frames[fi];
+            (f.base, f.nt)
+        };
+        let Some((l, r)) = self.eval_interval(lo, hi, fi) else {
+            self.record_failure(base, nt, |_| "invalid terminal interval".into());
+            return self.fail_alt(fi);
+        };
+        let blen = lit.len as usize;
+        // T-Ter: 0 ≤ l ≤ r ≤ |s|, r − l ≥ |s1|, s[l, l+|s1|] = s1.
+        if r - l < blen as i64 {
+            self.record_failure(base + l as usize, nt, |_| {
+                format!("interval too short for terminal of length {blen}")
+            });
+            return self.fail_alt(fi);
+        }
+        let al = base + l as usize;
+        let bytes = &self.p.lits[lit.start as usize..lit.start as usize + blen];
+        if self.input[al..al + blen] != *bytes {
+            self.record_failure(al, nt, |_| {
+                format!("terminal mismatch (expected {})", super::preview(bytes))
+            });
+            return self.fail_alt(fi);
+        }
+        let leaf = self.arena.alloc_leaf(al, al + blen);
+        let f = &mut self.frames[fi];
+        f.env.fast_upd_start_end(l, r, blen != 0);
+        f.results[slot as usize] = Some(leaf);
+        f.ip += 1;
+        Flow::Exec
+    }
+
+    fn exec_set(&mut self, fi: usize, attr: Sym, expr: ExprId) -> Flow {
+        match self.eval(expr, fi) {
+            Some(v) => {
+                let f = &mut self.frames[fi];
+                f.env.set(attr, v);
+                f.ip += 1;
+                Flow::Exec
+            }
+            None => {
+                let (base, nt) = {
+                    let f = &self.frames[fi];
+                    (f.base, f.nt)
+                };
+                self.record_failure(base, nt, |g| {
+                    format!("attribute `{}` evaluation failed", g.attr_name(attr))
+                });
+                self.fail_alt(fi)
+            }
+        }
+    }
+
+    fn exec_guard(&mut self, fi: usize, expr: ExprId) -> Flow {
+        let (base, nt) = {
+            let f = &self.frames[fi];
+            (f.base, f.nt)
+        };
+        match self.eval(expr, fi) {
+            Some(v) if v != 0 => {
+                self.frames[fi].ip += 1;
+                Flow::Exec
+            }
+            Some(_) => {
+                self.record_failure(base, nt, |_| "predicate failed".into());
+                self.fail_alt(fi)
+            }
+            None => {
+                self.record_failure(base, nt, |_| "predicate evaluation failed".into());
+                self.fail_alt(fi)
+            }
+        }
+    }
+
+    /// T-NTSucc / T-NTFail for a symbol term or selected switch case:
+    /// evaluate the interval and invoke the callee.
+    fn dispatch_call(
+        &mut self,
+        fi: usize,
+        callee: NtId,
+        lo: ExprId,
+        hi: ExprId,
+        slot: u16,
+    ) -> PResult<Flow> {
+        let (base, nt) = {
+            let f = &self.frames[fi];
+            (f.base, f.nt)
+        };
+        let Some((l, r)) = self.eval_interval(lo, hi, fi) else {
+            self.record_failure(base, nt, |g| {
+                format!("invalid interval for `{}`", g.nt_name(callee))
+            });
+            return Ok(self.fail_alt(fi));
+        };
+        let parent = if self.p.rules[callee.0 as usize].is_local { fi as u32 } else { NO_PARENT };
+        match self.begin_call(callee, base + l as usize, (r - l) as usize, parent)? {
+            CallOutcome::Pushed => {
+                self.frames[fi].pending = Pending::Call { slot, l };
+                Ok(Flow::Exec)
+            }
+            CallOutcome::Done(res) => self.finish_call(fi, slot, l, res),
+        }
+    }
+
+    /// Caller-side completion of a symbol/switch call: re-base the
+    /// callee's `start`/`end` and widen the caller's touched region.
+    fn finish_call(&mut self, fi: usize, slot: u16, l: i64, ret: Option<TreeId>) -> PResult<Flow> {
+        match ret {
+            Some(sub) => {
+                let (cs, ce) = self.arena.start_end(sub);
+                let adjusted = self.arena.adjust(sub, l);
+                let f = &mut self.frames[fi];
+                f.env.fast_upd_start_end(l + cs, l + ce, ce != 0);
+                f.results[slot as usize] = Some(adjusted);
+                f.ip += 1;
+                Ok(Flow::Exec)
+            }
+            None => Ok(self.fail_alt(fi)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_loop(
+        &mut self,
+        fi: usize,
+        var: Sym,
+        from: ExprId,
+        to: ExprId,
+        nt: NtId,
+        lo: ExprId,
+        hi: ExprId,
+        slot: u16,
+    ) -> PResult<Flow> {
+        let (base, len, caller) = {
+            let f = &self.frames[fi];
+            (f.base, f.len, f.nt)
+        };
+        let (i, j) = match (self.eval(from, fi), self.eval(to, fi)) {
+            (Some(i), Some(j)) => (i, j),
+            _ => {
+                self.record_failure(base, caller, |_| "array bounds evaluation failed".into());
+                return Ok(self.fail_alt(fi));
+            }
+        };
+        let mut elems = Vec::new();
+        if j > i {
+            elems.reserve((j - i).min(len as i64 + 1) as usize);
+        }
+        self.frames[fi].env.push_scope(var, i);
+        self.loop_next(fi, LoopSt { slot, var, k: i, j, nt, lo, hi, l: 0, elems })
+    }
+
+    /// One iteration step of a `for` term (entered fresh and after every
+    /// delivered element).
+    fn loop_next(&mut self, fi: usize, mut st: LoopSt) -> PResult<Flow> {
+        loop {
+            if st.k >= st.j {
+                self.frames[fi].env.pop_scope();
+                let id = self.arena.alloc_array(st.nt, &st.elems);
+                let f = &mut self.frames[fi];
+                f.results[st.slot as usize] = Some(id);
+                f.ip += 1;
+                return Ok(Flow::Exec);
+            }
+            self.tick()?;
+            self.frames[fi].env.set_top(st.var, st.k);
+            let (base, caller) = {
+                let f = &self.frames[fi];
+                (f.base, f.nt)
+            };
+            let Some((l, r)) = self.eval_interval(st.lo, st.hi, fi) else {
+                self.record_failure(base, caller, |g| {
+                    format!("invalid interval for `{}`", g.nt_name(st.nt))
+                });
+                self.frames[fi].env.pop_scope();
+                return Ok(self.fail_alt(fi));
+            };
+            st.l = l;
+            let parent =
+                if self.p.rules[st.nt.0 as usize].is_local { fi as u32 } else { NO_PARENT };
+            match self.begin_call(st.nt, base + l as usize, (r - l) as usize, parent)? {
+                CallOutcome::Pushed => {
+                    self.frames[fi].pending = Pending::Loop(st);
+                    return Ok(Flow::Exec);
+                }
+                CallOutcome::Done(Some(sub)) => self.loop_push(fi, &mut st, sub),
+                CallOutcome::Done(None) => {
+                    self.frames[fi].env.pop_scope();
+                    return Ok(self.fail_alt(fi));
+                }
+            }
+        }
+    }
+
+    /// Accept one delivered loop element (mirror of the interpreter's
+    /// per-iteration `call_nt_on_interval` tail).
+    fn loop_push(&mut self, fi: usize, st: &mut LoopSt, sub: TreeId) {
+        let (cs, ce) = self.arena.start_end(sub);
+        let adjusted = self.arena.adjust(sub, st.l);
+        let f = &mut self.frames[fi];
+        f.env.fast_upd_start_end(st.l + cs, st.l + ce, ce != 0);
+        st.elems.push(adjusted);
+        st.k += 1;
+    }
+
+    fn exec_star(
+        &mut self,
+        fi: usize,
+        nt: NtId,
+        lo: ExprId,
+        hi: ExprId,
+        slot: u16,
+    ) -> PResult<Flow> {
+        let (base, caller) = {
+            let f = &self.frames[fi];
+            (f.base, f.nt)
+        };
+        let Some((l, r)) = self.eval_interval(lo, hi, fi) else {
+            self.record_failure(base, caller, |_| "invalid star interval".into());
+            return Ok(self.fail_alt(fi));
+        };
+        let st = StarSt {
+            slot,
+            nt,
+            l,
+            star_base: base + l as usize,
+            star_len: (r - l) as usize,
+            pos: 0,
+            elems: Vec::new(),
+        };
+        self.star_next(fi, st)
+    }
+
+    /// One repetition step of a `star` term: the next repetition starts
+    /// where the previous one ended.
+    fn star_next(&mut self, fi: usize, mut st: StarSt) -> PResult<Flow> {
+        loop {
+            self.tick()?;
+            if st.pos > st.star_len {
+                return Ok(self.finish_star(fi, st));
+            }
+            let parent =
+                if self.p.rules[st.nt.0 as usize].is_local { fi as u32 } else { NO_PARENT };
+            match self.begin_call(st.nt, st.star_base + st.pos, st.star_len - st.pos, parent)? {
+                CallOutcome::Pushed => {
+                    self.frames[fi].pending = Pending::Star(st);
+                    return Ok(Flow::Exec);
+                }
+                CallOutcome::Done(Some(sub)) => {
+                    if !self.star_push(&mut st, sub) {
+                        return Ok(self.finish_star(fi, st));
+                    }
+                }
+                CallOutcome::Done(None) => return Ok(self.finish_star(fi, st)),
+            }
+        }
+    }
+
+    /// Accept one delivered repetition; returns `false` when the
+    /// repetition made no progress (which ends the star after it).
+    fn star_push(&mut self, st: &mut StarSt, sub: TreeId) -> bool {
+        let (_, ce) = self.arena.start_end(sub);
+        let adjusted = self.arena.adjust(sub, st.pos as i64 + st.l);
+        st.elems.push(adjusted);
+        if ce == 0 {
+            return false;
+        }
+        st.pos += ce as usize;
+        true
+    }
+
+    fn finish_star(&mut self, fi: usize, st: StarSt) -> Flow {
+        let caller = self.frames[fi].nt;
+        if st.elems.is_empty() {
+            self.record_failure(st.star_base, caller, |g| {
+                format!("star needs at least one `{}`", g.nt_name(st.nt))
+            });
+            return self.fail_alt(fi);
+        }
+        let id = self.arena.alloc_array(st.nt, &st.elems);
+        let f = &mut self.frames[fi];
+        f.env.fast_upd_start_end(st.l, st.l + st.pos as i64, st.pos > 0);
+        f.results[st.slot as usize] = Some(id);
+        f.ip += 1;
+        Flow::Exec
+    }
+
+    fn exec_switch(&mut self, fi: usize, first: u32, count: u16, slot: u16) -> PResult<Flow> {
+        let (base, nt) = {
+            let f = &self.frames[fi];
+            (f.base, f.nt)
+        };
+        let p = self.p;
+        let mut selected = None;
+        for case in &p.cases[first as usize..first as usize + count as usize] {
+            match case.cond {
+                Some(c) => match self.eval(c, fi) {
+                    Some(0) => continue,
+                    Some(_) => {
+                        selected = Some(*case);
+                        break;
+                    }
+                    None => break,
+                },
+                None => {
+                    selected = Some(*case);
+                    break;
+                }
+            }
+        }
+        match selected {
+            Some(case) => self.dispatch_call(fi, case.nt, case.lo, case.hi, slot),
+            None => {
+                self.record_failure(base, nt, |_| "switch guard evaluation failed".into());
+                Ok(self.fail_alt(fi))
+            }
+        }
+    }
+
+    /// Evaluates an interval, valid only when `0 ≤ l ≤ r ≤ len`.
+    fn eval_interval(&mut self, lo: ExprId, hi: ExprId, fi: usize) -> Option<(i64, i64)> {
+        let len = self.frames[fi].len;
+        let l = self.eval(lo, fi)?;
+        let r = self.eval(hi, fi)?;
+        if 0 <= l && l <= r && r <= len as i64 {
+            Some((l, r))
+        } else {
+            None
+        }
+    }
+
+    /// `σ(E, Tr, e)` over the flat expression pool; `None` when undefined.
+    /// The leaf cases inline into the interval-evaluation hot path; the
+    /// recursive cases live in [`VmSession::eval_complex`].
+    #[inline]
+    fn eval(&mut self, e: ExprId, fi: usize) -> Option<i64> {
+        match self.p.exprs[e.0 as usize] {
+            BExpr::Num(n) => Some(n),
+            BExpr::Eoi => Some(self.frames[fi].env.fast_eoi()),
+            BExpr::Local(sym) => self.lookup_local(fi, sym),
+            BExpr::NtAttr { slot, nt, attr } => {
+                let id = self.frames[fi].results[slot as usize]?;
+                self.arena.node_attr(id, nt, attr)
+            }
+            other => self.eval_complex(other, fi),
+        }
+    }
+
+    fn eval_complex(&mut self, e: BExpr, fi: usize) -> Option<i64> {
+        match e {
+            BExpr::Num(n) => Some(n),
+            BExpr::Eoi => Some(self.frames[fi].env.fast_eoi()),
+            BExpr::Local(sym) => self.lookup_local(fi, sym),
+            BExpr::Bin(op, a, b) => {
+                let a = self.eval(a, fi)?;
+                let b = self.eval(b, fi)?;
+                eval_binop(op, a, b)
+            }
+            BExpr::Cond(c, t, f) => {
+                if self.eval(c, fi)? != 0 {
+                    self.eval(t, fi)
+                } else {
+                    self.eval(f, fi)
+                }
+            }
+            BExpr::NtAttr { slot, nt, attr } => {
+                let id = self.frames[fi].results[slot as usize]?;
+                self.arena.node_attr(id, nt, attr)
+            }
+            BExpr::ElemAttr { slot, nt, index, attr } => {
+                let k = self.eval(index, fi)?;
+                let id = self.frames[fi].results[slot as usize]?;
+                let Entry::Array(a) = self.arena.entry(id) else { return None };
+                if a.nt != nt || k < 0 {
+                    return None;
+                }
+                let elem = *self.arena.child_ids(a.elems).get(k as usize)?;
+                self.arena.node_attr(elem, nt, attr)
+            }
+            BExpr::OuterAttr { nt, attr } => {
+                let id = self.lookup_outer_node(fi, nt)?;
+                self.arena.node_attr(id, nt, attr)
+            }
+            BExpr::OuterElem { nt, index, attr } => {
+                let k = self.eval(index, fi)?;
+                if k < 0 {
+                    return None;
+                }
+                let arr = self.lookup_outer_array(fi, nt)?;
+                let Entry::Array(a) = self.arena.entry(arr) else { return None };
+                let elem = *self.arena.child_ids(a.elems).get(k as usize)?;
+                self.arena.node_attr(elem, nt, attr)
+            }
+            BExpr::Exists { var, slot, nt, cond, then, els } => {
+                // Only the element *count* is needed up front, as in the
+                // interpreter.
+                let n = match slot {
+                    Some(sl) => {
+                        let id = self.frames[fi].results[sl as usize]?;
+                        match self.arena.entry(id) {
+                            Entry::Array(a) if a.nt == nt => a.elems.len as usize,
+                            _ => return None,
+                        }
+                    }
+                    None => {
+                        let id = self.lookup_outer_array(fi, nt)?;
+                        match self.arena.entry(id) {
+                            Entry::Array(a) => a.elems.len as usize,
+                            _ => return None,
+                        }
+                    }
+                };
+                let mut found: Option<i64> = None;
+                self.frames[fi].env.push_scope(var, 0);
+                for k in 0..n {
+                    self.frames[fi].env.set_top(var, k as i64);
+                    match self.eval(cond, fi) {
+                        Some(0) => continue,
+                        Some(_) => {
+                            found = Some(k as i64);
+                            break;
+                        }
+                        None => {
+                            self.frames[fi].env.pop_scope();
+                            return None;
+                        }
+                    }
+                }
+                match found {
+                    Some(k) => {
+                        self.frames[fi].env.set_top(var, k);
+                        let v = self.eval(then, fi);
+                        self.frames[fi].env.pop_scope();
+                        v
+                    }
+                    None => {
+                        self.frames[fi].env.pop_scope();
+                        self.eval(els, fi)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current environment, falling through to the invoking alternative's
+    /// environment for local rules (mirror of `AltCtx::lookup_local`).
+    fn lookup_local(&self, fi: usize, sym: Sym) -> Option<i64> {
+        let mut i = fi as u32;
+        loop {
+            let f = &self.frames[i as usize];
+            if let Some(v) = f.env.get(sym) {
+                return Some(v);
+            }
+            if f.parent == NO_PARENT {
+                return None;
+            }
+            i = f.parent;
+        }
+    }
+
+    /// Most recently written completed node/blackbox of `nt` in the
+    /// context chain (mirror of `AltCtx::lookup_outer_node`).
+    fn lookup_outer_node(&self, fi: usize, nt: NtId) -> Option<TreeId> {
+        let mut i = fi as u32;
+        loop {
+            let f = &self.frames[i as usize];
+            for id in f.results.iter().rev().flatten() {
+                match self.arena.entry(*id) {
+                    Entry::Node(n) if n.nt == nt => return Some(*id),
+                    Entry::Blackbox(b) if b.nt == nt => return Some(*id),
+                    _ => {}
+                }
+            }
+            if f.parent == NO_PARENT {
+                return None;
+            }
+            i = f.parent;
+        }
+    }
+
+    /// Mirror of `AltCtx::lookup_outer_array`.
+    fn lookup_outer_array(&self, fi: usize, nt: NtId) -> Option<TreeId> {
+        let mut i = fi as u32;
+        loop {
+            let f = &self.frames[i as usize];
+            for id in f.results.iter().rev().flatten() {
+                if let Entry::Array(a) = self.arena.entry(*id) {
+                    if a.nt == nt {
+                        return Some(*id);
+                    }
+                }
+            }
+            if f.parent == NO_PARENT {
+                return None;
+            }
+            i = f.parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::parse_grammar;
+    use crate::interp::Parser;
+
+    fn fig2() -> Grammar {
+        parse_grammar(
+            r#"
+            S -> H[0, 8] Data[H.offset, H.offset + H.length];
+            H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+            Int := u32le;
+            Data := bytes;
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repeated_builtin_failure_reports_the_interpreter_error() {
+        // A failing builtin invoked twice at the same slice: the
+        // interpreter's second invocation is a silent memo hit, so the
+        // terminal failure of `T` (recorded in between, at the same
+        // offset) survives as the deepest error. The VM re-executes the
+        // builtin; without failure-dedup it would re-record
+        // "builtin u32le failed" and report a different error.
+        let g = parse_grammar(
+            r#"
+            S -> A[0, EOI] / T[0, EOI] / B[0, EOI];
+            A -> Int[0, EOI];
+            T -> "abc"[0, EOI];
+            B -> Int[0, EOI];
+            Int := u32le;
+            "#,
+        )
+        .unwrap();
+        let input = [0u8, 1]; // two bytes: u32le and "abc" both fail
+        let err_i = Parser::new(&g).parse(&input).unwrap_err();
+        let err_v = VmParser::new(&g).parse(&input).unwrap_err();
+        assert_eq!(err_i, err_v);
+
+        // With memoization off, *both* engines re-record the builtin
+        // failure; they must still agree.
+        let err_i = Parser::new(&g).memoize(false).parse(&input).unwrap_err();
+        let err_v = VmParser::new(&g).memoize(false).parse(&input).unwrap_err();
+        assert_eq!(err_i, err_v);
+    }
+
+    fn fig2_input() -> Vec<u8> {
+        let mut input = vec![8u8, 0, 0, 0, 4, 0, 0, 0];
+        input.extend_from_slice(b"DATA");
+        input
+    }
+
+    #[test]
+    fn vm_and_interpreter_build_identical_trees() {
+        let g = fig2();
+        let input = fig2_input();
+        let reference = Parser::new(&g).parse(&input).unwrap();
+        let vm_tree = VmParser::new(&g).parse(&input).unwrap();
+        assert_eq!(vm_tree.root().to_tree(), reference);
+    }
+
+    #[test]
+    fn vm_and_interpreter_report_identical_stats_and_errors() {
+        let g = fig2();
+        let mut input = fig2_input();
+        let vm = VmParser::new(&g);
+
+        let (ok_i, stats_i) = Parser::new(&g).parse_with_stats(&input);
+        let (ok_v, stats_v) = vm.parse_with_stats(&input);
+        assert!(ok_i.is_ok() && ok_v.is_ok());
+        // Steps are tick-for-tick identical; memo statistics are engine
+        // policy (the VM skips builtin memoization).
+        assert_eq!(stats_i.steps, stats_v.steps);
+
+        input.truncate(6); // header cut short
+        let err_i = Parser::new(&g).parse(&input).unwrap_err();
+        let err_v = vm.parse(&input).unwrap_err();
+        assert_eq!(err_i, err_v);
+    }
+
+    #[test]
+    fn views_mirror_the_node_accessors() {
+        let g = fig2();
+        let input = fig2_input();
+        let tree = VmParser::new(&g).parse(&input).unwrap();
+        let root = tree.root();
+        let h = root.child_node("H").unwrap();
+        assert_eq!(h.name(), "H");
+        assert_eq!(h.attr(&g, "offset"), Some(8));
+        assert_eq!(h.attr(&g, "length"), Some(4));
+        assert_eq!(h.span(), (0, 8));
+        let h_nt = g.nt_id("H").unwrap();
+        assert_eq!(root.child_node_nt(h_nt).unwrap().span(), h.span());
+        assert!(root.child_node("Nope").is_none());
+        let data = root.child_node("Data").unwrap();
+        assert_eq!(data.span(), (8, 12));
+        assert_eq!(&input[data.span().0..data.span().1], b"DATA");
+    }
+
+    #[test]
+    fn memoization_toggle_and_fuel_mirror_the_interpreter() {
+        let g = fig2();
+        let input = fig2_input();
+        let (r, no_memo) = VmParser::new(&g).memoize(false).parse_with_stats(&input);
+        r.unwrap();
+        assert_eq!(no_memo.memo_entries, 0);
+        assert_eq!(no_memo.memo_hits, 0);
+
+        let err = VmParser::new(&g).max_steps(3).parse(&input).unwrap_err();
+        let err_i = Parser::new(&g).max_steps(3).parse(&input).unwrap_err();
+        assert_eq!(err, err_i);
+    }
+
+    #[test]
+    fn star_and_arrays_agree_with_interpreter() {
+        let g = parse_grammar(
+            r#"
+            S -> star Item[0, EOI];
+            Item -> Len[0, 1] Byte[1, 1 + Len.val];
+            Len := u8;
+            Byte := bytes;
+            "#,
+        )
+        .unwrap();
+        let input = [2u8, 0xaa, 0xbb, 1, 0xcc, 0, 3, 1, 2, 3];
+        let reference = Parser::new(&g).parse(&input).unwrap();
+        let vm_tree = VmParser::new(&g).parse(&input).unwrap();
+        assert_eq!(vm_tree.root().to_tree(), reference);
+        let arr = vm_tree.root().child_array("Item").unwrap();
+        assert_eq!(arr.len(), 4);
+    }
+}

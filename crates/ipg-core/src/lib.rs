@@ -23,7 +23,18 @@
 //!   reference and acyclicity of per-alternative dependency graphs, followed
 //!   by the topological reordering the parsing semantics assumes.
 //! * [`interp`] — the big-step parsing semantics (Fig. 8/15 of the paper) as
-//!   a memoizing interpreter producing [`tree::Tree`] parse trees.
+//!   a memoizing interpreter producing [`tree::Tree`] parse trees; it is the
+//!   executable *reference* semantics.
+//! * [`bytecode`] — the production pipeline's next stage: [`bytecode::compile`]
+//!   lowers a checked grammar into a flat, `NtId`-indexed program (dense
+//!   instruction/expression pools, pre-resolved result slots) with a
+//!   disassembler for snapshot-pinned listings.
+//! * [`interp::vm`] — the bytecode execution engine: an explicit work stack
+//!   instead of recursion, parse trees bump-allocated into an
+//!   [`arena::TreeArena`], observably identical to [`interp`] (same trees,
+//!   step counts, and errors — enforced by differential tests).
+//! * [`arena`] — arena parse trees (`u32` ids, contiguous child ranges) with
+//!   zero-copy views mirroring the [`tree`] accessors.
 //! * [`codegen`] — the parser generator: emits a self-contained Rust
 //!   recursive-descent parser from a checked grammar.
 //! * [`termination`] — the static termination checker of §5: elementary
@@ -62,8 +73,10 @@
 //! ```
 
 pub mod analysis;
+pub mod arena;
 pub mod blackbox;
 pub mod builtin;
+pub mod bytecode;
 pub mod check;
 pub mod codegen;
 pub mod combinators;
@@ -78,5 +91,6 @@ pub mod termination;
 pub mod tree;
 
 pub use error::{Error, Result};
+pub use interp::vm::{ParseTree, VmParser};
 pub use syntax::{Grammar, GrammarBuilder};
 pub use tree::Tree;

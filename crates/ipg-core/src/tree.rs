@@ -36,6 +36,9 @@ pub struct Node {
     /// The nonterminal's name (kept on the node so extractors need not
     /// carry the grammar around).
     pub name: Arc<str>,
+    /// The name as an interned symbol ([`crate::check::Grammar::nt_name_sym`]);
+    /// lets child lookups compare `u32`s instead of strings.
+    pub name_sym: Sym,
     /// Attribute environment: user attributes plus `start`/`end`/`EOI`.
     /// `start`/`end` are relative to the node's *parent* input after the
     /// caller-side adjustment of rule T-NTSucc.
@@ -59,6 +62,8 @@ pub struct ArrayNode {
     pub nt: NtId,
     /// Element nonterminal name.
     pub name: Arc<str>,
+    /// The element name as an interned symbol.
+    pub name_sym: Sym,
     /// One element per iteration, each a [`Tree::Node`].
     pub elems: Vec<Rc<Tree>>,
 }
@@ -80,6 +85,8 @@ pub struct BlackboxNode {
     pub nt: NtId,
     /// Its name.
     pub name: Arc<str>,
+    /// The name as an interned symbol.
+    pub name_sym: Sym,
     /// Attribute environment (declared attributes plus `start`/`end`/`EOI`).
     pub env: Env,
     /// Decoded output (e.g. decompressed bytes).
@@ -124,31 +131,38 @@ impl Tree {
     }
 
     /// The first direct child of this node named `name` (searching
-    /// [`Tree::Node`] and [`Tree::Blackbox`] children).
+    /// [`Tree::Node`] and [`Tree::Blackbox`] children). Thin name-based
+    /// shim over [`Tree::child_node_sym`]; hot paths should resolve the
+    /// name once via [`crate::check::Grammar::nt_sym`] and use the symbol.
     pub fn child_node(&self, name: &str) -> Option<&Node> {
-        let Tree::Node(n) = self else { return None };
-        n.children.iter().find_map(|c| match c.as_ref() {
-            Tree::Node(child) if &*child.name == name => Some(child),
-            _ => None,
-        })
+        self.as_node()?.child_node(name)
     }
 
-    /// The first direct child array of `name` elements.
+    /// The first direct child whose interned name symbol is `sym`.
+    pub fn child_node_sym(&self, sym: Sym) -> Option<&Node> {
+        self.as_node()?.child_node_sym(sym)
+    }
+
+    /// The first direct child array of `name` elements (name-based shim
+    /// over [`Tree::child_array_sym`]).
     pub fn child_array(&self, name: &str) -> Option<&ArrayNode> {
-        let Tree::Node(n) = self else { return None };
-        n.children.iter().find_map(|c| match c.as_ref() {
-            Tree::Array(a) if &*a.name == name => Some(a),
-            _ => None,
-        })
+        self.as_node()?.child_array(name)
     }
 
-    /// The first direct blackbox child named `name`.
+    /// The first direct child array whose element name symbol is `sym`.
+    pub fn child_array_sym(&self, sym: Sym) -> Option<&ArrayNode> {
+        self.as_node()?.child_array_sym(sym)
+    }
+
+    /// The first direct blackbox child named `name` (name-based shim over
+    /// [`Tree::child_blackbox_sym`]).
     pub fn child_blackbox(&self, name: &str) -> Option<&BlackboxNode> {
-        let Tree::Node(n) = self else { return None };
-        n.children.iter().find_map(|c| match c.as_ref() {
-            Tree::Blackbox(b) if &*b.name == name => Some(b),
-            _ => None,
-        })
+        self.as_node()?.child_blackbox(name)
+    }
+
+    /// The first direct blackbox child whose name symbol is `sym`.
+    pub fn child_blackbox_sym(&self, sym: Sym) -> Option<&BlackboxNode> {
+        self.as_node()?.child_blackbox_sym(sym)
     }
 
     /// Total number of tree nodes (for tests and statistics).
@@ -186,7 +200,10 @@ impl Node {
         self.env.end()
     }
 
-    /// The first direct child of this node named `name`.
+    /// The first direct child of this node named `name`. Thin shim that
+    /// resolves the name against each candidate child; loops should
+    /// resolve once ([`crate::check::Grammar::nt_sym`]) and call
+    /// [`Node::child_node_sym`], which compares interned symbols.
     pub fn child_node(&self, name: &str) -> Option<&Node> {
         self.children.iter().find_map(|c| match c.as_ref() {
             Tree::Node(child) if &*child.name == name => Some(child),
@@ -194,7 +211,16 @@ impl Node {
         })
     }
 
-    /// The first direct child array of `name` elements.
+    /// The first direct child whose interned name symbol is `sym`.
+    pub fn child_node_sym(&self, sym: Sym) -> Option<&Node> {
+        self.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Node(child) if child.name_sym == sym => Some(child),
+            _ => None,
+        })
+    }
+
+    /// The first direct child array of `name` elements (name-based shim
+    /// over [`Node::child_array_sym`]).
     pub fn child_array(&self, name: &str) -> Option<&ArrayNode> {
         self.children.iter().find_map(|c| match c.as_ref() {
             Tree::Array(a) if &*a.name == name => Some(a),
@@ -202,10 +228,27 @@ impl Node {
         })
     }
 
-    /// The first direct blackbox child named `name`.
+    /// The first direct child array whose element name symbol is `sym`.
+    pub fn child_array_sym(&self, sym: Sym) -> Option<&ArrayNode> {
+        self.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Array(a) if a.name_sym == sym => Some(a),
+            _ => None,
+        })
+    }
+
+    /// The first direct blackbox child named `name` (name-based shim over
+    /// [`Node::child_blackbox_sym`]).
     pub fn child_blackbox(&self, name: &str) -> Option<&BlackboxNode> {
         self.children.iter().find_map(|c| match c.as_ref() {
             Tree::Blackbox(b) if &*b.name == name => Some(b),
+            _ => None,
+        })
+    }
+
+    /// The first direct blackbox child whose name symbol is `sym`.
+    pub fn child_blackbox_sym(&self, sym: Sym) -> Option<&BlackboxNode> {
+        self.children.iter().find_map(|c| match c.as_ref() {
+            Tree::Blackbox(b) if b.name_sym == sym => Some(b),
             _ => None,
         })
     }
@@ -284,10 +327,16 @@ mod tests {
         let node = Tree::Node(Node {
             nt: NtId(0),
             name: "S".into(),
+            name_sym: Sym(10),
             env: Env::new(),
             children: vec![
                 leaf(0, 1),
-                Rc::new(Tree::Array(ArrayNode { nt: NtId(1), name: "A".into(), elems: vec![] })),
+                Rc::new(Tree::Array(ArrayNode {
+                    nt: NtId(1),
+                    name: "A".into(),
+                    name_sym: Sym(11),
+                    elems: vec![],
+                })),
             ],
             base: 0,
             input_len: 1,
@@ -297,10 +346,11 @@ mod tests {
     }
 
     #[test]
-    fn child_lookup_by_name() {
+    fn child_lookup_by_name_and_sym() {
         let child = Node {
             nt: NtId(1),
             name: "H".into(),
+            name_sym: Sym(11),
             env: Env::new(),
             children: vec![],
             base: 0,
@@ -310,6 +360,7 @@ mod tests {
         let root = Tree::Node(Node {
             nt: NtId(0),
             name: "S".into(),
+            name_sym: Sym(10),
             env: Env::new(),
             children: vec![Rc::new(Tree::Node(child))],
             base: 0,
@@ -319,5 +370,9 @@ mod tests {
         assert!(root.child_node("H").is_some());
         assert!(root.child_node("X").is_none());
         assert!(root.child_array("H").is_none());
+        assert!(root.child_node_sym(Sym(11)).is_some());
+        assert!(root.child_node_sym(Sym(12)).is_none());
+        assert!(root.child_array_sym(Sym(11)).is_none());
+        assert!(root.child_blackbox_sym(Sym(11)).is_none());
     }
 }

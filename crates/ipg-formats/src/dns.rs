@@ -2,11 +2,11 @@
 //! *recognized* by the grammar and *resolved* here — name decompression is
 //! a semantic property, like the paper's post-parse validation passes.
 
-use crate::{flatten_chain, need};
-use ipg_core::check::Grammar;
+use crate::{flatten_chain, need, nt_of};
+use ipg_core::arena::NodeRef;
+use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
-use ipg_core::tree::Node;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -16,6 +16,12 @@ pub const SPEC: &str = include_str!("../specs/dns.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("dns.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed message.
@@ -63,19 +69,21 @@ pub struct DnsRecord {
 /// unresolvable compression pointers.
 pub fn parse(input: &[u8]) -> Result<DnsMessage> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
-    let hdr =
-        root.child_node("Hdr").ok_or_else(|| Error::Grammar("extractor: missing header".into()))?;
+    let tree = vm().parse(input)?;
+    let root = tree.root();
+    let hdr = root
+        .child_node_nt(nt_of(g, "Hdr")?)
+        .ok_or_else(|| Error::Grammar("extractor: missing header".into()))?;
+    let name_nts = NameNts::resolve(g)?;
 
     let mut questions = Vec::new();
-    if let Some(qs) = root.child_node("Qs") {
-        for q in flatten_chain(qs, "Qs", "Q") {
+    if let Some(qs) = root.child_node_nt(nt_of(g, "Qs")?) {
+        for q in flatten_chain(qs, nt_of(g, "Qs")?, nt_of(g, "Q")?) {
             let name_node = q
-                .child_node("Name")
+                .child_node_nt(name_nts.name)
                 .ok_or_else(|| Error::Grammar("extractor: question without name".into()))?;
             questions.push(DnsQuestion {
-                name: resolve_name(g, input, name_node)?,
+                name: resolve_name(g, &name_nts, input, name_node)?,
                 qtype: need(g, q, "qtype")? as u16,
                 qclass: need(g, q, "qclass")? as u16,
             });
@@ -83,16 +91,17 @@ pub fn parse(input: &[u8]) -> Result<DnsMessage> {
     }
 
     let mut answers = Vec::new();
-    if let Some(asx) = root.child_node("As") {
-        for a in flatten_chain(asx, "As", "A") {
+    if let Some(asx) = root.child_node_nt(nt_of(g, "As")?) {
+        let nt_rdata = nt_of(g, "RData")?;
+        for a in flatten_chain(asx, nt_of(g, "As")?, nt_of(g, "A")?) {
             let name_node = a
-                .child_node("Name")
+                .child_node_nt(name_nts.name)
                 .ok_or_else(|| Error::Grammar("extractor: answer without name".into()))?;
             let rdata = a
-                .child_node("RData")
+                .child_node_nt(nt_rdata)
                 .ok_or_else(|| Error::Grammar("extractor: answer without rdata".into()))?;
             answers.push(DnsRecord {
-                name: resolve_name(g, input, name_node)?,
+                name: resolve_name(g, &name_nts, input, name_node)?,
                 rtype: need(g, a, "atype")? as u16,
                 ttl: need(g, a, "ttl")? as u32,
                 rdata: rdata.span(),
@@ -108,24 +117,44 @@ pub fn parse(input: &[u8]) -> Result<DnsMessage> {
     })
 }
 
+/// The `Name`-walk nonterminals, resolved once per parse instead of once
+/// per record.
+struct NameNts {
+    ptr: NtId,
+    label: NtId,
+    text: NtId,
+    name: NtId,
+}
+
+impl NameNts {
+    fn resolve(g: &Grammar) -> Result<Self> {
+        Ok(NameNts {
+            ptr: nt_of(g, "Ptr")?,
+            label: nt_of(g, "Label")?,
+            text: nt_of(g, "Text")?,
+            name: nt_of(g, "Name")?,
+        })
+    }
+}
+
 /// Resolves a parsed `Name` node to a dotted string, chasing compression
 /// pointers through the raw message (with a hop limit against pointer
 /// loops — the semantic check the grammar itself cannot express).
-fn resolve_name(g: &Grammar, input: &[u8], name: &Node) -> Result<String> {
+fn resolve_name(g: &Grammar, nts: &NameNts, input: &[u8], name: NodeRef<'_>) -> Result<String> {
     let mut labels: Vec<String> = Vec::new();
     // Walk the in-tree part: Label children chain until NUL or pointer.
     let mut cur = name;
     let pointer_target: Option<usize> = loop {
-        if let Some(ptr) = cur.child_node("Ptr") {
+        if let Some(ptr) = cur.child_node_nt(nts.ptr) {
             break Some(need(g, ptr, "target")? as usize);
         }
-        if let Some(label) = cur.child_node("Label") {
+        if let Some(label) = cur.child_node_nt(nts.label) {
             let text = label
-                .child_node("Text")
+                .child_node_nt(nts.text)
                 .ok_or_else(|| Error::Grammar("extractor: label without text".into()))?;
             let (lo, hi) = text.span();
             labels.push(String::from_utf8_lossy(&input[lo..hi]).into_owned());
-            match cur.child_node("Name") {
+            match cur.child_node_nt(nts.name) {
                 Some(next) => cur = next,
                 None => break None,
             }

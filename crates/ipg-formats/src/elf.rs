@@ -1,10 +1,10 @@
 //! ELF: grammar access and typed extraction (§4.1 case study).
 
-use crate::{cstr_at, need};
-use ipg_core::check::Grammar;
+use crate::{cstr_at, need, nt_of};
+use ipg_core::arena::{ArrayRef, NodeRef};
+use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
-use ipg_core::tree::Node;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -14,6 +14,12 @@ pub const SPEC: &str = include_str!("../specs/elf.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("elf.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed ELF file.
@@ -82,23 +88,23 @@ pub struct ElfSymbol {
 /// [`Error::Parse`] when the input is not valid ELF per the grammar.
 pub fn parse(input: &[u8]) -> Result<ElfFile> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    extract(g, input, tree.as_node().expect("root is a node"))
+    let tree = vm().parse(input)?;
+    extract(g, input, tree.root().as_node().expect("root is a node"))
 }
 
-fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
+fn extract(g: &Grammar, input: &[u8], root: NodeRef<'_>) -> Result<ElfFile> {
     let h = root
-        .child_node("H")
+        .child_node_nt(nt_of(g, "H")?)
         .ok_or_else(|| Error::Grammar("extractor: missing ELF header".into()))?;
     let shoff = need(g, h, "shoff")? as u64;
     let shnum = need(g, h, "shnum")? as u64;
     let shstrndx = need(g, h, "shstrndx")? as u64;
 
     let sh = root
-        .child_array("SH")
+        .child_array_nt(nt_of(g, "SH")?)
         .ok_or_else(|| Error::Grammar("extractor: missing section header table".into()))?;
     let secs = root
-        .child_array("Sec")
+        .child_array_nt(nt_of(g, "Sec")?)
         .ok_or_else(|| Error::Grammar("extractor: missing sections".into()))?;
 
     // Locate .shstrtab to resolve section names.
@@ -106,6 +112,7 @@ fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
         .node(shstrndx as usize)
         .map(|n| (need(g, n, "ofs").unwrap_or(0) as usize, need(g, n, "sz").unwrap_or(0) as usize));
 
+    let sec_nts = SectionNts::resolve(g)?;
     let mut sections = Vec::with_capacity(sh.len());
     for (i, hdr) in sh.nodes().enumerate() {
         let sh_type = need(g, hdr, "type")? as u32;
@@ -131,7 +138,7 @@ fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
             let sec = secs.node(i - 1).ok_or_else(|| {
                 Error::Grammar(format!("extractor: missing Sec node for section {i}"))
             })?;
-            extract_section_kind(g, input, sh, sec, link, offset, size)?
+            extract_section_kind(g, &sec_nts, input, sh, sec, link, offset, size)?
         };
         sections.push(ElfSection { name, sh_type, offset, size, link, kind });
     }
@@ -139,18 +146,46 @@ fn extract(g: &Grammar, input: &[u8], root: &Node) -> Result<ElfFile> {
     Ok(ElfFile { shoff, shnum, shstrndx, sections })
 }
 
+/// The section-content nonterminals, resolved once per parse instead of
+/// once per section.
+struct SectionNts {
+    dyn_sec: NtId,
+    dyn_entry: NtId,
+    sym_sec: NtId,
+    sym: NtId,
+    str_sec: NtId,
+    strings: NtId,
+    str_: NtId,
+}
+
+impl SectionNts {
+    fn resolve(g: &Grammar) -> Result<Self> {
+        Ok(SectionNts {
+            dyn_sec: nt_of(g, "DynSec")?,
+            dyn_entry: nt_of(g, "DynEntry")?,
+            sym_sec: nt_of(g, "SymSec")?,
+            sym: nt_of(g, "Sym")?,
+            str_sec: nt_of(g, "StrSec")?,
+            strings: nt_of(g, "Strings")?,
+            str_: nt_of(g, "Str")?,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn extract_section_kind(
     g: &Grammar,
+    nts: &SectionNts,
     input: &[u8],
-    sh: &ipg_core::tree::ArrayNode,
-    sec: &Node,
+    sh: ArrayRef<'_>,
+    sec: NodeRef<'_>,
     link: u32,
     offset: u64,
     size: u64,
 ) -> Result<SectionKind> {
-    if let Some(dyn_sec) = sec.child_node("DynSec") {
+    if let Some(dyn_sec) = sec.child_node_nt(nts.dyn_sec) {
         let entries = dyn_sec
-            .child_array("DynEntry")
+            .child_array_nt(nts.dyn_entry)
             .map(|arr| {
                 arr.nodes()
                     .map(|e| {
@@ -164,13 +199,13 @@ fn extract_section_kind(
             .unwrap_or_default();
         return Ok(SectionKind::Dynamic(entries));
     }
-    if let Some(sym_sec) = sec.child_node("SymSec") {
+    if let Some(sym_sec) = sec.child_node_nt(nts.sym_sec) {
         // The linked string table resolves symbol names.
         let strtab = sh.node(link as usize).map(|n| {
             (need(g, n, "ofs").unwrap_or(0) as usize, need(g, n, "sz").unwrap_or(0) as usize)
         });
         let symbols = sym_sec
-            .child_array("Sym")
+            .child_array_nt(nts.sym)
             .map(|arr| {
                 arr.nodes()
                     .map(|s| {
@@ -194,11 +229,11 @@ fn extract_section_kind(
             .unwrap_or_default();
         return Ok(SectionKind::Symbols(symbols));
     }
-    if let Some(str_sec) = sec.child_node("StrSec") {
+    if let Some(str_sec) = sec.child_node_nt(nts.str_sec) {
         // Collect Str nodes from the recursive Strings chain.
         let mut strings = Vec::new();
-        if let Some(top) = str_sec.child_node("Strings") {
-            for s in crate::flatten_chain(top, "Strings", "Str") {
+        if let Some(top) = str_sec.child_node_nt(nts.strings) {
+            for s in crate::flatten_chain(top, nts.strings, nts.str_) {
                 let (lo, _) = s.span();
                 let len = need(g, s, "len")? as usize;
                 strings.push(String::from_utf8_lossy(&input[lo..lo + len]).into_owned());

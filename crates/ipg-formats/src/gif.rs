@@ -1,9 +1,10 @@
 //! GIF: grammar access and typed extraction (§4.2 case study).
 
-use crate::{flatten_chain, need};
-use ipg_core::check::Grammar;
+use crate::{flatten_chain, need, nt_of};
+use ipg_core::arena::NodeRef;
+use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -13,6 +14,12 @@ pub const SPEC: &str = include_str!("../specs/gif.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("gif.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed image.
@@ -65,28 +72,31 @@ pub enum GifBlock {
 /// [`Error::Parse`] when the input is not valid GIF per the grammar.
 pub fn parse(input: &[u8]) -> Result<GifImage> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
-    let lsd =
-        root.child_node("LSD").ok_or_else(|| Error::Grammar("extractor: missing LSD".into()))?;
+    let tree = vm().parse(input)?;
+    let root = tree.root();
+    let lsd = root
+        .child_node_nt(nt_of(g, "LSD")?)
+        .ok_or_else(|| Error::Grammar("extractor: missing LSD".into()))?;
     let width = need(g, lsd, "w")? as u16;
     let height = need(g, lsd, "h")? as u16;
     let has_gct = need(g, lsd, "gctflag")? == 1;
     let gct_len = if has_gct { need(g, lsd, "gctsize")? as usize } else { 0 };
 
     let mut blocks = Vec::new();
-    if let Some(chain) = root.child_node("Blocks") {
-        for block in flatten_chain(chain, "Blocks", "Block") {
-            if let Some(ext) = block.child_node("Ext") {
+    if let Some(chain) = root.child_node_nt(nt_of(g, "Blocks")?) {
+        let (nt_ext, nt_img) = (nt_of(g, "Ext")?, nt_of(g, "Image")?);
+        let (nt_subs, nt_sb) = (nt_of(g, "SubBlocks")?, nt_of(g, "SB")?);
+        for block in flatten_chain(chain, nt_of(g, "Blocks")?, nt_of(g, "Block")?) {
+            if let Some(ext) = block.child_node_nt(nt_ext) {
                 blocks.push(GifBlock::Extension {
                     label: need(g, ext, "label")? as u8,
-                    data_len: sub_blocks_len(g, ext)?,
+                    data_len: sub_blocks_len(g, nt_subs, nt_sb, ext)?,
                 });
-            } else if let Some(img) = block.child_node("Image") {
+            } else if let Some(img) = block.child_node_nt(nt_img) {
                 blocks.push(GifBlock::Image {
                     width: need(g, img, "w")? as u16,
                     height: need(g, img, "h")? as u16,
-                    data_len: sub_blocks_len(g, img)?,
+                    data_len: sub_blocks_len(g, nt_subs, nt_sb, img)?,
                 });
             }
         }
@@ -94,11 +104,12 @@ pub fn parse(input: &[u8]) -> Result<GifImage> {
     Ok(GifImage { width, height, has_gct, gct_len, blocks })
 }
 
-/// Sums the data lengths over a `SubBlocks` chain.
-fn sub_blocks_len(g: &Grammar, parent: &ipg_core::tree::Node) -> Result<usize> {
+/// Sums the data lengths over a `SubBlocks` chain (`nt_subs`/`nt_sb`
+/// resolved once by the caller).
+fn sub_blocks_len(g: &Grammar, nt_subs: NtId, nt_sb: NtId, parent: NodeRef<'_>) -> Result<usize> {
     let mut total = 0;
-    if let Some(top) = parent.child_node("SubBlocks") {
-        for sb in flatten_chain(top, "SubBlocks", "SB") {
+    if let Some(top) = parent.child_node_nt(nt_subs) {
+        for sb in flatten_chain(top, nt_subs, nt_sb) {
             total += need(g, sb, "len")? as usize;
         }
     }

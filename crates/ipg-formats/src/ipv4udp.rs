@@ -1,9 +1,9 @@
 //! IPv4+UDP: grammar access and typed extraction.
 
-use crate::need;
+use crate::{need, nt_of};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -13,6 +13,12 @@ pub const SPEC: &str = include_str!("../specs/ipv4udp.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("ipv4udp.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed datagram.
@@ -44,19 +50,19 @@ pub struct Ipv4UdpPacket {
 /// grammar (wrong version, non-UDP protocol, inconsistent lengths).
 pub fn parse(input: &[u8]) -> Result<Ipv4UdpPacket> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
+    let tree = vm().parse(input)?;
+    let root = tree.root().as_node().expect("root is a node");
     let udp = root
-        .child_node("UDP")
+        .child_node_nt(nt_of(g, "UDP")?)
         .ok_or_else(|| Error::Grammar("extractor: missing UDP header".into()))?;
     let payload = udp
-        .child_node("Payload")
+        .child_node_nt(nt_of(g, "Payload")?)
         .ok_or_else(|| Error::Grammar("extractor: missing payload".into()))?;
     let src_node = root
-        .child_node("Src")
+        .child_node_nt(nt_of(g, "Src")?)
         .ok_or_else(|| Error::Grammar("extractor: missing source address".into()))?;
     let dst_node = root
-        .child_node("Dst")
+        .child_node_nt(nt_of(g, "Dst")?)
         .ok_or_else(|| Error::Grammar("extractor: missing destination address".into()))?;
     let src: [u8; 4] = input[src_node.span().0..src_node.span().1].try_into().expect("4 bytes");
     let dst: [u8; 4] = input[dst_node.span().0..dst_node.span().1].try_into().expect("4 bytes");

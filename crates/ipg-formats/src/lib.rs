@@ -7,6 +7,14 @@
 //! grammar as a lazily-built static, and provides a `parse` function that
 //! turns the raw parse tree into an idiomatic Rust struct.
 //!
+//! Extraction runs on the bytecode VM ([`ipg_core::interp::vm`]): each
+//! module also exposes its compiled parser as a `vm()` static, and the
+//! extractors read arena-backed [`NodeRef`] views with nonterminal ids
+//! resolved once per parse instead of name-compared per child. The
+//! tree-walking interpreter remains available through the `grammar()`
+//! statics and is held to byte-identical behavior by the repository's
+//! differential tests.
+//!
 //! ```
 //! let file = ipg_corpus::elf::generate(&ipg_corpus::elf::Config::default());
 //! let parsed = ipg_formats::elf::parse(&file.bytes)?;
@@ -24,9 +32,9 @@ pub mod pe;
 pub mod png;
 pub mod zip;
 
-use ipg_core::check::Grammar;
+use ipg_core::arena::NodeRef;
+use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
-use ipg_core::tree::Node;
 
 /// All embedded specifications, as `(format name, spec source)` — the
 /// input to the Table 1 and Table 2 harnesses. PNG is kept out of this
@@ -46,16 +54,17 @@ pub fn all_specs() -> Vec<(&'static str, &'static str)> {
 }
 
 /// Flattens the chunk-style recursion `List -> Item List / Item` into the
-/// item nodes, in order. `list` is the outermost list node; `item` is the
-/// item nonterminal's name and `list_name` the list's own.
-pub(crate) fn flatten_chain<'t>(list: &'t Node, list_name: &str, item: &str) -> Vec<&'t Node> {
+/// item nodes, in order. `list` is the outermost list node; `item_nt` is
+/// the item nonterminal and `list_nt` the list's own (resolve both once
+/// with [`nt_of`]).
+pub(crate) fn flatten_chain(list: NodeRef<'_>, list_nt: NtId, item_nt: NtId) -> Vec<NodeRef<'_>> {
     let mut out = Vec::new();
     let mut cur = list;
     loop {
-        if let Some(it) = cur.child_node(item) {
+        if let Some(it) = cur.child_node_nt(item_nt) {
             out.push(it);
         }
-        match cur.child_node(list_name) {
+        match cur.child_node_nt(list_nt) {
             Some(next) => cur = next,
             None => break,
         }
@@ -73,10 +82,17 @@ pub(crate) fn cstr_at(bytes: &[u8], offset: usize) -> Option<String> {
 /// Fetches a required attribute from a node, reporting a structured error
 /// when the tree does not have the expected shape (which would be a bug in
 /// the spec or extractor, not in user input).
-pub(crate) fn need(g: &Grammar, node: &Node, attr: &str) -> Result<i64> {
+pub(crate) fn need(g: &Grammar, node: NodeRef<'_>, attr: &str) -> Result<i64> {
     node.attr(g, attr).ok_or_else(|| {
-        Error::Grammar(format!("extractor: node `{}` lacks attribute `{attr}`", node.name))
+        Error::Grammar(format!("extractor: node `{}` lacks attribute `{attr}`", node.name()))
     })
+}
+
+/// Resolves a nonterminal the extractor depends on, reporting a structured
+/// error if the spec no longer defines it.
+pub(crate) fn nt_of(g: &Grammar, name: &str) -> Result<NtId> {
+    g.nt_id(name)
+        .ok_or_else(|| Error::Grammar(format!("extractor: grammar lacks nonterminal `{name}`")))
 }
 
 #[cfg(test)]

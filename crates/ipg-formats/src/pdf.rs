@@ -1,10 +1,10 @@
 //! PDF subset: grammar access and typed extraction (§4.3 case study:
 //! backward parsing + xref random access + /Length-driven streams).
 
-use crate::need;
+use crate::{need, nt_of};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -14,6 +14,12 @@ pub const SPEC: &str = include_str!("../specs/pdf.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("pdf.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed document.
@@ -47,18 +53,20 @@ pub struct PdfObject {
 /// [`Error::Parse`] when the input is not in the supported PDF subset.
 pub fn parse(input: &[u8]) -> Result<PdfDocument> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
+    let tree = vm().parse(input)?;
+    let root = tree.root().as_node().expect("root is a node");
     let xref_offset = need(g, root, "xref")? as usize;
     let xref_count = need(g, root, "n")? as usize;
-    let objs = root
-        .child_array("Obj")
+    let objs = tree
+        .root()
+        .child_array_nt(nt_of(g, "Obj")?)
         .ok_or_else(|| Error::Grammar("extractor: missing objects".into()))?;
+    let nt_stream = nt_of(g, "Stream")?;
     let objects = objs
         .nodes()
         .map(|o| {
             let stream = o
-                .child_node("Stream")
+                .child_node_nt(nt_stream)
                 .ok_or_else(|| Error::Grammar("extractor: object without stream".into()))?;
             Ok(PdfObject {
                 id: need(g, o, "id")? as usize,

@@ -1,9 +1,9 @@
 //! PE: grammar access and typed extraction.
 
-use crate::need;
+use crate::{need, nt_of};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -13,6 +13,12 @@ pub const SPEC: &str = include_str!("../specs/pe.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("pe.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed PE file.
@@ -35,19 +41,19 @@ pub struct PeFile {
 /// [`Error::Parse`] when the input is not valid PE per the grammar.
 pub fn parse(input: &[u8]) -> Result<PeFile> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
+    let tree = vm().parse(input)?;
+    let root = tree.root();
     let dos = root
-        .child_node("DOS")
+        .child_node_nt(nt_of(g, "DOS")?)
         .ok_or_else(|| Error::Grammar("extractor: missing DOS header".into()))?;
     let coff = root
-        .child_node("COFF")
+        .child_node_nt(nt_of(g, "COFF")?)
         .ok_or_else(|| Error::Grammar("extractor: missing COFF header".into()))?;
     let opt = root
-        .child_node("OPT")
+        .child_node_nt(nt_of(g, "OPT")?)
         .ok_or_else(|| Error::Grammar("extractor: missing optional header".into()))?;
     let hdrs = root
-        .child_array("SecHdr")
+        .child_array_nt(nt_of(g, "SecHdr")?)
         .ok_or_else(|| Error::Grammar("extractor: missing section table".into()))?;
     let sections = hdrs
         .nodes()

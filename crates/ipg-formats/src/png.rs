@@ -2,10 +2,10 @@
 //! study (the paper names PNG alongside GIF in §4) whose chunk list uses
 //! the `star` repetition extension instead of the recursive list idiom.
 
-use crate::need;
+use crate::{need, nt_of};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
@@ -15,6 +15,12 @@ pub const SPEC: &str = include_str!("../specs/png.ipg");
 pub fn grammar() -> &'static Grammar {
     static G: OnceLock<Grammar> = OnceLock::new();
     G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("png.ipg is a valid IPG"))
+}
+
+/// The compiled bytecode parser.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
 }
 
 /// A parsed image.
@@ -37,20 +43,22 @@ pub struct PngImage {
 /// [`Error::Parse`] when the input is not valid PNG per the grammar.
 pub fn parse(input: &[u8]) -> Result<PngImage> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
-    let ihdr =
-        root.child_node("IHDR").ok_or_else(|| Error::Grammar("extractor: missing IHDR".into()))?;
+    let tree = vm().parse(input)?;
+    let root = tree.root();
+    let ihdr = root
+        .child_node_nt(nt_of(g, "IHDR")?)
+        .ok_or_else(|| Error::Grammar("extractor: missing IHDR".into()))?;
 
     let mut chunks = Vec::new();
-    if let Some(arr) = root.child_array("Chunk") {
+    if let Some(arr) = root.child_array_nt(nt_of(g, "Chunk")?) {
+        let (nt_type, nt_data) = (nt_of(g, "Type")?, nt_of(g, "Data")?);
         for chunk in arr.nodes() {
             let ty = chunk
-                .child_node("Type")
+                .child_node_nt(nt_type)
                 .ok_or_else(|| Error::Grammar("extractor: chunk without type".into()))?;
             let fourcc = String::from_utf8_lossy(&input[ty.span().0..ty.span().1]).into_owned();
             let data = chunk
-                .child_node("Data")
+                .child_node_nt(nt_data)
                 .ok_or_else(|| Error::Grammar("extractor: chunk without data".into()))?;
             chunks.push((fourcc, data.span()));
         }

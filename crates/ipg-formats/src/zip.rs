@@ -1,11 +1,11 @@
 //! ZIP: grammar access, typed extraction, and blackbox-driven extraction
 //! (the paper's zlib-as-blackbox pattern, §3.4/§7).
 
-use crate::{flatten_chain, need};
+use crate::{flatten_chain, need, nt_of};
 use ipg_core::blackbox::{Blackbox, BlackboxResult};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::Parser;
+use ipg_core::interp::vm::VmParser;
 use std::sync::OnceLock;
 
 /// The zero-copy ZIP specification (entry bodies stay raw byte spans).
@@ -33,6 +33,18 @@ pub fn grammar_inflate() -> &'static Grammar {
         ipg_core::frontend::parse_grammar_with(SPEC_INFLATE, vec![bb])
             .expect("zip_inflate.ipg is a valid IPG")
     })
+}
+
+/// The compiled bytecode parser for the zero-copy grammar.
+pub fn vm() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar()))
+}
+
+/// The compiled bytecode parser for the decompressing grammar.
+pub fn vm_inflate() -> &'static VmParser<'static> {
+    static P: OnceLock<VmParser<'static>> = OnceLock::new();
+    P.get_or_init(|| VmParser::new(grammar_inflate()))
 }
 
 /// A parsed archive (zero-copy: bodies are spans into the input).
@@ -70,24 +82,25 @@ pub struct ZipEntry {
 /// [`Error::Parse`] when the input is not a valid archive per the grammar.
 pub fn parse(input: &[u8]) -> Result<ZipArchive> {
     let g = grammar();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
+    let tree = vm().parse(input)?;
+    let root = tree.root();
     let eocd = root
-        .child_node("EOCD")
+        .child_node_nt(nt_of(g, "EOCD")?)
         .ok_or_else(|| Error::Grammar("extractor: missing end record".into()))?;
     let cd_offset = need(g, eocd, "cdofs")? as u32;
     let entry_count = need(g, eocd, "n")? as u16;
+    let (nt_name, nt_body) = (nt_of(g, "Name")?, nt_of(g, "Body")?);
 
     let mut entries = Vec::new();
-    if let Some(lfhs) = root.child_node("LFHs") {
-        for lfh in flatten_chain(lfhs, "LFHs", "LFH") {
+    if let Some(lfhs) = root.child_node_nt(nt_of(g, "LFHs")?) {
+        for lfh in flatten_chain(lfhs, nt_of(g, "LFHs")?, nt_of(g, "LFH")?) {
             let name_node = lfh
-                .child_node("Name")
+                .child_node_nt(nt_name)
                 .ok_or_else(|| Error::Grammar("extractor: missing entry name".into()))?;
             let name = String::from_utf8_lossy(&input[name_node.span().0..name_node.span().1])
                 .into_owned();
             let body = lfh
-                .child_node("Body")
+                .child_node_nt(nt_body)
                 .ok_or_else(|| Error::Grammar("extractor: missing entry body".into()))?;
             entries.push(ZipEntry {
                 name,
@@ -111,19 +124,21 @@ pub fn parse(input: &[u8]) -> Result<ZipArchive> {
 /// body fails to decompress; [`Error::Grammar`] on CRC mismatch.
 pub fn extract(input: &[u8]) -> Result<Vec<(String, Vec<u8>)>> {
     let g = grammar_inflate();
-    let tree = Parser::new(g).parse(input)?;
-    let root = tree.as_node().expect("root is a node");
+    let tree = vm_inflate().parse(input)?;
+    let root = tree.root();
+    let (nt_name, nt_deflated, nt_stored) =
+        (nt_of(g, "Name")?, nt_of(g, "Deflated")?, nt_of(g, "Stored")?);
     let mut out = Vec::new();
-    if let Some(lfhs) = root.child_node("LFHs") {
-        for lfh in flatten_chain(lfhs, "LFHs", "LFH") {
+    if let Some(lfhs) = root.child_node_nt(nt_of(g, "LFHs")?) {
+        for lfh in flatten_chain(lfhs, nt_of(g, "LFHs")?, nt_of(g, "LFH")?) {
             let name_node = lfh
-                .child_node("Name")
+                .child_node_nt(nt_name)
                 .ok_or_else(|| Error::Grammar("extractor: missing entry name".into()))?;
             let name = String::from_utf8_lossy(&input[name_node.span().0..name_node.span().1])
                 .into_owned();
-            let data: Vec<u8> = if let Some(bb) = lfh.child_blackbox("Deflated") {
-                bb.data.to_vec()
-            } else if let Some(stored) = lfh.child_node("Stored") {
+            let data: Vec<u8> = if let Some(bb) = lfh.child_blackbox_nt(nt_deflated) {
+                bb.data().to_vec()
+            } else if let Some(stored) = lfh.child_node_nt(nt_stored) {
                 let (lo, hi) = stored.span();
                 input[lo..hi].to_vec()
             } else {

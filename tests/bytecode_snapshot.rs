@@ -1,0 +1,49 @@
+//! Expect-test snapshots of the lowered bytecode listings.
+//!
+//! The flat program a grammar compiles to is part of the VM's interface:
+//! lowering changes should be *visible* in review, not incidental. These
+//! tests pin the full [`ipg_core::bytecode::Program::disassemble`] output
+//! for two representative grammars — DNS (local rules, counted chains,
+//! switch dispatch) and `zip_inflate` (blackbox rules, backward parsing)
+//! — against golden files under `tests/snapshots/`.
+//!
+//! When a lowering change is intentional, regenerate the goldens with
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test bytecode_snapshot
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots").join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {path:?} ({e}); run with UPDATE_SNAPSHOTS=1"));
+    assert!(
+        actual == expected,
+        "bytecode listing for {name} changed.\n\
+         If intentional, regenerate with `UPDATE_SNAPSHOTS=1 cargo test --test bytecode_snapshot`\n\
+         and review the diff.\n\n--- expected\n{expected}\n--- actual\n{actual}"
+    );
+}
+
+#[test]
+fn dns_bytecode_listing_is_pinned() {
+    let g = ipg_formats::dns::grammar();
+    let listing = ipg_formats::dns::vm().program().disassemble(g);
+    check_snapshot("dns.bc.txt", &listing);
+}
+
+#[test]
+fn zip_inflate_bytecode_listing_is_pinned() {
+    let g = ipg_formats::zip::grammar_inflate();
+    let listing = ipg_formats::zip::vm_inflate().program().disassemble(g);
+    check_snapshot("zip_inflate.bc.txt", &listing);
+}

@@ -1,0 +1,299 @@
+//! Differential tests: the bytecode VM against the reference tree-walking
+//! interpreter, over corpus-generated inputs for every format grammar —
+//! including truncated and corrupted mutants.
+//!
+//! Agreement required on every input:
+//!
+//! * **step counts** — both engines tick at the same evaluation points;
+//! * **trees** — `TreeRef::to_tree` of the VM result must equal the
+//!   interpreter's `Rc<Tree>` node for node, which covers tree shape,
+//!   every attribute environment (including `start`/`end`, i.e. consumed
+//!   bytes), spans, chosen alternatives, and blackbox payloads;
+//! * **errors** — rejected inputs must produce the identical deepest
+//!   failure (offset, nonterminal, message).
+
+use ipg_core::check::Grammar;
+use ipg_core::interp::vm::VmParser;
+use ipg_core::interp::Parser;
+use proptest::prelude::*;
+
+/// A deterministic input mutation, driven by proptest-chosen parameters.
+fn mutate(bytes: &mut Vec<u8>, kind: u8, pos: usize, value: u8) {
+    if bytes.is_empty() {
+        return;
+    }
+    match kind % 4 {
+        0 => {}                                 // pristine
+        1 => bytes.truncate(pos % bytes.len()), // truncation
+        2 => {
+            let p = pos % bytes.len();
+            bytes[p] ^= value | 1; // guaranteed change
+        }
+        _ => {
+            // Splice: overwrite a short run, simulating a corrupted field.
+            let p = pos % bytes.len();
+            let end = (p + 4).min(bytes.len());
+            for b in &mut bytes[p..end] {
+                *b = value;
+            }
+        }
+    }
+}
+
+fn assert_agreement(name: &str, g: &Grammar, vm: &VmParser<'_>, input: &[u8]) {
+    let (ri, si) = Parser::new(g).parse_with_stats(input);
+    let (rv, sv) = vm.parse_with_stats(input);
+    assert_eq!(
+        si.steps, sv.steps,
+        "{name}: engines disagree on step count ({} vs {})",
+        si.steps, sv.steps
+    );
+    match (ri, rv) {
+        (Ok(reference), Ok(tree)) => {
+            let converted = tree.root().to_tree();
+            assert_eq!(converted, reference, "{name}: engines accept but build different trees");
+        }
+        (Err(ei), Err(ev)) => {
+            assert_eq!(ei, ev, "{name}: engines reject with different errors");
+        }
+        (Ok(_), Err(e)) => panic!("{name}: interpreter accepts, VM rejects: {e}"),
+        (Err(e), Ok(_)) => panic!("{name}: VM accepts, interpreter rejects: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zip_vm_agrees(
+        n_entries in 1usize..8,
+        payload_len in 1usize..600,
+        deflate in any::<bool>(),
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let method = if deflate {
+            ipg_corpus::zip::Method::Deflate
+        } else {
+            ipg_corpus::zip::Method::Stored
+        };
+        let mut bytes =
+            ipg_corpus::zip::generate(&ipg_corpus::zip::Config { n_entries, payload_len, method, seed }).bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("zip", ipg_formats::zip::grammar(), ipg_formats::zip::vm(), &bytes);
+    }
+
+    #[test]
+    fn zip_inflate_vm_agrees(
+        n_entries in 1usize..6,
+        payload_len in 1usize..600,
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::zip::generate(&ipg_corpus::zip::Config {
+            n_entries,
+            payload_len,
+            method: ipg_corpus::zip::Method::Deflate,
+            seed,
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement(
+            "zip_inflate",
+            ipg_formats::zip::grammar_inflate(),
+            ipg_formats::zip::vm_inflate(),
+            &bytes,
+        );
+    }
+
+    #[test]
+    fn dns_vm_agrees(
+        n_questions in 0usize..4,
+        n_answers in 0usize..8,
+        compress in any::<bool>(),
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::dns::generate(&ipg_corpus::dns::Config {
+            n_questions, n_answers, compress, seed,
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("dns", ipg_formats::dns::grammar(), ipg_formats::dns::vm(), &bytes);
+    }
+
+    #[test]
+    fn png_vm_agrees(
+        n_idat in 0usize..6,
+        idat_len in 1usize..500,
+        with_text in any::<bool>(),
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::png::generate(&ipg_corpus::png::Config {
+            n_idat, idat_len, with_text, seed, ..Default::default()
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("png", ipg_formats::png::grammar(), ipg_formats::png::vm(), &bytes);
+    }
+
+    #[test]
+    fn gif_vm_agrees(
+        n_frames in 0usize..6,
+        data_per_frame in 1usize..800,
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::gif::generate(&ipg_corpus::gif::Config {
+            n_frames, data_per_frame, seed, ..Default::default()
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("gif", ipg_formats::gif::grammar(), ipg_formats::gif::vm(), &bytes);
+    }
+
+    #[test]
+    fn elf_vm_agrees(
+        n_sections in 0usize..6,
+        n_symbols in 0usize..16,
+        n_dyn in 0usize..6,
+        section_size in 1usize..300,
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::elf::generate(&ipg_corpus::elf::Config {
+            n_sections, n_symbols, n_dyn, section_size, seed,
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("elf", ipg_formats::elf::grammar(), ipg_formats::elf::vm(), &bytes);
+    }
+
+    #[test]
+    fn ipv4udp_vm_agrees(
+        payload_len in 0usize..2000,
+        options_words in 0usize..8,
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::ipv4udp::generate(&ipg_corpus::ipv4udp::Config {
+            payload_len, options_words, seed,
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement(
+            "ipv4udp",
+            ipg_formats::ipv4udp::grammar(),
+            ipg_formats::ipv4udp::vm(),
+            &bytes,
+        );
+    }
+
+    #[test]
+    fn pe_vm_agrees(
+        n_sections in 1usize..8,
+        section_size in 1usize..2000,
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::pe::generate(&ipg_corpus::pe::Config {
+            n_sections, section_size, seed,
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("pe", ipg_formats::pe::grammar(), ipg_formats::pe::vm(), &bytes);
+    }
+
+    #[test]
+    fn pdf_vm_agrees(
+        n_objects in 1usize..6,
+        stream_len in 1usize..600,
+        seed in 0u64..1000,
+        kind in 0u8..4, pos in 0usize..1 << 16, value in 0u8..=255,
+    ) {
+        let mut bytes = ipg_corpus::pdf::generate(&ipg_corpus::pdf::Config {
+            n_objects, stream_len, seed,
+        })
+        .bytes;
+        mutate(&mut bytes, kind, pos, value);
+        assert_agreement("pdf", ipg_formats::pdf::grammar(), ipg_formats::pdf::vm(), &bytes);
+    }
+}
+
+/// Fixed (non-proptest) smoke checks: pristine corpus defaults for every
+/// grammar plus a systematic truncation sweep on one format, so agreement
+/// failures show up even with a single test filter.
+#[test]
+fn vm_agrees_on_pristine_corpus_defaults() {
+    assert_agreement(
+        "zip",
+        ipg_formats::zip::grammar(),
+        ipg_formats::zip::vm(),
+        &ipg_corpus::zip::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "zip_inflate",
+        ipg_formats::zip::grammar_inflate(),
+        ipg_formats::zip::vm_inflate(),
+        &ipg_corpus::zip::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "dns",
+        ipg_formats::dns::grammar(),
+        ipg_formats::dns::vm(),
+        &ipg_corpus::dns::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "png",
+        ipg_formats::png::grammar(),
+        ipg_formats::png::vm(),
+        &ipg_corpus::png::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "gif",
+        ipg_formats::gif::grammar(),
+        ipg_formats::gif::vm(),
+        &ipg_corpus::gif::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "elf",
+        ipg_formats::elf::grammar(),
+        ipg_formats::elf::vm(),
+        &ipg_corpus::elf::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "ipv4udp",
+        ipg_formats::ipv4udp::grammar(),
+        ipg_formats::ipv4udp::vm(),
+        &ipg_corpus::ipv4udp::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "pe",
+        ipg_formats::pe::grammar(),
+        ipg_formats::pe::vm(),
+        &ipg_corpus::pe::generate(&Default::default()).bytes,
+    );
+    assert_agreement(
+        "pdf",
+        ipg_formats::pdf::grammar(),
+        ipg_formats::pdf::vm(),
+        &ipg_corpus::pdf::generate(&Default::default()).bytes,
+    );
+}
+
+#[test]
+fn vm_agrees_on_every_truncation_of_a_dns_message() {
+    let bytes = ipg_corpus::dns::generate(&ipg_corpus::dns::Config {
+        n_questions: 1,
+        n_answers: 2,
+        compress: true,
+        seed: 42,
+    })
+    .bytes;
+    let g = ipg_formats::dns::grammar();
+    let vm = ipg_formats::dns::vm();
+    for cut in 0..bytes.len() {
+        assert_agreement("dns-truncated", g, vm, &bytes[..cut]);
+    }
+}
