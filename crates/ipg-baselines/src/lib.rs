@@ -18,6 +18,7 @@ pub mod alloc_meter;
 pub mod handwritten;
 pub mod kaitai_style;
 pub mod nail_style;
+pub mod probe;
 
 /// A tiny cursor over a byte slice shared by the hand-written parsers.
 /// Unlike [`kaitai_style::Stream`], reads of bulk data return *borrowed*

@@ -1,0 +1,84 @@
+//! The baseline lane of the conformance-fuzzing oracle matrix.
+//!
+//! For each format, [`run`] executes every baseline implementation that
+//! exists for it (handwritten / Kaitai-style / Nail-style) on the given
+//! input and reports per-baseline accept/reject outcomes. On fuzzer-made
+//! inputs the baselines are *probes*, not equality oracles: the IPG
+//! grammars are deliberately more permissive than the struct-mapping
+//! baselines (a grammar-valid ZIP may carry a central directory whose
+//! `lofs` fields point nowhere — the grammar never dereferences them, the
+//! baselines do), so the harness asserts that baselines terminate without
+//! panicking and *records* the accept matrix rather than demanding
+//! agreement. Strict three-way agreement on corpus-realistic inputs is
+//! asserted separately in `tests/agreement.rs`.
+
+use crate::{handwritten, kaitai_style, nail_style};
+
+/// Outcome of one baseline on one input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Baseline identifier, e.g. `"handwritten"`, `"kaitai"`, `"nail"`.
+    pub baseline: &'static str,
+    /// Whether the baseline accepted the input.
+    pub accepted: bool,
+}
+
+/// Runs every baseline applicable to `format` (an `ipg-formats` module
+/// name: `"zip"`, `"zip_inflate"`, `"elf"`, `"gif"`, `"pe"`, `"dns"`,
+/// `"ipv4udp"`, `"png"`, `"pdf"`) on `bytes`. Formats without a baseline
+/// return an empty vector. Never panics — that property *is* the test.
+pub fn run(format: &str, bytes: &[u8]) -> Vec<ProbeOutcome> {
+    let mut out = Vec::new();
+    let mut push = |baseline: &'static str, accepted: bool| {
+        out.push(ProbeOutcome { baseline, accepted });
+    };
+    match format {
+        "zip" | "zip_inflate" => {
+            push("handwritten", handwritten::parse_zip(bytes).is_ok());
+            push("kaitai", kaitai_style::parse_zip(bytes).is_ok());
+            if format == "zip_inflate" {
+                push("handwritten-unzip", handwritten::unzip(bytes).is_ok());
+            }
+        }
+        "elf" => {
+            push("handwritten", handwritten::parse_elf(bytes).is_ok());
+            push("kaitai", kaitai_style::parse_elf(bytes).is_ok());
+        }
+        "gif" => push("kaitai", kaitai_style::parse_gif(bytes).is_ok()),
+        "pe" => push("kaitai", kaitai_style::parse_pe(bytes).is_ok()),
+        "dns" => push("nail", nail_style::parse_dns(bytes).is_ok()),
+        "ipv4udp" => push("nail", nail_style::parse_ipv4_udp(bytes).is_ok()),
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_defaults_are_accepted_by_their_baselines() {
+        let z = ipg_corpus::zip::generate(&Default::default());
+        assert!(run("zip", &z.bytes).iter().all(|o| o.accepted));
+        let e = ipg_corpus::elf::generate(&Default::default());
+        assert!(run("elf", &e.bytes).iter().all(|o| o.accepted));
+        let d = ipg_corpus::dns::generate(&Default::default());
+        assert!(run("dns", &d.bytes).iter().all(|o| o.accepted));
+    }
+
+    #[test]
+    fn junk_is_rejected_not_panicked() {
+        for format in ["zip", "zip_inflate", "elf", "gif", "pe", "dns", "ipv4udp", "png", "pdf"] {
+            let outcomes = run(format, b"not a file of any format at all........");
+            assert!(outcomes.iter().all(|o| !o.accepted), "{format}: {outcomes:?}");
+            let _ = run(format, b"");
+        }
+    }
+
+    #[test]
+    fn formats_without_baselines_probe_empty() {
+        assert!(run("png", b"x").is_empty());
+        assert!(run("pdf", b"x").is_empty());
+    }
+}

@@ -735,7 +735,12 @@ impl Session<'_, '_> {
     }
 }
 
-pub(crate) fn eval_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+/// Evaluates a binary operator on concrete values — the single source of
+/// truth for IPG integer semantics (wrapping arithmetic, `None` on division
+/// by zero or out-of-range shifts). Public so that tools running grammars
+/// *backwards* (the `ipg-gen` input generator) compute byte-identical
+/// results to both engines.
+pub fn eval_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

@@ -101,6 +101,49 @@ impl LinExpr {
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
         self.coeffs.keys().copied()
     }
+
+    /// Number of variables mentioned.
+    pub fn var_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the expression under a partial assignment. Returns `None`
+    /// when a mentioned variable has no value.
+    pub fn eval_with(&self, mut value_of: impl FnMut(Var) -> Option<Rat>) -> Option<Rat> {
+        let mut acc = self.constant;
+        for (&v, &c) in &self.coeffs {
+            acc = acc + c * value_of(v)?;
+        }
+        Some(acc)
+    }
+
+    /// Substitutes known variable values, returning the residual expression
+    /// over the still-unknown variables.
+    pub fn substitute(&self, mut value_of: impl FnMut(Var) -> Option<Rat>) -> LinExpr {
+        let mut out = LinExpr::constant(self.constant);
+        for (&v, &c) in &self.coeffs {
+            match value_of(v) {
+                Some(val) => out.constant = out.constant + c * val,
+                None => out.add_term(v, c),
+            }
+        }
+        out
+    }
+
+    /// If the expression is `c·x + k` for a single variable `x`, returns
+    /// `(x, c, k)`.
+    pub fn as_single_var(&self) -> Option<(Var, Rat, Rat)> {
+        if self.coeffs.len() != 1 {
+            return None;
+        }
+        let (&v, &c) = self.coeffs.iter().next().expect("one entry");
+        Some((v, c, self.constant))
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, Rat)> + '_ {
+        self.coeffs.iter().map(|(&v, &c)| (v, c))
+    }
 }
 
 /// A conjunction of linear constraints, each of the form `e ≥ 0`.

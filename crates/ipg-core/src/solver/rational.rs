@@ -47,6 +47,27 @@ impl Rat {
     pub fn neg(self) -> Rat {
         Rat { num: -self.num, den: self.den }
     }
+
+    /// The numerator (of the normalized representation).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// The exact integer value, if the rational is an integer that fits in
+    /// `i64`. Used by the grammar-driven input generator to read solved
+    /// attribute values back out of linear expressions.
+    pub fn as_i64(self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
 }
 
 impl Default for Rat {

@@ -1,0 +1,172 @@
+//! Property tests for the solver's exact rational arithmetic and linear
+//! expressions — the substrate of both the §5 termination checker and the
+//! grammar-driven input generator's constraint solving. The laws below must
+//! hold without overflow for "corpus-sized" magnitudes (interval endpoints
+//! up to 2^40, i.e. terabyte-scale inputs, with denominators from realistic
+//! coefficient chains).
+
+use ipg_core::solver::{LinExpr, Rat, System, Var};
+use proptest::prelude::*;
+
+/// Corpus-sized numerators: interval arithmetic over inputs up to ~1 TiB,
+/// squared once by a cross-multiplication, still fits i128 comfortably.
+fn num() -> impl Strategy<Value = i64> {
+    (-(1i64 << 40)..(1i64 << 40)).prop_map(|n| n)
+}
+
+/// Small non-zero denominators (coefficients in real grammars are
+/// element sizes: 16, 24, 64, …).
+fn den() -> impl Strategy<Value = i64> {
+    (1i64..10_000).prop_map(|d| d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ------------------------------------------------------------------
+    // Rat: field laws.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn rat_add_commutes(a in num(), b in den(), c in num(), d in den()) {
+        let (x, y) = (Rat::new(a as i128, b as i128), Rat::new(c as i128, d as i128));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn rat_mul_commutes(a in num(), b in den(), c in num(), d in den()) {
+        let (x, y) = (Rat::new(a as i128, b as i128), Rat::new(c as i128, d as i128));
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn rat_add_associates(a in num(), c in num(), e in num(), b in den(), d in den(), f in den()) {
+        let x = Rat::new(a as i128, b as i128);
+        let y = Rat::new(c as i128, d as i128);
+        let z = Rat::new(e as i128, f as i128);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+    }
+
+    #[test]
+    fn rat_mul_distributes_over_add(a in num(), c in num(), e in num(), b in den(), d in den()) {
+        let x = Rat::new(a as i128, b as i128);
+        let y = Rat::new(c as i128, d as i128);
+        let z = Rat::from(e);
+        prop_assert_eq!(z * (x + y), z * x + z * y);
+    }
+
+    #[test]
+    fn rat_sub_is_add_inverse(a in num(), b in den(), c in num(), d in den()) {
+        let (x, y) = (Rat::new(a as i128, b as i128), Rat::new(c as i128, d as i128));
+        prop_assert_eq!((x - y) + y, x);
+        prop_assert!((x - x).is_zero());
+    }
+
+    #[test]
+    fn rat_recip_inverts(a in num(), b in den()) {
+        let a = if a == 0 { 1 } else { a }; // recip needs a non-zero value
+        let x = Rat::new(a as i128, b as i128);
+        prop_assert_eq!(x * x.recip(), Rat::from(1));
+    }
+
+    // ------------------------------------------------------------------
+    // Rat: ordering laws.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn rat_ordering_is_total_and_antisymmetric(a in num(), b in den(), c in num(), d in den()) {
+        let (x, y) = (Rat::new(a as i128, b as i128), Rat::new(c as i128, d as i128));
+        // Exactly one of <, =, > holds.
+        let rels = [x < y, x == y, x > y];
+        prop_assert_eq!(rels.iter().filter(|&&r| r).count(), 1);
+        prop_assert_eq!(x.cmp(&y).reverse(), y.cmp(&x));
+    }
+
+    #[test]
+    fn rat_ordering_respects_addition(a in num(), c in num(), e in num(), b in den(), d in den(), f in den()) {
+        let x = Rat::new(a as i128, b as i128);
+        let y = Rat::new(c as i128, d as i128);
+        let z = Rat::new(e as i128, f as i128);
+        prop_assert_eq!(x < y, x + z < y + z);
+    }
+
+    #[test]
+    fn rat_normalization_is_canonical(a in num(), b in den(), k in 1i64..1000) {
+        // Scaling numerator and denominator by k must not change the value.
+        let x = Rat::new(a as i128, b as i128);
+        let y = Rat::new(a as i128 * k as i128, b as i128 * k as i128);
+        prop_assert_eq!(x, y);
+        prop_assert!(y.denom() > 0);
+    }
+
+    #[test]
+    fn rat_as_i64_roundtrips_integers(a in num()) {
+        prop_assert_eq!(Rat::from(a).as_i64(), Some(a));
+        // A strict fraction is never an integer.
+        prop_assert_eq!(Rat::new(2 * a as i128 + 1, 2).as_i64(), None);
+    }
+
+    // ------------------------------------------------------------------
+    // LinExpr: module laws over corpus-sized coefficients.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn linexpr_add_sub_roundtrip(a in num(), b in num(), k in num()) {
+        let e = LinExpr::var(Var(0)).scale(Rat::from(a))
+            .add(&LinExpr::var(Var(1)).scale(Rat::from(b)))
+            .add(&LinExpr::constant(k));
+        let zero = e.sub(&e);
+        prop_assert!(zero.is_constant());
+        prop_assert!(zero.constant_term().is_zero());
+        prop_assert_eq!(e.add(&e), e.scale(Rat::from(2)));
+    }
+
+    #[test]
+    fn linexpr_eval_is_linear(a in num(), b in num(), x in num(), y in num()) {
+        let e = LinExpr::var(Var(0)).scale(Rat::from(a))
+            .add(&LinExpr::var(Var(1)).scale(Rat::from(b)));
+        let assign = |v: Var| Some(Rat::from(if v == Var(0) { x } else { y }));
+        let got = e.eval_with(assign).expect("fully assigned");
+        let want = Rat::from(a) * Rat::from(x) + Rat::from(b) * Rat::from(y);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn linexpr_substitute_then_eval_agrees(a in num(), b in num(), x in num(), y in num()) {
+        let e = LinExpr::var(Var(0)).scale(Rat::from(a))
+            .add(&LinExpr::var(Var(1)).scale(Rat::from(b)));
+        // Substitute x for v0 only; the residual mentions v1 alone.
+        let partial = e.substitute(|v| (v == Var(0)).then(|| Rat::from(x)));
+        prop_assert_eq!(partial.var_count(), usize::from(b != 0));
+        let full = partial.eval_with(|_| Some(Rat::from(y))).expect("v1 assigned");
+        let want = Rat::from(a) * Rat::from(x) + Rat::from(b) * Rat::from(y);
+        prop_assert_eq!(full, want);
+    }
+
+    // ------------------------------------------------------------------
+    // System: sanity of satisfiability under corpus-sized bounds.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn point_solutions_are_satisfiable(x in num(), y in num()) {
+        // { v0 = x, v1 = y, v0 + v1 = x + y } is satisfiable by
+        // construction; FM must agree even at 2^40 magnitudes.
+        let mut s = System::new();
+        s.assert_eq(LinExpr::var(Var(0)), LinExpr::constant(x));
+        s.assert_eq(LinExpr::var(Var(1)), LinExpr::constant(y));
+        s.assert_eq(
+            LinExpr::var(Var(0)).add(&LinExpr::var(Var(1))),
+            LinExpr::constant(x).add(&LinExpr::constant(y)),
+        );
+        prop_assert!(s.is_satisfiable());
+    }
+
+    #[test]
+    fn contradictory_bounds_are_unsatisfiable(x in num(), gap in 1i64..1000) {
+        // v ≥ x + gap ∧ v ≤ x is UNSAT for every positive gap.
+        let mut s = System::new();
+        s.assert_ge(LinExpr::var(Var(0)), LinExpr::constant(x + gap));
+        s.assert_ge(LinExpr::constant(x), LinExpr::var(Var(0)));
+        prop_assert!(!s.is_satisfiable());
+    }
+}

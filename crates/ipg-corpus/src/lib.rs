@@ -37,8 +37,10 @@ pub(crate) fn random_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
 }
 
 /// Compressible filler: repeated dictionary words with random choices, so
-/// DEFLATE has realistic matches to find.
-pub(crate) fn text_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+/// DEFLATE has realistic matches to find. Public because the grammar-driven
+/// generator (`ipg-gen`) uses it to invert the DEFLATE blackbox with
+/// realistically compressible payloads.
+pub fn text_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
     const WORDS: [&str; 8] = [
         "interval ",
         "parsing ",

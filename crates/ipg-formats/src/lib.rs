@@ -35,6 +35,8 @@ pub mod zip;
 use ipg_core::arena::NodeRef;
 use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
+use ipg_core::interp::vm::VmParser;
+use ipg_core::interp::Parser;
 
 /// All embedded specifications, as `(format name, spec source)` — the
 /// input to the Table 1 and Table 2 harnesses. PNG is kept out of this
@@ -51,6 +53,65 @@ pub fn all_specs() -> Vec<(&'static str, &'static str)> {
         ("IPv4+UDP", ipv4udp::SPEC),
         ("DNS", dns::SPEC),
     ]
+}
+
+/// The single registry of every corpus grammar under cross-engine test:
+/// the differential suites, the conformance fuzzing harness, and the bench
+/// binaries all sweep exactly this list. Adding a format here is what puts
+/// it under test. (Callers build their own engines — typically
+/// fuel-bounded — so this returns grammars, not the `vm()` statics.)
+pub fn all_grammars() -> Vec<(&'static str, &'static Grammar)> {
+    vec![
+        ("zip", zip::grammar()),
+        ("zip_inflate", zip::grammar_inflate()),
+        ("dns", dns::grammar()),
+        ("png", png::grammar()),
+        ("gif", gif::grammar()),
+        ("elf", elf::grammar()),
+        ("ipv4udp", ipv4udp::grammar()),
+        ("pe", pe::grammar()),
+        ("pdf", pdf::grammar()),
+    ]
+}
+
+/// The cross-engine agreement contract, shared by the assert-style test
+/// helper and the report-style `bench_conform` gate: identical step
+/// counts, identical trees on acceptance (via `TreeRef::to_tree`, which
+/// covers shape, attribute environments including `start`/`end`, spans,
+/// chosen alternatives, and blackbox payloads), identical deepest errors
+/// on rejection. Returns `Ok(accepted)` or a divergence description.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence found.
+pub fn compare_engines(
+    parser: &Parser<'_>,
+    vm: &VmParser<'_>,
+    input: &[u8],
+) -> std::result::Result<bool, String> {
+    let (ri, si) = parser.parse_with_stats(input);
+    let (rv, sv) = vm.parse_with_stats(input);
+    if si.steps != sv.steps {
+        return Err(format!("step counts differ: {} vs {}", si.steps, sv.steps));
+    }
+    match (ri, rv) {
+        (Ok(reference), Ok(tree)) => {
+            if tree.root().to_tree() != reference {
+                Err("engines accept but build different trees".into())
+            } else {
+                Ok(true)
+            }
+        }
+        (Err(ei), Err(ev)) => {
+            if ei != ev {
+                Err(format!("engines reject with different errors: {ei:?} vs {ev:?}"))
+            } else {
+                Ok(false)
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!("interpreter accepts, VM rejects: {e}")),
+        (Err(e), Ok(_)) => Err(format!("VM accepts, interpreter rejects: {e}")),
+    }
 }
 
 /// Flattens the chunk-style recursion `List -> Item List / Item` into the

@@ -1,0 +1,464 @@
+//! The generator's constraint store: unknowns, linear equations,
+//! inequalities and disequations over [`ipg_core::solver::LinExpr`].
+//!
+//! Running a grammar *backwards* turns the interpreter's arithmetic into
+//! constraints. Reading a length field and using it as an interval
+//! endpoint becomes, in reverse, an *unknown* whose value is pinned later —
+//! by a predicate (`assert(qn = 0)` at the bottom of a counted chain), by
+//! layout (a central-directory offset equals wherever the directory was
+//! placed), or by nothing at all (a CRC field the grammar never checks, free
+//! to fuzz). This module holds those unknowns and resolves them:
+//!
+//! * **equations** `e = 0` are discharged by substitution as soon as they
+//!   have a single unknown (exact division over [`Rat`], so a non-integer
+//!   solution is a hard failure rather than a rounding bug);
+//! * **inequalities** `e ≥ 0` (interval well-formedness `0 ≤ l ≤ r ≤ EOI`)
+//!   tighten variable bounds eagerly — which is also how slice sizes become
+//!   *tight*: an unconstrained `EOI` ends up with a lower bound equal to the
+//!   packed layout and is pinned exactly there;
+//! * **disequations** `e ≠ 0` (skipped switch guards) are re-checked once
+//!   everything is resolved.
+//!
+//! All mutations go through an undo journal so the walker can backtrack
+//! across alternatives and switch cases.
+
+use ipg_core::solver::{LinExpr, Rat, Var};
+
+/// A symbolic `i64`: a linear expression over generator unknowns.
+pub type SVal = LinExpr;
+
+/// Constant symbolic value.
+pub fn sval(n: i64) -> SVal {
+    LinExpr::constant(n)
+}
+
+/// Floor of a rational.
+fn rat_floor(r: Rat) -> i128 {
+    let (n, d) = (r.numer(), r.denom());
+    n.div_euclid(d)
+}
+
+/// Ceiling of a rational.
+fn rat_ceil(r: Rat) -> i128 {
+    let (n, d) = (r.numer(), r.denom());
+    -((-n).div_euclid(d))
+}
+
+/// Book-keeping for one unknown.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+    /// Resolved value, if any.
+    pub value: Option<i64>,
+    /// Whether an inequality raised the lower bound: such variables are
+    /// size/offset-like and are pinned *tight* (to `lo`) at fallback time.
+    pub tightened: bool,
+    /// Whether the variable participates in layout arithmetic (interval
+    /// endpoints, fill lengths, equations). Non-layout variables are free
+    /// field content and are sampled over their whole domain.
+    pub layout: bool,
+}
+
+/// One step of the undo journal.
+enum Undo {
+    NewVar,
+    PushEq,
+    PushNeq,
+    PushIneq,
+    SetValue(u32),
+    SetBounds(u32, i64, i64, bool),
+}
+
+/// Rollback token for [`Constraints::checkpoint`].
+#[derive(Clone, Copy, Debug)]
+pub struct Mark(usize);
+
+/// The constraint store became unsatisfiable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Contradiction;
+
+/// The constraint store.
+#[derive(Default)]
+pub struct Constraints {
+    vars: Vec<VarInfo>,
+    eqs: Vec<LinExpr>,
+    neqs: Vec<LinExpr>,
+    ineqs: Vec<LinExpr>,
+    journal: Vec<Undo>,
+}
+
+impl Constraints {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fresh unknown with the given inclusive bounds.
+    pub fn fresh(&mut self, lo: i64, hi: i64) -> Var {
+        let id = self.vars.len() as u32;
+        self.vars.push(VarInfo { lo, hi, value: None, tightened: false, layout: false });
+        self.journal.push(Undo::NewVar);
+        Var(id)
+    }
+
+    /// The info record of `v`.
+    pub fn info(&self, v: Var) -> &VarInfo {
+        &self.vars[v.0 as usize]
+    }
+
+    /// The resolved value of `v`, if pinned.
+    pub fn value(&self, v: Var) -> Option<i64> {
+        self.vars[v.0 as usize].value
+    }
+
+    /// Marks `v` as participating in layout arithmetic (not undone on
+    /// rollback — a conservative over-approximation is harmless).
+    pub fn mark_layout(&mut self, v: Var) {
+        self.vars[v.0 as usize].layout = true;
+    }
+
+    /// Marks every variable of `e` as layout-participating.
+    pub fn mark_layout_expr(&mut self, e: &LinExpr) {
+        for v in e.vars().collect::<Vec<_>>() {
+            self.mark_layout(v);
+        }
+    }
+
+    /// Substitutes resolved variables into `e`.
+    pub fn subst(&self, e: &LinExpr) -> LinExpr {
+        e.substitute(|v| self.vars[v.0 as usize].value.map(Rat::from))
+    }
+
+    /// Evaluates `e` if every variable it mentions is resolved.
+    pub fn eval(&self, e: &LinExpr) -> Option<i64> {
+        e.eval_with(|v| self.vars[v.0 as usize].value.map(Rat::from))?.as_i64()
+    }
+
+    /// Pins `v := value`. Fails (returning `false`) when out of bounds or
+    /// already pinned to a different value.
+    pub fn set_value(&mut self, v: Var, value: i64) -> bool {
+        let info = &mut self.vars[v.0 as usize];
+        match info.value {
+            Some(old) => old == value,
+            None => {
+                if value < info.lo || value > info.hi {
+                    return false;
+                }
+                info.value = Some(value);
+                self.journal.push(Undo::SetValue(v.0));
+                true
+            }
+        }
+    }
+
+    fn narrow(&mut self, v: Var, lo: i64, hi: i64, from_ineq: bool) -> bool {
+        let info = &self.vars[v.0 as usize];
+        let (new_lo, new_hi) = (info.lo.max(lo), info.hi.min(hi));
+        if new_lo > new_hi {
+            return false;
+        }
+        if let Some(val) = info.value {
+            return (new_lo..=new_hi).contains(&val);
+        }
+        if new_lo != info.lo || new_hi != info.hi {
+            self.journal.push(Undo::SetBounds(v.0, info.lo, info.hi, info.tightened));
+            let info = &mut self.vars[v.0 as usize];
+            let raised = new_lo > info.lo;
+            info.lo = new_lo;
+            info.hi = new_hi;
+            if from_ineq && raised {
+                info.tightened = true;
+            }
+        }
+        true
+    }
+
+    /// Asserts `e = 0`. Resolves immediately when at most one unknown
+    /// remains; `false` on contradiction (including non-integer solutions).
+    pub fn add_eq(&mut self, e: LinExpr) -> bool {
+        self.mark_layout_expr(&e);
+        let r = self.subst(&e);
+        if r.is_constant() {
+            return r.constant_term().is_zero();
+        }
+        if let Some((v, c, k)) = r.as_single_var() {
+            // c·v + k = 0  ⇒  v = -k/c, which must be an integer.
+            let val = (k.neg() * c.recip()).as_i64();
+            return match val {
+                Some(val) => self.set_value(v, val),
+                None => false,
+            };
+        }
+        self.eqs.push(e);
+        self.journal.push(Undo::PushEq);
+        true
+    }
+
+    /// Asserts `e ≠ 0` (checked at the end; immediate when constant).
+    pub fn add_neq(&mut self, e: LinExpr) -> bool {
+        let r = self.subst(&e);
+        if r.is_constant() {
+            return !r.constant_term().is_zero();
+        }
+        self.neqs.push(e);
+        self.journal.push(Undo::PushNeq);
+        true
+    }
+
+    /// Asserts `e ≥ 0`. Single-unknown inequalities tighten bounds eagerly;
+    /// `false` on immediate contradiction.
+    pub fn add_ineq(&mut self, e: LinExpr) -> bool {
+        self.mark_layout_expr(&e);
+        let r = self.subst(&e);
+        if r.is_constant() {
+            return r.constant_term() >= Rat::from(0);
+        }
+        if let Some((v, c, k)) = r.as_single_var() {
+            // c·v + k ≥ 0.
+            let bound = k.neg() * c.recip();
+            let ok = if c > Rat::from(0) {
+                let lo = rat_ceil(bound);
+                i64::try_from(lo).is_ok_and(|lo| self.narrow(v, lo, i64::MAX, true))
+            } else {
+                let hi = rat_floor(bound);
+                i64::try_from(hi).is_ok_and(|hi| self.narrow(v, i64::MIN, hi, false))
+            };
+            if !ok {
+                return false;
+            }
+        }
+        self.ineqs.push(e);
+        self.journal.push(Undo::PushIneq);
+        true
+    }
+
+    /// The possible range of `e` under current bounds (interval arithmetic);
+    /// `None` on overflow.
+    pub fn range(&self, e: &LinExpr) -> Option<(i128, i128)> {
+        let r = self.subst(e);
+        let k = r.constant_term();
+        if k.denom() != 1 {
+            return None;
+        }
+        let (mut lo, mut hi) = (k.numer(), k.numer());
+        for (v, c) in r.terms() {
+            if c.denom() != 1 {
+                return None;
+            }
+            let c = c.numer();
+            let info = &self.vars[v.0 as usize];
+            let (a, b) = (c.checked_mul(info.lo as i128)?, c.checked_mul(info.hi as i128)?);
+            lo = lo.checked_add(a.min(b))?;
+            hi = hi.checked_add(a.max(b))?;
+        }
+        Some((lo, hi))
+    }
+
+    /// Whether `e` is provably `≥ 0` / `≤ 0` under current bounds.
+    pub fn sign(&self, e: &LinExpr) -> Option<std::cmp::Ordering> {
+        let (lo, hi) = self.range(e)?;
+        if lo >= 0 && hi <= 0 {
+            Some(std::cmp::Ordering::Equal)
+        } else if lo >= 0 {
+            Some(std::cmp::Ordering::Greater)
+        } else if hi <= 0 {
+            Some(std::cmp::Ordering::Less)
+        } else {
+            None
+        }
+    }
+
+    /// Current rollback mark.
+    pub fn checkpoint(&self) -> Mark {
+        Mark(self.journal.len())
+    }
+
+    /// Rewinds to `mark`, undoing every later mutation.
+    pub fn rollback(&mut self, mark: Mark) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal non-empty") {
+                Undo::NewVar => {
+                    self.vars.pop();
+                }
+                Undo::PushEq => {
+                    self.eqs.pop();
+                }
+                Undo::PushNeq => {
+                    self.neqs.pop();
+                }
+                Undo::PushIneq => {
+                    self.ineqs.pop();
+                }
+                Undo::SetValue(id) => self.vars[id as usize].value = None,
+                Undo::SetBounds(id, lo, hi, tightened) => {
+                    let info = &mut self.vars[id as usize];
+                    info.lo = lo;
+                    info.hi = hi;
+                    info.tightened = tightened;
+                }
+            }
+        }
+    }
+
+    /// One propagation pass: re-solves equations whose unknown count has
+    /// dropped to one and re-tightens bounds from inequalities. Returns
+    /// `Ok(progress)` or `Err(Contradiction)`.
+    pub fn propagate(&mut self) -> Result<bool, Contradiction> {
+        let mut progress = false;
+        // Equations: solve single-unknown residuals.
+        for i in 0..self.eqs.len() {
+            let r = self.subst(&self.eqs[i]);
+            if r.is_constant() {
+                if !r.constant_term().is_zero() {
+                    return Err(Contradiction);
+                }
+                continue;
+            }
+            if let Some((v, c, k)) = r.as_single_var() {
+                let Some(val) = (k.neg() * c.recip()).as_i64() else { return Err(Contradiction) };
+                if !self.set_value(v, val) {
+                    return Err(Contradiction);
+                }
+                progress = true;
+            }
+        }
+        // Inequalities: tighten single-unknown residuals.
+        for i in 0..self.ineqs.len() {
+            let r = self.subst(&self.ineqs[i]);
+            if r.is_constant() {
+                if r.constant_term() < Rat::from(0) {
+                    return Err(Contradiction);
+                }
+                continue;
+            }
+            if let Some((v, c, k)) = r.as_single_var() {
+                let bound = k.neg() * c.recip();
+                let ok = if c > Rat::from(0) {
+                    let lo = rat_ceil(bound);
+                    let info = &self.vars[v.0 as usize];
+                    if lo > info.lo as i128 {
+                        progress = true;
+                    }
+                    i64::try_from(lo.max(info.lo as i128))
+                        .is_ok_and(|lo| self.narrow(v, lo, i64::MAX, true))
+                } else {
+                    let hi = rat_floor(bound);
+                    let info = &self.vars[v.0 as usize];
+                    if hi < info.hi as i128 {
+                        progress = true;
+                    }
+                    i64::try_from(hi.min(info.hi as i128))
+                        .is_ok_and(|hi| self.narrow(v, i64::MIN, hi, false))
+                };
+                if !ok {
+                    return Err(Contradiction);
+                }
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Unresolved variables, newest first (the fallback assignment order:
+    /// content decided deep in the walk resolves before the offsets and
+    /// slice sizes that were created early and depend on it).
+    pub fn unresolved_newest_first(&self) -> Vec<Var> {
+        (0..self.vars.len() as u32)
+            .rev()
+            .map(Var)
+            .filter(|v| self.vars[v.0 as usize].value.is_none())
+            .collect()
+    }
+
+    /// Final verification once every variable is pinned: all equations hold,
+    /// all inequalities are non-negative, all disequations are non-zero.
+    pub fn verify(&self) -> bool {
+        self.eqs.iter().all(|e| self.eval(e) == Some(0))
+            && self.ineqs.iter().all(|e| self.eval(e).is_some_and(|v| v >= 0))
+            && self.neqs.iter().all(|e| self.eval(e).is_some_and(|v| v != 0))
+    }
+
+    /// Number of variables created so far.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variables exist.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_unknown_equation_resolves_immediately() {
+        let mut c = Constraints::new();
+        let v = c.fresh(0, 100);
+        // 2v - 10 = 0 → v = 5.
+        let e = LinExpr::var(v).scale(Rat::from(2)).sub(&LinExpr::constant(10));
+        assert!(c.add_eq(e));
+        assert_eq!(c.value(v), Some(5));
+    }
+
+    #[test]
+    fn non_integer_solution_is_a_contradiction() {
+        let mut c = Constraints::new();
+        let v = c.fresh(0, 100);
+        let e = LinExpr::var(v).scale(Rat::from(2)).sub(&LinExpr::constant(5));
+        assert!(!c.add_eq(e));
+    }
+
+    #[test]
+    fn inequality_tightens_bounds() {
+        let mut c = Constraints::new();
+        let v = c.fresh(0, 1000);
+        // v - 22 ≥ 0 → lo = 22, tightened.
+        assert!(c.add_ineq(LinExpr::var(v).sub(&LinExpr::constant(22))));
+        assert_eq!(c.info(v).lo, 22);
+        assert!(c.info(v).tightened);
+        // 100 - v ≥ 0 → hi = 100, not "tightened" (upper bounds don't mark).
+        assert!(c.add_ineq(LinExpr::constant(100).sub(&LinExpr::var(v))));
+        assert_eq!(c.info(v).hi, 100);
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut c = Constraints::new();
+        let v = c.fresh(0, 10);
+        let mark = c.checkpoint();
+        let w = c.fresh(0, 10);
+        assert!(c.set_value(v, 3));
+        assert!(c.add_ineq(LinExpr::var(w)));
+        c.rollback(mark);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.value(v), None);
+        assert!(c.verify());
+    }
+
+    #[test]
+    fn propagation_chains_through_equations() {
+        let mut c = Constraints::new();
+        let a = c.fresh(0, 100);
+        let b = c.fresh(0, 100);
+        // a - b - 2 = 0 (two unknowns: deferred), then b = 5 pins a = 7.
+        assert!(c.add_eq(LinExpr::var(a).sub(&LinExpr::var(b)).sub(&LinExpr::constant(2))));
+        assert!(c.set_value(b, 5));
+        assert!(c.propagate().unwrap());
+        assert_eq!(c.value(a), Some(7));
+        assert!(c.verify());
+    }
+
+    #[test]
+    fn range_uses_interval_arithmetic() {
+        let mut c = Constraints::new();
+        let v = c.fresh(2, 5);
+        let e = LinExpr::var(v).scale(Rat::from(3)).add(&LinExpr::constant(1));
+        assert_eq!(c.range(&e), Some((7, 16)));
+        assert_eq!(c.sign(&e), Some(std::cmp::Ordering::Greater));
+    }
+}

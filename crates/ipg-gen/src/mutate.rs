@@ -1,0 +1,132 @@
+//! The mutation stage of the conformance harness: deterministic, seeded
+//! corruptions of a generated (or corpus) input. Both engines must react
+//! *identically* to every mutant — same accept/reject outcome, same tree,
+//! same deepest error — which is the cross-engine analogue of the paper's
+//! "parsers must reject the same corruptions" security argument.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The corruption kinds the harness sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Flip one bit.
+    BitFlip,
+    /// Overwrite one byte.
+    ByteSet,
+    /// Truncate to a prefix.
+    Truncate,
+    /// Append junk bytes.
+    Extend,
+    /// Skew a little/big-endian 16/32-bit field by a small delta —
+    /// targeted at length/offset/count fields.
+    LengthSkew,
+}
+
+/// Applies the seeded mutation number `index` to `bytes` and returns a
+/// description of what was done. Deterministic per `(seed, index)`.
+pub fn mutate(bytes: &mut Vec<u8>, seed: u64, index: u64) -> MutationKind {
+    let mut rng = StdRng::seed_from_u64(crate::mix(seed ^ crate::mix(!index)));
+    if bytes.is_empty() {
+        bytes.push(rng.random_range(0..=255u64) as u8);
+        return MutationKind::Extend;
+    }
+    let kind = match rng.random_range(0..8u32) {
+        0..=2 => MutationKind::BitFlip,
+        3 => MutationKind::ByteSet,
+        4 => MutationKind::Truncate,
+        5 => MutationKind::Extend,
+        _ => MutationKind::LengthSkew,
+    };
+    let len = bytes.len();
+    match kind {
+        MutationKind::BitFlip => {
+            let pos = rng.random_range(0..len as u64) as usize;
+            let bit = rng.random_range(0..8u32);
+            bytes[pos] ^= 1 << bit;
+        }
+        MutationKind::ByteSet => {
+            let pos = rng.random_range(0..len as u64) as usize;
+            bytes[pos] = rng.random_range(0..=255u64) as u8;
+        }
+        MutationKind::Truncate => {
+            let keep = rng.random_range(0..len as u64) as usize;
+            bytes.truncate(keep);
+        }
+        MutationKind::Extend => {
+            let extra = rng.random_range(1..=16u64) as usize;
+            for _ in 0..extra {
+                bytes.push(rng.random_range(0..=255u64) as u8);
+            }
+        }
+        MutationKind::LengthSkew => {
+            let width = if rng.random_range(0..2u32) == 0 && len >= 4 { 4 } else { 2 };
+            if len < width {
+                bytes[0] ^= 0xff;
+            } else {
+                let pos = rng.random_range(0..=(len - width) as u64) as usize;
+                let delta = rng.random_range(1..=64u64) as i64
+                    * if rng.random_range(0..2u32) == 0 { 1 } else { -1 };
+                let be = rng.random_range(0..2u32) == 0;
+                if width == 2 {
+                    let v = if be {
+                        u16::from_be_bytes([bytes[pos], bytes[pos + 1]])
+                    } else {
+                        u16::from_le_bytes([bytes[pos], bytes[pos + 1]])
+                    };
+                    let v = (v as i64).wrapping_add(delta) as u16;
+                    let enc = if be { v.to_be_bytes() } else { v.to_le_bytes() };
+                    bytes[pos..pos + 2].copy_from_slice(&enc);
+                } else {
+                    let raw = [bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]];
+                    let v = if be { u32::from_be_bytes(raw) } else { u32::from_le_bytes(raw) };
+                    let v = (v as i64).wrapping_add(delta) as u32;
+                    let enc = if be { v.to_be_bytes() } else { v.to_le_bytes() };
+                    bytes[pos..pos + 4].copy_from_slice(&enc);
+                }
+            }
+        }
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        for i in 0..32 {
+            let mut a = base.clone();
+            let mut b = base.clone();
+            let ka = mutate(&mut a, 42, i);
+            let kb = mutate(&mut b, 42, i);
+            assert_eq!(ka, kb);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mutations_change_or_resize_input() {
+        let base = vec![0u8; 64];
+        let mut changed = 0;
+        for i in 0..64 {
+            let mut m = base.clone();
+            mutate(&mut m, 7, i);
+            if m != base {
+                changed += 1;
+            }
+        }
+        // Bit flips, sets, skews, truncations: the overwhelming majority
+        // must actually perturb the input.
+        assert!(changed > 48, "only {changed}/64 mutants differed");
+    }
+
+    #[test]
+    fn empty_input_grows() {
+        let mut m = Vec::new();
+        assert_eq!(mutate(&mut m, 1, 1), MutationKind::Extend);
+        assert!(!m.is_empty());
+    }
+}

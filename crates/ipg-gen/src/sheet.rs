@@ -1,0 +1,243 @@
+//! The byte sheet: generated content at *symbolic* offsets.
+//!
+//! Interval grammars address input randomly — a directory at the end of the
+//! file points at headers near the front, slices overlap, and some fields'
+//! positions depend on unknowns that are only pinned at the very end (the
+//! total input length, a packed section offset, the digits of a PDF xref
+//! pointer). The walker therefore never writes into a flat buffer; it
+//! records *segments* whose offsets are linear expressions over the
+//! constraint store's unknowns, and the buffer is materialized once
+//! everything is resolved.
+//!
+//! Three segment kinds:
+//!
+//! * [`Seg::Bytes`] — literal content (terminals, blackbox output);
+//! * [`Seg::Pending`] — an integer field whose *value* is an unknown,
+//!   encoded at materialization time (this is how a count or offset field
+//!   is back-patched after layout decides it);
+//! * [`Seg::Fill`] — soft filler for `bytes` regions: written only into
+//!   bytes nothing else claimed, so overlapping slices never conflict with
+//!   real content.
+
+use crate::lin::{Constraints, SVal};
+use ipg_core::solver::Var;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Encoding of a [`Seg::Pending`] integer field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enc {
+    /// Unsigned 8-bit.
+    U8,
+    /// 16-bit little-endian.
+    U16Le,
+    /// 16-bit big-endian.
+    U16Be,
+    /// 32-bit little-endian.
+    U32Le,
+    /// 32-bit big-endian.
+    U32Be,
+    /// 64-bit little-endian.
+    U64Le,
+    /// 64-bit big-endian.
+    U64Be,
+    /// Zero-padded ASCII decimal of the given digit count.
+    Ascii(u8),
+}
+
+impl Enc {
+    /// Width in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            Enc::U8 => 1,
+            Enc::U16Le | Enc::U16Be => 2,
+            Enc::U32Le | Enc::U32Be => 4,
+            Enc::U64Le | Enc::U64Be => 8,
+            Enc::Ascii(d) => d as usize,
+        }
+    }
+
+    /// Inclusive value range representable by this encoding.
+    pub fn domain(self) -> (i64, i64) {
+        match self {
+            Enc::U8 => (0, u8::MAX as i64),
+            Enc::U16Le | Enc::U16Be => (0, u16::MAX as i64),
+            Enc::U32Le | Enc::U32Be => (0, u32::MAX as i64),
+            Enc::U64Le | Enc::U64Be => (0, i64::MAX),
+            Enc::Ascii(d) => (0, 10i64.saturating_pow(d as u32).saturating_sub(1)),
+        }
+    }
+
+    fn encode(self, value: i64, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            Enc::U8 => out.push(value as u8),
+            Enc::U16Le => out.extend_from_slice(&(value as u16).to_le_bytes()),
+            Enc::U16Be => out.extend_from_slice(&(value as u16).to_be_bytes()),
+            Enc::U32Le => out.extend_from_slice(&(value as u32).to_le_bytes()),
+            Enc::U32Be => out.extend_from_slice(&(value as u32).to_be_bytes()),
+            Enc::U64Le => out.extend_from_slice(&(value as u64).to_le_bytes()),
+            Enc::U64Be => out.extend_from_slice(&(value as u64).to_be_bytes()),
+            Enc::Ascii(d) => {
+                let s = format!("{value:0width$}", width = d as usize);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// One recorded write.
+#[derive(Clone, Debug)]
+pub enum Seg {
+    /// Literal bytes at a symbolic offset.
+    Bytes {
+        /// Absolute offset expression.
+        at: SVal,
+        /// The content.
+        bytes: Vec<u8>,
+    },
+    /// An integer field whose value is the unknown `var`.
+    Pending {
+        /// Absolute offset expression.
+        at: SVal,
+        /// The unknown carrying the field value.
+        var: Var,
+        /// Field encoding.
+        enc: Enc,
+    },
+    /// Soft filler of symbolic length (a `bytes` region).
+    Fill {
+        /// Absolute offset expression.
+        at: SVal,
+        /// Length expression.
+        len: SVal,
+        /// Seed for the deterministic filler bytes.
+        seed: u64,
+    },
+}
+
+impl Seg {
+    fn at(&self) -> &SVal {
+        match self {
+            Seg::Bytes { at, .. } | Seg::Pending { at, .. } | Seg::Fill { at, .. } => at,
+        }
+    }
+}
+
+/// The sheet: an append-only list of segments (rolled back by truncation).
+#[derive(Default)]
+pub struct Sheet {
+    segs: Vec<Seg>,
+}
+
+impl Sheet {
+    /// An empty sheet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of segments (rollback mark).
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether the sheet has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Drops segments recorded after `mark`.
+    pub fn truncate(&mut self, mark: usize) {
+        self.segs.truncate(mark);
+    }
+
+    /// Records a segment.
+    pub fn push(&mut self, seg: Seg) {
+        self.segs.push(seg);
+    }
+
+    /// The segments.
+    pub fn segs(&self) -> &[Seg] {
+        &self.segs
+    }
+
+    /// High-water mark: one past the largest offset covered by a segment
+    /// whose position (and, for fills, length) is fully resolved. This is
+    /// the packing cursor for free offset variables.
+    pub fn resolved_extent(&self, cons: &Constraints) -> i64 {
+        let mut hw = 0i64;
+        for seg in &self.segs {
+            let Some(at) = cons.eval(seg.at()) else { continue };
+            let len = match seg {
+                Seg::Bytes { bytes, .. } => bytes.len() as i64,
+                Seg::Pending { enc, .. } => enc.width() as i64,
+                Seg::Fill { len, .. } => match cons.eval(len) {
+                    Some(l) => l,
+                    None => continue,
+                },
+            };
+            hw = hw.max(at.saturating_add(len.max(0)));
+        }
+        hw
+    }
+
+    /// Materializes the sheet into a buffer of `total` bytes. Hard segments
+    /// (bytes, pending fields) claim their bytes and must agree wherever
+    /// they overlap; fills and the global `filler` byte cover the rest.
+    /// Returns `None` on a hard conflict or an out-of-range segment.
+    pub fn materialize(&self, cons: &Constraints, total: usize, filler: u8) -> Option<Vec<u8>> {
+        let mut buf = vec![filler; total];
+        let mut claimed = vec![false; total];
+        let mut scratch = Vec::with_capacity(16);
+
+        // Pass 1: hard segments.
+        for seg in &self.segs {
+            let content: &[u8] = match seg {
+                Seg::Bytes { bytes, .. } => bytes,
+                Seg::Pending { var, enc, .. } => {
+                    let value = cons.value(*var)?;
+                    let (lo, hi) = enc.domain();
+                    if value < lo || value > hi {
+                        return None;
+                    }
+                    enc.encode(value, &mut scratch);
+                    &scratch
+                }
+                Seg::Fill { .. } => continue,
+            };
+            let at = usize::try_from(cons.eval(seg.at())?).ok()?;
+            if at.checked_add(content.len())? > total {
+                return None;
+            }
+            for (i, &b) in content.iter().enumerate() {
+                if claimed[at + i] && buf[at + i] != b {
+                    return None; // conflicting hard writes
+                }
+                buf[at + i] = b;
+                claimed[at + i] = true;
+            }
+        }
+
+        // Pass 2: soft fills into unclaimed bytes only.
+        for seg in &self.segs {
+            let Seg::Fill { at, len, seed } = seg else { continue };
+            let at = usize::try_from(cons.eval(at)?).ok()?;
+            let len = usize::try_from(cons.eval(len)?).ok()?;
+            if at.checked_add(len)? > total {
+                return None;
+            }
+            let mut rng = StdRng::seed_from_u64(*seed);
+            for i in 0..len {
+                // Lowercase-letter filler: never an ASCII digit (so
+                // `ascii_int` builtins stop cleanly at filler boundaries)
+                // and never a magic/introducer byte of the corpus formats.
+                let b: u8 = rng.random_range(b'a'..=b'z');
+                if !claimed[at + i] {
+                    buf[at + i] = b;
+                    claimed[at + i] = true;
+                }
+            }
+        }
+        Some(buf)
+    }
+}

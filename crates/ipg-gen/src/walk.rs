@@ -1,0 +1,1160 @@
+//! The backward walker: an *inverse interpreter* for checked IPGs.
+//!
+//! [`Walker::generate`] mirrors `ipg_core::interp` term for term — same
+//! evaluation order (the checker's topological order), same `updStartEnd`
+//! bookkeeping, same environment chaining for local rules — but where the
+//! interpreter *reads* input, the walker *decides* it:
+//!
+//! * a builtin leaf becomes a fresh unknown plus a [`Seg::Pending`] field
+//!   write (value back-patched after constraint resolution);
+//! * a `bytes` leaf becomes soft filler whose length **is** its local `EOI`
+//!   expression — choosing a length means resolving that unknown;
+//! * predicates and switch guards become equations/inequalities
+//!   ([`require`]) instead of checks;
+//! * array bounds that depend on an unparsed count field are *chosen* and
+//!   the count field is pinned by an equation — the reverse of reading the
+//!   count and looping;
+//! * blackbox rules call a [`GenHooks`] inverse (e.g. compress a payload
+//!   with `ipg-flate` so the parser's `inflate` blackbox will accept it).
+//!
+//! Alternatives and switch cases are explored with checkpoint/rollback over
+//! the constraint store and the sheet, so a contradiction (an always-invalid
+//! `[1, 0]` default interval, an unsatisfiable guard) simply backtracks.
+//!
+//! [`Seg::Pending`]: crate::sheet::Seg::Pending
+//! [`require`]: Walker::require
+
+use crate::hooks::GenHooks;
+use crate::lin::{sval, Constraints, Mark, SVal};
+use crate::sheet::{Enc, Seg, Sheet};
+use crate::GenConfig;
+use ipg_core::check::{CAlt, CExpr, CInterval, CRuleBody, CTermKind, Grammar, NtId};
+use ipg_core::env::wellknown;
+use ipg_core::intern::Sym;
+use ipg_core::solver::{LinExpr, Rat, Var};
+use ipg_core::syntax::{BinOp, Builtin};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// The generated stand-in for a parse-tree node: the attribute environment
+/// a parent rule can observe (`def` attributes plus `start`/`end`).
+#[derive(Clone, Debug)]
+pub(crate) struct NodeEnv {
+    nt: NtId,
+    attrs: Vec<(Sym, SVal)>,
+    /// Touched region, local to the node's own slice.
+    start: SVal,
+    end: SVal,
+}
+
+impl NodeEnv {
+    fn get(&self, attr: Sym) -> Option<SVal> {
+        if attr == wellknown::START {
+            return Some(self.start.clone());
+        }
+        if attr == wellknown::END {
+            return Some(self.end.clone());
+        }
+        self.attrs.iter().rev().find(|(s, _)| *s == attr).map(|(_, v)| v.clone())
+    }
+
+    /// Re-bases `start`/`end` by the interval's left endpoint (T-NTSucc).
+    fn shifted(mut self, l: &SVal) -> NodeEnv {
+        self.start = self.start.add(l);
+        self.end = self.end.add(l);
+        self
+    }
+}
+
+/// A completed sibling term, as visible to attribute references.
+#[derive(Clone, Debug)]
+enum TermRes {
+    Node(NodeEnv),
+    Array { nt: NtId, elems: Vec<NodeEnv> },
+}
+
+/// Per-alternative generation context, mirroring the interpreter's `AltCtx`.
+struct Frame<'p> {
+    eoi: SVal,
+    /// Attribute definitions and scoped loop/existential variables, most
+    /// recent last.
+    env: Vec<(Sym, SVal)>,
+    results: Vec<Option<TermRes>>,
+    parent: Option<&'p Frame<'p>>,
+    /// Touched region (`None` = nothing touched yet: `start = EOI, end = 0`).
+    touched: Option<(SVal, SVal)>,
+}
+
+impl Frame<'_> {
+    fn lookup(&self, sym: Sym) -> Option<SVal> {
+        if let Some((_, v)) = self.env.iter().rev().find(|(s, _)| *s == sym) {
+            return Some(v.clone());
+        }
+        self.parent.and_then(|p| p.lookup(sym))
+    }
+
+    fn lookup_outer_node(&self, nt: NtId) -> Option<&NodeEnv> {
+        for res in self.results.iter().rev().flatten() {
+            if let TermRes::Node(env) = res {
+                if env.nt == nt {
+                    return Some(env);
+                }
+            }
+        }
+        self.parent.and_then(|p| p.lookup_outer_node(nt))
+    }
+
+    fn lookup_outer_array(&self, nt: NtId) -> Option<&[NodeEnv]> {
+        for res in self.results.iter().rev().flatten() {
+            if let TermRes::Array { nt: ant, elems } = res {
+                if *ant == nt {
+                    return Some(elems);
+                }
+            }
+        }
+        self.parent.and_then(|p| p.lookup_outer_array(nt))
+    }
+}
+
+/// Rollback token spanning the constraint store and the sheet.
+#[derive(Clone, Copy)]
+struct Checkpoint {
+    cons: Mark,
+    sheet: usize,
+    budget: i64,
+}
+
+/// One generation attempt over a checked grammar.
+pub(crate) struct Walker<'g> {
+    g: &'g Grammar,
+    hooks: &'g GenHooks,
+    cfg: GenConfig,
+    cons: Constraints,
+    sheet: Sheet,
+    rng: StdRng,
+    /// Nonterminals currently being generated (recursion control).
+    stack: Vec<NtId>,
+    /// Per-attempt random recursion budget per nonterminal.
+    chain_target: HashMap<NtId, usize>,
+    fill_seed: u64,
+    budget_used: i64,
+}
+
+impl<'g> Walker<'g> {
+    pub fn new(g: &'g Grammar, hooks: &'g GenHooks, cfg: GenConfig, rng_seed: u64) -> Self {
+        Walker {
+            g,
+            hooks,
+            cfg,
+            cons: Constraints::new(),
+            sheet: Sheet::new(),
+            rng: StdRng::seed_from_u64(rng_seed),
+            stack: Vec::new(),
+            chain_target: HashMap::new(),
+            fill_seed: rng_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            budget_used: 0,
+        }
+    }
+
+    /// Runs one attempt: walk, resolve, materialize.
+    pub fn generate(&mut self) -> Option<Vec<u8>> {
+        let trace = std::env::var_os("IPG_GEN_TRACE").is_some();
+        let eoi_var = self.cons.fresh(0, self.cfg.max_len as i64);
+        self.cons.mark_layout(eoi_var);
+        let eoi = LinExpr::var(eoi_var);
+        if self.gen_nt(self.g.start_nt(), sval(0), eoi, None, 0).is_none() {
+            if trace {
+                eprintln!("ipg-gen: walk failed");
+            }
+            return None;
+        }
+        if self.resolve().is_none() {
+            if trace {
+                eprintln!("ipg-gen: resolution failed");
+            }
+            return None;
+        }
+        let total = usize::try_from(self.cons.value(eoi_var)?).ok()?;
+        let out = self.sheet.materialize(&self.cons, total, b'.');
+        if out.is_none() && trace {
+            eprintln!("ipg-gen: materialization conflict (total = {total})");
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution
+    // ------------------------------------------------------------------
+
+    /// Pins every remaining unknown: propagate equations and bound
+    /// tightening to a fixpoint, then assign free variables newest-first —
+    /// tightened size/offset unknowns go *tight* (their lower bound),
+    /// unknowns appearing in segment offsets are packed after the current
+    /// layout high-water mark, and everything else is sampled.
+    fn resolve(&mut self) -> Option<()> {
+        let trace = std::env::var_os("IPG_GEN_TRACE").is_some();
+        loop {
+            loop {
+                match self.cons.propagate() {
+                    Err(crate::lin::Contradiction) => {
+                        if trace {
+                            eprintln!("ipg-gen: propagate contradiction");
+                        }
+                        return None;
+                    }
+                    Ok(true) => continue,
+                    Ok(false) => break,
+                }
+            }
+            let unresolved = self.cons.unresolved_newest_first();
+            let Some(&v) = unresolved.first() else { break };
+            if !self.assign_fallback(v) {
+                if trace {
+                    eprintln!("ipg-gen: fallback failed for v{} {:?}", v.0, self.cons.info(v));
+                }
+                return None;
+            }
+        }
+        if self.cons.verify() {
+            Some(())
+        } else {
+            if trace {
+                eprintln!("ipg-gen: final verification failed");
+            }
+            None
+        }
+    }
+
+    /// Assigns a fallback value to `v` (and possibly to the other unknowns
+    /// of a shared multi-unknown segment offset, e.g. the digits of a
+    /// backward-parsed number).
+    fn assign_fallback(&mut self, v: Var) -> bool {
+        let hw = self.sheet.resolved_extent(&self.cons);
+        let in_fill_len = |cons: &Constraints, sheet: &Sheet, x: Var| {
+            sheet.segs().iter().any(|seg| match seg {
+                Seg::Fill { len, .. } => !cons.subst(len).coeff(x).is_zero(),
+                _ => false,
+            })
+        };
+
+        // Segment-anchored occurrences of v.
+        let mut seg_floor: Option<i64> = None;
+        let mut group: Option<LinExpr> = None;
+        for seg in self.sheet.segs() {
+            let at = match seg {
+                Seg::Bytes { at, .. } | Seg::Pending { at, .. } | Seg::Fill { at, .. } => at,
+            };
+            let r = self.cons.subst(at);
+            if r.coeff(v).is_zero() {
+                continue;
+            }
+            if let Some((sv, c, k)) = r.as_single_var() {
+                if sv == v && c == Rat::from(1) {
+                    if let Some(k) = k.as_i64() {
+                        let floor = hw.saturating_sub(k);
+                        seg_floor = Some(seg_floor.map_or(floor, |f: i64| f.max(floor)));
+                        continue;
+                    }
+                }
+            }
+            if group.is_none() {
+                group = Some(r);
+            }
+        }
+
+        let info = self.cons.info(v).clone();
+
+        // 1. Length-like (sizes a `bytes` fill depends on): tight if an
+        //    inequality raised the floor (e.g. a blackbox payload length),
+        //    otherwise a small budget-friendly sample.
+        if in_fill_len(&self.cons, &self.sheet, v) {
+            let value = if info.tightened {
+                info.lo
+            } else {
+                let span = info.hi.saturating_sub(info.lo);
+                info.lo + self.rng.random_range(0..=span.min(12))
+            };
+            return self.cons.set_value(v, value);
+        }
+        // 2. Pointer-like (sole unknown of a segment offset): pack after
+        //    the current layout; the floor also covers back-anchored
+        //    segments (offset `v - k` ⇒ `v ≥ hw + k`).
+        if let Some(floor) = seg_floor {
+            return self.cons.set_value(v, info.lo.max(floor));
+        }
+        // 3. Tightened size/offset: tight.
+        if info.tightened {
+            return self.cons.set_value(v, info.lo);
+        }
+        // 4. Shared multi-unknown offset whose unknowns are all free
+        //    (the digits of a backward-parsed number): greedy bounded
+        //    decomposition onto the layout cursor.
+        if let Some(r) = group {
+            let mut all_free = true;
+            for (x, _) in r.terms() {
+                if in_fill_len(&self.cons, &self.sheet, x) || self.cons.info(x).tightened {
+                    all_free = false;
+                    break;
+                }
+            }
+            if all_free {
+                return self.pack_group(&r, hw);
+            }
+        }
+        // 5. Everything else: sampled — small when layout-relevant, whole
+        //    domain for free field content.
+        let value = if info.layout {
+            let span = info.hi.saturating_sub(info.lo);
+            info.lo + self.rng.random_range(0..=span.min(12))
+        } else {
+            self.sample_range(info.lo, info.hi)
+        };
+        self.cons.set_value(v, value)
+    }
+
+    /// Greedy bounded decomposition: assigns all unknowns of `residual`
+    /// (a segment offset) so the offset lands exactly on `target`. Handles
+    /// the positional-digit case (coefficients 10^i, digits bounded 0–9).
+    fn pack_group(&mut self, residual: &LinExpr, target: i64) -> bool {
+        let k = residual.constant_term();
+        if k.denom() != 1 {
+            return false;
+        }
+        let mut remaining = target as i128 - k.numer();
+        let mut terms: Vec<(Var, i128)> = Vec::new();
+        for (var, c) in residual.terms() {
+            if c.denom() != 1 {
+                return false;
+            }
+            terms.push((var, c.numer()));
+        }
+        terms.sort_by_key(|&(_, c)| std::cmp::Reverse(c.abs()));
+        for (var, c) in terms {
+            if c == 0 {
+                return false;
+            }
+            let info = self.cons.info(var).clone();
+            let ideal = remaining.div_euclid(c);
+            let value = ideal.clamp(info.lo as i128, info.hi as i128);
+            let Ok(value) = i64::try_from(value) else { return false };
+            if !self.cons.set_value(var, value) {
+                return false;
+            }
+            remaining -= c * value as i128;
+        }
+        remaining == 0
+    }
+
+    // ------------------------------------------------------------------
+    // The walk proper
+    // ------------------------------------------------------------------
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            cons: self.cons.checkpoint(),
+            sheet: self.sheet.len(),
+            budget: self.budget_used,
+        }
+    }
+
+    fn rollback(&mut self, cp: Checkpoint) {
+        self.cons.rollback(cp.cons);
+        self.sheet.truncate(cp.sheet);
+        self.budget_used = cp.budget;
+    }
+
+    fn ck(&mut self, ok: bool) -> Option<()> {
+        if ok {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// `s ⊢ A ⇓ bytes` backwards: generates content for `nt` on the slice
+    /// starting at absolute offset `base` with (symbolic) length `eoi`.
+    fn gen_nt(
+        &mut self,
+        nt: NtId,
+        base: SVal,
+        eoi: SVal,
+        parent: Option<&Frame<'_>>,
+        depth: usize,
+    ) -> Option<NodeEnv> {
+        if depth > self.cfg.max_depth {
+            return None;
+        }
+        let g = self.g;
+        let rule = g.rule(nt);
+        match &rule.body {
+            CRuleBody::Builtin(b) => self.gen_builtin(nt, *b, base, eoi),
+            CRuleBody::Blackbox(idx) => self.gen_blackbox(nt, *idx, base, eoi),
+            CRuleBody::Alts(alts) => {
+                let order = self.alt_order(nt, alts);
+                for alt_idx in order {
+                    let cp = self.checkpoint();
+                    self.stack.push(nt);
+                    let res =
+                        self.gen_alt(nt, &alts[alt_idx], base.clone(), eoi.clone(), parent, depth);
+                    self.stack.pop();
+                    match res {
+                        Some(env) => return Some(env),
+                        None => self.rollback(cp),
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Alternative try-order: random, except that once a nonterminal's
+    /// per-attempt recursion budget is exhausted (or the byte budget is),
+    /// alternatives that recurse into an in-progress nonterminal are
+    /// demoted behind the non-recursive ones.
+    fn alt_order(&mut self, nt: NtId, alts: &'g [CAlt]) -> Vec<usize> {
+        let on_stack = self.stack.iter().filter(|&&s| s == nt).count();
+        let max_items = self.cfg.max_items.max(1);
+        let target = *self
+            .chain_target
+            .entry(nt)
+            .or_insert_with(|| 1 + (self.rng.random_range(0..max_items as u64) as usize));
+        let over = on_stack >= target
+            || self.budget_used > self.cfg.max_len as i64
+            || self.stack.len() >= self.cfg.max_depth;
+        let recursive = |alt: &CAlt| {
+            alt.terms.iter().any(|t| {
+                let callees: Vec<NtId> = match &t.kind {
+                    CTermKind::Symbol { nt, .. }
+                    | CTermKind::Array { nt, .. }
+                    | CTermKind::Star { nt, .. } => vec![*nt],
+                    CTermKind::Switch { cases } => cases.iter().map(|c| c.nt).collect(),
+                    _ => vec![],
+                };
+                callees.iter().any(|c| self.stack.contains(c) || *c == nt)
+            })
+        };
+        let mut idxs: Vec<usize> = (0..alts.len()).collect();
+        // Fisher–Yates.
+        for i in (1..idxs.len()).rev() {
+            let j = self.rng.random_range(0..=(i as u64)) as usize;
+            idxs.swap(i, j);
+        }
+        if over {
+            idxs.sort_by_key(|&i| recursive(&alts[i]));
+        }
+        idxs
+    }
+
+    fn gen_alt(
+        &mut self,
+        nt: NtId,
+        alt: &'g CAlt,
+        base: SVal,
+        eoi: SVal,
+        parent: Option<&Frame<'_>>,
+        depth: usize,
+    ) -> Option<NodeEnv> {
+        let mut frame = Frame {
+            eoi: eoi.clone(),
+            env: Vec::new(),
+            results: vec![None; alt.n_terms],
+            parent,
+            touched: None,
+        };
+        for term in &alt.terms {
+            self.eval_term(&term.kind, term.orig_index, &base, &mut frame, depth)?;
+        }
+        let (start, end) = match frame.touched {
+            Some((s, e)) => (s, e),
+            None => (eoi, sval(0)), // R-AltSucc initial: start = EOI, end = 0
+        };
+        Some(NodeEnv { nt, attrs: frame.env, start, end })
+    }
+
+    fn eval_term(
+        &mut self,
+        kind: &'g CTermKind,
+        orig_index: usize,
+        base: &SVal,
+        frame: &mut Frame<'_>,
+        depth: usize,
+    ) -> Option<()> {
+        match kind {
+            CTermKind::Terminal { bytes, interval } => {
+                let (l, r) = self.eval_interval(interval, frame)?;
+                let width_ok =
+                    self.cons.add_ineq(r.sub(&l).sub(&LinExpr::constant(bytes.len() as i64)));
+                self.ck(width_ok)?;
+                if !bytes.is_empty() {
+                    self.sheet.push(Seg::Bytes { at: base.add(&l), bytes: bytes.to_vec() });
+                    self.budget_used += bytes.len() as i64;
+                    self.upd_touched(frame, l, r, true);
+                }
+                Some(())
+            }
+            CTermKind::Symbol { nt: callee, interval } => {
+                let (l, r) = self.eval_interval(interval, frame)?;
+                let child = self.call_child(*callee, &l, &r, base, frame, depth)?;
+                self.finish_child(child, l, orig_index, frame)
+            }
+            CTermKind::AttrDef { attr, expr } => {
+                let v = self.eval_expr(expr, frame)?;
+                frame.env.push((*attr, v));
+                Some(())
+            }
+            CTermKind::Predicate { expr } => {
+                for _ in 0..24 {
+                    let cp = self.checkpoint();
+                    if self.require(expr, frame, true) {
+                        return Some(());
+                    }
+                    self.rollback(cp);
+                }
+                None
+            }
+            CTermKind::Array { var, from, to, nt: elem_nt, interval } => {
+                let f = self.eval_expr(from, frame)?;
+                let t = self.eval_expr(to, frame)?;
+                let f_i = self.force_concrete(&f)?;
+                let count = match self.cons.eval(&t) {
+                    Some(tv) => tv.saturating_sub(f_i).max(0),
+                    None => {
+                        let c = self.choose_count(0);
+                        let eq_ok = self.cons.add_eq(t.sub(&f).sub(&LinExpr::constant(c)));
+                        self.ck(eq_ok)?;
+                        c
+                    }
+                };
+                if count > 4 * self.cfg.max_items as i64 + 16 {
+                    return None; // runaway corpus loop
+                }
+                let mut elems = Vec::with_capacity(count as usize);
+                frame.env.push((*var, sval(f_i)));
+                let mut ok = true;
+                for k in f_i..f_i + count {
+                    let last = frame.env.len() - 1;
+                    frame.env[last].1 = sval(k);
+                    let Some((l, r)) = self.eval_interval(interval, frame) else {
+                        ok = false;
+                        break;
+                    };
+                    let Some(child) = self.call_child(*elem_nt, &l, &r, base, frame, depth) else {
+                        ok = false;
+                        break;
+                    };
+                    let (cs, ce) = (child.start.clone(), child.end.clone());
+                    let b = self.decide_nonzero(&ce)?;
+                    elems.push(child.shifted(&l));
+                    self.upd_touched(frame, l.add(&cs), l.add(&ce), b);
+                }
+                frame.env.pop();
+                if !ok {
+                    return None;
+                }
+                frame.results[orig_index] = Some(TermRes::Array { nt: *elem_nt, elems });
+                Some(())
+            }
+            CTermKind::Star { nt: elem_nt, interval } => {
+                let (l, r) = self.eval_interval(interval, frame)?;
+                // One-or-more: count ∈ [1, max_items + 1].
+                let count = 1 + self.choose_count(0);
+                let mut pos = sval(0);
+                let mut elems = Vec::new();
+                for _ in 0..count {
+                    let el = l.add(&pos);
+                    let child = self.call_child(*elem_nt, &el, &r, base, frame, depth)?;
+                    let ce = child.end.clone();
+                    // Star demands progress; generate only progressing
+                    // repetitions so parse and generation stop identically.
+                    if !self.decide_nonzero(&ce)? {
+                        return None;
+                    }
+                    elems.push(child.shifted(&el));
+                    pos = pos.add(&ce);
+                }
+                self.upd_touched(frame, l.clone(), l.add(&pos), true);
+                frame.results[orig_index] = Some(TermRes::Array { nt: *elem_nt, elems });
+                Some(())
+            }
+            CTermKind::Switch { cases } => {
+                let mut order: Vec<usize> = (0..cases.len()).collect();
+                for i in (1..order.len()).rev() {
+                    let j = self.rng.random_range(0..=(i as u64)) as usize;
+                    order.swap(i, j);
+                }
+                for ci in order {
+                    let cp = self.checkpoint();
+                    let mut ok = true;
+                    for case in &cases[..ci] {
+                        if let Some(guard) = &case.cond {
+                            if !self.require(guard, frame, false) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        if let Some(guard) = &cases[ci].cond {
+                            ok = self.require(guard, frame, true);
+                        }
+                    }
+                    if ok {
+                        if let Some((l, r)) = self.eval_interval(&cases[ci].interval, frame) {
+                            if let Some(child) =
+                                self.call_child(cases[ci].nt, &l, &r, base, frame, depth)
+                            {
+                                self.finish_child(child, l, orig_index, frame)?;
+                                return Some(());
+                            }
+                        }
+                    }
+                    self.rollback(cp);
+                }
+                None
+            }
+        }
+    }
+
+    /// Generates a callee on `[l, r)` of the current slice, mirroring
+    /// T-NTSucc's environment threading for local rules.
+    fn call_child(
+        &mut self,
+        callee: NtId,
+        l: &SVal,
+        r: &SVal,
+        base: &SVal,
+        frame: &Frame<'_>,
+        depth: usize,
+    ) -> Option<NodeEnv> {
+        let local = self.g.rule(callee).is_local;
+        let child_base = base.add(l);
+        let child_eoi = r.sub(l);
+        let parent = if local { Some(frame) } else { None };
+        self.gen_nt(callee, child_base, child_eoi, parent, depth + 1)
+    }
+
+    /// Stores a symbol/switch child result and widens the touched region.
+    fn finish_child(
+        &mut self,
+        child: NodeEnv,
+        l: SVal,
+        orig_index: usize,
+        frame: &mut Frame<'_>,
+    ) -> Option<()> {
+        let (cs, ce) = (child.start.clone(), child.end.clone());
+        let b = self.decide_nonzero(&ce)?;
+        frame.results[orig_index] = Some(TermRes::Node(child.shifted(&l)));
+        self.upd_touched(frame, l.add(&cs), l.add(&ce), b);
+        Some(())
+    }
+
+    /// Evaluates an interval and records its well-formedness constraints
+    /// `0 ≤ l ≤ r ≤ EOI`.
+    fn eval_interval(
+        &mut self,
+        interval: &'g CInterval,
+        frame: &mut Frame<'_>,
+    ) -> Option<(SVal, SVal)> {
+        let l = self.eval_expr(&interval.lo, frame)?;
+        let r = self.eval_expr(&interval.hi, frame)?;
+        let ok = self.cons.add_ineq(l.clone())
+            && self.cons.add_ineq(r.sub(&l))
+            && self.cons.add_ineq(frame.eoi.sub(&r));
+        self.ck(ok)?;
+        Some((l, r))
+    }
+
+    /// `updStartEnd`, symbolically. Undecidable min/max comparisons fall
+    /// back to the sequential heuristic (keep the earlier start, take the
+    /// newer end); the post-generation parse check catches the rare miss.
+    fn upd_touched(&mut self, frame: &mut Frame<'_>, l: SVal, r: SVal, b: bool) {
+        if !b {
+            return;
+        }
+        frame.touched = Some(match frame.touched.take() {
+            None => (l, r),
+            Some((s, e)) => {
+                let s2 = match self.cons.sign(&s.sub(&l)) {
+                    Some(Ordering::Less) | Some(Ordering::Equal) => s,
+                    Some(Ordering::Greater) => l,
+                    None => s,
+                };
+                let e2 = match self.cons.sign(&e.sub(&r)) {
+                    Some(Ordering::Greater) | Some(Ordering::Equal) => e,
+                    Some(Ordering::Less) => r,
+                    None => r,
+                };
+                (s2, e2)
+            }
+        });
+    }
+
+    /// Whether `e` (an `end` value, always ≥ 0) is non-zero. Undecidable
+    /// cases are *forced* non-zero with an inequality, trading a sliver of
+    /// generation space (empty regions) for a sound answer.
+    fn decide_nonzero(&mut self, e: &SVal) -> Option<bool> {
+        if let Some(v) = self.cons.eval(e) {
+            return Some(v != 0);
+        }
+        match self.cons.range(e) {
+            Some((lo, _)) if lo >= 1 => Some(true),
+            Some((_, hi)) if hi <= 0 => Some(false),
+            _ => {
+                let ok = self.cons.add_ineq(e.sub(&LinExpr::constant(1)));
+                self.ck(ok)?;
+                Some(true)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    fn gen_builtin(&mut self, nt: NtId, b: Builtin, base: SVal, eoi: SVal) -> Option<NodeEnv> {
+        let enc = match b {
+            Builtin::U8 => Some(Enc::U8),
+            Builtin::U16Le => Some(Enc::U16Le),
+            Builtin::U16Be => Some(Enc::U16Be),
+            Builtin::U32Le => Some(Enc::U32Le),
+            Builtin::U32Be => Some(Enc::U32Be),
+            Builtin::U64Le => Some(Enc::U64Le),
+            Builtin::U64Be => Some(Enc::U64Be),
+            Builtin::AsciiInt | Builtin::Bytes => None,
+        };
+        if let Some(enc) = enc {
+            let w = enc.width() as i64;
+            let fits = self.cons.add_ineq(eoi.sub(&LinExpr::constant(w)));
+            self.ck(fits)?;
+            let (lo, hi) = enc.domain();
+            let var = self.cons.fresh(lo, hi);
+            self.sheet.push(Seg::Pending { at: base, var, enc });
+            self.budget_used += w;
+            return Some(NodeEnv {
+                nt,
+                attrs: vec![(wellknown::VAL, LinExpr::var(var))],
+                start: sval(0),
+                end: sval(w),
+            });
+        }
+        match b {
+            Builtin::AsciiInt => {
+                // Digit count: as wide as the slice allows (zero-padded
+                // values parse identically), capped so values fit i64
+                // comfortably and stay decodable.
+                let d = match self.cons.eval(&eoi) {
+                    Some(n) if n >= 1 => n.min(7) as u8,
+                    Some(_) => return None,
+                    None => {
+                        let fits = self.cons.add_ineq(eoi.sub(&LinExpr::constant(3)));
+                        self.ck(fits)?;
+                        3
+                    }
+                };
+                let enc = Enc::Ascii(d);
+                let (lo, hi) = enc.domain();
+                let var = self.cons.fresh(lo, hi);
+                self.sheet.push(Seg::Pending { at: base, var, enc });
+                self.budget_used += d as i64;
+                Some(NodeEnv {
+                    nt,
+                    attrs: vec![(wellknown::VAL, LinExpr::var(var))],
+                    start: sval(0),
+                    end: sval(d as i64),
+                })
+            }
+            Builtin::Bytes => {
+                // Consumes the whole slice: `val = end = EOI`, content is
+                // soft filler of exactly that (possibly still unknown)
+                // length.
+                self.fill_seed = self.fill_seed.wrapping_add(0x9e37_79b9);
+                self.cons.mark_layout_expr(&eoi);
+                self.sheet.push(Seg::Fill { at: base, len: eoi.clone(), seed: self.fill_seed });
+                self.budget_used += self.cons.eval(&eoi).unwrap_or(8);
+                Some(NodeEnv {
+                    nt,
+                    attrs: vec![(wellknown::VAL, eoi.clone())],
+                    start: sval(0),
+                    end: eoi,
+                })
+            }
+            _ => unreachable!("fixed-width handled above"),
+        }
+    }
+
+    fn gen_blackbox(&mut self, nt: NtId, idx: usize, base: SVal, eoi: SVal) -> Option<NodeEnv> {
+        let bb = &self.g.blackboxes()[idx];
+        let hook = self.hooks.get(&bb.name)?;
+        let budget =
+            usize::try_from((self.cfg.max_len as i64 - self.budget_used).max(16)).unwrap_or(16);
+        let piece = hook(&mut self.rng, budget)?;
+        let n = piece.bytes.len() as i64;
+        let fits = self.cons.add_ineq(eoi.sub(&LinExpr::constant(n)));
+        self.ck(fits)?;
+        let mut attrs = Vec::new();
+        for (name, value) in bb.attrs.iter().zip(&piece.attr_values) {
+            if let Some(sym) = self.g.attr_sym(name) {
+                attrs.push((sym, sval(*value)));
+            }
+        }
+        self.sheet.push(Seg::Bytes { at: base, bytes: piece.bytes });
+        self.budget_used += n;
+        let start = if n > 0 { sval(0) } else { eoi };
+        Some(NodeEnv { nt, attrs, start, end: sval(n) })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn choose_count(&mut self, min: i64) -> i64 {
+        let cap = if self.budget_used > self.cfg.max_len as i64 {
+            min
+        } else {
+            self.cfg.max_items as i64
+        };
+        self.rng.random_range(min..=cap.max(min))
+    }
+
+    /// Pins every unresolved variable of `e` to a sampled value and
+    /// evaluates. The sampling bias: full domain for small domains, mostly
+    /// small values for wide ones (sizes).
+    fn force_concrete(&mut self, e: &SVal) -> Option<i64> {
+        let vars: Vec<Var> = self.cons.subst(e).vars().collect();
+        for v in vars {
+            let info = self.cons.info(v).clone();
+            let value = self.sample_range(info.lo, info.hi);
+            if !self.cons.set_value(v, value) {
+                return None;
+            }
+        }
+        self.cons.eval(e)
+    }
+
+    fn sample_range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = hi.saturating_sub(lo);
+        if span <= 1024 {
+            lo + self.rng.random_range(0..=span.max(0))
+        } else if self.rng.random_range(0..2u32) == 0 {
+            lo + self.rng.random_range(0..=16i64)
+        } else {
+            lo + self.rng.random_range(0..=span.min(65_535))
+        }
+    }
+
+    fn eval_expr(&mut self, e: &'g CExpr, frame: &mut Frame<'_>) -> Option<SVal> {
+        match e {
+            CExpr::Num(n) => Some(sval(*n)),
+            CExpr::Eoi => Some(frame.eoi.clone()),
+            CExpr::Local(sym) => frame.lookup(*sym),
+            CExpr::Bin(op, a, b) => {
+                let a = self.eval_expr(a, frame)?;
+                let b = self.eval_expr(b, frame)?;
+                self.eval_binop(*op, a, b)
+            }
+            CExpr::Cond(c, t, f) => {
+                let cv = self.eval_expr(c, frame)?;
+                let cv = match self.cons.eval(&cv) {
+                    Some(v) => v,
+                    None => self.force_concrete(&cv)?,
+                };
+                if cv != 0 {
+                    self.eval_expr(t, frame)
+                } else {
+                    self.eval_expr(f, frame)
+                }
+            }
+            CExpr::NtAttr { term, nt, attr } => {
+                let res = frame.results[*term].as_ref()?;
+                node_attr(res, *nt, *attr)
+            }
+            CExpr::OuterAttr { nt, attr } => frame.lookup_outer_node(*nt)?.get(*attr),
+            CExpr::ElemAttr { term, nt, index, attr } => {
+                let idx = self.eval_expr(index, frame)?;
+                let idx = self.force_concrete(&idx)?;
+                let Some(TermRes::Array { nt: ant, elems }) = frame.results[*term].as_ref() else {
+                    return None;
+                };
+                if *ant != *nt || idx < 0 {
+                    return None;
+                }
+                elems.get(idx as usize)?.get(*attr)
+            }
+            CExpr::OuterElem { nt, index, attr } => {
+                let idx = self.eval_expr(index, frame)?;
+                let idx = self.force_concrete(&idx)?;
+                if idx < 0 {
+                    return None;
+                }
+                let elem = frame.lookup_outer_array(*nt)?.get(idx as usize)?.clone();
+                elem.get(*attr)
+            }
+            CExpr::Exists { var, term, nt, cond, then, els } => {
+                let n = match term {
+                    Some(t) => match frame.results[*t].as_ref()? {
+                        TermRes::Array { nt: ant, elems } if *ant == *nt => elems.len(),
+                        _ => return None,
+                    },
+                    None => frame.lookup_outer_array(*nt)?.len(),
+                };
+                frame.env.push((*var, sval(0)));
+                let mut found = None;
+                for k in 0..n {
+                    let last = frame.env.len() - 1;
+                    frame.env[last].1 = sval(k as i64);
+                    let cv = match self.eval_expr(cond, frame) {
+                        Some(cv) => cv,
+                        None => {
+                            frame.env.pop();
+                            return None;
+                        }
+                    };
+                    let cv = match self.cons.eval(&cv) {
+                        Some(v) => Some(v),
+                        None => self.force_concrete(&cv),
+                    };
+                    match cv {
+                        Some(0) => continue,
+                        Some(_) => {
+                            found = Some(k as i64);
+                            break;
+                        }
+                        None => {
+                            frame.env.pop();
+                            return None;
+                        }
+                    }
+                }
+                let out = match found {
+                    Some(k) => {
+                        let last = frame.env.len() - 1;
+                        frame.env[last].1 = sval(k);
+                        self.eval_expr(then, frame)
+                    }
+                    None => {
+                        frame.env.pop();
+                        return self.eval_expr(els, frame);
+                    }
+                };
+                frame.env.pop();
+                out
+            }
+        }
+    }
+
+    fn eval_binop(&mut self, op: BinOp, a: SVal, b: SVal) -> Option<SVal> {
+        let ac = self.cons.eval(&a);
+        let bc = self.cons.eval(&b);
+        match op {
+            BinOp::Add => Some(a.add(&b)),
+            BinOp::Sub => Some(a.sub(&b)),
+            BinOp::Mul => {
+                if let Some(av) = ac {
+                    Some(b.scale(Rat::from(av)))
+                } else if let Some(bv) = bc {
+                    Some(a.scale(Rat::from(bv)))
+                } else {
+                    let av = self.force_concrete(&a)?;
+                    Some(b.scale(Rat::from(av)))
+                }
+            }
+            BinOp::Div => {
+                if let (Some(av), Some(bv)) = (ac, bc) {
+                    if bv == 0 {
+                        return None;
+                    }
+                    return Some(sval(av.wrapping_div(bv)));
+                }
+                if let Some(c) = bc {
+                    if c > 0 {
+                        // Inverse trick: pick the quotient, pin the (single)
+                        // unknown of the dividend to an exact multiple.
+                        let r = self.cons.subst(&a);
+                        if let Some((v, coeff, k)) = r.as_single_var() {
+                            if coeff == Rat::from(1) {
+                                if let Some(k) = k.as_i64() {
+                                    let info = self.cons.info(v).clone();
+                                    for _ in 0..8 {
+                                        let q = self.choose_count(0);
+                                        let cand = q * c - k;
+                                        if cand >= info.lo && cand <= info.hi {
+                                            if self.cons.set_value(v, cand) {
+                                                return Some(sval(q));
+                                            }
+                                            return None;
+                                        }
+                                    }
+                                    // Fall through to plain concretization.
+                                }
+                            }
+                        }
+                    }
+                }
+                let av = self.force_concrete(&a)?;
+                let bv = match bc {
+                    Some(v) => v,
+                    None => self.force_concrete(&b)?,
+                };
+                if bv == 0 {
+                    return None;
+                }
+                Some(sval(av.wrapping_div(bv)))
+            }
+            BinOp::Mod
+            | BinOp::Shl
+            | BinOp::Shr
+            | BinOp::BitAnd
+            | BinOp::BitOr
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Gt
+            | BinOp::Le
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => {
+                let av = match ac {
+                    Some(v) => v,
+                    None => self.force_concrete(&a)?,
+                };
+                let bv = match bc {
+                    Some(v) => v,
+                    None => self.force_concrete(&b)?,
+                };
+                ipg_core::interp::eval_binop(op, av, bv).map(sval)
+            }
+        }
+    }
+
+    /// Records the constraints that make predicate `e` evaluate truthy
+    /// (`want`) or falsy (`!want`), mirroring the interpreter's boolean
+    /// encoding (zero = false). Non-linear subterms fall back to
+    /// sample-and-check with rollback.
+    fn require(&mut self, e: &'g CExpr, frame: &mut Frame<'_>, want: bool) -> bool {
+        match e {
+            CExpr::Num(n) => (*n != 0) == want,
+            CExpr::Bin(op, a, b) => match (op, want) {
+                (BinOp::And, true) | (BinOp::Or, false) => {
+                    self.require(a, frame, want) && self.require(b, frame, want)
+                }
+                (BinOp::And, false) | (BinOp::Or, true) => {
+                    let first_a = self.rng.random_range(0..2u32) == 0;
+                    let (x, y) = if first_a { (a, b) } else { (b, a) };
+                    let cp = self.checkpoint();
+                    if self.require(x, frame, want) {
+                        return true;
+                    }
+                    self.rollback(cp);
+                    self.require(y, frame, want)
+                }
+                (BinOp::Eq, w) | (BinOp::Ne, w) => {
+                    let positive = (*op == BinOp::Eq) == w;
+                    // Peephole: `x / c = k` (a truncating-division guard)
+                    // becomes the exact interval `k·c ≤ x < (k+1)·c`.
+                    if positive {
+                        if let Some(done) = self.require_div_eq(a, b, frame) {
+                            return done;
+                        }
+                    }
+                    let Some(x) = self.eval_expr(a, frame) else { return false };
+                    let Some(y) = self.eval_expr(b, frame) else { return false };
+                    if positive {
+                        self.cons.add_eq(x.sub(&y))
+                    } else {
+                        self.cons.add_neq(x.sub(&y))
+                    }
+                }
+                (BinOp::Le, true) | (BinOp::Gt, false) => self.require_ge(b, a, 0, frame),
+                (BinOp::Le, false) | (BinOp::Gt, true) => self.require_ge(a, b, 1, frame),
+                (BinOp::Lt, true) | (BinOp::Ge, false) => self.require_ge(b, a, 1, frame),
+                (BinOp::Lt, false) | (BinOp::Ge, true) => self.require_ge(a, b, 0, frame),
+                _ => self.require_sampled(e, frame, want),
+            },
+            CExpr::Cond(c, t, f) => {
+                let Some(cv) = self.eval_expr(c, frame) else { return false };
+                let cv = match self.cons.eval(&cv) {
+                    Some(v) => Some(v),
+                    None => self.force_concrete(&cv),
+                };
+                match cv {
+                    Some(0) => self.require(f, frame, want),
+                    Some(_) => self.require(t, frame, want),
+                    None => false,
+                }
+            }
+            _ => self.require_sampled(e, frame, want),
+        }
+    }
+
+    /// `x - y - margin ≥ 0`.
+    fn require_ge(
+        &mut self,
+        x: &'g CExpr,
+        y: &'g CExpr,
+        margin: i64,
+        frame: &mut Frame<'_>,
+    ) -> bool {
+        let Some(xv) = self.eval_expr(x, frame) else { return false };
+        let Some(yv) = self.eval_expr(y, frame) else { return false };
+        self.cons.add_ineq(xv.sub(&yv).sub(&LinExpr::constant(margin)))
+    }
+
+    /// Peephole for `e / c = k` with constant `c > 0`, `k`: adds
+    /// `k·c ≤ e ≤ k·c + c - 1`. Returns `None` when the shape doesn't
+    /// match (caller falls through to the generic path).
+    fn require_div_eq(
+        &mut self,
+        a: &'g CExpr,
+        b: &'g CExpr,
+        frame: &mut Frame<'_>,
+    ) -> Option<bool> {
+        let (div, rhs) = match (a, b) {
+            (CExpr::Bin(BinOp::Div, x, c), k) => ((x, c), k),
+            (k, CExpr::Bin(BinOp::Div, x, c)) => ((x, c), k),
+            _ => return None,
+        };
+        let CExpr::Num(c) = &**div.1 else { return None };
+        if *c <= 0 {
+            return None;
+        }
+        let x = self.eval_expr(div.0, frame)?;
+        let kx = self.eval_expr(rhs, frame)?;
+        let k = self.cons.eval(&kx)?;
+        if k < 0 {
+            // The engines divide truncating toward zero; for a negative
+            // quotient the interval below would over-approximate. Fall
+            // through to the generic sample-and-check path.
+            return None;
+        }
+        let lo = k.checked_mul(*c)?;
+        let ok = self.cons.add_ineq(x.sub(&LinExpr::constant(lo)))
+            && self.cons.add_ineq(LinExpr::constant(lo + *c - 1).sub(&x));
+        Some(ok)
+    }
+
+    /// Fallback: concretize and check, resampling on misses.
+    fn require_sampled(&mut self, e: &'g CExpr, frame: &mut Frame<'_>, want: bool) -> bool {
+        for _ in 0..48 {
+            let cp = self.checkpoint();
+            if let Some(v) = self.eval_expr(e, frame).and_then(|sv| self.force_concrete(&sv)) {
+                if (v != 0) == want {
+                    return true;
+                }
+            }
+            self.rollback(cp);
+        }
+        false
+    }
+}
+
+/// Mirror of the interpreter's `node_attr`: arrays answer for their last
+/// element (the `star Item "trail"` sequencing idiom).
+fn node_attr(res: &TermRes, nt: NtId, attr: Sym) -> Option<SVal> {
+    match res {
+        TermRes::Node(env) if env.nt == nt => env.get(attr),
+        TermRes::Array { nt: ant, elems } if *ant == nt => elems.last()?.get(attr),
+        _ => None,
+    }
+}

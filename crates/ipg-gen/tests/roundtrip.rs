@@ -1,0 +1,201 @@
+//! Generate → parse roundtrips, from toy grammars covering each IPG
+//! construct up to all nine corpus format grammars.
+
+use ipg_core::frontend::parse_grammar;
+use ipg_core::interp::Parser;
+use ipg_gen::{GenConfig, Generator};
+
+fn assert_generates(spec: &str, seeds: std::ops::Range<u64>) {
+    let g = parse_grammar(spec).expect("spec checks");
+    let generator = Generator::new(&g);
+    let parser = Parser::new(&g).max_steps(5_000_000);
+    for seed in seeds {
+        let bytes = generator
+            .generate(seed)
+            .unwrap_or_else(|| panic!("seed {seed}: generation failed\nspec: {spec}"));
+        parser.parse(&bytes).unwrap_or_else(|e| {
+            panic!("seed {seed}: generated input does not parse: {e}\nbytes: {bytes:?}")
+        });
+    }
+}
+
+#[test]
+fn fig1_anchored_literals() {
+    // Front and back anchoring: "aa…bb".
+    assert_generates(
+        r#"
+        S -> A[0, 2] B[EOI - 2, EOI];
+        A -> "aa"[0, 2];
+        B -> "bb"[0, 2];
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn fig2_random_access_header() {
+    assert_generates(
+        r#"
+        S -> H[0, 8] Data[H.offset, H.offset + H.length];
+        H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+        Int := u32le;
+        Data := bytes;
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn counted_array_with_pinned_count_field() {
+    // The count is read from a field; generation must choose the count and
+    // back-patch the field.
+    assert_generates(
+        r#"
+        S -> N[0, 1] {n = N.val} for i = 0 to n do E[1 + 2 * i, 3 + 2 * i];
+        E -> Int[0, 2];
+        N := u8;
+        Int := u16le;
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn chain_rule_and_trailer() {
+    // GIF-style chunk chain closed by a trailer byte.
+    assert_generates(
+        r#"
+        S -> Blocks[0, EOI];
+        Blocks -> Block[0, EOI] Blocks[Block.end, EOI]
+                / Trailer[0, EOI];
+        Block -> x"aa"[0, 1] Len[1, 2] {len = Len.val} Data[2, 2 + len];
+        Trailer -> x"3b"[0, 1];
+        Len := u8;
+        Data := bytes;
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn predicates_and_switch_dispatch() {
+    assert_generates(
+        r#"
+        S -> Tag[0, 1] {t = Tag.val} assert(t < 3)
+             switch(t = 0 : A[1, 3] / t = 1 : B[1, 5] / C[1, 2]);
+        A -> Int16[0, 2];
+        B -> Int32[0, 4];
+        C -> Byte[0, 1];
+        Tag := u8;
+        Int16 := u16le;
+        Int32 := u32le;
+        Byte := u8;
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn star_repetition() {
+    assert_generates(
+        r#"
+        S -> star Item[0, EOI - 1] End[EOI - 1, EOI];
+        Item -> x"01"[0, 1] Len[1, 2] {len = Len.val} Body[2, 2 + len];
+        End -> x"ff"[0, 1];
+        Len := u8;
+        Body := bytes;
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn local_rule_counted_chain() {
+    // DNS-style inherited-attribute countdown.
+    assert_generates(
+        r#"
+        start S;
+        S -> N[0, 1] {qn = N.val} Qs[1, EOI];
+        local Qs -> {qn = qn - 1} assert(qn >= 0) Q[0, EOI] Qs[Q.end, EOI]
+                  / assert(qn = 0) ""[0, 0];
+        Q -> x"51"[0, 1] V[1, 3];
+        N := u8;
+        V := u16be;
+        "#,
+        0..32,
+    );
+}
+
+#[test]
+fn backward_digit_recursion() {
+    // PDF-startxref-style backward number whose value must equal a layout
+    // position (here: the offset of the payload, via random access).
+    assert_generates(
+        r#"
+        start S;
+        S -> "%"[0, 1]
+             Num[1, EOI - 4] {ofs = Num.val}
+             Payload[ofs, EOI - 4]
+             "TAIL"[EOI - 4, EOI];
+        Num -> Dg[EOI - 1, EOI] Num[0, EOI - 1] {val = Num.val * 10 + Dg.val}
+             / "@"[EOI - 1, EOI] {val = 0};
+        Payload -> "PAY"[0, 3];
+        Dg := ascii_int;
+        "#,
+        0..16,
+    );
+}
+
+#[test]
+fn division_guards() {
+    // ipv4-style: version nibble and modulo-derived header length.
+    assert_generates(
+        r#"
+        S -> VI[0, 1] assert(VI.val / 16 = 4)
+             {ihl = (VI.val % 16) * 4} assert(ihl >= 20)
+             Rest[1, ihl];
+        VI := u8;
+        Rest := bytes;
+        "#,
+        0..32,
+    );
+}
+
+// ----------------------------------------------------------------------
+// The nine corpus format grammars.
+// ----------------------------------------------------------------------
+
+fn assert_format_generates(
+    name: &str,
+    g: &ipg_core::check::Grammar,
+    seeds: std::ops::Range<u64>,
+    cfg: GenConfig,
+) {
+    let generator = Generator::new(g).with_config(cfg);
+    let parser = Parser::new(g).max_steps(20_000_000);
+    for seed in seeds.clone() {
+        let bytes = generator
+            .generate_valid(seed)
+            .unwrap_or_else(|| panic!("{name}: seed {seed}: generation failed"));
+        assert!(parser.parse(&bytes).is_ok(), "{name}: seed {seed}: verified input must parse");
+    }
+}
+
+macro_rules! format_roundtrip {
+    ($test:ident, $name:expr, $grammar:expr) => {
+        #[test]
+        fn $test() {
+            assert_format_generates($name, $grammar, 0..8, GenConfig::default());
+        }
+    };
+}
+
+format_roundtrip!(zip_generates, "zip", ipg_formats::zip::grammar());
+format_roundtrip!(zip_inflate_generates, "zip_inflate", ipg_formats::zip::grammar_inflate());
+format_roundtrip!(dns_generates, "dns", ipg_formats::dns::grammar());
+format_roundtrip!(png_generates, "png", ipg_formats::png::grammar());
+format_roundtrip!(gif_generates, "gif", ipg_formats::gif::grammar());
+format_roundtrip!(elf_generates, "elf", ipg_formats::elf::grammar());
+format_roundtrip!(ipv4udp_generates, "ipv4udp", ipg_formats::ipv4udp::grammar());
+format_roundtrip!(pe_generates, "pe", ipg_formats::pe::grammar());
+format_roundtrip!(pdf_generates, "pdf", ipg_formats::pdf::grammar());

@@ -7,6 +7,8 @@
 //! the hand-written baseline, the Kaitai-style baseline, and the
 //! Nail-style baseline (where each applies) to extract identical facts.
 
+mod common;
+
 use ipg_baselines::{handwritten, kaitai_style, nail_style};
 use ipg_corpus::{dns, elf, gif, ipv4udp, pe, zip};
 
@@ -191,13 +193,13 @@ fn ipv4udp_agreement_with_nail_style() {
 fn rejections_agree_on_corrupted_inputs() {
     // All implementations must reject the same corruptions (no silent
     // divergence — the motivating security property of the paper's intro).
-    let mut z = zip::generate(&zip::Config::default()).bytes;
+    let mut z = common::default_corpus_input("zip");
     z[0] = b'Q'; // first local header magic
     assert!(ipg_formats::zip::parse(&z).is_err());
     assert!(handwritten::parse_zip(&z).is_err());
     assert!(kaitai_style::parse_zip(&z).is_err());
 
-    let mut e = elf::generate(&elf::Config::default()).bytes;
+    let mut e = common::default_corpus_input("elf");
     e[0x28] = 0xff; // shoff low byte → table out of bounds
     e[0x2f] = 0xff; // shoff high byte
     assert!(ipg_formats::elf::parse(&e).is_err());

@@ -3,9 +3,11 @@
 //! The flat program a grammar compiles to is part of the VM's interface:
 //! lowering changes should be *visible* in review, not incidental. These
 //! tests pin the full [`ipg_core::bytecode::Program::disassemble`] output
-//! for two representative grammars — DNS (local rules, counted chains,
-//! switch dispatch) and `zip_inflate` (blackbox rules, backward parsing)
-//! — against golden files under `tests/snapshots/`.
+//! for all nine corpus grammars against golden files under
+//! `tests/snapshots/` — DNS (local rules, counted chains), `zip_inflate`
+//! (blackbox rules, switch dispatch), ZIP/PDF (backward parsing), ELF/PE
+//! (directory random access), GIF (chunk chains), PNG (`star`), IPv4+UDP
+//! (predicates).
 //!
 //! When a lowering change is intentional, regenerate the goldens with
 //!
@@ -34,16 +36,25 @@ fn check_snapshot(name: &str, actual: &str) {
     );
 }
 
-#[test]
-fn dns_bytecode_listing_is_pinned() {
-    let g = ipg_formats::dns::grammar();
-    let listing = ipg_formats::dns::vm().program().disassemble(g);
-    check_snapshot("dns.bc.txt", &listing);
+mod common;
+
+macro_rules! snapshot {
+    ($test:ident, $name:expr, $file:expr) => {
+        #[test]
+        fn $test() {
+            let f = common::format($name);
+            let listing = f.vm.program().disassemble(f.grammar);
+            check_snapshot($file, &listing);
+        }
+    };
 }
 
-#[test]
-fn zip_inflate_bytecode_listing_is_pinned() {
-    let g = ipg_formats::zip::grammar_inflate();
-    let listing = ipg_formats::zip::vm_inflate().program().disassemble(g);
-    check_snapshot("zip_inflate.bc.txt", &listing);
-}
+snapshot!(dns_bytecode_listing_is_pinned, "dns", "dns.bc.txt");
+snapshot!(zip_inflate_bytecode_listing_is_pinned, "zip_inflate", "zip_inflate.bc.txt");
+snapshot!(zip_bytecode_listing_is_pinned, "zip", "zip.bc.txt");
+snapshot!(png_bytecode_listing_is_pinned, "png", "png.bc.txt");
+snapshot!(gif_bytecode_listing_is_pinned, "gif", "gif.bc.txt");
+snapshot!(elf_bytecode_listing_is_pinned, "elf", "elf.bc.txt");
+snapshot!(ipv4udp_bytecode_listing_is_pinned, "ipv4udp", "ipv4udp.bc.txt");
+snapshot!(pe_bytecode_listing_is_pinned, "pe", "pe.bc.txt");
+snapshot!(pdf_bytecode_listing_is_pinned, "pdf", "pdf.bc.txt");

@@ -3,6 +3,8 @@
 //! no parser panics on mutated (corrupted) inputs — they must *fail*, not
 //! crash (the paper's security motivation).
 
+mod common;
+
 use proptest::prelude::*;
 
 proptest! {
@@ -104,12 +106,13 @@ proptest! {
         }).bytes;
         let idx = ((a.len() - 1) as f64 * idx_frac) as usize;
         a[idx] = byte;
-        // Any of Ok/Err is fine; panicking or hanging is not. A fuel bound
-        // guards against pathological loops.
-        let g = ipg_formats::zip::grammar();
-        let _ = ipg_core::interp::Parser::new(g).max_steps(2_000_000).parse(&a);
-        let _ = ipg_baselines::handwritten::parse_zip(&a);
-        let _ = ipg_baselines::kaitai_style::parse_zip(&a);
+        // Any of Ok/Err is fine; panicking, hanging, or engine divergence
+        // is not (assert_engines_agree runs both engines fuel-bounded).
+        let f = common::format("zip");
+        common::assert_engines_agree(f.name, f.grammar, f.vm, &a);
+        for o in ipg_baselines::probe::run("zip", &a) {
+            let _ = o.accepted; // must terminate without panicking
+        }
     }
 
     #[test]
@@ -123,9 +126,11 @@ proptest! {
         }).bytes;
         let idx = ((m.len() - 1) as f64 * idx_frac) as usize;
         m[idx] = byte;
-        let g = ipg_formats::dns::grammar();
-        let _ = ipg_core::interp::Parser::new(g).max_steps(2_000_000).parse(&m);
-        let _ = ipg_baselines::nail_style::parse_dns(&m);
+        let f = common::format("dns");
+        common::assert_engines_agree(f.name, f.grammar, f.vm, &m);
+        for o in ipg_baselines::probe::run("dns", &m) {
+            let _ = o.accepted;
+        }
     }
 
     #[test]
@@ -139,10 +144,11 @@ proptest! {
         }).bytes;
         let idx = ((f.len() - 1) as f64 * idx_frac) as usize;
         f[idx] = byte;
-        let g = ipg_formats::elf::grammar();
-        let _ = ipg_core::interp::Parser::new(g).max_steps(2_000_000).parse(&f);
-        let _ = ipg_baselines::handwritten::parse_elf(&f);
-        let _ = ipg_baselines::kaitai_style::parse_elf(&f);
+        let fo = common::format("elf");
+        common::assert_engines_agree(fo.name, fo.grammar, fo.vm, &f);
+        for o in ipg_baselines::probe::run("elf", &f) {
+            let _ = o.accepted;
+        }
     }
 
     #[test]

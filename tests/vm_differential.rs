@@ -2,63 +2,20 @@
 //! interpreter, over corpus-generated inputs for every format grammar —
 //! including truncated and corrupted mutants.
 //!
-//! Agreement required on every input:
-//!
-//! * **step counts** — both engines tick at the same evaluation points;
-//! * **trees** — `TreeRef::to_tree` of the VM result must equal the
-//!   interpreter's `Rc<Tree>` node for node, which covers tree shape,
-//!   every attribute environment (including `start`/`end`, i.e. consumed
-//!   bytes), spans, chosen alternatives, and blackbox payloads;
-//! * **errors** — rejected inputs must produce the identical deepest
-//!   failure (offset, nonterminal, message).
+//! The agreement contract (step counts, trees, deepest errors) is
+//! implemented by [`common::assert_engines_agree`]; this file contributes
+//! the proptest-driven corpus configurations and mutation sweeps.
 
-use ipg_core::check::Grammar;
-use ipg_core::interp::vm::VmParser;
-use ipg_core::interp::Parser;
+mod common;
+
+use common::mutate;
 use proptest::prelude::*;
 
-/// A deterministic input mutation, driven by proptest-chosen parameters.
-fn mutate(bytes: &mut Vec<u8>, kind: u8, pos: usize, value: u8) {
-    if bytes.is_empty() {
-        return;
-    }
-    match kind % 4 {
-        0 => {}                                 // pristine
-        1 => bytes.truncate(pos % bytes.len()), // truncation
-        2 => {
-            let p = pos % bytes.len();
-            bytes[p] ^= value | 1; // guaranteed change
-        }
-        _ => {
-            // Splice: overwrite a short run, simulating a corrupted field.
-            let p = pos % bytes.len();
-            let end = (p + 4).min(bytes.len());
-            for b in &mut bytes[p..end] {
-                *b = value;
-            }
-        }
-    }
-}
-
-fn assert_agreement(name: &str, g: &Grammar, vm: &VmParser<'_>, input: &[u8]) {
-    let (ri, si) = Parser::new(g).parse_with_stats(input);
-    let (rv, sv) = vm.parse_with_stats(input);
-    assert_eq!(
-        si.steps, sv.steps,
-        "{name}: engines disagree on step count ({} vs {})",
-        si.steps, sv.steps
-    );
-    match (ri, rv) {
-        (Ok(reference), Ok(tree)) => {
-            let converted = tree.root().to_tree();
-            assert_eq!(converted, reference, "{name}: engines accept but build different trees");
-        }
-        (Err(ei), Err(ev)) => {
-            assert_eq!(ei, ev, "{name}: engines reject with different errors");
-        }
-        (Ok(_), Err(e)) => panic!("{name}: interpreter accepts, VM rejects: {e}"),
-        (Err(e), Ok(_)) => panic!("{name}: VM accepts, interpreter rejects: {e}"),
-    }
+/// Engine agreement for the named format, via the shared fuel-bounded
+/// engine table in `common`.
+fn assert_agreement(name: &str, input: &[u8]) {
+    let f = common::format(name);
+    common::assert_engines_agree(f.name, f.grammar, f.vm, input);
 }
 
 proptest! {
@@ -80,7 +37,7 @@ proptest! {
         let mut bytes =
             ipg_corpus::zip::generate(&ipg_corpus::zip::Config { n_entries, payload_len, method, seed }).bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("zip", ipg_formats::zip::grammar(), ipg_formats::zip::vm(), &bytes);
+        assert_agreement("zip", &bytes);
     }
 
     #[test]
@@ -98,12 +55,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement(
-            "zip_inflate",
-            ipg_formats::zip::grammar_inflate(),
-            ipg_formats::zip::vm_inflate(),
-            &bytes,
-        );
+        assert_agreement("zip_inflate", &bytes);
     }
 
     #[test]
@@ -119,7 +71,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("dns", ipg_formats::dns::grammar(), ipg_formats::dns::vm(), &bytes);
+        assert_agreement("dns", &bytes);
     }
 
     #[test]
@@ -135,7 +87,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("png", ipg_formats::png::grammar(), ipg_formats::png::vm(), &bytes);
+        assert_agreement("png", &bytes);
     }
 
     #[test]
@@ -150,7 +102,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("gif", ipg_formats::gif::grammar(), ipg_formats::gif::vm(), &bytes);
+        assert_agreement("gif", &bytes);
     }
 
     #[test]
@@ -167,7 +119,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("elf", ipg_formats::elf::grammar(), ipg_formats::elf::vm(), &bytes);
+        assert_agreement("elf", &bytes);
     }
 
     #[test]
@@ -182,12 +134,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement(
-            "ipv4udp",
-            ipg_formats::ipv4udp::grammar(),
-            ipg_formats::ipv4udp::vm(),
-            &bytes,
-        );
+        assert_agreement("ipv4udp", &bytes);
     }
 
     #[test]
@@ -202,7 +149,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("pe", ipg_formats::pe::grammar(), ipg_formats::pe::vm(), &bytes);
+        assert_agreement("pe", &bytes);
     }
 
     #[test]
@@ -217,7 +164,7 @@ proptest! {
         })
         .bytes;
         mutate(&mut bytes, kind, pos, value);
-        assert_agreement("pdf", ipg_formats::pdf::grammar(), ipg_formats::pdf::vm(), &bytes);
+        assert_agreement("pdf", &bytes);
     }
 }
 
@@ -226,60 +173,9 @@ proptest! {
 /// failures show up even with a single test filter.
 #[test]
 fn vm_agrees_on_pristine_corpus_defaults() {
-    assert_agreement(
-        "zip",
-        ipg_formats::zip::grammar(),
-        ipg_formats::zip::vm(),
-        &ipg_corpus::zip::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "zip_inflate",
-        ipg_formats::zip::grammar_inflate(),
-        ipg_formats::zip::vm_inflate(),
-        &ipg_corpus::zip::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "dns",
-        ipg_formats::dns::grammar(),
-        ipg_formats::dns::vm(),
-        &ipg_corpus::dns::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "png",
-        ipg_formats::png::grammar(),
-        ipg_formats::png::vm(),
-        &ipg_corpus::png::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "gif",
-        ipg_formats::gif::grammar(),
-        ipg_formats::gif::vm(),
-        &ipg_corpus::gif::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "elf",
-        ipg_formats::elf::grammar(),
-        ipg_formats::elf::vm(),
-        &ipg_corpus::elf::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "ipv4udp",
-        ipg_formats::ipv4udp::grammar(),
-        ipg_formats::ipv4udp::vm(),
-        &ipg_corpus::ipv4udp::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "pe",
-        ipg_formats::pe::grammar(),
-        ipg_formats::pe::vm(),
-        &ipg_corpus::pe::generate(&Default::default()).bytes,
-    );
-    assert_agreement(
-        "pdf",
-        ipg_formats::pdf::grammar(),
-        ipg_formats::pdf::vm(),
-        &ipg_corpus::pdf::generate(&Default::default()).bytes,
-    );
+    for f in common::formats() {
+        assert_agreement(f.name, &common::default_corpus_input(f.name));
+    }
 }
 
 #[test]
@@ -291,9 +187,7 @@ fn vm_agrees_on_every_truncation_of_a_dns_message() {
         seed: 42,
     })
     .bytes;
-    let g = ipg_formats::dns::grammar();
-    let vm = ipg_formats::dns::vm();
     for cut in 0..bytes.len() {
-        assert_agreement("dns-truncated", g, vm, &bytes[..cut]);
+        assert_agreement("dns", &bytes[..cut]);
     }
 }
