@@ -18,43 +18,11 @@
 //! binary is itself the conformance gate. Throughput (generations/s,
 //! mutants/s) is informational.
 
+use bench::harness::{Cli, Report};
 use ipg_core::interp::vm::VmParser;
 use ipg_core::interp::Parser;
 use ipg_gen::{mutate::mutate, GenConfig, Generator};
-use std::fmt::Write as _;
 use std::time::Instant;
-
-struct Args {
-    quick: bool,
-    out: String,
-    corpus_dir: Option<String>,
-    seed: u64,
-}
-
-fn parse_args() -> Args {
-    let mut args =
-        Args { quick: false, out: "BENCH_conform.json".into(), corpus_dir: None, seed: 0 };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => args.quick = true,
-            "--out" => args.out = it.next().expect("--out requires a path"),
-            "--corpus-dir" => {
-                args.corpus_dir = Some(it.next().expect("--corpus-dir requires a path"))
-            }
-            "--seed" => {
-                args.seed = it.next().expect("--seed requires a value").parse().expect("seed u64")
-            }
-            other => {
-                eprintln!(
-                    "unknown flag `{other}` (expected --quick / --out PATH / --corpus-dir DIR / --seed N)"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    args
-}
 
 #[derive(Default)]
 struct Row {
@@ -76,11 +44,13 @@ struct Row {
 const FUEL: u64 = 50_000_000;
 
 fn main() {
-    let args = parse_args();
+    let cli = Cli::parse("BENCH_conform.json", &["--corpus-dir", "--seed"]);
+    let base_seed: u64 = cli.value("--seed").map_or(0, |s| s.parse().expect("seed u64"));
+    let corpus_dir = cli.value("--corpus-dir").map(str::to_owned);
     // Full mode sweeps twice the mutants of `tests/conformance.rs` (whose
     // 64 x 4 exactly meets the acceptance floor): the binary is the deeper,
     // seed-steerable gate; the test is the fast always-on one.
-    let (n_gens, n_mutants) = if args.quick { (12u64, 4u64) } else { (64, 8) };
+    let (n_gens, n_mutants) = if cli.quick { (12u64, 4u64) } else { (64, 8) };
 
     let mut rows: Vec<Row> = Vec::new();
     let mut failed = false;
@@ -93,10 +63,10 @@ fn main() {
         let t_gen = Instant::now();
         let mut inputs = Vec::with_capacity(n_gens as usize);
         for i in 0..n_gens {
-            let seed = args.seed + i;
+            let seed = base_seed + i;
             match generator.generate_valid(seed) {
                 Some(bytes) => {
-                    if let Some(dir) = &args.corpus_dir {
+                    if let Some(dir) = &corpus_dir {
                         let d = format!("{dir}/{name}");
                         let _ = std::fs::create_dir_all(&d);
                         let _ = std::fs::write(format!("{d}/seed_{seed}.bin"), &bytes);
@@ -170,19 +140,14 @@ fn main() {
         rows.push(row);
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ipg-bench-conform/1\",");
-    let _ = writeln!(json, "  \"quick\": {},", args.quick);
-    let _ = writeln!(json, "  \"base_seed\": {},", args.seed);
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"grammar\": \"{}\", \"generations\": {}, \"gen_failures\": {}, \
+    let mut report = Report::new("ipg-bench-conform/1", cli.quick);
+    report.field("base_seed", base_seed);
+    report.results(rows.iter().map(|r| {
+        format!(
+            "{{\"grammar\": \"{}\", \"generations\": {}, \"gen_failures\": {}, \
              \"avg_len\": {:.0}, \"gens_per_s\": {:.0}, \"mutants\": {}, \
              \"mutants_accepted\": {}, \"mutants_per_s\": {:.0}, \
-             \"baseline_probes\": {}, \"baseline_accepts\": {}, \"divergences\": {}}}{}",
+             \"baseline_probes\": {}, \"baseline_accepts\": {}, \"divergences\": {}}}",
             r.grammar,
             r.generations,
             r.gen_failures,
@@ -194,14 +159,10 @@ fn main() {
             r.baseline_probes,
             r.baseline_accepts,
             r.divergences,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"ok\": {}", !failed);
-    json.push_str("}\n");
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
-    println!("wrote {}", args.out);
+        )
+    }));
+    report.field("ok", !failed);
+    report.write(&cli.out);
 
     if failed {
         eprintln!("conformance harness found failures (see report)");

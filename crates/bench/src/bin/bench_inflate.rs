@@ -13,47 +13,8 @@
 //! output for the fast and seed decoders, derived speedups, and
 //! interpreter steps/second over the `zip_inflate` grammar.
 
+use bench::harness::{assert_json_literal, measure, Cli, Report};
 use ipg_core::interp::Parser;
-use std::fmt::Write as _;
-use std::time::{Duration, Instant};
-
-struct Args {
-    quick: bool,
-    out: String,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args { quick: false, out: "BENCH_inflate.json".into() };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => args.quick = true,
-            "--out" => args.out = it.next().expect("--out requires a path"),
-            other => {
-                eprintln!("unknown flag `{other}` (expected --quick / --out PATH)");
-                std::process::exit(2);
-            }
-        }
-    }
-    args
-}
-
-/// Mean seconds per call: warm up, then batch until the budget elapses.
-fn measure<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
-    let warm_start = Instant::now();
-    let mut warm_iters = 0u64;
-    while warm_start.elapsed() < budget / 4 || warm_iters == 0 {
-        f();
-        warm_iters += 1;
-    }
-    let mut iters = 0u64;
-    let start = Instant::now();
-    while start.elapsed() < budget {
-        f();
-        iters += 1;
-    }
-    start.elapsed().as_secs_f64() / iters as f64
-}
 
 struct Row {
     name: String,
@@ -63,13 +24,9 @@ struct Row {
     bytes_in: usize,
 }
 
-fn json_escape_is_unneeded(s: &str) -> bool {
-    s.chars().all(|c| c.is_ascii_alphanumeric() || "/_.-".contains(c))
-}
-
 fn main() {
-    let args = parse_args();
-    let budget = if args.quick { Duration::from_millis(60) } else { Duration::from_millis(1000) };
+    let cli = Cli::parse("BENCH_inflate.json", &[]);
+    let budget = cli.budget(60, 1000);
 
     let mut workloads: Vec<(String, Vec<u8>)> = vec![
         ("stored/64k".into(), bench::deflate_stored_stream(64 * 1024)),
@@ -145,50 +102,41 @@ fn main() {
         }
     };
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ipg-bench-inflate/1\",");
-    let _ = writeln!(json, "  \"quick\": {},", args.quick);
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        assert!(json_escape_is_unneeded(&r.name), "workload names stay JSON-literal");
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{}\", \"impl\": \"{}\", \"mb_per_s\": {:.2}, \
-             \"bytes_out\": {}, \"bytes_in\": {}}}{}",
-            r.name,
-            r.implementation,
-            r.mb_per_s,
-            r.bytes_out,
-            r.bytes_in,
-            if i + 1 < rows.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"speedup\": {{");
-    let _ = writeln!(json, "    \"fixed/64k\": {:.2},", speedup("fixed/64k"));
-    let _ = writeln!(json, "    \"dynamic/golden_2048\": {:.2},", speedup("dynamic/golden_2048"));
-    let _ =
-        writeln!(json, "    \"dynamic/golden_100000\": {:.2}", speedup("dynamic/golden_100000"));
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"zip_inflate_interp\": {{");
-    let _ = writeln!(json, "    \"steps\": {},", stats.steps);
-    let _ = writeln!(json, "    \"memo_hits\": {},", stats.memo_hits);
-    let _ = writeln!(json, "    \"memo_entries\": {},", stats.memo_entries);
-    let _ = writeln!(json, "    \"steps_per_s\": {:.0},", steps_per_s);
-    let _ = writeln!(json, "    \"archive_mb_per_s\": {:.2}", archive_mb_per_s);
-    let _ = writeln!(json, "  }}");
-    json.push_str("}\n");
-
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
-    println!("wrote {}", args.out);
+    let mut report = Report::new("ipg-bench-inflate/1", cli.quick);
+    report.results(rows.iter().map(|r| {
+        assert_json_literal(&r.name);
+        format!(
+            "{{\"name\": \"{}\", \"impl\": \"{}\", \"mb_per_s\": {:.2}, \
+             \"bytes_out\": {}, \"bytes_in\": {}}}",
+            r.name, r.implementation, r.mb_per_s, r.bytes_out, r.bytes_in,
+        )
+    }));
+    report.field(
+        "speedup",
+        format!(
+            "{{\"fixed/64k\": {:.2}, \"dynamic/golden_2048\": {:.2}, \
+             \"dynamic/golden_100000\": {:.2}}}",
+            speedup("fixed/64k"),
+            speedup("dynamic/golden_2048"),
+            speedup("dynamic/golden_100000"),
+        ),
+    );
+    report.field(
+        "zip_inflate_interp",
+        format!(
+            "{{\"steps\": {}, \"memo_hits\": {}, \"memo_entries\": {}, \
+             \"steps_per_s\": {:.0}, \"archive_mb_per_s\": {:.2}}}",
+            stats.steps, stats.memo_hits, stats.memo_entries, steps_per_s, archive_mb_per_s,
+        ),
+    );
+    report.write(&cli.out);
 
     let s = speedup("dynamic/golden_2048");
     if s < 3.0 {
         eprintln!("WARNING: dynamic/golden_2048 speedup {s:.2}x is below the 3x target");
         // Only full runs enforce the target; quick mode is a smoke test
         // and shared CI runners time too noisily to gate on.
-        if !args.quick {
+        if !cli.quick {
             std::process::exit(1);
         }
     }

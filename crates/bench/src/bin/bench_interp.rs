@@ -19,49 +19,9 @@
 //! and in the differential test suite), so the steps/s ratio is exactly
 //! the wall-clock ratio on the same work.
 
-use ipg_core::check::Grammar;
+use bench::harness::{measure, Cli, Report};
 use ipg_core::interp::vm::VmParser;
 use ipg_core::interp::Parser;
-use std::fmt::Write as _;
-use std::time::{Duration, Instant};
-
-struct Args {
-    quick: bool,
-    out: String,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args { quick: false, out: "BENCH_interp.json".into() };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => args.quick = true,
-            "--out" => args.out = it.next().expect("--out requires a path"),
-            other => {
-                eprintln!("unknown flag `{other}` (expected --quick / --out PATH)");
-                std::process::exit(2);
-            }
-        }
-    }
-    args
-}
-
-/// Mean seconds per call: warm up, then batch until the budget elapses.
-fn measure<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
-    let warm_start = Instant::now();
-    let mut warm_iters = 0u64;
-    while warm_start.elapsed() < budget / 4 || warm_iters == 0 {
-        f();
-        warm_iters += 1;
-    }
-    let mut iters = 0u64;
-    let start = Instant::now();
-    while start.elapsed() < budget {
-        f();
-        iters += 1;
-    }
-    start.elapsed().as_secs_f64() / iters as f64
-}
 
 struct Row {
     grammar: &'static str,
@@ -75,27 +35,20 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args();
-    let budget = if args.quick { Duration::from_millis(40) } else { Duration::from_millis(700) };
+    let cli = Cli::parse("BENCH_interp.json", &[]);
+    let budget = cli.budget(40, 700);
 
-    // One workload per corpus grammar, sized so grammar evaluation (not
-    // fixture setup) dominates. `zip_inflate` uses the many-small-entries
-    // archive: per entry the grammar walks headers, chains, and attribute
-    // arithmetic, while the DEFLATE blackbox adds a small fixed cost.
-    let workloads: Vec<(&'static str, &'static Grammar, Vec<u8>)> = vec![
-        ("zip", ipg_formats::zip::grammar(), bench::zip_with_entries(16)),
-        ("dns", ipg_formats::dns::grammar(), bench::dns_with_answers(16)),
-        ("png", ipg_formats::png::grammar(), bench::png_with_chunks(16)),
-        ("gif", ipg_formats::gif::grammar(), bench::gif_with_frames(8)),
-        ("elf", ipg_formats::elf::grammar(), bench::elf_with_sections(8)),
-        ("ipv4udp", ipg_formats::ipv4udp::grammar(), bench::udp_with_payload(1024)),
-        ("pe", ipg_formats::pe::grammar(), bench::pe_with_sections(8)),
-        ("pdf", ipg_formats::pdf::grammar(), bench::pdf_with_objects(8)),
-        ("zip_inflate", ipg_formats::zip::grammar_inflate(), bench::zip_many_small_entries(64)),
-    ];
+    // The shared engine-bound workload per corpus grammar (see
+    // `bench::grammar_workloads`); `zip_inflate` uses the
+    // many-small-entries archive, where per entry the grammar walks
+    // headers, chains, and attribute arithmetic while the DEFLATE
+    // blackbox adds a small fixed cost.
+    let grammars = ipg_formats::all_grammars();
+    let workloads: Vec<(&'static str, Vec<u8>)> = bench::grammar_workloads();
 
     let mut rows: Vec<Row> = Vec::new();
-    for (name, g, input) in &workloads {
+    for (name, input) in &workloads {
+        let g = grammars.iter().find(|(n, _)| n == name).expect("workload names match").1;
         let interp = Parser::new(g);
         let vm = VmParser::new(g);
         let (ri, si) = interp.parse_with_stats(input);
@@ -130,18 +83,16 @@ fn main() {
         rows.push(row);
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ipg-bench-interp/1\",");
-    let _ = writeln!(json, "  \"quick\": {},", args.quick);
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"grammar\": \"{}\", \"steps\": {}, \"bytes\": {}, \
+    let zip_inflate_speedup =
+        rows.iter().find(|r| r.grammar == "zip_inflate").expect("zip_inflate row").speedup;
+
+    let mut report = Report::new("ipg-bench-interp/1", cli.quick);
+    report.results(rows.iter().map(|r| {
+        format!(
+            "{{\"grammar\": \"{}\", \"steps\": {}, \"bytes\": {}, \
              \"interp\": {{\"steps_per_s\": {:.0}, \"mb_per_s\": {:.2}}}, \
              \"vm\": {{\"steps_per_s\": {:.0}, \"mb_per_s\": {:.2}}}, \
-             \"speedup\": {:.2}}}{}",
+             \"speedup\": {:.2}}}",
             r.grammar,
             r.steps,
             r.bytes,
@@ -150,22 +101,18 @@ fn main() {
             r.vm_steps_per_s,
             r.vm_mb_per_s,
             r.speedup,
-            if i + 1 < rows.len() { "," } else { "" }
+        )
+    }));
+    report.field("zip_inflate_speedup", format!("{zip_inflate_speedup:.2}"));
+    report.write(&cli.out);
+
+    if zip_inflate_speedup < 3.0 {
+        eprintln!(
+            "WARNING: zip_inflate VM speedup {zip_inflate_speedup:.2}x is below the 3x target"
         );
-    }
-    let _ = writeln!(json, "  ],");
-    let zi = rows.iter().find(|r| r.grammar == "zip_inflate").expect("zip_inflate row");
-    let _ = writeln!(json, "  \"zip_inflate_speedup\": {:.2}", zi.speedup);
-    json.push_str("}\n");
-
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
-    println!("wrote {}", args.out);
-
-    if zi.speedup < 3.0 {
-        eprintln!("WARNING: zip_inflate VM speedup {:.2}x is below the 3x target", zi.speedup);
         // Only full runs enforce the target; quick mode is a smoke test
         // and shared CI runners time too noisily to gate on.
-        if !args.quick {
+        if !cli.quick {
             std::process::exit(1);
         }
     }

@@ -1,0 +1,231 @@
+//! Emits `BENCH_serve.json`: the streaming/service perf record — per
+//! grammar, the overhead of chunked streaming sessions versus one-shot VM
+//! parses, and the aggregate throughput scaling of the `ipg-serve` worker
+//! pool from 1 to 4 workers on a mixed batch workload.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_serve [-- --quick] [-- --out PATH]
+//! [-- --chunk N]`
+//!
+//! * `--quick` — CI-smoke scale (smaller budgets and batches).
+//! * `--out PATH` — report path (default `BENCH_serve.json`).
+//! * `--chunk N` — streaming chunk size in bytes (default 4096,
+//!   wire-realistic).
+//!
+//! Schema (`ipg-bench-serve/1`): one result per grammar with one-shot and
+//! chunked MB/s plus the derived overhead percentage and suspension
+//! counts, then the batch-scaling block. Gates (full mode only, warnings
+//! in quick mode):
+//!
+//! * bytes-weighted *aggregate* streaming overhead ≤ 25% versus the
+//!   one-shot VM (per-grammar rows are recorded but not individually
+//!   gated — µs-scale parses carry a fixed per-session cost that
+//!   dominates their individual ratios);
+//! * ≥ 3x aggregate throughput from 1 to 4 workers — enforced only when
+//!   the machine has enough cores to make that physically possible
+//!   (recorded in the `scaling_enforced` field either way).
+
+use bench::harness::{measure_best, Cli, Report};
+use ipg_core::interp::vm::{Outcome, VmParser};
+use ipg_serve::{Config, Response, Server};
+use std::time::Instant;
+
+struct GrammarRow {
+    grammar: &'static str,
+    inputs: usize,
+    bytes: usize,
+    oneshot_mb_per_s: f64,
+    chunked_mb_per_s: f64,
+    overhead_pct: f64,
+    suspends_per_parse: f64,
+}
+
+/// Streams every input through a fresh session in `chunk`-byte pieces.
+fn parse_chunked(vm: &VmParser<'_>, input: &[u8], chunk: usize) -> u64 {
+    let mut session = vm.streaming();
+    for piece in input.chunks(chunk.max(1)) {
+        match session.feed(piece) {
+            Outcome::NeedInput { .. } => {}
+            Outcome::Error(e) => panic!("benchmark input rejected mid-stream: {e}"),
+            Outcome::Done(_) => unreachable!("feed never completes"),
+        }
+    }
+    match session.finish() {
+        Outcome::Done(tree) => {
+            std::hint::black_box(&tree);
+            session.suspends()
+        }
+        Outcome::Error(e) => panic!("benchmark input rejected: {e}"),
+        Outcome::NeedInput { .. } => unreachable!("finish never needs input"),
+    }
+}
+
+/// Wall-clock seconds to complete `jobs` batch parses on a pool with
+/// `workers` workers.
+fn batch_run(workers: usize, jobs: &[(&'static str, Vec<u8>)]) -> f64 {
+    let server = Server::start(Config { workers, ..Config::default() });
+    // Warm: one pass primes queues, caches, and thread startup.
+    for (name, input) in jobs.iter().take(workers.max(4)) {
+        server.parse(name, input.clone()).expect("warmup parse");
+    }
+    let start = Instant::now();
+    let pending: Vec<_> = jobs
+        .iter()
+        .map(|(name, input)| server.parse_async(name, input.clone()).expect("submit"))
+        .collect();
+    for rx in pending {
+        match rx.recv().expect("worker answers") {
+            Response::Done(_) => {}
+            other => panic!("batch job failed: {other:?}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+    elapsed
+}
+
+fn main() {
+    let cli = Cli::parse("BENCH_serve.json", &["--chunk"]);
+    let chunk: usize = cli.value("--chunk").map_or(4096, |s| s.parse().expect("chunk usize"));
+    let budget = cli.budget(40, 500);
+
+    let vms = ipg_formats::all_vms();
+    let grammars = ipg_formats::all_grammars();
+    // Built once: the corpus generators behind these fixtures are
+    // startup cost, not measurement.
+    let workloads = bench::grammar_workloads();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Per-grammar streaming overhead: the heavy shared workload plus
+    // generated inputs, all parsed one-shot and in chunked sessions.
+    let n_gen: u64 = if cli.quick { 2 } else { 6 };
+    let mut rows = Vec::new();
+    let mut worst_overhead = f64::MIN;
+    let mut total_oneshot_s = 0.0f64;
+    let mut total_chunked_s = 0.0f64;
+    for (name, workload) in &workloads {
+        let name = *name;
+        let vm = vms.iter().find(|(n, _)| *n == name).expect("registry names match").1;
+        let grammar = grammars.iter().find(|(n, _)| *n == name).expect("grammar").1;
+        let mut inputs: Vec<Vec<u8>> = vec![workload.clone()];
+        let generator = ipg_gen::Generator::new(grammar);
+        for seed in 0..n_gen {
+            inputs.push(
+                generator
+                    .generate_valid(seed)
+                    .unwrap_or_else(|| panic!("{name}: generation failed for seed {seed}")),
+            );
+        }
+        let bytes: usize = inputs.iter().map(Vec::len).sum();
+
+        // Best-of-3: the overhead ratio of two µs-scale means is noise on
+        // a shared box; minima compare true costs.
+        let rounds = 3;
+        let t_oneshot = measure_best(rounds, budget, || {
+            for input in &inputs {
+                std::hint::black_box(vm.parse(std::hint::black_box(input)).expect("valid input"));
+            }
+        });
+        let mut suspends = 0u64;
+        let t_chunked = measure_best(rounds, budget, || {
+            suspends = 0;
+            for input in &inputs {
+                suspends += parse_chunked(vm, std::hint::black_box(input), chunk);
+            }
+        });
+        let overhead_pct = (t_chunked / t_oneshot - 1.0) * 100.0;
+        worst_overhead = worst_overhead.max(overhead_pct);
+        total_oneshot_s += t_oneshot;
+        total_chunked_s += t_chunked;
+        let row = GrammarRow {
+            grammar: name,
+            inputs: inputs.len(),
+            bytes,
+            oneshot_mb_per_s: bytes as f64 / t_oneshot / 1e6,
+            chunked_mb_per_s: bytes as f64 / t_chunked / 1e6,
+            overhead_pct,
+            suspends_per_parse: suspends as f64 / inputs.len() as f64,
+        };
+        println!(
+            "{name:<12} one-shot {:>8.1} MB/s  chunked({chunk}B) {:>8.1} MB/s  \
+             overhead {:>6.2}%  suspends/parse {:>5.1}",
+            row.oneshot_mb_per_s, row.chunked_mb_per_s, row.overhead_pct, row.suspends_per_parse
+        );
+        rows.push(row);
+    }
+
+    // Pool scaling: a mixed batch of every grammar's heavy workload,
+    // repeated until the batch is long enough to saturate four workers.
+    let reps = if cli.quick { 4 } else { 16 };
+    let jobs: Vec<(&'static str, Vec<u8>)> = workloads
+        .iter()
+        .flat_map(|(name, input)| (0..reps).map(|_| (*name, input.clone())))
+        .collect();
+    let t1 = batch_run(1, &jobs);
+    let t4 = batch_run(4, &jobs);
+    let jobs_per_s_1 = jobs.len() as f64 / t1;
+    let jobs_per_s_4 = jobs.len() as f64 / t4;
+    let scaling = t1 / t4;
+    // 4 workers plus the submitting thread need 5 hardware threads to
+    // show real scaling; below that the number measures the machine, not
+    // the pool.
+    let scaling_enforced = !cli.quick && cores >= 5;
+    println!(
+        "batch x{}: 1 worker {:>7.1} jobs/s, 4 workers {:>7.1} jobs/s, scaling {:.2}x \
+         ({} cores{})",
+        jobs.len(),
+        jobs_per_s_1,
+        jobs_per_s_4,
+        scaling,
+        cores,
+        if scaling_enforced { "" } else { ", scaling gate not enforced" }
+    );
+
+    let mut report = Report::new("ipg-bench-serve/1", cli.quick);
+    report.field("chunk_bytes", chunk);
+    report.field("cores", cores);
+    report.results(rows.iter().map(|r| {
+        format!(
+            "{{\"grammar\": \"{}\", \"inputs\": {}, \"bytes\": {}, \
+             \"oneshot_mb_per_s\": {:.2}, \"chunked_mb_per_s\": {:.2}, \
+             \"overhead_pct\": {:.2}, \"suspends_per_parse\": {:.1}}}",
+            r.grammar,
+            r.inputs,
+            r.bytes,
+            r.oneshot_mb_per_s,
+            r.chunked_mb_per_s,
+            r.overhead_pct,
+            r.suspends_per_parse,
+        )
+    }));
+    report.field(
+        "batch",
+        format!(
+            "{{\"jobs\": {}, \"workers_1_jobs_per_s\": {:.1}, \"workers_4_jobs_per_s\": {:.1}, \
+             \"scaling_x\": {:.2}}}",
+            jobs.len(),
+            jobs_per_s_1,
+            jobs_per_s_4,
+            scaling,
+        ),
+    );
+    let aggregate_overhead = (total_chunked_s / total_oneshot_s - 1.0) * 100.0;
+    report.field("worst_overhead_pct", format!("{worst_overhead:.2}"));
+    report.field("aggregate_overhead_pct", format!("{aggregate_overhead:.2}"));
+    report.field("scaling_enforced", scaling_enforced);
+    report.write(&cli.out);
+
+    let mut failed = false;
+    if aggregate_overhead > 25.0 {
+        eprintln!(
+            "WARNING: aggregate streaming overhead {aggregate_overhead:.2}% exceeds the 25% budget"
+        );
+        failed = !cli.quick;
+    }
+    if scaling < 3.0 {
+        eprintln!("WARNING: 1→4 worker scaling {scaling:.2}x is below the 3x target");
+        failed = failed || scaling_enforced;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

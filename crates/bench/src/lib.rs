@@ -18,6 +18,8 @@
 
 use ipg_corpus::{dns, elf, gif, ipv4udp, pdf, pe, zip};
 
+pub mod harness;
+
 /// Compiled recursive-descent parsers emitted by `build.rs` through
 /// `ipg-core::codegen` — the paper's generated-C++ analogue. Each module
 /// exposes `parse(input) -> Option<Node>`.
@@ -119,6 +121,25 @@ pub fn png_with_chunks(n: usize) -> Vec<u8> {
 /// small fixed cost per entry.
 pub fn zip_many_small_entries(n: usize) -> Vec<u8> {
     zip::generate(&zip::Config { n_entries: n, payload_len: 128, ..Default::default() }).bytes
+}
+
+/// One engine-bound workload per corpus grammar, keyed by the
+/// `ipg_formats::all_grammars`/`all_vms` registry names. Sized so grammar
+/// evaluation (not fixture setup) dominates; shared by `bench_interp`
+/// (engine-vs-engine) and `bench_serve` (streaming overhead and pool
+/// scaling) so their numbers describe the same work.
+pub fn grammar_workloads() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("zip", zip_with_entries(16)),
+        ("dns", dns_with_answers(16)),
+        ("png", png_with_chunks(16)),
+        ("gif", gif_with_frames(8)),
+        ("elf", elf_with_sections(8)),
+        ("ipv4udp", udp_with_payload(1024)),
+        ("pe", pe_with_sections(8)),
+        ("pdf", pdf_with_objects(8)),
+        ("zip_inflate", zip_many_small_entries(64)),
+    ]
 }
 
 /// Names of the zlib-produced golden DEFLATE fixtures shipped with

@@ -32,6 +32,7 @@ use crate::check::{CAlt, CExpr, CInterval, CRuleBody, CTermKind, Grammar, NtId};
 use crate::env::wellknown;
 use crate::syntax::BinOp;
 use std::collections::HashSet;
+use std::fmt;
 
 /// Streamability verdict for a whole grammar.
 #[derive(Clone, Debug)]
@@ -53,9 +54,8 @@ pub struct RuleStreamability {
     pub blockers: Vec<String>,
 }
 
-/// Analyzes `grammar` for streamability (see the module docs).
-pub fn stream_analysis(grammar: &Grammar) -> StreamReport {
-    // Reachable rules from the start symbol.
+/// Nonterminals reachable from the start symbol.
+fn reachable_rules(grammar: &Grammar) -> HashSet<u32> {
     let mut reachable: HashSet<u32> = HashSet::new();
     let mut stack = vec![grammar.start_nt()];
     while let Some(nt) = stack.pop() {
@@ -78,6 +78,12 @@ pub fn stream_analysis(grammar: &Grammar) -> StreamReport {
             }
         }
     }
+    reachable
+}
+
+/// Analyzes `grammar` for streamability (see the module docs).
+pub fn stream_analysis(grammar: &Grammar) -> StreamReport {
+    let reachable = reachable_rules(grammar);
 
     let mut rules = Vec::new();
     let mut all_ok = true;
@@ -299,6 +305,182 @@ fn const_fold(e: &CExpr) -> Option<i64> {
     }
 }
 
+/// What a streaming session must hold back before a grammar's parse can
+/// run to completion — the per-grammar "anchor requirement" consumed by
+/// [`crate::interp::vm::Session`].
+///
+/// `EOI` is the only construct that makes an IPG parse depend on input
+/// that has not arrived yet: every other interval endpoint is computed
+/// from already-parsed bytes. The classification is purely syntactic over
+/// the rules reachable from the start symbol:
+///
+/// * **[`AnchorRequirement::Prefix`]** — no reachable expression mentions
+///   `EOI` at all. The machine can run as bytes arrive and only the final
+///   bookkeeping (the root's own `EOI`/`start` attributes) waits for
+///   end-of-input.
+/// * **[`AnchorRequirement::Suffix`]** — every `EOI` mention is an
+///   interval endpoint of the shape `EOI - c` (constant `c ≥ 0`, plain
+///   `EOI` being `c = 0`). The parse is anchored a bounded distance from
+///   the end: nothing that consults `EOI` can run before the final
+///   `k = max c` bytes (and with them the total length) are known, but
+///   everything else streams.
+/// * **[`AnchorRequirement::FullLength`]** — `EOI` feeds attribute or
+///   predicate arithmetic (`EOI / 3`, `{n = EOI}`), so interval shapes
+///   anywhere in the grammar can depend on the total length; the session
+///   must hold the whole input before those rules run.
+///
+/// The analysis is conservative in the same direction as
+/// [`stream_analysis`]: it may over-require (classify a streamable
+/// grammar as `FullLength`) but never under-requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnchorRequirement {
+    /// No reachable rule consults `EOI`.
+    Prefix,
+    /// `EOI` appears only as `EOI - c` interval endpoints; `k` is the
+    /// largest such `c` (the final `k` bytes anchor the parse).
+    Suffix {
+        /// Maximum constant distance from the end used as an anchor.
+        k: usize,
+    },
+    /// `EOI` participates in general arithmetic; the full input length is
+    /// required.
+    FullLength,
+}
+
+impl AnchorRequirement {
+    /// Whether the grammar can make parsing progress before end-of-input.
+    pub fn is_prefix_streamable(&self) -> bool {
+        matches!(self, AnchorRequirement::Prefix)
+    }
+}
+
+impl fmt::Display for AnchorRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnchorRequirement::Prefix => write!(f, "prefix-streamable"),
+            AnchorRequirement::Suffix { k } => write!(f, "suffix-anchored (final {k} bytes)"),
+            AnchorRequirement::FullLength => write!(f, "full-length"),
+        }
+    }
+}
+
+/// Computes the [`AnchorRequirement`] of `grammar` (see the enum docs).
+pub fn anchor_requirement(grammar: &Grammar) -> AnchorRequirement {
+    // A non-rule start symbol receives the whole input directly (builtins
+    // read "their interval", which for the root is everything).
+    if !matches!(grammar.rule(grammar.start_nt()).body, CRuleBody::Alts(_)) {
+        return AnchorRequirement::FullLength;
+    }
+    let reachable = reachable_rules(grammar);
+    let mut acc = AnchorRequirement::Prefix;
+    for nt in 0..grammar.nt_count() as u32 {
+        if !reachable.contains(&nt) {
+            continue;
+        }
+        if let CRuleBody::Alts(alts) = &grammar.rule(NtId(nt)).body {
+            for alt in alts {
+                for term in &alt.terms {
+                    anchor_of_term(&term.kind, &mut acc);
+                    if acc == AnchorRequirement::FullLength {
+                        return acc;
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn anchor_of_term(kind: &CTermKind, acc: &mut AnchorRequirement) {
+    match kind {
+        CTermKind::Symbol { interval, .. }
+        | CTermKind::Terminal { interval, .. }
+        | CTermKind::Star { interval, .. } => anchor_of_interval(interval, acc),
+        CTermKind::AttrDef { expr, .. } | CTermKind::Predicate { expr } => {
+            anchor_of_value_expr(expr, acc)
+        }
+        CTermKind::Array { from, to, interval, .. } => {
+            anchor_of_value_expr(from, acc);
+            anchor_of_value_expr(to, acc);
+            anchor_of_interval(interval, acc);
+        }
+        CTermKind::Switch { cases } => {
+            for case in cases {
+                if let Some(cond) = &case.cond {
+                    anchor_of_value_expr(cond, acc);
+                }
+                anchor_of_interval(&case.interval, acc);
+            }
+        }
+    }
+}
+
+fn anchor_of_interval(interval: &CInterval, acc: &mut AnchorRequirement) {
+    for endpoint in [&interval.lo, &interval.hi] {
+        match eoi_anchor_distance(endpoint) {
+            // No EOI in this endpoint: no requirement.
+            Some(None) => {}
+            // `EOI - c`: a suffix anchor `c` bytes from the end.
+            Some(Some(c)) => bump_suffix(acc, c),
+            // EOI in a non-anchor shape.
+            None => *acc = AnchorRequirement::FullLength,
+        }
+    }
+}
+
+fn anchor_of_value_expr(e: &CExpr, acc: &mut AnchorRequirement) {
+    if mentions_eoi(e) {
+        *acc = AnchorRequirement::FullLength;
+    }
+}
+
+fn bump_suffix(acc: &mut AnchorRequirement, k: usize) {
+    match acc {
+        AnchorRequirement::Prefix => *acc = AnchorRequirement::Suffix { k },
+        AnchorRequirement::Suffix { k: cur } => *cur = (*cur).max(k),
+        AnchorRequirement::FullLength => {}
+    }
+}
+
+/// Classifies an interval endpoint with respect to `EOI`:
+///
+/// * `Some(None)` — the expression never mentions `EOI`;
+/// * `Some(Some(c))` — the expression is `EOI - c` up to constant folding
+///   (plain `EOI` is `c = 0`; `c < 0`, i.e. an endpoint past the end, is
+///   reported as `c = 0` since it needs exactly the length);
+/// * `None` — `EOI` appears in a shape that is not `EOI ± constant`.
+fn eoi_anchor_distance(e: &CExpr) -> Option<Option<usize>> {
+    if !mentions_eoi(e) {
+        return Some(None);
+    }
+    match linear_eoi(e) {
+        Some((1, c)) => Some(Some((-c).max(0) as usize)),
+        _ => None,
+    }
+}
+
+/// Folds `e` into `coeff * EOI + c` when it has that shape.
+fn linear_eoi(e: &CExpr) -> Option<(i64, i64)> {
+    match e {
+        CExpr::Eoi => Some((1, 0)),
+        CExpr::Num(n) => Some((0, *n)),
+        CExpr::Bin(op, a, b) => {
+            let (ca, ka) = linear_eoi(a)?;
+            let (cb, kb) = linear_eoi(b)?;
+            match op {
+                BinOp::Add => Some((ca + cb, ka.wrapping_add(kb))),
+                BinOp::Sub => Some((ca - cb, ka.wrapping_sub(kb))),
+                BinOp::Mul if ca == 0 && cb == 0 => Some((0, ka.wrapping_mul(kb))),
+                BinOp::Div if ca == 0 && cb == 0 && kb != 0 => Some((0, ka.wrapping_div(kb))),
+                _ => None,
+            }
+        }
+        // Anything else that reaches here mentions EOI in a shape we do
+        // not fold (attributes, conditionals, …).
+        _ => None,
+    }
+}
+
 fn mentions_eoi(e: &CExpr) -> bool {
     match e {
         CExpr::Eoi => true,
@@ -428,6 +610,65 @@ mod tests {
         let report = stream_analysis(&g);
         assert!(report.streamable, "Dead is unreachable from S");
         assert!(report.rules.iter().all(|r| r.name != "Dead"));
+    }
+
+    #[test]
+    fn anchor_requirement_prefix_for_closed_grammars() {
+        // Every interval is written out and closed; nothing consults EOI.
+        // (Implicit intervals would not do: auto-completion writes plain
+        // `EOI` right endpoints, which classify as `Suffix { k: 0 }`.)
+        let g = parse_grammar(
+            r#"
+            S -> Tag[0, 1] {t = Tag.val} Len[1, 3] {n = Len.val} Body[3, 3 + n];
+            Tag := u8;
+            Len := u16be;
+            Body := bytes;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(anchor_requirement(&g), AnchorRequirement::Prefix);
+        assert!(anchor_requirement(&g).is_prefix_streamable());
+    }
+
+    #[test]
+    fn anchor_requirement_suffix_distance_is_the_max_constant() {
+        // `%%EOF` trailer 5 bytes from the end, plus a plain-EOI interval:
+        // the grammar is anchored by its final 5 bytes.
+        let g = parse_grammar(
+            r#"
+            S -> "%%EOF"[EOI - 5, EOI] Head[0, EOI - 5];
+            Head := bytes;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(anchor_requirement(&g), AnchorRequirement::Suffix { k: 5 });
+        assert!(!anchor_requirement(&g).is_prefix_streamable());
+    }
+
+    #[test]
+    fn anchor_requirement_plain_eoi_is_a_zero_suffix() {
+        let g = parse_grammar(r#"S -> A[0, EOI]; A -> "x"[0, 1];"#).unwrap();
+        assert_eq!(anchor_requirement(&g), AnchorRequirement::Suffix { k: 0 });
+    }
+
+    #[test]
+    fn anchor_requirement_eoi_arithmetic_needs_the_full_length() {
+        // a^n b^n c^n: interval widths are EOI / 3.
+        let g = parse_grammar(r#"S -> {n = EOI / 3} A[0, n]; A -> "a"[0, 1];"#).unwrap();
+        assert_eq!(anchor_requirement(&g), AnchorRequirement::FullLength);
+    }
+
+    #[test]
+    fn anchor_requirement_ignores_unreachable_rules() {
+        let g = parse_grammar(
+            r#"
+            S -> "x"[0, 1];
+            Dead -> A[EOI - 1, EOI];
+            A -> "y"[0, 1];
+            "#,
+        )
+        .unwrap();
+        assert_eq!(anchor_requirement(&g), AnchorRequirement::Prefix);
     }
 
     #[test]

@@ -149,14 +149,31 @@ pub struct TreeArena {
 }
 
 impl TreeArena {
-    pub(crate) fn new(table: Arc<NtTable>) -> Self {
+    /// An allocation-free placeholder (what a finished streaming session
+    /// swaps in when handing its arena over).
+    pub(crate) fn empty(table: Arc<NtTable>) -> Self {
         TreeArena {
-            nodes: Vec::with_capacity(32),
+            nodes: Vec::new(),
             arrays: Vec::new(),
-            leaves: Vec::with_capacity(32),
+            leaves: Vec::new(),
             blackboxes: Vec::new(),
-            shifts: Vec::with_capacity(32),
-            children: Vec::with_capacity(64),
+            shifts: Vec::new(),
+            children: Vec::new(),
+            table,
+        }
+    }
+
+    /// An arena pre-sized from compile-time program statistics
+    /// ([`crate::bytecode::Program::size_hints`]) instead of the default
+    /// small capacities.
+    pub(crate) fn with_hints(table: Arc<NtTable>, hints: &crate::bytecode::SizeHints) -> Self {
+        TreeArena {
+            nodes: Vec::with_capacity(hints.nodes),
+            arrays: Vec::new(),
+            leaves: Vec::with_capacity(hints.leaves),
+            blackboxes: Vec::new(),
+            shifts: Vec::with_capacity(hints.shifts),
+            children: Vec::with_capacity(hints.children),
             table,
         }
     }

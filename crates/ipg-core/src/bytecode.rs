@@ -247,6 +247,22 @@ pub enum BExpr {
     },
 }
 
+/// Pre-sizing hints for the VM's per-parse allocations (see
+/// [`Program::size_hints`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeHints {
+    /// Frame-stack capacity (static call-graph nesting plus slack).
+    pub frames: usize,
+    /// Arena node-pool capacity.
+    pub nodes: usize,
+    /// Arena leaf-pool capacity.
+    pub leaves: usize,
+    /// Arena child-id pool capacity.
+    pub children: usize,
+    /// Arena shift-record capacity.
+    pub shifts: usize,
+}
+
 /// A checked grammar lowered to flat bytecode. Build one with [`compile`];
 /// execute it with [`crate::interp::vm::VmParser`].
 #[derive(Debug)]
@@ -423,6 +439,67 @@ impl Program {
     /// Number of instructions across all alternatives.
     pub fn instr_count(&self) -> usize {
         self.code.len()
+    }
+
+    /// Pre-sizing hints for the VM's per-parse allocations, derived from
+    /// compile-time program statistics: the frame stack from the static
+    /// call-graph nesting, the arena pools from the instruction count.
+    /// Hints are capacities, not limits — deep recursion and large inputs
+    /// still grow the vectors; the clamps keep small grammars from
+    /// over-allocating per parse.
+    pub fn size_hints(&self) -> SizeHints {
+        let nesting = self.static_nesting();
+        let instrs = self.code.len();
+        SizeHints {
+            frames: (nesting + 8).min(128),
+            nodes: instrs.clamp(32, 512),
+            leaves: instrs.clamp(32, 512),
+            children: (2 * instrs).clamp(64, 1024),
+            shifts: instrs.clamp(32, 512),
+        }
+    }
+
+    /// Longest acyclic call chain from the start rule (recursive cycles
+    /// contribute one traversal; their true depth is input-dependent).
+    fn static_nesting(&self) -> usize {
+        fn depth_of(p: &Program, nt: usize, memo: &mut [u32], on_path: &mut [bool]) -> u32 {
+            if memo[nt] != u32::MAX {
+                return memo[nt];
+            }
+            if on_path[nt] {
+                return 0;
+            }
+            on_path[nt] = true;
+            let mut best = 0;
+            if let PRuleKind::Alts { first, count } = p.rules[nt].kind {
+                for alt in &p.alts[first as usize..(first + count) as usize] {
+                    for instr in &p.code[alt.first as usize..(alt.first + alt.count) as usize] {
+                        match *instr {
+                            Instr::Call { nt: c, .. }
+                            | Instr::Loop { nt: c, .. }
+                            | Instr::Star { nt: c, .. } => {
+                                best = best.max(1 + depth_of(p, c.0 as usize, memo, on_path));
+                            }
+                            Instr::Switch { first, count, .. } => {
+                                for case in
+                                    &p.cases[first as usize..(first + count as u32) as usize]
+                                {
+                                    best = best
+                                        .max(1 + depth_of(p, case.nt.0 as usize, memo, on_path));
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            on_path[nt] = false;
+            memo[nt] = best;
+            best
+        }
+        let mut memo = vec![u32::MAX; self.rules.len()];
+        let mut on_path = vec![false; self.rules.len()];
+        1 + depth_of(self, self.start.0 as usize, &mut memo, &mut on_path) as usize
     }
 
     /// The shared nonterminal name table (also carried by every

@@ -169,6 +169,39 @@ impl Env {
         self.set(wellknown::END, e + delta);
     }
 
+    /// The initial environment of an alternative whose input length is not
+    /// known yet (a streaming session's root before end-of-input). `EOI`
+    /// and `start` hold [`Env::OPEN_LEN`] placeholders; [`Env::seal`]
+    /// patches them once the length is known. The placeholders are safe
+    /// because `start` only ever shrinks via `min` (so sealing with the
+    /// real length commutes with every update made in between) and the VM
+    /// suspends instead of reading `EOI`/`start` from an unsealed frame.
+    #[inline]
+    pub(crate) fn initial_open() -> Self {
+        let mut env = Env::default();
+        env.inline[0] = (wellknown::EOI, Self::OPEN_LEN);
+        env.inline[1] = (wellknown::START, Self::OPEN_LEN);
+        env.inline[2] = (wellknown::END, 0);
+        env.inline_len = 3;
+        env
+    }
+
+    /// Placeholder value of `EOI`/`start` in an unsealed open environment.
+    pub(crate) const OPEN_LEN: i64 = i64::MAX;
+
+    /// Seals an environment built with [`Env::initial_open`] once the true
+    /// input length is known: `EOI` becomes `len`, and `start` takes the
+    /// `min` with `len` it would have started from (a no-op if any term
+    /// already shrank it below `len`).
+    #[inline]
+    pub(crate) fn seal(&mut self, len: i64) {
+        debug_assert_eq!(self.inline[0].0, wellknown::EOI);
+        debug_assert_eq!(self.inline[1].0, wellknown::START);
+        self.inline[0].1 = len;
+        let s = &mut self.inline[1].1;
+        *s = (*s).min(len);
+    }
+
     /// O(1) accessors for the three well-known bindings, used by the
     /// bytecode VM. Environments built with [`Env::initial`] keep
     /// `EOI`/`start`/`end` at inline slots 0/1/2 forever: `set` updates in

@@ -29,6 +29,9 @@ pub enum Error {
     Termination(String),
     /// A blackbox parser reported an error.
     Blackbox(String),
+    /// A streaming session was misused (input after completion, byte
+    /// budget exceeded, …) or evicted by its host.
+    Session(String),
 }
 
 /// Details about a failed parse.
@@ -54,6 +57,7 @@ impl fmt::Display for Error {
             Error::Parse(pe) => write!(f, "{pe}"),
             Error::Termination(msg) => write!(f, "termination check failed: {msg}"),
             Error::Blackbox(msg) => write!(f, "blackbox parser failed: {msg}"),
+            Error::Session(msg) => write!(f, "session error: {msg}"),
         }
     }
 }

@@ -51,9 +51,10 @@
 //! ```
 
 use super::{eval_binop, ParseStats};
+use crate::analysis::{anchor_requirement, AnchorRequirement};
 use crate::arena::{Entry, TreeArena, TreeId, TreeRef};
 use crate::builtin::run_builtin;
-use crate::bytecode::{compile, BExpr, ExprId, Instr, LitSpan, PRuleKind, Program};
+use crate::bytecode::{compile, BExpr, ExprId, Instr, LitSpan, PRuleKind, Program, SizeHints};
 use crate::check::{Grammar, NtId};
 use crate::env::{wellknown, Env};
 use crate::error::{Error, ParseError, Result};
@@ -68,6 +69,12 @@ use fxhash::{FxHashMap, FxHashSet};
 pub struct VmParser<'g> {
     grammar: &'g Grammar,
     program: Program,
+    /// Pre-sizing hints derived from the program (frame nesting, pool
+    /// sizes), computed once at compile time.
+    hints: SizeHints,
+    /// What a streaming [`Session`] must hold back (see
+    /// [`crate::analysis::anchor_requirement`]).
+    anchor: AnchorRequirement,
     memoize: bool,
     max_steps: Option<u64>,
 }
@@ -101,12 +108,21 @@ impl<'g> VmParser<'g> {
     /// Compiles `grammar` and creates a parser with memoization enabled
     /// and no step limit.
     pub fn new(grammar: &'g Grammar) -> Self {
-        VmParser { program: compile(grammar), grammar, memoize: true, max_steps: None }
+        let program = compile(grammar);
+        let hints = program.size_hints();
+        let anchor = anchor_requirement(grammar);
+        VmParser { program, hints, anchor, grammar, memoize: true, max_steps: None }
     }
 
     /// The compiled program (e.g. for [`Program::disassemble`]).
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The grammar's [`AnchorRequirement`]: what a [`Session`] must hold
+    /// back before the parse can run to completion.
+    pub fn anchor(&self) -> AnchorRequirement {
+        self.anchor
     }
 
     /// Enables or disables memoization (mirror of
@@ -154,19 +170,7 @@ impl<'g> VmParser<'g> {
     ///
     /// As [`VmParser::parse`].
     pub fn parse_from(&self, nt: NtId, input: &[u8]) -> Result<ParseTree> {
-        let mut sess = self.session(input);
-        match sess.run_root(nt) {
-            Ok(Some(root)) => Ok(ParseTree { arena: sess.arena, root }),
-            Ok(None) => Err(Error::Parse(sess.deepest)),
-            Err(Abort::FuelExhausted) => Err(Error::Parse(ParseError {
-                offset: sess.deepest.offset,
-                nonterminal: sess.deepest.nonterminal,
-                msg: format!(
-                    "step limit of {} exhausted (possible non-terminating grammar)",
-                    self.max_steps.unwrap_or(u64::MAX)
-                ),
-            })),
-        }
+        self.run_one_shot(self.fresh_session(input), nt, FuelMsg::Verbose).0
     }
 
     /// Like [`VmParser::parse`], but also reports [`ParseStats`]. The
@@ -176,8 +180,38 @@ impl<'g> VmParser<'g> {
     /// reflect each engine's own policy — the VM does not memoize builtin
     /// leaf rules.
     pub fn parse_with_stats(&self, input: &[u8]) -> (Result<ParseTree>, ParseStats) {
-        let mut sess = self.session(input);
-        let result = match sess.run_root(self.program.start_nt()) {
+        self.run_one_shot(self.fresh_session(input), self.program.start_nt(), FuelMsg::Short)
+    }
+
+    /// Opens a streaming [`Session`]: input arrives incrementally via
+    /// [`Session::feed`], the parse runs as far as the buffered prefix
+    /// allows, and [`Session::finish`] signals end-of-input.
+    pub fn streaming(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// One-shot parse with a per-call step budget, overriding the
+    /// parser's own. This is what lets a service share one compiled
+    /// parser across workers (the builder-style [`VmParser::max_steps`]
+    /// consumes the parser) while still bounding hostile inputs.
+    pub fn parse_bounded(&self, input: &[u8], max_steps: u64) -> (Result<ParseTree>, ParseStats) {
+        let mut sess = self.fresh_session(input);
+        sess.max_steps = max_steps;
+        self.run_one_shot(sess, self.program.start_nt(), FuelMsg::Verbose)
+    }
+
+    /// Drives a one-shot session from `nt` and packages result + stats.
+    /// `fuel_msg` selects this entry point's fuel-exhaustion wording —
+    /// `parse`/`parse_from` diagnose verbosely, `parse_with_stats`
+    /// tersely, each mirroring the interpreter's corresponding entry
+    /// point (the differential tests compare errors per entry point).
+    fn run_one_shot<I: AsRef<[u8]>>(
+        &self,
+        mut sess: VmSession<'_, I>,
+        nt: NtId,
+        fuel_msg: FuelMsg,
+    ) -> (Result<ParseTree>, ParseStats) {
+        let result = match sess.run_root(nt) {
             Ok(Some(root)) => {
                 let stats = sess.stats();
                 return (Ok(ParseTree { arena: sess.arena, root }), stats);
@@ -186,21 +220,24 @@ impl<'g> VmParser<'g> {
             Err(Abort::FuelExhausted) => Err(Error::Parse(ParseError {
                 offset: sess.deepest.offset,
                 nonterminal: sess.deepest.nonterminal.clone(),
-                msg: "step limit exhausted".into(),
+                msg: fuel_msg.render(sess.max_steps),
             })),
+            Err(Abort::Suspend) => unreachable!("one-shot sessions never suspend"),
         };
         let stats = sess.stats();
         (result, stats)
     }
 
-    fn session<'i>(&self, input: &'i [u8]) -> VmSession<'_, 'i> {
-        // Mirror of the interpreter's memo pre-sizing heuristic.
+    fn fresh_session<I: AsRef<[u8]>>(&self, input: I) -> VmSession<'_, I> {
+        // Memo mirror of the interpreter's pre-sizing heuristic; arena and
+        // frame stack are pre-sized from compile-time program statistics
+        // (instruction counts, static call-graph nesting).
         let memo_capacity = if self.memoize { 8 * self.grammar.nt_count() } else { 0 };
         VmSession {
             g: self.grammar,
             p: &self.program,
             input,
-            arena: TreeArena::new(self.program.nt_table()),
+            arena: TreeArena::with_hints(self.program.nt_table(), &self.hints),
             memo: FxHashMap::with_capacity_and_hasher(memo_capacity, Default::default()),
             builtin_failures: FxHashSet::default(),
             memoize: self.memoize,
@@ -208,20 +245,63 @@ impl<'g> VmParser<'g> {
             memo_hits: 0,
             max_steps: self.max_steps.unwrap_or(u64::MAX),
             deepest: ParseError { offset: 0, nonterminal: None, msg: "no progress".into() },
-            frames: Vec::with_capacity(16),
+            frames: Vec::with_capacity(self.hints.frames),
             depth: 0,
             scratch: Vec::new(),
+            complete: true,
+            root_open: false,
+            suspend: None,
+            suspend_count: 0,
+            resume: ResumeKind::Exec,
         }
     }
 }
 
-/// Hard abort of the whole parse (mirror of the interpreter's `Abort`).
+/// Which fuel-exhaustion wording an entry point reports (see
+/// [`VmParser::run_one_shot`]).
+#[derive(Clone, Copy)]
+enum FuelMsg {
+    /// `parse` / `parse_from` / `parse_bounded` / `Session`.
+    Verbose,
+    /// `parse_with_stats`.
+    Short,
+}
+
+impl FuelMsg {
+    fn render(self, max_steps: u64) -> String {
+        match self {
+            FuelMsg::Verbose => {
+                format!("step limit of {max_steps} exhausted (possible non-terminating grammar)")
+            }
+            FuelMsg::Short => "step limit exhausted".into(),
+        }
+    }
+}
+
+/// Hard abort of the whole parse (mirror of the interpreter's `Abort`),
+/// plus the streaming machine's suspension signal.
 #[derive(Clone, Copy, Debug)]
 enum Abort {
     FuelExhausted,
+    /// A streaming session must wait for more input. The machine state is
+    /// left exactly at the blocked operation (any step ticks the retried
+    /// operation will re-pay have been rewound); the [`Hint`] is parked in
+    /// [`VmSession::suspend`].
+    Suspend,
 }
 
 type PResult<T> = std::result::Result<T, Abort>;
+
+/// How a suspended machine re-enters execution (see [`Abort::Suspend`]).
+#[derive(Clone, Copy, Debug)]
+enum ResumeKind {
+    /// Re-execute the top frame's current instruction (also covers a
+    /// blocked root completion).
+    Exec,
+    /// Re-enter a `for` iteration whose state was stashed in
+    /// [`Pending::Loop`].
+    LoopIter,
+}
 
 const NO_PARENT: u32 = u32::MAX;
 
@@ -327,10 +407,12 @@ impl Default for Frame {
     }
 }
 
-struct VmSession<'p, 'i> {
+struct VmSession<'p, I> {
     g: &'p Grammar,
     p: &'p Program,
-    input: &'i [u8],
+    /// The input bytes: a borrowed slice for one-shot parses, an owned
+    /// growing buffer for streaming [`Session`]s.
+    input: I,
     arena: TreeArena,
     memo: FxHashMap<(NtId, usize, usize), Option<TreeId>>,
     /// Builtin invocations that already recorded their failure. The VM
@@ -351,11 +433,35 @@ struct VmSession<'p, 'i> {
     depth: usize,
     /// Scratch buffer for collecting a completing frame's children.
     scratch: Vec<TreeId>,
+    /// Whether the whole input is present. One-shot parses are always
+    /// complete; a streaming session flips this in `finish`. While
+    /// `false`, operations that read past the buffered prefix or consult
+    /// the total length suspend instead of failing.
+    complete: bool,
+    /// Whether the root frame's input length is still open (streaming
+    /// session over an alternatives rule, before end-of-input). The root
+    /// frame then carries `len == 0` and an [`Env::initial_open`]
+    /// placeholder environment until sealed.
+    root_open: bool,
+    /// Parked suspension hint: set by a gated evaluation just before it
+    /// returns "undefined", examined by the instruction handlers to
+    /// distinguish "wait for input" from a genuine failure.
+    suspend: Option<Hint>,
+    /// Number of suspensions taken (service telemetry).
+    suspend_count: u64,
+    /// How to re-enter after [`Abort::Suspend`].
+    resume: ResumeKind,
 }
 
-impl VmSession<'_, '_> {
+impl<I: AsRef<[u8]>> VmSession<'_, I> {
     fn stats(&self) -> ParseStats {
         ParseStats { steps: self.steps, memo_hits: self.memo_hits, memo_entries: self.memo.len() }
+    }
+
+    /// The buffered input bytes.
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        self.input.as_ref()
     }
 
     #[inline]
@@ -378,11 +484,16 @@ impl VmSession<'_, '_> {
 
     /// Drives the machine from a root invocation of `nt` to completion.
     fn run_root(&mut self, nt: NtId) -> PResult<Option<TreeId>> {
-        let len = self.input.len();
-        let mut flow = match self.begin_call(nt, 0, len, NO_PARENT)? {
+        let len = self.bytes().len();
+        let flow = match self.begin_call(nt, 0, len, NO_PARENT)? {
             CallOutcome::Done(r) => return Ok(r),
             CallOutcome::Pushed => Flow::Exec,
         };
+        self.drive(flow)
+    }
+
+    /// Runs the machine until it finishes (or aborts/suspends).
+    fn drive(&mut self, mut flow: Flow) -> PResult<Option<TreeId>> {
         loop {
             flow = match flow {
                 Flow::Exec => self.exec_top()?,
@@ -390,6 +501,58 @@ impl VmSession<'_, '_> {
                 Flow::Done(r) => return Ok(r),
             };
         }
+    }
+
+    /// Pushes the root frame of a streaming session over an
+    /// open-length input (counterpart of [`VmSession::begin_call`]'s
+    /// `Alts` arm; builtin/blackbox/empty roots are handled by the
+    /// [`Session`] driver, which defers them to end-of-input). Returns
+    /// `false` when the rule has no alternatives (immediate failure,
+    /// matching the one-shot machine's behavior after its initial tick).
+    fn push_open_root(&mut self, nt: NtId) -> PResult<bool> {
+        self.tick()?;
+        let p = self.p;
+        let PRuleKind::Alts { first, count } = p.rules[nt.0 as usize].kind else {
+            unreachable!("open roots are only pushed for alternatives rules")
+        };
+        if count == 0 {
+            return Ok(false);
+        }
+        let alt = p.alts[first as usize];
+        if self.depth == self.frames.len() {
+            self.frames.push(Frame::default());
+        }
+        let f = &mut self.frames[self.depth];
+        f.nt = nt;
+        f.base = 0;
+        f.len = 0; // placeholder until sealed; gated reads suspend instead
+        f.alts_first = first;
+        f.alts_end = first + count;
+        f.alt_cursor = first;
+        f.ip = alt.first;
+        f.ip_end = alt.first + alt.count;
+        f.env = Env::initial_open();
+        f.results.clear();
+        f.results.resize(alt.n_slots as usize, None);
+        f.parent = NO_PARENT;
+        f.memoizable = self.memoize && !p.rules[nt.0 as usize].is_local;
+        f.pending = Pending::None;
+        self.depth += 1;
+        self.root_open = true;
+        Ok(true)
+    }
+
+    /// Seals the open root frame once the total input length is known:
+    /// the placeholder length and environment become real, and every
+    /// suspension gate turns off (`complete` flips in the caller).
+    fn seal_root(&mut self) {
+        if !self.root_open || self.depth == 0 {
+            return;
+        }
+        let len = self.bytes().len();
+        let f = &mut self.frames[0];
+        f.len = len;
+        f.env.seal(len as i64);
     }
 
     /// `s ⊢ A ⇓ R` at `(base, len)`: memo lookup, then direct evaluation
@@ -469,7 +632,7 @@ impl VmSession<'_, '_> {
         len: usize,
         memoizable: bool,
     ) -> Option<TreeId> {
-        let local = &self.input[base..base + len];
+        let local = &self.input.as_ref()[base..base + len];
         match run_builtin(b, local) {
             Some((val, consumed)) => {
                 let mut env = Env::initial(len);
@@ -495,7 +658,7 @@ impl VmSession<'_, '_> {
     fn blackbox_result(&mut self, nt: NtId, idx: usize, base: usize, len: usize) -> Option<TreeId> {
         let g = self.g;
         let bb = &g.blackboxes()[idx];
-        let local = &self.input[base..base + len];
+        let local = &self.input.as_ref()[base..base + len];
         match (bb.run)(local) {
             Ok(res) => {
                 let mut env = Env::initial(len);
@@ -525,14 +688,14 @@ impl VmSession<'_, '_> {
                 (f.ip, f.ip_end)
             };
             let flow = if ip == ip_end {
-                self.complete_top()
+                self.complete_top()?
             } else {
                 self.tick()?;
                 match self.p.code[ip as usize] {
-                    Instr::Match { lit, lo, hi, slot } => self.exec_match(fi, lit, lo, hi, slot),
+                    Instr::Match { lit, lo, hi, slot } => self.exec_match(fi, lit, lo, hi, slot)?,
                     Instr::Call { nt, lo, hi, slot } => self.dispatch_call(fi, nt, lo, hi, slot)?,
-                    Instr::Set { attr, expr } => self.exec_set(fi, attr, expr),
-                    Instr::Guard { expr } => self.exec_guard(fi, expr),
+                    Instr::Set { attr, expr } => self.exec_set(fi, attr, expr)?,
+                    Instr::Guard { expr } => self.exec_guard(fi, expr)?,
                     Instr::Loop { var, from, to, nt, lo, hi, slot } => {
                         self.exec_loop(fi, var, from, to, nt, lo, hi, slot)?
                     }
@@ -555,13 +718,14 @@ impl VmSession<'_, '_> {
     /// The current alternative failed: try the next one, or fail the rule.
     fn fail_alt(&mut self, fi: usize) -> Flow {
         let p = self.p;
+        let open = fi == 0 && self.root_open && !self.complete;
         let f = &mut self.frames[fi];
         f.alt_cursor += 1;
         if f.alt_cursor < f.alts_end {
             let alt = p.alts[f.alt_cursor as usize];
             f.ip = alt.first;
             f.ip_end = alt.first + alt.count;
-            f.env = Env::initial(f.len);
+            f.env = if open { Env::initial_open() } else { Env::initial(f.len) };
             f.results.clear();
             f.results.resize(alt.n_slots as usize, None);
             f.pending = Pending::None;
@@ -583,7 +747,15 @@ impl VmSession<'_, '_> {
     }
 
     /// All terms of the current alternative succeeded: build the node.
-    fn complete_top(&mut self) -> Flow {
+    ///
+    /// An open root may not complete before end-of-input: its node would
+    /// freeze a placeholder `EOI`/`start`, and a longer input could still
+    /// arrive. The caller sees this as a suspension (no step to rewind —
+    /// completion does not tick).
+    fn complete_top(&mut self) -> PResult<Flow> {
+        if self.depth == 1 && self.root_open && !self.complete {
+            return self.suspended(Hint::UntilEnd, 0, ResumeKind::Exec);
+        }
         self.depth -= 1;
         let f = &mut self.frames[self.depth];
         let env = std::mem::take(&mut f.env);
@@ -599,10 +771,39 @@ impl VmSession<'_, '_> {
             self.memo.insert((nt, base, len), Some(id));
         }
         if self.depth == 0 {
-            Flow::Done(Some(id))
+            Ok(Flow::Done(Some(id)))
         } else {
-            Flow::Deliver(Some(id))
+            Ok(Flow::Deliver(Some(id)))
         }
+    }
+
+    /// Finalizes a suspension: rewinds the `rewind` step ticks the
+    /// retried operation will pay again on resume, counts it, and
+    /// remembers how to re-enter. The hint must already be parked in
+    /// [`VmSession::suspend`] (gated evaluations do that themselves).
+    #[cold]
+    fn suspend_here(&mut self, rewind: u64, resume: ResumeKind) -> Abort {
+        debug_assert!(self.suspend.is_some());
+        self.steps -= rewind;
+        self.suspend_count += 1;
+        self.resume = resume;
+        Abort::Suspend
+    }
+
+    /// Suspension with an explicit hint (sites that block without going
+    /// through a gated evaluation, e.g. a blocked root completion).
+    #[cold]
+    fn suspended(&mut self, hint: Hint, rewind: u64, resume: ResumeKind) -> PResult<Flow> {
+        self.suspend = Some(hint);
+        Err(self.suspend_here(rewind, resume))
+    }
+
+    /// Instruction-level suspension after a gated evaluation returned
+    /// "undefined": the current instruction re-executes on resume, so its
+    /// `exec_top` tick is rewound.
+    #[cold]
+    fn suspend_instr(&mut self) -> PResult<Flow> {
+        Err(self.suspend_here(1, ResumeKind::Exec))
     }
 
     /// A child call finished; resume the pending term of the top frame.
@@ -634,14 +835,24 @@ impl VmSession<'_, '_> {
         }
     }
 
-    fn exec_match(&mut self, fi: usize, lit: LitSpan, lo: ExprId, hi: ExprId, slot: u16) -> Flow {
+    fn exec_match(
+        &mut self,
+        fi: usize,
+        lit: LitSpan,
+        lo: ExprId,
+        hi: ExprId,
+        slot: u16,
+    ) -> PResult<Flow> {
         let (base, nt) = {
             let f = &self.frames[fi];
             (f.base, f.nt)
         };
         let Some((l, r)) = self.eval_interval(lo, hi, fi) else {
+            if self.suspend.is_some() {
+                return self.suspend_instr();
+            }
             self.record_failure(base, nt, |_| "invalid terminal interval".into());
-            return self.fail_alt(fi);
+            return Ok(self.fail_alt(fi));
         };
         let blen = lit.len as usize;
         // T-Ter: 0 ≤ l ≤ r ≤ |s|, r − l ≥ |s1|, s[l, l+|s1|] = s1.
@@ -649,33 +860,36 @@ impl VmSession<'_, '_> {
             self.record_failure(base + l as usize, nt, |_| {
                 format!("interval too short for terminal of length {blen}")
             });
-            return self.fail_alt(fi);
+            return Ok(self.fail_alt(fi));
         }
         let al = base + l as usize;
         let bytes = &self.p.lits[lit.start as usize..lit.start as usize + blen];
-        if self.input[al..al + blen] != *bytes {
+        if self.bytes()[al..al + blen] != *bytes {
             self.record_failure(al, nt, |_| {
                 format!("terminal mismatch (expected {})", super::preview(bytes))
             });
-            return self.fail_alt(fi);
+            return Ok(self.fail_alt(fi));
         }
         let leaf = self.arena.alloc_leaf(al, al + blen);
         let f = &mut self.frames[fi];
         f.env.fast_upd_start_end(l, r, blen != 0);
         f.results[slot as usize] = Some(leaf);
         f.ip += 1;
-        Flow::Exec
+        Ok(Flow::Exec)
     }
 
-    fn exec_set(&mut self, fi: usize, attr: Sym, expr: ExprId) -> Flow {
+    fn exec_set(&mut self, fi: usize, attr: Sym, expr: ExprId) -> PResult<Flow> {
         match self.eval(expr, fi) {
             Some(v) => {
                 let f = &mut self.frames[fi];
                 f.env.set(attr, v);
                 f.ip += 1;
-                Flow::Exec
+                Ok(Flow::Exec)
             }
             None => {
+                if self.suspend.is_some() {
+                    return self.suspend_instr();
+                }
                 let (base, nt) = {
                     let f = &self.frames[fi];
                     (f.base, f.nt)
@@ -683,12 +897,12 @@ impl VmSession<'_, '_> {
                 self.record_failure(base, nt, |g| {
                     format!("attribute `{}` evaluation failed", g.attr_name(attr))
                 });
-                self.fail_alt(fi)
+                Ok(self.fail_alt(fi))
             }
         }
     }
 
-    fn exec_guard(&mut self, fi: usize, expr: ExprId) -> Flow {
+    fn exec_guard(&mut self, fi: usize, expr: ExprId) -> PResult<Flow> {
         let (base, nt) = {
             let f = &self.frames[fi];
             (f.base, f.nt)
@@ -696,15 +910,18 @@ impl VmSession<'_, '_> {
         match self.eval(expr, fi) {
             Some(v) if v != 0 => {
                 self.frames[fi].ip += 1;
-                Flow::Exec
+                Ok(Flow::Exec)
             }
             Some(_) => {
                 self.record_failure(base, nt, |_| "predicate failed".into());
-                self.fail_alt(fi)
+                Ok(self.fail_alt(fi))
             }
             None => {
+                if self.suspend.is_some() {
+                    return self.suspend_instr();
+                }
                 self.record_failure(base, nt, |_| "predicate evaluation failed".into());
-                self.fail_alt(fi)
+                Ok(self.fail_alt(fi))
             }
         }
     }
@@ -724,6 +941,9 @@ impl VmSession<'_, '_> {
             (f.base, f.nt)
         };
         let Some((l, r)) = self.eval_interval(lo, hi, fi) else {
+            if self.suspend.is_some() {
+                return self.suspend_instr();
+            }
             self.record_failure(base, nt, |g| {
                 format!("invalid interval for `{}`", g.nt_name(callee))
             });
@@ -775,6 +995,9 @@ impl VmSession<'_, '_> {
         let (i, j) = match (self.eval(from, fi), self.eval(to, fi)) {
             (Some(i), Some(j)) => (i, j),
             _ => {
+                if self.suspend.is_some() {
+                    return self.suspend_instr();
+                }
                 self.record_failure(base, caller, |_| "array bounds evaluation failed".into());
                 return Ok(self.fail_alt(fi));
             }
@@ -806,6 +1029,13 @@ impl VmSession<'_, '_> {
                 (f.base, f.nt)
             };
             let Some((l, r)) = self.eval_interval(st.lo, st.hi, fi) else {
+                if self.suspend.is_some() {
+                    // Stash the iteration state; resume re-enters this
+                    // loop step (re-paying the iteration tick rewound
+                    // here). The pushed loop-variable scope stays.
+                    self.frames[fi].pending = Pending::Loop(st);
+                    return Err(self.suspend_here(1, ResumeKind::LoopIter));
+                }
                 self.record_failure(base, caller, |g| {
                     format!("invalid interval for `{}`", g.nt_name(st.nt))
                 });
@@ -853,6 +1083,9 @@ impl VmSession<'_, '_> {
             (f.base, f.nt)
         };
         let Some((l, r)) = self.eval_interval(lo, hi, fi) else {
+            if self.suspend.is_some() {
+                return self.suspend_instr();
+            }
             self.record_failure(base, caller, |_| "invalid star interval".into());
             return Ok(self.fail_alt(fi));
         };
@@ -948,6 +1181,9 @@ impl VmSession<'_, '_> {
         match selected {
             Some(case) => self.dispatch_call(fi, case.nt, case.lo, case.hi, slot),
             None => {
+                if self.suspend.is_some() {
+                    return self.suspend_instr();
+                }
                 self.record_failure(base, nt, |_| "switch guard evaluation failed".into());
                 Ok(self.fail_alt(fi))
             }
@@ -955,10 +1191,28 @@ impl VmSession<'_, '_> {
     }
 
     /// Evaluates an interval, valid only when `0 ≤ l ≤ r ≤ len`.
+    ///
+    /// In the open root frame of a streaming session the total length is
+    /// not known yet: `0 ≤ l ≤ r` is still decidable, but `r ≤ len` is
+    /// not. An `r` within the buffered prefix is guaranteed valid (the
+    /// final length can only be larger); an `r` beyond it parks a
+    /// byte-count hint and reads as "undefined" so the instruction
+    /// handler suspends instead of failing.
     fn eval_interval(&mut self, lo: ExprId, hi: ExprId, fi: usize) -> Option<(i64, i64)> {
-        let len = self.frames[fi].len;
         let l = self.eval(lo, fi)?;
         let r = self.eval(hi, fi)?;
+        if fi == 0 && self.root_open && !self.complete {
+            if !(0 <= l && l <= r) {
+                return None;
+            }
+            let avail = self.bytes().len() as i64;
+            if r > avail {
+                self.suspend = Some(Hint::Bytes((r - avail) as usize));
+                return None;
+            }
+            return Some((l, r));
+        }
+        let len = self.frames[fi].len;
         if 0 <= l && l <= r && r <= len as i64 {
             Some((l, r))
         } else {
@@ -973,7 +1227,7 @@ impl VmSession<'_, '_> {
     fn eval(&mut self, e: ExprId, fi: usize) -> Option<i64> {
         match self.p.exprs[e.0 as usize] {
             BExpr::Num(n) => Some(n),
-            BExpr::Eoi => Some(self.frames[fi].env.fast_eoi()),
+            BExpr::Eoi => self.eval_eoi(fi),
             BExpr::Local(sym) => self.lookup_local(fi, sym),
             BExpr::NtAttr { slot, nt, attr } => {
                 let id = self.frames[fi].results[slot as usize]?;
@@ -986,7 +1240,7 @@ impl VmSession<'_, '_> {
     fn eval_complex(&mut self, e: BExpr, fi: usize) -> Option<i64> {
         match e {
             BExpr::Num(n) => Some(n),
-            BExpr::Eoi => Some(self.frames[fi].env.fast_eoi()),
+            BExpr::Eoi => self.eval_eoi(fi),
             BExpr::Local(sym) => self.lookup_local(fi, sym),
             BExpr::Bin(op, a, b) => {
                 let a = self.eval(a, fi)?;
@@ -1079,9 +1333,35 @@ impl VmSession<'_, '_> {
         }
     }
 
+    /// `EOI` of the frame's own input. The open root's length is not
+    /// known before end-of-input: park an until-end hint and read as
+    /// "undefined" so the caller suspends.
+    #[inline]
+    fn eval_eoi(&mut self, fi: usize) -> Option<i64> {
+        if fi == 0 && self.root_open && !self.complete {
+            self.suspend = Some(Hint::UntilEnd);
+            return None;
+        }
+        Some(self.frames[fi].env.fast_eoi())
+    }
+
     /// Current environment, falling through to the invoking alternative's
     /// environment for local rules (mirror of `AltCtx::lookup_local`).
-    fn lookup_local(&self, fi: usize, sym: Sym) -> Option<i64> {
+    ///
+    /// Every frame's environment carries its own `EOI`/`start`, so those
+    /// two symbols never fall through to an outer frame — which means the
+    /// open-root gate below can only fire for the root's own terms
+    /// (`fi == 0`), where the placeholders must not be read before
+    /// sealing.
+    fn lookup_local(&mut self, fi: usize, sym: Sym) -> Option<i64> {
+        if fi == 0
+            && self.root_open
+            && !self.complete
+            && (sym == wellknown::EOI || sym == wellknown::START)
+        {
+            self.suspend = Some(Hint::UntilEnd);
+            return None;
+        }
         let mut i = fi as u32;
         loop {
             let f = &self.frames[i as usize];
@@ -1132,6 +1412,292 @@ impl VmSession<'_, '_> {
             }
             i = f.parent;
         }
+    }
+}
+
+/// What a suspended [`Session`] is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hint {
+    /// At least this many more bytes beyond the current buffer.
+    Bytes(usize),
+    /// Only end-of-input unlocks progress — the parse is consulting `EOI`
+    /// (see [`AnchorRequirement`]); call [`Session::finish`].
+    UntilEnd,
+}
+
+/// Three-way outcome of [`Session::feed`] / [`Session::finish`].
+#[derive(Debug)]
+pub enum Outcome {
+    /// The parse completed; the tree is handed over exactly once.
+    Done(ParseTree),
+    /// The parse failed (or the session was misused); terminal.
+    Error(Error),
+    /// The machine is suspended waiting for more input.
+    NeedInput {
+        /// What would unlock progress.
+        hint: Hint,
+    },
+}
+
+impl Outcome {
+    /// The error, if this outcome is one.
+    pub fn err(&self) -> Option<&Error> {
+        match self {
+            Outcome::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Where a session is in its lifecycle.
+enum Phase {
+    /// Machine not started; the next feed starts it.
+    Fresh,
+    /// Machine suspended in place. `need` is the buffered size at which a
+    /// retry can make progress (`None`: only `finish` resumes).
+    Suspended { need: Option<usize>, hint: Hint },
+    /// The root rule is a builtin/blackbox over the whole input: nothing
+    /// can run before end-of-input, so feeds only buffer.
+    Deferred,
+    /// Result delivered or session poisoned; terminal.
+    Closed,
+}
+
+/// A streaming-resumable VM parse: input arrives incrementally via
+/// [`Session::feed`], the machine runs exactly as far as the buffered
+/// prefix determines, and [`Session::finish`] signals end-of-input.
+///
+/// The contract mirrored by `tests/streaming.rs`: for *any* chunking of
+/// the input, the resulting tree, step count, and error are identical to
+/// [`VmParser::parse`] over the whole buffer (and therefore to the
+/// reference interpreter). The machine suspends in place — frame stack,
+/// arena, and memo intact — whenever an instruction would read past the
+/// buffered prefix or consult the not-yet-known total length, and resumes
+/// from the exact blocked operation.
+///
+/// How much can run before `finish` is grammar-dependent; see
+/// [`VmParser::anchor`] and [`crate::analysis::anchor_requirement`]. An
+/// EOI-anchored grammar (e.g. ZIP's end-of-central-directory) suspends
+/// with [`Hint::UntilEnd`] almost immediately and does its work at
+/// `finish`; a grammar with computed intervals streams record by record.
+///
+/// ```
+/// use ipg_core::frontend::parse_grammar;
+/// use ipg_core::interp::vm::{Hint, Outcome, VmParser};
+///
+/// let g = parse_grammar(
+///     r#"
+///     S -> Len[0, 2] {n = Len.val} Body[2, 2 + n];
+///     Len := u16be;
+///     Body := bytes;
+///     "#,
+/// )?;
+/// let parser = VmParser::new(&g);
+/// let mut session = parser.streaming();
+/// // Feed the header; the machine asks for the body bytes it now knows
+/// // it needs.
+/// match session.feed(&[0, 4]) {
+///     Outcome::NeedInput { hint: Hint::Bytes(n) } => assert_eq!(n, 4),
+///     other => panic!("{other:?}"),
+/// }
+/// session.feed(b"data");
+/// let Outcome::Done(tree) = session.finish() else { panic!() };
+/// assert_eq!(tree.root().child_node("Body").unwrap().span(), (2, 6));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Session<'p> {
+    vm: VmSession<'p, Vec<u8>>,
+    phase: Phase,
+    anchor: AnchorRequirement,
+    start_nt: NtId,
+    /// Whether the machine has a live frame stack to resume.
+    started: bool,
+    max_bytes: Option<usize>,
+    /// Parked terminal error, replayed on any use after close.
+    err: Option<Error>,
+}
+
+impl<'p> Session<'p> {
+    /// Opens a session on `parser` (see also [`VmParser::streaming`]).
+    pub fn new(parser: &'p VmParser<'_>) -> Self {
+        let mut vm = parser.fresh_session(Vec::new());
+        vm.complete = false;
+        let start_nt = parser.program.start_nt();
+        let phase = match parser.program.rules[start_nt.0 as usize].kind {
+            PRuleKind::Alts { .. } => Phase::Fresh,
+            // A builtin/blackbox root consumes "its interval" — the whole
+            // input — so nothing can run early.
+            _ => Phase::Deferred,
+        };
+        let anchor = parser.anchor;
+        Session { vm, phase, anchor, start_nt, started: false, max_bytes: None, err: None }
+    }
+
+    /// Caps the total buffered bytes; exceeding the cap poisons the
+    /// session with a clean [`Error::Session`].
+    pub fn max_bytes(mut self, cap: usize) -> Self {
+        self.max_bytes = Some(cap);
+        self
+    }
+
+    /// Overrides the parser's step fuel for this session only.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.vm.max_steps = steps;
+        self
+    }
+
+    /// The grammar's anchor requirement (copied from [`VmParser::anchor`]).
+    pub fn anchor(&self) -> AnchorRequirement {
+        self.anchor
+    }
+
+    /// Bytes buffered so far.
+    pub fn buffered(&self) -> usize {
+        self.vm.bytes().len()
+    }
+
+    /// Number of suspensions taken so far (service telemetry).
+    pub fn suspends(&self) -> u64 {
+        self.vm.suspend_count
+    }
+
+    /// Engine statistics so far (steps are comparable with the one-shot
+    /// engines at completion).
+    pub fn stats(&self) -> ParseStats {
+        self.vm.stats()
+    }
+
+    /// Whether the session has delivered its result (or was poisoned).
+    pub fn is_closed(&self) -> bool {
+        matches!(self.phase, Phase::Closed)
+    }
+
+    /// Appends `chunk` and runs the machine as far as the buffered prefix
+    /// determines. Never returns [`Outcome::Done`]: even a fully-consumed
+    /// input could be extended, so completion is only decided by
+    /// [`Session::finish`]. An [`Outcome::Error`] is a *determined*
+    /// rejection: every input with this prefix fails identically.
+    pub fn feed(&mut self, chunk: &[u8]) -> Outcome {
+        if let Phase::Closed = self.phase {
+            return Outcome::Error(self.closed_error());
+        }
+        if let Some(cap) = self.max_bytes {
+            if self.vm.bytes().len().saturating_add(chunk.len()) > cap {
+                return self.poison(Error::Session(format!(
+                    "input exceeds the session byte budget of {cap}"
+                )));
+            }
+        }
+        self.vm.input.extend_from_slice(chunk);
+        match self.phase {
+            Phase::Deferred => Outcome::NeedInput { hint: Hint::UntilEnd },
+            Phase::Fresh => self.pump(),
+            Phase::Suspended { need, hint } => {
+                // Skip the re-attempt while the known byte shortfall is
+                // still unmet (the common 1-byte-chunk path), restating
+                // the hint against the *current* buffer so partial feeds
+                // see the remaining shortfall, not the original one.
+                match need {
+                    Some(n) if self.vm.bytes().len() >= n => self.pump(),
+                    Some(n) => Outcome::NeedInput { hint: Hint::Bytes(n - self.vm.bytes().len()) },
+                    None => Outcome::NeedInput { hint },
+                }
+            }
+            Phase::Closed => unreachable!("handled above"),
+        }
+    }
+
+    /// Signals end-of-input: the total length becomes known, every
+    /// suspension gate opens, and the machine runs to completion.
+    /// Returns [`Outcome::Done`] or [`Outcome::Error`], never
+    /// [`Outcome::NeedInput`].
+    pub fn finish(&mut self) -> Outcome {
+        if let Phase::Closed = self.phase {
+            return Outcome::Error(self.closed_error());
+        }
+        self.vm.complete = true;
+        if self.started {
+            self.vm.seal_root();
+        }
+        self.pump()
+    }
+
+    /// Starts or resumes the machine and classifies how it stopped.
+    fn pump(&mut self) -> Outcome {
+        let step = self.step_machine();
+        match step {
+            Ok(Some(root)) => {
+                let arena =
+                    std::mem::replace(&mut self.vm.arena, TreeArena::empty(self.vm.p.nt_table()));
+                // `err` stays `None`: the misuse error for feeding a
+                // delivered session is built lazily in `closed_error`.
+                self.phase = Phase::Closed;
+                Outcome::Done(ParseTree { arena, root })
+            }
+            Ok(None) => {
+                let e = Error::Parse(self.vm.deepest.clone());
+                self.poison(e)
+            }
+            Err(Abort::FuelExhausted) => {
+                let e = Error::Parse(ParseError {
+                    offset: self.vm.deepest.offset,
+                    nonterminal: self.vm.deepest.nonterminal.clone(),
+                    msg: FuelMsg::Verbose.render(self.vm.max_steps),
+                });
+                self.poison(e)
+            }
+            Err(Abort::Suspend) => {
+                debug_assert!(!self.vm.complete, "no suspension can fire after end-of-input");
+                let hint = self.vm.suspend.take().expect("suspension parks a hint");
+                let need = match hint {
+                    Hint::Bytes(n) => Some(self.vm.bytes().len() + n),
+                    Hint::UntilEnd => None,
+                };
+                self.phase = Phase::Suspended { need, hint };
+                Outcome::NeedInput { hint }
+            }
+        }
+    }
+
+    /// One driver step: start the root or re-enter the suspended
+    /// operation, then drive until done/suspended/aborted.
+    fn step_machine(&mut self) -> PResult<Option<TreeId>> {
+        if !self.started {
+            self.started = true;
+            if self.vm.complete {
+                // Nothing ran before end-of-input: plain one-shot parse
+                // over the whole buffer (also the builtin/blackbox-root
+                // path).
+                return self.vm.run_root(self.start_nt);
+            }
+            return match self.vm.push_open_root(self.start_nt)? {
+                true => self.vm.drive(Flow::Exec),
+                false => Ok(None), // zero-alternative root: immediate failure
+            };
+        }
+        let flow = match self.vm.resume {
+            ResumeKind::Exec => Flow::Exec,
+            ResumeKind::LoopIter => {
+                let fi = self.vm.depth - 1;
+                match std::mem::replace(&mut self.vm.frames[fi].pending, Pending::None) {
+                    Pending::Loop(st) => self.vm.loop_next(fi, st)?,
+                    _ => unreachable!("LoopIter resume requires a stashed loop"),
+                }
+            }
+        };
+        self.vm.drive(flow)
+    }
+
+    fn poison(&mut self, e: Error) -> Outcome {
+        self.phase = Phase::Closed;
+        self.err = Some(e.clone());
+        Outcome::Error(e)
+    }
+
+    fn closed_error(&self) -> Error {
+        self.err
+            .clone()
+            .unwrap_or_else(|| Error::Session("session already delivered its result".into()))
     }
 }
 
@@ -1248,6 +1814,29 @@ mod tests {
         let err = VmParser::new(&g).max_steps(3).parse(&input).unwrap_err();
         let err_i = Parser::new(&g).max_steps(3).parse(&input).unwrap_err();
         assert_eq!(err, err_i);
+    }
+
+    #[test]
+    fn feed_restates_the_byte_shortfall_against_the_current_buffer() {
+        let g = parse_grammar(
+            r#"
+            S -> Len[0, 2] {n = Len.val} Body[2, 2 + n];
+            Len := u16be;
+            Body := bytes;
+            "#,
+        )
+        .unwrap();
+        let parser = VmParser::new(&g);
+        let mut session = parser.streaming();
+        // Header says a 100-byte body follows.
+        let Outcome::NeedInput { hint: Hint::Bytes(100) } = session.feed(&[0, 100]) else {
+            panic!("expected a 100-byte shortfall")
+        };
+        // A partial feed must shrink the stated shortfall, not replay it.
+        let Outcome::NeedInput { hint: Hint::Bytes(n) } = session.feed(&[0u8; 60]) else {
+            panic!("expected a byte hint")
+        };
+        assert_eq!(n, 40);
     }
 
     #[test]

@@ -74,6 +74,26 @@ pub fn all_grammars() -> Vec<(&'static str, &'static Grammar)> {
     ]
 }
 
+/// The compiled-VM view of [`all_grammars`]: one shared, lazily-compiled
+/// [`VmParser`] per corpus grammar. This is the per-grammar program cache
+/// the parse service (`ipg-serve`) and the streaming benches hand out —
+/// compilation happens once per process, sessions borrow the shared
+/// program. Entries are fuel-free; bound work per parse with
+/// [`ipg_core::interp::vm::Session::max_steps`] or a fueled wrapper.
+pub fn all_vms() -> Vec<(&'static str, &'static VmParser<'static>)> {
+    vec![
+        ("zip", zip::vm()),
+        ("zip_inflate", zip::vm_inflate()),
+        ("dns", dns::vm()),
+        ("png", png::vm()),
+        ("gif", gif::vm()),
+        ("elf", elf::vm()),
+        ("ipv4udp", ipv4udp::vm()),
+        ("pe", pe::vm()),
+        ("pdf", pdf::vm()),
+    ]
+}
+
 /// The cross-engine agreement contract, shared by the assert-style test
 /// helper and the report-style `bench_conform` gate: identical step
 /// counts, identical trees on acceptance (via `TreeRef::to_tree`, which

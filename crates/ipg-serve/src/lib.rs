@@ -1,0 +1,346 @@
+//! `ipg-serve` — a batch/streaming parse service over the IPG bytecode
+//! VM, built for the "heavy parse traffic" end of the roadmap.
+//!
+//! Architecture (bottom up):
+//!
+//! * **Program cache** — a [`Registry`] maps grammar names to shared,
+//!   compile-once [`VmParser`]s ([`Registry::corpus`] pre-loads all nine
+//!   corpus grammars via `ipg_formats::all_vms`). Workers borrow the
+//!   compiled programs; nothing recompiles per request.
+//! * **Sharded worker pool** — one queue per worker plus work stealing
+//!   for one-shot jobs ([`pool`]); streaming sessions are pinned to their
+//!   owning worker so the suspended frame stack never crosses threads.
+//! * **Isolation** — every parse carries a step budget, every session a
+//!   byte budget and a rolling deadline; an input that stalls, balloons,
+//!   or loops is killed with a clean error and the worker moves on.
+//! * **Front ends** — an in-process API ([`Server::parse`],
+//!   [`Server::open`]) and a length-framed Unix-socket protocol
+//!   ([`proto`], [`Server::serve_unix`]).
+//!
+//! ```no_run
+//! use ipg_serve::{Config, Server};
+//!
+//! let server = Server::start(Config { workers: 4, ..Config::default() });
+//! let archive = ipg_corpus::zip::generate(&Default::default()).bytes;
+//! let summary = server.parse("zip", archive).expect("valid archive");
+//! assert!(summary.nodes > 0);
+//!
+//! // Streaming: bytes arrive as they come off the wire.
+//! let mut stream = server.open("dns").unwrap();
+//! stream.feed(&[0x12, 0x34]);
+//! let outcome = stream.finish();
+//! # let _ = outcome;
+//! ```
+
+pub mod pool;
+pub mod proto;
+pub mod stats;
+
+use ipg_core::interp::vm::{Hint, VmParser};
+use ipg_core::Error;
+use pool::{Job, Shard, Shared};
+use stats::{Counters, StatsSnapshot};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration. The defaults are production-lean: parallelism
+/// from the machine, 50M-step fuel (the repo's standard "pathological
+/// loop" bound), 64 MiB per-session buffers, 30 s session deadlines.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Worker threads (0 = `std::thread::available_parallelism`).
+    pub workers: usize,
+    /// Step budget per parse/session.
+    pub max_steps: u64,
+    /// Byte budget per streaming session.
+    pub max_bytes: usize,
+    /// Rolling inactivity deadline after which a session is evicted.
+    pub session_deadline: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 0,
+            max_steps: 50_000_000,
+            max_bytes: 64 << 20,
+            session_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The per-grammar compiled-program cache handed to the pool.
+#[derive(Clone)]
+pub struct Registry {
+    entries: Vec<(String, &'static VmParser<'static>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { entries: Vec::new() }
+    }
+
+    /// All nine corpus grammars, compiled once per process.
+    pub fn corpus() -> Self {
+        let entries =
+            ipg_formats::all_vms().into_iter().map(|(name, vm)| (name.to_owned(), vm)).collect();
+        Registry { entries }
+    }
+
+    /// Registers (or replaces) a named parser. The parser must be
+    /// `'static` — compile it once and leak or cache it, exactly like the
+    /// `ipg_formats::*::vm()` statics do.
+    pub fn register(&mut self, name: &str, vm: &'static VmParser<'static>) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 = vm;
+        } else {
+            self.entries.push((name.to_owned(), vm));
+        }
+    }
+
+    /// Looks up a parser by grammar name.
+    pub fn get(&self, name: &str) -> Option<&'static VmParser<'static>> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, vm)| *vm)
+    }
+
+    /// Registered grammar names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+impl Default for Registry {
+    /// Empty, matching [`Registry::new`]; the corpus-loaded registry is
+    /// the *explicit* [`Registry::corpus`] (and what [`Server::start`]
+    /// uses), so `..Default::default()` can never silently register nine
+    /// grammars.
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Completion summary of a successful parse (what crosses the wire; the
+/// in-process API returns it too, keeping both front ends honest about
+/// the same contract).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSummary {
+    /// VM steps executed.
+    pub steps: u64,
+    /// Suspensions taken (0 for one-shot jobs).
+    pub suspends: u64,
+    /// Parse-tree records allocated.
+    pub nodes: usize,
+    /// Input bytes consumed.
+    pub bytes: usize,
+}
+
+/// A worker's answer to one job.
+#[derive(Debug)]
+pub enum Response {
+    /// Parse completed.
+    Done(ParseSummary),
+    /// Session opened under this id.
+    Opened {
+        /// The session id to use in subsequent `Feed`/`Finish` calls.
+        id: u64,
+    },
+    /// A streaming session wants more input.
+    NeedInput {
+        /// What would unlock progress.
+        hint: Hint,
+    },
+    /// The parse failed or the request was invalid.
+    Error(Error),
+}
+
+/// The running service: worker threads plus the shared state. Dropping
+/// the server shuts the pool down (abandoning live sessions).
+pub struct Server {
+    shared: Arc<Shared>,
+    registry: Registry,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+    rr: AtomicU64,
+}
+
+impl Server {
+    /// Starts the pool over the corpus registry.
+    pub fn start(cfg: Config) -> Server {
+        Server::with_registry(cfg, Registry::corpus())
+    }
+
+    /// Starts the pool over an explicit registry.
+    pub fn with_registry(cfg: Config, registry: Registry) -> Server {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            shards: (0..workers).map(|_| Shard::new()).collect(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(0),
+            max_steps: cfg.max_steps,
+            max_bytes: cfg.max_bytes,
+            session_deadline: cfg.session_deadline,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ipg-serve-{w}"))
+                    .spawn(move || pool::worker_loop(w, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            registry,
+            workers: handles,
+            started: Instant::now(),
+            rr: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The registry backing this server.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Parses `input` under the named grammar, blocking until a worker
+    /// picks it up and finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Grammar`] for unknown grammar names; the parse's own
+    /// error otherwise.
+    pub fn parse(&self, grammar: &str, input: Vec<u8>) -> Result<ParseSummary, Error> {
+        match self.parse_async(grammar, input)?.recv() {
+            Ok(Response::Done(s)) => Ok(s),
+            Ok(Response::Error(e)) => Err(e),
+            Ok(_) => Err(Error::Session("protocol violation: unexpected response".into())),
+            Err(_) => Err(Error::Session("worker dropped the request".into())),
+        }
+    }
+
+    /// Submits a parse without waiting: the returned receiver yields the
+    /// single [`Response`] when a worker completes it. This is the fan-in
+    /// primitive the batch benchmark saturates the pool with.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Grammar`] for unknown grammar names.
+    pub fn parse_async(&self, grammar: &str, input: Vec<u8>) -> Result<Receiver<Response>, Error> {
+        let vm = self.lookup(grammar)?;
+        let (tx, rx) = channel();
+        let w = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % self.workers();
+        self.shared.shards[w].push(Job::Parse { vm, input, reply: tx }, false);
+        Ok(rx)
+    }
+
+    /// Opens a streaming session on the named grammar. The session is
+    /// pinned to one worker; the handle routes chunks to it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Grammar`] for unknown grammar names; [`Error::Session`]
+    /// if the pool is shutting down.
+    pub fn open(&self, grammar: &str) -> Result<StreamHandle<'_>, Error> {
+        let vm = self.lookup(grammar)?;
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let w = self.shared.owner_of(id);
+        let (tx, rx) = channel();
+        self.shared.shards[w].push(Job::Open { id, vm, reply: tx }, true);
+        match rx.recv() {
+            Ok(Response::Opened { id }) => Ok(StreamHandle { server: self, id }),
+            Ok(Response::Error(e)) => Err(e),
+            _ => Err(Error::Session("worker dropped the open request".into())),
+        }
+    }
+
+    /// A point-in-time stats snapshot (parses/s, bytes/s, suspend counts,
+    /// queue depths, eviction counts).
+    pub fn stats(&self) -> StatsSnapshot {
+        let depths = self.shared.shards.iter().map(|s| s.depth()).collect();
+        StatsSnapshot::collect(&self.shared.counters, self.started, depths)
+    }
+
+    /// Stops the workers after the queues drain and joins them. Live
+    /// streaming sessions are dropped (counted as evictions).
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            shard.notify();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn lookup(&self, grammar: &str) -> Result<&'static VmParser<'static>, Error> {
+        self.registry
+            .get(grammar)
+            .ok_or_else(|| Error::Grammar(format!("unknown grammar `{grammar}`")))
+    }
+
+    pub(crate) fn session_request(&self, id: u64, job: impl FnOnce(SenderOf) -> Job) -> Response {
+        let w = self.shared.owner_of(id);
+        let (tx, rx) = channel();
+        self.shared.shards[w].push(job(tx), true);
+        rx.recv().unwrap_or_else(|_| {
+            Response::Error(Error::Session("worker dropped the request".into()))
+        })
+    }
+}
+
+type SenderOf = std::sync::mpsc::Sender<Response>;
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_workers();
+        }
+    }
+}
+
+/// In-process handle to a streaming session (the Unix-socket front end
+/// speaks to the same sessions by id).
+pub struct StreamHandle<'s> {
+    server: &'s Server,
+    id: u64,
+}
+
+impl StreamHandle<'_> {
+    /// The session id (what the framed protocol carries).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Routes a chunk to the owning worker and waits for its answer.
+    pub fn feed(&mut self, bytes: &[u8]) -> Response {
+        self.server.session_request(self.id, |tx| Job::Feed {
+            id: self.id,
+            bytes: bytes.to_vec(),
+            reply: tx,
+        })
+    }
+
+    /// Signals end-of-input and waits for the final verdict.
+    pub fn finish(self) -> Response {
+        self.server.session_request(self.id, |tx| Job::Finish { id: self.id, reply: tx })
+    }
+}

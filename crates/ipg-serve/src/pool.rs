@@ -1,0 +1,286 @@
+//! The sharded worker pool: one queue per worker, work stealing for
+//! one-shot jobs, pinned delivery for streaming-session jobs, and
+//! deadline-based eviction so a stalled or hostile stream cannot pin a
+//! worker's memory forever.
+//!
+//! Sharding follows the zero-copy request-processing playbook: each
+//! worker owns its sessions outright (no cross-worker locking on the hot
+//! path), jobs carry owned buffers, and only the queue handoff takes a
+//! lock. Stealing moves work, never sessions: a `Feed` for session `id`
+//! must reach the worker holding that session's frame stack, so pinned
+//! jobs are not stealable.
+
+use crate::stats::Counters;
+use crate::{ParseSummary, Response};
+use ipg_core::interp::vm::{Outcome, Session, VmParser};
+use ipg_core::Error;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps between queue checks; also bounds how
+/// stale a deadline eviction can be.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
+
+/// One unit of work. `reply` is a rendezvous channel: every job sends
+/// exactly one [`Response`].
+pub(crate) enum Job {
+    /// Parse `input` in one shot.
+    Parse { vm: &'static VmParser<'static>, input: Vec<u8>, reply: Sender<Response> },
+    /// Open a streaming session under `id` (pre-routed to the owner).
+    Open { id: u64, vm: &'static VmParser<'static>, reply: Sender<Response> },
+    /// Append a chunk to session `id`.
+    Feed { id: u64, bytes: Vec<u8>, reply: Sender<Response> },
+    /// Signal end-of-input to session `id`.
+    Finish { id: u64, reply: Sender<Response> },
+}
+
+/// A worker's two queues: `pinned` (session jobs, owner-only) and
+/// `shared` (one-shot jobs, stealable from the back).
+#[derive(Default)]
+struct ShardQueues {
+    pinned: VecDeque<Job>,
+    shared: VecDeque<Job>,
+}
+
+pub(crate) struct Shard {
+    queues: Mutex<ShardQueues>,
+    ready: Condvar,
+}
+
+impl Shard {
+    pub(crate) fn new() -> Self {
+        Shard { queues: Mutex::new(ShardQueues::default()), ready: Condvar::new() }
+    }
+
+    pub(crate) fn push(&self, job: Job, pinned: bool) {
+        let mut q = self.queues.lock().expect("shard lock");
+        if pinned {
+            q.pinned.push_back(job);
+        } else {
+            q.shared.push_back(job);
+        }
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Total backlog (pinned + shared) — the stats gauge.
+    pub(crate) fn depth(&self) -> usize {
+        let q = self.queues.lock().expect("shard lock");
+        q.pinned.len() + q.shared.len()
+    }
+
+    /// Stealable (shared-queue-only) backlog — the number a thief cares
+    /// about; pinned session jobs cannot move.
+    fn steal_depth(&self) -> usize {
+        let q = self.queues.lock().expect("shard lock");
+        q.shared.len()
+    }
+
+    pub(crate) fn notify(&self) {
+        self.ready.notify_all();
+    }
+
+    /// Pops the next local job, preferring pinned work (a stalled `Feed`
+    /// blocks a remote caller; batch jobs have no one waiting on latency).
+    fn pop_local(&self) -> Option<Job> {
+        let mut q = self.queues.lock().expect("shard lock");
+        q.pinned.pop_front().or_else(|| q.shared.pop_front())
+    }
+
+    /// Steals one one-shot job from the back of the shared queue.
+    fn steal(&self) -> Option<Job> {
+        let mut q = self.queues.lock().expect("shard lock");
+        q.shared.pop_back()
+    }
+
+    fn wait_brief(&self) {
+        let q = self.queues.lock().expect("shard lock");
+        if q.pinned.is_empty() && q.shared.is_empty() {
+            let _ = self.ready.wait_timeout(q, IDLE_WAIT).expect("shard lock");
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        let q = self.queues.lock().expect("shard lock");
+        q.pinned.is_empty() && q.shared.is_empty()
+    }
+}
+
+/// State shared by the server handle and every worker.
+pub(crate) struct Shared {
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) counters: Counters,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) max_steps: u64,
+    pub(crate) max_bytes: usize,
+    pub(crate) session_deadline: Duration,
+}
+
+impl Shared {
+    /// The worker owning session `id` (ids are dealt round-robin).
+    pub(crate) fn owner_of(&self, id: u64) -> usize {
+        (id % self.shards.len() as u64) as usize
+    }
+}
+
+/// A live streaming session pinned to one worker.
+struct Active {
+    session: Session<'static>,
+    deadline: Instant,
+}
+
+/// The worker body: drain local work, steal when idle, evict expired
+/// sessions, exit on shutdown once the queues are dry.
+pub(crate) fn worker_loop(me: usize, shared: Arc<Shared>) {
+    let mut sessions: HashMap<u64, Active> = HashMap::new();
+    loop {
+        let job = shared.shards[me].pop_local().or_else(|| {
+            // Idle: steal a batch job from the sibling with the deepest
+            // *stealable* backlog (pinned session jobs cannot move, so
+            // they must not influence victim selection).
+            let victim = (0..shared.shards.len())
+                .filter(|w| *w != me)
+                .map(|w| (shared.shards[w].steal_depth(), w))
+                .max();
+            let stolen = match victim {
+                Some((depth, w)) if depth > 0 => shared.shards[w].steal(),
+                _ => None,
+            };
+            if stolen.is_some() {
+                Counters::add(&shared.counters.steals, 1);
+            }
+            stolen
+        });
+        match job {
+            Some(job) => run_job(job, &shared, &mut sessions),
+            None => {
+                evict_expired(&shared, &mut sessions);
+                if shared.shutdown.load(Ordering::Acquire) && shared.shards[me].is_empty() {
+                    // Dropped sessions count as evictions: the host chose
+                    // to stop serving them.
+                    Counters::add(&shared.counters.sessions_evicted, sessions.len() as u64);
+                    Counters::add(
+                        &shared.counters.live_sessions,
+                        (sessions.len() as u64).wrapping_neg(),
+                    );
+                    return;
+                }
+                shared.shards[me].wait_brief();
+            }
+        }
+        evict_expired(&shared, &mut sessions);
+    }
+}
+
+fn evict_expired(shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) {
+    if sessions.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    sessions.retain(|_, a| {
+        let keep = a.deadline > now;
+        if !keep {
+            Counters::add(&shared.counters.sessions_evicted, 1);
+            Counters::add(&shared.counters.live_sessions, 1u64.wrapping_neg());
+        }
+        keep
+    });
+}
+
+fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) {
+    let c = &shared.counters;
+    match job {
+        Job::Parse { vm, input, reply } => {
+            Counters::add(&c.bytes_in, input.len() as u64);
+            let (result, stats) = vm.parse_bounded(&input, shared.max_steps);
+            let resp = match result {
+                Ok(tree) => {
+                    Counters::add(&c.parses_ok, 1);
+                    Counters::add(&c.steps, stats.steps);
+                    Response::Done(ParseSummary {
+                        steps: stats.steps,
+                        suspends: 0,
+                        nodes: tree.arena().len(),
+                        bytes: input.len(),
+                    })
+                }
+                Err(e) => {
+                    Counters::add(&c.parses_err, 1);
+                    Counters::add(&c.steps, stats.steps);
+                    Response::Error(e)
+                }
+            };
+            let _ = reply.send(resp);
+        }
+        Job::Open { id, vm, reply } => {
+            let session = vm.streaming().max_steps(shared.max_steps).max_bytes(shared.max_bytes);
+            let deadline = Instant::now() + shared.session_deadline;
+            sessions.insert(id, Active { session, deadline });
+            Counters::add(&c.sessions_opened, 1);
+            Counters::add(&c.live_sessions, 1);
+            let _ = reply.send(Response::Opened { id });
+        }
+        Job::Feed { id, bytes, reply } => {
+            let Some(active) = sessions.get_mut(&id) else {
+                let _ = reply.send(Response::Error(unknown_session(id)));
+                return;
+            };
+            Counters::add(&c.bytes_in, bytes.len() as u64);
+            active.deadline = Instant::now() + shared.session_deadline;
+            let resp = match active.session.feed(&bytes) {
+                Outcome::NeedInput { hint } => Response::NeedInput { hint },
+                Outcome::Error(e) => {
+                    close_session(shared, sessions, id, false);
+                    Response::Error(e)
+                }
+                Outcome::Done(_) => unreachable!("feed never completes a session"),
+            };
+            let _ = reply.send(resp);
+        }
+        Job::Finish { id, reply } => {
+            let Some(active) = sessions.get_mut(&id) else {
+                let _ = reply.send(Response::Error(unknown_session(id)));
+                return;
+            };
+            let outcome = active.session.finish();
+            let stats = active.session.stats();
+            let suspends = active.session.suspends();
+            let bytes = active.session.buffered();
+            Counters::add(&c.steps, stats.steps);
+            Counters::add(&c.suspends, suspends);
+            let resp = match outcome {
+                Outcome::Done(tree) => {
+                    close_session(shared, sessions, id, true);
+                    Response::Done(ParseSummary {
+                        steps: stats.steps,
+                        suspends,
+                        nodes: tree.arena().len(),
+                        bytes,
+                    })
+                }
+                Outcome::Error(e) => {
+                    close_session(shared, sessions, id, false);
+                    Response::Error(e)
+                }
+                Outcome::NeedInput { .. } => unreachable!("finish never needs input"),
+            };
+            let _ = reply.send(resp);
+        }
+    }
+}
+
+fn close_session(shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>, id: u64, ok: bool) {
+    sessions.remove(&id);
+    let c = &shared.counters;
+    Counters::add(&c.sessions_closed, 1);
+    Counters::add(&c.live_sessions, 1u64.wrapping_neg());
+    Counters::add(if ok { &c.parses_ok } else { &c.parses_err }, 1);
+}
+
+fn unknown_session(id: u64) -> Error {
+    Error::Session(format!("unknown session {id} (never opened, finished, or evicted)"))
+}

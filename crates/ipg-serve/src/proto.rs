@@ -1,0 +1,451 @@
+//! The length-framed wire protocol and the Unix-socket front end.
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by the payload (capped at [`MAX_FRAME`]). Requests start with
+//! an op byte, responses with a status byte:
+//!
+//! | op | request payload | reply |
+//! |---|---|---|
+//! | `0x01 PARSE`  | `name_len:u8, name, input…`  | `DONE` / `ERROR` |
+//! | `0x02 OPEN`   | `name_len:u8, name`          | `OPENED` / `ERROR` |
+//! | `0x03 FEED`   | `id:u64le, chunk…`           | `NEED_INPUT` / `ERROR` |
+//! | `0x04 FINISH` | `id:u64le`                   | `DONE` / `ERROR` |
+//! | `0x05 STATS`  | —                            | `STATS` |
+//!
+//! | status | response payload |
+//! |---|---|
+//! | `0x00 DONE`       | `steps:u64le, suspends:u64le, nodes:u32le, bytes:u64le` |
+//! | `0x01 NEED_INPUT` | `kind:u8 (0 = bytes, 1 = until_end), n:u64le` |
+//! | `0x02 ERROR`      | UTF-8 message |
+//! | `0x03 OPENED`     | `id:u64le` |
+//! | `0x04 STATS`      | UTF-8 JSON ([`crate::stats::StatsSnapshot::to_json`]) |
+//!
+//! The same [`Server`] backs both front ends, so a session opened over
+//! the socket is serviced by the same pinned worker as an in-process one.
+
+use crate::{Response, Server};
+use ipg_core::interp::vm::Hint;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on a frame payload (a hostile client cannot make the server
+/// buffer more than this per message).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request ops.
+pub const OP_PARSE: u8 = 0x01;
+/// Open a streaming session.
+pub const OP_OPEN: u8 = 0x02;
+/// Feed a chunk to a session.
+pub const OP_FEED: u8 = 0x03;
+/// Finish a session.
+pub const OP_FINISH: u8 = 0x04;
+/// Stats snapshot.
+pub const OP_STATS: u8 = 0x05;
+
+/// Response statuses.
+pub const ST_DONE: u8 = 0x00;
+/// More input needed.
+pub const ST_NEED_INPUT: u8 = 0x01;
+/// Error (payload is the message).
+pub const ST_ERROR: u8 = 0x02;
+/// Session opened (payload is the id).
+pub const ST_OPENED: u8 = 0x03;
+/// Stats JSON.
+pub const ST_STATS: u8 = 0x04;
+
+/// Writes one length-framed payload.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-framed payload; `Ok(None)` on clean EOF before the
+/// length prefix.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; oversized frames are
+/// `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn bad_request(msg: &str) -> Vec<u8> {
+    let mut out = vec![ST_ERROR];
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Done(s) => {
+            let mut out = vec![ST_DONE];
+            out.extend_from_slice(&s.steps.to_le_bytes());
+            out.extend_from_slice(&s.suspends.to_le_bytes());
+            out.extend_from_slice(&(s.nodes as u32).to_le_bytes());
+            out.extend_from_slice(&(s.bytes as u64).to_le_bytes());
+            out
+        }
+        Response::Opened { id } => {
+            let mut out = vec![ST_OPENED];
+            out.extend_from_slice(&id.to_le_bytes());
+            out
+        }
+        Response::NeedInput { hint } => {
+            let (kind, n) = match hint {
+                Hint::Bytes(n) => (0u8, *n as u64),
+                Hint::UntilEnd => (1u8, 0u64),
+            };
+            let mut out = vec![ST_NEED_INPUT, kind];
+            out.extend_from_slice(&n.to_le_bytes());
+            out
+        }
+        Response::Error(e) => bad_request(&e.to_string()),
+    }
+}
+
+/// Per-connection protocol state. Session ids are global and sequential,
+/// so without an ownership check any client could `FEED`/`FINISH` (and
+/// thereby corrupt or kill) another client's session just by guessing
+/// ids; each connection may only touch sessions it opened itself.
+#[derive(Default)]
+pub struct ConnState {
+    owned: std::collections::HashSet<u64>,
+}
+
+/// Executes one request payload against `server` for one connection and
+/// returns the response payload. Shared by the Unix-socket front end and
+/// any future transport (the framing stays at the edges; `conn` carries
+/// the transport's per-client session ownership).
+pub fn handle_request(server: &Server, conn: &mut ConnState, payload: &[u8]) -> Vec<u8> {
+    let Some((&op, body)) = payload.split_first() else {
+        return bad_request("empty frame");
+    };
+    match op {
+        OP_PARSE => {
+            let Some((name, input)) = split_name(body) else {
+                return bad_request("malformed PARSE frame");
+            };
+            match server.parse(name, input.to_vec()) {
+                Ok(s) => encode_response(&Response::Done(s)),
+                Err(e) => bad_request(&e.to_string()),
+            }
+        }
+        OP_OPEN => {
+            let Some((name, rest)) = split_name(body) else {
+                return bad_request("malformed OPEN frame");
+            };
+            if !rest.is_empty() {
+                return bad_request("trailing bytes in OPEN frame");
+            }
+            match server.open(name) {
+                Ok(handle) => {
+                    conn.owned.insert(handle.id());
+                    encode_response(&Response::Opened { id: handle.id() })
+                }
+                Err(e) => bad_request(&e.to_string()),
+            }
+        }
+        OP_FEED => {
+            let Some((id, chunk)) = split_id(body) else {
+                return bad_request("malformed FEED frame");
+            };
+            if !conn.owned.contains(&id) {
+                return bad_request(&foreign_session(id));
+            }
+            let resp = server.session_request(id, |tx| crate::pool::Job::Feed {
+                id,
+                bytes: chunk.to_vec(),
+                reply: tx,
+            });
+            encode_response(&resp)
+        }
+        OP_FINISH => {
+            let Some((id, rest)) = split_id(body) else {
+                return bad_request("malformed FINISH frame");
+            };
+            if !rest.is_empty() {
+                return bad_request("trailing bytes in FINISH frame");
+            }
+            if !conn.owned.remove(&id) {
+                return bad_request(&foreign_session(id));
+            }
+            let resp = server.session_request(id, |tx| crate::pool::Job::Finish { id, reply: tx });
+            encode_response(&resp)
+        }
+        OP_STATS => {
+            let mut out = vec![ST_STATS];
+            out.extend_from_slice(server.stats().to_json().as_bytes());
+            out
+        }
+        other => bad_request(&format!("unknown op 0x{other:02x}")),
+    }
+}
+
+fn foreign_session(id: u64) -> String {
+    format!("session {id} was not opened on this connection")
+}
+
+fn split_name(body: &[u8]) -> Option<(&str, &[u8])> {
+    let (&n, rest) = body.split_first()?;
+    if rest.len() < n as usize {
+        return None;
+    }
+    let (name, rest) = rest.split_at(n as usize);
+    Some((std::str::from_utf8(name).ok()?, rest))
+}
+
+fn split_id(body: &[u8]) -> Option<(u64, &[u8])> {
+    if body.len() < 8 {
+        return None;
+    }
+    let (id, rest) = body.split_at(8);
+    Some((u64::from_le_bytes(id.try_into().ok()?), rest))
+}
+
+/// A running Unix-socket front end; dropping it stops the acceptor and
+/// removes the socket file. In-flight connections finish at their next
+/// EOF.
+pub struct UnixFront {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Serves the framed protocol on a Unix socket at `path`. The server
+    /// handle must be shared (`Arc`) because connections are handled on
+    /// their own threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-binding failures.
+    pub fn serve_unix(self: &Arc<Self>, path: impl AsRef<Path>) -> io::Result<UnixFront> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let server = self.clone();
+        let acceptor =
+            std::thread::Builder::new().name("ipg-serve-accept".into()).spawn(move || {
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let server = server.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("ipg-serve-conn".into())
+                                .spawn(move || serve_connection(&server, stream));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(UnixFront { path, stop, acceptor: Some(acceptor) })
+    }
+}
+
+/// Sessions orphaned by a disconnect (ownership is per-connection, so a
+/// reconnecting client cannot resume them) are reclaimed by the workers'
+/// deadline eviction.
+fn serve_connection(server: &Server, mut stream: UnixStream) {
+    let mut conn = ConnState::default();
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                let resp = handle_request(server, &mut conn, &payload);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+impl Drop for UnixFront {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A decoded wire response (client side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Wire {
+    /// `ST_DONE`.
+    Done {
+        /// VM steps executed.
+        steps: u64,
+        /// Session suspensions.
+        suspends: u64,
+        /// Tree records allocated.
+        nodes: u32,
+        /// Input bytes consumed.
+        bytes: u64,
+    },
+    /// `ST_OPENED`.
+    Opened {
+        /// Session id.
+        id: u64,
+    },
+    /// `ST_NEED_INPUT`.
+    NeedInput {
+        /// 0 = a byte shortfall, 1 = until end-of-input.
+        kind: u8,
+        /// The shortfall for kind 0.
+        n: u64,
+    },
+    /// `ST_ERROR`.
+    Error(String),
+    /// `ST_STATS` (JSON).
+    Stats(String),
+}
+
+/// A blocking protocol client over a Unix stream (tests and the
+/// benchmark's chunked-wire lane).
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a [`UnixFront`] socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client { stream: UnixStream::connect(path)? })
+    }
+
+    fn round_trip(&mut self, payload: &[u8]) -> io::Result<Wire> {
+        write_frame(&mut self.stream, payload)?;
+        let resp = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        decode_wire(&resp)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))
+    }
+
+    /// The wire encodes grammar names with a one-byte length; reject
+    /// longer names here instead of letting `as u8` truncate them into a
+    /// baffling server-side error.
+    fn name_len(grammar: &str) -> io::Result<u8> {
+        u8::try_from(grammar.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "grammar name exceeds 255 bytes")
+        })
+    }
+
+    /// One-shot parse.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only; parse failures come back as [`Wire::Error`].
+    pub fn parse(&mut self, grammar: &str, input: &[u8]) -> io::Result<Wire> {
+        let mut p = vec![OP_PARSE, Self::name_len(grammar)?];
+        p.extend_from_slice(grammar.as_bytes());
+        p.extend_from_slice(input);
+        self.round_trip(&p)
+    }
+
+    /// Opens a streaming session.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only.
+    pub fn open(&mut self, grammar: &str) -> io::Result<Wire> {
+        let mut p = vec![OP_OPEN, Self::name_len(grammar)?];
+        p.extend_from_slice(grammar.as_bytes());
+        self.round_trip(&p)
+    }
+
+    /// Feeds a chunk to session `id`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only.
+    pub fn feed(&mut self, id: u64, chunk: &[u8]) -> io::Result<Wire> {
+        let mut p = vec![OP_FEED];
+        p.extend_from_slice(&id.to_le_bytes());
+        p.extend_from_slice(chunk);
+        self.round_trip(&p)
+    }
+
+    /// Finishes session `id`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only.
+    pub fn finish(&mut self, id: u64) -> io::Result<Wire> {
+        let mut p = vec![OP_FINISH];
+        p.extend_from_slice(&id.to_le_bytes());
+        self.round_trip(&p)
+    }
+
+    /// Fetches a stats snapshot (JSON).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only.
+    pub fn stats(&mut self) -> io::Result<Wire> {
+        self.round_trip(&[OP_STATS])
+    }
+}
+
+fn decode_wire(payload: &[u8]) -> Option<Wire> {
+    let (&st, body) = payload.split_first()?;
+    Some(match st {
+        ST_DONE => {
+            if body.len() != 28 {
+                return None;
+            }
+            Wire::Done {
+                steps: u64::from_le_bytes(body[0..8].try_into().ok()?),
+                suspends: u64::from_le_bytes(body[8..16].try_into().ok()?),
+                nodes: u32::from_le_bytes(body[16..20].try_into().ok()?),
+                bytes: u64::from_le_bytes(body[20..28].try_into().ok()?),
+            }
+        }
+        ST_OPENED => Wire::Opened { id: u64::from_le_bytes(body.try_into().ok()?) },
+        ST_NEED_INPUT => {
+            if body.len() != 9 {
+                return None;
+            }
+            Wire::NeedInput { kind: body[0], n: u64::from_le_bytes(body[1..9].try_into().ok()?) }
+        }
+        ST_ERROR => Wire::Error(String::from_utf8_lossy(body).into_owned()),
+        ST_STATS => Wire::Stats(String::from_utf8_lossy(body).into_owned()),
+        _ => return None,
+    })
+}

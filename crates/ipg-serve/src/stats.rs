@@ -1,0 +1,114 @@
+//! Service telemetry: lock-free counters bumped by the workers, read as a
+//! consistent-enough snapshot by [`crate::Server::stats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters shared by every worker. All increments use relaxed
+/// ordering: the snapshot is observational, not a synchronization point.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub parses_ok: AtomicU64,
+    pub parses_err: AtomicU64,
+    pub sessions_opened: AtomicU64,
+    pub sessions_closed: AtomicU64,
+    pub sessions_evicted: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub steps: AtomicU64,
+    pub suspends: AtomicU64,
+    pub steals: AtomicU64,
+    pub live_sessions: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of the service (the `STATS` protocol op returns
+/// this as JSON; see the README for the field meanings).
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Completed parses (one-shot jobs plus finished sessions).
+    pub parses_ok: u64,
+    /// Failed parses (rejections, fuel/byte-budget kills, misuse).
+    pub parses_err: u64,
+    /// Streaming sessions opened.
+    pub sessions_opened: u64,
+    /// Streaming sessions that ran to Done/Error.
+    pub sessions_closed: u64,
+    /// Sessions dropped by deadline eviction.
+    pub sessions_evicted: u64,
+    /// Sessions currently live across all workers.
+    pub live_sessions: u64,
+    /// Input bytes accepted (one-shot inputs plus streamed chunks).
+    pub bytes_in: u64,
+    /// VM steps executed by completed work.
+    pub steps: u64,
+    /// Suspensions taken by streaming sessions.
+    pub suspends: u64,
+    /// Jobs taken from another worker's queue.
+    pub steals: u64,
+    /// Seconds since the server started.
+    pub elapsed_s: f64,
+    /// Completed parses per second since start.
+    pub parses_per_s: f64,
+    /// Input bytes per second since start.
+    pub bytes_per_s: f64,
+    /// Total queue depth (pinned session jobs + stealable one-shot jobs)
+    /// per worker at snapshot time.
+    pub queue_depths: Vec<usize>,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn collect(c: &Counters, started: Instant, queue_depths: Vec<usize>) -> Self {
+        let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+        let parses_ok = c.parses_ok.load(Ordering::Relaxed);
+        let bytes_in = c.bytes_in.load(Ordering::Relaxed);
+        StatsSnapshot {
+            parses_ok,
+            parses_err: c.parses_err.load(Ordering::Relaxed),
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
+            sessions_evicted: c.sessions_evicted.load(Ordering::Relaxed),
+            live_sessions: c.live_sessions.load(Ordering::Relaxed),
+            bytes_in,
+            steps: c.steps.load(Ordering::Relaxed),
+            suspends: c.suspends.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            elapsed_s,
+            parses_per_s: parses_ok as f64 / elapsed_s,
+            bytes_per_s: bytes_in as f64 / elapsed_s,
+            queue_depths,
+        }
+    }
+
+    /// Renders the snapshot as a single JSON object (the wire format of
+    /// the `STATS` op).
+    pub fn to_json(&self) -> String {
+        let depths: Vec<String> = self.queue_depths.iter().map(|d| d.to_string()).collect();
+        format!(
+            "{{\"parses_ok\": {}, \"parses_err\": {}, \"sessions_opened\": {}, \
+             \"sessions_closed\": {}, \"sessions_evicted\": {}, \"live_sessions\": {}, \
+             \"bytes_in\": {}, \"steps\": {}, \"suspends\": {}, \"steals\": {}, \
+             \"elapsed_s\": {:.3}, \"parses_per_s\": {:.1}, \"bytes_per_s\": {:.0}, \
+             \"queue_depths\": [{}]}}",
+            self.parses_ok,
+            self.parses_err,
+            self.sessions_opened,
+            self.sessions_closed,
+            self.sessions_evicted,
+            self.live_sessions,
+            self.bytes_in,
+            self.steps,
+            self.suspends,
+            self.steals,
+            self.elapsed_s,
+            self.parses_per_s,
+            self.bytes_per_s,
+            depths.join(", ")
+        )
+    }
+}

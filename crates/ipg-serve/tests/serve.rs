@@ -1,0 +1,252 @@
+//! Integration tests for the parse service: batch jobs, streaming
+//! sessions, isolation (fuel, byte budgets, deadlines), the Unix-socket
+//! front end, and pool mechanics under load.
+
+use ipg_serve::proto::Wire;
+use ipg_serve::{Config, Registry, Response, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn corpus_input(name: &str) -> Vec<u8> {
+    match name {
+        "zip" | "zip_inflate" => ipg_corpus::zip::generate(&Default::default()).bytes,
+        "dns" => ipg_corpus::dns::generate(&Default::default()).bytes,
+        "png" => ipg_corpus::png::generate(&Default::default()).bytes,
+        "gif" => ipg_corpus::gif::generate(&Default::default()).bytes,
+        "elf" => ipg_corpus::elf::generate(&Default::default()).bytes,
+        "ipv4udp" => ipg_corpus::ipv4udp::generate(&Default::default()).bytes,
+        "pe" => ipg_corpus::pe::generate(&Default::default()).bytes,
+        "pdf" => ipg_corpus::pdf::generate(&Default::default()).bytes,
+        other => panic!("no corpus generator for {other}"),
+    }
+}
+
+#[test]
+fn batch_parse_matches_the_direct_vm() {
+    let server = Server::start(Config { workers: 2, ..Config::default() });
+    for (name, vm) in ipg_formats::all_vms() {
+        let input = corpus_input(name);
+        let (direct, stats) = vm.parse_with_stats(&input);
+        let direct = direct.expect("corpus inputs parse");
+        let summary = server.parse(name, input.clone()).expect("service parse succeeds");
+        assert_eq!(summary.steps, stats.steps, "{name}: service must do identical work");
+        assert_eq!(summary.nodes, direct.arena().len(), "{name}: identical tree size");
+        assert_eq!(summary.bytes, input.len());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.parses_ok, 9);
+    assert_eq!(stats.parses_err, 0);
+    server.shutdown();
+}
+
+#[test]
+fn streaming_session_matches_one_shot() {
+    let server = Server::start(Config { workers: 2, ..Config::default() });
+    let input = corpus_input("dns");
+    let (_, one_shot) = ipg_formats::dns::vm().parse_with_stats(&input);
+
+    let mut stream = server.open("dns").expect("open session");
+    for chunk in input.chunks(3) {
+        match stream.feed(chunk) {
+            Response::NeedInput { .. } => {}
+            other => panic!("unexpected mid-stream response: {other:?}"),
+        }
+    }
+    match stream.finish() {
+        Response::Done(summary) => {
+            assert_eq!(summary.steps, one_shot.steps, "streamed work must equal one-shot");
+            assert_eq!(summary.bytes, input.len());
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_closed, 1);
+    assert!(stats.suspends > 0, "chunked feeding must have suspended");
+    server.shutdown();
+}
+
+#[test]
+fn rejections_and_unknown_grammars_are_clean_errors() {
+    let server = Server::start(Config { workers: 1, ..Config::default() });
+    assert!(server.parse("nope", vec![1, 2, 3]).is_err());
+    assert!(server.parse("zip", b"not a zip at all".to_vec()).is_err());
+    // The worker survives failures and keeps serving.
+    assert!(server.parse("dns", corpus_input("dns")).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn step_fuel_kills_hostile_work_without_killing_the_worker() {
+    let server = Server::start(Config { workers: 1, max_steps: 10, ..Config::default() });
+    let err = server.parse("zip", corpus_input("zip")).expect_err("10 steps is not enough");
+    assert!(err.to_string().contains("step limit"), "unexpected error: {err}");
+    // Same pool, normal work still impossible under the tiny global fuel,
+    // but the worker is alive and answering.
+    assert!(server.parse("zip", corpus_input("zip")).is_err());
+    server.shutdown();
+}
+
+#[test]
+fn session_byte_budget_is_enforced() {
+    let server = Server::start(Config { workers: 1, max_bytes: 16, ..Config::default() });
+    let mut stream = server.open("dns").expect("open");
+    let resp = stream.feed(&[0u8; 64]);
+    match resp {
+        Response::Error(e) => {
+            assert!(e.to_string().contains("byte budget"), "unexpected error: {e}")
+        }
+        other => panic!("expected a byte-budget error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_eviction_reclaims_stalled_sessions() {
+    let server = Server::start(Config {
+        workers: 1,
+        session_deadline: Duration::from_millis(30),
+        ..Config::default()
+    });
+    let mut stream = server.open("dns").expect("open");
+    let _ = stream.feed(&[0x12]);
+    // Stall past the deadline; the worker's idle sweep evicts the session.
+    std::thread::sleep(Duration::from_millis(200));
+    match stream.feed(&[0x34]) {
+        Response::Error(e) => {
+            assert!(e.to_string().contains("session"), "unexpected error: {e}")
+        }
+        other => panic!("expected an eviction error, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.sessions_evicted, 1);
+    assert_eq!(stats.live_sessions, 0);
+    server.shutdown();
+}
+
+#[test]
+fn many_batch_jobs_complete_across_workers() {
+    let server = Server::start(Config { workers: 4, ..Config::default() });
+    let input = corpus_input("gif");
+    let pending: Vec<_> =
+        (0..64).map(|_| server.parse_async("gif", input.clone()).expect("submit")).collect();
+    let mut ok = 0;
+    for rx in pending {
+        match rx.recv().expect("worker answers") {
+            Response::Done(_) => ok += 1,
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(ok, 64);
+    let stats = server.stats();
+    assert_eq!(stats.parses_ok, 64);
+    assert!(stats.queue_depths.iter().all(|&d| d == 0), "queues drained");
+    server.shutdown();
+}
+
+#[test]
+fn unix_socket_front_end_round_trips() {
+    let server = Arc::new(Server::start(Config { workers: 2, ..Config::default() }));
+    let path = std::env::temp_dir().join(format!("ipg-serve-test-{}.sock", std::process::id()));
+    let front = server.serve_unix(&path).expect("bind socket");
+    let mut client = ipg_serve::proto::Client::connect(&path).expect("connect");
+
+    // One-shot parse over the wire.
+    let input = corpus_input("pe");
+    let (_, stats) = ipg_formats::pe::vm().parse_with_stats(&input);
+    match client.parse("pe", &input).expect("io") {
+        Wire::Done { steps, bytes, .. } => {
+            assert_eq!(steps, stats.steps);
+            assert_eq!(bytes, input.len() as u64);
+        }
+        other => panic!("expected Done, got {other:?}"),
+    }
+
+    // Streaming session over the wire.
+    let input = corpus_input("dns");
+    let Wire::Opened { id } = client.open("dns").expect("io") else { panic!("expected Opened") };
+    for chunk in input.chunks(7) {
+        match client.feed(id, chunk).expect("io") {
+            Wire::NeedInput { .. } => {}
+            other => panic!("unexpected mid-stream wire response: {other:?}"),
+        }
+    }
+    match client.finish(id).expect("io") {
+        Wire::Done { bytes, .. } => assert_eq!(bytes, input.len() as u64),
+        other => panic!("expected Done, got {other:?}"),
+    }
+
+    // Errors stay on the wire as errors, not hangups.
+    match client.parse("nope", b"x").expect("io") {
+        Wire::Error(msg) => assert!(msg.contains("unknown grammar")),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    match client.finish(id).expect("io") {
+        Wire::Error(msg) => assert!(msg.contains("session"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // Stats are live JSON.
+    match client.stats().expect("io") {
+        Wire::Stats(json) => {
+            assert!(json.contains("\"parses_ok\": 2"), "unexpected stats: {json}")
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    // Session ownership is per-connection: a second client cannot feed or
+    // finish (i.e. corrupt or kill) a session it did not open.
+    let Wire::Opened { id: mine } = client.open("dns").expect("io") else {
+        panic!("expected Opened")
+    };
+    let mut intruder = ipg_serve::proto::Client::connect(&path).expect("connect");
+    for wire in [intruder.feed(mine, b"\x00").expect("io"), intruder.finish(mine).expect("io")] {
+        match wire {
+            Wire::Error(msg) => {
+                assert!(msg.contains("not opened on this connection"), "{msg}")
+            }
+            other => panic!("expected an ownership error, got {other:?}"),
+        }
+    }
+    // The rightful owner still holds a live session.
+    match client.feed(mine, &corpus_input("dns")).expect("io") {
+        Wire::NeedInput { .. } => {}
+        other => panic!("owner's session was disturbed: {other:?}"),
+    }
+    match client.finish(mine).expect("io") {
+        Wire::Done { .. } => {}
+        other => panic!("expected Done, got {other:?}"),
+    }
+    drop(intruder);
+
+    // Close the client first: its connection thread exits on EOF and
+    // releases its server handle.
+    drop(client);
+    drop(front);
+    let _ = std::fs::remove_file(&path);
+    let mut server = server;
+    for _ in 0..200 {
+        match Arc::try_unwrap(server) {
+            Ok(s) => {
+                s.shutdown();
+                return;
+            }
+            Err(still_shared) => {
+                server = still_shared;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    panic!("connection thread did not release the server handle");
+}
+
+#[test]
+fn custom_registry_rejects_everything_else() {
+    let mut registry = Registry::new();
+    registry.register("only-dns", ipg_formats::dns::vm());
+    let server = Server::with_registry(Config { workers: 1, ..Config::default() }, registry);
+    assert!(server.parse("zip", corpus_input("zip")).is_err());
+    assert!(server.parse("only-dns", corpus_input("dns")).is_ok());
+    assert_eq!(server.registry().names().collect::<Vec<_>>(), vec!["only-dns"]);
+    server.shutdown();
+}

@@ -1,0 +1,212 @@
+//! `ipg_parse` — parse a file (or stdin) with a named corpus grammar and
+//! pretty-print the resulting tree.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example ipg_parse -- <grammar> [FILE | -] [--depth N]
+//! ```
+//!
+//! * `<grammar>` — one of the nine corpus grammars (`zip`, `zip_inflate`,
+//!   `dns`, `png`, `gif`, `elf`, `ipv4udp`, `pe`, `pdf`).
+//! * `FILE` — input path. `-` reads stdin *through the streaming session*
+//!   (chunked feeds, exactly the parse a server would run as bytes arrive
+//!   off the wire). With neither, a small self-generated corpus input is
+//!   parsed, so the example runs standalone.
+//! * `--depth N` — pretty-printer depth limit (default 4).
+
+use ipg_core::check::Grammar;
+use ipg_core::interp::vm::{Outcome, VmParser};
+use ipg_core::tree::Tree;
+use std::io::{Read, Write as _};
+use std::rc::Rc;
+
+fn usage() -> ! {
+    eprintln!("usage: ipg_parse <grammar> [FILE | -] [--depth N]");
+    eprintln!("grammars: {}", names().join(", "));
+    std::process::exit(2);
+}
+
+fn names() -> Vec<&'static str> {
+    ipg_formats::all_vms().into_iter().map(|(n, _)| n).collect()
+}
+
+fn self_generated(grammar: &str) -> Vec<u8> {
+    match grammar {
+        "zip" | "zip_inflate" => ipg_corpus::zip::generate(&Default::default()).bytes,
+        "dns" => ipg_corpus::dns::generate(&Default::default()).bytes,
+        "png" => ipg_corpus::png::generate(&Default::default()).bytes,
+        "gif" => ipg_corpus::gif::generate(&Default::default()).bytes,
+        "elf" => ipg_corpus::elf::generate(&Default::default()).bytes,
+        "ipv4udp" => ipg_corpus::ipv4udp::generate(&Default::default()).bytes,
+        "pe" => ipg_corpus::pe::generate(&Default::default()).bytes,
+        "pdf" => ipg_corpus::pdf::generate(&Default::default()).bytes,
+        _ => usage(),
+    }
+}
+
+/// Streams stdin through a [`ipg_core::interp::vm::Session`] in 4 KiB
+/// chunks, reporting the suspension count the parse accumulated.
+fn parse_stdin(vm: &VmParser<'_>) -> (Rc<Tree>, u64, usize) {
+    let mut session = vm.streaming();
+    let mut stdin = std::io::stdin().lock();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = stdin.read(&mut buf).expect("read stdin");
+        if n == 0 {
+            break;
+        }
+        if let Outcome::Error(e) = session.feed(&buf[..n]) {
+            eprintln!("parse failed mid-stream: {e}");
+            std::process::exit(1);
+        }
+    }
+    let buffered = session.buffered();
+    let suspends = session.suspends();
+    match session.finish() {
+        Outcome::Done(tree) => (tree.root().to_tree(), suspends, buffered),
+        Outcome::Error(e) => {
+            eprintln!("parse failed: {e}");
+            std::process::exit(1);
+        }
+        Outcome::NeedInput { .. } => unreachable!("finish never needs input"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grammar_name = None;
+    let mut input_arg = None;
+    let mut depth = 4usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--depth" => depth = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other if grammar_name.is_none() => grammar_name = Some(other.to_owned()),
+            other if input_arg.is_none() => input_arg = Some(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let Some(grammar_name) = grammar_name else { usage() };
+    let Some((_, vm)) = ipg_formats::all_vms().into_iter().find(|(n, _)| *n == grammar_name) else {
+        eprintln!("unknown grammar `{grammar_name}`");
+        usage()
+    };
+    let grammar = ipg_formats::all_grammars()
+        .into_iter()
+        .find(|(n, _)| *n == grammar_name)
+        .expect("registries agree")
+        .1;
+
+    let (tree, suspends, bytes, source) = match input_arg.as_deref() {
+        Some("-") => {
+            let (tree, suspends, bytes) = parse_stdin(vm);
+            (tree, suspends, bytes, "stdin (streamed)".to_owned())
+        }
+        Some(path) => {
+            let input = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let tree = one_shot(vm, &input);
+            (tree, 0, input.len(), path.to_owned())
+        }
+        None => {
+            let input = self_generated(&grammar_name);
+            let tree = one_shot(vm, &input);
+            (tree, 0, input.len(), "self-generated corpus input".to_owned())
+        }
+    };
+
+    // Write-based so a downstream `| head` closing the pipe ends the
+    // dump quietly instead of panicking on EPIPE.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let dump = writeln!(
+        out,
+        "{grammar_name}: parsed {bytes} bytes from {source} ({}, {suspends} suspensions)",
+        vm.anchor()
+    )
+    .and_then(|()| print_tree(&mut out, &tree, grammar, 0, depth))
+    .and_then(|()| out.flush());
+    if let Err(e) = dump {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("cannot write output: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn one_shot(vm: &VmParser<'_>, input: &[u8]) -> Rc<Tree> {
+    match vm.parse(input) {
+        Ok(tree) => tree.root().to_tree(),
+        Err(e) => {
+            eprintln!("parse failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Depth- and width-limited tree dump: nonterminals with their user
+/// attributes and spans, arrays summarized, leaves as byte spans.
+fn print_tree(
+    out: &mut impl std::io::Write,
+    tree: &Tree,
+    g: &Grammar,
+    indent: usize,
+    max_depth: usize,
+) -> std::io::Result<()> {
+    const MAX_CHILDREN: usize = 8;
+    let pad = "  ".repeat(indent);
+    if indent >= max_depth {
+        return writeln!(out, "{pad}…");
+    }
+    match tree {
+        Tree::Node(n) => {
+            let attrs: Vec<String> = n
+                .env
+                .iter()
+                .filter(|(sym, _)| g.attr_name(*sym) != "EOI")
+                .map(|(sym, v)| format!("{}={v}", g.attr_name(sym)))
+                .collect();
+            writeln!(
+                out,
+                "{pad}{} [{}..{}] {{{}}}",
+                n.name,
+                n.base,
+                n.base + n.input_len,
+                attrs.join(", ")
+            )?;
+            for child in n.children.iter().take(MAX_CHILDREN) {
+                print_tree(out, child, g, indent + 1, max_depth)?;
+            }
+            if n.children.len() > MAX_CHILDREN {
+                writeln!(out, "{pad}  … {} more children", n.children.len() - MAX_CHILDREN)?;
+            }
+        }
+        Tree::Array(a) => {
+            writeln!(out, "{pad}{}[] ({} elements)", a.name, a.elems.len())?;
+            for elem in a.elems.iter().take(MAX_CHILDREN) {
+                print_tree(out, elem, g, indent + 1, max_depth)?;
+            }
+            if a.elems.len() > MAX_CHILDREN {
+                writeln!(out, "{pad}  … {} more elements", a.elems.len() - MAX_CHILDREN)?;
+            }
+        }
+        Tree::Leaf(l) => {
+            writeln!(out, "{pad}\"…\" [{}..{}]", l.start, l.end)?;
+        }
+        Tree::Blackbox(b) => {
+            writeln!(
+                out,
+                "{pad}{} (blackbox, {} bytes decoded) [{}..{}]",
+                b.name,
+                b.data.len(),
+                b.base,
+                b.base + b.input_len
+            )?;
+        }
+    }
+    Ok(())
+}

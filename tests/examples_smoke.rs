@@ -3,16 +3,30 @@
 //! each invocation exercises generator → grammar → extractor in one go;
 //! `check_grammar` is pointed at an embedded `.ipg` spec.
 
-use std::process::Command;
+use std::io::Write as _;
+use std::process::{Command, Stdio};
 
 fn run_example(name: &str, args: &[&str]) {
+    run_example_with_stdin(name, args, None);
+}
+
+fn run_example_with_stdin(name: &str, args: &[&str], stdin: Option<&[u8]>) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
-    let out = Command::new(cargo)
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"))
         .args(["run", "--quiet", "--example", name, "--"])
         .args(args)
-        .output()
-        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child =
+        cmd.spawn().unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    if let Some(bytes) = stdin {
+        child.stdin.take().expect("piped stdin").write_all(bytes).expect("write stdin");
+    }
+    let out = child.wait_with_output().expect("wait for example");
     assert!(
         out.status.success(),
         "example `{name}` exited with {:?}\nstdout:\n{}\nstderr:\n{}",
@@ -56,4 +70,15 @@ fn pdf_info_runs() {
 #[test]
 fn check_grammar_runs_on_an_embedded_spec() {
     run_example("check_grammar", &["crates/ipg-formats/specs/gif.ipg"]);
+}
+
+#[test]
+fn ipg_parse_runs_on_a_self_generated_input() {
+    run_example("ipg_parse", &["dns"]);
+}
+
+#[test]
+fn ipg_parse_streams_stdin_through_a_session() {
+    let archive = ipg_corpus::zip::generate(&Default::default()).bytes;
+    run_example_with_stdin("ipg_parse", &["zip", "-"], Some(&archive));
 }

@@ -45,6 +45,156 @@ fn regression_seed_aliasing_produces_distinct_inputs() {
     assert!(a != b || b != c, "consecutive seeds collapsed onto one input");
 }
 
+/// Session-abuse coverage: every way a caller (or a hostile peer behind
+/// `ipg-serve`) can misuse a streaming session must produce a clean
+/// [`ipg_core::Error`], never a panic and never a wedged session.
+mod session_abuse {
+    use ipg_core::interp::vm::Outcome;
+    use ipg_core::Error;
+
+    /// Fuel exhaustion mid-stream and at finish reports the same "step
+    /// limit" error the one-shot engines report, and the session stays
+    /// closed (poisoned) afterwards.
+    #[test]
+    fn fuel_exhaustion_is_a_clean_terminal_error() {
+        let f = super::common::format("zip");
+        let input = super::common::default_corpus_input("zip");
+        let mut session = f.vm.streaming().max_steps(3);
+        for chunk in input.chunks(16) {
+            if let Outcome::Error(e) = session.feed(chunk) {
+                panic!("fuel cannot run out while suspended pre-finish: {e}");
+            }
+        }
+        match session.finish() {
+            Outcome::Error(Error::Parse(pe)) => {
+                assert!(pe.msg.contains("step limit"), "unexpected message: {}", pe.msg)
+            }
+            other => panic!("expected a fuel error, got {other:?}"),
+        }
+        // Poisoned: further use replays a clean error.
+        assert!(matches!(session.feed(b"more"), Outcome::Error(_)));
+        assert!(matches!(session.finish(), Outcome::Error(_)));
+    }
+
+    /// Byte budgets poison the session exactly at the cap.
+    #[test]
+    fn byte_budget_is_enforced_at_the_cap() {
+        let f = super::common::format("dns");
+        let mut session = f.vm.streaming().max_bytes(8);
+        assert!(matches!(session.feed(&[0u8; 8]), Outcome::NeedInput { .. }));
+        match session.feed(&[0u8; 1]) {
+            Outcome::Error(Error::Session(msg)) => {
+                assert!(msg.contains("byte budget"), "unexpected message: {msg}")
+            }
+            other => panic!("expected a byte-budget error, got {other:?}"),
+        }
+        assert!(matches!(session.finish(), Outcome::Error(_)));
+    }
+
+    /// Feeding or finishing after `Done` returns a session error and does
+    /// not disturb the delivered result.
+    #[test]
+    fn use_after_done_is_a_clean_error() {
+        let f = super::common::format("dns");
+        let input = super::common::default_corpus_input("dns");
+        let mut session = f.vm.streaming();
+        assert!(!matches!(session.feed(&input), Outcome::Error(_)));
+        let Outcome::Done(tree) = session.finish() else { panic!("corpus input parses") };
+        assert!(!tree.arena().is_empty());
+        assert!(session.is_closed());
+        for _ in 0..2 {
+            match session.feed(b"late") {
+                Outcome::Error(Error::Session(msg)) => {
+                    assert!(msg.contains("delivered"), "unexpected message: {msg}")
+                }
+                other => panic!("expected a session error, got {other:?}"),
+            }
+        }
+        assert!(matches!(session.finish(), Outcome::Error(Error::Session(_))));
+    }
+
+    /// Feeding after a determined rejection replays the same parse error.
+    #[test]
+    fn use_after_error_replays_the_rejection() {
+        let f = super::common::format("gif");
+        let mut session = f.vm.streaming();
+        // A GIF must start with "GIF8"; this prefix is a determined
+        // rejection long before end-of-input.
+        let first = match session.feed(b"definitely-not-a-gif-header") {
+            Outcome::Error(e) => e,
+            other => panic!("expected a determined rejection, got {other:?}"),
+        };
+        match (session.feed(b"more"), session.finish()) {
+            (Outcome::Error(a), Outcome::Error(b)) => {
+                assert_eq!(a, first);
+                assert_eq!(b, first);
+            }
+            other => panic!("expected replayed errors, got {other:?}"),
+        }
+    }
+
+    /// Truncation at *every* boundary of real `dns` and `zip` corpus
+    /// inputs: each prefix must finish with exactly the one-shot VM's
+    /// verdict on that prefix — no panics, no divergence, no wedged
+    /// state. (This is the streaming analogue of the truncation orbit in
+    /// the conformance sweep.)
+    #[test]
+    fn truncation_at_every_boundary_is_clean() {
+        for name in ["dns", "zip"] {
+            let f = super::common::format(name);
+            let input = super::common::default_corpus_input(name);
+            for cut in 0..=input.len() {
+                let prefix = &input[..cut];
+                let one_shot = f.vm.parse(prefix);
+                let mut session = f.vm.streaming();
+                let mut early = None;
+                if let Outcome::Error(e) = session.feed(prefix) {
+                    early = Some(e);
+                }
+                let streamed = match session.finish() {
+                    Outcome::Done(tree) => Ok(tree),
+                    Outcome::Error(e) => Err(e),
+                    Outcome::NeedInput { .. } => {
+                        panic!("{name}: finish returned NeedInput at cut {cut}")
+                    }
+                };
+                match (one_shot, streamed) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.root().to_tree(),
+                            b.root().to_tree(),
+                            "{name}: tree mismatch at cut {cut}"
+                        );
+                        assert!(early.is_none());
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "{name}: error mismatch at cut {cut}");
+                        if let Some(e) = early {
+                            assert_eq!(e, b, "{name}: early error differs at cut {cut}");
+                        }
+                    }
+                    (a, b) => panic!(
+                        "{name}: acceptance mismatch at cut {cut}: one-shot {} vs streamed {}",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Deadline eviction lives in the service layer: an evicted session's
+    /// id answers with a clean session error (covered end-to-end in
+    /// `crates/ipg-serve/tests/serve.rs`); this pins the error type it
+    /// relies on.
+    #[test]
+    fn session_error_variant_displays_cleanly() {
+        let e = Error::Session("evicted".into());
+        assert_eq!(e.to_string(), "session error: evicted");
+        assert_eq!(e.clone(), e);
+    }
+}
+
 /// Regression (mutator, found 2026-07 while writing the harness): the
 /// mutation driver must actually perturb — a seed/index pairing that maps
 /// overwhelmingly onto the `pristine` arm turns the 256-mutant acceptance
