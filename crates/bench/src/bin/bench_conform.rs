@@ -26,7 +26,7 @@ use std::time::Instant;
 
 #[derive(Default)]
 struct Row {
-    grammar: &'static str,
+    grammar: String,
     generations: u64,
     gen_failures: u64,
     mutants: u64,
@@ -54,11 +54,12 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut failed = false;
-    for (name, g) in ipg_formats::all_grammars() {
+    for entry in ipg_formats::Registry::corpus().entries() {
+        let (name, g) = (entry.name.as_str(), entry.grammar);
         let parser = Parser::new(g).max_steps(FUEL);
         let vm = VmParser::new(g).max_steps(FUEL);
         let generator = Generator::new(g).with_config(GenConfig::default());
-        let mut row = Row { grammar: name, ..Default::default() };
+        let mut row = Row { grammar: name.to_owned(), ..Default::default() };
         let mut total_len = 0usize;
         let t_gen = Instant::now();
         let mut inputs = Vec::with_capacity(n_gens as usize);
@@ -85,7 +86,7 @@ fn main() {
 
         let t_check = Instant::now();
         for (seed, bytes) in &inputs {
-            match ipg_formats::compare_engines(&parser, &vm, bytes) {
+            match ipg_formats::Registry::compare_engines(&parser, &vm, bytes) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!("{name}: seed {seed}: generated input rejected by both engines");
@@ -104,7 +105,7 @@ fn main() {
                 let mut mutant = bytes.clone();
                 mutate(&mut mutant, *seed, m);
                 row.mutants += 1;
-                match ipg_formats::compare_engines(&parser, &vm, &mutant) {
+                match ipg_formats::Registry::compare_engines(&parser, &vm, &mutant) {
                     Ok(accepted) => row.mutants_accepted += accepted as u64,
                     Err(msg) => {
                         eprintln!("{name}: seed {seed} mutant {m}: DIVERGENCE: {msg}");

@@ -88,8 +88,7 @@ fn main() {
     let chunk: usize = cli.value("--chunk").map_or(4096, |s| s.parse().expect("chunk usize"));
     let budget = cli.budget(40, 500);
 
-    let vms = ipg_formats::all_vms();
-    let grammars = ipg_formats::all_grammars();
+    let registry = ipg_formats::Registry::corpus();
     // Built once: the corpus generators behind these fixtures are
     // startup cost, not measurement.
     let workloads = bench::grammar_workloads();
@@ -104,8 +103,8 @@ fn main() {
     let mut total_chunked_s = 0.0f64;
     for (name, workload) in &workloads {
         let name = *name;
-        let vm = vms.iter().find(|(n, _)| *n == name).expect("registry names match").1;
-        let grammar = grammars.iter().find(|(n, _)| *n == name).expect("grammar").1;
+        let vm = registry.vm(name).expect("registry names match");
+        let grammar = registry.grammar(name).expect("grammar");
         let mut inputs: Vec<Vec<u8>> = vec![workload.clone()];
         let generator = ipg_gen::Generator::new(grammar);
         for seed in 0..n_gen {

@@ -124,7 +124,7 @@ pub fn zip_many_small_entries(n: usize) -> Vec<u8> {
 }
 
 /// One engine-bound workload per corpus grammar, keyed by the
-/// `ipg_formats::all_grammars`/`all_vms` registry names. Sized so grammar
+/// `ipg_formats::Registry::corpus` entry names. Sized so grammar
 /// evaluation (not fixture setup) dominates; shared by `bench_interp`
 /// (engine-vs-engine) and `bench_serve` (streaming overhead and pool
 /// scaling) so their numbers describe the same work.

@@ -1,24 +1,32 @@
-//! Grammar toolchain driver: parse a `.ipg` file, run attribute checking
-//! and the §5 termination checker, and optionally emit a standalone Rust
-//! parser (the §7 parser generator).
-//!
-//! ```sh
-//! cargo run --example check_grammar -- crates/ipg-formats/specs/gif.ipg
-//! cargo run --example check_grammar -- crates/ipg-formats/specs/gif.ipg --emit-rust out.rs
-//! ```
+//! `ipg check` — the grammar toolchain driver: frontend, attribute
+//! checking, the §5 termination checker, the streamability analysis, and
+//! optionally the §7 Rust parser generator.
 
+use crate::{CmdResult, Failure};
 use ipg_core::frontend::{interval_stats, parse_grammar, parse_surface};
 use ipg_core::termination::check_termination;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: check_grammar <spec.ipg> [--emit-rust <out.rs>]");
-        std::process::exit(2);
+pub fn run(args: &[String]) -> CmdResult {
+    let mut path = None;
+    let mut emit_rust = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit-rust" => {
+                emit_rust =
+                    Some(it.next().cloned().unwrap_or_else(|| "generated_parser.rs".to_owned()));
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let Some(path) = path else {
+        return Err(Failure::usage("usage: ipg check <spec.ipg> [--emit-rust OUT.rs]"));
     };
-    let src = std::fs::read_to_string(&path)?;
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| Failure::runtime(format!("cannot read {path}: {e}")))?;
 
-    let surface = parse_surface(&src)?;
+    let surface = parse_surface(&src).map_err(Failure::runtime)?;
     let stats = interval_stats(&surface);
     println!(
         "{path}: {} rules, {} intervals ({} fully inferred, {} length-only, {} explicit)",
@@ -29,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.explicit()
     );
 
-    let grammar = parse_grammar(&src)?;
+    let grammar = parse_grammar(&src).map_err(Failure::runtime)?;
     println!("attribute checking: ok (start nonterminal `{}`)", grammar.start_nt_name());
 
     let report = check_termination(&grammar);
@@ -56,10 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {} blocked: {}", rule.name, rule.blockers.join("; "));
     }
 
-    if args.next().as_deref() == Some("--emit-rust") {
-        let out = args.next().unwrap_or_else(|| "generated_parser.rs".to_owned());
-        let code = ipg_core::codegen::generate_rust(&grammar)?;
-        std::fs::write(&out, &code)?;
+    if let Some(out) = emit_rust {
+        let code = ipg_core::codegen::generate_rust(&grammar).map_err(Failure::runtime)?;
+        std::fs::write(&out, &code)
+            .map_err(|e| Failure::runtime(format!("cannot write {out}: {e}")))?;
         println!(
             "wrote generated recursive-descent parser to {out} ({} lines)",
             code.lines().count()

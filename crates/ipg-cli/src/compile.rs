@@ -1,0 +1,72 @@
+//! `ipg compile` — compile a grammar through the `.ipgc` artifact cache,
+//! optionally writing a standalone artifact and reporting the cache
+//! outcome (the `--cache-stats` flag CI uses to assert warm-cache hits).
+
+use crate::{resolve, CmdResult, Failure};
+use ipg_core::ipgc::{encode, Cache, CacheOutcome, CachedProgram, MissReason};
+
+pub fn run(args: &[String]) -> CmdResult {
+    let mut grammar_arg = None;
+    let mut out = None;
+    let mut cache_stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => {
+                out = Some(
+                    it.next().cloned().ok_or_else(|| Failure::usage("-o needs an output path"))?,
+                );
+            }
+            "--cache-stats" => cache_stats = true,
+            other if grammar_arg.is_none() => grammar_arg = Some(other.to_owned()),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let Some(grammar_arg) = grammar_arg else {
+        return Err(Failure::usage("usage: ipg compile <grammar> [-o OUT.ipgc] [--cache-stats]"));
+    };
+    let (name, spec, blackboxes) = resolve::source(&grammar_arg)?;
+
+    let cache = Cache::from_env();
+    let (cached, outcome) = match &cache {
+        Some(cache) => {
+            let (cached, outcome) =
+                cache.load_or_compile(&name, &spec, blackboxes).map_err(Failure::runtime)?;
+            (cached, Some(outcome))
+        }
+        None => (CachedProgram::compile(&spec, blackboxes).map_err(Failure::runtime)?, None),
+    };
+
+    println!(
+        "{name}: compiled (source hash {:016x}, anchor {}, start `{}`)",
+        cached.source_hash,
+        cached.anchor,
+        cached.grammar.start_nt_name()
+    );
+    if cache_stats {
+        match (&cache, outcome) {
+            (Some(cache), Some(outcome)) => {
+                println!("cache dir: {}", cache.dir().display());
+                println!("artifact: {}", cache.path_for(&name, cached.source_hash).display());
+                println!(
+                    "cache: {}",
+                    match outcome {
+                        CacheOutcome::Hit => "hit".to_owned(),
+                        CacheOutcome::Miss(MissReason::Absent) => "miss (absent)".to_owned(),
+                        CacheOutcome::Miss(MissReason::Invalid(why)) =>
+                            format!("miss (invalid: {why})"),
+                    }
+                );
+            }
+            _ => println!("cache: disabled (IPG_NO_CACHE)"),
+        }
+    }
+
+    if let Some(out) = out {
+        let bytes = encode(&spec, &cached.grammar, &cached.program, cached.anchor, cached.hints);
+        std::fs::write(&out, &bytes)
+            .map_err(|e| Failure::runtime(format!("cannot write {out}: {e}")))?;
+        println!("wrote {out} ({} bytes)", bytes.len());
+    }
+    Ok(())
+}

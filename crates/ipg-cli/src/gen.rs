@@ -1,0 +1,74 @@
+//! `ipg gen` — grammar-driven input generation (the conformance
+//! harness's generator as a standalone tool). Every emitted input is
+//! VM-verified before it is reported or written.
+
+use crate::{resolve, CmdResult, Failure};
+use ipg_gen::Generator;
+
+pub fn run(args: &[String]) -> CmdResult {
+    let mut grammar_arg = None;
+    let mut seed = 0u64;
+    let mut count = 1u64;
+    let mut out_dir = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| Failure::usage("--seed needs a number"))?;
+            }
+            "--count" => {
+                count = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| Failure::usage("--count needs a number"))?;
+            }
+            "--out" => {
+                out_dir = Some(
+                    it.next().cloned().ok_or_else(|| Failure::usage("--out needs a directory"))?,
+                );
+            }
+            other if grammar_arg.is_none() => grammar_arg = Some(other.to_owned()),
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let Some(grammar_arg) = grammar_arg else {
+        return Err(Failure::usage("usage: ipg gen <grammar> [--seed N] [--count N] [--out DIR]"));
+    };
+    let entry = resolve::entry(&grammar_arg)?;
+    let generator = Generator::new(entry.grammar);
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Failure::runtime(format!("cannot create {dir}: {e}")))?;
+    }
+    let mut failures = 0u64;
+    for s in seed..seed + count {
+        match generator.generate_valid(s) {
+            Some(bytes) => {
+                entry.vm.parse(&bytes).map_err(|e| {
+                    Failure::runtime(format!("seed {s}: generated input rejected by the VM: {e}"))
+                })?;
+                match &out_dir {
+                    Some(dir) => {
+                        let path = format!("{dir}/seed_{s}.bin");
+                        std::fs::write(&path, &bytes)
+                            .map_err(|e| Failure::runtime(format!("cannot write {path}: {e}")))?;
+                        println!("seed {s}: wrote {path} ({} bytes)", bytes.len());
+                    }
+                    None => println!("seed {s}: {} bytes (VM-verified)", bytes.len()),
+                }
+            }
+            None => {
+                eprintln!("seed {s}: generation failed");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(Failure::runtime(format!("{failures}/{count} seeds failed to generate")));
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! `ipg` — the unified command-line driver for the IPG toolchain.
+//!
+//! One binary fronts every workflow the repository's former examples
+//! covered, routed through the shared [`ipg_formats::Registry`] so
+//! built-in corpus grammars, user `.ipg` sources, and persisted `.ipgc`
+//! artifacts are interchangeable everywhere a `<grammar>` is accepted:
+//!
+//! ```text
+//! ipg check <spec.ipg> [--emit-rust OUT.rs]     # frontend + §5 termination
+//! ipg compile <grammar> [-o OUT.ipgc] [--cache-stats]
+//! ipg disasm <grammar>                          # bytecode listing
+//! ipg parse <grammar> [FILE | -] [--depth N] [--extract [DIR]]
+//! ipg gen <grammar> [--seed N] [--count N] [--out DIR]
+//! ipg serve --socket PATH [--workers N] [--grammar PATH]...
+//! ipg bench-info                                # corpus/artifact summary
+//! ```
+//!
+//! `<grammar>` is a corpus name (`ipg bench-info` lists them), a path to
+//! an `.ipg` source, or a path to an `.ipgc` artifact. Compiled programs
+//! are persisted to and reloaded from the artifact cache (see
+//! [`ipg_core::ipgc`]); `IPG_CACHE_DIR` overrides the location and
+//! `IPG_NO_CACHE` disables it.
+
+mod bench_info;
+mod check;
+mod compile;
+mod disasm;
+mod extract;
+mod gen;
+mod parse;
+mod resolve;
+mod serve;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: ipg <command> [args]
+
+commands:
+  check <spec.ipg> [--emit-rust OUT.rs]
+      Parse a grammar, run attribute checking, the termination checker,
+      and the streamability analysis; optionally emit a Rust parser.
+  compile <grammar> [-o OUT.ipgc] [--cache-stats]
+      Compile through the .ipgc artifact cache; -o also writes a
+      standalone artifact, --cache-stats reports the cache outcome.
+  disasm <grammar>
+      Print the compiled bytecode listing.
+  parse <grammar> [FILE | -] [--depth N] [--extract [DIR]]
+      Parse a file (- streams stdin through a session) and dump the tree;
+      --extract prints the typed extractor view for corpus formats
+      (for zip, an extraction directory may follow).
+  gen <grammar> [--seed N] [--count N] [--out DIR]
+      Generate grammar-valid inputs (VM-verified); --out writes them.
+  serve --socket PATH [--workers N] [--grammar PATH]...
+      Serve the framed parse protocol on a Unix socket.
+  bench-info
+      Summarize the corpus registry and its artifact cache state.
+
+<grammar> is a corpus name, a .ipg source path, or a .ipgc artifact path.
+Environment: IPG_CACHE_DIR sets the artifact cache, IPG_NO_CACHE disables it.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "check" => check::run(rest),
+        "compile" => compile::run(rest),
+        "disasm" => disasm::run(rest),
+        "parse" => parse::run(rest),
+        "gen" => gen::run(rest),
+        "serve" => serve::run(rest),
+        "bench-info" => bench_info::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("ipg: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Failure::Usage(msg)) => {
+            eprintln!("ipg {cmd}: {msg}");
+            ExitCode::from(2)
+        }
+        Err(Failure::Runtime(msg)) => {
+            eprintln!("ipg {cmd}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A command failure: usage errors exit 2, everything else exits 1.
+pub enum Failure {
+    /// Bad invocation (wrong arguments); reported with exit code 2.
+    Usage(String),
+    /// The command ran and failed; reported with exit code 1.
+    Runtime(String),
+}
+
+impl Failure {
+    fn usage(msg: impl Into<String>) -> Failure {
+        Failure::Usage(msg.into())
+    }
+
+    fn runtime(msg: impl std::fmt::Display) -> Failure {
+        Failure::Runtime(msg.to_string())
+    }
+}
+
+type CmdResult = Result<(), Failure>;

@@ -1,0 +1,69 @@
+//! `ipg serve` — the batch/streaming parse service on a Unix socket,
+//! with the corpus registry plus any extra grammars named on the command
+//! line (all loaded through the same artifact pipeline).
+
+use crate::{CmdResult, Failure};
+use ipg_formats::Registry;
+use ipg_serve::{Config, Server};
+use std::path::Path;
+use std::sync::Arc;
+
+pub fn run(args: &[String]) -> CmdResult {
+    let mut socket = None;
+    let mut workers = None;
+    let mut extra = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next().cloned().ok_or_else(|| Failure::usage("--socket needs a path"))?,
+                );
+            }
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .ok_or_else(|| Failure::usage("--workers needs a number"))?,
+                );
+            }
+            "--grammar" => {
+                extra.push(
+                    it.next().cloned().ok_or_else(|| Failure::usage("--grammar needs a path"))?,
+                );
+            }
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let Some(socket) = socket else {
+        return Err(Failure::usage(
+            "usage: ipg serve --socket PATH [--workers N] [--grammar PATH]...",
+        ));
+    };
+
+    let mut registry = Registry::corpus();
+    for path in &extra {
+        let entry = registry.load_path(Path::new(path)).map_err(Failure::runtime)?;
+        println!("loaded `{}` from {path}", entry.name);
+    }
+
+    let cfg = match workers {
+        Some(workers) => Config { workers, ..Config::default() },
+        None => Config::default(),
+    };
+    let server = Arc::new(Server::with_registry(cfg, registry));
+    let front = server
+        .serve_unix(&socket)
+        .map_err(|e| Failure::runtime(format!("cannot bind {socket}: {e}")))?;
+    println!(
+        "serving {} grammars on {socket} with {} workers (ctrl-c to stop)",
+        server.registry().entries().len(),
+        server.workers()
+    );
+    // The acceptor runs on its own thread; park this one until killed.
+    loop {
+        std::thread::park();
+        // Spurious unparks are allowed; keep the front end alive.
+        let _ = &front;
+    }
+}

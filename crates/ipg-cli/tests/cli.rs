@@ -1,0 +1,200 @@
+//! End-to-end tests of the `ipg` binary: every subcommand runs against
+//! the built executable (`CARGO_BIN_EXE_ipg`), deterministic outputs are
+//! pinned as expect-files under `tests/expect/` (blessed with the same
+//! `UPDATE_SNAPSHOTS=1` flow as the bytecode snapshots), and the
+//! cold-then-warm cache behavior CI gates on is asserted here too.
+
+#[path = "../../../tests/common/mod.rs"]
+mod common;
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+fn ipg(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipg"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn ipg")
+}
+
+fn ok_stdout(args: &[&str], env: &[(&str, &str)]) -> String {
+    let out = ipg(args, env);
+    assert!(
+        out.status.success(),
+        "ipg {args:?} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+fn expect_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/expect")
+}
+
+/// A per-test scratch directory (fresh on entry, removed on drop).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("ipg-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn str(&self) -> &str {
+        self.0.to_str().expect("utf-8 scratch path")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = ipg(&[], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: ipg <command>"));
+}
+
+#[test]
+fn unknown_grammars_are_usage_errors_that_list_the_corpus() {
+    let out = ipg(&["disasm", "no-such-grammar"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("neither a corpus grammar nor an existing file"), "{stderr}");
+    assert!(stderr.contains("zip_inflate"), "should list the corpus: {stderr}");
+}
+
+#[test]
+fn bench_info_lists_all_nine_corpus_grammars() {
+    let stdout = ok_stdout(&["bench-info"], &[]);
+    for name in ["zip", "zip_inflate", "dns", "png", "gif", "elf", "ipv4udp", "pe", "pdf"] {
+        assert!(stdout.contains(name), "bench-info is missing `{name}`:\n{stdout}");
+    }
+    assert!(stdout.contains("artifact cache:"), "{stdout}");
+}
+
+#[test]
+fn compile_reports_a_cold_miss_then_a_warm_hit() {
+    let scratch = Scratch::new("cache");
+    let env = [("IPG_CACHE_DIR", scratch.str())];
+    let cold = ok_stdout(&["compile", "dns", "--cache-stats"], &env);
+    assert!(cold.contains("cache: miss (absent)"), "first compile must miss:\n{cold}");
+    let warm = ok_stdout(&["compile", "dns", "--cache-stats"], &env);
+    assert!(warm.contains("cache: hit"), "second compile must hit:\n{warm}");
+}
+
+#[test]
+fn disasm_matches_the_pinned_bytecode_snapshot() {
+    // The same golden the `bytecode_snapshot` suite pins: the CLI listing
+    // for a cache-loaded program must be byte-identical to it.
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/snapshots");
+    let stdout = ok_stdout(&["disasm", "dns"], &[]);
+    common::check_snapshot(&golden_dir, "dns.bc.txt", &stdout);
+}
+
+#[test]
+fn disasm_of_a_written_artifact_is_identical_to_the_corpus_listing() {
+    let scratch = Scratch::new("artifact");
+    let artifact = scratch.path().join("gif.ipgc");
+    let artifact = artifact.to_str().expect("utf-8 path");
+    ok_stdout(&["compile", "gif", "-o", artifact], &[]);
+    let from_file = ok_stdout(&["disasm", artifact], &[]);
+    let from_corpus = ok_stdout(&["disasm", "gif"], &[]);
+    assert_eq!(from_file, from_corpus, "artifact listing drifted from the corpus listing");
+}
+
+#[test]
+fn corrupted_artifacts_are_reported_not_panics() {
+    let scratch = Scratch::new("corrupt");
+    let artifact = scratch.path().join("pe.ipgc");
+    ok_stdout(&["compile", "pe", "-o", artifact.to_str().unwrap()], &[]);
+    let mut bytes = std::fs::read(&artifact).expect("artifact written");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&artifact, &bytes).expect("rewrite");
+    let out = ipg(&["disasm", artifact.to_str().unwrap()], &[]);
+    assert_eq!(out.status.code(), Some(1), "corruption must be an error, not a panic");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("artifact error"));
+}
+
+#[test]
+fn parse_tree_dump_is_pinned() {
+    // The self-generated DNS sample is deterministic, so the whole tree
+    // dump is an expect-file.
+    let stdout = ok_stdout(&["parse", "dns", "--depth", "3"], &[]);
+    common::check_snapshot(&expect_dir(), "parse_dns.txt", &stdout);
+}
+
+#[test]
+fn parse_extract_listing_is_pinned() {
+    let stdout = ok_stdout(&["parse", "zip", "--extract"], &[]);
+    common::check_snapshot(&expect_dir(), "extract_zip.txt", &stdout);
+}
+
+#[test]
+fn parse_streams_stdin_through_a_session() {
+    let archive = common::default_corpus_input("zip");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipg"))
+        .args(["parse", "zip", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ipg");
+    cmd.stdin.take().expect("piped stdin").write_all(&archive).expect("write stdin");
+    let out = cmd.wait_with_output().expect("wait for ipg");
+    assert!(out.status.success(), "stderr:\n{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stdin (streamed)"), "{stdout}");
+}
+
+#[test]
+fn parse_loads_user_grammars_from_ipg_sources() {
+    let scratch = Scratch::new("usergrammar");
+    let spec = scratch.path().join("pair.ipg");
+    std::fs::write(&spec, "S -> A[0, 1] {x = A.val} B[1, 2] {y = B.val};\nA := u8;\nB := u8;\n")
+        .expect("write spec");
+    let input = scratch.path().join("input.bin");
+    std::fs::write(&input, [7u8, 9]).expect("write input");
+    let stdout = ok_stdout(&["parse", spec.to_str().unwrap(), input.to_str().unwrap()], &[]);
+    assert!(stdout.contains("pair: parsed 2 bytes"), "{stdout}");
+    assert!(stdout.contains("x=7") && stdout.contains("y=9"), "{stdout}");
+}
+
+#[test]
+fn check_runs_the_full_toolchain_on_a_shipped_spec() {
+    let spec = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../ipg-formats/specs/gif.ipg");
+    let stdout = ok_stdout(&["check", spec.to_str().unwrap()], &[]);
+    assert!(stdout.contains("attribute checking: ok"), "{stdout}");
+    assert!(stdout.contains("termination: proved"), "{stdout}");
+}
+
+#[test]
+fn gen_writes_vm_verified_inputs() {
+    let scratch = Scratch::new("gen");
+    let stdout = ok_stdout(&["gen", "png", "--count", "2", "--out", scratch.str()], &[]);
+    assert!(stdout.contains("seed 0") && stdout.contains("seed 1"), "{stdout}");
+    for seed in 0..2 {
+        let path = scratch.path().join(format!("seed_{seed}.bin"));
+        assert!(path.exists(), "missing {path:?}");
+        // And the written bytes really parse as the grammar they were
+        // generated from.
+        let bytes = std::fs::read(&path).expect("read generated input");
+        let parse = ok_stdout(&["parse", "png", path.to_str().unwrap()], &[]);
+        assert!(parse.contains(&format!("parsed {} bytes", bytes.len())), "{parse}");
+    }
+}

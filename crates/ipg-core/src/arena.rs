@@ -16,8 +16,8 @@
 //!
 //! Read access goes through the zero-copy views [`TreeRef`], [`NodeRef`],
 //! [`ArrayRef`], and [`BlackboxRef`], which mirror the accessors of
-//! [`crate::tree::Node`] (`child_node`, `attr`, `span`, …) so extractors
-//! migrate mechanically. [`TreeRef::to_tree`] converts back to the
+//! [`crate::tree::Node`] (`child_node_nt`, `attr`, `span`, …) so
+//! extractors migrate mechanically. [`TreeRef::to_tree`] converts back to the
 //! `Rc`-based [`Tree`] — the differential tests use it to require
 //! node-for-node equality between the two engines.
 
@@ -420,15 +420,10 @@ impl<'a> TreeRef<'a> {
         }
     }
 
-    /// The first direct child node parsed with nonterminal `nt`.
+    /// The first direct child node parsed with nonterminal `nt` (resolve
+    /// a name once via [`crate::check::Grammar::nt_id`]).
     pub fn child_node_nt(&self, nt: NtId) -> Option<NodeRef<'a>> {
         self.as_node()?.child_node_nt(nt)
-    }
-
-    /// The first direct child node named `name` (name-based shim over
-    /// [`TreeRef::child_node_nt`]).
-    pub fn child_node(&self, name: &str) -> Option<NodeRef<'a>> {
-        self.as_node()?.child_node(name)
     }
 
     /// The first direct child array of `nt` elements.
@@ -436,19 +431,9 @@ impl<'a> TreeRef<'a> {
         self.as_node()?.child_array_nt(nt)
     }
 
-    /// The first direct child array of `name` elements.
-    pub fn child_array(&self, name: &str) -> Option<ArrayRef<'a>> {
-        self.as_node()?.child_array(name)
-    }
-
     /// The first direct blackbox child parsed with nonterminal `nt`.
     pub fn child_blackbox_nt(&self, nt: NtId) -> Option<BlackboxRef<'a>> {
         self.as_node()?.child_blackbox_nt(nt)
-    }
-
-    /// The first direct blackbox child named `name`.
-    pub fn child_blackbox(&self, name: &str) -> Option<BlackboxRef<'a>> {
-        self.as_node()?.child_blackbox(name)
     }
 
     /// Total number of tree records reachable from this tree (counts
@@ -609,30 +594,14 @@ impl<'a> NodeRef<'a> {
         self.children().find_map(|c| c.as_node().filter(|n| n.node.nt == nt))
     }
 
-    /// The first direct child node named `name` (shim over
-    /// [`NodeRef::child_node_nt`] comparing resolved names).
-    pub fn child_node(&self, name: &str) -> Option<NodeRef<'a>> {
-        self.children().find_map(|c| c.as_node().filter(|n| n.name() == name))
-    }
-
     /// The first direct child array of `nt` elements.
     pub fn child_array_nt(&self, nt: NtId) -> Option<ArrayRef<'a>> {
         self.children().find_map(|c| c.as_array().filter(|a| a.arr.nt == nt))
     }
 
-    /// The first direct child array of `name` elements.
-    pub fn child_array(&self, name: &str) -> Option<ArrayRef<'a>> {
-        self.children().find_map(|c| c.as_array().filter(|a| a.name() == name))
-    }
-
     /// The first direct blackbox child parsed with nonterminal `nt`.
     pub fn child_blackbox_nt(&self, nt: NtId) -> Option<BlackboxRef<'a>> {
         self.children().find_map(|c| c.as_blackbox().filter(|b| b.bb.nt == nt))
-    }
-
-    /// The first direct blackbox child named `name`.
-    pub fn child_blackbox(&self, name: &str) -> Option<BlackboxRef<'a>> {
-        self.children().find_map(|c| c.as_blackbox().filter(|b| b.name() == name))
     }
 }
 

@@ -249,7 +249,7 @@ pub enum BExpr {
 
 /// Pre-sizing hints for the VM's per-parse allocations (see
 /// [`Program::size_hints`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SizeHints {
     /// Frame-stack capacity (static call-graph nesting plus slack).
     pub frames: usize,

@@ -32,6 +32,11 @@ pub enum Error {
     /// A streaming session was misused (input after completion, byte
     /// budget exceeded, …) or evicted by its host.
     Session(String),
+    /// A persisted `.ipgc` artifact could not be loaded: bad magic,
+    /// format-version skew, checksum mismatch, truncation, or an
+    /// inconsistency between the artifact and the grammar it claims to
+    /// have been compiled from. Loading never panics on malformed bytes.
+    Artifact(String),
 }
 
 /// Details about a failed parse.
@@ -58,6 +63,7 @@ impl fmt::Display for Error {
             Error::Termination(msg) => write!(f, "termination check failed: {msg}"),
             Error::Blackbox(msg) => write!(f, "blackbox parser failed: {msg}"),
             Error::Session(msg) => write!(f, "session error: {msg}"),
+            Error::Artifact(msg) => write!(f, "artifact error: {msg}"),
         }
     }
 }

@@ -44,7 +44,7 @@
 //! let mut input = vec![8u8, 0, 0, 0, 4, 0, 0, 0];
 //! input.extend_from_slice(b"DATA");
 //! let tree = parser.parse(&input)?;
-//! let h = tree.root().child_node("H").expect("header parsed");
+//! let h = tree.root().child_node_nt(g.nt_id("H").expect("H is a rule")).expect("header parsed");
 //! assert_eq!(h.attr(&g, "offset"), Some(8));
 //! assert_eq!(h.attr(&g, "length"), Some(4));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -111,6 +111,21 @@ impl<'g> VmParser<'g> {
         let program = compile(grammar);
         let hints = program.size_hints();
         let anchor = anchor_requirement(grammar);
+        VmParser { program, hints, anchor, grammar, memoize: true, max_steps: None }
+    }
+
+    /// Wraps an already-compiled program — typically one deserialized from
+    /// a persisted [`crate::ipgc`] artifact together with its precomputed
+    /// anchor classification and size hints — skipping the compile step.
+    /// `grammar` must be the grammar the program was compiled from (the
+    /// artifact loader verifies this; see
+    /// [`crate::ipgc::Artifact::into_parser`]).
+    pub fn from_compiled(
+        grammar: &'g Grammar,
+        program: Program,
+        anchor: AnchorRequirement,
+        hints: SizeHints,
+    ) -> Self {
         VmParser { program, hints, anchor, grammar, memoize: true, max_steps: None }
     }
 
@@ -1502,7 +1517,7 @@ enum Phase {
 /// }
 /// session.feed(b"data");
 /// let Outcome::Done(tree) = session.finish() else { panic!() };
-/// assert_eq!(tree.root().child_node("Body").unwrap().span(), (2, 6));
+/// assert_eq!(tree.root().child_node_nt(g.nt_id("Body").unwrap()).unwrap().span(), (2, 6));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Session<'p> {
@@ -1789,15 +1804,13 @@ mod tests {
         let input = fig2_input();
         let tree = VmParser::new(&g).parse(&input).unwrap();
         let root = tree.root();
-        let h = root.child_node("H").unwrap();
+        let h = root.child_node_nt(g.nt_id("H").unwrap()).unwrap();
         assert_eq!(h.name(), "H");
         assert_eq!(h.attr(&g, "offset"), Some(8));
         assert_eq!(h.attr(&g, "length"), Some(4));
         assert_eq!(h.span(), (0, 8));
-        let h_nt = g.nt_id("H").unwrap();
-        assert_eq!(root.child_node_nt(h_nt).unwrap().span(), h.span());
-        assert!(root.child_node("Nope").is_none());
-        let data = root.child_node("Data").unwrap();
+        assert!(root.as_node().unwrap().children().all(|c| c.as_array().is_none()));
+        let data = root.child_node_nt(g.nt_id("Data").unwrap()).unwrap();
         assert_eq!(data.span(), (8, 12));
         assert_eq!(&input[data.span().0..data.span().1], b"DATA");
     }
@@ -1854,7 +1867,7 @@ mod tests {
         let reference = Parser::new(&g).parse(&input).unwrap();
         let vm_tree = VmParser::new(&g).parse(&input).unwrap();
         assert_eq!(vm_tree.root().to_tree(), reference);
-        let arr = vm_tree.root().child_array("Item").unwrap();
+        let arr = vm_tree.root().child_array_nt(g.nt_id("Item").unwrap()).unwrap();
         assert_eq!(arr.len(), 4);
     }
 }

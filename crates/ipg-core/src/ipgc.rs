@@ -1,0 +1,1392 @@
+//! Persisted compiled grammars: the `.ipgc` artifact format and its
+//! content-hash cache.
+//!
+//! Everything downstream of [`crate::bytecode::compile`] — the flat
+//! [`Program`] pools, the [`AnchorRequirement`] streaming classification,
+//! the [`SizeHints`] pre-sizing — is a pure function of the grammar
+//! source and the blackbox declarations it was checked against. This
+//! module makes that function's output a *build artifact*: a versioned,
+//! self-describing binary file that a serve worker, test binary, or CLI
+//! invocation loads instead of recompiling.
+//!
+//! ## Artifact layout
+//!
+//! All integers are little-endian.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"IPGC"
+//!      4     4  format version (u32) — see [`FORMAT_VERSION`]
+//!      8     8  source hash (u64)   — cache key, see [`source_hash`]
+//!     16     8  payload length (u64)
+//!     24     8  payload hash (u64)  — FNV-1a over the payload bytes
+//!     32     …  payload
+//! ```
+//!
+//! The payload carries, length-prefixed and in order: the embedded `.ipg`
+//! source, the interner's symbol table (pinning [`Sym`] assignment), the
+//! start [`NtId`], the rule/alternative/instruction/expression/case/
+//! literal pools of the [`Program`], the nonterminal name table, the
+//! anchor classification, and the size hints.
+//!
+//! ## Versioning policy
+//!
+//! [`FORMAT_VERSION`] is bumped on **any** change to the payload encoding
+//! or to the bytecode semantics it transports (new [`Instr`]/[`BExpr`]
+//! variants, changed operand widths, …). There is no cross-version
+//! migration: a version-skewed artifact fails to load with
+//! [`Error::Artifact`] and the cache recompiles and rewrites it. Cache
+//! file names embed the source hash, and the hash input includes the
+//! format version, so artifacts from different toolchain versions never
+//! collide in one cache directory.
+//!
+//! ## Integrity
+//!
+//! Loading is total: corrupt, truncated, or version-skewed bytes produce
+//! a typed [`Error::Artifact`], never a panic. The payload hash catches
+//! bit-level corruption; a structural validation pass re-checks every
+//! cross-pool index against the decoded pool sizes; and
+//! [`Artifact::reconstruct_grammar`] verifies the artifact against the
+//! grammar re-checked from the embedded source (symbol-for-symbol, so
+//! [`Sym`]/[`NtId`] identity across save/load is *checked*, not assumed).
+
+use crate::analysis::{anchor_requirement, AnchorRequirement};
+use crate::arena::NtTable;
+use crate::blackbox::Blackbox;
+use crate::bytecode::{
+    compile, BExpr, ExprId, Instr, LitSpan, PAlt, PCase, PRule, PRuleKind, Program, SizeHints,
+};
+use crate::check::{Grammar, NtId};
+use crate::error::{Error, Result};
+use crate::intern::Sym;
+use crate::interp::vm::VmParser;
+use crate::syntax::{BinOp, Builtin};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The artifact magic bytes.
+pub const MAGIC: [u8; 4] = *b"IPGC";
+
+/// Current artifact format version. Bump on any encoding or bytecode
+/// change; loaders reject other versions with [`Error::Artifact`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header preceding the payload.
+pub const HEADER_LEN: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Hashing (FNV-1a, 64-bit): no dependency, stable across platforms.
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher used for both the cache key and the payload
+/// checksum.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Hashes raw bytes (the payload checksum).
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// The artifact cache key: a digest of everything the compiled program is
+/// a function of — the format version, the grammar source, and the
+/// blackbox declarations (name and attribute list; the *implementations*
+/// are runtime-bound and do not affect compilation).
+pub fn source_hash(spec: &str, blackboxes: &[Blackbox]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&FORMAT_VERSION.to_le_bytes());
+    h.update(&(spec.len() as u64).to_le_bytes());
+    h.update(spec.as_bytes());
+    h.update(&(blackboxes.len() as u64).to_le_bytes());
+    for bb in blackboxes {
+        h.update(&(bb.name.len() as u64).to_le_bytes());
+        h.update(bb.name.as_bytes());
+        h.update(&(bb.attrs.len() as u64).to_le_bytes());
+        for a in &bb.attrs {
+            h.update(&(a.len() as u64).to_le_bytes());
+            h.update(a.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level writer / reader
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::with_capacity(4096) }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end =
+            self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+                Error::Artifact(format!("truncated payload at offset {}", self.pos))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed count, sanity-bounded so corrupt lengths fail
+    /// cleanly instead of attempting a multi-gigabyte allocation.
+    fn count(&mut self, what: &str) -> Result<usize> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        // Every counted element occupies at least one payload byte.
+        if n > remaining {
+            return Err(Error::Artifact(format!("implausible {what} count {n}")));
+        }
+        Ok(n as usize)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.count("byte-run")?;
+        self.take(n)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| Error::Artifact("non-UTF-8 string in payload".into()))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Artifact(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags
+// ---------------------------------------------------------------------------
+
+fn builtin_tag(b: Builtin) -> u8 {
+    match b {
+        Builtin::U8 => 0,
+        Builtin::U16Le => 1,
+        Builtin::U16Be => 2,
+        Builtin::U32Le => 3,
+        Builtin::U32Be => 4,
+        Builtin::U64Le => 5,
+        Builtin::U64Be => 6,
+        Builtin::AsciiInt => 7,
+        Builtin::Bytes => 8,
+    }
+}
+
+fn builtin_of(tag: u8) -> Result<Builtin> {
+    Ok(match tag {
+        0 => Builtin::U8,
+        1 => Builtin::U16Le,
+        2 => Builtin::U16Be,
+        3 => Builtin::U32Le,
+        4 => Builtin::U32Be,
+        5 => Builtin::U64Le,
+        6 => Builtin::U64Be,
+        7 => Builtin::AsciiInt,
+        8 => Builtin::Bytes,
+        other => return Err(Error::Artifact(format!("unknown builtin tag {other}"))),
+    })
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Gt => 8,
+        BinOp::Le => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+        BinOp::Shl => 13,
+        BinOp::Shr => 14,
+        BinOp::BitAnd => 15,
+        BinOp::BitOr => 16,
+    }
+}
+
+fn binop_of(tag: u8) -> Result<BinOp> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Gt,
+        9 => BinOp::Le,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        13 => BinOp::Shl,
+        14 => BinOp::Shr,
+        15 => BinOp::BitAnd,
+        16 => BinOp::BitOr,
+        other => return Err(Error::Artifact(format!("unknown binop tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Serializes a compiled grammar into `.ipgc` artifact bytes.
+///
+/// `spec` must be the exact source `grammar` was checked from: the loader
+/// reconstructs the [`Grammar`] from it and cross-checks the program's
+/// symbol and nonterminal tables against the result.
+pub fn encode(
+    spec: &str,
+    grammar: &Grammar,
+    program: &Program,
+    anchor: AnchorRequirement,
+    hints: SizeHints,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+
+    // 1. Embedded source.
+    w.str(spec);
+
+    // 2. Symbol table, in Sym order: pins Sym assignment across save/load.
+    let interner = grammar.interner();
+    w.u64(interner.len() as u64);
+    for i in 0..interner.len() {
+        w.str(interner.resolve(Sym(i as u32)));
+    }
+
+    // 3. Start nonterminal.
+    w.u32(program.start.0);
+
+    // 4. Rules.
+    w.u64(program.rules.len() as u64);
+    for rule in &program.rules {
+        match rule.kind {
+            PRuleKind::Alts { first, count } => {
+                w.u8(0);
+                w.u32(first);
+                w.u32(count);
+            }
+            PRuleKind::Builtin(b) => {
+                w.u8(1);
+                w.u8(builtin_tag(b));
+            }
+            PRuleKind::Blackbox(idx) => {
+                w.u8(2);
+                w.u32(idx);
+            }
+        }
+        w.u8(rule.is_local as u8);
+    }
+
+    // 5. Alternatives.
+    w.u64(program.alts.len() as u64);
+    for alt in &program.alts {
+        w.u32(alt.first);
+        w.u32(alt.count);
+        w.u16(alt.n_slots);
+    }
+
+    // 6. Instructions.
+    w.u64(program.code.len() as u64);
+    for instr in &program.code {
+        match *instr {
+            Instr::Match { lit, lo, hi, slot } => {
+                w.u8(0);
+                w.u32(lit.start);
+                w.u32(lit.len);
+                w.u32(lo.0);
+                w.u32(hi.0);
+                w.u16(slot);
+            }
+            Instr::Call { nt, lo, hi, slot } => {
+                w.u8(1);
+                w.u32(nt.0);
+                w.u32(lo.0);
+                w.u32(hi.0);
+                w.u16(slot);
+            }
+            Instr::Set { attr, expr } => {
+                w.u8(2);
+                w.u32(attr.0);
+                w.u32(expr.0);
+            }
+            Instr::Guard { expr } => {
+                w.u8(3);
+                w.u32(expr.0);
+            }
+            Instr::Loop { var, from, to, nt, lo, hi, slot } => {
+                w.u8(4);
+                w.u32(var.0);
+                w.u32(from.0);
+                w.u32(to.0);
+                w.u32(nt.0);
+                w.u32(lo.0);
+                w.u32(hi.0);
+                w.u16(slot);
+            }
+            Instr::Star { nt, lo, hi, slot } => {
+                w.u8(5);
+                w.u32(nt.0);
+                w.u32(lo.0);
+                w.u32(hi.0);
+                w.u16(slot);
+            }
+            Instr::Switch { first, count, slot } => {
+                w.u8(6);
+                w.u32(first);
+                w.u16(count);
+                w.u16(slot);
+            }
+        }
+    }
+
+    // 7. Expressions.
+    w.u64(program.exprs.len() as u64);
+    for expr in &program.exprs {
+        match *expr {
+            BExpr::Num(n) => {
+                w.u8(0);
+                w.i64(n);
+            }
+            BExpr::Bin(op, a, b) => {
+                w.u8(1);
+                w.u8(binop_tag(op));
+                w.u32(a.0);
+                w.u32(b.0);
+            }
+            BExpr::Cond(c, t, f) => {
+                w.u8(2);
+                w.u32(c.0);
+                w.u32(t.0);
+                w.u32(f.0);
+            }
+            BExpr::Eoi => w.u8(3),
+            BExpr::Local(sym) => {
+                w.u8(4);
+                w.u32(sym.0);
+            }
+            BExpr::NtAttr { slot, nt, attr } => {
+                w.u8(5);
+                w.u16(slot);
+                w.u32(nt.0);
+                w.u32(attr.0);
+            }
+            BExpr::ElemAttr { slot, nt, index, attr } => {
+                w.u8(6);
+                w.u16(slot);
+                w.u32(nt.0);
+                w.u32(index.0);
+                w.u32(attr.0);
+            }
+            BExpr::OuterAttr { nt, attr } => {
+                w.u8(7);
+                w.u32(nt.0);
+                w.u32(attr.0);
+            }
+            BExpr::OuterElem { nt, index, attr } => {
+                w.u8(8);
+                w.u32(nt.0);
+                w.u32(index.0);
+                w.u32(attr.0);
+            }
+            BExpr::Exists { var, slot, nt, cond, then, els } => {
+                w.u8(9);
+                w.u32(var.0);
+                match slot {
+                    Some(s) => {
+                        w.u8(1);
+                        w.u16(s);
+                    }
+                    None => w.u8(0),
+                }
+                w.u32(nt.0);
+                w.u32(cond.0);
+                w.u32(then.0);
+                w.u32(els.0);
+            }
+        }
+    }
+
+    // 8. Switch cases.
+    w.u64(program.cases.len() as u64);
+    for case in &program.cases {
+        match case.cond {
+            Some(c) => {
+                w.u8(1);
+                w.u32(c.0);
+            }
+            None => w.u8(0),
+        }
+        w.u32(case.nt.0);
+        w.u32(case.lo.0);
+        w.u32(case.hi.0);
+    }
+
+    // 9. Literal pool.
+    w.bytes(&program.lits);
+
+    // 10. Nonterminal name table.
+    w.u64(program.nt_table.names.len() as u64);
+    for (name, sym) in program.nt_table.names.iter().zip(&program.nt_table.syms) {
+        w.str(name);
+        w.u32(sym.0);
+    }
+
+    // 11. Anchor classification.
+    match anchor {
+        AnchorRequirement::Prefix => w.u8(0),
+        AnchorRequirement::Suffix { k } => {
+            w.u8(1);
+            w.u64(k as u64);
+        }
+        AnchorRequirement::FullLength => w.u8(2),
+    }
+
+    // 12. Size hints.
+    w.u64(hints.frames as u64);
+    w.u64(hints.nodes as u64);
+    w.u64(hints.leaves as u64);
+    w.u64(hints.children as u64);
+    w.u64(hints.shifts as u64);
+
+    let payload = w.buf;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&source_hash(spec, grammar.blackboxes()).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&hash_bytes(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Convenience: compile `grammar` and encode the result in one step.
+pub fn encode_grammar(spec: &str, grammar: &Grammar) -> Vec<u8> {
+    let program = compile(grammar);
+    let hints = program.size_hints();
+    let anchor = anchor_requirement(grammar);
+    encode(spec, grammar, &program, anchor, hints)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A decoded `.ipgc` artifact: the program and its precomputed analyses,
+/// plus the embedded source and symbol table needed to rebind it to a
+/// [`Grammar`].
+#[derive(Debug)]
+pub struct Artifact {
+    /// The embedded `.ipg` source the program was compiled from.
+    pub spec: String,
+    /// The deserialized bytecode program.
+    pub program: Program,
+    /// The persisted streaming classification.
+    pub anchor: AnchorRequirement,
+    /// The persisted VM pre-sizing hints.
+    pub hints: SizeHints,
+    /// The cache key recorded in the header.
+    pub source_hash: u64,
+    /// The interner's symbol table at compile time, in [`Sym`] order.
+    pub symbols: Vec<String>,
+}
+
+/// Decodes and structurally validates artifact bytes.
+///
+/// # Errors
+///
+/// [`Error::Artifact`] on bad magic, version skew, truncation, checksum
+/// mismatch, or any out-of-range cross-pool index. Never panics.
+pub fn decode(bytes: &[u8]) -> Result<Artifact> {
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::Artifact(format!(
+            "file too short for header: {} bytes, need {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::Artifact("bad magic (not an .ipgc artifact)".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(Error::Artifact(format!(
+            "format version skew: artifact v{version}, loader v{FORMAT_VERSION}"
+        )));
+    }
+    let source_hash = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload_hash = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(Error::Artifact(format!(
+            "payload length mismatch: header says {payload_len}, file has {}",
+            payload.len()
+        )));
+    }
+    if hash_bytes(payload) != payload_hash {
+        return Err(Error::Artifact("payload checksum mismatch (corrupt artifact)".into()));
+    }
+
+    let mut r = Reader::new(payload);
+
+    // 1. Source.
+    let spec = r.str()?;
+
+    // 2. Symbol table.
+    let n_syms = r.count("symbol")?;
+    let mut symbols = Vec::with_capacity(n_syms);
+    for _ in 0..n_syms {
+        symbols.push(r.str()?);
+    }
+
+    // 3. Start nonterminal.
+    let start = NtId(r.u32()?);
+
+    // 4. Rules.
+    let n_rules = r.count("rule")?;
+    let mut rules = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let kind = match r.u8()? {
+            0 => PRuleKind::Alts { first: r.u32()?, count: r.u32()? },
+            1 => PRuleKind::Builtin(builtin_of(r.u8()?)?),
+            2 => PRuleKind::Blackbox(r.u32()?),
+            other => return Err(Error::Artifact(format!("unknown rule tag {other}"))),
+        };
+        let is_local = r.u8()? != 0;
+        rules.push(PRule { kind, is_local });
+    }
+
+    // 5. Alternatives.
+    let n_alts = r.count("alt")?;
+    let mut alts = Vec::with_capacity(n_alts);
+    for _ in 0..n_alts {
+        alts.push(PAlt { first: r.u32()?, count: r.u32()?, n_slots: r.u16()? });
+    }
+
+    // 6. Instructions.
+    let n_code = r.count("instruction")?;
+    let mut code = Vec::with_capacity(n_code);
+    for _ in 0..n_code {
+        let instr = match r.u8()? {
+            0 => Instr::Match {
+                lit: LitSpan { start: r.u32()?, len: r.u32()? },
+                lo: ExprId(r.u32()?),
+                hi: ExprId(r.u32()?),
+                slot: r.u16()?,
+            },
+            1 => Instr::Call {
+                nt: NtId(r.u32()?),
+                lo: ExprId(r.u32()?),
+                hi: ExprId(r.u32()?),
+                slot: r.u16()?,
+            },
+            2 => Instr::Set { attr: Sym(r.u32()?), expr: ExprId(r.u32()?) },
+            3 => Instr::Guard { expr: ExprId(r.u32()?) },
+            4 => Instr::Loop {
+                var: Sym(r.u32()?),
+                from: ExprId(r.u32()?),
+                to: ExprId(r.u32()?),
+                nt: NtId(r.u32()?),
+                lo: ExprId(r.u32()?),
+                hi: ExprId(r.u32()?),
+                slot: r.u16()?,
+            },
+            5 => Instr::Star {
+                nt: NtId(r.u32()?),
+                lo: ExprId(r.u32()?),
+                hi: ExprId(r.u32()?),
+                slot: r.u16()?,
+            },
+            6 => Instr::Switch { first: r.u32()?, count: r.u16()?, slot: r.u16()? },
+            other => return Err(Error::Artifact(format!("unknown instruction tag {other}"))),
+        };
+        code.push(instr);
+    }
+
+    // 7. Expressions.
+    let n_exprs = r.count("expression")?;
+    let mut exprs = Vec::with_capacity(n_exprs);
+    for _ in 0..n_exprs {
+        let expr = match r.u8()? {
+            0 => BExpr::Num(r.i64()?),
+            1 => BExpr::Bin(binop_of(r.u8()?)?, ExprId(r.u32()?), ExprId(r.u32()?)),
+            2 => BExpr::Cond(ExprId(r.u32()?), ExprId(r.u32()?), ExprId(r.u32()?)),
+            3 => BExpr::Eoi,
+            4 => BExpr::Local(Sym(r.u32()?)),
+            5 => BExpr::NtAttr { slot: r.u16()?, nt: NtId(r.u32()?), attr: Sym(r.u32()?) },
+            6 => BExpr::ElemAttr {
+                slot: r.u16()?,
+                nt: NtId(r.u32()?),
+                index: ExprId(r.u32()?),
+                attr: Sym(r.u32()?),
+            },
+            7 => BExpr::OuterAttr { nt: NtId(r.u32()?), attr: Sym(r.u32()?) },
+            8 => BExpr::OuterElem {
+                nt: NtId(r.u32()?),
+                index: ExprId(r.u32()?),
+                attr: Sym(r.u32()?),
+            },
+            9 => {
+                let var = Sym(r.u32()?);
+                let slot = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u16()?),
+                    other => {
+                        return Err(Error::Artifact(format!("bad option tag {other} in Exists")))
+                    }
+                };
+                BExpr::Exists {
+                    var,
+                    slot,
+                    nt: NtId(r.u32()?),
+                    cond: ExprId(r.u32()?),
+                    then: ExprId(r.u32()?),
+                    els: ExprId(r.u32()?),
+                }
+            }
+            other => return Err(Error::Artifact(format!("unknown expression tag {other}"))),
+        };
+        exprs.push(expr);
+    }
+
+    // 8. Cases.
+    let n_cases = r.count("case")?;
+    let mut cases = Vec::with_capacity(n_cases);
+    for _ in 0..n_cases {
+        let cond = match r.u8()? {
+            0 => None,
+            1 => Some(ExprId(r.u32()?)),
+            other => return Err(Error::Artifact(format!("bad option tag {other} in case"))),
+        };
+        cases.push(PCase { cond, nt: NtId(r.u32()?), lo: ExprId(r.u32()?), hi: ExprId(r.u32()?) });
+    }
+
+    // 9. Literal pool.
+    let lits = r.bytes()?.to_vec();
+
+    // 10. Nonterminal table.
+    let n_nts = r.count("nonterminal")?;
+    let mut names = Vec::with_capacity(n_nts);
+    let mut nt_syms = Vec::with_capacity(n_nts);
+    for _ in 0..n_nts {
+        names.push(Arc::<str>::from(r.str()?));
+        nt_syms.push(Sym(r.u32()?));
+    }
+
+    // 11. Anchor classification.
+    let anchor = match r.u8()? {
+        0 => AnchorRequirement::Prefix,
+        1 => AnchorRequirement::Suffix { k: r.u64()? as usize },
+        2 => AnchorRequirement::FullLength,
+        other => return Err(Error::Artifact(format!("unknown anchor tag {other}"))),
+    };
+
+    // 12. Size hints.
+    let hints = SizeHints {
+        frames: r.u64()? as usize,
+        nodes: r.u64()? as usize,
+        leaves: r.u64()? as usize,
+        children: r.u64()? as usize,
+        shifts: r.u64()? as usize,
+    };
+
+    r.done()?;
+
+    let program = Program {
+        rules,
+        alts,
+        code,
+        exprs,
+        cases,
+        lits,
+        nt_table: Arc::new(NtTable { names, syms: nt_syms }),
+        start,
+    };
+    let artifact = Artifact { spec, program, anchor, hints, source_hash, symbols };
+    artifact.validate_structure()?;
+    Ok(artifact)
+}
+
+impl Artifact {
+    /// Verifies every cross-pool index of the decoded program, so that a
+    /// crafted (checksum-consistent) artifact can still never drive the
+    /// VM out of bounds.
+    fn validate_structure(&self) -> Result<()> {
+        let p = &self.program;
+        let n_rules = p.rules.len() as u32;
+        let n_alts = p.alts.len() as u32;
+        let n_code = p.code.len() as u32;
+        let n_exprs = p.exprs.len() as u32;
+        let n_cases = p.cases.len() as u32;
+        let n_lits = p.lits.len() as u32;
+        let n_syms = self.symbols.len() as u32;
+        let err = |msg: String| Err(Error::Artifact(msg));
+
+        let nt = |id: NtId| {
+            if id.0 >= n_rules {
+                return err(format!("nonterminal id {} out of range ({n_rules} rules)", id.0));
+            }
+            Ok(())
+        };
+        let ex = |id: ExprId| {
+            if id.0 >= n_exprs {
+                return err(format!("expression id {} out of range ({n_exprs} exprs)", id.0));
+            }
+            Ok(())
+        };
+        let sym = |s: Sym| {
+            if s.0 >= n_syms {
+                return err(format!("symbol {} out of range ({n_syms} symbols)", s.0));
+            }
+            Ok(())
+        };
+
+        if p.nt_table.names.len() != p.rules.len() {
+            return err(format!(
+                "nonterminal table has {} names for {} rules",
+                p.nt_table.names.len(),
+                p.rules.len()
+            ));
+        }
+        nt(p.start)?;
+        for s in &p.nt_table.syms {
+            sym(*s)?;
+        }
+
+        for rule in &p.rules {
+            if let PRuleKind::Alts { first, count } = rule.kind {
+                if u64::from(first) + u64::from(count) > u64::from(n_alts) {
+                    return err(format!("alt span {first}+{count} out of range ({n_alts} alts)"));
+                }
+            }
+        }
+        for alt in &p.alts {
+            if u64::from(alt.first) + u64::from(alt.count) > u64::from(n_code) {
+                return err(format!(
+                    "instruction span {}+{} out of range ({n_code} instrs)",
+                    alt.first, alt.count
+                ));
+            }
+        }
+        for instr in &p.code {
+            match *instr {
+                Instr::Match { lit, lo, hi, .. } => {
+                    if u64::from(lit.start) + u64::from(lit.len) > u64::from(n_lits) {
+                        return err(format!(
+                            "literal span {}+{} out of range ({n_lits} bytes)",
+                            lit.start, lit.len
+                        ));
+                    }
+                    ex(lo)?;
+                    ex(hi)?;
+                }
+                Instr::Call { nt: callee, lo, hi, .. } => {
+                    nt(callee)?;
+                    ex(lo)?;
+                    ex(hi)?;
+                }
+                Instr::Set { attr, expr } => {
+                    sym(attr)?;
+                    ex(expr)?;
+                }
+                Instr::Guard { expr } => ex(expr)?,
+                Instr::Loop { var, from, to, nt: callee, lo, hi, .. } => {
+                    sym(var)?;
+                    ex(from)?;
+                    ex(to)?;
+                    nt(callee)?;
+                    ex(lo)?;
+                    ex(hi)?;
+                }
+                Instr::Star { nt: callee, lo, hi, .. } => {
+                    nt(callee)?;
+                    ex(lo)?;
+                    ex(hi)?;
+                }
+                Instr::Switch { first, count, .. } => {
+                    if u64::from(first) + u64::from(count) > u64::from(n_cases) {
+                        return err(format!(
+                            "case span {first}+{count} out of range ({n_cases} cases)"
+                        ));
+                    }
+                }
+            }
+        }
+        for e in &p.exprs {
+            match *e {
+                BExpr::Num(_) | BExpr::Eoi => {}
+                BExpr::Bin(_, a, b) => {
+                    ex(a)?;
+                    ex(b)?;
+                }
+                BExpr::Cond(c, t, f) => {
+                    ex(c)?;
+                    ex(t)?;
+                    ex(f)?;
+                }
+                BExpr::Local(s) => sym(s)?,
+                BExpr::NtAttr { nt: n, attr, .. } => {
+                    nt(n)?;
+                    sym(attr)?;
+                }
+                BExpr::ElemAttr { nt: n, index, attr, .. } => {
+                    nt(n)?;
+                    ex(index)?;
+                    sym(attr)?;
+                }
+                BExpr::OuterAttr { nt: n, attr } => {
+                    nt(n)?;
+                    sym(attr)?;
+                }
+                BExpr::OuterElem { nt: n, index, attr } => {
+                    nt(n)?;
+                    ex(index)?;
+                    sym(attr)?;
+                }
+                BExpr::Exists { var, nt: n, cond, then, els, .. } => {
+                    sym(var)?;
+                    nt(n)?;
+                    ex(cond)?;
+                    ex(then)?;
+                    ex(els)?;
+                }
+            }
+        }
+        for case in &p.cases {
+            if let Some(c) = case.cond {
+                ex(c)?;
+            }
+            nt(case.nt)?;
+            ex(case.lo)?;
+            ex(case.hi)?;
+        }
+        Ok(())
+    }
+
+    /// Re-checks the embedded source (binding `blackboxes` by name) and
+    /// verifies that the resulting grammar assigns exactly the symbols and
+    /// nonterminal ids the program was compiled with.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Artifact`] when the reconstructed grammar disagrees with
+    /// the artifact (which would make the program's pre-resolved ids dangle);
+    /// frontend/check errors if the embedded source no longer parses.
+    pub fn reconstruct_grammar(&self, blackboxes: Vec<Blackbox>) -> Result<Grammar> {
+        let grammar = crate::frontend::parse_grammar_with(&self.spec, blackboxes)?;
+        self.validate_against(&grammar)?;
+        Ok(grammar)
+    }
+
+    /// Verifies the artifact against an already-checked grammar: same
+    /// cache key, same symbol table, same nonterminal table, same start
+    /// id, and in-range blackbox indices.
+    pub fn validate_against(&self, grammar: &Grammar) -> Result<()> {
+        let expected = source_hash(&self.spec, grammar.blackboxes());
+        if expected != self.source_hash {
+            return Err(Error::Artifact(format!(
+                "source hash mismatch: artifact {:016x}, grammar {expected:016x}",
+                self.source_hash
+            )));
+        }
+        let interner = grammar.interner();
+        if interner.len() != self.symbols.len() {
+            return Err(Error::Artifact(format!(
+                "symbol table size mismatch: artifact {}, grammar {}",
+                self.symbols.len(),
+                interner.len()
+            )));
+        }
+        for (i, name) in self.symbols.iter().enumerate() {
+            let actual = interner.resolve(Sym(i as u32));
+            if actual != name {
+                return Err(Error::Artifact(format!(
+                    "symbol {i} mismatch: artifact `{name}`, grammar `{actual}`"
+                )));
+            }
+        }
+        if self.program.rules.len() != grammar.nt_count() {
+            return Err(Error::Artifact(format!(
+                "rule count mismatch: artifact {}, grammar {}",
+                self.program.rules.len(),
+                grammar.nt_count()
+            )));
+        }
+        if self.program.start != grammar.start_nt() {
+            return Err(Error::Artifact(format!(
+                "start nonterminal mismatch: artifact {}, grammar {}",
+                self.program.start.0,
+                grammar.start_nt().0
+            )));
+        }
+        for (i, (name, sym)) in
+            self.program.nt_table.names.iter().zip(&self.program.nt_table.syms).enumerate()
+        {
+            let nt = NtId(i as u32);
+            if grammar.nt_name(nt) != &**name {
+                return Err(Error::Artifact(format!(
+                    "nonterminal {i} name mismatch: artifact `{name}`, grammar `{}`",
+                    grammar.nt_name(nt)
+                )));
+            }
+            if grammar.nt_name_sym(nt) != *sym {
+                return Err(Error::Artifact(format!("nonterminal {i} symbol mismatch")));
+            }
+        }
+        for rule in &self.program.rules {
+            if let PRuleKind::Blackbox(idx) = rule.kind {
+                if idx as usize >= grammar.blackboxes().len() {
+                    return Err(Error::Artifact(format!(
+                        "blackbox index {idx} out of range ({} registered)",
+                        grammar.blackboxes().len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds the artifact to its reconstructed grammar, producing a
+    /// ready-to-run [`VmParser`] without recompiling the bytecode.
+    pub fn into_parser(self, grammar: &Grammar) -> Result<VmParser<'_>> {
+        self.validate_against(grammar)?;
+        Ok(VmParser::from_compiled(grammar, self.program, self.anchor, self.hints))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The on-disk cache
+// ---------------------------------------------------------------------------
+
+/// Why a cache lookup compiled from source instead of loading.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MissReason {
+    /// No artifact file for this cache key.
+    Absent,
+    /// An artifact existed but failed to load (version skew, corruption,
+    /// or a grammar mismatch); it was recompiled and rewritten.
+    Invalid(String),
+}
+
+/// The outcome of one [`Cache::load_or_compile`] call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The program was deserialized from a fresh artifact.
+    Hit,
+    /// The program was compiled from source (and the artifact rewritten).
+    Miss(MissReason),
+}
+
+/// A compiled grammar as handed out by the cache: the checked grammar
+/// plus the program and precomputed analyses, ready for
+/// [`VmParser::from_compiled`].
+#[derive(Debug)]
+pub struct CachedProgram {
+    /// The checked grammar (reconstructed or freshly checked).
+    pub grammar: Grammar,
+    /// The bytecode program (deserialized or freshly compiled).
+    pub program: Program,
+    /// Streaming classification.
+    pub anchor: AnchorRequirement,
+    /// VM pre-sizing hints.
+    pub hints: SizeHints,
+    /// The artifact cache key.
+    pub source_hash: u64,
+}
+
+impl CachedProgram {
+    /// Compiles `spec` in memory, bypassing any artifact I/O.
+    pub fn compile(spec: &str, blackboxes: Vec<Blackbox>) -> Result<CachedProgram> {
+        let grammar = crate::frontend::parse_grammar_with(spec, blackboxes)?;
+        let program = compile(&grammar);
+        let hints = program.size_hints();
+        let anchor = anchor_requirement(&grammar);
+        let source_hash = source_hash(spec, grammar.blackboxes());
+        Ok(CachedProgram { grammar, program, anchor, hints, source_hash })
+    }
+}
+
+/// A directory of `.ipgc` artifacts keyed by [`source_hash`].
+///
+/// File names are `<name>-<hash:016x>.ipgc`; writes go through a unique
+/// temporary file plus an atomic rename, so concurrent processes warming
+/// the same cache never observe partial artifacts.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// A cache rooted at `dir` (created lazily on first write).
+    pub fn at(dir: impl Into<PathBuf>) -> Cache {
+        Cache { dir: dir.into() }
+    }
+
+    /// The cache honoring the environment: `IPG_CACHE_DIR` if set,
+    /// otherwise `$XDG_CACHE_HOME/ipg`, otherwise `~/.cache/ipg`, falling
+    /// back to `<tmp>/ipg-cache`. Returns `None` when `IPG_NO_CACHE` is
+    /// set (callers then compile in memory).
+    pub fn from_env() -> Option<Cache> {
+        if std::env::var_os("IPG_NO_CACHE").is_some() {
+            return None;
+        }
+        if let Some(dir) = std::env::var_os("IPG_CACHE_DIR") {
+            return Some(Cache::at(PathBuf::from(dir)));
+        }
+        if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME") {
+            return Some(Cache::at(PathBuf::from(xdg).join("ipg")));
+        }
+        if let Some(home) = std::env::var_os("HOME") {
+            return Some(Cache::at(PathBuf::from(home).join(".cache").join("ipg")));
+        }
+        Some(Cache::at(std::env::temp_dir().join("ipg-cache")))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path for grammar `name` with the given cache key.
+    pub fn path_for(&self, name: &str, hash: u64) -> PathBuf {
+        // Grammar names come from module names or file stems; sanitize so
+        // a hostile name cannot escape the cache directory.
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        self.dir.join(format!("{safe}-{hash:016x}.ipgc"))
+    }
+
+    /// Loads the artifact for (`name`, `spec`, `blackboxes`) if a fresh
+    /// one exists, otherwise compiles from source and (re)writes it.
+    ///
+    /// Loading is self-healing: any load failure — missing file, version
+    /// skew, corruption, grammar mismatch — falls back to compiling, and
+    /// the reason is reported in the [`CacheOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Only compilation errors (bad spec) are fatal; artifact and I/O
+    /// problems degrade to a miss.
+    pub fn load_or_compile(
+        &self,
+        name: &str,
+        spec: &str,
+        blackboxes: Vec<Blackbox>,
+    ) -> Result<(CachedProgram, CacheOutcome)> {
+        let hash = source_hash(spec, &blackboxes);
+        let path = self.path_for(name, hash);
+        let reason = match std::fs::read(&path) {
+            Ok(bytes) => match self.try_load(&bytes, spec, blackboxes.clone()) {
+                Ok(cached) => return Ok((cached, CacheOutcome::Hit)),
+                Err(e) => MissReason::Invalid(e.to_string()),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => MissReason::Absent,
+            Err(e) => MissReason::Invalid(format!("cannot read {}: {e}", path.display())),
+        };
+        let cached = CachedProgram::compile(spec, blackboxes)?;
+        let bytes = encode(spec, &cached.grammar, &cached.program, cached.anchor, cached.hints);
+        // Cache writes are best-effort: a read-only cache dir must not
+        // break parsing.
+        let _ = self.write_atomic(&path, &bytes);
+        Ok((cached, CacheOutcome::Miss(reason)))
+    }
+
+    fn try_load(
+        &self,
+        bytes: &[u8],
+        spec: &str,
+        blackboxes: Vec<Blackbox>,
+    ) -> Result<CachedProgram> {
+        let artifact = decode(bytes)?;
+        if artifact.spec != spec {
+            return Err(Error::Artifact("embedded source differs from requested spec".into()));
+        }
+        let grammar = artifact.reconstruct_grammar(blackboxes)?;
+        let Artifact { program, anchor, hints, source_hash, .. } = artifact;
+        Ok(CachedProgram { grammar, program, anchor, hints, source_hash })
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = path.with_extension(format!("ipgc.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::parse_grammar;
+
+    const FIG2: &str = r#"
+        S -> H[0, 8] Data[H.offset, H.offset + H.length];
+        H -> Int[0, 4] {offset = Int.val} Int[4, 8] {length = Int.val};
+        Int := u32le;
+        Data := bytes;
+    "#;
+
+    fn roundtrip(spec: &str) -> (Grammar, Artifact) {
+        let g = parse_grammar(spec).unwrap();
+        let bytes = encode_grammar(spec, &g);
+        let artifact = decode(&bytes).expect("decode what we encoded");
+        (g, artifact)
+    }
+
+    #[test]
+    fn roundtrip_preserves_disassembly_anchor_and_hints() {
+        let (g, artifact) = roundtrip(FIG2);
+        let fresh = compile(&g);
+        assert_eq!(artifact.program.disassemble(&g), fresh.disassemble(&g));
+        assert_eq!(artifact.anchor, anchor_requirement(&g));
+        let (fh, ah) = (fresh.size_hints(), artifact.hints);
+        assert_eq!(
+            (fh.frames, fh.nodes, fh.leaves, fh.children, fh.shifts),
+            (ah.frames, ah.nodes, ah.leaves, ah.children, ah.shifts)
+        );
+    }
+
+    #[test]
+    fn loaded_program_parses_identically() {
+        let (g, artifact) = roundtrip(FIG2);
+        let reconstructed = artifact.reconstruct_grammar(Vec::new()).unwrap();
+        let vm = artifact.into_parser(&reconstructed).unwrap();
+        let mut input = vec![8u8, 0, 0, 0, 4, 0, 0, 0];
+        input.extend_from_slice(b"DATA");
+        let tree = vm.parse(&input).expect("loaded program parses");
+        let h = tree.root().as_node().unwrap().child_node_nt(g.nt_id("H").unwrap()).unwrap();
+        assert_eq!(h.attr(&reconstructed, "offset"), Some(8));
+        assert_eq!(h.attr(&reconstructed, "length"), Some(4));
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_error() {
+        let g = parse_grammar(FIG2).unwrap();
+        let mut bytes = encode_grammar(FIG2, &g);
+        bytes[0] = b'X';
+        match decode(&bytes) {
+            Err(Error::Artifact(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_is_a_typed_error() {
+        let g = parse_grammar(FIG2).unwrap();
+        let mut bytes = encode_grammar(FIG2, &g);
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        match decode(&bytes) {
+            Err(Error::Artifact(msg)) => assert!(msg.contains("version skew"), "{msg}"),
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let g = parse_grammar(FIG2).unwrap();
+        let bytes = encode_grammar(FIG2, &g);
+        for len in 0..bytes.len() {
+            match decode(&bytes[..len]) {
+                Err(Error::Artifact(_)) => {}
+                other => {
+                    panic!("truncation to {len} bytes: expected Artifact error, got {other:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_caught() {
+        let g = parse_grammar(FIG2).unwrap();
+        let bytes = encode_grammar(FIG2, &g);
+        // Corrupting any payload byte must trip the checksum; corrupting
+        // the header must trip magic/version/length/hash checks. (Header
+        // fields `source_hash` are only validated against a grammar, so
+        // flip payload + structural header bytes here.)
+        for i in (0..bytes.len()).step_by(7) {
+            if (8..16).contains(&i) {
+                continue; // source hash: validated by validate_against below
+            }
+            let mut c = bytes.clone();
+            c[i] ^= 0x5a;
+            assert!(
+                matches!(decode(&c), Err(Error::Artifact(_))),
+                "flipping byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn source_hash_corruption_is_caught_against_the_grammar() {
+        let g = parse_grammar(FIG2).unwrap();
+        let mut bytes = encode_grammar(FIG2, &g);
+        bytes[8] ^= 0xff;
+        let artifact = decode(&bytes).expect("payload itself is intact");
+        match artifact.validate_against(&g) {
+            Err(Error::Artifact(msg)) => assert!(msg.contains("source hash"), "{msg}"),
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grammar_mismatch_is_a_typed_error() {
+        let g = parse_grammar(FIG2).unwrap();
+        let bytes = encode_grammar(FIG2, &g);
+        let artifact = decode(&bytes).unwrap();
+        let other = parse_grammar(r#"S -> "x"[0, 1];"#).unwrap();
+        assert!(matches!(artifact.validate_against(&other), Err(Error::Artifact(_))));
+    }
+
+    #[test]
+    fn cache_misses_then_hits() {
+        let dir = std::env::temp_dir().join(format!("ipgc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::at(&dir);
+        let (_, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss(MissReason::Absent));
+        let (cached, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(cached.program.disassemble(&cached.grammar), {
+            let g = parse_grammar(FIG2).unwrap();
+            compile(&g).disassemble(&g)
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_self_heals_corrupt_artifacts() {
+        let dir = std::env::temp_dir().join(format!("ipgc-heal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::at(&dir);
+        let (_, _) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        let path = cache.path_for("fig2", source_hash(FIG2, &[]));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert!(
+            matches!(outcome, CacheOutcome::Miss(MissReason::Invalid(_))),
+            "corruption must degrade to a rewrite, got {outcome:?}"
+        );
+        let (_, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "rewrite must restore the artifact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_change_changes_the_cache_key() {
+        let a = source_hash(FIG2, &[]);
+        let b = source_hash(r#"S -> "x"[0, 1];"#, &[]);
+        assert_ne!(a, b);
+        let bb = Blackbox::new("inflate", |_| Ok(Default::default()));
+        assert_ne!(source_hash(FIG2, &[]), source_hash(FIG2, std::slice::from_ref(&bb)));
+    }
+}

@@ -35,6 +35,10 @@
 //!   step counts, and errors — enforced by differential tests).
 //! * [`arena`] — arena parse trees (`u32` ids, contiguous child ranges) with
 //!   zero-copy views mirroring the [`tree`] accessors.
+//! * [`ipgc`] — persisted compiled grammars: a versioned, self-describing
+//!   `.ipgc` binary artifact (program pools, anchor classification, size
+//!   hints, embedded source) plus a content-hash cache directory, so serve
+//!   workers and CLI runs load bytecode instead of recompiling.
 //! * [`codegen`] — the parser generator: emits a self-contained Rust
 //!   recursive-descent parser from a checked grammar.
 //! * [`termination`] — the static termination checker of §5: elementary
@@ -66,7 +70,7 @@
 //! let mut input = vec![8u8, 0, 0, 0, 4, 0, 0, 0]; // offset = 8, length = 4
 //! input.extend_from_slice(b"DATA");
 //! let tree = Parser::new(&g).parse(&input)?;
-//! let h = tree.child_node("H").expect("header parsed");
+//! let h = tree.child_node_sym(g.nt_sym("H").expect("H is a rule")).expect("header parsed");
 //! assert_eq!(h.attr(&g, "offset"), Some(8));
 //! assert_eq!(h.attr(&g, "length"), Some(4));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -85,6 +89,7 @@ pub mod error;
 pub mod frontend;
 pub mod intern;
 pub mod interp;
+pub mod ipgc;
 pub mod solver;
 pub mod syntax;
 pub mod termination;

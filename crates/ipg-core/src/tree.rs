@@ -130,34 +130,15 @@ impl Tree {
         }
     }
 
-    /// The first direct child of this node named `name` (searching
-    /// [`Tree::Node`] and [`Tree::Blackbox`] children). Thin name-based
-    /// shim over [`Tree::child_node_sym`]; hot paths should resolve the
-    /// name once via [`crate::check::Grammar::nt_sym`] and use the symbol.
-    pub fn child_node(&self, name: &str) -> Option<&Node> {
-        self.as_node()?.child_node(name)
-    }
-
-    /// The first direct child whose interned name symbol is `sym`.
+    /// The first direct child whose interned name symbol is `sym`
+    /// (resolve a name once via [`crate::check::Grammar::nt_sym`]).
     pub fn child_node_sym(&self, sym: Sym) -> Option<&Node> {
         self.as_node()?.child_node_sym(sym)
-    }
-
-    /// The first direct child array of `name` elements (name-based shim
-    /// over [`Tree::child_array_sym`]).
-    pub fn child_array(&self, name: &str) -> Option<&ArrayNode> {
-        self.as_node()?.child_array(name)
     }
 
     /// The first direct child array whose element name symbol is `sym`.
     pub fn child_array_sym(&self, sym: Sym) -> Option<&ArrayNode> {
         self.as_node()?.child_array_sym(sym)
-    }
-
-    /// The first direct blackbox child named `name` (name-based shim over
-    /// [`Tree::child_blackbox_sym`]).
-    pub fn child_blackbox(&self, name: &str) -> Option<&BlackboxNode> {
-        self.as_node()?.child_blackbox(name)
     }
 
     /// The first direct blackbox child whose name symbol is `sym`.
@@ -200,30 +181,12 @@ impl Node {
         self.env.end()
     }
 
-    /// The first direct child of this node named `name`. Thin shim that
-    /// resolves the name against each candidate child; loops should
-    /// resolve once ([`crate::check::Grammar::nt_sym`]) and call
-    /// [`Node::child_node_sym`], which compares interned symbols.
-    pub fn child_node(&self, name: &str) -> Option<&Node> {
-        self.children.iter().find_map(|c| match c.as_ref() {
-            Tree::Node(child) if &*child.name == name => Some(child),
-            _ => None,
-        })
-    }
-
-    /// The first direct child whose interned name symbol is `sym`.
+    /// The first direct child whose interned name symbol is `sym`
+    /// (resolve a name once via [`crate::check::Grammar::nt_sym`];
+    /// symbol comparison keeps lookups in hot extractor loops cheap).
     pub fn child_node_sym(&self, sym: Sym) -> Option<&Node> {
         self.children.iter().find_map(|c| match c.as_ref() {
             Tree::Node(child) if child.name_sym == sym => Some(child),
-            _ => None,
-        })
-    }
-
-    /// The first direct child array of `name` elements (name-based shim
-    /// over [`Node::child_array_sym`]).
-    pub fn child_array(&self, name: &str) -> Option<&ArrayNode> {
-        self.children.iter().find_map(|c| match c.as_ref() {
-            Tree::Array(a) if &*a.name == name => Some(a),
             _ => None,
         })
     }
@@ -232,15 +195,6 @@ impl Node {
     pub fn child_array_sym(&self, sym: Sym) -> Option<&ArrayNode> {
         self.children.iter().find_map(|c| match c.as_ref() {
             Tree::Array(a) if a.name_sym == sym => Some(a),
-            _ => None,
-        })
-    }
-
-    /// The first direct blackbox child named `name` (name-based shim over
-    /// [`Node::child_blackbox_sym`]).
-    pub fn child_blackbox(&self, name: &str) -> Option<&BlackboxNode> {
-        self.children.iter().find_map(|c| match c.as_ref() {
-            Tree::Blackbox(b) if &*b.name == name => Some(b),
             _ => None,
         })
     }
@@ -346,7 +300,7 @@ mod tests {
     }
 
     #[test]
-    fn child_lookup_by_name_and_sym() {
+    fn child_lookup_by_sym() {
         let child = Node {
             nt: NtId(1),
             name: "H".into(),
@@ -367,9 +321,6 @@ mod tests {
             input_len: 12,
             alt_index: 0,
         });
-        assert!(root.child_node("H").is_some());
-        assert!(root.child_node("X").is_none());
-        assert!(root.child_array("H").is_none());
         assert!(root.child_node_sym(Sym(11)).is_some());
         assert!(root.child_node_sym(Sym(12)).is_none());
         assert!(root.child_array_sym(Sym(11)).is_none());

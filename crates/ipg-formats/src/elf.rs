@@ -5,21 +5,18 @@ use ipg_core::arena::{ArrayRef, NodeRef};
 use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
 use ipg_core::interp::vm::VmParser;
-use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
 pub const SPEC: &str = include_str!("../specs/elf.ipg");
 
 /// The checked ELF grammar.
 pub fn grammar() -> &'static Grammar {
-    static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("elf.ipg is a valid IPG"))
+    crate::registry::corpus_entry("elf").grammar
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    static P: OnceLock<VmParser<'static>> = OnceLock::new();
-    P.get_or_init(|| VmParser::new(grammar()))
+    crate::registry::corpus_entry("elf").vm
 }
 
 /// A parsed ELF file.

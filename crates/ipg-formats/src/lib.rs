@@ -15,6 +15,13 @@
 //! statics and is held to byte-identical behavior by the repository's
 //! differential tests.
 //!
+//! All grammar resolution goes through [`registry::Registry`]: the
+//! per-module `grammar()`/`vm()` statics are views of the shared corpus
+//! registry, whose entries are loaded from the versioned `.ipgc` artifact
+//! cache ([`ipg_core::ipgc`]) — or compiled and persisted on a miss — so
+//! every consumer (tests, benches, `ipg-serve`, the `ipg` CLI) exercises
+//! the same load-from-artifact pipeline as user-supplied grammars.
+//!
 //! ```
 //! let file = ipg_corpus::elf::generate(&ipg_corpus::elf::Config::default());
 //! let parsed = ipg_formats::elf::parse(&file.bytes)?;
@@ -30,13 +37,14 @@ pub mod ipv4udp;
 pub mod pdf;
 pub mod pe;
 pub mod png;
+pub mod registry;
 pub mod zip;
+
+pub use registry::{corpus_descriptors, Entry, FormatDescriptor, Origin, Registry};
 
 use ipg_core::arena::NodeRef;
 use ipg_core::check::{Grammar, NtId};
 use ipg_core::error::{Error, Result};
-use ipg_core::interp::vm::VmParser;
-use ipg_core::interp::Parser;
 
 /// All embedded specifications, as `(format name, spec source)` — the
 /// input to the Table 1 and Table 2 harnesses. PNG is kept out of this
@@ -53,85 +61,6 @@ pub fn all_specs() -> Vec<(&'static str, &'static str)> {
         ("IPv4+UDP", ipv4udp::SPEC),
         ("DNS", dns::SPEC),
     ]
-}
-
-/// The single registry of every corpus grammar under cross-engine test:
-/// the differential suites, the conformance fuzzing harness, and the bench
-/// binaries all sweep exactly this list. Adding a format here is what puts
-/// it under test. (Callers build their own engines — typically
-/// fuel-bounded — so this returns grammars, not the `vm()` statics.)
-pub fn all_grammars() -> Vec<(&'static str, &'static Grammar)> {
-    vec![
-        ("zip", zip::grammar()),
-        ("zip_inflate", zip::grammar_inflate()),
-        ("dns", dns::grammar()),
-        ("png", png::grammar()),
-        ("gif", gif::grammar()),
-        ("elf", elf::grammar()),
-        ("ipv4udp", ipv4udp::grammar()),
-        ("pe", pe::grammar()),
-        ("pdf", pdf::grammar()),
-    ]
-}
-
-/// The compiled-VM view of [`all_grammars`]: one shared, lazily-compiled
-/// [`VmParser`] per corpus grammar. This is the per-grammar program cache
-/// the parse service (`ipg-serve`) and the streaming benches hand out —
-/// compilation happens once per process, sessions borrow the shared
-/// program. Entries are fuel-free; bound work per parse with
-/// [`ipg_core::interp::vm::Session::max_steps`] or a fueled wrapper.
-pub fn all_vms() -> Vec<(&'static str, &'static VmParser<'static>)> {
-    vec![
-        ("zip", zip::vm()),
-        ("zip_inflate", zip::vm_inflate()),
-        ("dns", dns::vm()),
-        ("png", png::vm()),
-        ("gif", gif::vm()),
-        ("elf", elf::vm()),
-        ("ipv4udp", ipv4udp::vm()),
-        ("pe", pe::vm()),
-        ("pdf", pdf::vm()),
-    ]
-}
-
-/// The cross-engine agreement contract, shared by the assert-style test
-/// helper and the report-style `bench_conform` gate: identical step
-/// counts, identical trees on acceptance (via `TreeRef::to_tree`, which
-/// covers shape, attribute environments including `start`/`end`, spans,
-/// chosen alternatives, and blackbox payloads), identical deepest errors
-/// on rejection. Returns `Ok(accepted)` or a divergence description.
-///
-/// # Errors
-///
-/// A human-readable description of the first divergence found.
-pub fn compare_engines(
-    parser: &Parser<'_>,
-    vm: &VmParser<'_>,
-    input: &[u8],
-) -> std::result::Result<bool, String> {
-    let (ri, si) = parser.parse_with_stats(input);
-    let (rv, sv) = vm.parse_with_stats(input);
-    if si.steps != sv.steps {
-        return Err(format!("step counts differ: {} vs {}", si.steps, sv.steps));
-    }
-    match (ri, rv) {
-        (Ok(reference), Ok(tree)) => {
-            if tree.root().to_tree() != reference {
-                Err("engines accept but build different trees".into())
-            } else {
-                Ok(true)
-            }
-        }
-        (Err(ei), Err(ev)) => {
-            if ei != ev {
-                Err(format!("engines reject with different errors: {ei:?} vs {ev:?}"))
-            } else {
-                Ok(false)
-            }
-        }
-        (Ok(_), Err(e)) => Err(format!("interpreter accepts, VM rejects: {e}")),
-        (Err(e), Ok(_)) => Err(format!("VM accepts, interpreter rejects: {e}")),
-    }
 }
 
 /// Flattens the chunk-style recursion `List -> Item List / Item` into the

@@ -4,21 +4,18 @@ use crate::{need, nt_of};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
 use ipg_core::interp::vm::VmParser;
-use std::sync::OnceLock;
 
 /// The embedded `.ipg` specification.
 pub const SPEC: &str = include_str!("../specs/pe.ipg");
 
 /// The checked PE grammar.
 pub fn grammar() -> &'static Grammar {
-    static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("pe.ipg is a valid IPG"))
+    crate::registry::corpus_entry("pe").grammar
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    static P: OnceLock<VmParser<'static>> = OnceLock::new();
-    P.get_or_init(|| VmParser::new(grammar()))
+    crate::registry::corpus_entry("pe").vm
 }
 
 /// A parsed PE file.

@@ -1,0 +1,376 @@
+//! The one grammar registry every consumer shares.
+//!
+//! The differential test suites, the conformance fuzzing harness, the
+//! bench binaries, `ipg-serve`, and the `ipg` CLI all resolve grammars
+//! through a [`Registry`]: a name → (checked grammar, compiled VM) table
+//! whose entries are loaded through the [`ipg_core::ipgc`] artifact
+//! pipeline. The built-in corpus ([`Registry::corpus`]) is materialized
+//! once per process — each grammar is fetched from the on-disk `.ipgc`
+//! cache (or compiled and persisted on a miss) — and user-supplied
+//! grammars (`.ipg` sources or `.ipgc` artifacts named on a command line)
+//! flow through [`Registry::load_ipg_path`] / [`Registry::load_artifact_path`]
+//! into the exact same table, so "built-in" and "user-supplied" are
+//! indistinguishable downstream.
+//!
+//! Entries borrow process-lifetime (`'static`, intentionally leaked)
+//! grammars and parsers: a registry is a cheap, clonable view, and
+//! sessions/workers borrow the shared compiled programs.
+
+use ipg_core::blackbox::Blackbox;
+use ipg_core::check::Grammar;
+use ipg_core::error::{Error, Result};
+use ipg_core::interp::vm::VmParser;
+use ipg_core::interp::Parser;
+use ipg_core::ipgc::{Cache, CacheOutcome, CachedProgram, MissReason};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// How a registry entry's compiled program was obtained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// Deserialized from a fresh `.ipgc` artifact in the cache directory.
+    CacheHit,
+    /// Compiled from source; the cache artifact was (re)written. The
+    /// reason records whether the artifact was absent or invalid
+    /// (version skew, corruption, grammar mismatch).
+    CacheMiss(MissReason),
+    /// Compiled in memory with the cache disabled (`IPG_NO_CACHE`), or
+    /// registered directly from pre-built statics.
+    Memory,
+    /// Loaded from an explicit `.ipgc` file path (no cache involved).
+    ArtifactFile,
+}
+
+impl Origin {
+    fn from_outcome(outcome: CacheOutcome) -> Origin {
+        match outcome {
+            CacheOutcome::Hit => Origin::CacheHit,
+            CacheOutcome::Miss(reason) => Origin::CacheMiss(reason),
+        }
+    }
+
+    /// Whether the entry's program was deserialized rather than compiled.
+    pub fn is_cache_hit(&self) -> bool {
+        matches!(self, Origin::CacheHit)
+    }
+}
+
+/// One registered grammar: the interpreter-side checked grammar, the
+/// compiled bytecode parser, and how the program was obtained.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Registry name (corpus module name, or a file stem for loaded paths).
+    pub name: String,
+    /// The checked grammar (tree-walking interpreter side).
+    pub grammar: &'static Grammar,
+    /// The compiled bytecode parser (fuel-free; bound work per parse with
+    /// [`ipg_core::interp::vm::Session::max_steps`] or a fueled wrapper).
+    pub vm: &'static VmParser<'static>,
+    /// Where the compiled program came from.
+    pub origin: Origin,
+}
+
+/// A name → compiled-grammar table. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+/// An embedded corpus format: everything needed to (re)compile it —
+/// name, spec source, and a constructor for its blackbox bindings
+/// (blackboxes are runtime function pointers, so artifacts store only
+/// their declarations and the registry re-binds them by name on load).
+#[derive(Clone, Copy)]
+pub struct FormatDescriptor {
+    /// Registry name (`ipg-formats` module name).
+    pub name: &'static str,
+    /// The embedded `.ipg` source.
+    pub spec: &'static str,
+    /// Constructs the blackbox bindings this grammar requires.
+    pub blackboxes: fn() -> Vec<Blackbox>,
+}
+
+fn no_blackboxes() -> Vec<Blackbox> {
+    Vec::new()
+}
+
+/// The nine-grammar corpus under cross-engine test, in registry order.
+/// Adding a format here is what puts it under test: the differential
+/// suites, the conformance harness, the bench binaries, `ipg-serve`, and
+/// the CLI corpus listing all sweep exactly this table.
+pub fn corpus_descriptors() -> [FormatDescriptor; 9] {
+    [
+        FormatDescriptor { name: "zip", spec: crate::zip::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor {
+            name: "zip_inflate",
+            spec: crate::zip::SPEC_INFLATE,
+            blackboxes: crate::zip::inflate_blackboxes,
+        },
+        FormatDescriptor { name: "dns", spec: crate::dns::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor { name: "png", spec: crate::png::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor { name: "gif", spec: crate::gif::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor { name: "elf", spec: crate::elf::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor { name: "ipv4udp", spec: crate::ipv4udp::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor { name: "pe", spec: crate::pe::SPEC, blackboxes: no_blackboxes },
+        FormatDescriptor { name: "pdf", spec: crate::pdf::SPEC, blackboxes: no_blackboxes },
+    ]
+}
+
+/// Promotes a cached program to process lifetime: the grammar and the
+/// wrapping parser are leaked once and borrowed by every consumer.
+fn leak(cached: CachedProgram) -> (&'static Grammar, &'static VmParser<'static>) {
+    let CachedProgram { grammar, program, anchor, hints, .. } = cached;
+    let grammar: &'static Grammar = Box::leak(Box::new(grammar));
+    let vm = VmParser::from_compiled(grammar, program, anchor, hints);
+    (grammar, Box::leak(Box::new(vm)))
+}
+
+/// Loads one spec through the environment's cache (or compiles in memory
+/// when the cache is disabled).
+fn load_entry(name: &str, spec: &str, blackboxes: Vec<Blackbox>) -> Result<Entry> {
+    let (cached, origin) = match Cache::from_env() {
+        Some(cache) => {
+            let (cached, outcome) = cache.load_or_compile(name, spec, blackboxes)?;
+            (cached, Origin::from_outcome(outcome))
+        }
+        None => (CachedProgram::compile(spec, blackboxes)?, Origin::Memory),
+    };
+    let (grammar, vm) = leak(cached);
+    Ok(Entry { name: name.to_owned(), grammar, vm, origin })
+}
+
+/// The per-process corpus table, loaded once through the artifact cache.
+fn corpus_entries() -> &'static [Entry] {
+    static ENTRIES: OnceLock<Vec<Entry>> = OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        corpus_descriptors()
+            .into_iter()
+            .map(|d| {
+                load_entry(d.name, d.spec, (d.blackboxes)())
+                    .unwrap_or_else(|e| panic!("corpus grammar `{}` failed to load: {e}", d.name))
+            })
+            .collect()
+    })
+}
+
+/// The shared corpus entry for a format module's `grammar()`/`vm()`
+/// statics. Panics for names outside [`corpus_descriptors`].
+pub(crate) fn corpus_entry(name: &str) -> &'static Entry {
+    corpus_entries()
+        .iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("`{name}` is not a corpus grammar"))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The nine-grammar corpus view (shared per-process entries; the
+    /// underlying programs are loaded through the `.ipgc` cache once).
+    pub fn corpus() -> Registry {
+        Registry { entries: corpus_entries().to_vec() }
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Looks up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up a compiled parser by name.
+    pub fn vm(&self, name: &str) -> Option<&'static VmParser<'static>> {
+        self.get(name).map(|e| e.vm)
+    }
+
+    /// Looks up a checked grammar by name.
+    pub fn grammar(&self, name: &str) -> Option<&'static Grammar> {
+        self.get(name).map(|e| e.grammar)
+    }
+
+    /// Registers a pre-built entry under `name`, replacing any existing
+    /// entry with that name.
+    pub fn register(
+        &mut self,
+        name: &str,
+        grammar: &'static Grammar,
+        vm: &'static VmParser<'static>,
+    ) {
+        self.insert(Entry { name: name.to_owned(), grammar, vm, origin: Origin::Memory });
+    }
+
+    /// Loads `.ipg` source under `name` through the environment's cache
+    /// (compiling and persisting on a miss) and registers it.
+    ///
+    /// # Errors
+    ///
+    /// Frontend/check errors when the spec is invalid. Cache problems
+    /// degrade to in-memory compilation, not errors.
+    pub fn load_spec(
+        &mut self,
+        name: &str,
+        spec: &str,
+        blackboxes: Vec<Blackbox>,
+    ) -> Result<&Entry> {
+        let entry = load_entry(name, spec, blackboxes)?;
+        Ok(self.insert(entry))
+    }
+
+    /// Loads a user-supplied grammar from a `.ipg` source file, registered
+    /// under the file stem. Flows through the same cache pipeline as the
+    /// corpus.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file (as [`Error::Grammar`]) and
+    /// frontend/check errors in the spec.
+    pub fn load_ipg_path(&mut self, path: &Path) -> Result<&Entry> {
+        let name = stem_of(path)?;
+        let spec = std::fs::read_to_string(path)
+            .map_err(|e| Error::Grammar(format!("cannot read {}: {e}", path.display())))?;
+        let entry = load_entry(&name, &spec, Vec::new())?;
+        Ok(self.insert(entry))
+    }
+
+    /// Loads a persisted `.ipgc` artifact from an explicit path (no cache
+    /// lookup), registered under the file stem. The embedded source is
+    /// re-checked and verified against the artifact before the program is
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Artifact`] on corrupt/truncated/version-skewed bytes or an
+    /// artifact/grammar mismatch; I/O errors as [`Error::Artifact`].
+    pub fn load_artifact_path(&mut self, path: &Path) -> Result<&Entry> {
+        let name = stem_of(path)?;
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::Artifact(format!("cannot read {}: {e}", path.display())))?;
+        let artifact = ipg_core::ipgc::decode(&bytes)?;
+        let grammar = artifact.reconstruct_grammar(Vec::new())?;
+        artifact.validate_against(&grammar)?;
+        let cached = CachedProgram {
+            grammar,
+            program: artifact.program,
+            anchor: artifact.anchor,
+            hints: artifact.hints,
+            source_hash: artifact.source_hash,
+        };
+        let (grammar, vm) = leak(cached);
+        Ok(self.insert(Entry { name, grammar, vm, origin: Origin::ArtifactFile }))
+    }
+
+    /// Loads a grammar from a path, dispatching on the `.ipgc` extension
+    /// (artifact) versus anything else (`.ipg` source).
+    pub fn load_path(&mut self, path: &Path) -> Result<&Entry> {
+        if path.extension().is_some_and(|e| e == "ipgc") {
+            self.load_artifact_path(path)
+        } else {
+            self.load_ipg_path(path)
+        }
+    }
+
+    fn insert(&mut self, entry: Entry) -> &Entry {
+        if let Some(i) = self.entries.iter().position(|e| e.name == entry.name) {
+            self.entries[i] = entry;
+            &self.entries[i]
+        } else {
+            self.entries.push(entry);
+            self.entries.last().expect("just pushed")
+        }
+    }
+
+    /// The cross-engine agreement contract, shared by the assert-style
+    /// test helper and the report-style `bench_conform` gate: identical
+    /// step counts, identical trees on acceptance (via `TreeRef::to_tree`,
+    /// which covers shape, attribute environments including
+    /// `start`/`end`, spans, chosen alternatives, and blackbox payloads),
+    /// identical deepest errors on rejection. Returns `Ok(accepted)` or a
+    /// divergence description.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first divergence found.
+    pub fn compare_engines(
+        parser: &Parser<'_>,
+        vm: &VmParser<'_>,
+        input: &[u8],
+    ) -> std::result::Result<bool, String> {
+        let (ri, si) = parser.parse_with_stats(input);
+        let (rv, sv) = vm.parse_with_stats(input);
+        if si.steps != sv.steps {
+            return Err(format!("step counts differ: {} vs {}", si.steps, sv.steps));
+        }
+        match (ri, rv) {
+            (Ok(reference), Ok(tree)) => {
+                if tree.root().to_tree() != reference {
+                    Err("engines accept but build different trees".into())
+                } else {
+                    Ok(true)
+                }
+            }
+            (Err(ei), Err(ev)) => {
+                if ei != ev {
+                    Err(format!("engines reject with different errors: {ei:?} vs {ev:?}"))
+                } else {
+                    Ok(false)
+                }
+            }
+            (Ok(_), Err(e)) => Err(format!("interpreter accepts, VM rejects: {e}")),
+            (Err(e), Ok(_)) => Err(format!("VM accepts, interpreter rejects: {e}")),
+        }
+    }
+}
+
+fn stem_of(path: &Path) -> Result<String> {
+    path.file_stem().and_then(|s| s.to_str()).map(str::to_owned).ok_or_else(|| {
+        Error::Grammar(format!("cannot derive a grammar name from {}", path.display()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_all_nine_grammars_in_order() {
+        let reg = Registry::corpus();
+        assert_eq!(
+            reg.names(),
+            ["zip", "zip_inflate", "dns", "png", "gif", "elf", "ipv4udp", "pe", "pdf"]
+        );
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut reg = Registry::new();
+        let dns = Registry::corpus();
+        let entry = dns.get("dns").unwrap();
+        reg.register("only", entry.grammar, entry.vm);
+        reg.register("only", entry.grammar, entry.vm);
+        assert_eq!(reg.entries().len(), 1);
+        assert!(reg.vm("only").is_some());
+        assert!(reg.vm("dns").is_none());
+    }
+
+    #[test]
+    fn corpus_entries_come_from_the_artifact_pipeline() {
+        // With the cache enabled the origin is Hit or Miss; with
+        // IPG_NO_CACHE it is Memory. Either way it is never ArtifactFile,
+        // and every entry's VM parses its own corpus input elsewhere in
+        // the suite.
+        for e in Registry::corpus().entries() {
+            assert_ne!(e.origin, Origin::ArtifactFile, "{}", e.name);
+        }
+    }
+}

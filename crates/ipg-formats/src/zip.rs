@@ -6,7 +6,6 @@ use ipg_core::blackbox::{Blackbox, BlackboxResult};
 use ipg_core::check::Grammar;
 use ipg_core::error::{Error, Result};
 use ipg_core::interp::vm::VmParser;
-use std::sync::OnceLock;
 
 /// The zero-copy ZIP specification (entry bodies stay raw byte spans).
 pub const SPEC: &str = include_str!("../specs/zip.ipg");
@@ -14,37 +13,37 @@ pub const SPEC: &str = include_str!("../specs/zip.ipg");
 /// The decompressing variant: bodies go through a DEFLATE blackbox.
 pub const SPEC_INFLATE: &str = include_str!("../specs/zip_inflate.ipg");
 
-/// The checked zero-copy grammar.
+/// The blackbox bindings of the decompressing grammar: `ipg-flate` as the
+/// `inflate` blackbox. Blackboxes are runtime function pointers, so
+/// `.ipgc` artifacts persist only their declarations and the registry
+/// re-binds the implementations through this constructor on every load.
+pub fn inflate_blackboxes() -> Vec<Blackbox> {
+    vec![Blackbox::new("inflate", |input| {
+        let (data, consumed) =
+            ipg_flate::inflate_with_limit(input, 1 << 30).map_err(|e| e.to_string())?;
+        Ok(BlackboxResult { consumed, data, attr_values: vec![] })
+    })]
+}
+
+/// The checked zero-copy grammar (shared corpus registry entry).
 pub fn grammar() -> &'static Grammar {
-    static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| ipg_core::frontend::parse_grammar(SPEC).expect("zip.ipg is a valid IPG"))
+    crate::registry::corpus_entry("zip").grammar
 }
 
 /// The checked decompressing grammar, with `ipg-flate` registered as the
-/// `inflate` blackbox.
+/// `inflate` blackbox (shared corpus registry entry).
 pub fn grammar_inflate() -> &'static Grammar {
-    static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| {
-        let bb = Blackbox::new("inflate", |input| {
-            let (data, consumed) =
-                ipg_flate::inflate_with_limit(input, 1 << 30).map_err(|e| e.to_string())?;
-            Ok(BlackboxResult { consumed, data, attr_values: vec![] })
-        });
-        ipg_core::frontend::parse_grammar_with(SPEC_INFLATE, vec![bb])
-            .expect("zip_inflate.ipg is a valid IPG")
-    })
+    crate::registry::corpus_entry("zip_inflate").grammar
 }
 
 /// The compiled bytecode parser for the zero-copy grammar.
 pub fn vm() -> &'static VmParser<'static> {
-    static P: OnceLock<VmParser<'static>> = OnceLock::new();
-    P.get_or_init(|| VmParser::new(grammar()))
+    crate::registry::corpus_entry("zip").vm
 }
 
 /// The compiled bytecode parser for the decompressing grammar.
 pub fn vm_inflate() -> &'static VmParser<'static> {
-    static P: OnceLock<VmParser<'static>> = OnceLock::new();
-    P.get_or_init(|| VmParser::new(grammar_inflate()))
+    crate::registry::corpus_entry("zip_inflate").vm
 }
 
 /// A parsed archive (zero-copy: bodies are spans into the input).

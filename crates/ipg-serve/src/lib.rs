@@ -3,10 +3,12 @@
 //!
 //! Architecture (bottom up):
 //!
-//! * **Program cache** — a [`Registry`] maps grammar names to shared,
-//!   compile-once [`VmParser`]s ([`Registry::corpus`] pre-loads all nine
-//!   corpus grammars via `ipg_formats::all_vms`). Workers borrow the
-//!   compiled programs; nothing recompiles per request.
+//! * **Program cache** — the shared [`ipg_formats::Registry`] maps
+//!   grammar names to shared, process-lifetime [`VmParser`]s.
+//!   [`Registry::corpus`] pre-loads all nine corpus grammars through the
+//!   versioned `.ipgc` artifact cache ([`ipg_core::ipgc`]) — workers load
+//!   persisted bytecode instead of recompiling, and user-supplied
+//!   grammars ([`Registry::load_path`]) flow through the same pipeline.
 //! * **Sharded worker pool** — one queue per worker plus work stealing
 //!   for one-shot jobs ([`pool`]); streaming sessions are pinned to their
 //!   owning worker so the suspended frame stack never crosses threads.
@@ -72,56 +74,7 @@ impl Default for Config {
     }
 }
 
-/// The per-grammar compiled-program cache handed to the pool.
-#[derive(Clone)]
-pub struct Registry {
-    entries: Vec<(String, &'static VmParser<'static>)>,
-}
-
-impl Registry {
-    /// An empty registry.
-    pub fn new() -> Self {
-        Registry { entries: Vec::new() }
-    }
-
-    /// All nine corpus grammars, compiled once per process.
-    pub fn corpus() -> Self {
-        let entries =
-            ipg_formats::all_vms().into_iter().map(|(name, vm)| (name.to_owned(), vm)).collect();
-        Registry { entries }
-    }
-
-    /// Registers (or replaces) a named parser. The parser must be
-    /// `'static` — compile it once and leak or cache it, exactly like the
-    /// `ipg_formats::*::vm()` statics do.
-    pub fn register(&mut self, name: &str, vm: &'static VmParser<'static>) {
-        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
-            e.1 = vm;
-        } else {
-            self.entries.push((name.to_owned(), vm));
-        }
-    }
-
-    /// Looks up a parser by grammar name.
-    pub fn get(&self, name: &str) -> Option<&'static VmParser<'static>> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, vm)| *vm)
-    }
-
-    /// Registered grammar names, in registration order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(|(n, _)| n.as_str())
-    }
-}
-
-impl Default for Registry {
-    /// Empty, matching [`Registry::new`]; the corpus-loaded registry is
-    /// the *explicit* [`Registry::corpus`] (and what [`Server::start`]
-    /// uses), so `..Default::default()` can never silently register nine
-    /// grammars.
-    fn default() -> Self {
-        Registry::new()
-    }
-}
+pub use ipg_formats::Registry;
 
 /// Completion summary of a successful parse (what crosses the wire; the
 /// in-process API returns it too, keeping both front ends honest about
@@ -293,7 +246,7 @@ impl Server {
 
     fn lookup(&self, grammar: &str) -> Result<&'static VmParser<'static>, Error> {
         self.registry
-            .get(grammar)
+            .vm(grammar)
             .ok_or_else(|| Error::Grammar(format!("unknown grammar `{grammar}`")))
     }
 

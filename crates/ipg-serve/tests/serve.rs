@@ -24,7 +24,8 @@ fn corpus_input(name: &str) -> Vec<u8> {
 #[test]
 fn batch_parse_matches_the_direct_vm() {
     let server = Server::start(Config { workers: 2, ..Config::default() });
-    for (name, vm) in ipg_formats::all_vms() {
+    for entry in ipg_formats::Registry::corpus().entries() {
+        let (name, vm) = (entry.name.as_str(), entry.vm);
         let input = corpus_input(name);
         let (direct, stats) = vm.parse_with_stats(&input);
         let direct = direct.expect("corpus inputs parse");
@@ -243,10 +244,38 @@ fn unix_socket_front_end_round_trips() {
 #[test]
 fn custom_registry_rejects_everything_else() {
     let mut registry = Registry::new();
-    registry.register("only-dns", ipg_formats::dns::vm());
+    registry.register("only-dns", ipg_formats::dns::grammar(), ipg_formats::dns::vm());
     let server = Server::with_registry(Config { workers: 1, ..Config::default() }, registry);
     assert!(server.parse("zip", corpus_input("zip")).is_err());
     assert!(server.parse("only-dns", corpus_input("dns")).is_ok());
-    assert_eq!(server.registry().names().collect::<Vec<_>>(), vec!["only-dns"]);
+    assert_eq!(server.registry().names(), vec!["only-dns"]);
     server.shutdown();
+}
+
+#[test]
+fn workers_run_programs_loaded_from_the_artifact_cache() {
+    // Warm the cache in a scratch directory, then verify a second
+    // process-like load round-trips through `.ipgc` artifacts: every
+    // corpus entry reports a cache hit and its VM still parses.
+    let dir = std::env::temp_dir().join(format!("ipg-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ipg_core::ipgc::Cache::at(&dir);
+    for d in ipg_formats::registry::corpus_descriptors() {
+        let (_, outcome) = cache.load_or_compile(d.name, d.spec, (d.blackboxes)()).unwrap();
+        assert!(matches!(outcome, ipg_core::ipgc::CacheOutcome::Miss(_)), "{}", d.name);
+    }
+    let mut registry = Registry::new();
+    for d in ipg_formats::registry::corpus_descriptors() {
+        let (cached, outcome) = cache.load_or_compile(d.name, d.spec, (d.blackboxes)()).unwrap();
+        assert_eq!(outcome, ipg_core::ipgc::CacheOutcome::Hit, "{}: warm load must hit", d.name);
+        drop(cached);
+        registry.load_spec(d.name, d.spec, (d.blackboxes)()).unwrap();
+    }
+    let server = Server::with_registry(Config { workers: 2, ..Config::default() }, registry);
+    for name in ["zip", "zip_inflate", "dns", "png", "gif", "elf", "ipv4udp", "pe", "pdf"] {
+        let summary = server.parse(name, corpus_input(name)).expect("artifact-loaded VM parses");
+        assert!(summary.nodes > 0, "{name}");
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -19,24 +19,11 @@
 
 use std::path::PathBuf;
 
-fn check_snapshot(name: &str, actual: &str) {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots").join(name);
-    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
-        return;
-    }
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing snapshot {path:?} ({e}); run with UPDATE_SNAPSHOTS=1"));
-    assert!(
-        actual == expected,
-        "bytecode listing for {name} changed.\n\
-         If intentional, regenerate with `UPDATE_SNAPSHOTS=1 cargo test --test bytecode_snapshot`\n\
-         and review the diff.\n\n--- expected\n{expected}\n--- actual\n{actual}"
-    );
-}
-
 mod common;
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots")
+}
 
 macro_rules! snapshot {
     ($test:ident, $name:expr, $file:expr) => {
@@ -44,7 +31,7 @@ macro_rules! snapshot {
         fn $test() {
             let f = common::format($name);
             let listing = f.vm.program().disassemble(f.grammar);
-            check_snapshot($file, &listing);
+            common::check_snapshot(&snapshot_dir(), $file, &listing);
         }
     };
 }

@@ -1,14 +1,18 @@
 //! Helpers shared by the cross-engine and cross-implementation test
 //! suites (`agreement.rs`, `vm_differential.rs`, `properties.rs`,
-//! `conformance.rs`, `regressions.rs`): the nine-grammar format table,
-//! default corpus inputs, the seeded input mutator, and the
-//! interpreter-vs-VM agreement assertion (trees, step counts, errors).
+//! `conformance.rs`, `regressions.rs`) and the CLI expect-tests: the
+//! nine-grammar format table, default corpus inputs, the seeded input
+//! mutator, the interpreter-vs-VM agreement assertion (trees, step
+//! counts, errors), and the one `UPDATE_SNAPSHOTS=1` expect-file helper
+//! every snapshot suite blesses through.
 
 #![allow(dead_code)] // each integration-test binary uses a subset
 
 use ipg_core::check::Grammar;
 use ipg_core::interp::vm::VmParser;
 use ipg_core::interp::Parser;
+use ipg_formats::Registry;
+use std::path::Path;
 use std::sync::OnceLock;
 
 /// Step fuel for every engine run in the test suites: orders of magnitude
@@ -28,22 +32,25 @@ pub struct Format {
     pub vm: &'static VmParser<'static>,
 }
 
-/// Fuel-bounded VM per grammar, compiled once per test binary.
-fn fueled_vms() -> &'static [(&'static str, &'static Grammar, VmParser<'static>)] {
-    static VMS: OnceLock<Vec<(&'static str, &'static Grammar, VmParser<'static>)>> =
-        OnceLock::new();
+/// Fuel-bounded VM per grammar, compiled once per test binary (grammars
+/// come from the shared corpus [`Registry`], i.e. through the `.ipgc`
+/// artifact pipeline).
+fn fueled_vms() -> &'static [(String, &'static Grammar, VmParser<'static>)] {
+    static VMS: OnceLock<Vec<(String, &'static Grammar, VmParser<'static>)>> = OnceLock::new();
     VMS.get_or_init(|| {
-        ipg_formats::all_grammars()
-            .into_iter()
-            .map(|(name, g)| (name, g, VmParser::new(g).max_steps(AGREE_FUEL)))
+        Registry::corpus()
+            .entries()
+            .iter()
+            .map(|e| (e.name.clone(), e.grammar, VmParser::new(e.grammar).max_steps(AGREE_FUEL)))
             .collect()
     })
 }
 
 /// All nine format grammars under differential test (the registry lives in
-/// [`ipg_formats::all_grammars`]; this view carries the fuel-bounded VMs).
+/// [`ipg_formats::Registry::corpus`]; this view carries the fuel-bounded
+/// VMs).
 pub fn formats() -> Vec<Format> {
-    fueled_vms().iter().map(|e| Format { name: e.0, grammar: e.1, vm: &e.2 }).collect()
+    fueled_vms().iter().map(|e| Format { name: e.0.as_str(), grammar: e.1, vm: &e.2 }).collect()
 }
 
 /// Looks up a format by name.
@@ -105,8 +112,34 @@ pub fn mutate(bytes: &mut Vec<u8>, kind: u8, pos: usize, value: u8) {
 /// Returns whether the input was accepted.
 pub fn assert_engines_agree(name: &str, g: &Grammar, vm: &VmParser<'_>, input: &[u8]) -> bool {
     let parser = Parser::new(g).max_steps(AGREE_FUEL);
-    match ipg_formats::compare_engines(&parser, vm, input) {
+    match Registry::compare_engines(&parser, vm, input) {
         Ok(accepted) => accepted,
         Err(msg) => panic!("{name}: {msg}"),
     }
+}
+
+/// The one expect-file helper every snapshot suite shares: compares
+/// `actual` against the golden file at `dir/name`, or rewrites it when
+/// `UPDATE_SNAPSHOTS=1` is set. Used by the bytecode-listing snapshots,
+/// the `.ipgc` disasm round-trip gate, and the CLI stdout/stderr
+/// expect-tests — one blessing flow for all of them:
+///
+/// ```text
+/// UPDATE_SNAPSHOTS=1 cargo test --workspace
+/// ```
+pub fn check_snapshot(dir: &Path, name: &str, actual: &str) {
+    let path = dir.join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {path:?} ({e}); run with UPDATE_SNAPSHOTS=1"));
+    assert!(
+        actual == expected,
+        "snapshot {name} changed.\n\
+         If intentional, regenerate with `UPDATE_SNAPSHOTS=1 cargo test`\n\
+         and review the diff.\n\n--- expected\n{expected}\n--- actual\n{actual}"
+    );
 }
