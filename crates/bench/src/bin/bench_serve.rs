@@ -60,8 +60,12 @@ fn parse_chunked(vm: &VmParser<'_>, input: &[u8], chunk: usize) -> u64 {
 }
 
 /// Wall-clock seconds to complete `jobs` batch parses on a pool with
-/// `workers` workers.
-fn batch_run(workers: usize, jobs: &[(&'static str, Vec<u8>)]) -> f64 {
+/// `workers` workers, plus the final stats snapshot (latency percentiles
+/// and the admission ledger).
+fn batch_run(
+    workers: usize,
+    jobs: &[(&'static str, Vec<u8>)],
+) -> (f64, ipg_serve::stats::StatsSnapshot) {
     let server = Server::start(Config { workers, ..Config::default() });
     // Warm: one pass primes queues, caches, and thread startup.
     for (name, input) in jobs.iter().take(workers.max(4)) {
@@ -79,8 +83,86 @@ fn batch_run(workers: usize, jobs: &[(&'static str, Vec<u8>)]) -> f64 {
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
     server.shutdown();
-    elapsed
+    (elapsed, stats)
+}
+
+/// A fault-injected soak over the pool (the chaos-smoke record): valid
+/// and mutated inputs under injected panics and stalls against a small
+/// queue bound. Exits non-zero unless the admission ledger reconciles
+/// exactly and every injected panic was recovered — that is a
+/// correctness gate, enforced in quick mode too.
+fn chaos_run(quick: bool, workloads: &[(&'static str, Vec<u8>)]) -> String {
+    use ipg_serve::fault::FaultPlan;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let plan = Arc::new(FaultPlan::new(0xBE7C).panic_per_mille(60).stall_per_mille(60, 2));
+    let server = Server::start(Config {
+        workers: 2,
+        max_queue: 8,
+        retry_after: Duration::from_millis(2),
+        faults: Some(plan.clone()),
+        ..Config::default()
+    });
+    let rounds = if quick { 6 } else { 16 };
+    for round in 0..rounds {
+        let pending: Vec<_> = workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (name, input))| {
+                let valid = server.parse_async(name, input.clone()).expect("submit");
+                let mut mutant = input.clone();
+                ipg_gen::mutate::mutate(&mut mutant, 0xBE7C ^ round as u64, i as u64);
+                let mutated = server.parse_async(name, mutant).expect("submit");
+                [valid, mutated]
+            })
+            .collect();
+        for rx in pending {
+            match rx.recv_timeout(Duration::from_secs(60)).expect("no reply may be lost") {
+                Response::Done(_) | Response::Busy { .. } | Response::Error(_) => {}
+                other => panic!("unexpected chaos reply: {other:?}"),
+            }
+        }
+    }
+    let stats = server.stats();
+    server.shutdown();
+    let reconciled = stats.reconciles() && stats.panics_recovered == plan.panics_injected();
+    println!(
+        "chaos x{rounds}: {} submitted = {} completed + {} shed + {} failed; \
+         {} panics recovered, {} faults injected, reconciled: {reconciled}",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.failed,
+        stats.panics_recovered,
+        plan.injected(),
+    );
+    if !reconciled {
+        eprintln!(
+            "ERROR: chaos ledger failed to reconcile \
+             ({} != {} + {} + {}, panics {} vs injected {})",
+            stats.submitted,
+            stats.completed,
+            stats.shed,
+            stats.failed,
+            stats.panics_recovered,
+            plan.panics_injected(),
+        );
+        std::process::exit(1);
+    }
+    format!(
+        "{{\"submitted\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}, \
+         \"panics_recovered\": {}, \"faults_injected\": {}, \"reconciled\": {}}}",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.failed,
+        stats.panics_recovered,
+        plan.injected(),
+        reconciled,
+    )
 }
 
 fn main() {
@@ -159,8 +241,8 @@ fn main() {
         .iter()
         .flat_map(|(name, input)| (0..reps).map(|_| (*name, input.clone())))
         .collect();
-    let t1 = batch_run(1, &jobs);
-    let t4 = batch_run(4, &jobs);
+    let (t1, _) = batch_run(1, &jobs);
+    let (t4, stats4) = batch_run(4, &jobs);
     let jobs_per_s_1 = jobs.len() as f64 / t1;
     let jobs_per_s_4 = jobs.len() as f64 / t4;
     let scaling = t1 / t4;
@@ -200,13 +282,19 @@ fn main() {
         "batch",
         format!(
             "{{\"jobs\": {}, \"workers_1_jobs_per_s\": {:.1}, \"workers_4_jobs_per_s\": {:.1}, \
-             \"scaling_x\": {:.2}}}",
+             \"scaling_x\": {:.2}, \"latency_p50_us\": {}, \"latency_p99_us\": {}, \
+             \"shed\": {}, \"panics_recovered\": {}}}",
             jobs.len(),
             jobs_per_s_1,
             jobs_per_s_4,
             scaling,
+            stats4.latency_p50_us,
+            stats4.latency_p99_us,
+            stats4.shed,
+            stats4.panics_recovered,
         ),
     );
+    report.field("chaos", chaos_run(cli.quick, &workloads));
     let aggregate_overhead = (total_chunked_s / total_oneshot_s - 1.0) * 100.0;
     report.field("worst_overhead_pct", format!("{worst_overhead:.2}"));
     report.field("aggregate_overhead_pct", format!("{aggregate_overhead:.2}"));

@@ -1,16 +1,59 @@
 //! `ipg serve` — the batch/streaming parse service on a Unix socket,
 //! with the corpus registry plus any extra grammars named on the command
 //! line (all loaded through the same artifact pipeline).
+//!
+//! SIGTERM and ctrl-c (SIGINT) trigger a graceful drain instead of an
+//! abrupt exit: the acceptor stops, queued one-shot jobs flush, open
+//! sessions are sealed and their connections answered `GOAWAY`, and the
+//! process exits 0 — so a rolling restart never tears a frame.
 
 use crate::{CmdResult, Failure};
 use ipg_formats::Registry;
+use ipg_serve::fault::FaultPlan;
 use ipg_serve::{Config, Server};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Minimal signal plumbing without a libc dependency: `signal(2)` is in
+/// the C runtime every Rust binary already links. The handler does the
+/// only async-signal-safe thing it can — set an atomic flag the serve
+/// loop polls.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        // SAFETY: installing a handler that only performs an atomic
+        // store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
 
 pub fn run(args: &[String]) -> CmdResult {
     let mut socket = None;
     let mut workers = None;
+    let mut max_queue = None;
     let mut extra = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -27,6 +70,13 @@ pub fn run(args: &[String]) -> CmdResult {
                         .ok_or_else(|| Failure::usage("--workers needs a number"))?,
                 );
             }
+            "--max-queue" => {
+                max_queue = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .ok_or_else(|| Failure::usage("--max-queue needs a number"))?,
+                );
+            }
             "--grammar" => {
                 extra.push(
                     it.next().cloned().ok_or_else(|| Failure::usage("--grammar needs a path"))?,
@@ -37,7 +87,7 @@ pub fn run(args: &[String]) -> CmdResult {
     }
     let Some(socket) = socket else {
         return Err(Failure::usage(
-            "usage: ipg serve --socket PATH [--workers N] [--grammar PATH]...",
+            "usage: ipg serve --socket PATH [--workers N] [--max-queue N] [--grammar PATH]...",
         ));
     };
 
@@ -47,23 +97,49 @@ pub fn run(args: &[String]) -> CmdResult {
         println!("loaded `{}` from {path}", entry.name);
     }
 
-    let cfg = match workers {
-        Some(workers) => Config { workers, ..Config::default() },
-        None => Config::default(),
-    };
+    let mut cfg = Config::default();
+    if let Some(workers) = workers {
+        cfg.workers = workers;
+    }
+    if let Some(bound) = max_queue {
+        cfg.max_queue = bound;
+    }
+    // Chaos-mode escape hatch: IPG_FAULT_* env vars arm the deterministic
+    // fault injector (used by the chaos-smoke CI lane; no-op otherwise).
+    cfg.faults = FaultPlan::from_env().map(Arc::new);
+    if cfg.faults.is_some() {
+        println!("fault injection armed from IPG_FAULT_* environment");
+    }
+
+    sig::install();
     let server = Arc::new(Server::with_registry(cfg, registry));
     let front = server
         .serve_unix(&socket)
         .map_err(|e| Failure::runtime(format!("cannot bind {socket}: {e}")))?;
     println!(
-        "serving {} grammars on {socket} with {} workers (ctrl-c to stop)",
+        "serving {} grammars on {socket} with {} workers (SIGTERM/ctrl-c drains)",
         server.registry().entries().len(),
         server.workers()
     );
-    // The acceptor runs on its own thread; park this one until killed.
-    loop {
-        std::thread::park();
-        // Spurious unparks are allowed; keep the front end alive.
-        let _ = &front;
+    // The acceptor runs on its own thread; poll for a shutdown signal.
+    while !sig::requested() {
+        std::thread::sleep(Duration::from_millis(50));
     }
+
+    // Graceful drain: stop accepting, refuse new work with GOAWAY, flush
+    // queued jobs, seal open sessions, answer idle connections GOAWAY.
+    println!("signal received; draining…");
+    front.stop_accepting();
+    server.drain();
+    let stats = server.stats();
+    println!(
+        "drained: {} submitted = {} completed + {} shed + {} failed \
+         (sessions sealed: {}); exiting 0",
+        stats.submitted, stats.completed, stats.shed, stats.failed, stats.sessions_sealed
+    );
+    // Give connection threads a beat to deliver their GOAWAYs before the
+    // socket file disappears with `front`.
+    std::thread::sleep(Duration::from_millis(100));
+    drop(front);
+    Ok(())
 }

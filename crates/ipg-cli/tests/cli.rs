@@ -184,6 +184,67 @@ fn check_runs_the_full_toolchain_on_a_shipped_spec() {
 }
 
 #[test]
+fn serve_drains_gracefully_on_sigterm() {
+    use ipg_serve::proto::{Client, RetryPolicy, Wire};
+    use std::io::Read as _;
+    use std::time::Duration;
+
+    let scratch = Scratch::new("serve-drain");
+    let sock = scratch.path().join("serve.sock");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ipg"))
+        .args(["serve", "--socket", sock.to_str().unwrap(), "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ipg serve");
+
+    // Ride out startup (grammar loading) with a patient connect retry.
+    let policy = RetryPolicy {
+        attempts: 14,
+        base: Duration::from_millis(5),
+        cap: Duration::from_secs(2),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with_retry(&sock, &policy).expect("connect to ipg serve");
+    client.set_reply_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+    // Real mid-traffic state: a completed parse plus an open session.
+    let input = common::default_corpus_input("dns");
+    assert!(matches!(client.parse("dns", &input).expect("io"), Wire::Done { .. }));
+    let Wire::Opened { id } = client.open("dns").expect("io") else { panic!("expected Opened") };
+    assert!(matches!(client.feed(id, &input[..2]).expect("io"), Wire::NeedInput { .. }));
+
+    let kill =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("run kill");
+    assert!(kill.success());
+
+    // The drain seals the (now idle) connection with an unsolicited
+    // GOAWAY and a clean EOF — never a torn frame, never a reset.
+    assert_eq!(client.recv().expect("io"), Some(Wire::GoAway));
+    assert_eq!(client.recv().expect("io"), None, "clean EOF after GOAWAY");
+
+    let mut waited = 0u64;
+    let status = loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            break st;
+        }
+        if waited >= 15_000 {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("ipg serve did not exit within 15s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        waited += 50;
+    };
+    assert!(status.success(), "graceful drain must exit 0, got {status:?}");
+    let mut stdout = String::new();
+    child.stdout.take().expect("piped stdout").read_to_string(&mut stdout).expect("read stdout");
+    assert!(stdout.contains("draining"), "missing drain notice:\n{stdout}");
+    assert!(stdout.contains("drained:"), "missing reconciliation line:\n{stdout}");
+    assert!(stdout.contains("exiting 0"), "missing exit notice:\n{stdout}");
+}
+
+#[test]
 fn gen_writes_vm_verified_inputs() {
     let scratch = Scratch::new("gen");
     let stdout = ok_stdout(&["gen", "png", "--count", "2", "--out", scratch.str()], &[]);

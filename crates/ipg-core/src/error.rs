@@ -37,6 +37,11 @@ pub enum Error {
     /// inconsistency between the artifact and the grammar it claims to
     /// have been compiled from. Loading never panics on malformed bytes.
     Artifact(String),
+    /// A service worker panicked while executing this job. The panic was
+    /// caught at the job boundary: the job is lost, the worker recovered
+    /// and keeps serving, and the payload message is preserved here so
+    /// the caller sees *why* instead of a dropped reply channel.
+    WorkerPanic(String),
 }
 
 /// Details about a failed parse.
@@ -64,6 +69,7 @@ impl fmt::Display for Error {
             Error::Blackbox(msg) => write!(f, "blackbox parser failed: {msg}"),
             Error::Session(msg) => write!(f, "session error: {msg}"),
             Error::Artifact(msg) => write!(f, "artifact error: {msg}"),
+            Error::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }

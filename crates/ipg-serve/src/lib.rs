@@ -14,7 +14,18 @@
 //!   owning worker so the suspended frame stack never crosses threads.
 //! * **Isolation** — every parse carries a step budget, every session a
 //!   byte budget and a rolling deadline; an input that stalls, balloons,
-//!   or loops is killed with a clean error and the worker moves on.
+//!   or loops is killed with a clean error and the worker moves on. Every
+//!   job body runs under `catch_unwind`: a panicking parse (or an
+//!   injected fault, [`fault`]) costs exactly that job — answered with a
+//!   typed [`ipg_core::Error::WorkerPanic`] — never the worker.
+//! * **Admission control** — one-shot queues are bounded; over the bound
+//!   new jobs are shed immediately with [`Response::Busy`] (a typed
+//!   `BUSY { retry_after_ms }` on the wire) instead of queued, while
+//!   pinned session traffic degrades last.
+//! * **Drain** — [`Server::drain`] (wired to SIGTERM/ctrl-c in
+//!   `ipg serve`) stops admitting, flushes queued one-shot work, seals
+//!   open sessions, and answers everything else `GOAWAY`, so a restart
+//!   never tears a frame mid-connection.
 //! * **Front ends** — an in-process API ([`Server::parse`],
 //!   [`Server::open`]) and a length-framed Unix-socket protocol
 //!   ([`proto`], [`Server::serve_unix`]).
@@ -34,23 +45,27 @@
 //! # let _ = outcome;
 //! ```
 
+pub mod fault;
 pub mod pool;
 pub mod proto;
 pub mod stats;
 
+use fault::FaultPlan;
 use ipg_core::interp::vm::{Hint, VmParser};
 use ipg_core::Error;
-use pool::{Job, Shard, Shared};
+use pool::{Job, JobKind, Shard, Shared};
 use stats::{Counters, StatsSnapshot};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex, Once, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Service configuration. The defaults are production-lean: parallelism
 /// from the machine, 50M-step fuel (the repo's standard "pathological
-/// loop" bound), 64 MiB per-session buffers, 30 s session deadlines.
+/// loop" bound), 64 MiB per-session buffers, 30 s session deadlines,
+/// 1024-deep one-shot queues with BUSY shedding beyond that, and a 10 s
+/// per-request reply deadline.
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Worker threads (0 = `std::thread::available_parallelism`).
@@ -61,6 +76,23 @@ pub struct Config {
     pub max_bytes: usize,
     /// Rolling inactivity deadline after which a session is evicted.
     pub session_deadline: Duration,
+    /// Per-shard bound on queued one-shot jobs; beyond it new jobs are
+    /// shed with `BUSY { retry_after_ms }` instead of queued.
+    pub max_queue: usize,
+    /// The retry hint carried in BUSY responses.
+    pub retry_after: Duration,
+    /// How long a caller waits for its reply before receiving a typed
+    /// deadline error (the job itself still completes server-side).
+    pub request_deadline: Duration,
+    /// Hard cap on a wire frame payload (see [`proto::MAX_FRAME`]).
+    pub max_frame: usize,
+    /// Wire inactivity timeout and whole-frame deadline: a connection
+    /// that stalls mid-frame longer than this is answered with a typed
+    /// error and closed (the slow-loris guard).
+    pub io_timeout: Duration,
+    /// Fault-injection schedule for the chaos harness; `None` (the
+    /// default) injects nothing.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for Config {
@@ -70,6 +102,12 @@ impl Default for Config {
             max_steps: 50_000_000,
             max_bytes: 64 << 20,
             session_deadline: Duration::from_secs(30),
+            max_queue: 1024,
+            retry_after: Duration::from_millis(25),
+            request_deadline: Duration::from_secs(10),
+            max_frame: proto::MAX_FRAME,
+            io_timeout: Duration::from_secs(5),
+            faults: None,
         }
     }
 }
@@ -108,6 +146,15 @@ pub enum Response {
     },
     /// The parse failed or the request was invalid.
     Error(Error),
+    /// Shed at admission: the one-shot queue is over its bound. The job
+    /// was never queued; retry after the hinted delay.
+    Busy {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server is draining: no new work is admitted and the session
+    /// this request addressed (if any) has been sealed.
+    GoAway,
 }
 
 /// The running service: worker threads plus the shared state. Dropping
@@ -115,9 +162,26 @@ pub enum Response {
 pub struct Server {
     shared: Arc<Shared>,
     registry: Registry,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
     rr: AtomicU64,
+}
+
+/// Suppresses default panic-hook spew (message + backtrace) for panics
+/// that the worker pool catches and converts to typed replies. Installed
+/// once per process; panics on any non-`ipg-serve-` thread still reach
+/// the previous hook untouched.
+fn install_quiet_worker_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let caught = std::thread::current().name().is_some_and(|n| n.starts_with("ipg-serve-"));
+            if !caught {
+                prev(info);
+            }
+        }));
+    });
 }
 
 impl Server {
@@ -128,6 +192,7 @@ impl Server {
 
     /// Starts the pool over an explicit registry.
     pub fn with_registry(cfg: Config, registry: Registry) -> Server {
+        install_quiet_worker_panics();
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
@@ -137,10 +202,17 @@ impl Server {
             shards: (0..workers).map(|_| Shard::new()).collect(),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             next_session: AtomicU64::new(0),
             max_steps: cfg.max_steps,
             max_bytes: cfg.max_bytes,
             session_deadline: cfg.session_deadline,
+            max_queue: cfg.max_queue.max(1),
+            retry_after_ms: cfg.retry_after.as_millis().max(1) as u64,
+            request_deadline: cfg.request_deadline,
+            max_frame: cfg.max_frame,
+            io_timeout: cfg.io_timeout,
+            faults: cfg.faults,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -154,7 +226,7 @@ impl Server {
         Server {
             shared,
             registry,
-            workers: handles,
+            workers: Mutex::new(handles),
             started: Instant::now(),
             rr: AtomicU64::new(0),
         }
@@ -170,25 +242,53 @@ impl Server {
         &self.registry
     }
 
+    /// `true` once [`Server::drain`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
     /// Parses `input` under the named grammar, blocking until a worker
     /// picks it up and finishes.
     ///
     /// # Errors
     ///
-    /// [`Error::Grammar`] for unknown grammar names; the parse's own
-    /// error otherwise.
+    /// [`Error::Grammar`] for unknown grammar names; [`Error::Session`]
+    /// when shed (BUSY), refused (GOAWAY), or past the request deadline;
+    /// [`Error::WorkerPanic`] if the executing worker panicked; the
+    /// parse's own error otherwise.
     pub fn parse(&self, grammar: &str, input: Vec<u8>) -> Result<ParseSummary, Error> {
-        match self.parse_async(grammar, input)?.recv() {
-            Ok(Response::Done(s)) => Ok(s),
-            Ok(Response::Error(e)) => Err(e),
-            Ok(_) => Err(Error::Session("protocol violation: unexpected response".into())),
-            Err(_) => Err(Error::Session("worker dropped the request".into())),
+        match self.parse_response(grammar, input) {
+            Response::Done(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            Response::Busy { retry_after_ms } => {
+                Err(Error::Session(format!("server busy; retry after {retry_after_ms}ms")))
+            }
+            Response::GoAway => Err(Error::Session("server is draining (GOAWAY)".into())),
+            _ => Err(Error::Session("protocol violation: unexpected response".into())),
+        }
+    }
+
+    /// Parses `input` and returns the raw typed [`Response`] — what the
+    /// wire front end forwards verbatim, so BUSY/GOAWAY stay typed frames
+    /// instead of collapsing into error strings.
+    pub fn parse_response(&self, grammar: &str, input: Vec<u8>) -> Response {
+        let vm = match self.lookup(grammar) {
+            Ok(vm) => vm,
+            Err(e) => return Response::Error(e),
+        };
+        let (tx, rx) = channel();
+        let job = Job::new(JobKind::Parse { vm, input }, tx);
+        match self.admit_oneshot(job) {
+            Ok(()) => self.await_reply(rx),
+            Err(resp) => resp,
         }
     }
 
     /// Submits a parse without waiting: the returned receiver yields the
-    /// single [`Response`] when a worker completes it. This is the fan-in
-    /// primitive the batch benchmark saturates the pool with.
+    /// single [`Response`] when a worker completes it — immediately
+    /// [`Response::Busy`]/[`Response::GoAway`] if the job was shed at
+    /// admission. This is the fan-in primitive the batch benchmark
+    /// saturates the pool with.
     ///
     /// # Errors
     ///
@@ -196,9 +296,51 @@ impl Server {
     pub fn parse_async(&self, grammar: &str, input: Vec<u8>) -> Result<Receiver<Response>, Error> {
         let vm = self.lookup(grammar)?;
         let (tx, rx) = channel();
-        let w = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % self.workers();
-        self.shared.shards[w].push(Job::Parse { vm, input, reply: tx }, false);
+        let job = Job::new(JobKind::Parse { vm, input }, tx);
+        // On shed, admission already sent the BUSY/GOAWAY into the
+        // channel, so the receiver contract (exactly one response) holds.
+        let _ = self.admit_oneshot(job);
         Ok(rx)
+    }
+
+    /// Admission control for one-shot jobs: refused with GOAWAY while
+    /// draining, shed with BUSY when the target shard's one-shot queue is
+    /// at its bound. Counted into the request ledger either way.
+    fn admit_oneshot(&self, job: Job) -> Result<(), Response> {
+        let shared = &self.shared;
+        Counters::add(&shared.counters.requests_submitted, 1);
+        if shared.is_draining() {
+            let resp = Response::GoAway;
+            shared.classify(&resp, job.accepted);
+            let _ = job.reply.send(Response::GoAway);
+            return Err(resp);
+        }
+        let w = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % self.workers();
+        match shared.shards[w].try_push_shared(job, shared.max_queue) {
+            Ok(()) => Ok(()),
+            Err(job) => {
+                let resp = Response::Busy { retry_after_ms: shared.retry_after_ms };
+                shared.classify(&resp, job.accepted);
+                let _ = job.reply.send(Response::Busy { retry_after_ms: shared.retry_after_ms });
+                Err(resp)
+            }
+        }
+    }
+
+    /// Blocks on the reply with the per-request deadline. On expiry the
+    /// caller gets a typed error; the job still runs to completion and is
+    /// classified server-side by its worker.
+    fn await_reply(&self, rx: Receiver<Response>) -> Response {
+        match rx.recv_timeout(self.shared.request_deadline) {
+            Ok(resp) => resp,
+            Err(RecvTimeoutError::Timeout) => Response::Error(Error::Session(format!(
+                "request deadline of {:?} exceeded (job still runs server-side)",
+                self.shared.request_deadline
+            ))),
+            Err(RecvTimeoutError::Disconnected) => {
+                Response::Error(Error::Session("worker dropped the request".into()))
+            }
+        }
     }
 
     /// Opens a streaming session on the named grammar. The session is
@@ -207,39 +349,76 @@ impl Server {
     /// # Errors
     ///
     /// [`Error::Grammar`] for unknown grammar names; [`Error::Session`]
-    /// if the pool is shutting down.
+    /// if the pool is draining or shutting down.
     pub fn open(&self, grammar: &str) -> Result<StreamHandle<'_>, Error> {
-        let vm = self.lookup(grammar)?;
-        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-        let w = self.shared.owner_of(id);
-        let (tx, rx) = channel();
-        self.shared.shards[w].push(Job::Open { id, vm, reply: tx }, true);
-        match rx.recv() {
-            Ok(Response::Opened { id }) => Ok(StreamHandle { server: self, id }),
-            Ok(Response::Error(e)) => Err(e),
+        match self.open_response(grammar) {
+            Response::Opened { id } => Ok(StreamHandle { server: self, id }),
+            Response::Error(e) => Err(e),
+            Response::GoAway => Err(Error::Session("server is draining (GOAWAY)".into())),
             _ => Err(Error::Session("worker dropped the open request".into())),
         }
     }
 
+    /// Opens a session and returns the raw typed [`Response`] (the wire
+    /// front end's entry point).
+    pub fn open_response(&self, grammar: &str) -> Response {
+        let vm = match self.lookup(grammar) {
+            Ok(vm) => vm,
+            Err(e) => return Response::Error(e),
+        };
+        let shared = &self.shared;
+        Counters::add(&shared.counters.requests_submitted, 1);
+        if shared.is_draining() {
+            let resp = Response::GoAway;
+            shared.classify(&resp, Instant::now());
+            return resp;
+        }
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let w = shared.owner_of(id);
+        let (tx, rx) = channel();
+        shared.shards[w].push_pinned(Job::new(JobKind::Open { id, vm }, tx));
+        self.await_reply(rx)
+    }
+
     /// A point-in-time stats snapshot (parses/s, bytes/s, suspend counts,
-    /// queue depths, eviction counts).
+    /// queue depths, shed/panic counters, latency percentiles).
     pub fn stats(&self) -> StatsSnapshot {
         let depths = self.shared.shards.iter().map(|s| s.depth()).collect();
         StatsSnapshot::collect(&self.shared.counters, self.started, depths)
     }
 
     /// Stops the workers after the queues drain and joins them. Live
-    /// streaming sessions are dropped (counted as evictions).
-    pub fn shutdown(mut self) {
+    /// streaming sessions are dropped (counted as evictions). For a
+    /// graceful restart use [`Server::drain`] instead.
+    pub fn shutdown(self) {
         self.stop_workers();
     }
 
-    fn stop_workers(&mut self) {
+    /// Graceful drain: stop admitting (new requests get GOAWAY), flush
+    /// queued one-shot jobs, seal open sessions (their next request gets
+    /// GOAWAY; remaining ones are sealed at worker exit), then join the
+    /// workers. Safe to call from any thread holding the server; calling
+    /// it twice is a no-op for the second caller.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.stop_workers();
+        // Epilogue: anything that raced past admission after the workers
+        // exited would otherwise never be answered — answer it GOAWAY so
+        // no caller is left holding a dead reply channel.
+        for shard in &self.shared.shards {
+            for job in shard.drain_all() {
+                pool::send_reply(&self.shared, &job.reply, job.accepted, Response::GoAway);
+            }
+        }
+    }
+
+    fn stop_workers(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         for shard in &self.shared.shards {
             shard.notify();
         }
-        for h in self.workers.drain(..) {
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for h in workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -250,21 +429,25 @@ impl Server {
             .ok_or_else(|| Error::Grammar(format!("unknown grammar `{grammar}`")))
     }
 
-    pub(crate) fn session_request(&self, id: u64, job: impl FnOnce(SenderOf) -> Job) -> Response {
-        let w = self.shared.owner_of(id);
+    pub(crate) fn session_request(&self, id: u64, kind: JobKind) -> Response {
+        let shared = &self.shared;
+        Counters::add(&shared.counters.requests_submitted, 1);
+        if shared.is_draining() {
+            let resp = Response::GoAway;
+            shared.classify(&resp, Instant::now());
+            return resp;
+        }
+        let w = shared.owner_of(id);
         let (tx, rx) = channel();
-        self.shared.shards[w].push(job(tx), true);
-        rx.recv().unwrap_or_else(|_| {
-            Response::Error(Error::Session("worker dropped the request".into()))
-        })
+        shared.shards[w].push_pinned(Job::new(kind, tx));
+        self.await_reply(rx)
     }
 }
 
-type SenderOf = std::sync::mpsc::Sender<Response>;
-
 impl Drop for Server {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
+        let pending = !self.workers.lock().unwrap_or_else(PoisonError::into_inner).is_empty();
+        if pending {
             self.stop_workers();
         }
     }
@@ -285,15 +468,11 @@ impl StreamHandle<'_> {
 
     /// Routes a chunk to the owning worker and waits for its answer.
     pub fn feed(&mut self, bytes: &[u8]) -> Response {
-        self.server.session_request(self.id, |tx| Job::Feed {
-            id: self.id,
-            bytes: bytes.to_vec(),
-            reply: tx,
-        })
+        self.server.session_request(self.id, JobKind::Feed { id: self.id, bytes: bytes.to_vec() })
     }
 
     /// Signals end-of-input and waits for the final verdict.
     pub fn finish(self) -> Response {
-        self.server.session_request(self.id, |tx| Job::Finish { id: self.id, reply: tx })
+        self.server.session_request(self.id, JobKind::Finish { id: self.id })
     }
 }

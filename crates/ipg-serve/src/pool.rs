@@ -9,32 +9,83 @@
 //! lock. Stealing moves work, never sessions: a `Feed` for session `id`
 //! must reach the worker holding that session's frame stack, so pinned
 //! jobs are not stealable.
+//!
+//! Fault tolerance:
+//!
+//! * **Panic isolation** — every job body runs under `catch_unwind`; a
+//!   panicking parse (or an injected fault) costs exactly that job, which
+//!   is answered with a typed [`Error::WorkerPanic`], and the worker
+//!   keeps serving. Shard locks are poison-recovered, so even a panic in
+//!   an unexpected place can never wedge the queue handoff.
+//! * **Admission control** — the shared (one-shot) queue is bounded; jobs
+//!   over the bound are shed at submission with `BUSY` instead of queued.
+//!   Pinned session queues stay unbounded by design: session traffic is
+//!   self-clocking (one outstanding request per handle/connection), so
+//!   its depth is bounded by the number of live sessions, and letting it
+//!   through last honors "pinned traffic degrades last".
+//! * **Drain** — once [`Shared::draining`] is set, queued one-shot jobs
+//!   still execute (flush), but session jobs are answered `GOAWAY` and
+//!   their sessions sealed; workers seal any remaining sessions before
+//!   exiting instead of silently dropping them.
 
+use crate::fault::{Fault, FaultPlan};
 use crate::stats::Counters;
 use crate::{ParseSummary, Response};
 use ipg_core::interp::vm::{Outcome, Session, VmParser};
 use ipg_core::Error;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How long an idle worker sleeps between queue checks; also bounds how
 /// stale a deadline eviction can be.
 const IDLE_WAIT: Duration = Duration::from_millis(20);
 
-/// One unit of work. `reply` is a rendezvous channel: every job sends
-/// exactly one [`Response`].
-pub(crate) enum Job {
+/// What one job asks for. Owned buffers only: jobs cross threads.
+pub(crate) enum JobKind {
     /// Parse `input` in one shot.
-    Parse { vm: &'static VmParser<'static>, input: Vec<u8>, reply: Sender<Response> },
+    Parse { vm: &'static VmParser<'static>, input: Vec<u8> },
     /// Open a streaming session under `id` (pre-routed to the owner).
-    Open { id: u64, vm: &'static VmParser<'static>, reply: Sender<Response> },
+    Open { id: u64, vm: &'static VmParser<'static> },
     /// Append a chunk to session `id`.
-    Feed { id: u64, bytes: Vec<u8>, reply: Sender<Response> },
+    Feed { id: u64, bytes: Vec<u8> },
     /// Signal end-of-input to session `id`.
-    Finish { id: u64, reply: Sender<Response> },
+    Finish { id: u64 },
+}
+
+impl JobKind {
+    /// The session this job touches, if any — the state a caught panic
+    /// may have corrupted and must therefore be discarded.
+    fn session_id(&self) -> Option<u64> {
+        match self {
+            JobKind::Parse { .. } => None,
+            JobKind::Open { id, .. } | JobKind::Feed { id, .. } | JobKind::Finish { id } => {
+                Some(*id)
+            }
+        }
+    }
+
+    fn is_session_job(&self) -> bool {
+        self.session_id().is_some()
+    }
+}
+
+/// One unit of work. `reply` is a rendezvous channel: every job sends
+/// exactly one [`Response`]. `accepted` timestamps admission so the
+/// latency histogram covers queueing, not just execution.
+pub(crate) struct Job {
+    pub(crate) kind: JobKind,
+    pub(crate) reply: Sender<Response>,
+    pub(crate) accepted: Instant,
+}
+
+impl Job {
+    pub(crate) fn new(kind: JobKind, reply: Sender<Response>) -> Job {
+        Job { kind, reply, accepted: Instant::now() }
+    }
 }
 
 /// A worker's two queues: `pinned` (session jobs, owner-only) and
@@ -55,28 +106,47 @@ impl Shard {
         Shard { queues: Mutex::new(ShardQueues::default()), ready: Condvar::new() }
     }
 
-    pub(crate) fn push(&self, job: Job, pinned: bool) {
-        let mut q = self.queues.lock().expect("shard lock");
-        if pinned {
-            q.pinned.push_back(job);
-        } else {
-            q.shared.push_back(job);
-        }
+    /// Locks the queues, recovering from poison: a worker that panicked
+    /// while holding the lock left plain queue data (two `VecDeque`s, no
+    /// invariants between them), which the next user can safely adopt.
+    /// `.expect` here would turn one caught panic into a pool-wide wedge.
+    fn lock(&self) -> MutexGuard<'_, ShardQueues> {
+        self.queues.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Queues a pinned (session) job. Never shed: see the module docs.
+    pub(crate) fn push_pinned(&self, job: Job) {
+        let mut q = self.lock();
+        q.pinned.push_back(job);
         drop(q);
         self.ready.notify_one();
     }
 
+    /// Queues a one-shot job unless the shared queue is at `bound`;
+    /// returns the rejected job so the caller can answer `BUSY` on its
+    /// reply channel. The check-and-insert is atomic under the shard
+    /// lock, so the bound is exact, not advisory.
+    pub(crate) fn try_push_shared(&self, job: Job, bound: usize) -> Result<(), Job> {
+        let mut q = self.lock();
+        if q.shared.len() >= bound {
+            return Err(job);
+        }
+        q.shared.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Total backlog (pinned + shared) — the stats gauge.
     pub(crate) fn depth(&self) -> usize {
-        let q = self.queues.lock().expect("shard lock");
+        let q = self.lock();
         q.pinned.len() + q.shared.len()
     }
 
     /// Stealable (shared-queue-only) backlog — the number a thief cares
     /// about; pinned session jobs cannot move.
     fn steal_depth(&self) -> usize {
-        let q = self.queues.lock().expect("shard lock");
-        q.shared.len()
+        self.lock().shared.len()
     }
 
     pub(crate) fn notify(&self) {
@@ -86,26 +156,34 @@ impl Shard {
     /// Pops the next local job, preferring pinned work (a stalled `Feed`
     /// blocks a remote caller; batch jobs have no one waiting on latency).
     fn pop_local(&self) -> Option<Job> {
-        let mut q = self.queues.lock().expect("shard lock");
+        let mut q = self.lock();
         q.pinned.pop_front().or_else(|| q.shared.pop_front())
     }
 
     /// Steals one one-shot job from the back of the shared queue.
     fn steal(&self) -> Option<Job> {
-        let mut q = self.queues.lock().expect("shard lock");
-        q.shared.pop_back()
+        self.lock().shared.pop_back()
     }
 
     fn wait_brief(&self) {
-        let q = self.queues.lock().expect("shard lock");
+        let q = self.lock();
         if q.pinned.is_empty() && q.shared.is_empty() {
-            let _ = self.ready.wait_timeout(q, IDLE_WAIT).expect("shard lock");
+            let _ = self.ready.wait_timeout(q, IDLE_WAIT).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn is_empty(&self) -> bool {
-        let q = self.queues.lock().expect("shard lock");
+        let q = self.lock();
         q.pinned.is_empty() && q.shared.is_empty()
+    }
+
+    /// Drains every queued job (drain epilogue: workers have exited, so
+    /// whatever raced in would otherwise never be answered).
+    pub(crate) fn drain_all(&self) -> Vec<Job> {
+        let mut q = self.lock();
+        let mut jobs: Vec<Job> = q.pinned.drain(..).collect();
+        jobs.extend(q.shared.drain(..));
+        jobs
     }
 }
 
@@ -114,16 +192,55 @@ pub(crate) struct Shared {
     pub(crate) shards: Vec<Shard>,
     pub(crate) counters: Counters,
     pub(crate) shutdown: AtomicBool,
+    /// Graceful-drain mode: new work is refused with GOAWAY, queued
+    /// one-shot work flushes, sessions are sealed.
+    pub(crate) draining: AtomicBool,
     pub(crate) next_session: AtomicU64,
     pub(crate) max_steps: u64,
     pub(crate) max_bytes: usize,
     pub(crate) session_deadline: Duration,
+    /// Shared-queue bound per shard; beyond it one-shot jobs are shed.
+    pub(crate) max_queue: usize,
+    /// Retry hint carried in BUSY responses.
+    pub(crate) retry_after_ms: u64,
+    /// How long a caller waits for its reply before giving up with a
+    /// typed deadline error (the job still completes and is accounted
+    /// server-side).
+    pub(crate) request_deadline: Duration,
+    /// Frame payload cap for the wire front end.
+    pub(crate) max_frame: usize,
+    /// Per-read inactivity timeout and whole-frame deadline on the wire
+    /// (the slow-loris guard).
+    pub(crate) io_timeout: Duration,
+    /// Fault-injection schedule (chaos harness); `None` in production.
+    pub(crate) faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
     /// The worker owning session `id` (ids are dealt round-robin).
     pub(crate) fn owner_of(&self, id: u64) -> usize {
         (id % self.shards.len() as u64) as usize
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Classifies a terminal response into the request-level ledger and
+    /// records its admission→reply latency. Every admitted request must
+    /// pass through here exactly once — that is what makes
+    /// `submitted == completed + shed + failed` an invariant rather than
+    /// an aspiration.
+    pub(crate) fn classify(&self, resp: &Response, accepted: Instant) {
+        let c = &self.counters;
+        match resp {
+            Response::Done(_) | Response::Opened { .. } | Response::NeedInput { .. } => {
+                Counters::add(&c.requests_completed, 1);
+            }
+            Response::Busy { .. } | Response::GoAway => Counters::add(&c.requests_shed, 1),
+            Response::Error(_) => Counters::add(&c.requests_failed, 1),
+        }
+        c.latency.record(accepted.elapsed());
     }
 }
 
@@ -160,13 +277,21 @@ pub(crate) fn worker_loop(me: usize, shared: Arc<Shared>) {
             None => {
                 evict_expired(&shared, &mut sessions);
                 if shared.shutdown.load(Ordering::Acquire) && shared.shards[me].is_empty() {
-                    // Dropped sessions count as evictions: the host chose
-                    // to stop serving them.
-                    Counters::add(&shared.counters.sessions_evicted, sessions.len() as u64);
-                    Counters::add(
-                        &shared.counters.live_sessions,
-                        (sessions.len() as u64).wrapping_neg(),
-                    );
+                    let draining = shared.is_draining();
+                    for _ in 0..sessions.len() {
+                        if draining {
+                            // Sealed, not dropped: the host drained and
+                            // each session's owner was (or will be) told
+                            // GOAWAY by its front end.
+                            Counters::add(&shared.counters.sessions_sealed, 1);
+                            Counters::add(&shared.counters.sessions_closed, 1);
+                        } else {
+                            // Abandoned by an abrupt shutdown: the host
+                            // chose to stop serving them.
+                            Counters::add(&shared.counters.sessions_evicted, 1);
+                        }
+                        Counters::add(&shared.counters.live_sessions, 1u64.wrapping_neg());
+                    }
                     return;
                 }
                 shared.shards[me].wait_brief();
@@ -191,16 +316,97 @@ fn evict_expired(shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) {
     });
 }
 
+/// Renders a caught panic payload for the typed reply.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) {
+    let Job { kind, reply, accepted } = job;
+
+    // Drain: one-shot jobs queued before the drain began still flush,
+    // but session work is refused — the session is sealed and its owner
+    // told GOAWAY so it can tear down cleanly instead of timing out.
+    if shared.is_draining() && kind.is_session_job() {
+        if let Some(id) = kind.session_id() {
+            if sessions.remove(&id).is_some() {
+                let c = &shared.counters;
+                Counters::add(&c.sessions_sealed, 1);
+                Counters::add(&c.sessions_closed, 1);
+                Counters::add(&c.live_sessions, 1u64.wrapping_neg());
+            }
+        }
+        send_reply(shared, &reply, accepted, Response::GoAway);
+        return;
+    }
+
+    // Fault injection (chaos harness): decided before execution so a
+    // `Panic` exercises exactly the same recovery path a real VM or
+    // session panic would take.
+    let fault = shared.faults.as_ref().map_or(Fault::None, |plan| plan.next_job_fault());
+    if let Fault::Stall(d) = fault {
+        std::thread::sleep(d);
+    }
+    let inject_panic = fault == Fault::Panic;
+
+    let touched = kind.session_id();
+    // AssertUnwindSafe: on Err we discard every value the closure could
+    // have left half-mutated — the job itself is consumed, and `touched`
+    // names the one session whose state may be torn, which is removed
+    // below rather than reused.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected fault: worker panic");
+        }
+        execute(kind, shared, sessions)
+    }));
+    match outcome {
+        Ok(resp) => send_reply(shared, &reply, accepted, resp),
+        Err(payload) => {
+            let c = &shared.counters;
+            Counters::add(&c.panics_recovered, 1);
+            Counters::add(&c.parses_err, 1);
+            if let Some(id) = touched {
+                if sessions.remove(&id).is_some() {
+                    Counters::add(&c.sessions_closed, 1);
+                    Counters::add(&c.live_sessions, 1u64.wrapping_neg());
+                }
+            }
+            let msg = panic_message(payload.as_ref());
+            send_reply(shared, &reply, accepted, Response::Error(Error::WorkerPanic(msg)));
+        }
+    }
+}
+
+/// Classifies and delivers the single reply every job owes. A vanished
+/// caller (dropped receiver) is not an error: the work is still
+/// accounted.
+pub(crate) fn send_reply(
+    shared: &Shared,
+    reply: &Sender<Response>,
+    accepted: Instant,
+    resp: Response,
+) {
+    shared.classify(&resp, accepted);
+    let _ = reply.send(resp);
+}
+
+/// The actual job bodies. Runs under `catch_unwind`; must not send the
+/// reply itself (the caller owns delivery so a panic here still answers).
+fn execute(kind: JobKind, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) -> Response {
     let c = &shared.counters;
-    match job {
-        Job::Parse { vm, input, reply } => {
+    match kind {
+        JobKind::Parse { vm, input } => {
             Counters::add(&c.bytes_in, input.len() as u64);
             let (result, stats) = vm.parse_bounded(&input, shared.max_steps);
-            let resp = match result {
+            Counters::add(&c.steps, stats.steps);
+            match result {
                 Ok(tree) => {
                     Counters::add(&c.parses_ok, 1);
-                    Counters::add(&c.steps, stats.steps);
                     Response::Done(ParseSummary {
                         steps: stats.steps,
                         suspends: 0,
@@ -210,41 +416,36 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
                 }
                 Err(e) => {
                     Counters::add(&c.parses_err, 1);
-                    Counters::add(&c.steps, stats.steps);
                     Response::Error(e)
                 }
-            };
-            let _ = reply.send(resp);
+            }
         }
-        Job::Open { id, vm, reply } => {
+        JobKind::Open { id, vm } => {
             let session = vm.streaming().max_steps(shared.max_steps).max_bytes(shared.max_bytes);
             let deadline = Instant::now() + shared.session_deadline;
             sessions.insert(id, Active { session, deadline });
             Counters::add(&c.sessions_opened, 1);
             Counters::add(&c.live_sessions, 1);
-            let _ = reply.send(Response::Opened { id });
+            Response::Opened { id }
         }
-        Job::Feed { id, bytes, reply } => {
+        JobKind::Feed { id, bytes } => {
             let Some(active) = sessions.get_mut(&id) else {
-                let _ = reply.send(Response::Error(unknown_session(id)));
-                return;
+                return Response::Error(unknown_session(id));
             };
             Counters::add(&c.bytes_in, bytes.len() as u64);
             active.deadline = Instant::now() + shared.session_deadline;
-            let resp = match active.session.feed(&bytes) {
+            match active.session.feed(&bytes) {
                 Outcome::NeedInput { hint } => Response::NeedInput { hint },
                 Outcome::Error(e) => {
                     close_session(shared, sessions, id, false);
                     Response::Error(e)
                 }
                 Outcome::Done(_) => unreachable!("feed never completes a session"),
-            };
-            let _ = reply.send(resp);
+            }
         }
-        Job::Finish { id, reply } => {
+        JobKind::Finish { id } => {
             let Some(active) = sessions.get_mut(&id) else {
-                let _ = reply.send(Response::Error(unknown_session(id)));
-                return;
+                return Response::Error(unknown_session(id));
             };
             let outcome = active.session.finish();
             let stats = active.session.stats();
@@ -252,7 +453,7 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
             let bytes = active.session.buffered();
             Counters::add(&c.steps, stats.steps);
             Counters::add(&c.suspends, suspends);
-            let resp = match outcome {
+            match outcome {
                 Outcome::Done(tree) => {
                     close_session(shared, sessions, id, true);
                     Response::Done(ParseSummary {
@@ -267,8 +468,7 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
                     Response::Error(e)
                 }
                 Outcome::NeedInput { .. } => unreachable!("finish never needs input"),
-            };
-            let _ = reply.send(resp);
+            }
         }
     }
 }

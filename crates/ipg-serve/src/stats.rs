@@ -1,8 +1,62 @@
 //! Service telemetry: lock-free counters bumped by the workers, read as a
 //! consistent-enough snapshot by [`crate::Server::stats`].
+//!
+//! Two counter families coexist:
+//!
+//! * **parse-level** (`parses_ok`/`parses_err`, sessions, steps) — what
+//!   the VM actually did;
+//! * **request-level** (`submitted`/`completed`/`shed`/`failed`) — the
+//!   admission-control ledger. Every admitted request is classified into
+//!   exactly one terminal bucket, so at quiescence the books reconcile:
+//!   `submitted == completed + shed + failed`. The chaos harness asserts
+//!   this identity under injected faults — a panic, stall, or drain that
+//!   loses a reply shows up as a reconciliation gap.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Log₂-bucketed latency histogram in microseconds: bucket `i` counts
+/// requests whose admission→reply latency fell in `[2^i, 2^(i+1))` µs.
+/// Recording is one relaxed `fetch_add`; percentiles are computed at
+/// snapshot time from the bucket boundaries (geometric midpoints), which
+/// is plenty for p50/p99 on a log scale.
+#[derive(Debug)]
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; 40],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    pub(crate) fn record(&self, latency: Duration) {
+        let us = (latency.as_micros() as u64).max(1);
+        let idx = (63 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `p`-th percentile (0.0–1.0) in microseconds, 0 when empty.
+    pub(crate) fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                return (1u64 << i) + (1u64 << i) / 2;
+            }
+        }
+        unreachable!("rank is clamped to the total count")
+    }
+}
 
 /// Monotonic counters shared by every worker. All increments use relaxed
 /// ordering: the snapshot is observational, not a synchronization point.
@@ -13,11 +67,25 @@ pub(crate) struct Counters {
     pub sessions_opened: AtomicU64,
     pub sessions_closed: AtomicU64,
     pub sessions_evicted: AtomicU64,
+    /// Sessions sealed with GOAWAY during a drain (subset of closings).
+    pub sessions_sealed: AtomicU64,
     pub bytes_in: AtomicU64,
     pub steps: AtomicU64,
     pub suspends: AtomicU64,
     pub steals: AtomicU64,
     pub live_sessions: AtomicU64,
+    /// Requests admitted past grammar lookup (the reconciliation domain).
+    pub requests_submitted: AtomicU64,
+    /// Requests answered Done/Opened/NeedInput.
+    pub requests_completed: AtomicU64,
+    /// Requests answered BUSY (queue bound) or GOAWAY (draining).
+    pub requests_shed: AtomicU64,
+    /// Requests answered with a typed error (including worker panics).
+    pub requests_failed: AtomicU64,
+    /// Worker panics caught at the job boundary and converted to
+    /// [`ipg_core::Error::WorkerPanic`] replies.
+    pub panics_recovered: AtomicU64,
+    pub latency: Histogram,
 }
 
 impl Counters {
@@ -41,6 +109,8 @@ pub struct StatsSnapshot {
     pub sessions_closed: u64,
     /// Sessions dropped by deadline eviction.
     pub sessions_evicted: u64,
+    /// Sessions sealed with GOAWAY during drain.
+    pub sessions_sealed: u64,
     /// Sessions currently live across all workers.
     pub live_sessions: u64,
     /// Input bytes accepted (one-shot inputs plus streamed chunks).
@@ -51,6 +121,20 @@ pub struct StatsSnapshot {
     pub suspends: u64,
     /// Jobs taken from another worker's queue.
     pub steals: u64,
+    /// Requests admitted to the pool (or shed at admission).
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests shed with BUSY/GOAWAY instead of queued.
+    pub shed: u64,
+    /// Requests answered with a typed error.
+    pub failed: u64,
+    /// Worker panics caught and converted to typed error replies.
+    pub panics_recovered: u64,
+    /// Median admission→reply latency, microseconds (log-bucketed).
+    pub latency_p50_us: u64,
+    /// 99th-percentile admission→reply latency, microseconds.
+    pub latency_p99_us: u64,
     /// Seconds since the server started.
     pub elapsed_s: f64,
     /// Completed parses per second since start.
@@ -73,16 +157,31 @@ impl StatsSnapshot {
             sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
             sessions_evicted: c.sessions_evicted.load(Ordering::Relaxed),
+            sessions_sealed: c.sessions_sealed.load(Ordering::Relaxed),
             live_sessions: c.live_sessions.load(Ordering::Relaxed),
             bytes_in,
             steps: c.steps.load(Ordering::Relaxed),
             suspends: c.suspends.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
+            submitted: c.requests_submitted.load(Ordering::Relaxed),
+            completed: c.requests_completed.load(Ordering::Relaxed),
+            shed: c.requests_shed.load(Ordering::Relaxed),
+            failed: c.requests_failed.load(Ordering::Relaxed),
+            panics_recovered: c.panics_recovered.load(Ordering::Relaxed),
+            latency_p50_us: c.latency.percentile(0.50),
+            latency_p99_us: c.latency.percentile(0.99),
             elapsed_s,
             parses_per_s: parses_ok as f64 / elapsed_s,
             bytes_per_s: bytes_in as f64 / elapsed_s,
             queue_depths,
         }
+    }
+
+    /// `true` when the admission ledger balances: every admitted request
+    /// reached exactly one terminal bucket. Only meaningful at quiescence
+    /// (in-flight requests are submitted but not yet classified).
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.completed + self.shed + self.failed
     }
 
     /// Renders the snapshot as a single JSON object (the wire format of
@@ -91,24 +190,61 @@ impl StatsSnapshot {
         let depths: Vec<String> = self.queue_depths.iter().map(|d| d.to_string()).collect();
         format!(
             "{{\"parses_ok\": {}, \"parses_err\": {}, \"sessions_opened\": {}, \
-             \"sessions_closed\": {}, \"sessions_evicted\": {}, \"live_sessions\": {}, \
-             \"bytes_in\": {}, \"steps\": {}, \"suspends\": {}, \"steals\": {}, \
-             \"elapsed_s\": {:.3}, \"parses_per_s\": {:.1}, \"bytes_per_s\": {:.0}, \
-             \"queue_depths\": [{}]}}",
+             \"sessions_closed\": {}, \"sessions_evicted\": {}, \"sessions_sealed\": {}, \
+             \"live_sessions\": {}, \"bytes_in\": {}, \"steps\": {}, \"suspends\": {}, \
+             \"steals\": {}, \"submitted\": {}, \"completed\": {}, \"shed\": {}, \
+             \"failed\": {}, \"panics_recovered\": {}, \"latency_p50_us\": {}, \
+             \"latency_p99_us\": {}, \"elapsed_s\": {:.3}, \"parses_per_s\": {:.1}, \
+             \"bytes_per_s\": {:.0}, \"queue_depths\": [{}]}}",
             self.parses_ok,
             self.parses_err,
             self.sessions_opened,
             self.sessions_closed,
             self.sessions_evicted,
+            self.sessions_sealed,
             self.live_sessions,
             self.bytes_in,
             self.steps,
             self.suspends,
             self.steals,
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.failed,
+            self.panics_recovered,
+            self.latency_p50_us,
+            self.latency_p99_us,
             self.elapsed_s,
             self.parses_per_s,
             self.bytes_per_s,
             depths.join(", ")
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bucketed() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        // p50 of the sample sits in the 64–128µs bucket (midpoint 96).
+        assert_eq!(p50, 96);
+        // p99 lands in the 4096–8192µs bucket (midpoint 6144).
+        assert_eq!(p99, 6144);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
     }
 }

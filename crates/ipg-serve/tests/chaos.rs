@@ -1,0 +1,243 @@
+//! The chaos-injection soak: a deterministic fault schedule — worker
+//! panics, stalls, and corrupt reply frames ([`ipg_serve::fault`]) —
+//! driven under mixed traffic (in-process bursts of valid and mutated
+//! inputs, wire clients with retry, streaming sessions, a slow-but-legal
+//! dribbling client). The acceptance bar:
+//!
+//! * ≥ 100 faults injected over the run,
+//! * zero crashes and zero lost replies (every request gets exactly one
+//!   typed answer: success, error, or BUSY),
+//! * the admission ledger reconciles exactly:
+//!   `submitted = completed + shed + failed`,
+//! * every injected panic is recovered (`panics_recovered` matches the
+//!   plan), and every injected reply corruption is detected client-side.
+//!
+//! `IPG_CHAOS_QUICK=1` shrinks the round count for CI smoke; the fault
+//! schedule stays seeded either way, so a failure reproduces.
+
+use ipg_core::Error;
+use ipg_serve::fault::FaultPlan;
+use ipg_serve::proto::{self, Client, RetryPolicy, Wire};
+use ipg_serve::{Config, Response, Server};
+use std::io::{ErrorKind, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+const GRAMMARS: [&str; 9] =
+    ["zip", "zip_inflate", "dns", "png", "gif", "elf", "ipv4udp", "pe", "pdf"];
+
+fn corpus_input(name: &str) -> Vec<u8> {
+    match name {
+        "zip" | "zip_inflate" => ipg_corpus::zip::generate(&Default::default()).bytes,
+        "dns" => ipg_corpus::dns::generate(&Default::default()).bytes,
+        "png" => ipg_corpus::png::generate(&Default::default()).bytes,
+        "gif" => ipg_corpus::gif::generate(&Default::default()).bytes,
+        "elf" => ipg_corpus::elf::generate(&Default::default()).bytes,
+        "ipv4udp" => ipg_corpus::ipv4udp::generate(&Default::default()).bytes,
+        "pe" => ipg_corpus::pe::generate(&Default::default()).bytes,
+        "pdf" => ipg_corpus::pdf::generate(&Default::default()).bytes,
+        other => panic!("no corpus generator for {other}"),
+    }
+}
+
+#[test]
+fn chaos_soak_survives_injected_faults_with_exact_reconciliation() {
+    let rounds = if std::env::var("IPG_CHAOS_QUICK").is_ok() { 22 } else { 40 };
+    let plan = Arc::new(
+        FaultPlan::new(0xC4A0_5EED)
+            .panic_per_mille(100)
+            .stall_per_mille(100, 3)
+            .corrupt_per_mille(80),
+    );
+    let server = Arc::new(Server::start(Config {
+        workers: 2,
+        max_queue: 8,
+        retry_after: Duration::from_millis(2),
+        request_deadline: Duration::from_secs(60),
+        io_timeout: Duration::from_secs(2),
+        faults: Some(plan.clone()),
+        ..Config::default()
+    }));
+    let path = std::env::temp_dir().join(format!("ipg-serve-chaos-{}.sock", std::process::id()));
+    let front = server.serve_unix(&path).expect("bind socket");
+
+    let inputs: Vec<(&str, Vec<u8>)> = GRAMMARS.iter().map(|g| (*g, corpus_input(g))).collect();
+    let dns = inputs.iter().find(|(n, _)| *n == "dns").expect("dns input").1.clone();
+    let policy = RetryPolicy {
+        attempts: 8,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed: 7,
+    };
+
+    // Client-side tallies (the server's ledger is asserted separately).
+    let mut done = 0u64;
+    let mut busy = 0u64;
+    let mut failed = 0u64;
+    let mut panics_seen = 0u64;
+    let mut corrupt_seen = 0u64;
+    let mut retries = 0u64;
+
+    for round in 0..rounds {
+        // Lane A (submit only): an in-process burst of one valid and one
+        // mutated input per grammar — 18 jobs against a 2×8 queue bound,
+        // so shedding is part of normal life. Replies are collected after
+        // the wire lanes, keeping the queues full while they run.
+        let mut pending = Vec::new();
+        for (i, (name, input)) in inputs.iter().enumerate() {
+            pending.push(server.parse_async(name, input.clone()).expect("known grammar"));
+            let mut mutant = input.clone();
+            ipg_gen::mutate::mutate(&mut mutant, 0xFEED ^ round as u64, i as u64);
+            pending.push(server.parse_async(name, mutant).expect("known grammar"));
+        }
+
+        // Lane B: a wire client that rides out BUSY sheds with jittered
+        // backoff and detects corrupted reply frames.
+        let mut client = Client::connect_with_retry(&path, &policy).expect("connect");
+        client.set_reply_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        for (name, input) in inputs.iter().take(3) {
+            match client.parse_with_retry(name, input, &policy) {
+                Ok(Wire::Done { .. }) => done += 1,
+                Ok(Wire::Busy { .. }) => busy += 1,
+                Ok(Wire::Error(_)) => failed += 1,
+                Ok(other) => panic!("unexpected wire reply: {other:?}"),
+                Err(e) if e.kind() == ErrorKind::InvalidData => corrupt_seen += 1,
+                Err(e) => panic!("wire I/O failure: {e}"),
+            }
+        }
+
+        // Lane C: a wire streaming session under fire. An injected panic
+        // may kill the session mid-stream; every subsequent request must
+        // still draw a typed reply, never a hang or a torn frame.
+        match client.open("dns") {
+            Ok(Wire::Opened { id }) => {
+                for chunk in dns.chunks(16) {
+                    match client.feed(id, chunk) {
+                        Ok(Wire::NeedInput { .. }) => {}
+                        Ok(Wire::Error(_)) => break,
+                        Ok(other) => panic!("unexpected feed reply: {other:?}"),
+                        Err(e) if e.kind() == ErrorKind::InvalidData => corrupt_seen += 1,
+                        Err(e) => panic!("wire I/O failure: {e}"),
+                    }
+                }
+                match client.finish(id) {
+                    Ok(Wire::Done { .. } | Wire::Error(_)) => {}
+                    Ok(other) => panic!("unexpected finish reply: {other:?}"),
+                    Err(e) if e.kind() == ErrorKind::InvalidData => corrupt_seen += 1,
+                    Err(e) => panic!("wire I/O failure: {e}"),
+                }
+            }
+            Ok(Wire::Error(_)) => failed += 1,
+            Ok(other) => panic!("unexpected open reply: {other:?}"),
+            Err(e) if e.kind() == ErrorKind::InvalidData => corrupt_seen += 1,
+            Err(e) => panic!("wire I/O failure: {e}"),
+        }
+        retries += client.retries();
+
+        // Lane D: a slow-but-legal client dribbles its frame in pieces
+        // well inside the io timeout — it must be served, not shot by the
+        // slow-loris guard.
+        let mut slow = std::os::unix::net::UnixStream::connect(&path).expect("connect slow");
+        slow.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        let mut payload = vec![proto::OP_PARSE, 3];
+        payload.extend_from_slice(b"dns");
+        payload.extend_from_slice(&dns);
+        let mut framed = u32::try_from(payload.len()).unwrap().to_le_bytes().to_vec();
+        framed.extend_from_slice(&payload);
+        for piece in framed.chunks(16) {
+            slow.write_all(piece).expect("write");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reply =
+            proto::read_frame(&mut slow).expect("io").expect("slow-but-legal clients are served");
+        match proto::decode_wire(&reply) {
+            Some(Wire::Done { .. }) => done += 1,
+            Some(Wire::Busy { .. }) => busy += 1,
+            Some(Wire::Error(_)) => failed += 1,
+            Some(other) => panic!("unexpected slow-lane reply: {other:?}"),
+            None => corrupt_seen += 1,
+        }
+
+        // Lane A (collect): every burst job owes exactly one reply.
+        for rx in pending {
+            match rx.recv_timeout(Duration::from_secs(30)).expect("no reply may be lost") {
+                Response::Done(_) => done += 1,
+                Response::Busy { .. } => busy += 1,
+                Response::Error(Error::WorkerPanic(_)) => {
+                    failed += 1;
+                    panics_seen += 1;
+                }
+                Response::Error(_) => failed += 1,
+                other => panic!("unexpected burst reply: {other:?}"),
+            }
+        }
+    }
+
+    // Leave one session open across the drain: it must be sealed with
+    // GOAWAY, not dropped. Opening itself may eat an injected panic, so
+    // retry a few times (each attempt is ledgered like any request).
+    let mut held = None;
+    for _ in 0..32 {
+        match server.open("dns") {
+            Ok(h) => {
+                held = Some(h);
+                break;
+            }
+            Err(Error::WorkerPanic(_)) => failed += 1,
+            Err(e) => panic!("unexpected open error: {e}"),
+        }
+    }
+    let mut held = held.expect("open survives within 32 attempts");
+    front.stop_accepting();
+    server.drain();
+    assert!(matches!(held.feed(&[0]), Response::GoAway), "sealed sessions answer GOAWAY");
+
+    let stats = server.stats();
+    eprintln!(
+        "chaos soak: {} rounds; injected {} (panics {}, stalls {}, corruptions {}); \
+         ledger {} = {} + {} + {}; client saw done {done}, busy {busy}, failed {failed}, \
+         panics {panics_seen}, corrupt {corrupt_seen}, retries {retries}",
+        rounds,
+        plan.injected(),
+        plan.panics_injected(),
+        plan.stalls_injected(),
+        plan.corruptions_injected(),
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.failed,
+    );
+
+    assert!(plan.injected() >= 100, "need ≥100 injected faults, got {}", plan.injected());
+    assert!(
+        stats.reconciles(),
+        "ledger must reconcile exactly: {} != {} + {} + {}",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.failed
+    );
+    assert_eq!(
+        stats.panics_recovered,
+        plan.panics_injected(),
+        "every injected panic must be recovered — and nothing else may have panicked"
+    );
+    assert!(stats.panics_recovered > 0, "the plan must have injected panics");
+    assert!(panics_seen > 0, "typed WorkerPanic replies must reach callers");
+    assert_eq!(
+        corrupt_seen,
+        plan.corruptions_injected(),
+        "every corrupted reply frame must be detected client-side"
+    );
+    assert!(stats.shed > 0, "the queue bound must have shed under burst");
+    assert!(busy > 0, "BUSY replies must reach callers");
+    assert!(stats.completed > 0 && stats.failed > 0, "mixed outcomes expected: {stats:?}");
+    assert!(stats.sessions_sealed >= 1, "the held session must be sealed: {stats:?}");
+    assert!(
+        stats.latency_p50_us > 0 && stats.latency_p99_us >= stats.latency_p50_us,
+        "latency percentiles must be recorded and ordered: {stats:?}"
+    );
+
+    drop(front);
+    let _ = std::fs::remove_file(&path);
+}

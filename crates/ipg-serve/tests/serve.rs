@@ -1,7 +1,10 @@
 //! Integration tests for the parse service: batch jobs, streaming
 //! sessions, isolation (fuel, byte budgets, deadlines), the Unix-socket
-//! front end, and pool mechanics under load.
+//! front end, pool mechanics under load, and the fault-tolerance layer
+//! (panic isolation, BUSY shedding, graceful drain).
 
+use ipg_core::Error;
+use ipg_serve::fault::FaultPlan;
 use ipg_serve::proto::Wire;
 use ipg_serve::{Config, Registry, Response, Server};
 use std::sync::Arc;
@@ -239,6 +242,164 @@ fn unix_socket_front_end_round_trips() {
         }
     }
     panic!("connection thread did not release the server handle");
+}
+
+#[test]
+fn worker_panics_are_isolated_and_typed() {
+    // Every job panics (injected at the catch_unwind boundary); each one
+    // must come back as a typed WorkerPanic reply and the worker must
+    // keep serving afterwards.
+    let plan = Arc::new(FaultPlan::new(0xBAD).panic_per_mille(1000));
+    let server =
+        Server::start(Config { workers: 1, faults: Some(plan.clone()), ..Config::default() });
+    for _ in 0..3 {
+        let err = server.parse("dns", corpus_input("dns")).expect_err("injected panic");
+        assert!(matches!(err, Error::WorkerPanic(_)), "expected WorkerPanic, got {err:?}");
+        assert!(err.to_string().contains("worker panicked"), "unexpected message: {err}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.panics_recovered, 3);
+    assert_eq!(stats.panics_recovered, plan.panics_injected());
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.failed, 3);
+    assert!(stats.reconciles(), "ledger must balance: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn panicking_jobs_do_not_starve_healthy_ones() {
+    // A fractional panic rate: some of the 40 parses die, the rest
+    // complete on the same (surviving) workers, and the ledger still
+    // reconciles exactly.
+    let plan = Arc::new(FaultPlan::new(0x5EED).panic_per_mille(300));
+    let server =
+        Server::start(Config { workers: 2, faults: Some(plan.clone()), ..Config::default() });
+    let input = corpus_input("dns");
+    let mut ok = 0u64;
+    let mut panicked = 0u64;
+    for _ in 0..40 {
+        match server.parse("dns", input.clone()) {
+            Ok(_) => ok += 1,
+            Err(Error::WorkerPanic(_)) => panicked += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(ok > 0, "healthy jobs must still complete");
+    assert!(panicked > 0, "the plan must have injected panics");
+    assert_eq!(ok + panicked, 40);
+    let stats = server.stats();
+    assert_eq!(stats.panics_recovered, plan.panics_injected());
+    assert_eq!(stats.panics_recovered, panicked);
+    assert_eq!(stats.completed, ok);
+    assert_eq!(stats.failed, panicked);
+    assert!(stats.reconciles(), "ledger must balance: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn over_bound_jobs_are_shed_with_busy() {
+    // One worker, every job stalled 1–20ms, a 2-deep one-shot queue: a
+    // burst of 16 must see at least one BUSY shed and at least one
+    // completion, with the ledger reconciling to exactly 16.
+    let plan = Arc::new(FaultPlan::new(0xB0B).stall_per_mille(1000, 20));
+    let server = Server::start(Config {
+        workers: 1,
+        max_queue: 2,
+        retry_after: Duration::from_millis(7),
+        faults: Some(plan),
+        ..Config::default()
+    });
+    let input = corpus_input("gif");
+    let pending: Vec<_> =
+        (0..16).map(|_| server.parse_async("gif", input.clone()).expect("submit")).collect();
+    let mut done = 0u64;
+    let mut busy = 0u64;
+    for rx in pending {
+        match rx.recv_timeout(Duration::from_secs(30)).expect("every job gets one reply") {
+            Response::Done(_) => done += 1,
+            Response::Busy { retry_after_ms } => {
+                assert_eq!(retry_after_ms, 7, "BUSY must carry the configured hint");
+                busy += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(busy > 0, "a 2-deep queue under a 16-burst must shed");
+    assert!(done > 0, "admitted jobs must still complete");
+    assert_eq!(done + busy, 16);
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 16);
+    assert_eq!(stats.shed, busy);
+    assert_eq!(stats.completed, done);
+    assert!(stats.reconciles(), "ledger must balance: {stats:?}");
+    assert!(stats.latency_p50_us > 0, "completed work must have recorded latency");
+    // Admission recovers once the burst clears.
+    assert!(server.parse("gif", input).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn drain_refuses_new_work_and_seals_sessions() {
+    let server = Server::start(Config { workers: 2, ..Config::default() });
+    let mut stream = server.open("dns").expect("open");
+    assert!(matches!(stream.feed(&[0x12]), Response::NeedInput { .. }));
+
+    server.drain();
+
+    // New one-shot work is refused with GOAWAY, typed all the way up.
+    let err = server.parse("dns", corpus_input("dns")).expect_err("draining");
+    assert!(err.to_string().contains("GOAWAY"), "unexpected error: {err}");
+    assert!(server.open("dns").is_err(), "no new sessions while draining");
+    // The sealed session answers GOAWAY instead of hanging.
+    assert!(matches!(stream.feed(&[0x34]), Response::GoAway));
+
+    let stats = server.stats();
+    assert_eq!(stats.sessions_sealed, 1, "the open session must be sealed, not dropped");
+    assert_eq!(stats.live_sessions, 0);
+    assert!(stats.reconciles(), "ledger must balance: {stats:?}");
+
+    // Drain is idempotent.
+    server.drain();
+    server.shutdown();
+}
+
+#[test]
+fn drain_sends_goaway_over_the_wire() {
+    let server = Arc::new(Server::start(Config { workers: 2, ..Config::default() }));
+    let path = std::env::temp_dir().join(format!("ipg-serve-drain-{}.sock", std::process::id()));
+    let front = server.serve_unix(&path).expect("bind socket");
+
+    let mut client = ipg_serve::proto::Client::connect(&path).expect("connect");
+    let Wire::Opened { id } = client.open("dns").expect("io") else { panic!("expected Opened") };
+    assert!(matches!(client.feed(id, &[0x12]).expect("io"), Wire::NeedInput { .. }));
+    // A second connection sits idle between frames throughout the drain.
+    // One STATS round trip first, so it is accepted (off the listener
+    // backlog) before the acceptor stops.
+    let mut idle = std::os::unix::net::UnixStream::connect(&path).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    ipg_serve::proto::write_frame(&mut idle, &[ipg_serve::proto::OP_STATS]).expect("io");
+    let reply = ipg_serve::proto::read_frame(&mut idle).expect("io").expect("stats reply");
+    assert_eq!(reply.first(), Some(&ipg_serve::proto::ST_STATS));
+
+    front.stop_accepting();
+    server.drain();
+
+    // Both connections sit idle between frames, so each is sealed with an
+    // unsolicited GOAWAY and a clean EOF — never a torn frame, never a
+    // silent hangup (the session holder included: its session was sealed
+    // server-side at worker exit).
+    assert_eq!(client.recv().expect("io"), Some(Wire::GoAway));
+    assert_eq!(client.recv().expect("io"), None, "clean EOF after GOAWAY");
+    let frame = ipg_serve::proto::read_frame(&mut idle).expect("io").expect("sealed, not torn");
+    assert_eq!(frame, vec![ipg_serve::proto::ST_GOAWAY]);
+    assert_eq!(ipg_serve::proto::read_frame(&mut idle).expect("io"), None, "clean EOF");
+
+    let stats = server.stats();
+    assert!(stats.sessions_sealed >= 1, "stats: {stats:?}");
+    assert!(stats.reconciles(), "ledger must balance: {stats:?}");
+    drop(client);
+    drop(front);
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
