@@ -54,8 +54,8 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut failed = false;
-    for entry in ipg_formats::Registry::corpus().entries() {
-        let (name, g) = (entry.name.as_str(), entry.grammar);
+    for entry in ipg_formats::pinned_corpus() {
+        let (name, g) = (entry.name.as_str(), entry.grammar());
         let parser = Parser::new(g).max_steps(FUEL);
         let vm = VmParser::new(g).max_steps(FUEL);
         let generator = Generator::new(g).with_config(GenConfig::default());

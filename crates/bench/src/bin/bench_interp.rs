@@ -43,12 +43,11 @@ fn main() {
     // many-small-entries archive, where per entry the grammar walks
     // headers, chains, and attribute arithmetic while the DEFLATE
     // blackbox adds a small fixed cost.
-    let registry = ipg_formats::Registry::corpus();
     let workloads: Vec<(&'static str, Vec<u8>)> = bench::grammar_workloads();
 
     let mut rows: Vec<Row> = Vec::new();
     for (name, input) in &workloads {
-        let g = registry.grammar(name).expect("workload names match");
+        let g = ipg_formats::corpus_entry(name).grammar();
         let interp = Parser::new(g);
         let vm = VmParser::new(g);
         let (ri, si) = interp.parse_with_stats(input);

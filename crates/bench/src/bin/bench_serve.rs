@@ -170,7 +170,6 @@ fn main() {
     let chunk: usize = cli.value("--chunk").map_or(4096, |s| s.parse().expect("chunk usize"));
     let budget = cli.budget(40, 500);
 
-    let registry = ipg_formats::Registry::corpus();
     // Built once: the corpus generators behind these fixtures are
     // startup cost, not measurement.
     let workloads = bench::grammar_workloads();
@@ -185,8 +184,8 @@ fn main() {
     let mut total_chunked_s = 0.0f64;
     for (name, workload) in &workloads {
         let name = *name;
-        let vm = registry.vm(name).expect("registry names match");
-        let grammar = registry.grammar(name).expect("grammar");
+        let entry = ipg_formats::corpus_entry(name);
+        let (vm, grammar) = (entry.vm(), entry.grammar());
         let mut inputs: Vec<Vec<u8>> = vec![workload.clone()];
         let generator = ipg_gen::Generator::new(grammar);
         for seed in 0..n_gen {

@@ -18,21 +18,24 @@ pub fn run(args: &[String]) -> CmdResult {
     let registry = Registry::corpus();
     println!("{:<12} {:>6} {:>9} {:<20} anchor", "grammar", "rules", "listing", "origin");
     for e in registry.entries() {
-        let listing = e.vm.program().disassemble(e.grammar);
+        let listing = e.vm().program().disassemble(e.grammar());
         let origin = match &e.origin {
             Origin::CacheHit => "cache hit".to_owned(),
             Origin::CacheMiss(MissReason::Absent) => "cache miss (absent)".to_owned(),
             Origin::CacheMiss(MissReason::Invalid(why)) => format!("cache miss (invalid: {why})"),
+            Origin::CacheMiss(MissReason::Quarantined(why)) => {
+                format!("cache miss (quarantined: {why})")
+            }
             Origin::Memory => "memory".to_owned(),
             Origin::ArtifactFile => "artifact file".to_owned(),
         };
         println!(
             "{:<12} {:>6} {:>8}L {:<20} {}",
             e.name,
-            e.grammar.rules().len(),
+            e.grammar().rules().len(),
             listing.lines().count(),
             origin,
-            e.vm.anchor()
+            e.vm().anchor()
         );
     }
     Ok(())

@@ -1,0 +1,57 @@
+//! `ipg cache` — artifact-cache maintenance. `gc` removes junk
+//! (temporaries and quarantined `*.bad` files), superseded artifacts
+//! (older cache keys for the same grammar name), and — under `--max-age-secs`
+//! / `--max-bytes` bounds — stale or excess current artifacts, oldest
+//! first. The newest artifact per grammar name survives an unbounded
+//! pass, so a warmed cache stays warm.
+
+use crate::{CmdResult, Failure};
+use ipg_core::ipgc::Cache;
+use std::time::Duration;
+
+pub fn run(args: &[String]) -> CmdResult {
+    let usage = "usage: ipg cache gc [--max-bytes N] [--max-age-secs N]";
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(Failure::usage(usage));
+    };
+    if sub != "gc" {
+        return Err(Failure::usage(format!("unknown cache subcommand `{sub}`\n{usage}")));
+    }
+    let mut max_bytes = None;
+    let mut max_age = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-bytes" => {
+                max_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| Failure::usage("--max-bytes needs a number"))?,
+                );
+            }
+            "--max-age-secs" => {
+                max_age = Some(Duration::from_secs(
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| Failure::usage("--max-age-secs needs a number"))?,
+                ));
+            }
+            other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let Some(cache) = Cache::from_env() else {
+        return Err(Failure::runtime("the artifact cache is disabled (IPG_NO_CACHE)"));
+    };
+    let report = cache
+        .gc(max_bytes, max_age)
+        .map_err(|e| Failure::runtime(format!("gc of {} failed: {e}", cache.dir().display())))?;
+    println!(
+        "{}: scanned {}, removed {}, kept {}, reclaimed {} bytes",
+        cache.dir().display(),
+        report.scanned,
+        report.removed,
+        report.kept,
+        report.bytes_reclaimed
+    );
+    Ok(())
+}

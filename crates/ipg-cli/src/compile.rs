@@ -1,14 +1,18 @@
 //! `ipg compile` — compile a grammar through the `.ipgc` artifact cache,
-//! optionally writing a standalone artifact and reporting the cache
-//! outcome (the `--cache-stats` flag CI uses to assert warm-cache hits).
+//! optionally writing a standalone artifact (signed with `--sign`) and
+//! reporting the cache outcome (the `--cache-stats` flag CI uses to
+//! assert warm-cache hits).
 
 use crate::{resolve, CmdResult, Failure};
-use ipg_core::ipgc::{encode, Cache, CacheOutcome, CachedProgram, MissReason};
+use ipg_core::ipgc::{
+    artifact_key_from_env, encode, encode_signed, Cache, CacheOutcome, CachedProgram, MissReason,
+};
 
 pub fn run(args: &[String]) -> CmdResult {
     let mut grammar_arg = None;
     let mut out = None;
     let mut cache_stats = false;
+    let mut sign = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -18,13 +22,20 @@ pub fn run(args: &[String]) -> CmdResult {
                 );
             }
             "--cache-stats" => cache_stats = true,
+            "--sign" => sign = true,
             other if grammar_arg.is_none() => grammar_arg = Some(other.to_owned()),
             other => return Err(Failure::usage(format!("unexpected argument `{other}`"))),
         }
     }
     let Some(grammar_arg) = grammar_arg else {
-        return Err(Failure::usage("usage: ipg compile <grammar> [-o OUT.ipgc] [--cache-stats]"));
+        return Err(Failure::usage(
+            "usage: ipg compile <grammar> [-o OUT.ipgc] [--sign] [--cache-stats]",
+        ));
     };
+    let key = artifact_key_from_env();
+    if sign && key.is_none() {
+        return Err(Failure::usage("--sign needs IPG_ARTIFACT_KEY in the environment"));
+    }
     let (name, spec, blackboxes) = resolve::source(&grammar_arg)?;
 
     let cache = Cache::from_env();
@@ -55,6 +66,8 @@ pub fn run(args: &[String]) -> CmdResult {
                         CacheOutcome::Miss(MissReason::Absent) => "miss (absent)".to_owned(),
                         CacheOutcome::Miss(MissReason::Invalid(why)) =>
                             format!("miss (invalid: {why})"),
+                        CacheOutcome::Miss(MissReason::Quarantined(why)) =>
+                            format!("miss (quarantined: {why})"),
                     }
                 );
             }
@@ -63,10 +76,20 @@ pub fn run(args: &[String]) -> CmdResult {
     }
 
     if let Some(out) = out {
-        let bytes = encode(&spec, &cached.grammar, &cached.program, cached.anchor, cached.hints);
+        let bytes = match (sign, &key) {
+            (true, Some(key)) => encode_signed(
+                &spec,
+                &cached.grammar,
+                &cached.program,
+                cached.anchor,
+                cached.hints,
+                key,
+            ),
+            _ => encode(&spec, &cached.grammar, &cached.program, cached.anchor, cached.hints),
+        };
         std::fs::write(&out, &bytes)
             .map_err(|e| Failure::runtime(format!("cannot write {out}: {e}")))?;
-        println!("wrote {out} ({} bytes)", bytes.len());
+        println!("wrote {out} ({} bytes{})", bytes.len(), if sign { ", signed" } else { "" });
     }
     Ok(())
 }

@@ -10,6 +10,6 @@ pub fn run(args: &[String]) -> CmdResult {
         return Err(crate::Failure::usage("usage: ipg disasm <grammar>"));
     };
     let entry = resolve::entry(grammar_arg)?;
-    print!("{}", entry.vm.program().disassemble(entry.grammar));
+    print!("{}", entry.vm().program().disassemble(entry.grammar()));
     Ok(())
 }

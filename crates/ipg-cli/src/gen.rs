@@ -38,7 +38,7 @@ pub fn run(args: &[String]) -> CmdResult {
         return Err(Failure::usage("usage: ipg gen <grammar> [--seed N] [--count N] [--out DIR]"));
     };
     let entry = resolve::entry(&grammar_arg)?;
-    let generator = Generator::new(entry.grammar);
+    let generator = Generator::new(entry.grammar());
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir)
@@ -48,7 +48,7 @@ pub fn run(args: &[String]) -> CmdResult {
     for s in seed..seed + count {
         match generator.generate_valid(s) {
             Some(bytes) => {
-                entry.vm.parse(&bytes).map_err(|e| {
+                entry.vm().parse(&bytes).map_err(|e| {
                     Failure::runtime(format!("seed {s}: generated input rejected by the VM: {e}"))
                 })?;
                 match &out_dir {

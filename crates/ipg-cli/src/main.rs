@@ -7,21 +7,25 @@
 //!
 //! ```text
 //! ipg check <spec.ipg> [--emit-rust OUT.rs]     # frontend + §5 termination
-//! ipg compile <grammar> [-o OUT.ipgc] [--cache-stats]
+//! ipg compile <grammar> [-o OUT.ipgc] [--sign] [--cache-stats]
+//! ipg verify <artifact.ipgc>                    # staged artifact audit
 //! ipg disasm <grammar>                          # bytecode listing
 //! ipg parse <grammar> [FILE | -] [--depth N] [--extract [DIR]]
 //! ipg gen <grammar> [--seed N] [--count N] [--out DIR]
-//! ipg serve --socket PATH [--workers N] [--grammar PATH]...
+//! ipg serve --socket PATH [--workers N] [--watch DIR] [--grammar PATH]...
+//! ipg cache gc [--max-bytes N] [--max-age-secs N]
 //! ipg bench-info                                # corpus/artifact summary
 //! ```
 //!
 //! `<grammar>` is a corpus name (`ipg bench-info` lists them), a path to
 //! an `.ipg` source, or a path to an `.ipgc` artifact. Compiled programs
 //! are persisted to and reloaded from the artifact cache (see
-//! [`ipg_core::ipgc`]); `IPG_CACHE_DIR` overrides the location and
-//! `IPG_NO_CACHE` disables it.
+//! [`ipg_core::ipgc`]); `IPG_CACHE_DIR` overrides the location,
+//! `IPG_NO_CACHE` disables it, and `IPG_ARTIFACT_KEY` arms artifact
+//! signing and provenance enforcement.
 
 mod bench_info;
+mod cache;
 mod check;
 mod compile;
 mod disasm;
@@ -30,6 +34,7 @@ mod gen;
 mod parse;
 mod resolve;
 mod serve;
+mod verify;
 
 use std::process::ExitCode;
 
@@ -40,9 +45,13 @@ commands:
   check <spec.ipg> [--emit-rust OUT.rs]
       Parse a grammar, run attribute checking, the termination checker,
       and the streamability analysis; optionally emit a Rust parser.
-  compile <grammar> [-o OUT.ipgc] [--cache-stats]
+  compile <grammar> [-o OUT.ipgc] [--sign] [--cache-stats]
       Compile through the .ipgc artifact cache; -o also writes a
-      standalone artifact, --cache-stats reports the cache outcome.
+      standalone artifact (--sign adds the keyed provenance MAC, needs
+      IPG_ARTIFACT_KEY), --cache-stats reports the cache outcome.
+  verify <artifact.ipgc>
+      Audit an artifact end to end. Exit codes are stable: 0 valid,
+      3 structural, 4 version skew, 5 provenance, 6 grammar mismatch.
   disasm <grammar>
       Print the compiled bytecode listing.
   parse <grammar> [FILE | -] [--depth N] [--extract [DIR]]
@@ -51,13 +60,18 @@ commands:
       (for zip, an extraction directory may follow).
   gen <grammar> [--seed N] [--count N] [--out DIR]
       Generate grammar-valid inputs (VM-verified); --out writes them.
-  serve --socket PATH [--workers N] [--grammar PATH]...
-      Serve the framed parse protocol on a Unix socket.
+  serve --socket PATH [--workers N] [--watch DIR] [--grammar PATH]...
+      Serve the framed parse protocol on a Unix socket; --watch hot
+      reloads grammars from DIR, quarantining invalid artifacts.
+  cache gc [--max-bytes N] [--max-age-secs N]
+      Garbage-collect the artifact cache: junk and superseded artifacts
+      always go; bounds evict stale/oldest ones. Reports bytes reclaimed.
   bench-info
       Summarize the corpus registry and its artifact cache state.
 
 <grammar> is a corpus name, a .ipg source path, or a .ipgc artifact path.
-Environment: IPG_CACHE_DIR sets the artifact cache, IPG_NO_CACHE disables it.";
+Environment: IPG_CACHE_DIR sets the artifact cache, IPG_NO_CACHE disables
+it, IPG_ARTIFACT_KEY signs written artifacts and enforces provenance.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,10 +83,12 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "check" => check::run(rest),
         "compile" => compile::run(rest),
+        "verify" => verify::run(rest),
         "disasm" => disasm::run(rest),
         "parse" => parse::run(rest),
         "gen" => gen::run(rest),
         "serve" => serve::run(rest),
+        "cache" => cache::run(rest),
         "bench-info" => bench_info::run(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -93,15 +109,24 @@ fn main() -> ExitCode {
             eprintln!("ipg {cmd}: {msg}");
             ExitCode::FAILURE
         }
+        Err(Failure::Coded(code, msg)) => {
+            eprintln!("ipg {cmd}: {msg}");
+            ExitCode::from(code)
+        }
     }
 }
 
-/// A command failure: usage errors exit 2, everything else exits 1.
+/// A command failure: usage errors exit 2, everything else exits 1 —
+/// except commands with documented per-failure exit codes (`ipg verify`),
+/// which carry theirs explicitly.
 pub enum Failure {
     /// Bad invocation (wrong arguments); reported with exit code 2.
     Usage(String),
     /// The command ran and failed; reported with exit code 1.
     Runtime(String),
+    /// The command ran and failed with a command-specific, stable exit
+    /// code (scripts branch on these; see the command's usage text).
+    Coded(u8, String),
 }
 
 impl Failure {

@@ -53,13 +53,13 @@ pub fn run(args: &[String]) -> CmdResult {
     // stdin (exactly the parse a server runs as bytes arrive off the wire).
     let (tree, suspends, bytes, source) = match input_arg.as_deref() {
         Some("-") => {
-            let (tree, suspends, bytes) = parse_stdin(entry.vm)?;
+            let (tree, suspends, bytes) = parse_stdin(entry.vm())?;
             (tree, suspends, bytes, "stdin (streamed)".to_owned())
         }
         Some(path) => {
             let input = std::fs::read(path)
                 .map_err(|e| Failure::runtime(format!("cannot read {path}: {e}")))?;
-            (one_shot(entry.vm, &input)?, 0, input.len(), path.to_owned())
+            (one_shot(entry.vm(), &input)?, 0, input.len(), path.to_owned())
         }
         None => {
             let input = resolve::default_input(&entry.name).ok_or_else(|| {
@@ -68,7 +68,12 @@ pub fn run(args: &[String]) -> CmdResult {
                     entry.name
                 ))
             })?;
-            (one_shot(entry.vm, &input)?, 0, input.len(), "self-generated corpus input".to_owned())
+            (
+                one_shot(entry.vm(), &input)?,
+                0,
+                input.len(),
+                "self-generated corpus input".to_owned(),
+            )
         }
     };
 
@@ -80,9 +85,9 @@ pub fn run(args: &[String]) -> CmdResult {
         out,
         "{}: parsed {bytes} bytes from {source} ({}, {suspends} suspensions)",
         entry.name,
-        entry.vm.anchor()
+        entry.vm().anchor()
     )
-    .and_then(|()| print_tree(&mut out, &tree, entry.grammar, 0, depth))
+    .and_then(|()| print_tree(&mut out, &tree, entry.grammar(), 0, depth))
     .and_then(|()| out.flush());
     match dump {
         Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => {

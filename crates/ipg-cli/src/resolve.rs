@@ -15,12 +15,11 @@ use std::path::Path;
 pub fn entry(arg: &str) -> Result<Entry, Failure> {
     let corpus = Registry::corpus();
     if let Some(e) = corpus.get(arg) {
-        return Ok(e.clone());
+        return Ok(e);
     }
     let path = Path::new(arg);
     if path.exists() {
-        let mut reg = corpus;
-        return reg.load_path(path).cloned().map_err(Failure::runtime);
+        return corpus.load_path(path).map_err(Failure::runtime);
     }
     Err(Failure::usage(format!(
         "`{arg}` is neither a corpus grammar nor an existing file\ncorpus grammars: {}",

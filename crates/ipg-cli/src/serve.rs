@@ -54,6 +54,7 @@ pub fn run(args: &[String]) -> CmdResult {
     let mut socket = None;
     let mut workers = None;
     let mut max_queue = None;
+    let mut watch = None;
     let mut extra = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -61,6 +62,13 @@ pub fn run(args: &[String]) -> CmdResult {
             "--socket" => {
                 socket = Some(
                     it.next().cloned().ok_or_else(|| Failure::usage("--socket needs a path"))?,
+                );
+            }
+            "--watch" => {
+                watch = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| Failure::usage("--watch needs a directory"))?,
                 );
             }
             "--workers" => {
@@ -87,11 +95,12 @@ pub fn run(args: &[String]) -> CmdResult {
     }
     let Some(socket) = socket else {
         return Err(Failure::usage(
-            "usage: ipg serve --socket PATH [--workers N] [--max-queue N] [--grammar PATH]...",
+            "usage: ipg serve --socket PATH [--workers N] [--max-queue N] [--watch DIR] \
+             [--grammar PATH]...",
         ));
     };
 
-    let mut registry = Registry::corpus();
+    let registry = Registry::corpus();
     for path in &extra {
         let entry = registry.load_path(Path::new(path)).map_err(Failure::runtime)?;
         println!("loaded `{}` from {path}", entry.name);
@@ -113,6 +122,12 @@ pub fn run(args: &[String]) -> CmdResult {
 
     sig::install();
     let server = Arc::new(Server::with_registry(cfg, registry));
+    if let Some(dir) = &watch {
+        server
+            .watch_dir(Path::new(dir), ipg_serve::watch::DEFAULT_POLL_INTERVAL)
+            .map_err(|e| Failure::runtime(format!("cannot watch {dir}: {e}")))?;
+        println!("hot reloading grammars from {dir} (invalid artifacts are quarantined)");
+    }
     let front = server
         .serve_unix(&socket)
         .map_err(|e| Failure::runtime(format!("cannot bind {socket}: {e}")))?;
@@ -134,8 +149,15 @@ pub fn run(args: &[String]) -> CmdResult {
     let stats = server.stats();
     println!(
         "drained: {} submitted = {} completed + {} shed + {} failed \
-         (sessions sealed: {}); exiting 0",
-        stats.submitted, stats.completed, stats.shed, stats.failed, stats.sessions_sealed
+         (sessions sealed: {}; reloads ok/rejected: {}/{}; artifacts quarantined: {}); exiting 0",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.failed,
+        stats.sessions_sealed,
+        stats.reloads_ok,
+        stats.reloads_rejected,
+        stats.artifacts_quarantined
     );
     // Give connection threads a beat to deliver their GOAWAYs before the
     // socket file disappears with `front`.

@@ -245,6 +245,88 @@ fn serve_drains_gracefully_on_sigterm() {
 }
 
 #[test]
+fn verify_reports_each_failure_stage_with_its_stable_exit_code() {
+    let scratch = Scratch::new("verify");
+    let artifact = scratch.path().join("dns.ipgc");
+    let path = artifact.to_str().unwrap();
+    ok_stdout(&["compile", "dns", "-o", path], &[]);
+    let pristine = std::fs::read(&artifact).expect("read artifact");
+
+    // Exit 0: a fresh unsigned artifact verifies end to end.
+    let valid = ok_stdout(&["verify", path], &[]);
+    assert!(valid.contains("valid"), "{valid}");
+    assert!(valid.contains("unsigned, digest verified"), "{valid}");
+
+    // Exit 3: structurally broken (truncated mid-header).
+    std::fs::write(&artifact, &pristine[..16]).expect("truncate");
+    assert_eq!(ipg(&["verify", path], &[]).status.code(), Some(3), "structural failures exit 3");
+
+    // Exit 4: format version skew (header version patched to 99).
+    let mut skewed = pristine.clone();
+    skewed[4..8].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&artifact, &skewed).expect("rewrite");
+    let out = ipg(&["verify", path], &[]);
+    assert_eq!(out.status.code(), Some(4), "version skew exits 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("version skew"));
+
+    // Exit 5: provenance failure (payload bit flip breaks the digest).
+    let mut corrupt = pristine.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xff;
+    std::fs::write(&artifact, &corrupt).expect("rewrite");
+    let out = ipg(&["verify", path], &[]);
+    assert_eq!(out.status.code(), Some(5), "provenance failures exit 5");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("provenance"));
+}
+
+#[test]
+fn compile_sign_embeds_a_mac_that_verify_checks_per_key() {
+    let scratch = Scratch::new("sign");
+    let artifact = scratch.path().join("gif.ipgc");
+    let path = artifact.to_str().unwrap();
+    let key = [("IPG_ARTIFACT_KEY", "e2e-signing-key")];
+
+    // --sign without a key in the environment is a usage error.
+    let out = ipg(&["compile", "gif", "--sign", "-o", path], &[]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let stdout = ok_stdout(&["compile", "gif", "--sign", "-o", path], &key);
+    assert!(stdout.contains("signed"), "{stdout}");
+
+    // The right key verifies the MAC; no key still verifies the digest.
+    let verified = ok_stdout(&["verify", path], &key);
+    assert!(verified.contains("MAC verified"), "{verified}");
+    let unchecked = ok_stdout(&["verify", path], &[]);
+    assert!(unchecked.contains("MAC not checked"), "{unchecked}");
+
+    // The wrong key is a provenance failure (exit 5), not a quiet pass.
+    let out = ipg(&["verify", path], &[("IPG_ARTIFACT_KEY", "some-other-key")]);
+    assert_eq!(out.status.code(), Some(5), "a wrong key must fail closed");
+}
+
+#[test]
+fn cache_gc_reclaims_stale_artifacts_and_keeps_the_newest() {
+    let scratch = Scratch::new("cache-gc");
+    let env = [("IPG_CACHE_DIR", scratch.str())];
+    ok_stdout(&["compile", "dns"], &env);
+    ok_stdout(&["compile", "gif"], &env);
+    // Junk the gc must sweep: a stale tmp file and a quarantined artifact.
+    std::fs::write(scratch.path().join("dns-feedbeef.ipgc.tmp.99"), b"junk").unwrap();
+    std::fs::write(scratch.path().join("old.ipgc.bad"), b"quarantined").unwrap();
+
+    let stdout = ok_stdout(&["cache", "gc"], &env);
+    assert!(stdout.contains("scanned 4"), "{stdout}");
+    assert!(stdout.contains("removed 2"), "{stdout}");
+    assert!(stdout.contains("kept 2"), "{stdout}");
+
+    // Both live artifacts survived; a zero-byte budget evicts them all.
+    let stdout = ok_stdout(&["cache", "gc", "--max-bytes", "0"], &env);
+    assert!(stdout.contains("kept 0"), "{stdout}");
+    let warm = ok_stdout(&["compile", "dns", "--cache-stats"], &env);
+    assert!(warm.contains("cache: miss (absent)"), "gc must leave a recompilable cache:\n{warm}");
+}
+
+#[test]
 fn gen_writes_vm_verified_inputs() {
     let scratch = Scratch::new("gen");
     let stdout = ok_stdout(&["gen", "png", "--count", "2", "--out", scratch.str()], &[]);

@@ -21,6 +21,7 @@
 //!     16     8  payload length (u64)
 //!     24     8  payload hash (u64)  — FNV-1a over the payload bytes
 //!     32     …  payload
+//!      …    33+ provenance trailer (format v2+, see below)
 //! ```
 //!
 //! The payload carries, length-prefixed and in order: the embedded `.ipg`
@@ -29,13 +30,35 @@
 //! literal pools of the [`Program`], the nonterminal name table, the
 //! anchor classification, and the size hints.
 //!
+//! ## Provenance trailer (v2+)
+//!
+//! Format v2 appends a trailer after the payload:
+//!
+//! ```text
+//! offset (from payload end)  size  field
+//!                         0    32  SHA-256 digest of the payload
+//!                        32     1  flag: 0 = unsigned, 1 = signed
+//!                        33    32  (if signed) HMAC-SHA-256 over every
+//!                                  preceding byte of the file, keyed by
+//!                                  `IPG_ARTIFACT_KEY`
+//! ```
+//!
+//! The digest makes corruption of a cached artifact cryptographically
+//! evident (FNV is a checksum, not a collision-resistant hash); the
+//! optional MAC makes a *shared or untrusted* cache directory
+//! tamper-evident: with a key configured, loaders refuse unsigned or
+//! wrongly-signed artifacts with a provenance error, and the cache
+//! quarantines + recompiles them. See [`verify`] for the staged check and
+//! `docs/ipgc-spec.md` for the normative layout.
+//!
 //! ## Versioning policy
 //!
 //! [`FORMAT_VERSION`] is bumped on **any** change to the payload encoding
 //! or to the bytecode semantics it transports (new [`Instr`]/[`BExpr`]
-//! variants, changed operand widths, …). There is no cross-version
-//! migration: a version-skewed artifact fails to load with
-//! [`Error::Artifact`] and the cache recompiles and rewrites it. Cache
+//! variants, changed operand widths, …). Loaders decode any version in
+//! `MIN_FORMAT_VERSION..=FORMAT_VERSION` (v1 artifacts simply have no
+//! trailer); newer or unknown versions fail with a typed
+//! [`Error::Artifact`] and the cache recompiles and rewrites them. Cache
 //! file names embed the source hash, and the hash input includes the
 //! format version, so artifacts from different toolchain versions never
 //! collide in one cache directory.
@@ -60,19 +83,51 @@ use crate::check::{Grammar, NtId};
 use crate::error::{Error, Result};
 use crate::intern::Sym;
 use crate::interp::vm::VmParser;
+use crate::sha256::{ct_eq32, hmac_sha256, sha256};
 use crate::syntax::{BinOp, Builtin};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The artifact magic bytes.
 pub const MAGIC: [u8; 4] = *b"IPGC";
 
 /// Current artifact format version. Bump on any encoding or bytecode
-/// change; loaders reject other versions with [`Error::Artifact`].
-pub const FORMAT_VERSION: u32 = 1;
+/// change; loaders reject newer versions with [`Error::Artifact`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this loader still decodes. v1 files are v2
+/// files without the provenance trailer.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Size of the fixed header preceding the payload.
 pub const HEADER_LEN: usize = 32;
+
+/// Length of the SHA-256 payload digest in the v2 trailer.
+pub const DIGEST_LEN: usize = 32;
+
+/// Length of the HMAC-SHA-256 tag in a signed v2 trailer.
+pub const MAC_LEN: usize = 32;
+
+/// Minimum v2 trailer size: digest plus the signature flag byte.
+pub const TRAILER_MIN: usize = DIGEST_LEN + 1;
+
+/// Trailer flag: artifact carries no MAC.
+const FLAG_UNSIGNED: u8 = 0;
+/// Trailer flag: a keyed MAC follows.
+const FLAG_SIGNED: u8 = 1;
+
+/// The artifact signing key from `IPG_ARTIFACT_KEY`, if configured. The
+/// variable's raw bytes are the HMAC key.
+pub fn artifact_key_from_env() -> Option<Vec<u8>> {
+    let key = std::env::var_os("IPG_ARTIFACT_KEY")?;
+    let bytes = key.as_encoded_bytes().to_vec();
+    if bytes.is_empty() {
+        return None;
+    }
+    Some(bytes)
+}
 
 // ---------------------------------------------------------------------------
 // Hashing (FNV-1a, 64-bit): no dependency, stable across platforms.
@@ -124,8 +179,15 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 /// blackbox declarations (name and attribute list; the *implementations*
 /// are runtime-bound and do not affect compilation).
 pub fn source_hash(spec: &str, blackboxes: &[Blackbox]) -> u64 {
+    source_hash_v(FORMAT_VERSION, spec, blackboxes)
+}
+
+/// [`source_hash`] for an explicit format version. Validating an older
+/// artifact must recompute the key with the version *it* was written at,
+/// or every v1 file would spuriously fail the source-hash check.
+pub fn source_hash_v(version: u32, spec: &str, blackboxes: &[Blackbox]) -> u64 {
     let mut h = Fnv1a::new();
-    h.update(&FORMAT_VERSION.to_le_bytes());
+    h.update(&version.to_le_bytes());
     h.update(&(spec.len() as u64).to_le_bytes());
     h.update(spec.as_bytes());
     h.update(&(blackboxes.len() as u64).to_le_bytes());
@@ -549,14 +611,50 @@ pub fn encode(
     w.u64(hints.shifts as u64);
 
     let payload = w.buf;
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    assemble(spec, grammar, payload, None)
+}
+
+/// [`encode`], appending a keyed MAC to the provenance trailer so loaders
+/// configured with the same key (via `IPG_ARTIFACT_KEY`) accept the
+/// artifact from an untrusted cache directory.
+pub fn encode_signed(
+    spec: &str,
+    grammar: &Grammar,
+    program: &Program,
+    anchor: AnchorRequirement,
+    hints: SizeHints,
+    key: &[u8],
+) -> Vec<u8> {
+    let unsigned = encode(spec, grammar, program, anchor, hints);
+    sign_bytes(unsigned, key)
+}
+
+/// Assembles header + payload + v2 provenance trailer.
+fn assemble(spec: &str, grammar: &Grammar, payload: Vec<u8>, key: Option<&[u8]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_MIN + MAC_LEN);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&source_hash(spec, grammar.blackboxes()).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&hash_bytes(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    out.extend_from_slice(&sha256(&payload));
+    out.push(FLAG_UNSIGNED);
+    match key {
+        Some(k) => sign_bytes(out, k),
+        None => out,
+    }
+}
+
+/// Converts unsigned artifact bytes into signed ones: flips the trailer
+/// flag and appends an HMAC over every preceding byte.
+fn sign_bytes(mut bytes: Vec<u8>, key: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(bytes.last(), Some(&FLAG_UNSIGNED));
+    let flag_at = bytes.len() - 1;
+    bytes[flag_at] = FLAG_SIGNED;
+    let mac = hmac_sha256(key, &bytes);
+    bytes.extend_from_slice(&mac);
+    bytes
 }
 
 /// Convenience: compile `grammar` and encode the result in one step.
@@ -571,11 +669,171 @@ pub fn encode_grammar(spec: &str, grammar: &Grammar) -> Vec<u8> {
 // Decoding
 // ---------------------------------------------------------------------------
 
+/// Why an artifact failed verification, staged so callers (and the
+/// `ipg verify` exit code) can distinguish *what kind* of failure it was:
+/// a damaged file, a toolchain mismatch, a provenance violation, or a
+/// grammar disagreement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The bytes are not a well-formed artifact: bad magic, truncation,
+    /// checksum mismatch, or an out-of-range index in the payload.
+    Structural(String),
+    /// The artifact's format version is outside the supported range.
+    VersionSkew {
+        /// The version recorded in the artifact header.
+        found: u32,
+        /// The oldest version this loader decodes.
+        oldest: u32,
+        /// The newest version this loader decodes.
+        newest: u32,
+    },
+    /// The provenance trailer rejected the file: payload digest mismatch,
+    /// missing signature under a configured key, or a failed MAC check.
+    Provenance(String),
+    /// The artifact is internally sound but disagrees with the grammar
+    /// reconstructed from its embedded source.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Structural(m) => write!(f, "{m}"),
+            VerifyError::VersionSkew { found, oldest, newest } => write!(
+                f,
+                "format version skew: artifact v{found}, loader supports v{oldest}..v{newest}"
+            ),
+            VerifyError::Provenance(m) => write!(f, "provenance: {m}"),
+            VerifyError::Mismatch(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<VerifyError> for Error {
+    fn from(e: VerifyError) -> Error {
+        Error::Artifact(e.to_string())
+    }
+}
+
+/// The header/trailer fields of a validated artifact envelope, with the
+/// payload located but not yet decoded.
+struct RawParts<'a> {
+    version: u32,
+    source_hash: u64,
+    payload: &'a [u8],
+    signed: bool,
+    mac_checked: bool,
+}
+
+/// Validates the artifact envelope: header, length, checksums, and the
+/// v2 provenance trailer (digest always; MAC when `key` is configured).
+/// Classifies failures per [`VerifyError`].
+fn split<'a>(
+    bytes: &'a [u8],
+    key: Option<&[u8]>,
+) -> std::result::Result<RawParts<'a>, VerifyError> {
+    let structural = |m: String| Err(VerifyError::Structural(m));
+    if bytes.len() < HEADER_LEN {
+        return structural(format!(
+            "file too short for header: {} bytes, need {HEADER_LEN}",
+            bytes.len()
+        ));
+    }
+    if bytes[..4] != MAGIC {
+        return structural("bad magic (not an .ipgc artifact)".into());
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(VerifyError::VersionSkew {
+            found: version,
+            oldest: MIN_FORMAT_VERSION,
+            newest: FORMAT_VERSION,
+        });
+    }
+    let source_hash = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload_hash = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let rest = &bytes[HEADER_LEN..];
+
+    let (payload, signed, mac_checked);
+    if version == 1 {
+        // v1: the payload runs to end-of-file, no trailer.
+        if rest.len() as u64 != payload_len {
+            return structural(format!(
+                "payload length mismatch: header says {payload_len}, file has {}",
+                rest.len()
+            ));
+        }
+        payload = rest;
+        signed = false;
+        mac_checked = false;
+        if key.is_some() {
+            return Err(VerifyError::Provenance(
+                "signing key configured but v1 artifact carries no provenance trailer".into(),
+            ));
+        }
+    } else {
+        let room = rest.len().checked_sub(TRAILER_MIN);
+        let plen = usize::try_from(payload_len).ok().filter(|&p| Some(p) <= room);
+        let Some(plen) = plen else {
+            return structural(format!(
+                "payload length mismatch: header says {payload_len}, {} bytes follow the header \
+                 (trailer needs {TRAILER_MIN})",
+                rest.len()
+            ));
+        };
+        payload = &rest[..plen];
+        let digest: &[u8; 32] = rest[plen..plen + DIGEST_LEN].try_into().unwrap();
+        let flag = rest[plen + DIGEST_LEN];
+        let trailer_end = match flag {
+            FLAG_UNSIGNED => plen + TRAILER_MIN,
+            FLAG_SIGNED => plen + TRAILER_MIN + MAC_LEN,
+            other => return structural(format!("unknown trailer flag {other}")),
+        };
+        if rest.len() != trailer_end {
+            return structural(format!(
+                "file length mismatch: {} bytes after header, trailer ends at {trailer_end}",
+                rest.len()
+            ));
+        }
+        signed = flag == FLAG_SIGNED;
+        if !ct_eq32(&sha256(payload), digest) {
+            return Err(VerifyError::Provenance(
+                "payload digest mismatch (corrupt or tampered artifact)".into(),
+            ));
+        }
+        match (signed, key) {
+            (true, Some(k)) => {
+                let mac_start = HEADER_LEN + plen + TRAILER_MIN;
+                let mac: &[u8; 32] = bytes[mac_start..mac_start + MAC_LEN].try_into().unwrap();
+                if !ct_eq32(&hmac_sha256(k, &bytes[..mac_start]), mac) {
+                    return Err(VerifyError::Provenance(
+                        "MAC verification failed (wrong key or tampered artifact)".into(),
+                    ));
+                }
+                mac_checked = true;
+            }
+            (false, Some(_)) => {
+                return Err(VerifyError::Provenance(
+                    "signing key configured but artifact is unsigned".into(),
+                ));
+            }
+            (_, None) => mac_checked = false,
+        }
+    }
+    if hash_bytes(payload) != payload_hash {
+        return structural("payload checksum mismatch (corrupt artifact)".into());
+    }
+    Ok(RawParts { version, source_hash, payload, signed, mac_checked })
+}
+
 /// A decoded `.ipgc` artifact: the program and its precomputed analyses,
 /// plus the embedded source and symbol table needed to rebind it to a
 /// [`Grammar`].
 #[derive(Debug)]
 pub struct Artifact {
+    /// The format version the artifact was written at.
+    pub version: u32,
     /// The embedded `.ipg` source the program was compiled from.
     pub spec: String,
     /// The deserialized bytecode program.
@@ -590,42 +848,32 @@ pub struct Artifact {
     pub symbols: Vec<String>,
 }
 
-/// Decodes and structurally validates artifact bytes.
+/// Decodes and structurally validates artifact bytes, honoring
+/// `IPG_ARTIFACT_KEY` for the provenance policy (see
+/// [`decode_with_key`]).
 ///
 /// # Errors
 ///
 /// [`Error::Artifact`] on bad magic, version skew, truncation, checksum
-/// mismatch, or any out-of-range cross-pool index. Never panics.
+/// or provenance mismatch, or any out-of-range cross-pool index. Never
+/// panics.
 pub fn decode(bytes: &[u8]) -> Result<Artifact> {
-    if bytes.len() < HEADER_LEN {
-        return Err(Error::Artifact(format!(
-            "file too short for header: {} bytes, need {HEADER_LEN}",
-            bytes.len()
-        )));
-    }
-    if bytes[..4] != MAGIC {
-        return Err(Error::Artifact("bad magic (not an .ipgc artifact)".into()));
-    }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    if version != FORMAT_VERSION {
-        return Err(Error::Artifact(format!(
-            "format version skew: artifact v{version}, loader v{FORMAT_VERSION}"
-        )));
-    }
-    let source_hash = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let payload_hash = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
-    let payload = &bytes[HEADER_LEN..];
-    if payload.len() as u64 != payload_len {
-        return Err(Error::Artifact(format!(
-            "payload length mismatch: header says {payload_len}, file has {}",
-            payload.len()
-        )));
-    }
-    if hash_bytes(payload) != payload_hash {
-        return Err(Error::Artifact("payload checksum mismatch (corrupt artifact)".into()));
-    }
+    decode_with_key(bytes, artifact_key_from_env().as_deref())
+}
 
+/// [`decode`] with an explicit provenance policy. With `key` set, the
+/// artifact must be v2+, signed, and carry a valid MAC — unsigned or v1
+/// files are rejected with a provenance error (the cache then
+/// quarantines and recompiles them). Without a key, signatures are
+/// ignored and only the digest/checksum integrity checks apply.
+pub fn decode_with_key(bytes: &[u8], key: Option<&[u8]>) -> Result<Artifact> {
+    let parts = split(bytes, key)?;
+    decode_parts(parts)
+}
+
+/// Decodes the located payload into an [`Artifact`].
+fn decode_parts(parts: RawParts<'_>) -> Result<Artifact> {
+    let RawParts { version, source_hash, payload, .. } = parts;
     let mut r = Reader::new(payload);
 
     // 1. Source.
@@ -801,9 +1049,56 @@ pub fn decode(bytes: &[u8]) -> Result<Artifact> {
         nt_table: Arc::new(NtTable { names, syms: nt_syms }),
         start,
     };
-    let artifact = Artifact { spec, program, anchor, hints, source_hash, symbols };
+    let artifact = Artifact { version, spec, program, anchor, hints, source_hash, symbols };
     artifact.validate_structure()?;
     Ok(artifact)
+}
+
+/// A successful [`verify`] outcome: what the artifact is and which checks
+/// actually ran.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Format version from the header.
+    pub version: u32,
+    /// Cache key from the header.
+    pub source_hash: u64,
+    /// Decoded payload size in bytes.
+    pub payload_len: usize,
+    /// Whether the artifact carries a MAC.
+    pub signed: bool,
+    /// Whether the MAC was actually verified (requires a configured key).
+    pub mac_checked: bool,
+    /// Rules in the decoded program.
+    pub rules: usize,
+    /// Symbols in the pinned symbol table.
+    pub symbols: usize,
+}
+
+/// Verifies artifact bytes end to end, classifying any failure by stage:
+/// envelope + provenance ([`split`] semantics), structural payload
+/// decode, then reconstruction of the grammar from the embedded source
+/// and cross-validation against the decoded program. `blackboxes` are
+/// bound by name during reconstruction, as at load time.
+pub fn verify(
+    bytes: &[u8],
+    key: Option<&[u8]>,
+    blackboxes: Vec<Blackbox>,
+) -> std::result::Result<VerifyReport, VerifyError> {
+    let parts = split(bytes, key)?;
+    let (version, source_hash, payload_len) =
+        (parts.version, parts.source_hash, parts.payload.len());
+    let (signed, mac_checked) = (parts.signed, parts.mac_checked);
+    let artifact = decode_parts(parts).map_err(|e| VerifyError::Structural(e.to_string()))?;
+    artifact.reconstruct_grammar(blackboxes).map_err(|e| VerifyError::Mismatch(e.to_string()))?;
+    Ok(VerifyReport {
+        version,
+        source_hash,
+        payload_len,
+        signed,
+        mac_checked,
+        rules: artifact.program.rules.len(),
+        symbols: artifact.symbols.len(),
+    })
 }
 
 impl Artifact {
@@ -981,7 +1276,10 @@ impl Artifact {
     /// cache key, same symbol table, same nonterminal table, same start
     /// id, and in-range blackbox indices.
     pub fn validate_against(&self, grammar: &Grammar) -> Result<()> {
-        let expected = source_hash(&self.spec, grammar.blackboxes());
+        // Recompute with the version the artifact was written at: the
+        // hash input includes the format version, so a v1 artifact's key
+        // differs from a v2 key over the same source.
+        let expected = source_hash_v(self.version, &self.spec, grammar.blackboxes());
         if expected != self.source_hash {
             return Err(Error::Artifact(format!(
                 "source hash mismatch: artifact {:016x}, grammar {expected:016x}",
@@ -1065,6 +1363,10 @@ pub enum MissReason {
     /// An artifact existed but failed to load (version skew, corruption,
     /// or a grammar mismatch); it was recompiled and rewritten.
     Invalid(String),
+    /// An invalid artifact was additionally quarantined: renamed to
+    /// `*.ipgc.bad` (preserving the evidence for inspection) before the
+    /// recompiled replacement was written.
+    Quarantined(String),
 }
 
 /// The outcome of one [`Cache::load_or_compile`] call.
@@ -1105,45 +1407,82 @@ impl CachedProgram {
     }
 }
 
+/// What one [`Cache::gc`] pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Directory entries examined.
+    pub scanned: usize,
+    /// Files deleted.
+    pub removed: usize,
+    /// Artifacts surviving the pass.
+    pub kept: usize,
+    /// Total size of the deleted files.
+    pub bytes_reclaimed: u64,
+}
+
 /// A directory of `.ipgc` artifacts keyed by [`source_hash`].
 ///
 /// File names are `<name>-<hash:016x>.ipgc`; writes go through a unique
 /// temporary file plus an atomic rename, so concurrent processes warming
 /// the same cache never observe partial artifacts.
+///
+/// Loading is *self-healing*: an invalid hit (corrupt, version-skewed,
+/// tampered, or mismatched) is quarantined — renamed to `*.ipgc.bad` and
+/// counted — and the grammar is transparently recompiled from source and
+/// rewritten. With a signing key configured ([`Cache::with_key`] or
+/// `IPG_ARTIFACT_KEY` via [`Cache::from_env`]), written artifacts are
+/// signed and unsigned/wrongly-signed hits are treated as invalid.
 #[derive(Clone, Debug)]
 pub struct Cache {
     dir: PathBuf,
+    key: Option<Arc<Vec<u8>>>,
+    quarantined: Arc<AtomicU64>,
 }
 
 impl Cache {
-    /// A cache rooted at `dir` (created lazily on first write).
+    /// A cache rooted at `dir` (created lazily on first write), with no
+    /// signing key.
     pub fn at(dir: impl Into<PathBuf>) -> Cache {
-        Cache { dir: dir.into() }
+        Cache { dir: dir.into(), key: None, quarantined: Arc::new(AtomicU64::new(0)) }
     }
 
     /// The cache honoring the environment: `IPG_CACHE_DIR` if set,
     /// otherwise `$XDG_CACHE_HOME/ipg`, otherwise `~/.cache/ipg`, falling
-    /// back to `<tmp>/ipg-cache`. Returns `None` when `IPG_NO_CACHE` is
-    /// set (callers then compile in memory).
+    /// back to `<tmp>/ipg-cache`; signed when `IPG_ARTIFACT_KEY` is set.
+    /// Returns `None` when `IPG_NO_CACHE` is set (callers then compile in
+    /// memory).
     pub fn from_env() -> Option<Cache> {
         if std::env::var_os("IPG_NO_CACHE").is_some() {
             return None;
         }
-        if let Some(dir) = std::env::var_os("IPG_CACHE_DIR") {
-            return Some(Cache::at(PathBuf::from(dir)));
-        }
-        if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME") {
-            return Some(Cache::at(PathBuf::from(xdg).join("ipg")));
-        }
-        if let Some(home) = std::env::var_os("HOME") {
-            return Some(Cache::at(PathBuf::from(home).join(".cache").join("ipg")));
-        }
-        Some(Cache::at(std::env::temp_dir().join("ipg-cache")))
+        let cache = if let Some(dir) = std::env::var_os("IPG_CACHE_DIR") {
+            Cache::at(PathBuf::from(dir))
+        } else if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME") {
+            Cache::at(PathBuf::from(xdg).join("ipg"))
+        } else if let Some(home) = std::env::var_os("HOME") {
+            Cache::at(PathBuf::from(home).join(".cache").join("ipg"))
+        } else {
+            Cache::at(std::env::temp_dir().join("ipg-cache"))
+        };
+        Some(cache.with_key(artifact_key_from_env()))
+    }
+
+    /// Replaces the signing key. `Some` makes writes signed and demands a
+    /// valid MAC on every hit; `None` disables the provenance policy.
+    pub fn with_key(mut self, key: Option<Vec<u8>>) -> Cache {
+        self.key = key.map(Arc::new);
+        self
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// How many invalid artifacts this cache (including clones sharing
+    /// its counter) has quarantined to `*.ipgc.bad`.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// The artifact path for grammar `name` with the given cache key.
@@ -1179,17 +1518,47 @@ impl Cache {
         let reason = match std::fs::read(&path) {
             Ok(bytes) => match self.try_load(&bytes, spec, blackboxes.clone()) {
                 Ok(cached) => return Ok((cached, CacheOutcome::Hit)),
-                Err(e) => MissReason::Invalid(e.to_string()),
+                Err(e) => self.quarantine(&path, e.to_string()),
             },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => MissReason::Absent,
             Err(e) => MissReason::Invalid(format!("cannot read {}: {e}", path.display())),
         };
         let cached = CachedProgram::compile(spec, blackboxes)?;
-        let bytes = encode(spec, &cached.grammar, &cached.program, cached.anchor, cached.hints);
+        let bytes = self.encode_for_write(spec, &cached);
         // Cache writes are best-effort: a read-only cache dir must not
         // break parsing.
         let _ = self.write_atomic(&path, &bytes);
         Ok((cached, CacheOutcome::Miss(reason)))
+    }
+
+    /// Moves an invalid artifact out of the lookup path, to
+    /// `<file>.ipgc.bad`, so the corrupt bytes stay inspectable but can
+    /// never be hit again. Falls back to a plain invalid miss when the
+    /// rename fails (e.g. a read-only cache dir).
+    fn quarantine(&self, path: &Path, why: String) -> MissReason {
+        let mut bad = path.as_os_str().to_owned();
+        bad.push(".bad");
+        match std::fs::rename(path, PathBuf::from(bad)) {
+            Ok(()) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                MissReason::Quarantined(why)
+            }
+            Err(_) => MissReason::Invalid(why),
+        }
+    }
+
+    fn encode_for_write(&self, spec: &str, cached: &CachedProgram) -> Vec<u8> {
+        match &self.key {
+            Some(key) => encode_signed(
+                spec,
+                &cached.grammar,
+                &cached.program,
+                cached.anchor,
+                cached.hints,
+                key,
+            ),
+            None => encode(spec, &cached.grammar, &cached.program, cached.anchor, cached.hints),
+        }
     }
 
     fn try_load(
@@ -1198,7 +1567,7 @@ impl Cache {
         spec: &str,
         blackboxes: Vec<Blackbox>,
     ) -> Result<CachedProgram> {
-        let artifact = decode(bytes)?;
+        let artifact = decode_with_key(bytes, self.key.as_ref().map(|k| k.as_slice()))?;
         if artifact.spec != spec {
             return Err(Error::Artifact("embedded source differs from requested spec".into()));
         }
@@ -1208,8 +1577,17 @@ impl Cache {
     }
 
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        // The temp name must be unique per *writer*, not just per process:
+        // two threads racing a cold miss on the same grammar would
+        // otherwise interleave writes into one shared temp file and
+        // rename torn bytes into place.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
-        let tmp = path.with_extension(format!("ipgc.tmp.{}", std::process::id()));
+        let tmp = path.with_extension(format!(
+            "ipgc.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, bytes)?;
         match std::fs::rename(&tmp, path) {
             Ok(()) => Ok(()),
@@ -1218,6 +1596,108 @@ impl Cache {
                 Err(e)
             }
         }
+    }
+
+    /// Garbage-collects the cache directory. Policy, in order:
+    ///
+    /// 1. Leftover `*.tmp` files and quarantined `*.ipgc.bad` files are
+    ///    always deleted.
+    /// 2. For each `{name}` prefix, only the newest artifact is current;
+    ///    older same-name artifacts (stale cache keys from edited sources
+    ///    or older toolchains) are always deleted.
+    /// 3. With `max_age`, current artifacts not modified within the
+    ///    window are deleted too — the cache is derived state, anything
+    ///    evicted is recompiled on next use.
+    /// 4. With `max_bytes`, surviving artifacts are deleted oldest-first
+    ///    until the directory total fits the budget.
+    ///
+    /// A missing directory is an empty report, not an error; individual
+    /// unreadable/undeletable entries are skipped.
+    pub fn gc(
+        &self,
+        max_bytes: Option<u64>,
+        max_age: Option<Duration>,
+    ) -> std::io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        // (path, len, mtime) for live artifacts; junk removed on sight.
+        let mut artifacts: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n.to_owned(),
+                None => continue,
+            };
+            let meta = match entry.metadata() {
+                Ok(m) if m.is_file() => m,
+                _ => continue,
+            };
+            report.scanned += 1;
+            let is_junk = name.ends_with(".bad") || name.contains(".ipgc.tmp");
+            if is_junk {
+                remove(&mut report, &path, meta.len());
+                continue;
+            }
+            if name.ends_with(".ipgc") {
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                artifacts.push((path, meta.len(), mtime));
+            }
+        }
+
+        // Newest-first within each name prefix, then newest-first overall
+        // so the size budget evicts the oldest survivors.
+        artifacts.sort_by_key(|a| std::cmp::Reverse(a.2));
+        let mut seen = std::collections::HashSet::new();
+        let now = std::time::SystemTime::now();
+        let mut survivors: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for (path, len, mtime) in artifacts {
+            let prefix = name_prefix(&path);
+            if !seen.insert(prefix) {
+                remove(&mut report, &path, len);
+                continue;
+            }
+            let expired = max_age.is_some_and(|limit| {
+                now.duration_since(mtime).map(|age| age > limit).unwrap_or(false)
+            });
+            if expired {
+                remove(&mut report, &path, len);
+            } else {
+                survivors.push((path, len, mtime));
+            }
+        }
+        if let Some(budget) = max_bytes {
+            let mut total: u64 = survivors.iter().map(|(_, len, _)| len).sum();
+            while total > budget {
+                let Some((path, len, _)) = survivors.pop() else { break };
+                remove(&mut report, &path, len);
+                total -= len;
+            }
+        }
+        report.kept = survivors.len();
+        Ok(report)
+    }
+}
+
+/// The `{name}` portion of a cache file name (everything before the
+/// trailing `-{hash:016x}.ipgc`), or the whole stem for foreign names.
+fn name_prefix(path: &Path) -> String {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_owned()
+        }
+        _ => stem.to_owned(),
+    }
+}
+
+fn remove(report: &mut GcReport, path: &Path, len: u64) {
+    if std::fs::remove_file(path).is_ok() {
+        report.removed += 1;
+        report.bytes_reclaimed += len;
     }
 }
 
@@ -1373,9 +1853,13 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let (_, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
         assert!(
-            matches!(outcome, CacheOutcome::Miss(MissReason::Invalid(_))),
-            "corruption must degrade to a rewrite, got {outcome:?}"
+            matches!(outcome, CacheOutcome::Miss(MissReason::Quarantined(_))),
+            "corruption must quarantine and rewrite, got {outcome:?}"
         );
+        assert_eq!(cache.quarantined(), 1);
+        let mut bad = path.clone().into_os_string();
+        bad.push(".bad");
+        assert!(PathBuf::from(bad).exists(), "quarantined artifact must be preserved as .ipgc.bad");
         let (_, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
         assert_eq!(outcome, CacheOutcome::Hit, "rewrite must restore the artifact");
         let _ = std::fs::remove_dir_all(&dir);
@@ -1388,5 +1872,174 @@ mod tests {
         assert_ne!(a, b);
         let bb = Blackbox::new("inflate", |_| Ok(Default::default()));
         assert_ne!(source_hash(FIG2, &[]), source_hash(FIG2, std::slice::from_ref(&bb)));
+    }
+
+    /// Rewrites v2 artifact bytes as the v1 format: trailer stripped,
+    /// header version and source hash patched.
+    fn downgrade_to_v1(bytes: &[u8], spec: &str) -> Vec<u8> {
+        let mut v1 = bytes[..bytes.len() - TRAILER_MIN].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        v1[8..16].copy_from_slice(&source_hash_v(1, spec, &[]).to_le_bytes());
+        v1
+    }
+
+    #[test]
+    fn v1_artifacts_still_decode_and_validate() {
+        let g = parse_grammar(FIG2).unwrap();
+        let v1 = downgrade_to_v1(&encode_grammar(FIG2, &g), FIG2);
+        let artifact = decode(&v1).expect("v1 decode stays supported");
+        assert_eq!(artifact.version, 1);
+        // validate_against must recompute the key at the artifact's own
+        // version, not the loader's.
+        artifact.validate_against(&g).expect("version-aware source hash");
+        let reconstructed = artifact.reconstruct_grammar(Vec::new()).unwrap();
+        let vm = artifact.into_parser(&reconstructed).unwrap();
+        let mut input = vec![8u8, 0, 0, 0, 4, 0, 0, 0];
+        input.extend_from_slice(b"DATA");
+        vm.parse(&input).expect("v1 program parses");
+    }
+
+    #[test]
+    fn v1_artifacts_are_rejected_under_a_key() {
+        let g = parse_grammar(FIG2).unwrap();
+        let v1 = downgrade_to_v1(&encode_grammar(FIG2, &g), FIG2);
+        match verify(&v1, Some(b"k"), Vec::new()) {
+            Err(VerifyError::Provenance(m)) => assert!(m.contains("trailer"), "{m}"),
+            other => panic!("expected Provenance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_and_tamper_detection() {
+        let g = parse_grammar(FIG2).unwrap();
+        let program = compile(&g);
+        let hints = program.size_hints();
+        let anchor = anchor_requirement(&g);
+        let key = b"test-key".as_slice();
+        let signed = encode_signed(FIG2, &g, &program, anchor, hints, key);
+
+        decode_with_key(&signed, Some(key)).expect("valid MAC accepted");
+        decode_with_key(&signed, None).expect("no key: signature ignored, digest still checked");
+        assert!(
+            decode_with_key(&signed, Some(b"wrong-key")).is_err(),
+            "wrong key must be rejected"
+        );
+
+        let mut tampered = signed.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01; // flip a MAC byte
+        match decode_with_key(&tampered, Some(key)) {
+            Err(Error::Artifact(m)) => assert!(m.contains("MAC"), "{m}"),
+            other => panic!("expected MAC failure, got {other:?}"),
+        }
+
+        let unsigned = encode(FIG2, &g, &program, anchor, hints);
+        match verify(&unsigned, Some(key), Vec::new()) {
+            Err(VerifyError::Provenance(m)) => assert!(m.contains("unsigned"), "{m}"),
+            other => panic!("expected Provenance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_classifies_failures_by_stage() {
+        let g = parse_grammar(FIG2).unwrap();
+        let bytes = encode_grammar(FIG2, &g);
+
+        let report = verify(&bytes, None, Vec::new()).expect("intact artifact verifies");
+        assert_eq!(report.version, FORMAT_VERSION);
+        assert!(!report.signed && !report.mac_checked);
+        assert!(report.rules > 0 && report.symbols > 0);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(verify(&bad_magic, None, Vec::new()), Err(VerifyError::Structural(_))));
+
+        let mut skew = bytes.clone();
+        skew[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            verify(&skew, None, Vec::new()),
+            Err(VerifyError::VersionSkew { found: 99, .. })
+        ));
+
+        // Flip a byte inside the payload: the SHA-256 digest catches it
+        // before any structural decode runs.
+        let mut corrupt = bytes.clone();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN - TRAILER_MIN) / 2;
+        corrupt[mid] ^= 0xff;
+        assert!(matches!(verify(&corrupt, None, Vec::new()), Err(VerifyError::Provenance(_))));
+
+        // A consistent artifact whose embedded source disagrees with its
+        // program: structural and provenance checks pass, reconstruction
+        // does not.
+        let other_spec = r#"S -> "x"[0, 1];"#;
+        let program = compile(&g);
+        let mismatched =
+            encode(other_spec, &g, &program, anchor_requirement(&g), program.size_hints());
+        assert!(matches!(verify(&mismatched, None, Vec::new()), Err(VerifyError::Mismatch(_))));
+    }
+
+    #[test]
+    fn keyed_cache_signs_writes_and_quarantines_unsigned_hits() {
+        let dir = std::env::temp_dir().join(format!("ipgc-key-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = Cache::at(&dir);
+        let keyed = Cache::at(&dir).with_key(Some(b"cache-key".to_vec()));
+
+        // A keyless writer leaves an unsigned artifact; the keyed reader
+        // refuses it, quarantines it, and rewrites it signed.
+        plain.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        let (_, outcome) = keyed.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert!(
+            matches!(outcome, CacheOutcome::Miss(MissReason::Quarantined(_))),
+            "unsigned hit under a key must quarantine, got {outcome:?}"
+        );
+        assert_eq!(keyed.quarantined(), 1);
+        let (_, outcome) = keyed.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "rewritten artifact is signed now");
+
+        // A keyless reader accepts the signed artifact (digest intact,
+        // MAC ignored).
+        let (_, outcome) = plain.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_newest_per_name_and_reports_bytes() {
+        let dir = std::env::temp_dir().join(format!("ipgc-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = Cache::at(&dir);
+
+        // Two generations of "fig2" (distinct cache keys), junk files,
+        // and an unrelated current artifact.
+        let old = dir.join("fig2-00000000deadbeef.ipgc");
+        std::fs::write(&old, b"old-generation").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        cache.load_or_compile("other", r#"S -> "x"[0, 1];"#, Vec::new()).unwrap();
+        std::fs::write(dir.join("fig2-0123456789abcdef.ipgc.tmp.7"), b"torn write").unwrap();
+        std::fs::write(dir.join("fig2-0123456789abcdef.ipgc.bad"), b"quarantined").unwrap();
+
+        let report = cache.gc(None, None).unwrap();
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.removed, 3, "junk + superseded generation go");
+        assert_eq!(report.kept, 2);
+        assert!(report.bytes_reclaimed >= (b"old-generation".len() + b"torn write".len()) as u64);
+        assert!(!old.exists());
+        let (_, outcome) = cache.load_or_compile("fig2", FIG2, Vec::new()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "current artifacts survive gc");
+
+        // A zero-byte budget evicts everything that remains.
+        let report = cache.gc(Some(0), None).unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.removed, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_of_a_missing_directory_is_empty_not_an_error() {
+        let cache = Cache::at("/nonexistent/ipg-gc-test");
+        assert_eq!(cache.gc(None, None).unwrap(), GcReport::default());
     }
 }

@@ -90,6 +90,7 @@ pub mod frontend;
 pub mod intern;
 pub mod interp;
 pub mod ipgc;
+pub mod sha256;
 pub mod solver;
 pub mod syntax;
 pub mod termination;

@@ -13,12 +13,12 @@ pub const SPEC: &str = include_str!("../specs/dns.ipg");
 
 /// The checked DNS grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("dns").grammar
+    crate::registry::corpus_entry("dns").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("dns").vm
+    crate::registry::corpus_entry("dns").vm()
 }
 
 /// A parsed message.

@@ -11,12 +11,12 @@ pub const SPEC: &str = include_str!("../specs/elf.ipg");
 
 /// The checked ELF grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("elf").grammar
+    crate::registry::corpus_entry("elf").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("elf").vm
+    crate::registry::corpus_entry("elf").vm()
 }
 
 /// A parsed ELF file.

@@ -11,12 +11,12 @@ pub const SPEC: &str = include_str!("../specs/gif.ipg");
 
 /// The checked GIF grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("gif").grammar
+    crate::registry::corpus_entry("gif").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("gif").vm
+    crate::registry::corpus_entry("gif").vm()
 }
 
 /// A parsed image.

@@ -10,12 +10,12 @@ pub const SPEC: &str = include_str!("../specs/ipv4udp.ipg");
 
 /// The checked IPv4+UDP grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("ipv4udp").grammar
+    crate::registry::corpus_entry("ipv4udp").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("ipv4udp").vm
+    crate::registry::corpus_entry("ipv4udp").vm()
 }
 
 /// A parsed datagram.

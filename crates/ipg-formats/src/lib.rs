@@ -40,7 +40,10 @@ pub mod png;
 pub mod registry;
 pub mod zip;
 
-pub use registry::{corpus_descriptors, Entry, FormatDescriptor, Origin, Registry};
+pub use registry::{
+    corpus_descriptors, corpus_entry, pinned_corpus, Compiled, DirReload, Entry, FormatDescriptor,
+    Origin, Registry,
+};
 
 use ipg_core::arena::NodeRef;
 use ipg_core::check::{Grammar, NtId};

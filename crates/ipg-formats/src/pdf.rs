@@ -11,12 +11,12 @@ pub const SPEC: &str = include_str!("../specs/pdf.ipg");
 
 /// The checked PDF grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("pdf").grammar
+    crate::registry::corpus_entry("pdf").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("pdf").vm
+    crate::registry::corpus_entry("pdf").vm()
 }
 
 /// A parsed document.

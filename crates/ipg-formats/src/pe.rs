@@ -10,12 +10,12 @@ pub const SPEC: &str = include_str!("../specs/pe.ipg");
 
 /// The checked PE grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("pe").grammar
+    crate::registry::corpus_entry("pe").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("pe").vm
+    crate::registry::corpus_entry("pe").vm()
 }
 
 /// A parsed PE file.

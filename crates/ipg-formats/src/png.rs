@@ -12,12 +12,12 @@ pub const SPEC: &str = include_str!("../specs/png.ipg");
 
 /// The checked PNG grammar.
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("png").grammar
+    crate::registry::corpus_entry("png").grammar()
 }
 
 /// The compiled bytecode parser.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("png").vm
+    crate::registry::corpus_entry("png").vm()
 }
 
 /// A parsed image.

@@ -12,9 +12,24 @@
 //! into the exact same table, so "built-in" and "user-supplied" are
 //! indistinguishable downstream.
 //!
-//! Entries borrow process-lifetime (`'static`, intentionally leaked)
-//! grammars and parsers: a registry is a cheap, clonable view, and
-//! sessions/workers borrow the shared compiled programs.
+//! ## Generations, not leaks
+//!
+//! Each loaded grammar lives in an [`Arc`]-counted [`Compiled`]
+//! *generation*: the checked grammar and the bytecode parser borrowing
+//! it, packaged as one refcounted unit. [`Registry::reload`] and
+//! [`Registry::reload_dir`] swap a name to a new generation atomically —
+//! holders of the old [`Arc`] (in-flight parse sessions, pinned entries)
+//! keep using the generation they started with until they drop it, new
+//! lookups observe the new one, and a failed load leaves the table
+//! untouched (rollback is the absence of a swap, never a half-updated
+//! entry). A registry handle is cheap to clone and *shared*: clones see
+//! each other's reloads, which is what lets a filesystem watcher thread
+//! feed a live server.
+//!
+//! The per-process corpus table ([`pinned_corpus`]) is still pinned for
+//! the process lifetime — that one intentional, bounded promotion gives
+//! the format modules their `grammar()`/`vm()` statics — but repeated
+//! loads no longer leak: everything dynamic is reference-counted.
 
 use ipg_core::blackbox::Blackbox;
 use ipg_core::check::Grammar;
@@ -22,8 +37,9 @@ use ipg_core::error::{Error, Result};
 use ipg_core::interp::vm::VmParser;
 use ipg_core::interp::Parser;
 use ipg_core::ipgc::{Cache, CacheOutcome, CachedProgram, MissReason};
-use std::path::Path;
-use std::sync::OnceLock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// How a registry entry's compiled program was obtained.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,10 +48,11 @@ pub enum Origin {
     CacheHit,
     /// Compiled from source; the cache artifact was (re)written. The
     /// reason records whether the artifact was absent or invalid
-    /// (version skew, corruption, grammar mismatch).
+    /// (version skew, corruption, grammar mismatch) — and whether the
+    /// invalid file was quarantined.
     CacheMiss(MissReason),
     /// Compiled in memory with the cache disabled (`IPG_NO_CACHE`), or
-    /// registered directly from pre-built statics.
+    /// registered directly from a pre-built generation.
     Memory,
     /// Loaded from an explicit `.ipgc` file path (no cache involved).
     ArtifactFile,
@@ -55,25 +72,155 @@ impl Origin {
     }
 }
 
-/// One registered grammar: the interpreter-side checked grammar, the
-/// compiled bytecode parser, and how the program was obtained.
+/// One compiled grammar generation: the checked [`Grammar`] and the
+/// [`VmParser`] compiled against it, owned together so the pair can be
+/// handed out behind a single [`Arc`].
+///
+/// The parser borrows the grammar, so the struct is self-referential:
+/// the grammar is boxed (stable heap address), the parser's lifetime is
+/// erased internally, and the public accessors re-tie every borrow to
+/// `&self` — safe Rust callers can never observe the erased lifetime.
+pub struct Compiled {
+    // Declared before `grammar`: struct fields drop in declaration
+    // order, and the parser must drop before the grammar it borrows.
+    vm: VmParser<'static>,
+    grammar: Box<Grammar>,
+    source_hash: u64,
+}
+
+// SAFETY: the erased-lifetime reference inside `vm` points into
+// `grammar`, which is owned by the same struct; the pair is as
+// Send/Sync as its components (Grammar and VmParser are both Sync).
+unsafe impl Send for Compiled {}
+unsafe impl Sync for Compiled {}
+
+impl Compiled {
+    /// Packages a cache-loaded (or freshly compiled) program as one
+    /// refcounted generation.
+    pub fn from_cached(cached: CachedProgram) -> Arc<Compiled> {
+        let CachedProgram { grammar, program, anchor, hints, source_hash } = cached;
+        let grammar = Box::new(grammar);
+        // SAFETY: the Box's heap allocation never moves, `Compiled` is
+        // never dismantled (no fields are taken out), and field order
+        // guarantees `vm` drops first — so the reference outlives every
+        // use. The 'static lifetime is a private fiction; accessors
+        // shrink it back to the lifetime of `&self`.
+        let g: &'static Grammar = unsafe { &*(&*grammar as *const Grammar) };
+        let vm = VmParser::from_compiled(g, program, anchor, hints);
+        Arc::new(Compiled { vm, grammar, source_hash })
+    }
+
+    /// The checked grammar (tree-walking interpreter side).
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The compiled bytecode parser (fuel-free; bound work per parse with
+    /// [`ipg_core::interp::vm::Session::max_steps`] or a fueled wrapper).
+    pub fn vm(&self) -> &VmParser<'_> {
+        // Covariance shrinks the erased 'static to the borrow of self.
+        &self.vm
+    }
+
+    /// The artifact cache key this generation was built from.
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// The parser with the generation's lifetime erased, for holders
+    /// that pin the generation alongside the borrow (serve sessions).
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep (a clone of) `this` alive for as long as the
+    /// returned reference — or anything derived from it, such as a
+    /// streaming session — is used.
+    pub unsafe fn vm_pinned(this: &Arc<Compiled>) -> &'static VmParser<'static> {
+        unsafe { &*(&this.vm as *const VmParser<'static>) }
+    }
+}
+
+impl std::fmt::Debug for Compiled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiled")
+            .field("start", &self.grammar.start_nt_name())
+            .field("source_hash", &format_args!("{:016x}", self.source_hash))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Monotone generation ids, process-wide: every swap observably advances.
+fn next_generation() -> u64 {
+    static GENERATION: AtomicU64 = AtomicU64::new(1);
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One registered grammar: a name bound to a [`Compiled`] generation,
+/// plus how the program was obtained. Cloning an entry clones the
+/// *handle* — the generation itself is shared and stays alive as long as
+/// any clone does.
 #[derive(Clone, Debug)]
 pub struct Entry {
     /// Registry name (corpus module name, or a file stem for loaded paths).
     pub name: String,
-    /// The checked grammar (tree-walking interpreter side).
-    pub grammar: &'static Grammar,
-    /// The compiled bytecode parser (fuel-free; bound work per parse with
-    /// [`ipg_core::interp::vm::Session::max_steps`] or a fueled wrapper).
-    pub vm: &'static VmParser<'static>,
     /// Where the compiled program came from.
     pub origin: Origin,
+    /// The generation id: strictly increasing across reloads, so a
+    /// changed id is proof a swap happened.
+    pub generation: u64,
+    handle: Arc<Compiled>,
 }
 
-/// A name → compiled-grammar table. See the module docs.
-#[derive(Clone, Debug, Default)]
+impl Entry {
+    fn new(name: String, origin: Origin, handle: Arc<Compiled>) -> Entry {
+        Entry { name, origin, generation: next_generation(), handle }
+    }
+
+    /// The checked grammar of this entry's generation.
+    pub fn grammar(&self) -> &Grammar {
+        self.handle.grammar()
+    }
+
+    /// The compiled bytecode parser of this entry's generation.
+    pub fn vm(&self) -> &VmParser<'_> {
+        self.handle.vm()
+    }
+
+    /// The generation handle itself (pin it to keep the grammar alive
+    /// independent of the registry).
+    pub fn handle(&self) -> Arc<Compiled> {
+        Arc::clone(&self.handle)
+    }
+}
+
+/// How to rebuild a registered grammar for [`Registry::reload`].
+#[derive(Clone)]
+enum ReloadSource {
+    /// Recompile from an in-memory spec (corpus grammars and
+    /// [`Registry::load_spec`] registrations).
+    Spec { spec: String, blackboxes: Vec<Blackbox> },
+    /// Re-read a file path (`.ipg` source or `.ipgc` artifact).
+    Path(PathBuf),
+}
+
+struct Slot {
+    entry: Entry,
+    reload: Option<ReloadSource>,
+}
+
+/// A name → compiled-grammar table behind a shared, atomically-swappable
+/// core. Cloning a `Registry` clones the *handle*: clones observe each
+/// other's registrations and reloads (a watcher thread and a server can
+/// share one table). See the module docs.
+#[derive(Clone, Default)]
 pub struct Registry {
-    entries: Vec<Entry>,
+    slots: Arc<RwLock<Vec<Slot>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("names", &self.names()).finish()
+    }
 }
 
 /// An embedded corpus format: everything needed to (re)compile it —
@@ -116,15 +263,6 @@ pub fn corpus_descriptors() -> [FormatDescriptor; 9] {
     ]
 }
 
-/// Promotes a cached program to process lifetime: the grammar and the
-/// wrapping parser are leaked once and borrowed by every consumer.
-fn leak(cached: CachedProgram) -> (&'static Grammar, &'static VmParser<'static>) {
-    let CachedProgram { grammar, program, anchor, hints, .. } = cached;
-    let grammar: &'static Grammar = Box::leak(Box::new(grammar));
-    let vm = VmParser::from_compiled(grammar, program, anchor, hints);
-    (grammar, Box::leak(Box::new(vm)))
-}
-
 /// Loads one spec through the environment's cache (or compiles in memory
 /// when the cache is disabled).
 fn load_entry(name: &str, spec: &str, blackboxes: Vec<Blackbox>) -> Result<Entry> {
@@ -135,12 +273,54 @@ fn load_entry(name: &str, spec: &str, blackboxes: Vec<Blackbox>) -> Result<Entry
         }
         None => (CachedProgram::compile(spec, blackboxes)?, Origin::Memory),
     };
-    let (grammar, vm) = leak(cached);
-    Ok(Entry { name: name.to_owned(), grammar, vm, origin })
+    Ok(Entry::new(name.to_owned(), origin, Compiled::from_cached(cached)))
 }
 
-/// The per-process corpus table, loaded once through the artifact cache.
-fn corpus_entries() -> &'static [Entry] {
+/// Loads a `.ipgc` artifact file into an entry (no cache lookup). The
+/// embedded source is re-checked and verified against the artifact
+/// before the program is accepted; `IPG_ARTIFACT_KEY` governs the
+/// provenance policy as in [`ipg_core::ipgc::decode`].
+fn load_artifact_entry(path: &Path) -> Result<Entry> {
+    let name = stem_of(path)?;
+    let bytes = std::fs::read(path)
+        .map_err(|e| Error::Artifact(format!("cannot read {}: {e}", path.display())))?;
+    let artifact = ipg_core::ipgc::decode(&bytes)?;
+    let grammar = artifact.reconstruct_grammar(Vec::new())?;
+    artifact.validate_against(&grammar)?;
+    let cached = CachedProgram {
+        grammar,
+        program: artifact.program,
+        anchor: artifact.anchor,
+        hints: artifact.hints,
+        source_hash: artifact.source_hash,
+    };
+    Ok(Entry::new(name, Origin::ArtifactFile, Compiled::from_cached(cached)))
+}
+
+/// Loads a `.ipg` source file into an entry, through the environment's
+/// cache.
+fn load_ipg_entry(path: &Path) -> Result<Entry> {
+    let name = stem_of(path)?;
+    let spec = std::fs::read_to_string(path)
+        .map_err(|e| Error::Grammar(format!("cannot read {}: {e}", path.display())))?;
+    load_entry(&name, &spec, Vec::new())
+}
+
+/// Path dispatch shared by [`Registry::load_path`] and reloads: `.ipgc`
+/// means artifact, anything else means source.
+fn load_path_entry(path: &Path) -> Result<Entry> {
+    if path.extension().is_some_and(|e| e == "ipgc") {
+        load_artifact_entry(path)
+    } else {
+        load_ipg_entry(path)
+    }
+}
+
+/// The per-process corpus table, loaded once through the artifact cache
+/// and pinned for the process lifetime (this is what backs the format
+/// modules' `grammar()`/`vm()` statics — one bounded promotion, not a
+/// per-load leak).
+pub fn pinned_corpus() -> &'static [Entry] {
     static ENTRIES: OnceLock<Vec<Entry>> = OnceLock::new();
     ENTRIES.get_or_init(|| {
         corpus_descriptors()
@@ -155,11 +335,21 @@ fn corpus_entries() -> &'static [Entry] {
 
 /// The shared corpus entry for a format module's `grammar()`/`vm()`
 /// statics. Panics for names outside [`corpus_descriptors`].
-pub(crate) fn corpus_entry(name: &str) -> &'static Entry {
-    corpus_entries()
+pub fn corpus_entry(name: &str) -> &'static Entry {
+    pinned_corpus()
         .iter()
         .find(|e| e.name == name)
         .unwrap_or_else(|| panic!("`{name}` is not a corpus grammar"))
+}
+
+/// One [`Registry::reload_dir`] pass: what swapped and what was refused.
+#[derive(Debug, Default)]
+pub struct DirReload {
+    /// Entries that loaded, validated, and swapped in, in path order.
+    pub loaded: Vec<Entry>,
+    /// Files that failed to load; the table keeps the previous
+    /// generation for these names.
+    pub failed: Vec<(PathBuf, Error)>,
 }
 
 impl Registry {
@@ -168,46 +358,64 @@ impl Registry {
         Registry::default()
     }
 
-    /// The nine-grammar corpus view (shared per-process entries; the
-    /// underlying programs are loaded through the `.ipgc` cache once).
+    /// A fresh registry pre-populated with the nine-grammar corpus. The
+    /// underlying generations are shared with [`pinned_corpus`] (loaded
+    /// through the `.ipgc` cache once per process); each call returns an
+    /// independent table, so mutations and reloads stay local to it.
     pub fn corpus() -> Registry {
-        Registry { entries: corpus_entries().to_vec() }
+        let slots = pinned_corpus()
+            .iter()
+            .zip(corpus_descriptors())
+            .map(|(entry, d)| Slot {
+                entry: entry.clone(),
+                reload: Some(ReloadSource::Spec {
+                    spec: d.spec.to_owned(),
+                    blackboxes: (d.blackboxes)(),
+                }),
+            })
+            .collect();
+        Registry { slots: Arc::new(RwLock::new(slots)) }
     }
 
-    /// The registered entries, in registration order.
-    pub fn entries(&self) -> &[Entry] {
-        &self.entries
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<Slot>> {
+        self.slots.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Slot>> {
+        self.slots.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshots the registered entries, in registration order. The
+    /// returned entries pin their generations: they stay valid across
+    /// concurrent reloads.
+    pub fn entries(&self) -> Vec<Entry> {
+        self.read().iter().map(|s| s.entry.clone()).collect()
     }
 
     /// The registered names, in registration order.
-    pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|e| e.name.as_str()).collect()
+    pub fn names(&self) -> Vec<String> {
+        self.read().iter().map(|s| s.entry.name.clone()).collect()
     }
 
-    /// Looks up an entry by name.
-    pub fn get(&self, name: &str) -> Option<&Entry> {
-        self.entries.iter().find(|e| e.name == name)
+    /// Looks up an entry by name (a pinned snapshot, see [`entries`]).
+    ///
+    /// [`entries`]: Registry::entries
+    pub fn get(&self, name: &str) -> Option<Entry> {
+        self.read().iter().find(|s| s.entry.name == name).map(|s| s.entry.clone())
     }
 
-    /// Looks up a compiled parser by name.
-    pub fn vm(&self, name: &str) -> Option<&'static VmParser<'static>> {
-        self.get(name).map(|e| e.vm)
+    /// Pins the current generation for `name`: the cheapest lookup on
+    /// the serve admission path, returning just the refcounted handle.
+    pub fn pin(&self, name: &str) -> Option<Arc<Compiled>> {
+        self.read().iter().find(|s| s.entry.name == name).map(|s| s.entry.handle())
     }
 
-    /// Looks up a checked grammar by name.
-    pub fn grammar(&self, name: &str) -> Option<&'static Grammar> {
-        self.get(name).map(|e| e.grammar)
-    }
-
-    /// Registers a pre-built entry under `name`, replacing any existing
-    /// entry with that name.
-    pub fn register(
-        &mut self,
-        name: &str,
-        grammar: &'static Grammar,
-        vm: &'static VmParser<'static>,
-    ) {
-        self.insert(Entry { name: name.to_owned(), grammar, vm, origin: Origin::Memory });
+    /// Registers a pre-built generation under `name`, replacing any
+    /// existing entry with that name. Entries registered this way have
+    /// no reload source: [`Registry::reload`] reports a typed error for
+    /// them.
+    pub fn register(&self, name: &str, handle: Arc<Compiled>) -> Entry {
+        self.insert(Entry::new(name.to_owned(), Origin::Memory, handle), None)
     }
 
     /// Loads `.ipg` source under `name` through the environment's cache
@@ -217,14 +425,10 @@ impl Registry {
     ///
     /// Frontend/check errors when the spec is invalid. Cache problems
     /// degrade to in-memory compilation, not errors.
-    pub fn load_spec(
-        &mut self,
-        name: &str,
-        spec: &str,
-        blackboxes: Vec<Blackbox>,
-    ) -> Result<&Entry> {
-        let entry = load_entry(name, spec, blackboxes)?;
-        Ok(self.insert(entry))
+    pub fn load_spec(&self, name: &str, spec: &str, blackboxes: Vec<Blackbox>) -> Result<Entry> {
+        let entry = load_entry(name, spec, blackboxes.clone())?;
+        let source = ReloadSource::Spec { spec: spec.to_owned(), blackboxes };
+        Ok(self.insert(entry, Some(source)))
     }
 
     /// Loads a user-supplied grammar from a `.ipg` source file, registered
@@ -235,12 +439,9 @@ impl Registry {
     ///
     /// I/O errors reading the file (as [`Error::Grammar`]) and
     /// frontend/check errors in the spec.
-    pub fn load_ipg_path(&mut self, path: &Path) -> Result<&Entry> {
-        let name = stem_of(path)?;
-        let spec = std::fs::read_to_string(path)
-            .map_err(|e| Error::Grammar(format!("cannot read {}: {e}", path.display())))?;
-        let entry = load_entry(&name, &spec, Vec::new())?;
-        Ok(self.insert(entry))
+    pub fn load_ipg_path(&self, path: &Path) -> Result<Entry> {
+        let entry = load_ipg_entry(path)?;
+        Ok(self.insert(entry, Some(ReloadSource::Path(path.to_owned()))))
     }
 
     /// Loads a persisted `.ipgc` artifact from an explicit path (no cache
@@ -250,44 +451,99 @@ impl Registry {
     ///
     /// # Errors
     ///
-    /// [`Error::Artifact`] on corrupt/truncated/version-skewed bytes or an
+    /// [`Error::Artifact`] on corrupt/truncated/version-skewed bytes, a
+    /// provenance violation under `IPG_ARTIFACT_KEY`, or an
     /// artifact/grammar mismatch; I/O errors as [`Error::Artifact`].
-    pub fn load_artifact_path(&mut self, path: &Path) -> Result<&Entry> {
-        let name = stem_of(path)?;
-        let bytes = std::fs::read(path)
-            .map_err(|e| Error::Artifact(format!("cannot read {}: {e}", path.display())))?;
-        let artifact = ipg_core::ipgc::decode(&bytes)?;
-        let grammar = artifact.reconstruct_grammar(Vec::new())?;
-        artifact.validate_against(&grammar)?;
-        let cached = CachedProgram {
-            grammar,
-            program: artifact.program,
-            anchor: artifact.anchor,
-            hints: artifact.hints,
-            source_hash: artifact.source_hash,
-        };
-        let (grammar, vm) = leak(cached);
-        Ok(self.insert(Entry { name, grammar, vm, origin: Origin::ArtifactFile }))
+    pub fn load_artifact_path(&self, path: &Path) -> Result<Entry> {
+        let entry = load_artifact_entry(path)?;
+        Ok(self.insert(entry, Some(ReloadSource::Path(path.to_owned()))))
     }
 
     /// Loads a grammar from a path, dispatching on the `.ipgc` extension
     /// (artifact) versus anything else (`.ipg` source).
-    pub fn load_path(&mut self, path: &Path) -> Result<&Entry> {
-        if path.extension().is_some_and(|e| e == "ipgc") {
-            self.load_artifact_path(path)
-        } else {
-            self.load_ipg_path(path)
-        }
+    pub fn load_path(&self, path: &Path) -> Result<Entry> {
+        let entry = load_path_entry(path)?;
+        Ok(self.insert(entry, Some(ReloadSource::Path(path.to_owned()))))
     }
 
-    fn insert(&mut self, entry: Entry) -> &Entry {
-        if let Some(i) = self.entries.iter().position(|e| e.name == entry.name) {
-            self.entries[i] = entry;
-            &self.entries[i]
-        } else {
-            self.entries.push(entry);
-            self.entries.last().expect("just pushed")
+    /// Rebuilds `name` from its recorded source (embedded spec or file
+    /// path) and atomically swaps the new generation in.
+    ///
+    /// The load, validation, and compilation all happen *outside* the
+    /// table lock; the table is only touched on success. On any error
+    /// the previous generation remains current — a failed reload can
+    /// never leave the registry half-swapped or empty.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Grammar`] when `name` is not registered or has no reload
+    /// source; load/validation errors as for the original load.
+    pub fn reload(&self, name: &str) -> Result<Entry> {
+        let source = {
+            let slots = self.read();
+            let slot = slots
+                .iter()
+                .find(|s| s.entry.name == name)
+                .ok_or_else(|| Error::Grammar(format!("`{name}` is not registered")))?;
+            slot.reload.clone().ok_or_else(|| {
+                Error::Grammar(format!(
+                    "`{name}` was registered from a pre-built generation and has no reload source"
+                ))
+            })?
+        };
+        let entry = match &source {
+            ReloadSource::Spec { spec, blackboxes } => load_entry(name, spec, blackboxes.clone())?,
+            ReloadSource::Path(path) => {
+                let entry = load_path_entry(path)?;
+                if entry.name != name {
+                    return Err(Error::Grammar(format!(
+                        "reload of `{name}` resolved to `{}` — path renamed?",
+                        entry.name
+                    )));
+                }
+                entry
+            }
+        };
+        Ok(self.insert(entry, Some(source)))
+    }
+
+    /// Loads every `*.ipg` / `*.ipgc` file in `dir` (sorted by file
+    /// name), swapping in each grammar that validates and keeping the
+    /// previous generation for each one that does not. Per-file failures
+    /// are reported, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Only on failing to read the directory itself.
+    pub fn reload_dir(&self, dir: &Path) -> Result<DirReload> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| Error::Grammar(format!("cannot read {}: {e}", dir.display())))?;
+        let mut paths: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "ipg" || e == "ipgc"))
+            .collect();
+        paths.sort();
+        let mut report = DirReload::default();
+        for path in paths {
+            match self.load_path(&path) {
+                Ok(entry) => report.loaded.push(entry),
+                Err(e) => report.failed.push((path, e)),
+            }
         }
+        Ok(report)
+    }
+
+    fn insert(&self, entry: Entry, reload: Option<ReloadSource>) -> Entry {
+        let mut slots = self.write();
+        let out = entry.clone();
+        let slot = Slot { entry, reload };
+        if let Some(i) = slots.iter().position(|s| s.entry.name == slot.entry.name) {
+            slots[i] = slot;
+        } else {
+            slots.push(slot);
+        }
+        out
     }
 
     /// The cross-engine agreement contract, shared by the assert-style
@@ -353,14 +609,13 @@ mod tests {
 
     #[test]
     fn register_replaces_by_name() {
-        let mut reg = Registry::new();
-        let dns = Registry::corpus();
-        let entry = dns.get("dns").unwrap();
-        reg.register("only", entry.grammar, entry.vm);
-        reg.register("only", entry.grammar, entry.vm);
+        let reg = Registry::new();
+        let entry = corpus_entry("dns");
+        reg.register("only", entry.handle());
+        reg.register("only", entry.handle());
         assert_eq!(reg.entries().len(), 1);
-        assert!(reg.vm("only").is_some());
-        assert!(reg.vm("dns").is_none());
+        assert!(reg.pin("only").is_some());
+        assert!(reg.pin("dns").is_none());
     }
 
     #[test]
@@ -372,5 +627,91 @@ mod tests {
         for e in Registry::corpus().entries() {
             assert_ne!(e.origin, Origin::ArtifactFile, "{}", e.name);
         }
+    }
+
+    #[test]
+    fn clones_share_one_table() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.register("shared", corpus_entry("dns").handle());
+        assert!(b.pin("shared").is_some(), "clones must observe each other's registrations");
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_pins_survive() {
+        let reg = Registry::corpus();
+        let before = reg.get("dns").unwrap();
+        let pinned = reg.pin("dns").unwrap();
+        let after = reg.reload("dns").unwrap();
+        assert!(after.generation > before.generation, "reload must advance the generation");
+        assert!(
+            !Arc::ptr_eq(&pinned, &reg.pin("dns").unwrap()),
+            "the table must hand out the new generation"
+        );
+        // The pinned old generation still parses: in-flight work is
+        // unaffected by the swap.
+        let input = ipg_corpus::dns::generate(&Default::default()).bytes;
+        pinned.vm().parse(&input).expect("old generation stays usable");
+        reg.get("dns").unwrap().vm().parse(&input).expect("new generation parses");
+    }
+
+    #[test]
+    fn reload_of_prebuilt_registration_is_a_typed_error() {
+        let reg = Registry::new();
+        reg.register("pinned", corpus_entry("dns").handle());
+        match reg.reload("pinned") {
+            Err(Error::Grammar(m)) => assert!(m.contains("no reload source"), "{m}"),
+            other => panic!("expected Grammar error, got {other:?}"),
+        }
+        assert!(reg.reload("absent").is_err());
+    }
+
+    #[test]
+    fn failed_reload_rolls_back_to_the_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("ipg-reload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.ipg");
+        std::fs::write(&path, r#"S -> "a"[0, 1];"#).unwrap();
+
+        let reg = Registry::new();
+        let first = reg.load_path(&path).unwrap();
+        first.vm().parse(b"a").expect("initial grammar parses");
+
+        // Break the file on disk: the reload must fail and the table
+        // must keep serving the old generation.
+        std::fs::write(&path, "THIS IS NOT A GRAMMAR ->").unwrap();
+        assert!(reg.reload("tiny").is_err());
+        let current = reg.get("tiny").unwrap();
+        assert_eq!(current.generation, first.generation, "failed reload must not swap");
+        current.vm().parse(b"a").expect("previous generation still current");
+
+        // Fix the file: now the swap happens and behavior changes.
+        std::fs::write(&path, r#"S -> "b"[0, 1];"#).unwrap();
+        let swapped = reg.reload("tiny").unwrap();
+        assert!(swapped.generation > first.generation);
+        swapped.vm().parse(b"b").expect("new grammar parses the new input");
+        assert!(swapped.vm().parse(b"a").is_err(), "old input now rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_dir_reports_per_file_outcomes() {
+        let dir = std::env::temp_dir().join(format!("ipg-reloaddir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.ipg"), r#"S -> "g"[0, 1];"#).unwrap();
+        std::fs::write(dir.join("bad.ipg"), "NOT A GRAMMAR ->").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a grammar file").unwrap();
+
+        let reg = Registry::new();
+        let report = reg.reload_dir(&dir).unwrap();
+        assert_eq!(report.loaded.len(), 1);
+        assert_eq!(report.loaded[0].name, "good");
+        assert_eq!(report.failed.len(), 1);
+        assert!(report.failed[0].0.ends_with("bad.ipg"));
+        assert!(reg.get("good").is_some());
+        assert!(reg.get("bad").is_none(), "failed file must not register");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,23 +27,23 @@ pub fn inflate_blackboxes() -> Vec<Blackbox> {
 
 /// The checked zero-copy grammar (shared corpus registry entry).
 pub fn grammar() -> &'static Grammar {
-    crate::registry::corpus_entry("zip").grammar
+    crate::registry::corpus_entry("zip").grammar()
 }
 
 /// The checked decompressing grammar, with `ipg-flate` registered as the
 /// `inflate` blackbox (shared corpus registry entry).
 pub fn grammar_inflate() -> &'static Grammar {
-    crate::registry::corpus_entry("zip_inflate").grammar
+    crate::registry::corpus_entry("zip_inflate").grammar()
 }
 
 /// The compiled bytecode parser for the zero-copy grammar.
 pub fn vm() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("zip").vm
+    crate::registry::corpus_entry("zip").vm()
 }
 
 /// The compiled bytecode parser for the decompressing grammar.
 pub fn vm_inflate() -> &'static VmParser<'static> {
-    crate::registry::corpus_entry("zip_inflate").vm
+    crate::registry::corpus_entry("zip_inflate").vm()
 }
 
 /// A parsed archive (zero-copy: bodies are spans into the input).

@@ -4,11 +4,18 @@
 //! Architecture (bottom up):
 //!
 //! * **Program cache** — the shared [`ipg_formats::Registry`] maps
-//!   grammar names to shared, process-lifetime [`VmParser`]s.
+//!   grammar names to refcounted [`Compiled`] *generations*.
 //!   [`Registry::corpus`] pre-loads all nine corpus grammars through the
 //!   versioned `.ipgc` artifact cache ([`ipg_core::ipgc`]) — workers load
 //!   persisted bytecode instead of recompiling, and user-supplied
 //!   grammars ([`Registry::load_path`]) flow through the same pipeline.
+//! * **Hot reload** — [`Server::watch_dir`] polls a grammar directory
+//!   ([`watch`]) and atomically swaps changed grammars into the live
+//!   registry; every admitted job pins the generation it resolved, so
+//!   in-flight parses and sessions are never torn by a swap. Invalid
+//!   artifacts are quarantined (`*.bad`), healed from sibling `.ipg`
+//!   source when possible, and counted in the stats snapshot
+//!   (`reloads_ok` / `reloads_rejected` / `artifacts_quarantined`).
 //! * **Sharded worker pool** — one queue per worker plus work stealing
 //!   for one-shot jobs ([`pool`]); streaming sessions are pinned to their
 //!   owning worker so the suspended frame stack never crosses threads.
@@ -49,12 +56,14 @@ pub mod fault;
 pub mod pool;
 pub mod proto;
 pub mod stats;
+pub mod watch;
 
 use fault::FaultPlan;
-use ipg_core::interp::vm::{Hint, VmParser};
+use ipg_core::interp::vm::Hint;
 use ipg_core::Error;
 use pool::{Job, JobKind, Shard, Shared};
 use stats::{Counters, StatsSnapshot};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex, Once, PoisonError};
@@ -112,7 +121,7 @@ impl Default for Config {
     }
 }
 
-pub use ipg_formats::Registry;
+pub use ipg_formats::{Compiled, Registry};
 
 /// Completion summary of a successful parse (what crosses the wire; the
 /// in-process API returns it too, keeping both front ends honest about
@@ -163,6 +172,7 @@ pub struct Server {
     shared: Arc<Shared>,
     registry: Registry,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    watcher: Mutex<Option<watch::Watcher>>,
     started: Instant,
     rr: AtomicU64,
 }
@@ -227,9 +237,36 @@ impl Server {
             shared,
             registry,
             workers: Mutex::new(handles),
+            watcher: Mutex::new(None),
             started: Instant::now(),
             rr: AtomicU64::new(0),
         }
+    }
+
+    /// Starts hot reloading: scans `dir` synchronously (every `.ipg` /
+    /// `.ipgc` grammar it holds is loaded into the registry before this
+    /// returns), then spawns a polling watcher thread that swaps changed
+    /// grammars in atomically under live traffic. Invalid artifacts are
+    /// quarantined (`*.bad`) and, when a sibling `.ipg` source exists,
+    /// rebuilt from source — see [`watch`] for the full failure policy.
+    /// The watcher seals itself on [`Server::drain`] / shutdown.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Grammar`] when `dir` is unreadable or a watcher is
+    /// already running.
+    pub fn watch_dir(&self, dir: &Path, interval: Duration) -> Result<(), Error> {
+        let mut slot = self.watcher.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() {
+            return Err(Error::Grammar("a grammar watcher is already running".into()));
+        }
+        *slot = Some(watch::Watcher::spawn(
+            self.registry.clone(),
+            self.shared.clone(),
+            dir.to_owned(),
+            interval,
+        )?);
+        Ok(())
     }
 
     /// Number of workers in the pool.
@@ -414,6 +451,12 @@ impl Server {
 
     fn stop_workers(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        // Seal the watcher first: once the shutdown/draining flag is up
+        // it exits within one poll interval, and joining it here means
+        // no reload can race the queue epilogue that follows.
+        if let Some(w) = self.watcher.lock().unwrap_or_else(PoisonError::into_inner).take() {
+            w.seal();
+        }
         for shard in &self.shared.shards {
             shard.notify();
         }
@@ -423,9 +466,12 @@ impl Server {
         }
     }
 
-    fn lookup(&self, grammar: &str) -> Result<&'static VmParser<'static>, Error> {
+    /// Pins the current generation for `grammar`: in-flight work keeps
+    /// the generation it was admitted with even if a reload swaps the
+    /// registry entry mid-parse.
+    fn lookup(&self, grammar: &str) -> Result<Arc<Compiled>, Error> {
         self.registry
-            .vm(grammar)
+            .pin(grammar)
             .ok_or_else(|| Error::Grammar(format!("unknown grammar `{grammar}`")))
     }
 

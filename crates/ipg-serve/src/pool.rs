@@ -31,8 +31,9 @@
 use crate::fault::{Fault, FaultPlan};
 use crate::stats::Counters;
 use crate::{ParseSummary, Response};
-use ipg_core::interp::vm::{Outcome, Session, VmParser};
+use ipg_core::interp::vm::{Outcome, Session};
 use ipg_core::Error;
+use ipg_formats::Compiled;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,12 +45,15 @@ use std::time::{Duration, Instant};
 /// stale a deadline eviction can be.
 const IDLE_WAIT: Duration = Duration::from_millis(20);
 
-/// What one job asks for. Owned buffers only: jobs cross threads.
+/// What one job asks for. Owned buffers only: jobs cross threads. Jobs
+/// that execute a grammar carry a pinned [`Compiled`] generation — the
+/// handle the admission path resolved — so a concurrent hot reload can
+/// never pull a program out from under queued or running work.
 pub(crate) enum JobKind {
     /// Parse `input` in one shot.
-    Parse { vm: &'static VmParser<'static>, input: Vec<u8> },
+    Parse { vm: Arc<Compiled>, input: Vec<u8> },
     /// Open a streaming session under `id` (pre-routed to the owner).
-    Open { id: u64, vm: &'static VmParser<'static> },
+    Open { id: u64, vm: Arc<Compiled> },
     /// Append a chunk to session `id`.
     Feed { id: u64, bytes: Vec<u8> },
     /// Signal end-of-input to session `id`.
@@ -244,9 +248,15 @@ impl Shared {
     }
 }
 
-/// A live streaming session pinned to one worker.
+/// A live streaming session pinned to one worker. The session borrows
+/// the generation's parser, so the generation handle rides along:
+/// `session` is declared first and therefore drops first, and the pin
+/// keeps the old generation alive across hot reloads until the session
+/// ends.
 struct Active {
     session: Session<'static>,
+    /// Pins the [`Compiled`] generation `session` borrows from.
+    _generation: Arc<Compiled>,
     deadline: Instant,
 }
 
@@ -402,7 +412,7 @@ fn execute(kind: JobKind, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Acti
     match kind {
         JobKind::Parse { vm, input } => {
             Counters::add(&c.bytes_in, input.len() as u64);
-            let (result, stats) = vm.parse_bounded(&input, shared.max_steps);
+            let (result, stats) = vm.vm().parse_bounded(&input, shared.max_steps);
             Counters::add(&c.steps, stats.steps);
             match result {
                 Ok(tree) => {
@@ -421,9 +431,14 @@ fn execute(kind: JobKind, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Acti
             }
         }
         JobKind::Open { id, vm } => {
-            let session = vm.streaming().max_steps(shared.max_steps).max_bytes(shared.max_bytes);
+            // SAFETY: `vm_pinned` erases the generation's lifetime; the
+            // `Active` below stores the same `Arc` alongside the session
+            // (dropping session-first), so the borrow outlives its use.
+            let parser = unsafe { Compiled::vm_pinned(&vm) };
+            let session =
+                parser.streaming().max_steps(shared.max_steps).max_bytes(shared.max_bytes);
             let deadline = Instant::now() + shared.session_deadline;
-            sessions.insert(id, Active { session, deadline });
+            sessions.insert(id, Active { session, _generation: vm, deadline });
             Counters::add(&c.sessions_opened, 1);
             Counters::add(&c.live_sessions, 1);
             Response::Opened { id }

@@ -85,6 +85,14 @@ pub(crate) struct Counters {
     /// Worker panics caught at the job boundary and converted to
     /// [`ipg_core::Error::WorkerPanic`] replies.
     pub panics_recovered: AtomicU64,
+    /// Hot reloads that validated and swapped a new grammar generation in.
+    pub reloads_ok: AtomicU64,
+    /// Hot reloads refused (bad source or artifact); the previous
+    /// generation remained current.
+    pub reloads_rejected: AtomicU64,
+    /// Invalid `.ipgc` artifacts quarantined (renamed `*.bad`) by the
+    /// watcher instead of being served.
+    pub artifacts_quarantined: AtomicU64,
     pub latency: Histogram,
 }
 
@@ -131,6 +139,12 @@ pub struct StatsSnapshot {
     pub failed: u64,
     /// Worker panics caught and converted to typed error replies.
     pub panics_recovered: u64,
+    /// Hot reloads that swapped a new grammar generation in.
+    pub reloads_ok: u64,
+    /// Hot reloads refused with the previous generation kept current.
+    pub reloads_rejected: u64,
+    /// Invalid artifacts quarantined by the watcher.
+    pub artifacts_quarantined: u64,
     /// Median admission→reply latency, microseconds (log-bucketed).
     pub latency_p50_us: u64,
     /// 99th-percentile admission→reply latency, microseconds.
@@ -168,6 +182,9 @@ impl StatsSnapshot {
             shed: c.requests_shed.load(Ordering::Relaxed),
             failed: c.requests_failed.load(Ordering::Relaxed),
             panics_recovered: c.panics_recovered.load(Ordering::Relaxed),
+            reloads_ok: c.reloads_ok.load(Ordering::Relaxed),
+            reloads_rejected: c.reloads_rejected.load(Ordering::Relaxed),
+            artifacts_quarantined: c.artifacts_quarantined.load(Ordering::Relaxed),
             latency_p50_us: c.latency.percentile(0.50),
             latency_p99_us: c.latency.percentile(0.99),
             elapsed_s,
@@ -193,9 +210,10 @@ impl StatsSnapshot {
              \"sessions_closed\": {}, \"sessions_evicted\": {}, \"sessions_sealed\": {}, \
              \"live_sessions\": {}, \"bytes_in\": {}, \"steps\": {}, \"suspends\": {}, \
              \"steals\": {}, \"submitted\": {}, \"completed\": {}, \"shed\": {}, \
-             \"failed\": {}, \"panics_recovered\": {}, \"latency_p50_us\": {}, \
-             \"latency_p99_us\": {}, \"elapsed_s\": {:.3}, \"parses_per_s\": {:.1}, \
-             \"bytes_per_s\": {:.0}, \"queue_depths\": [{}]}}",
+             \"failed\": {}, \"panics_recovered\": {}, \"reloads_ok\": {}, \
+             \"reloads_rejected\": {}, \"artifacts_quarantined\": {}, \
+             \"latency_p50_us\": {}, \"latency_p99_us\": {}, \"elapsed_s\": {:.3}, \
+             \"parses_per_s\": {:.1}, \"bytes_per_s\": {:.0}, \"queue_depths\": [{}]}}",
             self.parses_ok,
             self.parses_err,
             self.sessions_opened,
@@ -212,6 +230,9 @@ impl StatsSnapshot {
             self.shed,
             self.failed,
             self.panics_recovered,
+            self.reloads_ok,
+            self.reloads_rejected,
+            self.artifacts_quarantined,
             self.latency_p50_us,
             self.latency_p99_us,
             self.elapsed_s,

@@ -1,0 +1,223 @@
+//! The grammar-directory watcher: polls a directory of `.ipg` sources
+//! and `.ipgc` artifacts and drives [`Registry`] hot reloads under live
+//! traffic.
+//!
+//! No filesystem-notification dependency is available offline, so the
+//! watcher polls: each tick it stats every grammar file in the watched
+//! directory and compares `(mtime, len)` against what it last saw. A
+//! change is *confirmed* by content hash before any reload runs —
+//! editors and atomic-rename writers touch mtimes without necessarily
+//! changing bytes, and a reload that swaps a generation invalidates
+//! in-flight pins for no reason.
+//!
+//! Failure policy (the self-healing contract):
+//!
+//! * a changed file that loads and validates swaps its generation in
+//!   atomically (`reloads_ok`); in-flight sessions keep the generation
+//!   they pinned at admission;
+//! * a `.ipg` source that no longer compiles is refused
+//!   (`reloads_rejected`) and the previous generation stays current;
+//! * a `.ipgc` artifact that fails structural, version, provenance, or
+//!   digest checks is **quarantined** — renamed to `*.bad` so the next
+//!   scan cannot trip over it (`artifacts_quarantined`) — and if a
+//!   sibling `.ipg` source exists the grammar is rebuilt from source
+//!   instead (counted as a successful reload);
+//! * a vanished file keeps its last good generation: the watcher only
+//!   ever adds or replaces, never removes, so a half-finished
+//!   atomic-rename window cannot unload a grammar.
+//!
+//! The watcher thread seals itself when the server shuts down or starts
+//! draining; [`crate::Server::drain`] joins it before returning, so no
+//! reload can race the drain epilogue.
+
+use crate::pool::Shared;
+use crate::stats::Counters;
+use crate::Registry;
+use ipg_core::error::{Error, Result};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+/// How often the watcher polls the directory between change sweeps.
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// What the watcher last observed about one grammar file.
+#[derive(Clone, PartialEq, Eq)]
+struct Observed {
+    mtime: Option<SystemTime>,
+    len: u64,
+    /// FNV-1a over the file contents — the confirmation step: a reload
+    /// fires only when the bytes actually changed.
+    content: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Is this a file the watcher manages? Quarantined `*.bad` files and
+/// temporaries are deliberately outside the set.
+fn is_grammar_file(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "ipg" || e == "ipgc")
+}
+
+fn is_artifact(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "ipgc")
+}
+
+/// Renames an invalid artifact to `<name>.bad` so subsequent scans skip
+/// it; best-effort (the file may have vanished mid-rename).
+fn quarantine(path: &Path) -> bool {
+    let mut bad = path.as_os_str().to_owned();
+    bad.push(".bad");
+    std::fs::rename(path, &bad).is_ok()
+}
+
+/// One watcher pass over `dir`: detect confirmed changes, reload them,
+/// count the outcomes. Returns the per-path errors of this pass (the
+/// initial synchronous scan surfaces them; the background thread only
+/// counts).
+fn sweep(
+    registry: &Registry,
+    shared: &Shared,
+    dir: &Path,
+    seen: &mut HashMap<PathBuf, Observed>,
+) -> Vec<(PathBuf, Error)> {
+    let mut failures = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        // A transiently unreadable directory (or one removed mid-run) is
+        // not fatal: keep serving the generations we have.
+        Err(_) => return failures,
+    };
+    for path in entries.flatten().map(|e| e.path()).filter(|p| is_grammar_file(p)) {
+        let Ok(meta) = std::fs::metadata(&path) else { continue };
+        let (mtime, len) = (meta.modified().ok(), meta.len());
+        let cheap_same =
+            seen.get(&path).is_some_and(|o| o.mtime == mtime && o.mtime.is_some() && o.len == len);
+        // "Racily clean" guard (same idea as git's index): a rewrite
+        // within the filesystem's timestamp granularity can leave
+        // `(mtime, len)` unchanged, so a recently-modified file is
+        // content-hashed even when the cheap fingerprint matches.
+        let suspect = match mtime.and_then(|m| SystemTime::now().duration_since(m).ok()) {
+            Some(age) => age < Duration::from_secs(2),
+            None => true,
+        };
+        if cheap_same && !suspect {
+            continue;
+        }
+        // The cheap fingerprint moved (or the file is new): confirm with
+        // a content hash before reloading.
+        let Ok(bytes) = std::fs::read(&path) else { continue };
+        let observed = Observed { mtime, len, content: fnv1a(&bytes) };
+        if seen.get(&path).is_some_and(|o| o.content == observed.content) {
+            seen.insert(path, observed);
+            continue;
+        }
+        match registry.load_path(&path) {
+            Ok(_) => {
+                Counters::add(&shared.counters.reloads_ok, 1);
+                seen.insert(path, observed);
+            }
+            Err(e) if is_artifact(&path) => {
+                // A bad artifact is quarantined so it cannot be retried
+                // (or served) forever; a sibling `.ipg` source, if
+                // present, heals the grammar from source.
+                if quarantine(&path) {
+                    Counters::add(&shared.counters.artifacts_quarantined, 1);
+                }
+                seen.remove(&path);
+                let sibling = path.with_extension("ipg");
+                let healed = sibling.is_file() && registry.load_path(&sibling).is_ok();
+                if healed {
+                    Counters::add(&shared.counters.reloads_ok, 1);
+                } else {
+                    Counters::add(&shared.counters.reloads_rejected, 1);
+                    failures.push((path, e));
+                }
+            }
+            Err(e) => {
+                Counters::add(&shared.counters.reloads_rejected, 1);
+                // Remember the bad content so an unchanged broken file is
+                // not re-rejected (and re-counted) every tick.
+                seen.insert(path.clone(), observed);
+                failures.push((path, e));
+            }
+        }
+    }
+    failures
+}
+
+/// A running directory watcher; joined by [`Watcher::seal`].
+pub(crate) struct Watcher {
+    thread: JoinHandle<()>,
+}
+
+impl Watcher {
+    /// Performs the initial synchronous scan of `dir` (so the server
+    /// starts with every grammar the directory holds) and spawns the
+    /// polling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Grammar`] when `dir` is not a readable directory. Per-file
+    /// load failures in the initial scan are *not* fatal — they are
+    /// counted and the files quarantined exactly as for a live change —
+    /// matching the self-healing contract: one corrupt artifact must not
+    /// keep the service down.
+    pub(crate) fn spawn(
+        registry: Registry,
+        shared: Arc<Shared>,
+        dir: PathBuf,
+        interval: Duration,
+    ) -> Result<Watcher> {
+        std::fs::read_dir(&dir)
+            .map_err(|e| Error::Grammar(format!("cannot watch {}: {e}", dir.display())))?;
+        let mut seen = HashMap::new();
+        sweep(&registry, &shared, &dir, &mut seen);
+        let thread = std::thread::Builder::new()
+            .name("ipg-serve-watch".into())
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::Acquire) && !shared.is_draining() {
+                    std::thread::sleep(interval);
+                    sweep(&registry, &shared, &dir, &mut seen);
+                }
+            })
+            .map_err(|e| Error::Grammar(format!("cannot spawn watcher thread: {e}")))?;
+        Ok(Watcher { thread })
+    }
+
+    /// Joins the watcher thread. Callers set the shutdown or draining
+    /// flag first; the thread observes it within one poll interval.
+    pub(crate) fn seal(self) {
+        let _ = self.thread.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn grammar_file_filter_skips_quarantined_and_foreign_files() {
+        assert!(is_grammar_file(Path::new("/x/a.ipg")));
+        assert!(is_grammar_file(Path::new("/x/a.ipgc")));
+        assert!(!is_grammar_file(Path::new("/x/a.ipgc.bad")));
+        assert!(!is_grammar_file(Path::new("/x/a.tmp")));
+        assert!(!is_grammar_file(Path::new("/x/README.md")));
+    }
+}

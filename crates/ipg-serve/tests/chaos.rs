@@ -10,7 +10,10 @@
 //! * the admission ledger reconciles exactly:
 //!   `submitted = completed + shed + failed`,
 //! * every injected panic is recovered (`panics_recovered` matches the
-//!   plan), and every injected reply corruption is detected client-side.
+//!   plan), and every injected reply corruption is detected client-side,
+//! * every corrupt `.ipgc` artifact dropped into the watched grammar
+//!   directory mid-run is quarantined exactly once, healed from its
+//!   sibling source, and never costs a reply.
 //!
 //! `IPG_CHAOS_QUICK=1` shrinks the round count for CI smoke; the fault
 //! schedule stays seeded either way, so a failure reproduces.
@@ -60,6 +63,18 @@ fn chaos_soak_survives_injected_faults_with_exact_reconciliation() {
     }));
     let path = std::env::temp_dir().join(format!("ipg-serve-chaos-{}.sock", std::process::id()));
     let front = server.serve_unix(&path).expect("bind socket");
+
+    // Lane E setup: a watched grammar directory under hot reload. The
+    // soak drops corrupt artifacts into it mid-run; each must be
+    // quarantined exactly once and healed from the sibling source while
+    // traffic keeps flowing.
+    let watch_dir =
+        std::env::temp_dir().join(format!("ipg-serve-chaos-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&watch_dir);
+    std::fs::create_dir_all(&watch_dir).expect("mkdir watch dir");
+    std::fs::write(watch_dir.join("hot.ipg"), r#"S -> "h"[0, 1];"#).expect("write hot.ipg");
+    server.watch_dir(&watch_dir, Duration::from_millis(5)).expect("watch");
+    let mut corrupt_dropped = 0u64;
 
     let inputs: Vec<(&str, Vec<u8>)> = GRAMMARS.iter().map(|g| (*g, corpus_input(g))).collect();
     let dns = inputs.iter().find(|(n, _)| *n == "dns").expect("dns input").1.clone();
@@ -158,6 +173,35 @@ fn chaos_soak_survives_injected_faults_with_exact_reconciliation() {
             None => corrupt_seen += 1,
         }
 
+        // Lane E: every fourth round, drop a corrupt artifact into the
+        // watched directory and wait for the watcher to quarantine it
+        // (rename to `.bad`) and heal the grammar from source. The
+        // hot-reloaded grammar must answer a parse right through it.
+        if round % 4 == 0 {
+            let mut bad = b"IPGC chaos corrupt artifact ".to_vec();
+            bad.extend_from_slice(&(round as u64).to_le_bytes());
+            std::fs::write(watch_dir.join("hot.ipgc"), &bad).expect("drop corrupt artifact");
+            corrupt_dropped += 1;
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while server.stats().artifacts_quarantined < corrupt_dropped {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "corrupt artifact {corrupt_dropped} never quarantined"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            match server.parse_response("hot", b"h".to_vec()) {
+                Response::Done(_) => done += 1,
+                Response::Busy { .. } => busy += 1,
+                Response::Error(Error::WorkerPanic(_)) => {
+                    failed += 1;
+                    panics_seen += 1;
+                }
+                Response::Error(e) => panic!("hot grammar must survive quarantine: {e}"),
+                other => panic!("unexpected hot-lane reply: {other:?}"),
+            }
+        }
+
         // Lane A (collect): every burst job owes exactly one reply.
         for rx in pending {
             match rx.recv_timeout(Duration::from_secs(30)).expect("no reply may be lost") {
@@ -233,6 +277,20 @@ fn chaos_soak_survives_injected_faults_with_exact_reconciliation() {
     assert!(busy > 0, "BUSY replies must reach callers");
     assert!(stats.completed > 0 && stats.failed > 0, "mixed outcomes expected: {stats:?}");
     assert!(stats.sessions_sealed >= 1, "the held session must be sealed: {stats:?}");
+    assert_eq!(
+        stats.artifacts_quarantined, corrupt_dropped,
+        "every corrupt artifact must be quarantined exactly once"
+    );
+    assert!(corrupt_dropped > 0, "the soak must have dropped corrupt artifacts");
+    assert!(
+        watch_dir.join("hot.ipgc.bad").exists(),
+        "quarantine must leave the renamed evidence on disk"
+    );
+    assert!(
+        stats.reloads_ok > corrupt_dropped,
+        "initial load plus one heal per quarantine: {stats:?}"
+    );
+    assert_eq!(stats.reloads_rejected, 0, "every quarantine had a sibling source: {stats:?}");
     assert!(
         stats.latency_p50_us > 0 && stats.latency_p99_us >= stats.latency_p50_us,
         "latency percentiles must be recorded and ordered: {stats:?}"
@@ -240,4 +298,5 @@ fn chaos_soak_survives_injected_faults_with_exact_reconciliation() {
 
     drop(front);
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&watch_dir);
 }

@@ -28,7 +28,7 @@ fn corpus_input(name: &str) -> Vec<u8> {
 fn batch_parse_matches_the_direct_vm() {
     let server = Server::start(Config { workers: 2, ..Config::default() });
     for entry in ipg_formats::Registry::corpus().entries() {
-        let (name, vm) = (entry.name.as_str(), entry.vm);
+        let (name, vm) = (entry.name.as_str(), entry.vm());
         let input = corpus_input(name);
         let (direct, stats) = vm.parse_with_stats(&input);
         let direct = direct.expect("corpus inputs parse");
@@ -404,13 +404,88 @@ fn drain_sends_goaway_over_the_wire() {
 
 #[test]
 fn custom_registry_rejects_everything_else() {
-    let mut registry = Registry::new();
-    registry.register("only-dns", ipg_formats::dns::grammar(), ipg_formats::dns::vm());
+    let registry = Registry::new();
+    registry.register("only-dns", ipg_formats::registry::corpus_entry("dns").handle());
     let server = Server::with_registry(Config { workers: 1, ..Config::default() }, registry);
     assert!(server.parse("zip", corpus_input("zip")).is_err());
     assert!(server.parse("only-dns", corpus_input("dns")).is_ok());
     assert_eq!(server.registry().names(), vec!["only-dns"]);
     server.shutdown();
+}
+
+#[test]
+fn watch_dir_hot_reloads_grammars_without_tearing_live_sessions() {
+    let dir = std::env::temp_dir().join(format!("ipg-serve-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("tiny.ipg"), r#"S -> "a"[0, 1];"#).unwrap();
+
+    let server = Server::with_registry(Config { workers: 2, ..Config::default() }, Registry::new());
+    server.watch_dir(&dir, Duration::from_millis(5)).expect("watch");
+    // The initial scan is synchronous: the grammar serves immediately.
+    assert!(server.parse("tiny", b"a".to_vec()).is_ok());
+
+    // Pin a live session to the current generation, then swap the
+    // grammar on disk underneath it.
+    let mut stream = server.open("tiny").expect("open");
+    std::fs::write(dir.join("tiny.ipg"), r#"S -> "b"[0, 1];"#).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.parse("tiny", b"b".to_vec()).is_err() {
+        assert!(std::time::Instant::now() < deadline, "watcher never swapped the grammar");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.parse("tiny", b"a".to_vec()).is_err(), "new generation rejects old input");
+
+    // The session opened before the swap still speaks the old grammar:
+    // its generation was pinned at admission.
+    assert!(matches!(stream.feed(b"a"), Response::NeedInput { .. }));
+    assert!(matches!(stream.finish(), Response::Done(_)), "pinned generation must survive");
+
+    // A source that no longer compiles is rejected; the last good
+    // generation keeps serving.
+    std::fs::write(dir.join("tiny.ipg"), "THIS IS NOT A GRAMMAR ->").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().reloads_rejected == 0 {
+        assert!(std::time::Instant::now() < deadline, "watcher never saw the broken source");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.parse("tiny", b"b".to_vec()).is_ok(), "rollback keeps the previous grammar");
+
+    let stats = server.stats();
+    assert!(stats.reloads_ok >= 2, "initial load plus one swap: {stats:?}");
+    assert_eq!(stats.artifacts_quarantined, 0);
+    assert!(stats.reconciles(), "ledger must balance: {stats:?}");
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watcher_quarantines_corrupt_artifacts_and_heals_from_source() {
+    let dir = std::env::temp_dir().join(format!("ipg-serve-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("tiny.ipg"), r#"S -> "a"[0, 1];"#).unwrap();
+    std::fs::write(dir.join("tiny.ipgc"), b"IPGC this is not a valid artifact").unwrap();
+
+    let server = Server::with_registry(Config { workers: 1, ..Config::default() }, Registry::new());
+    server.watch_dir(&dir, Duration::from_millis(5)).expect("watch");
+
+    // The initial scan already quarantined the bad artifact and healed
+    // the grammar from its sibling source.
+    assert!(!dir.join("tiny.ipgc").exists(), "bad artifact must be renamed away");
+    assert!(dir.join("tiny.ipgc.bad").exists(), "quarantine keeps the evidence");
+    assert!(server.parse("tiny", b"a".to_vec()).is_ok(), "healed from sibling source");
+
+    let stats = server.stats();
+    assert_eq!(stats.artifacts_quarantined, 1, "{stats:?}");
+    assert_eq!(stats.reloads_rejected, 0, "healing is not a rejection: {stats:?}");
+    assert!(stats.reloads_ok >= 1, "{stats:?}");
+
+    // One watcher per server.
+    let err = server.watch_dir(&dir, Duration::from_millis(5)).expect_err("second watcher");
+    assert!(err.to_string().contains("already running"), "{err}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -425,7 +500,7 @@ fn workers_run_programs_loaded_from_the_artifact_cache() {
         let (_, outcome) = cache.load_or_compile(d.name, d.spec, (d.blackboxes)()).unwrap();
         assert!(matches!(outcome, ipg_core::ipgc::CacheOutcome::Miss(_)), "{}", d.name);
     }
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     for d in ipg_formats::registry::corpus_descriptors() {
         let (cached, outcome) = cache.load_or_compile(d.name, d.spec, (d.blackboxes)()).unwrap();
         assert_eq!(outcome, ipg_core::ipgc::CacheOutcome::Hit, "{}: warm load must hit", d.name);

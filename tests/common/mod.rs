@@ -33,15 +33,16 @@ pub struct Format {
 }
 
 /// Fuel-bounded VM per grammar, compiled once per test binary (grammars
-/// come from the shared corpus [`Registry`], i.e. through the `.ipgc`
+/// come from the shared pinned corpus, i.e. through the `.ipgc`
 /// artifact pipeline).
 fn fueled_vms() -> &'static [(String, &'static Grammar, VmParser<'static>)] {
     static VMS: OnceLock<Vec<(String, &'static Grammar, VmParser<'static>)>> = OnceLock::new();
     VMS.get_or_init(|| {
-        Registry::corpus()
-            .entries()
+        ipg_formats::pinned_corpus()
             .iter()
-            .map(|e| (e.name.clone(), e.grammar, VmParser::new(e.grammar).max_steps(AGREE_FUEL)))
+            .map(|e| {
+                (e.name.clone(), e.grammar(), VmParser::new(e.grammar()).max_steps(AGREE_FUEL))
+            })
             .collect()
     })
 }
