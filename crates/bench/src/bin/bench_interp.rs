@@ -3,11 +3,17 @@
 //! fresh each run so VM-vs-interpreter ratios always come from the same
 //! machine and build.
 //!
-//! Usage: `cargo run --release -p bench --bin bench_interp [-- --quick] [-- --out PATH]`
+//! Usage: `cargo run --release -p bench --bin bench_interp [-- --quick] [-- --out PATH]
+//! [-- --profile]`
 //!
 //! * `--quick` — CI-smoke timings (tens of milliseconds per measurement).
 //! * `--out PATH` — where to write the JSON (default `BENCH_interp.json`
 //!   in the current directory).
+//! * `--profile` — additionally run each grammar once under the VM
+//!   profiler and attach its top-3 hottest rules (plus the measured
+//!   instrumentation overhead, `profiler_overhead_pct`) to the row. The
+//!   headline ≥3x speedup gate always comes from *uninstrumented*
+//!   timings — instrumented and uninstrumented numbers are never mixed.
 //!
 //! Schema (`ipg-bench-interp/1`): one result per grammar with both
 //! engines' steps/s and MB/s plus the derived speedup. The `zip_inflate`
@@ -32,11 +38,15 @@ struct Row {
     vm_steps_per_s: f64,
     vm_mb_per_s: f64,
     speedup: f64,
+    /// `--profile` only: top-3 hot rules as pre-rendered JSON objects,
+    /// and the measured instrumented-vs-plain overhead.
+    profile: Option<(Vec<String>, f64)>,
 }
 
 fn main() {
-    let cli = Cli::parse("BENCH_interp.json", &[]);
+    let cli = Cli::parse_with_switches("BENCH_interp.json", &[], &["--profile"]);
     let budget = cli.budget(40, 700);
+    let profiling = cli.switch("--profile");
 
     // The shared engine-bound workload per corpus grammar (see
     // `bench::grammar_workloads`); `zip_inflate` uses the
@@ -62,6 +72,34 @@ fn main() {
         let tv = measure(budget, || {
             std::hint::black_box(vm.parse(std::hint::black_box(input)).expect("valid input"));
         });
+        // The profiled lane is measured separately and never feeds the
+        // speedup/gate numbers above — it only reports where the VM's
+        // time goes and what the instrumentation itself costs.
+        let profile = profiling.then(|| {
+            let (r, _, report) = vm.parse_profiled(input);
+            r.expect("valid input");
+            let tp = measure(budget, || {
+                let (r, _, _) = vm.parse_profiled(std::hint::black_box(input));
+                std::hint::black_box(r.expect("valid input"));
+            });
+            let top: Vec<String> = report
+                .top(3)
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"rule\": \"{}\", \"calls\": {}, \"memo_hits\": {}, \
+                         \"memo_misses\": {}, \"self_us\": {:.1}, \"self_pct\": {:.1}}}",
+                        r.name,
+                        r.counters.calls,
+                        r.counters.memo_hits,
+                        r.counters.memo_misses,
+                        r.counters.self_ns as f64 / 1000.0,
+                        r.self_pct,
+                    )
+                })
+                .collect();
+            (top, (tp / tv - 1.0) * 100.0)
+        });
         let row = Row {
             grammar: name,
             steps: si.steps,
@@ -71,6 +109,7 @@ fn main() {
             vm_steps_per_s: si.steps as f64 / tv,
             vm_mb_per_s: input.len() as f64 / tv / 1e6,
             speedup: ti / tv,
+            profile,
         };
         println!(
             "{name:<12} steps={:<6} interp {:>6.2}M steps/s  vm {:>6.2}M steps/s  {:>5.2}x",
@@ -87,11 +126,19 @@ fn main() {
 
     let mut report = Report::new("ipg-bench-interp/1", cli.quick);
     report.results(rows.iter().map(|r| {
+        let profile_block = match &r.profile {
+            Some((top, overhead_pct)) => format!(
+                ", \"profile\": {{\"hot_rules\": [{}], \"profiler_overhead_pct\": {:.1}}}",
+                top.join(", "),
+                overhead_pct,
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\"grammar\": \"{}\", \"steps\": {}, \"bytes\": {}, \
              \"interp\": {{\"steps_per_s\": {:.0}, \"mb_per_s\": {:.2}}}, \
              \"vm\": {{\"steps_per_s\": {:.0}, \"mb_per_s\": {:.2}}}, \
-             \"speedup\": {:.2}}}",
+             \"speedup\": {:.2}{profile_block}}}",
             r.grammar,
             r.steps,
             r.bytes,
@@ -103,6 +150,7 @@ fn main() {
         )
     }));
     report.field("zip_inflate_speedup", format!("{zip_inflate_speedup:.2}"));
+    report.field("profiled", if profiling { "true" } else { "false" }.to_owned());
     report.write(&cli.out);
 
     if zip_inflate_speedup < 3.0 {

@@ -128,40 +128,139 @@ fn chaos_run(quick: bool, workloads: &[(&'static str, Vec<u8>)]) -> String {
     }
     let stats = server.stats();
     server.shutdown();
-    let reconciled = stats.reconciles() && stats.panics_recovered == plan.panics_injected();
+    // Full reconciliation: the admission ledger, every injected panic
+    // recovered, AND the watcher counters — no watcher runs here, so any
+    // nonzero reload/quarantine count means a counter leaked.
+    let reconciled = stats.reconciles()
+        && stats.panics_recovered == plan.panics_injected()
+        && stats.reconciles_reloads(0, 0, 0);
     println!(
         "chaos x{rounds}: {} submitted = {} completed + {} shed + {} failed; \
-         {} panics recovered, {} faults injected, reconciled: {reconciled}",
+         {} panics recovered, {} faults injected, reloads ok/rejected {}/{}, \
+         quarantined {}, reconciled: {reconciled}",
         stats.submitted,
         stats.completed,
         stats.shed,
         stats.failed,
         stats.panics_recovered,
         plan.injected(),
+        stats.reloads_ok,
+        stats.reloads_rejected,
+        stats.artifacts_quarantined,
     );
     if !reconciled {
         eprintln!(
             "ERROR: chaos ledger failed to reconcile \
-             ({} != {} + {} + {}, panics {} vs injected {})",
+             ({} != {} + {} + {}, panics {} vs injected {}, \
+             reloads {}/{}, quarantined {})",
             stats.submitted,
             stats.completed,
             stats.shed,
             stats.failed,
             stats.panics_recovered,
             plan.panics_injected(),
+            stats.reloads_ok,
+            stats.reloads_rejected,
+            stats.artifacts_quarantined,
         );
         std::process::exit(1);
     }
     format!(
         "{{\"submitted\": {}, \"completed\": {}, \"shed\": {}, \"failed\": {}, \
-         \"panics_recovered\": {}, \"faults_injected\": {}, \"reconciled\": {}}}",
+         \"panics_recovered\": {}, \"faults_injected\": {}, \"reloads_ok\": {}, \
+         \"reloads_rejected\": {}, \"artifacts_quarantined\": {}, \"reconciled\": {}}}",
         stats.submitted,
         stats.completed,
         stats.shed,
         stats.failed,
         stats.panics_recovered,
         plan.injected(),
+        stats.reloads_ok,
+        stats.reloads_rejected,
+        stats.artifacts_quarantined,
         reconciled,
+    )
+}
+
+/// The observability soak: the same batch workload run bare and then
+/// with the full observability surface armed (trace ring + a Prometheus
+/// scrape taken mid-traffic), recording what instrumentation costs and
+/// asserting the scrape itself reconciles. Reconciliation is a
+/// correctness gate (quick mode included); the overhead number is
+/// recorded, not gated — shared runners are too noisy.
+fn obs_run(quick: bool, workloads: &[(&'static str, Vec<u8>)]) -> String {
+    use ipg_serve::trace::TraceLog;
+    use std::sync::Arc;
+
+    let reps = if quick { 4 } else { 16 };
+    let jobs: Vec<(&'static str, Vec<u8>)> = workloads
+        .iter()
+        .flat_map(|(name, input)| (0..reps).map(|_| (*name, input.clone())))
+        .collect();
+    let (t_bare, _) = batch_run(2, &jobs);
+
+    let trace = Arc::new(TraceLog::new(ipg_serve::trace::DEFAULT_CAPACITY));
+    let server =
+        Server::start(Config { workers: 2, trace: Some(Arc::clone(&trace)), ..Config::default() });
+    for (name, input) in jobs.iter().take(4) {
+        server.parse(name, input.clone()).expect("warmup parse");
+    }
+    let start = Instant::now();
+    let pending: Vec<_> = jobs
+        .iter()
+        .map(|(name, input)| server.parse_async(name, input.clone()).expect("submit"))
+        .collect();
+    // Scrape mid-traffic: the exposition must be parseable and its
+    // ledger must reconcile while requests are still in flight.
+    let scrape = server.metrics_text();
+    for rx in pending {
+        match rx.recv().expect("worker answers") {
+            Response::Done(_) => {}
+            other => panic!("obs job failed: {other:?}"),
+        }
+    }
+    let t_obs = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let value = |name: &str| -> u64 {
+        scrape
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.trim().parse::<f64>().ok()))
+            .unwrap_or_else(|| panic!("metric `{name}` missing from the mid-traffic scrape"))
+            as u64
+    };
+    let (submitted, completed, shed, failed, in_flight) = (
+        value("ipg_requests_submitted_total "),
+        value("ipg_requests_completed_total "),
+        value("ipg_requests_shed_total "),
+        value("ipg_requests_failed_total "),
+        value("ipg_requests_in_flight "),
+    );
+    if submitted != completed + shed + failed + in_flight {
+        eprintln!(
+            "ERROR: mid-traffic scrape failed to reconcile \
+             ({submitted} != {completed} + {shed} + {failed} + {in_flight})"
+        );
+        std::process::exit(1);
+    }
+    let obs_overhead_pct = (t_obs / t_bare - 1.0) * 100.0;
+    println!(
+        "obs x{}: bare {:.3}s, traced+scraped {:.3}s ({:+.2}%); \
+         scrape reconciled mid-traffic; {} trace events, {} dropped",
+        jobs.len(),
+        t_bare,
+        t_obs,
+        obs_overhead_pct,
+        trace.emitted(),
+        trace.dropped(),
+    );
+    format!(
+        "{{\"jobs\": {}, \"obs_overhead_pct\": {:.2}, \"scrape_reconciled\": true, \
+         \"trace_events\": {}, \"trace_dropped\": {}}}",
+        jobs.len(),
+        obs_overhead_pct,
+        trace.emitted(),
+        trace.dropped(),
     )
 }
 
@@ -294,6 +393,7 @@ fn main() {
         ),
     );
     report.field("chaos", chaos_run(cli.quick, &workloads));
+    report.field("observability", obs_run(cli.quick, &workloads));
     let aggregate_overhead = (total_chunked_s / total_oneshot_s - 1.0) * 100.0;
     report.field("worst_overhead_pct", format!("{worst_overhead:.2}"));
     report.field("aggregate_overhead_pct", format!("{aggregate_overhead:.2}"));

@@ -11,8 +11,10 @@
 //! ipg verify <artifact.ipgc>                    # staged artifact audit
 //! ipg disasm <grammar>                          # bytecode listing
 //! ipg parse <grammar> [FILE | -] [--depth N] [--extract [DIR]]
+//! ipg profile <grammar> [FILE | -] [--top N] [--folded]
 //! ipg gen <grammar> [--seed N] [--count N] [--out DIR]
-//! ipg serve --socket PATH [--workers N] [--watch DIR] [--grammar PATH]...
+//! ipg serve --socket PATH [--workers N] [--watch DIR] [--metrics-addr HOST:PORT]
+//!           [--trace-log PATH] [--grammar PATH]...
 //! ipg cache gc [--max-bytes N] [--max-age-secs N]
 //! ipg bench-info                                # corpus/artifact summary
 //! ```
@@ -32,6 +34,7 @@ mod disasm;
 mod extract;
 mod gen;
 mod parse;
+mod profile;
 mod resolve;
 mod serve;
 mod verify;
@@ -58,11 +61,18 @@ commands:
       Parse a file (- streams stdin through a session) and dump the tree;
       --extract prints the typed extractor view for corpus formats
       (for zip, an extraction directory may follow).
+  profile <grammar> [FILE | -] [--top N] [--folded]
+      Run one instrumented parse and report per-rule time attribution
+      (calls, memo hit/miss, self time); --folded emits flamegraph-ready
+      stacks keyed by the grammar's static call graph.
   gen <grammar> [--seed N] [--count N] [--out DIR]
       Generate grammar-valid inputs (VM-verified); --out writes them.
-  serve --socket PATH [--workers N] [--watch DIR] [--grammar PATH]...
+  serve --socket PATH [--workers N] [--watch DIR] [--metrics-addr HOST:PORT]
+        [--trace-log PATH] [--grammar PATH]...
       Serve the framed parse protocol on a Unix socket; --watch hot
-      reloads grammars from DIR, quarantining invalid artifacts.
+      reloads grammars from DIR, quarantining invalid artifacts;
+      --metrics-addr exposes a Prometheus scrape endpoint over HTTP;
+      --trace-log streams per-request span events as JSON lines.
   cache gc [--max-bytes N] [--max-age-secs N]
       Garbage-collect the artifact cache: junk and superseded artifacts
       always go; bounds evict stale/oldest ones. Reports bytes reclaimed.
@@ -86,6 +96,7 @@ fn main() -> ExitCode {
         "verify" => verify::run(rest),
         "disasm" => disasm::run(rest),
         "parse" => parse::run(rest),
+        "profile" => profile::run(rest),
         "gen" => gen::run(rest),
         "serve" => serve::run(rest),
         "cache" => cache::run(rest),

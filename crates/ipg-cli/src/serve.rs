@@ -10,6 +10,7 @@
 use crate::{CmdResult, Failure};
 use ipg_formats::Registry;
 use ipg_serve::fault::FaultPlan;
+use ipg_serve::trace::{self, TraceLog, TraceWriter};
 use ipg_serve::{Config, Server};
 use std::path::Path;
 use std::sync::Arc;
@@ -55,6 +56,8 @@ pub fn run(args: &[String]) -> CmdResult {
     let mut workers = None;
     let mut max_queue = None;
     let mut watch = None;
+    let mut metrics_addr = None;
+    let mut trace_log = None;
     let mut extra = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -62,6 +65,18 @@ pub fn run(args: &[String]) -> CmdResult {
             "--socket" => {
                 socket = Some(
                     it.next().cloned().ok_or_else(|| Failure::usage("--socket needs a path"))?,
+                );
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| Failure::usage("--metrics-addr needs HOST:PORT"))?,
+                );
+            }
+            "--trace-log" => {
+                trace_log = Some(
+                    it.next().cloned().ok_or_else(|| Failure::usage("--trace-log needs a path"))?,
                 );
             }
             "--watch" => {
@@ -96,7 +111,7 @@ pub fn run(args: &[String]) -> CmdResult {
     let Some(socket) = socket else {
         return Err(Failure::usage(
             "usage: ipg serve --socket PATH [--workers N] [--max-queue N] [--watch DIR] \
-             [--grammar PATH]...",
+             [--metrics-addr HOST:PORT] [--trace-log PATH] [--grammar PATH]...",
         ));
     };
 
@@ -119,9 +134,28 @@ pub fn run(args: &[String]) -> CmdResult {
     if cfg.faults.is_some() {
         println!("fault injection armed from IPG_FAULT_* environment");
     }
+    // Structured tracing: the ring is shared between the server (which
+    // emits events) and the writer thread (which flushes them to disk).
+    let trace = trace_log.as_ref().map(|_| Arc::new(TraceLog::new(trace::DEFAULT_CAPACITY)));
+    cfg.trace = trace.clone();
 
     sig::install();
     let server = Arc::new(Server::with_registry(cfg, registry));
+    let writer = match (&trace, &trace_log) {
+        (Some(log), Some(path)) => {
+            let w = TraceWriter::spawn(Arc::clone(log), Path::new(path))
+                .map_err(|e| Failure::runtime(format!("cannot open trace log {path}: {e}")))?;
+            println!("tracing request spans to {path} (JSON lines, bounded ring)");
+            Some(w)
+        }
+        _ => None,
+    };
+    if let Some(addr) = &metrics_addr {
+        let bound = server
+            .serve_metrics(addr)
+            .map_err(|e| Failure::runtime(format!("cannot bind metrics on {addr}: {e}")))?;
+        println!("exposing Prometheus metrics on http://{bound}/metrics");
+    }
     if let Some(dir) = &watch {
         server
             .watch_dir(Path::new(dir), ipg_serve::watch::DEFAULT_POLL_INTERVAL)
@@ -147,8 +181,39 @@ pub fn run(args: &[String]) -> CmdResult {
     front.stop_accepting();
     server.drain();
     let stats = server.stats();
+    if let Some(writer) = writer {
+        let path = writer.path().display().to_string();
+        let written = writer.finish();
+        let dropped = trace.as_ref().map_or(0, |t| t.dropped());
+        println!("trace: {written} events written to {path} ({dropped} dropped under pressure)");
+    }
+    // The drain summary *checks* the ledger, it does not just print it:
+    // every admitted request must be classified (completed/shed/failed),
+    // and the reload/quarantine counters must agree with themselves as a
+    // snapshot (reconciles_reloads compares against the watcher-reported
+    // totals — here the final snapshot is the ground truth the chaos
+    // harness and CI greps assert against).
+    let reconciled = stats.reconciles()
+        && stats.reconciles_reloads(
+            stats.reloads_ok,
+            stats.reloads_rejected,
+            stats.artifacts_quarantined,
+        );
+    if !reconciled {
+        return Err(Failure::runtime(format!(
+            "LEDGER MISMATCH after drain: {} submitted != {} completed + {} shed + {} failed \
+             (reloads ok/rejected: {}/{}; artifacts quarantined: {})",
+            stats.submitted,
+            stats.completed,
+            stats.shed,
+            stats.failed,
+            stats.reloads_ok,
+            stats.reloads_rejected,
+            stats.artifacts_quarantined
+        )));
+    }
     println!(
-        "drained: {} submitted = {} completed + {} shed + {} failed \
+        "drained: {} submitted = {} completed + {} shed + {} failed [ledger reconciled] \
          (sessions sealed: {}; reloads ok/rejected: {}/{}; artifacts quarantined: {}); exiting 0",
         stats.submitted,
         stats.completed,

@@ -59,6 +59,7 @@ use crate::check::{Grammar, NtId};
 use crate::env::{wellknown, Env};
 use crate::error::{Error, ParseError, Result};
 use crate::intern::Sym;
+use crate::profile::{ProfSink, ProfileReport, Profiler};
 use crate::syntax::Builtin;
 use fxhash::{FxHashMap, FxHashSet};
 
@@ -215,14 +216,30 @@ impl<'g> VmParser<'g> {
         self.run_one_shot(sess, self.program.start_nt(), FuelMsg::Verbose)
     }
 
+    /// Like [`VmParser::parse`], but runs with the [`crate::profile`]
+    /// instrumentation enabled and additionally returns the aggregated
+    /// [`ProfileReport`] (per-rule cycle attribution, memo hit/miss,
+    /// pc-indexed instruction hits, folded stacks).
+    ///
+    /// Only this entry point pays the instrumentation cost: the plain
+    /// `parse*` family monomorphizes with the no-op sink and is
+    /// unaffected.
+    pub fn parse_profiled(&self, input: &[u8]) -> (Result<ParseTree>, ParseStats, ProfileReport) {
+        let mut prof = Profiler::new(self.program.rule_count(), self.program.instr_count());
+        let sess = self.fresh_session_with(input, &mut prof);
+        let (result, stats) = self.run_one_shot(sess, self.program.start_nt(), FuelMsg::Verbose);
+        let report = ProfileReport::build(self.grammar, &self.program, prof);
+        (result, stats, report)
+    }
+
     /// Drives a one-shot session from `nt` and packages result + stats.
     /// `fuel_msg` selects this entry point's fuel-exhaustion wording —
     /// `parse`/`parse_from` diagnose verbosely, `parse_with_stats`
     /// tersely, each mirroring the interpreter's corresponding entry
     /// point (the differential tests compare errors per entry point).
-    fn run_one_shot<I: AsRef<[u8]>>(
+    fn run_one_shot<I: AsRef<[u8]>, PS: ProfSink>(
         &self,
-        mut sess: VmSession<'_, I>,
+        mut sess: VmSession<'_, I, PS>,
         nt: NtId,
         fuel_msg: FuelMsg,
     ) -> (Result<ParseTree>, ParseStats) {
@@ -244,6 +261,14 @@ impl<'g> VmParser<'g> {
     }
 
     fn fresh_session<I: AsRef<[u8]>>(&self, input: I) -> VmSession<'_, I> {
+        self.fresh_session_with(input, ())
+    }
+
+    fn fresh_session_with<I: AsRef<[u8]>, PS: ProfSink>(
+        &self,
+        input: I,
+        prof: PS,
+    ) -> VmSession<'_, I, PS> {
         // Memo mirror of the interpreter's pre-sizing heuristic; arena and
         // frame stack are pre-sized from compile-time program statistics
         // (instruction counts, static call-graph nesting).
@@ -268,6 +293,7 @@ impl<'g> VmParser<'g> {
             suspend: None,
             suspend_count: 0,
             resume: ResumeKind::Exec,
+            prof,
         }
     }
 }
@@ -422,7 +448,7 @@ impl Default for Frame {
     }
 }
 
-struct VmSession<'p, I> {
+struct VmSession<'p, I, PS: ProfSink = ()> {
     g: &'p Grammar,
     p: &'p Program,
     /// The input bytes: a borrowed slice for one-shot parses, an owned
@@ -466,9 +492,13 @@ struct VmSession<'p, I> {
     suspend_count: u64,
     /// How to re-enter after [`Abort::Suspend`].
     resume: ResumeKind,
+    /// Profiling hooks: `()` (disabled — every call compiles away) for
+    /// all plain entry points, `&mut Profiler` under
+    /// [`VmParser::parse_profiled`].
+    prof: PS,
 }
 
-impl<I: AsRef<[u8]>> VmSession<'_, I> {
+impl<I: AsRef<[u8]>, PS: ProfSink> VmSession<'_, I, PS> {
     fn stats(&self) -> ParseStats {
         ParseStats { steps: self.steps, memo_hits: self.memo_hits, memo_entries: self.memo.len() }
     }
@@ -554,6 +584,7 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
         f.pending = Pending::None;
         self.depth += 1;
         self.root_open = true;
+        self.prof.enter(nt);
         Ok(true)
     }
 
@@ -580,6 +611,7 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
         parent: u32,
     ) -> PResult<CallOutcome> {
         self.tick()?;
+        self.prof.call(nt);
         let p = self.p;
         let rule = &p.rules[nt.0 as usize];
         // Builtins are never memoized by the VM: re-decoding a fixed-width
@@ -589,19 +621,27 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
         // memo statistics differ, never steps, trees, or errors.
         if let PRuleKind::Builtin(b) = rule.kind {
             let memoizable = self.memoize && !rule.is_local;
-            return Ok(CallOutcome::Done(self.builtin_result(nt, b, base, len, memoizable)));
+            self.prof.enter(nt);
+            let r = self.builtin_result(nt, b, base, len, memoizable);
+            self.prof.exit(nt, r.is_some());
+            return Ok(CallOutcome::Done(r));
         }
         let memoizable = self.memoize && !rule.is_local;
         if memoizable {
             if let Some(cached) = self.memo.get(&(nt, base, len)) {
+                let cached = *cached;
                 self.memo_hits += 1;
-                return Ok(CallOutcome::Done(*cached));
+                self.prof.memo(nt, true);
+                return Ok(CallOutcome::Done(cached));
             }
+            self.prof.memo(nt, false);
         }
         match rule.kind {
             PRuleKind::Builtin(_) => unreachable!("handled above"),
             PRuleKind::Blackbox(idx) => {
+                self.prof.enter(nt);
                 let r = self.blackbox_result(nt, idx as usize, base, len);
+                self.prof.exit(nt, r.is_some());
                 if memoizable {
                     self.memo.insert((nt, base, len), r);
                 }
@@ -609,6 +649,8 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
             }
             PRuleKind::Alts { first, count } => {
                 if count == 0 {
+                    self.prof.enter(nt);
+                    self.prof.exit(nt, false);
                     if memoizable {
                         self.memo.insert((nt, base, len), None);
                     }
@@ -634,6 +676,7 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
                 f.memoizable = memoizable;
                 f.pending = Pending::None;
                 self.depth += 1;
+                self.prof.enter(nt);
                 Ok(CallOutcome::Pushed)
             }
         }
@@ -706,6 +749,7 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
                 self.complete_top()?
             } else {
                 self.tick()?;
+                self.prof.instr(ip);
                 match self.p.code[ip as usize] {
                     Instr::Match { lit, lo, hi, slot } => self.exec_match(fi, lit, lo, hi, slot)?,
                     Instr::Call { nt, lo, hi, slot } => self.dispatch_call(fi, nt, lo, hi, slot)?,
@@ -753,6 +797,8 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
                 let key = (f.nt, f.base, f.len);
                 self.memo.insert(key, None);
             }
+            let failed = self.frames[self.depth].nt;
+            self.prof.exit(failed, false);
             if self.depth == 0 {
                 Flow::Done(None)
             } else {
@@ -778,6 +824,7 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
         let alt_index = f.alt_cursor - f.alts_first;
         let memoizable = f.memoizable;
         f.pending = Pending::None;
+        self.prof.exit(nt, true);
         self.scratch.clear();
         let f = &self.frames[self.depth];
         self.scratch.extend(f.results.iter().flatten().copied());
@@ -801,6 +848,10 @@ impl<I: AsRef<[u8]>> VmSession<'_, I> {
         debug_assert!(self.suspend.is_some());
         self.steps -= rewind;
         self.suspend_count += 1;
+        if self.depth > 0 {
+            let pc = self.frames[self.depth - 1].ip;
+            self.prof.suspend(pc);
+        }
         self.resume = resume;
         Abort::Suspend
     }

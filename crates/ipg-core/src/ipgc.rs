@@ -1420,6 +1420,72 @@ pub struct GcReport {
     pub bytes_reclaimed: u64,
 }
 
+/// Process-wide artifact-cache telemetry, aggregated across every
+/// [`Cache`] instance. Caches are created per load (each
+/// [`Cache::from_env`] call builds a fresh instance), so the
+/// per-instance counters alone cannot describe the process — every
+/// instance mirrors its increments here, and a metrics exporter
+/// registers these shared cells once instead of chasing instances.
+pub mod cache_totals {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    fn cell(slot: &OnceLock<Arc<AtomicU64>>) -> &Arc<AtomicU64> {
+        slot.get_or_init(|| Arc::new(AtomicU64::new(0)))
+    }
+
+    static HITS: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    static MISSES: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    static QUARANTINED: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+
+    /// The three shared cells, cloned for registration in a metrics
+    /// registry (the producer keeps incrementing; the registry reads).
+    pub struct Totals {
+        /// Loads answered from a fresh artifact.
+        pub hits: Arc<AtomicU64>,
+        /// Loads that fell back to compiling from source.
+        pub misses: Arc<AtomicU64>,
+        /// Invalid artifacts renamed to `*.ipgc.bad`.
+        pub quarantined: Arc<AtomicU64>,
+    }
+
+    /// Clones the shared counter cells.
+    pub fn counters() -> Totals {
+        Totals {
+            hits: Arc::clone(cell(&HITS)),
+            misses: Arc::clone(cell(&MISSES)),
+            quarantined: Arc::clone(cell(&QUARANTINED)),
+        }
+    }
+
+    /// Cache hits across every instance since process start.
+    pub fn hits() -> u64 {
+        cell(&HITS).load(Ordering::Relaxed)
+    }
+
+    /// Cache misses across every instance since process start.
+    pub fn misses() -> u64 {
+        cell(&MISSES).load(Ordering::Relaxed)
+    }
+
+    /// Quarantines across every instance since process start.
+    pub fn quarantined() -> u64 {
+        cell(&QUARANTINED).load(Ordering::Relaxed)
+    }
+
+    pub(super) fn record_hit() {
+        cell(&HITS).fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn record_miss() {
+        cell(&MISSES).fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn record_quarantine() {
+        cell(&QUARANTINED).fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A directory of `.ipgc` artifacts keyed by [`source_hash`].
 ///
 /// File names are `<name>-<hash:016x>.ipgc`; writes go through a unique
@@ -1436,6 +1502,8 @@ pub struct GcReport {
 pub struct Cache {
     dir: PathBuf,
     key: Option<Arc<Vec<u8>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
     quarantined: Arc<AtomicU64>,
 }
 
@@ -1443,7 +1511,13 @@ impl Cache {
     /// A cache rooted at `dir` (created lazily on first write), with no
     /// signing key.
     pub fn at(dir: impl Into<PathBuf>) -> Cache {
-        Cache { dir: dir.into(), key: None, quarantined: Arc::new(AtomicU64::new(0)) }
+        Cache {
+            dir: dir.into(),
+            key: None,
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            quarantined: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The cache honoring the environment: `IPG_CACHE_DIR` if set,
@@ -1485,6 +1559,34 @@ impl Cache {
         self.quarantined.load(Ordering::Relaxed)
     }
 
+    /// How many [`Cache::load_or_compile`] calls loaded a fresh
+    /// artifact (shared across clones, like [`Cache::quarantined`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many [`Cache::load_or_compile`] calls fell back to
+    /// compiling from source.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The shared hit counter, for registration in a metrics registry.
+    pub fn hits_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.hits)
+    }
+
+    /// The shared miss counter, for registration in a metrics registry.
+    pub fn misses_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.misses)
+    }
+
+    /// The shared quarantine counter, for registration in a metrics
+    /// registry.
+    pub fn quarantined_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.quarantined)
+    }
+
     /// The artifact path for grammar `name` with the given cache key.
     pub fn path_for(&self, name: &str, hash: u64) -> PathBuf {
         // Grammar names come from module names or file stems; sanitize so
@@ -1517,12 +1619,18 @@ impl Cache {
         let path = self.path_for(name, hash);
         let reason = match std::fs::read(&path) {
             Ok(bytes) => match self.try_load(&bytes, spec, blackboxes.clone()) {
-                Ok(cached) => return Ok((cached, CacheOutcome::Hit)),
+                Ok(cached) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    cache_totals::record_hit();
+                    return Ok((cached, CacheOutcome::Hit));
+                }
                 Err(e) => self.quarantine(&path, e.to_string()),
             },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => MissReason::Absent,
             Err(e) => MissReason::Invalid(format!("cannot read {}: {e}", path.display())),
         };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cache_totals::record_miss();
         let cached = CachedProgram::compile(spec, blackboxes)?;
         let bytes = self.encode_for_write(spec, &cached);
         // Cache writes are best-effort: a read-only cache dir must not
@@ -1541,6 +1649,7 @@ impl Cache {
         match std::fs::rename(path, PathBuf::from(bad)) {
             Ok(()) => {
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
+                cache_totals::record_quarantine();
                 MissReason::Quarantined(why)
             }
             Err(_) => MissReason::Invalid(why),

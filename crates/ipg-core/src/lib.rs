@@ -39,6 +39,10 @@
 //!   `.ipgc` binary artifact (program pools, anchor classification, size
 //!   hints, embedded source) plus a content-hash cache directory, so serve
 //!   workers and CLI runs load bytecode instead of recompiling.
+//! * [`profile`] — grammar-level VM profiling: per-rule cycle
+//!   attribution, memo hit/miss counts, pc-indexed instruction hits,
+//!   and a folded-stack export keyed by the static call graph. Disabled
+//!   parses pay nothing (the hooks monomorphize away).
 //! * [`codegen`] — the parser generator: emits a self-contained Rust
 //!   recursive-descent parser from a checked grammar.
 //! * [`termination`] — the static termination checker of §5: elementary
@@ -90,6 +94,7 @@ pub mod frontend;
 pub mod intern;
 pub mod interp;
 pub mod ipgc;
+pub mod profile;
 pub mod sha256;
 pub mod solver;
 pub mod syntax;

@@ -53,9 +53,12 @@
 //! ```
 
 pub mod fault;
+pub mod histo;
+pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod stats;
+pub mod trace;
 pub mod watch;
 
 use fault::FaultPlan;
@@ -102,6 +105,9 @@ pub struct Config {
     /// Fault-injection schedule for the chaos harness; `None` (the
     /// default) injects nothing.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Structured trace ring (`ipg serve --trace-log`); `None` (the
+    /// default) disables span event emission entirely.
+    pub trace: Option<Arc<trace::TraceLog>>,
 }
 
 impl Default for Config {
@@ -117,6 +123,7 @@ impl Default for Config {
             max_frame: proto::MAX_FRAME,
             io_timeout: Duration::from_secs(5),
             faults: None,
+            trace: None,
         }
     }
 }
@@ -171,6 +178,7 @@ pub enum Response {
 pub struct Server {
     shared: Arc<Shared>,
     registry: Registry,
+    metrics: Arc<metrics::Registry>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     watcher: Mutex<Option<watch::Watcher>>,
     started: Instant,
@@ -192,6 +200,129 @@ fn install_quiet_worker_panics() {
             }
         }));
     });
+}
+
+/// Builds the server's metrics registry: every stats counter, the
+/// admission ledger with its scrape-time in-flight derivation, the
+/// reload/quarantine counters, the process-wide artifact-cache totals,
+/// the shared-bucket latency histogram, per-worker queue depths, and —
+/// when tracing is on — the trace ring's emit/drop counters. This is
+/// the single exposition point: a counter that exists but is not
+/// registered here is invisible to every scraper, so the registration
+/// list is deliberately exhaustive over [`stats::Counters`].
+/// One registration row: metric name, help text, and the accessor
+/// picking the backing cell out of [`stats::Counters`].
+type CounterSpec = (&'static str, &'static str, fn(&stats::Counters) -> &AtomicU64);
+
+fn build_metrics(shared: &Arc<Shared>) -> Arc<metrics::Registry> {
+    let reg = metrics::Registry::new();
+    let counters: [CounterSpec; 18] = [
+        ("ipg_parses_ok_total", "Completed parses.", |c| &c.parses_ok),
+        ("ipg_parses_err_total", "Failed parses.", |c| &c.parses_err),
+        ("ipg_sessions_opened_total", "Streaming sessions opened.", |c| &c.sessions_opened),
+        ("ipg_sessions_closed_total", "Streaming sessions closed.", |c| &c.sessions_closed),
+        ("ipg_sessions_evicted_total", "Sessions dropped by deadline eviction.", |c| {
+            &c.sessions_evicted
+        }),
+        ("ipg_sessions_sealed_total", "Sessions sealed with GOAWAY during drain.", |c| {
+            &c.sessions_sealed
+        }),
+        ("ipg_bytes_in_total", "Input bytes accepted.", |c| &c.bytes_in),
+        ("ipg_vm_steps_total", "VM steps executed by completed work.", |c| &c.steps),
+        ("ipg_suspends_total", "Suspensions taken by streaming sessions.", |c| &c.suspends),
+        ("ipg_steals_total", "Jobs taken from another worker's queue.", |c| &c.steals),
+        ("ipg_requests_submitted_total", "Requests admitted (the ledger domain).", |c| {
+            &c.requests_submitted
+        }),
+        ("ipg_requests_completed_total", "Requests answered successfully.", |c| {
+            &c.requests_completed
+        }),
+        ("ipg_requests_shed_total", "Requests shed with BUSY/GOAWAY.", |c| &c.requests_shed),
+        ("ipg_requests_failed_total", "Requests answered with a typed error.", |c| {
+            &c.requests_failed
+        }),
+        ("ipg_panics_recovered_total", "Worker panics converted to typed replies.", |c| {
+            &c.panics_recovered
+        }),
+        ("ipg_reloads_ok_total", "Hot reloads that swapped a generation in.", |c| &c.reloads_ok),
+        ("ipg_reloads_rejected_total", "Hot reloads refused (previous generation kept).", |c| {
+            &c.reloads_rejected
+        }),
+        ("ipg_artifacts_quarantined_total", "Invalid artifacts quarantined by the watcher.", |c| {
+            &c.artifacts_quarantined
+        }),
+    ];
+    for (name, help, read) in counters {
+        let s = Arc::clone(shared);
+        reg.counter_fn(name, help, move || read(&s.counters).load(Ordering::Relaxed));
+    }
+    let s = Arc::clone(shared);
+    reg.gauge_fn("ipg_live_sessions", "Sessions currently live across all workers.", move || {
+        s.counters.live_sessions.load(Ordering::Relaxed)
+    });
+    // The scrape-time ledger: `submitted == completed + shed + failed +
+    // in_flight` holds on every scrape by construction of this gauge.
+    let s = Arc::clone(shared);
+    reg.gauge_fn(
+        "ipg_requests_in_flight",
+        "Admitted requests not yet classified (the live reconciliation gap).",
+        move || {
+            let c = &s.counters;
+            let terminal = c.requests_completed.load(Ordering::Relaxed)
+                + c.requests_shed.load(Ordering::Relaxed)
+                + c.requests_failed.load(Ordering::Relaxed);
+            c.requests_submitted.load(Ordering::Relaxed).saturating_sub(terminal)
+        },
+    );
+    let s = Arc::clone(shared);
+    reg.histogram_fn(
+        "ipg_request_latency_us",
+        "Admission-to-reply latency, microseconds (shared log2 buckets).",
+        move || (s.counters.latency.counts(), s.counters.latency.sum_us()),
+    );
+    let s = Arc::clone(shared);
+    reg.gauge_vec_fn(
+        "ipg_queue_depth",
+        "Queued jobs (pinned + stealable) per worker.",
+        "worker",
+        move || {
+            s.shards.iter().enumerate().map(|(w, sh)| (w.to_string(), sh.depth() as u64)).collect()
+        },
+    );
+    // Artifact-cache totals are process-wide (Cache instances are
+    // created per load), owned by ipg-core and registered here as shared
+    // atomics — the producer's hot path is untouched.
+    let totals = ipg_core::ipgc::cache_totals::counters();
+    reg.register_counter_shared(
+        "ipg_cache_hits_total",
+        "Artifact-cache hits (program deserialized, not compiled).",
+        totals.hits,
+    );
+    reg.register_counter_shared(
+        "ipg_cache_misses_total",
+        "Artifact-cache misses (program compiled, artifact rewritten).",
+        totals.misses,
+    );
+    reg.register_counter_shared(
+        "ipg_cache_quarantined_total",
+        "Invalid artifacts quarantined by the cache itself.",
+        totals.quarantined,
+    );
+    if let Some(t) = &shared.trace {
+        let tl = Arc::clone(t);
+        reg.counter_fn(
+            "ipg_trace_events_total",
+            "Trace events accepted into the ring.",
+            move || tl.emitted(),
+        );
+        let tl = Arc::clone(t);
+        reg.counter_fn(
+            "ipg_trace_dropped_total",
+            "Trace events lost to ring overflow or contention.",
+            move || tl.dropped(),
+        );
+    }
+    Arc::new(reg)
 }
 
 impl Server {
@@ -223,7 +354,9 @@ impl Server {
             max_frame: cfg.max_frame,
             io_timeout: cfg.io_timeout,
             faults: cfg.faults,
+            trace: cfg.trace,
         });
+        let metrics = build_metrics(&shared);
         let handles = (0..workers)
             .map(|w| {
                 let shared = shared.clone();
@@ -236,6 +369,7 @@ impl Server {
         Server {
             shared,
             registry,
+            metrics,
             workers: Mutex::new(handles),
             watcher: Mutex::new(None),
             started: Instant::now(),
@@ -348,9 +482,18 @@ impl Server {
         Counters::add(&shared.counters.requests_submitted, 1);
         if shared.is_draining() {
             let resp = Response::GoAway;
+            if let Some(t) = &shared.trace {
+                t.admit(job.span, "parse", true);
+            }
             shared.classify(&resp, job.accepted);
+            if let Some(t) = &shared.trace {
+                t.done(job.span, pool::outcome_name(&resp), job.accepted.elapsed());
+            }
             let _ = job.reply.send(Response::GoAway);
             return Err(resp);
+        }
+        if let Some(t) = &shared.trace {
+            t.admit(job.span, "parse", false);
         }
         let w = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % self.workers();
         match shared.shards[w].try_push_shared(job, shared.max_queue) {
@@ -358,6 +501,9 @@ impl Server {
             Err(job) => {
                 let resp = Response::Busy { retry_after_ms: shared.retry_after_ms };
                 shared.classify(&resp, job.accepted);
+                if let Some(t) = &shared.trace {
+                    t.done(job.span, pool::outcome_name(&resp), job.accepted.elapsed());
+                }
                 let _ = job.reply.send(Response::Busy { retry_after_ms: shared.retry_after_ms });
                 Err(resp)
             }
@@ -407,13 +553,22 @@ impl Server {
         Counters::add(&shared.counters.requests_submitted, 1);
         if shared.is_draining() {
             let resp = Response::GoAway;
+            if let Some(t) = &shared.trace {
+                let span = trace::next_span();
+                t.admit(span, "open", true);
+                t.done(span, pool::outcome_name(&resp), Duration::ZERO);
+            }
             shared.classify(&resp, Instant::now());
             return resp;
         }
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         let w = shared.owner_of(id);
         let (tx, rx) = channel();
-        shared.shards[w].push_pinned(Job::new(JobKind::Open { id, vm }, tx));
+        let job = Job::new(JobKind::Open { id, vm }, tx);
+        if let Some(t) = &shared.trace {
+            t.admit(job.span, "open", false);
+        }
+        shared.shards[w].push_pinned(job);
         self.await_reply(rx)
     }
 
@@ -422,6 +577,72 @@ impl Server {
     pub fn stats(&self) -> StatsSnapshot {
         let depths = self.shared.shards.iter().map(|s| s.depth()).collect();
         StatsSnapshot::collect(&self.shared.counters, self.started, depths)
+    }
+
+    /// The metrics registry backing this server's Prometheus exposition.
+    pub fn metrics(&self) -> Arc<metrics::Registry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// One Prometheus text-format scrape (what `--metrics-addr` and the
+    /// `METRICS` protocol op both return).
+    pub fn metrics_text(&self) -> String {
+        self.metrics.gather()
+    }
+
+    /// Starts the Prometheus exposition endpoint: a minimal HTTP/1.0
+    /// responder on `addr` answering every request with the current
+    /// scrape. The thread exits when the server shuts down or drains.
+    /// Returns the bound address (so `:0` requests report their port).
+    ///
+    /// # Errors
+    ///
+    /// The bind error when `addr` is unusable.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        use std::io::{Read, Write};
+        let listener = std::net::TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let metrics = Arc::clone(&self.metrics);
+        let shared = Arc::clone(&self.shared);
+        std::thread::Builder::new().name("ipg-serve-metrics".into()).spawn(move || {
+            while !shared.shutdown.load(Ordering::Acquire) {
+                let (mut stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                };
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                // Read the request head (we answer every path the same);
+                // stop at the blank line, EOF, or the read timeout.
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            head.extend_from_slice(&buf[..n]);
+                            if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let body = metrics.gather();
+                let response = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        })?;
+        Ok(local)
     }
 
     /// Stops the workers after the queues drain and joins them. Live
@@ -444,7 +665,13 @@ impl Server {
         // no caller is left holding a dead reply channel.
         for shard in &self.shared.shards {
             for job in shard.drain_all() {
-                pool::send_reply(&self.shared, &job.reply, job.accepted, Response::GoAway);
+                pool::send_reply(
+                    &self.shared,
+                    &job.reply,
+                    job.accepted,
+                    job.span,
+                    Response::GoAway,
+                );
             }
         }
     }
@@ -478,14 +705,24 @@ impl Server {
     pub(crate) fn session_request(&self, id: u64, kind: JobKind) -> Response {
         let shared = &self.shared;
         Counters::add(&shared.counters.requests_submitted, 1);
+        let kind_name = if matches!(kind, JobKind::Finish { .. }) { "finish" } else { "feed" };
         if shared.is_draining() {
             let resp = Response::GoAway;
+            if let Some(t) = &shared.trace {
+                let span = trace::next_span();
+                t.admit(span, kind_name, true);
+                t.done(span, pool::outcome_name(&resp), Duration::ZERO);
+            }
             shared.classify(&resp, Instant::now());
             return resp;
         }
         let w = shared.owner_of(id);
         let (tx, rx) = channel();
-        shared.shards[w].push_pinned(Job::new(kind, tx));
+        let job = Job::new(kind, tx);
+        if let Some(t) = &shared.trace {
+            t.admit(job.span, kind_name, false);
+        }
+        shared.shards[w].push_pinned(job);
         self.await_reply(rx)
     }
 }

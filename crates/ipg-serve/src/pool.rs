@@ -79,16 +79,19 @@ impl JobKind {
 
 /// One unit of work. `reply` is a rendezvous channel: every job sends
 /// exactly one [`Response`]. `accepted` timestamps admission so the
-/// latency histogram covers queueing, not just execution.
+/// latency histogram covers queueing, not just execution; `span` is the
+/// trace id assigned at admission, threading the request's events
+/// (admit → dispatch → done) through the structured trace log.
 pub(crate) struct Job {
     pub(crate) kind: JobKind,
     pub(crate) reply: Sender<Response>,
     pub(crate) accepted: Instant,
+    pub(crate) span: u64,
 }
 
 impl Job {
     pub(crate) fn new(kind: JobKind, reply: Sender<Response>) -> Job {
-        Job { kind, reply, accepted: Instant::now() }
+        Job { kind, reply, accepted: Instant::now(), span: crate::trace::next_span() }
     }
 }
 
@@ -218,6 +221,9 @@ pub(crate) struct Shared {
     pub(crate) io_timeout: Duration,
     /// Fault-injection schedule (chaos harness); `None` in production.
     pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Structured trace ring (`ipg serve --trace-log`); `None` disables
+    /// event emission entirely (one branch per event site).
+    pub(crate) trace: Option<Arc<crate::trace::TraceLog>>,
 }
 
 impl Shared {
@@ -245,6 +251,18 @@ impl Shared {
             Response::Error(_) => Counters::add(&c.requests_failed, 1),
         }
         c.latency.record(accepted.elapsed());
+    }
+}
+
+/// The trace-log name of a terminal response.
+pub(crate) fn outcome_name(resp: &Response) -> &'static str {
+    match resp {
+        Response::Done(_) => "done",
+        Response::Opened { .. } => "opened",
+        Response::NeedInput { .. } => "need_input",
+        Response::Error(_) => "error",
+        Response::Busy { .. } => "busy",
+        Response::GoAway => "goaway",
     }
 }
 
@@ -283,7 +301,7 @@ pub(crate) fn worker_loop(me: usize, shared: Arc<Shared>) {
             stolen
         });
         match job {
-            Some(job) => run_job(job, &shared, &mut sessions),
+            Some(job) => run_job(me, job, &shared, &mut sessions),
             None => {
                 evict_expired(&shared, &mut sessions);
                 if shared.shutdown.load(Ordering::Acquire) && shared.shards[me].is_empty() {
@@ -335,8 +353,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".into())
 }
 
-fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) {
-    let Job { kind, reply, accepted } = job;
+fn run_job(me: usize, job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) {
+    let Job { kind, reply, accepted, span } = job;
+    if let Some(t) = &shared.trace {
+        t.dispatch(span, me);
+    }
 
     // Drain: one-shot jobs queued before the drain began still flush,
     // but session work is refused — the session is sealed and its owner
@@ -350,7 +371,7 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
                 Counters::add(&c.live_sessions, 1u64.wrapping_neg());
             }
         }
-        send_reply(shared, &reply, accepted, Response::GoAway);
+        send_reply(shared, &reply, accepted, span, Response::GoAway);
         return;
     }
 
@@ -358,6 +379,11 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
     // `Panic` exercises exactly the same recovery path a real VM or
     // session panic would take.
     let fault = shared.faults.as_ref().map_or(Fault::None, |plan| plan.next_job_fault());
+    match (&shared.trace, fault) {
+        (Some(t), Fault::Panic) => t.fault(span, "panic"),
+        (Some(t), Fault::Stall(_)) => t.fault(span, "stall"),
+        _ => {}
+    }
     if let Fault::Stall(d) = fault {
         std::thread::sleep(d);
     }
@@ -375,7 +401,7 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
         execute(kind, shared, sessions)
     }));
     match outcome {
-        Ok(resp) => send_reply(shared, &reply, accepted, resp),
+        Ok(resp) => send_reply(shared, &reply, accepted, span, resp),
         Err(payload) => {
             let c = &shared.counters;
             Counters::add(&c.panics_recovered, 1);
@@ -387,21 +413,25 @@ fn run_job(job: Job, shared: &Arc<Shared>, sessions: &mut HashMap<u64, Active>) 
                 }
             }
             let msg = panic_message(payload.as_ref());
-            send_reply(shared, &reply, accepted, Response::Error(Error::WorkerPanic(msg)));
+            send_reply(shared, &reply, accepted, span, Response::Error(Error::WorkerPanic(msg)));
         }
     }
 }
 
-/// Classifies and delivers the single reply every job owes. A vanished
-/// caller (dropped receiver) is not an error: the work is still
-/// accounted.
+/// Classifies and delivers the single reply every job owes, closing the
+/// job's trace span. A vanished caller (dropped receiver) is not an
+/// error: the work is still accounted.
 pub(crate) fn send_reply(
     shared: &Shared,
     reply: &Sender<Response>,
     accepted: Instant,
+    span: u64,
     resp: Response,
 ) {
     shared.classify(&resp, accepted);
+    if let Some(t) = &shared.trace {
+        t.done(span, outcome_name(&resp), accepted.elapsed());
+    }
     let _ = reply.send(resp);
 }
 

@@ -12,6 +12,7 @@
 //! | `0x03 FEED`   | `id:u64le, chunk…`           | `NEED_INPUT` / `ERROR` / `GOAWAY` |
 //! | `0x04 FINISH` | `id:u64le`                   | `DONE` / `ERROR` / `GOAWAY` |
 //! | `0x05 STATS`  | —                            | `STATS` |
+//! | `0x06 METRICS` | —                           | `METRICS` |
 //!
 //! | status | response payload |
 //! |---|---|
@@ -22,6 +23,7 @@
 //! | `0x04 STATS`      | UTF-8 JSON ([`crate::stats::StatsSnapshot::to_json`]) |
 //! | `0x05 BUSY`       | `retry_after_ms:u64le` — shed at admission, retry later |
 //! | `0x06 GOAWAY`     | — server draining; session (if any) sealed |
+//! | `0x07 METRICS`    | UTF-8 Prometheus text ([`crate::metrics::Registry::gather`]) |
 //!
 //! Robustness contract: every malformed, truncated, oversized, or
 //! out-of-order frame is answered with a *typed* `ERROR` frame — never a
@@ -65,6 +67,8 @@ pub const OP_FEED: u8 = 0x03;
 pub const OP_FINISH: u8 = 0x04;
 /// Stats snapshot.
 pub const OP_STATS: u8 = 0x05;
+/// Prometheus metrics scrape.
+pub const OP_METRICS: u8 = 0x06;
 
 /// Response statuses.
 pub const ST_DONE: u8 = 0x00;
@@ -80,6 +84,8 @@ pub const ST_STATS: u8 = 0x04;
 pub const ST_BUSY: u8 = 0x05;
 /// Server draining; no new work, sessions sealed.
 pub const ST_GOAWAY: u8 = 0x06;
+/// Prometheus metrics text.
+pub const ST_METRICS: u8 = 0x07;
 
 /// Writes one length-framed payload.
 ///
@@ -222,6 +228,11 @@ pub fn handle_request(server: &Server, conn: &mut ConnState, payload: &[u8]) -> 
         OP_STATS => {
             let mut out = vec![ST_STATS];
             out.extend_from_slice(server.stats().to_json().as_bytes());
+            out
+        }
+        OP_METRICS => {
+            let mut out = vec![ST_METRICS];
+            out.extend_from_slice(server.metrics_text().as_bytes());
             out
         }
         other => bad_request(&format!("unknown op 0x{other:02x}")),
@@ -497,6 +508,8 @@ pub enum Wire {
     Error(String),
     /// `ST_STATS` (JSON).
     Stats(String),
+    /// `ST_METRICS` (Prometheus text format).
+    Metrics(String),
     /// `ST_BUSY` — shed at admission; retry after the hinted delay.
     Busy {
         /// Suggested backoff before retrying.
@@ -715,6 +728,16 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<Wire> {
         self.round_trip(&[OP_STATS])
     }
+
+    /// Fetches a Prometheus metrics scrape over the framed protocol (the
+    /// same text `--metrics-addr` serves over HTTP).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only.
+    pub fn metrics(&mut self) -> io::Result<Wire> {
+        self.round_trip(&[OP_METRICS])
+    }
 }
 
 /// Decodes a response payload into a [`Wire`]; `None` for frames that
@@ -744,6 +767,7 @@ pub fn decode_wire(payload: &[u8]) -> Option<Wire> {
         }
         ST_ERROR => Wire::Error(String::from_utf8_lossy(body).into_owned()),
         ST_STATS => Wire::Stats(String::from_utf8_lossy(body).into_owned()),
+        ST_METRICS => Wire::Metrics(String::from_utf8_lossy(body).into_owned()),
         ST_BUSY => Wire::Busy { retry_after_ms: u64::from_le_bytes(body.try_into().ok()?) },
         ST_GOAWAY => {
             if !body.is_empty() {

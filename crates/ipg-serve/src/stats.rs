@@ -12,51 +12,9 @@
 //!   this identity under injected faults — a panic, stall, or drain that
 //!   loses a reply shows up as a reconciliation gap.
 
+use crate::histo::LogHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
-
-/// Log₂-bucketed latency histogram in microseconds: bucket `i` counts
-/// requests whose admission→reply latency fell in `[2^i, 2^(i+1))` µs.
-/// Recording is one relaxed `fetch_add`; percentiles are computed at
-/// snapshot time from the bucket boundaries (geometric midpoints), which
-/// is plenty for p50/p99 on a log scale.
-#[derive(Debug)]
-pub(crate) struct Histogram {
-    buckets: [AtomicU64; 40],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl Histogram {
-    pub(crate) fn record(&self, latency: Duration) {
-        let us = (latency.as_micros() as u64).max(1);
-        let idx = (63 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The `p`-th percentile (0.0–1.0) in microseconds, 0 when empty.
-    pub(crate) fn percentile(&self, p: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &n) in counts.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Geometric midpoint of [2^i, 2^(i+1)).
-                return (1u64 << i) + (1u64 << i) / 2;
-            }
-        }
-        unreachable!("rank is clamped to the total count")
-    }
-}
+use std::time::Instant;
 
 /// Monotonic counters shared by every worker. All increments use relaxed
 /// ordering: the snapshot is observational, not a synchronization point.
@@ -93,7 +51,9 @@ pub(crate) struct Counters {
     /// Invalid `.ipgc` artifacts quarantined (renamed `*.bad`) by the
     /// watcher instead of being served.
     pub artifacts_quarantined: AtomicU64,
-    pub latency: Histogram,
+    /// Admission→reply latency (shared log₂ bucketing; see
+    /// [`crate::histo`]).
+    pub latency: LogHistogram,
 }
 
 impl Counters {
@@ -197,8 +157,63 @@ impl StatsSnapshot {
     /// `true` when the admission ledger balances: every admitted request
     /// reached exactly one terminal bucket. Only meaningful at quiescence
     /// (in-flight requests are submitted but not yet classified).
+    ///
+    /// The body destructures the snapshot exhaustively (no `..`): adding
+    /// a counter to [`StatsSnapshot`] fails compilation here until the
+    /// new field is explicitly classified as part of the ledger identity
+    /// or as informational — a counter can never be *silently* ignored
+    /// by the reconciliation check again.
     pub fn reconciles(&self) -> bool {
-        self.submitted == self.completed + self.shed + self.failed
+        let StatsSnapshot {
+            // The ledger identity.
+            submitted,
+            completed,
+            shed,
+            failed,
+            // Informational: parse/session/VM telemetry, not admission
+            // ledger entries.
+            parses_ok: _,
+            parses_err: _,
+            sessions_opened: _,
+            sessions_closed: _,
+            sessions_evicted: _,
+            sessions_sealed: _,
+            live_sessions: _,
+            bytes_in: _,
+            steps: _,
+            suspends: _,
+            steals: _,
+            panics_recovered: _,
+            // Reload/quarantine counters: checked against the watcher's
+            // ground truth by [`StatsSnapshot::reconciles_reloads`].
+            reloads_ok: _,
+            reloads_rejected: _,
+            artifacts_quarantined: _,
+            // Derived/latency fields.
+            latency_p50_us: _,
+            latency_p99_us: _,
+            elapsed_s: _,
+            parses_per_s: _,
+            bytes_per_s: _,
+            queue_depths: _,
+        } = self;
+        *submitted == completed + shed + failed
+    }
+
+    /// `true` when the reload/quarantine counters match the expected
+    /// ground truth (e.g. the number of artifact swaps a test actually
+    /// performed). Split from [`StatsSnapshot::reconciles`] because
+    /// reloads are watcher events, not admission-ledger entries — but
+    /// drain summaries and the chaos harness check both.
+    pub fn reconciles_reloads(
+        &self,
+        expected_ok: u64,
+        expected_rejected: u64,
+        expected_quarantined: u64,
+    ) -> bool {
+        self.reloads_ok == expected_ok
+            && self.reloads_rejected == expected_rejected
+            && self.artifacts_quarantined == expected_quarantined
     }
 
     /// Renders the snapshot as a single JSON object (the wire format of
@@ -247,25 +262,53 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
 
-    #[test]
-    fn histogram_percentiles_are_monotone_and_bucketed() {
-        let h = Histogram::default();
-        for us in [1u64, 2, 3, 100, 100, 100, 100, 5000] {
-            h.record(Duration::from_micros(us));
-        }
-        let p50 = h.percentile(0.50);
-        let p99 = h.percentile(0.99);
-        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
-        // p50 of the sample sits in the 64–128µs bucket (midpoint 96).
-        assert_eq!(p50, 96);
-        // p99 lands in the 4096–8192µs bucket (midpoint 6144).
-        assert_eq!(p99, 6144);
+    fn snapshot() -> StatsSnapshot {
+        let c = Counters::default();
+        StatsSnapshot::collect(&c, Instant::now(), vec![0, 0])
     }
 
     #[test]
-    fn empty_histogram_reports_zero() {
-        let h = Histogram::default();
-        assert_eq!(h.percentile(0.5), 0);
-        assert_eq!(h.percentile(0.99), 0);
+    fn ledger_reconciles_exactly() {
+        let mut s = snapshot();
+        s.submitted = 10;
+        s.completed = 7;
+        s.shed = 2;
+        s.failed = 1;
+        assert!(s.reconciles());
+        // One lost reply breaks the identity in either direction.
+        s.failed = 0;
+        assert!(!s.reconciles());
+        s.failed = 2;
+        assert!(!s.reconciles());
+    }
+
+    #[test]
+    fn reload_reconciliation_checks_every_watcher_counter() {
+        let mut s = snapshot();
+        s.reloads_ok = 2;
+        s.reloads_rejected = 1;
+        s.artifacts_quarantined = 1;
+        assert!(s.reconciles_reloads(2, 1, 1));
+        // A mismatch in any single counter fails the check — none of the
+        // three can be silently ignored.
+        assert!(!s.reconciles_reloads(3, 1, 1));
+        assert!(!s.reconciles_reloads(2, 0, 1));
+        assert!(!s.reconciles_reloads(2, 1, 0));
+    }
+
+    #[test]
+    fn json_snapshot_names_every_reconciled_counter() {
+        let j = snapshot().to_json();
+        for key in [
+            "submitted",
+            "completed",
+            "shed",
+            "failed",
+            "reloads_ok",
+            "reloads_rejected",
+            "artifacts_quarantined",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key} in {j}");
+        }
     }
 }
